@@ -1,0 +1,93 @@
+//! Criterion benches for the optimizer's hot paths: STAR optimization at
+//! several query sizes and configurations, the transformational baseline at
+//! a fixed budget, rule compilation, and plan execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use starqo_core::{OptConfig, Optimizer};
+use starqo_exec::Executor;
+use starqo_workload::{
+    dept_emp_catalog, dept_emp_database, dept_emp_query, query_shape, synth_catalog,
+    QueryShape, SynthSpec,
+};
+use starqo_xform::XformOptimizer;
+
+fn bench_star_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("star_optimize_chain");
+    let spec = SynthSpec { tables: 6, card_range: (500, 5_000), ..Default::default() };
+    let cat = synth_catalog(11, &spec);
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    for n in [2usize, 3, 4, 5] {
+        let query = query_shape(&cat, QueryShape::Chain, n, true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
+            b.iter(|| opt.optimize(q, &OptConfig::default()).expect("optimize"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("star_optimize_paper_query");
+    let cat = dept_emp_catalog(true, 10_000);
+    let query = dept_emp_query(&cat);
+    let opt = Optimizer::new(cat).expect("rules");
+    for (label, config) in [
+        ("base", OptConfig::default()),
+        ("full", OptConfig::full()),
+        ("keep_all", {
+            let mut c = OptConfig::full();
+            c.glue_keep_all = true;
+            c
+        }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| opt.optimize(&query, &config).expect("optimize"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_xform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xform_optimize_chain");
+    group.sample_size(10);
+    let spec = SynthSpec { tables: 4, card_range: (500, 5_000), ..Default::default() };
+    let cat = synth_catalog(11, &spec);
+    for n in [2usize, 3] {
+        let query = query_shape(&cat, QueryShape::Chain, n, true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
+            let xf = XformOptimizer::new().with_budget(500);
+            b.iter(|| xf.optimize(&cat, q).expect("xform"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rule_compilation(c: &mut Criterion) {
+    let cat = dept_emp_catalog(false, 10_000);
+    c.bench_function("compile_builtin_rules", |b| {
+        b.iter(|| Optimizer::new(cat.clone()).expect("rules"))
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let cat = dept_emp_catalog(false, 10_000);
+    let query = dept_emp_query(&cat);
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    let best = opt.optimize(&query, &OptConfig::default()).expect("optimize").best;
+    let db = dept_emp_database(cat);
+    c.bench_function("execute_paper_best_plan", |b| {
+        b.iter(|| {
+            let mut ex = Executor::new(&db, &query);
+            ex.run(&best).expect("executes")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_star_optimize,
+    bench_star_configs,
+    bench_xform,
+    bench_rule_compilation,
+    bench_execution
+);
+criterion_main!(benches);

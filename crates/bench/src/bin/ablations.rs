@@ -1,0 +1,4 @@
+//! Experiment binary: prints the ablations report.
+fn main() {
+    print!("{}", starqo_bench::comparison::e14_ablations().render());
+}

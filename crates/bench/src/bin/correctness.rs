@@ -1,0 +1,4 @@
+//! Experiment binary: prints the correctness report.
+fn main() {
+    print!("{}", starqo_bench::correctness::e13_correctness().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the dynamic_index report.
+fn main() {
+    print!("{}", starqo_bench::strategies::e7_dynamic_index().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the enumeration report.
+fn main() {
+    print!("{}", starqo_bench::comparison::e9_enumeration().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the estimation-quality report.
+fn main() {
+    print!("{}", starqo_bench::correctness::e15_estimation_quality().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the extensibility report.
+fn main() {
+    print!("{}", starqo_bench::extensibility::e11_extensibility().render());
+}

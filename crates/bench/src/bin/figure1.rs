@@ -1,0 +1,4 @@
+//! Experiment binary: prints the figure1 report.
+fn main() {
+    print!("{}", starqo_bench::figures::e1_figure1().render());
+}

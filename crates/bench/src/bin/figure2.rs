@@ -1,0 +1,4 @@
+//! Experiment binary: prints the figure2 report.
+fn main() {
+    print!("{}", starqo_bench::figures::e2_figure2().render());
+}

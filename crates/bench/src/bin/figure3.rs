@@ -1,0 +1,4 @@
+//! Experiment binary: prints the figure3 report.
+fn main() {
+    print!("{}", starqo_bench::figures::e3_figure3().render());
+}

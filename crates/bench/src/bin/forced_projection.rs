@@ -1,0 +1,4 @@
+//! Experiment binary: prints the forced_projection report.
+fn main() {
+    print!("{}", starqo_bench::strategies::e6_forced_projection().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the hash_join report.
+fn main() {
+    print!("{}", starqo_bench::strategies::e5_hash_join().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the join_sites report.
+fn main() {
+    print!("{}", starqo_bench::distributed::e10_join_sites().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the reestimation report.
+fn main() {
+    print!("{}", starqo_bench::comparison::e12_reestimation().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the star_vs_xform report.
+fn main() {
+    print!("{}", starqo_bench::comparison::e8_star_vs_xform().render());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the strategy_space report.
+fn main() {
+    print!("{}", starqo_bench::strategies::e4_strategy_space().render());
+}

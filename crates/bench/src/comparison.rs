@@ -1,0 +1,250 @@
+//! E8/E9/E12: STAR expansion vs transformational search, and the
+//! enumeration-repertoire experiment.
+
+use starqo_core::{OptConfig, Optimizer};
+use starqo_workload::{query_shape, synth_catalog, QueryShape, SynthSpec};
+use starqo_xform::XformOptimizer;
+
+/// E8: the paper's central efficiency claim (§1, §6). Same queries, same
+/// cost model; compare the work each paradigm does.
+pub fn e8_star_vs_xform() -> crate::Report {
+    let mut r = crate::Report::new(
+        "E8",
+        "STAR expansion vs transformational search — work to optimize chain queries",
+    );
+    let widths = [4usize, 12, 10, 10, 10, 10, 12, 10];
+    r.line(crate::row(
+        &["n", "paradigm", "ms", "rule-apps", "conds", "plans", "best$", "fixpoint"]
+            .map(String::from),
+        &widths,
+    ));
+    let spec = SynthSpec {
+        tables: 6,
+        card_range: (500, 5_000),
+        index_prob: 0.5,
+        ..Default::default()
+    };
+    let cat = synth_catalog(11, &spec);
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    // Match the repertoires: the transformational rule box contains
+    // NL/MG/HA implementation rules plus inner materialization, so the STAR
+    // side enables the same strategy families.
+    let star_config = OptConfig::default().enable("hashjoin").enable("force_projection");
+    for n in 2..=6usize {
+        let query = query_shape(&cat, QueryShape::Chain, n, true);
+        let (star, star_ms) =
+            crate::time_ms(|| opt.optimize(&query, &star_config).expect("star"));
+        r.line(crate::row(
+            &[
+                n.to_string(),
+                "STAR".into(),
+                format!("{star_ms:.1}"),
+                // Rule applications = STAR references (each is one
+                // dictionary lookup + expansion).
+                star.stats.star_refs.to_string(),
+                star.stats.conds_evaluated.to_string(),
+                star.stats.plans_built.to_string(),
+                format!("{:.0}", star.best.props.cost.total()),
+                "yes".into(),
+            ],
+            &widths,
+        ));
+        let xf = XformOptimizer::new().with_budget(2_000);
+        let (xout, xf_ms) = crate::time_ms(|| xf.optimize(&cat, &query).expect("xform"));
+        r.line(crate::row(
+            &[
+                n.to_string(),
+                "XFORM".into(),
+                format!("{xf_ms:.1}"),
+                // Rule applications = pattern-match attempts over every
+                // node of every plan so far.
+                xout.stats.match_attempts.to_string(),
+                xout.stats.conds_evaluated.to_string(),
+                xout.stats.plans_generated.to_string(),
+                format!("{:.0}", xout.best.props.cost.total()),
+                if xout.stats.budget_exhausted { "NO (budget)" } else { "yes" }.to_string(),
+            ],
+            &widths,
+        ));
+    }
+    r.line("");
+    r.line("Expected shape: STAR work grows with the DP lattice and reaches");
+    r.line("its fixpoint in milliseconds at every n; transformational");
+    r.line("match attempts grow superlinearly (every rule × every node ×");
+    r.line("every plan generated so far) and stop reaching fixpoint at n=3.");
+    r
+}
+
+/// E12 / §6: subplan reuse. STARs evaluate each shared fragment once
+/// (memoized references, plan-table hits); transformational search
+/// re-derives properties of every ancestor above every rewrite.
+pub fn e12_reestimation() -> crate::Report {
+    let mut r = crate::Report::new(
+        "E12",
+        "§6 — subplan reuse: memoized STAR references vs transformational re-estimation",
+    );
+    let widths = [4usize, 14, 14, 14, 16];
+    r.line(crate::row(
+        &["n", "star-refs", "memo-hits", "glue-hits", "xform-reest"].map(String::from),
+        &widths,
+    ));
+    let spec = SynthSpec { tables: 5, card_range: (500, 5_000), ..Default::default() };
+    let cat = synth_catalog(13, &spec);
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    let star_config = OptConfig::default().enable("hashjoin").enable("force_projection");
+    for n in 2..=5usize {
+        let query = query_shape(&cat, QueryShape::Chain, n, false);
+        let star = opt.optimize(&query, &star_config).expect("star");
+        let xf = XformOptimizer::new().with_budget(1_000);
+        let xout = xf.optimize(&cat, &query).expect("xform");
+        r.line(crate::row(
+            &[
+                n.to_string(),
+                star.stats.star_refs.to_string(),
+                star.stats.memo_hits.to_string(),
+                star.stats.glue_cache_hits.to_string(),
+                xout.stats.reestimations.to_string(),
+            ],
+            &widths,
+        ));
+    }
+    r.line("");
+    r.line("Expected shape: a growing share of STAR references are memo hits");
+    r.line("(shared fragments evaluated once); transformational re-estimation");
+    r.line("counts dwarf all STAR work combined.");
+    r
+}
+
+/// E9 / §2.3: the enumeration repertoire — composite inners and Cartesian
+/// products expand the searched space, and "a cheaper plan is more likely
+/// to be discovered among this expanded repertoire".
+pub fn e9_enumeration() -> crate::Report {
+    let mut r = crate::Report::new("E9", "§2.3 join enumeration — repertoire vs plan quality");
+    let widths = [7usize, 4, 22, 10, 10, 12];
+    r.line(crate::row(
+        &["shape", "n", "configuration", "keys", "plans", "best$"].map(String::from),
+        &widths,
+    ));
+    let spec = SynthSpec {
+        tables: 6,
+        card_range: (50, 2_000),
+        index_prob: 0.3,
+        ..Default::default()
+    };
+    let cat = synth_catalog(17, &spec);
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    for (shape, name) in [
+        (QueryShape::Chain, "chain"),
+        (QueryShape::Star, "star"),
+        (QueryShape::Clique, "clique"),
+    ] {
+        for n in [4usize, 5] {
+            let query = query_shape(&cat, shape, n, false);
+            let mut configs: Vec<(&str, OptConfig)> = Vec::new();
+            configs.push(("left-deep", OptConfig::default()));
+            let mut bushy = OptConfig::default();
+            bushy.composite_inners = true;
+            configs.push(("+composite inners", bushy));
+            let mut bushy_cart = OptConfig::default();
+            bushy_cart.composite_inners = true;
+            bushy_cart.cartesian = true;
+            configs.push(("+cartesian", bushy_cart));
+            let mut best_so_far = f64::INFINITY;
+            for (label, config) in configs {
+                let out = opt.optimize(&query, &config).expect("optimize");
+                let best = out.best.props.cost.total();
+                r.line(crate::row(
+                    &[
+                        name.to_string(),
+                        n.to_string(),
+                        label.to_string(),
+                        out.table_keys.to_string(),
+                        out.table_plans.to_string(),
+                        format!("{best:.0}"),
+                    ],
+                    &widths,
+                ));
+                assert!(
+                    best <= best_so_far + 1e-6,
+                    "wider repertoire must never find a worse best plan"
+                );
+                best_so_far = best_so_far.min(best);
+            }
+        }
+    }
+    r.line("");
+    r.line("Expected shape: each widening grows the plan table; the best");
+    r.line("cost is monotonically non-increasing as the repertoire expands.");
+    r
+}
+
+/// E14 (ablation): what the two load-bearing engine mechanisms buy — STAR
+/// memoization (shared-fragment reuse) and property-aware plan-table
+/// pruning (the System-R dominance test generalized to the property
+/// vector).
+pub fn e14_ablations() -> crate::Report {
+    let mut r = crate::Report::new(
+        "E14",
+        "ablations — memoization and property-aware pruning",
+    );
+    let widths = [4usize, 22, 10, 10, 10, 10, 12];
+    r.line(crate::row(
+        &["n", "engine", "ms", "conds", "built", "plans", "best$"].map(String::from),
+        &widths,
+    ));
+    let spec = SynthSpec { tables: 5, card_range: (500, 5_000), index_prob: 0.5, ..Default::default() };
+    let cat = synth_catalog(41, &spec);
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    for n in [3usize, 4, 5] {
+        let query = query_shape(&cat, QueryShape::Chain, n, true);
+        let mut configs: Vec<(&str, OptConfig)> = Vec::new();
+        // Forced projection references TableAccess with plan-valued
+        // arguments, which is where STAR memoization earns its keep (most
+        // other fragment reuse flows through the Glue cache).
+        let mut base = OptConfig::default().enable("hashjoin").enable("force_projection");
+        base.composite_inners = true;
+        configs.push(("full engine", base.clone()));
+        let mut no_memo = base.clone();
+        no_memo.ablate_memo = true;
+        configs.push(("- memoization", no_memo));
+        let mut no_prune = base.clone();
+        no_prune.ablate_pruning = true;
+        configs.push(("- pruning", no_prune));
+        let mut neither = base;
+        neither.ablate_memo = true;
+        neither.ablate_pruning = true;
+        configs.push(("- both", neither));
+        let mut best_cost = None;
+        for (label, config) in configs {
+            let (out, ms) = crate::time_ms(|| opt.optimize(&query, &config).expect("optimize"));
+            let cost = out.best.props.cost.total();
+            // Ablations change work, never the answer.
+            match best_cost {
+                None => best_cost = Some(cost),
+                Some(c) => assert!(
+                    (cost - c).abs() < 1e-6,
+                    "ablation changed the chosen plan's cost: {cost} vs {c}"
+                ),
+            }
+            r.line(crate::row(
+                &[
+                    n.to_string(),
+                    label.to_string(),
+                    format!("{ms:.1}"),
+                    out.stats.conds_evaluated.to_string(),
+                    out.stats.plans_built.to_string(),
+                    out.table_plans.to_string(),
+                    format!("{cost:.0}"),
+                ],
+                &widths,
+            ));
+        }
+    }
+    r.line("");
+    r.line("Expected shape: removing memoization re-expands shared fragments");
+    r.line("(conds/built grow; most other reuse flows through the Glue");
+    r.line("cache); removing pruning balloons the plan table and slows");
+    r.line("everything downstream. Neither changes the chosen plan — they");
+    r.line("are pure work-saving mechanisms, the paper's §6 point.");
+    r
+}

@@ -1,0 +1,70 @@
+//! # starqo-bench
+//!
+//! The experiment harness: one module (and one binary) per experiment of
+//! DESIGN.md's index, regenerating every figure and testable claim of the
+//! paper. `cargo run -p starqo-bench --bin all_experiments` prints the whole
+//! suite; `cargo bench -p starqo-bench` times the hot paths with Criterion.
+//!
+//! | Exp | Paper artifact | Module |
+//! |-----|----------------|--------|
+//! | E1  | Figure 1 (DEPT⋈EMP QEP) | [`figures::e1_figure1`] |
+//! | E2  | Figure 2 (property vector) | [`figures::e2_figure2`] |
+//! | E3  | Figure 3 (Glue veneers) | [`figures::e3_figure3`] |
+//! | E4  | §4.1–4.4 strategy space | [`strategies::e4_strategy_space`] |
+//! | E5  | §4.5.1 hash join | [`strategies::e5_hash_join`] |
+//! | E6  | §4.5.2 forced projection | [`strategies::e6_forced_projection`] |
+//! | E7  | §4.5.3 dynamic index | [`strategies::e7_dynamic_index`] |
+//! | E8  | §1/§6 STAR vs transformational | [`comparison::e8_star_vs_xform`] |
+//! | E9  | §2.3 enumeration repertoire | [`comparison::e9_enumeration`] |
+//! | E10 | §4.2 join sites | [`distributed::e10_join_sites`] |
+//! | E11 | §5 extensibility | [`extensibility::e11_extensibility`] |
+//! | E12 | §6 subplan re-estimation | [`comparison::e12_reestimation`] |
+//! | E13 | plan-correctness oracle sweep | [`correctness::e13_correctness`] |
+
+pub mod comparison;
+pub mod correctness;
+pub mod distributed;
+pub mod extensibility;
+pub mod figures;
+pub mod strategies;
+
+use std::fmt::Write as _;
+
+/// A printable experiment report.
+pub struct Report {
+    pub id: &'static str,
+    pub title: String,
+    pub body: String,
+}
+
+impl Report {
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Report { id, title: title.into(), body: String::new() }
+    }
+
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let _ = writeln!(self.body, "{}", s.as_ref());
+    }
+
+    pub fn render(&self) -> String {
+        let rule = "=".repeat(72);
+        format!("{rule}\n{} — {}\n{rule}\n{}\n", self.id, self.title, self.body)
+    }
+}
+
+/// Pad/format a row of cells for table output.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Milliseconds of a closure.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}

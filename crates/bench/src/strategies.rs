@@ -1,0 +1,274 @@
+//! E4–E7: the §4 strategy space and the §4.5 extension crossovers.
+
+use starqo_core::{OptConfig, Optimized, Optimizer};
+use starqo_plan::{AccessSpec, JoinFlavor, Lolepop, PlanRef};
+use starqo_workload::{dept_emp_catalog, dept_emp_query};
+
+fn method_of(plan: &PlanRef) -> &'static str {
+    // The topmost JOIN's flavor, or the distinguishing operators.
+    let mut found = "none";
+    plan.visit(&mut |n| {
+        if found == "none" {
+            if let Lolepop::Join { flavor, .. } = &n.op {
+                found = match flavor {
+                    JoinFlavor::NL => "NL",
+                    JoinFlavor::MG => "MG",
+                    JoinFlavor::HA => "HA",
+                };
+            }
+        }
+    });
+    found
+}
+
+fn describe(plan: &PlanRef) -> String {
+    let mut tags: Vec<&str> = vec![method_of(plan)];
+    if plan.any(&|n| matches!(n.op, Lolepop::BuildIndex { .. })) {
+        tags.push("dyn-index");
+    } else if plan
+        .any(&|n| matches!(n.op, Lolepop::Access { spec: AccessSpec::TempHeap, .. }))
+    {
+        tags.push("temp-inner");
+    }
+    if plan.any(&|n| matches!(n.op, Lolepop::Access { spec: AccessSpec::Index { .. }, .. })) {
+        tags.push("ix-probe");
+    }
+    if plan.any(&|n| matches!(n.op, Lolepop::Sort { .. })) {
+        tags.push("sort");
+    }
+    if plan.any(&|n| matches!(n.op, Lolepop::Ship { .. })) {
+        tags.push("ship");
+    }
+    tags.join("+")
+}
+
+/// E4: count the alternatives each configuration of the §4 STARs generates
+/// for the paper's query — permutations × sites × temp × methods.
+pub fn e4_strategy_space() -> crate::Report {
+    let mut r = crate::Report::new("E4", "§4 strategy space — alternatives per configuration");
+    let widths = [34usize, 8, 8, 10, 10, 10];
+    r.line(crate::row(
+        &["configuration", "sites", "root", "built", "rejected", "best$"]
+            .map(String::from),
+        &widths,
+    ));
+    let mut run = |label: &str, distributed: bool, config: &OptConfig| {
+        let cat = dept_emp_catalog(distributed, 10_000);
+        let query = dept_emp_query(&cat);
+        let opt = Optimizer::new(cat).expect("rules");
+        let out = opt.optimize(&query, config).expect("optimize");
+        r.line(crate::row(
+            &[
+                label.to_string(),
+                if distributed { "2" } else { "1" }.to_string(),
+                out.root_alternatives.len().to_string(),
+                out.stats.plans_built.to_string(),
+                out.stats.plans_rejected.to_string(),
+                format!("{:.0}", out.best.props.cost.total()),
+            ],
+            &widths,
+        ));
+    };
+    let mut keep_all = OptConfig::default();
+    keep_all.glue_keep_all = true;
+    run("R* base (NL+MG), cheapest-glue", false, &OptConfig::default());
+    run("R* base (NL+MG), keep-all-glue", false, &keep_all);
+    run("+ hashjoin", false, &keep_all.clone().enable("hashjoin"));
+    run("+ force_projection", false, &keep_all.clone().enable("force_projection"));
+    run("+ dynamic_index", false, &keep_all.clone().enable("dynamic_index"));
+    run("+ tid_sort", false, &keep_all.clone().enable("tid_sort"));
+    let full = {
+        let mut c = OptConfig::full();
+        c.glue_keep_all = true;
+        c
+    };
+    run("full repertoire", false, &full);
+    run("R* base, distributed", true, &keep_all);
+    run("full repertoire, distributed", true, &full);
+    r.line("");
+    r.line("Expected shape: each §4.5 alternative strictly widens the space;");
+    r.line("distribution multiplies it by the join-site choices (§4.2).");
+    r
+}
+
+/// Sweep helper: two-table join with controllable sizes/ndv and optionally
+/// B-tree-ordered storage on the join columns (making merge order free), so
+/// method choice is driven purely by the cost model.
+fn two_table_best(
+    outer_card: u64,
+    inner_card: u64,
+    join_ndv: u64,
+    ordered: bool,
+    sql: &str,
+    config: &OptConfig,
+) -> Optimized {
+    use starqo_catalog::{Catalog, ColId, DataType, StorageKind};
+    let storage = || {
+        if ordered {
+            StorageKind::BTree { key: vec![ColId(0)] }
+        } else {
+            StorageKind::Heap
+        }
+    };
+    let cat = std::sync::Arc::new(
+        Catalog::builder()
+            .site("x")
+            .table("R", "x", storage(), outer_card)
+            .column("A", DataType::Int, Some(join_ndv))
+            .column("PAY", DataType::Int, Some(10))
+            .table("S", "x", storage(), inner_card)
+            .column("B", DataType::Int, Some(join_ndv))
+            .column("PAY", DataType::Int, Some(10))
+            .build()
+            .unwrap(),
+    );
+    let query = starqo_query::parse_query(&cat, sql).unwrap();
+    let opt = Optimizer::new(cat).expect("rules");
+    opt.optimize(&query, config).expect("optimize")
+}
+
+const EQ_JOIN: &str = "SELECT R.PAY, S.PAY FROM R, S WHERE R.A = S.B";
+/// An *expression* join predicate: hashable and indexable (XP) but not
+/// sortable — merge join is out, which is where §4.5's alternatives shine.
+const EXPR_JOIN: &str = "SELECT R.PAY, S.PAY FROM R, S WHERE R.A + 1 = S.B";
+
+/// E5 / §4.5.1: the hash-join alternative — who wins as input sizes grow,
+/// and that enabling HA never hurts.
+pub fn e5_hash_join() -> crate::Report {
+    let mut r = crate::Report::new("E5", "§4.5.1 hash join — method crossover vs input size");
+    let widths = [10usize, 10, 12, 12, 22];
+    r.line(crate::row(
+        &["|R|", "|S|", "base$", "with-HA$", "chosen (with HA)"].map(String::from),
+        &widths,
+    ));
+    let ha = OptConfig::default().enable("hashjoin");
+    for (o, i, ordered) in [
+        (100u64, 100u64, false),
+        (1_000, 1_000, false),
+        (10_000, 10_000, false),
+        (50_000, 50_000, false),
+        (10_000, 10_000, true),
+        (50_000, 50_000, true),
+    ] {
+        let base = two_table_best(o, i, o.min(i) / 10, ordered, EQ_JOIN, &OptConfig::default());
+        let with = two_table_best(o, i, o.min(i) / 10, ordered, EQ_JOIN, &ha);
+        r.line(crate::row(
+            &[
+                format!("{}{}", o, if ordered { " (ord)" } else { "" }),
+                i.to_string(),
+                format!("{:.0}", base.best.props.cost.total()),
+                format!("{:.0}", with.best.props.cost.total()),
+                describe(&with.best),
+            ],
+            &widths,
+        ));
+        assert!(
+            with.best.props.cost.total() <= base.best.props.cost.total() + 1e-9,
+            "enabling a strategy must never worsen the best plan"
+        );
+    }
+    r.line("");
+    r.line("Expected shape: hash join displaces sort-merge on large unsorted");
+    r.line("inputs (it avoids both sorts); with B-tree-ordered inputs the");
+    r.line("merge order is free and MG keeps the win.");
+    r
+}
+
+/// E6 / §4.5.2: forced projection. The paper motivates it two ways: the
+/// inner's predicates are selective, and/or "only a few columns are
+/// referenced" — tuples are otherwise retained as full pages in the buffer.
+/// This sweep isolates the projection effect: an inequality join (so only
+/// nested-loop applies, and every probe re-scans the inner), no inner
+/// predicate, and a growing unreferenced payload on the inner. Plain NL
+/// re-reads the full-width table per probe; the forced-projection
+/// alternative scans a narrow temp instead.
+pub fn e6_forced_projection() -> crate::Report {
+    use starqo_catalog::{Catalog, DataType, StorageKind};
+    let mut r = crate::Report::new(
+        "E6",
+        "§4.5.2 forced projection — crossover vs unreferenced inner width",
+    );
+    let widths = [16usize, 12, 12, 26];
+    r.line(crate::row(
+        &["payload cols", "base$", "with-FP$", "chosen (with FP)"].map(String::from),
+        &widths,
+    ));
+    for payload in [0usize, 1, 2, 4, 8] {
+        let mut b = Catalog::builder()
+            .site("x")
+            .table("R", "x", StorageKind::Heap, 2_000)
+            .column("A", DataType::Int, Some(2_000))
+            .column("G", DataType::Int, Some(100))
+            .table("S", "x", StorageKind::Heap, 50_000)
+            .column("B", DataType::Int, Some(500));
+        for pcol in 0..payload {
+            b = b.column(format!("W{pcol}"), DataType::Str, None);
+        }
+        let cat = std::sync::Arc::new(b.build().unwrap());
+        // R filtered to ~20 probes; R.A < S.B defeats merge and hash.
+        let query = starqo_query::parse_query(
+            &cat,
+            "SELECT R.A, S.B FROM R, S WHERE R.A < S.B AND R.G = 1",
+        )
+        .unwrap();
+        let opt = Optimizer::new(cat).expect("rules");
+        let base = opt.optimize(&query, &OptConfig::default()).expect("optimize");
+        let fp = OptConfig::default().enable("force_projection");
+        let with = opt.optimize(&query, &fp).expect("optimize");
+        r.line(crate::row(
+            &[
+                payload.to_string(),
+                format!("{:.0}", base.best.props.cost.total()),
+                format!("{:.0}", with.best.props.cost.total()),
+                describe(&with.best),
+            ],
+            &widths,
+        ));
+        assert!(with.best.props.cost.total() <= base.best.props.cost.total() + 1e-9);
+    }
+    r.line("");
+    r.line("Expected shape: with no unreferenced payload the temp saves");
+    r.line("nothing and plain NL keeps the win; as the payload widens, plain");
+    r.line("NL re-reads ever-wider pages per probe while the temp stays");
+    r.line("narrow — the forced-projection margin grows with the width.");
+    r
+}
+
+/// E7 / §4.5.3: dynamic index creation on the inner. The paper's XP class
+/// is `expr(χ(T1)) op T2.col` — join predicates whose outer side is an
+/// expression. Those defeat sort-merge (not `col = col`), so the base
+/// repertoire is stuck with per-probe scans; building an index on the inner
+/// "will pay for itself when the join predicate is selective".
+pub fn e7_dynamic_index() -> crate::Report {
+    let mut r = crate::Report::new(
+        "E7",
+        "§4.5.3 dynamic index — expression join, crossover vs outer size",
+    );
+    let widths = [10usize, 10, 12, 12, 26];
+    r.line(crate::row(
+        &["|R|", "|S|", "base$", "with-DI$", "chosen (with DI)"].map(String::from),
+        &widths,
+    ));
+    for (o, i) in [(2u64, 20_000u64), (20, 20_000), (200, 20_000), (2_000, 20_000)] {
+        let base = two_table_best(o, i, i, false, EXPR_JOIN, &OptConfig::default());
+        let di = OptConfig::default().enable("dynamic_index");
+        let with = two_table_best(o, i, i, false, EXPR_JOIN, &di);
+        r.line(crate::row(
+            &[
+                o.to_string(),
+                i.to_string(),
+                format!("{:.0}", base.best.props.cost.total()),
+                format!("{:.0}", with.best.props.cost.total()),
+                describe(&with.best),
+            ],
+            &widths,
+        ));
+        assert!(with.best.props.cost.total() <= base.best.props.cost.total() + 1e-9);
+    }
+    r.line("");
+    r.line("Expected shape: a handful of probes doesn't repay building the");
+    r.line("index (plain NL wins); past the crossover each probe touches one");
+    r.line("key instead of scanning the inner, and the advantage grows");
+    r.line("linearly with the outer (orders of magnitude at |R| = 2000).");
+    r
+}

@@ -1,0 +1,28 @@
+//! Catalog error type.
+
+use std::fmt;
+
+/// Errors raised while building or querying the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A name lookup failed.
+    NotFound { kind: &'static str, name: String },
+    /// A definition collides with an existing object.
+    Duplicate { kind: &'static str, name: String },
+    /// A definition is internally inconsistent (e.g. index on a missing column).
+    Invalid(String),
+}
+
+pub type Result<T> = std::result::Result<T, CatalogError>;
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::NotFound { kind, name } => write!(f, "{kind} not found: {name}"),
+            CatalogError::Duplicate { kind, name } => write!(f, "duplicate {kind}: {name}"),
+            CatalogError::Invalid(msg) => write!(f, "invalid catalog definition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}

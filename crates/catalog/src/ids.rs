@@ -1,0 +1,87 @@
+//! Newtype identifiers for catalog objects.
+//!
+//! Small integer newtypes keep hot structures (plan property vectors,
+//! predicate bitsets) compact, per the usual database-engine idiom.
+
+use std::fmt;
+
+/// Identifier of a stored table in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column *within its table* (0-based position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColId(pub u32);
+
+/// Identifier of an access path (index) in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexId(pub u32);
+
+/// Identifier of a site in the (simulated) distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(pub u16);
+
+/// The pseudo-column holding a tuple identifier (TID).
+///
+/// The paper's index `ACCESS` produces a stream that "includes as one
+/// 'column' the tuple identifier (TID)"; `GET` then dereferences it. We model
+/// the TID as a distinguished column id so it can appear in column sets and
+/// stream schemas uniformly.
+pub const TID_COL: ColId = ColId(u32::MAX);
+
+impl ColId {
+    /// True if this is the TID pseudo-column.
+    #[inline]
+    pub fn is_tid(self) -> bool {
+        self == TID_COL
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ColId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_tid() {
+            write!(f, "TID")
+        } else {
+            write!(f, "c{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ix{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_col_is_distinguished() {
+        assert!(TID_COL.is_tid());
+        assert!(!ColId(0).is_tid());
+        assert_eq!(TID_COL.to_string(), "TID");
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(TableId(1) < TableId(2));
+        assert_eq!(TableId(3).to_string(), "t3");
+        assert_eq!(SiteId(2).to_string(), "site2");
+        assert_eq!(IndexId(7).to_string(), "ix7");
+        assert_eq!(ColId(4).to_string(), "c4");
+    }
+}

@@ -1,0 +1,57 @@
+//! Access-path (index) definitions.
+
+use crate::ids::{ColId, IndexId, TableId};
+
+/// A secondary access path on a base table: an ordered list of key columns.
+///
+/// The paper's PATHS property is a "set of available access paths on (set of)
+/// tables, each element an ordered list of columns" (Figure 2); catalog
+/// indexes seed that property for base tables.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub id: IndexId,
+    pub name: String,
+    pub table: TableId,
+    /// Key columns, in order. The order of an index scan is exactly this list.
+    pub cols: Vec<ColId>,
+    /// Whether the key is unique.
+    pub unique: bool,
+    /// Whether data pages are clustered on this index (affects GET cost).
+    pub clustered: bool,
+}
+
+impl Index {
+    /// True if `prefix` is a prefix of this index's key columns — the paper's
+    /// "order ⊑ a" test ("the ordered list of columns of order are a prefix
+    /// of those of access path a").
+    pub fn has_prefix(&self, prefix: &[ColId]) -> bool {
+        prefix.len() <= self.cols.len() && self.cols.iter().zip(prefix).all(|(a, b)| a == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ix(cols: Vec<u32>) -> Index {
+        Index {
+            id: IndexId(0),
+            name: "X".into(),
+            table: TableId(0),
+            cols: cols.into_iter().map(ColId).collect(),
+            unique: false,
+            clustered: false,
+        }
+    }
+
+    #[test]
+    fn prefix_test() {
+        let i = ix(vec![3, 1, 2]);
+        assert!(i.has_prefix(&[]));
+        assert!(i.has_prefix(&[ColId(3)]));
+        assert!(i.has_prefix(&[ColId(3), ColId(1)]));
+        assert!(!i.has_prefix(&[ColId(1)]));
+        assert!(!i.has_prefix(&[ColId(3), ColId(2)]));
+        assert!(!i.has_prefix(&[ColId(3), ColId(1), ColId(2), ColId(0)]));
+    }
+}

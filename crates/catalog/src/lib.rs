@@ -1,0 +1,27 @@
+//! # starqo-catalog
+//!
+//! Catalog substrate for the `starqo` optimizer: data types and values,
+//! table/column schemas, statistics, access paths (indexes), sites, and the
+//! system catalog itself.
+//!
+//! The paper (Lohman, SIGMOD 1988, §3.1) initializes plan properties "from
+//! the system catalogs": constituent columns (COLS), the SITE at which a
+//! table is stored, and the access PATHS defined on it, plus the statistics
+//! (cardinalities, distinct values) that drive the estimated properties
+//! (CARD, COST). This crate is that catalog.
+
+pub mod catalog;
+pub mod error;
+pub mod ids;
+pub mod index;
+pub mod schema;
+pub mod site;
+pub mod value;
+
+pub use catalog::{Catalog, CatalogBuilder};
+pub use error::{CatalogError, Result};
+pub use ids::{ColId, IndexId, SiteId, TableId, TID_COL};
+pub use index::Index;
+pub use schema::{Column, StorageKind, Table};
+pub use site::Site;
+pub use value::{DataType, Value};

@@ -1,0 +1,18 @@
+//! Sites of the (simulated) distributed system.
+
+use crate::ids::SiteId;
+
+/// A named site. The paper's R*-style join-site alternatives (§4.2) range
+/// over "the set of sites at which tables of the query are stored, plus the
+/// query site".
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub id: SiteId,
+    pub name: String,
+}
+
+impl Site {
+    pub fn new(id: SiteId, name: impl Into<String>) -> Self {
+        Site { id, name: name.into() }
+    }
+}

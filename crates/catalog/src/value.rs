@@ -1,0 +1,273 @@
+//! Runtime values and data types.
+//!
+//! `Value` is the single scalar currency of the whole system: stored tuples,
+//! predicate constants, sort keys, and B-tree keys are all built from it. It
+//! therefore carries a *total* order (NULL first, then by type, doubles via a
+//! canonical bit pattern) so it can key `BTreeMap`s and drive `SORT`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Double,
+    Str,
+}
+
+impl DataType {
+    /// Nominal stored width in bytes, used by the cost model to size streams.
+    pub fn width(self) -> u32 {
+        match self {
+            DataType::Bool => 1,
+            DataType::Int => 8,
+            DataType::Double => 8,
+            DataType::Str => 16,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Double => "double",
+            DataType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to doubles) for arithmetic and comparisons.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Double(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Canonical form of a double: normalizes NaN and -0.0 so that values
+    /// that should be equal compare and hash equally.
+    fn canonical_f64(d: f64) -> f64 {
+        if d.is_nan() {
+            f64::NAN
+        } else if d == 0.0 {
+            0.0
+        } else {
+            d
+        }
+    }
+
+    fn canonical_f64_bits(d: f64) -> u64 {
+        Value::canonical_f64(d).to_bits()
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => {
+                Value::canonical_f64(*a).total_cmp(&Value::canonical_f64(*b))
+            }
+            (Int(a), Double(b)) => (*a as f64).total_cmp(&Value::canonical_f64(*b)),
+            (Double(a), Int(b)) => Value::canonical_f64(*a).total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and doubles that compare equal must hash equally, so hash
+            // every numeric through its canonical f64 bit pattern.
+            Value::Int(i) => {
+                2u8.hash(state);
+                Value::canonical_f64_bits(*i as f64).hash(state);
+            }
+            Value::Double(d) => {
+                2u8.hash(state);
+                Value::canonical_f64_bits(*d).hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Int(7),
+            Value::str("a"),
+            Value::str("b"),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Double(3.0));
+        assert!(Value::Int(3) < Value::Double(3.5));
+        assert!(Value::Double(2.5) < Value::Int(3));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Double(3.0)));
+    }
+
+    #[test]
+    fn double_canonicalization() {
+        assert_eq!(Value::Double(0.0), Value::Double(-0.0));
+        assert_eq!(hash_of(&Value::Double(0.0)), hash_of(&Value::Double(-0.0)));
+        // NaNs are equal to each other under total order semantics.
+        assert_eq!(
+            Value::Double(f64::NAN).cmp(&Value::Double(f64::NAN)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("Haas").to_string(), "'Haas'");
+        assert_eq!(Value::Int(42).to_string(), "42");
+    }
+
+    #[test]
+    fn as_f64_views() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn datatype_widths() {
+        assert_eq!(DataType::Bool.width(), 1);
+        assert_eq!(DataType::Int.width(), 8);
+        assert_eq!(DataType::Str.width(), 16);
+    }
+}

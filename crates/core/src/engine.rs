@@ -1,0 +1,824 @@
+//! The STAR interpreter.
+//!
+//! §2.3: "Each reference of a STAR is evaluated by replacing the reference
+//! with its alternative definitions that satisfy the condition of
+//! applicability, and replacing the parameters of those definitions with
+//! the arguments of the reference. [...] this substitution process is
+//! remarkably simple and fast; the fanout of any reference of a STAR is
+//! limited to just those STARs referenced in its definition."
+//!
+//! The engine also memoizes STAR references by (star, arguments), realizing
+//! "alternative plans may incorporate the same plan fragment, whose
+//! alternatives need be evaluated only once" (§1) — the E12 counters come
+//! from here.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use starqo_catalog::{Catalog, ColId};
+use starqo_plan::{
+    AccessSpec, CostModel, ExtArg, JoinFlavor, Lolepop, PlanRef, PropCtx, PropEngine,
+};
+use starqo_query::{PredSet, QCol, QSet, Query};
+
+use crate::error::{CoreError, Result};
+use crate::glue;
+use crate::natives::{NativeCtx, Natives};
+use crate::optimizer::OptConfig;
+use crate::rules::{Alt, BinOp, Expr, Guard, ReqExpr, RuleSet, StarId};
+use crate::table::PlanTable;
+use crate::value::{ReqVec, RuleValue, StreamRef};
+
+/// Work counters for the optimization run — the currency of experiment E8
+/// (STAR expansion vs. transformational search).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// STAR references evaluated.
+    pub star_refs: u64,
+    /// STAR references answered from the memo.
+    pub memo_hits: u64,
+    /// Alternative definitions considered.
+    pub alts_considered: u64,
+    /// Conditions of applicability evaluated.
+    pub conds_evaluated: u64,
+    /// Plan nodes successfully built (property functions run).
+    pub plans_built: u64,
+    /// Operator applications rejected by a property function (illegal combo).
+    pub plans_rejected: u64,
+    /// Glue references.
+    pub glue_refs: u64,
+    /// Glue references answered from the glue cache.
+    pub glue_cache_hits: u64,
+    /// Glue operators injected.
+    pub glue_veneers: u64,
+    /// Native ("C function") calls.
+    pub native_calls: u64,
+}
+
+/// Memo key: a STAR reference with its argument values.
+struct MemoKey {
+    star: StarId,
+    args: Vec<RuleValue>,
+}
+
+impl PartialEq for MemoKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.star == other.star && self.args == other.args
+    }
+}
+
+impl Eq for MemoKey {}
+
+impl Hash for MemoKey {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.star.hash(h);
+        for a in &self.args {
+            a.digest(h);
+        }
+    }
+}
+
+/// Glue cache key.
+#[derive(PartialEq, Eq, Hash)]
+pub(crate) struct GlueKey {
+    pub tables: QSet,
+    pub pushdown: PredSet,
+    pub reqs: ReqVec,
+}
+
+/// One optimization run's interpreter state.
+pub struct Engine<'a> {
+    pub rules: &'a RuleSet,
+    pub natives: &'a Natives,
+    pub prop: &'a PropEngine,
+    pub catalog: &'a Catalog,
+    pub query: &'a Query,
+    pub model: &'a CostModel,
+    pub config: &'a OptConfig,
+    pub table: PlanTable,
+    pub stats: OptStats,
+    /// Plan provenance: fingerprint → "Star[alt k]" of the alternative that
+    /// first produced the node, realizing §1's "traced to explain the
+    /// origin of any execution plan". Glue veneers record as "Glue".
+    pub provenance: HashMap<u64, String>,
+    memo: HashMap<MemoKey, Arc<Vec<PlanRef>>>,
+    pub(crate) glue_cache: HashMap<GlueKey, Arc<Vec<PlanRef>>>,
+    depth: u32,
+}
+
+const MAX_DEPTH: u32 = 128;
+
+impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rules: &'a RuleSet,
+        natives: &'a Natives,
+        prop: &'a PropEngine,
+        catalog: &'a Catalog,
+        query: &'a Query,
+        model: &'a CostModel,
+        config: &'a OptConfig,
+    ) -> Self {
+        let mut table = PlanTable::new();
+        table.ablate_pruning = config.ablate_pruning;
+        Engine {
+            rules,
+            natives,
+            prop,
+            catalog,
+            query,
+            model,
+            config,
+            table,
+            stats: OptStats::default(),
+            provenance: HashMap::new(),
+            memo: HashMap::new(),
+            glue_cache: HashMap::new(),
+            depth: 0,
+        }
+    }
+
+    pub fn prop_ctx(&self) -> PropCtx<'a> {
+        PropCtx::new(self.catalog, self.query, self.model)
+    }
+
+    fn native_ctx(&self) -> NativeCtx<'_> {
+        NativeCtx {
+            catalog: self.catalog,
+            query: self.query,
+            model: self.model,
+            config: self.config,
+            table: &self.table,
+        }
+    }
+
+    fn eval_err(&self, star: &str, msg: impl Into<String>) -> CoreError {
+        CoreError::Eval { star: star.to_string(), msg: msg.into() }
+    }
+
+    /// Reference a STAR by name (driver entry point).
+    pub fn eval_star_by_name(&mut self, name: &str, args: Vec<RuleValue>) -> Result<Arc<Vec<PlanRef>>> {
+        let id = self
+            .rules
+            .lookup(name)
+            .ok_or_else(|| self.eval_err(name, "no such STAR"))?;
+        self.eval_star(id, args)
+    }
+
+    /// Reference a STAR: expand its alternative definitions.
+    pub fn eval_star(&mut self, id: StarId, args: Vec<RuleValue>) -> Result<Arc<Vec<PlanRef>>> {
+        self.stats.star_refs += 1;
+        let key = MemoKey { star: id, args };
+        if !self.config.ablate_memo {
+            if let Some(hit) = self.memo.get(&key) {
+                self.stats.memo_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+        let args = key.args.clone();
+        if self.depth >= MAX_DEPTH {
+            return Err(self.eval_err(
+                &self.rules.star(id).name,
+                "recursion limit exceeded (cyclic STAR definitions?)",
+            ));
+        }
+        self.depth += 1;
+        let result = self.eval_star_inner(id, &args);
+        self.depth -= 1;
+        let plans = result?;
+        let plans = Arc::new(dedup(plans));
+        self.memo.insert(key, plans.clone());
+        Ok(plans)
+    }
+
+    fn eval_star_inner(&mut self, id: StarId, args: &[RuleValue]) -> Result<Vec<PlanRef>> {
+        let star = self.rules.star(id).clone();
+        let mut out: Vec<PlanRef> = Vec::new();
+        for group in &star.groups {
+            // Environment: parameters, then this group's bindings, then one
+            // slot for the forall variable.
+            let mut env: Vec<RuleValue> = args.to_vec();
+            for b in &group.bindings {
+                let v = self.eval_expr(b, &mut env.clone(), &star.name)?;
+                env.push(v);
+            }
+            let mut any_fired = false;
+            for (alt_idx, alt) in group.alts.iter().enumerate() {
+                self.stats.alts_considered += 1;
+                let fire = match &alt.guard {
+                    Guard::Always => true,
+                    Guard::Otherwise => !any_fired,
+                    Guard::If(cond) => {
+                        self.stats.conds_evaluated += 1;
+                        // The forall variable is not in scope in the guard;
+                        // guards are per-alternative, not per-item.
+                        let v = self.eval_expr(cond, &mut env.clone(), &star.name)?;
+                        v.as_bool().ok_or_else(|| {
+                            self.eval_err(&star.name, "condition did not evaluate to a boolean")
+                        })?
+                    }
+                };
+                if !fire {
+                    continue;
+                }
+                any_fired = true;
+                let produced = self.eval_alt(alt, &env, &star.name)?;
+                for p in &produced {
+                    self.provenance
+                        .entry(p.fingerprint())
+                        .or_insert_with(|| format!("{}[alt {}]", star.name, alt_idx + 1));
+                }
+                out.extend(produced);
+                if group.exclusive {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_alt(&mut self, alt: &Alt, env: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
+        let mut out = Vec::new();
+        match &alt.forall {
+            None => {
+                let mut env = env.to_vec();
+                let v = self.eval_expr(&alt.expr, &mut env, star)?;
+                out.extend(self.want_plans(&v, star)?.iter().cloned());
+            }
+            Some(set_expr) => {
+                let mut env0 = env.to_vec();
+                let set = self.eval_expr(set_expr, &mut env0, star)?;
+                let items: Vec<RuleValue> = match set {
+                    RuleValue::List(items) => items.as_ref().clone(),
+                    other => {
+                        return Err(self.eval_err(
+                            star,
+                            format!("forall set must be a list, got {}", other.kind()),
+                        ))
+                    }
+                };
+                for item in items {
+                    let mut env2 = env.to_vec();
+                    env2.push(item);
+                    let v = self.eval_expr(&alt.expr, &mut env2, star)?;
+                    out.extend(self.want_plans(&v, star)?.iter().cloned());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn want_plans(&self, v: &RuleValue, star: &str) -> Result<Arc<Vec<PlanRef>>> {
+        match v {
+            RuleValue::Plans(p) => Ok(p.clone()),
+            other => Err(self.eval_err(
+                star,
+                format!("alternative did not produce plans (got {})", other.kind()),
+            )),
+        }
+    }
+
+    /// Evaluate one rule expression.
+    pub fn eval_expr(
+        &mut self,
+        e: &Expr,
+        env: &mut Vec<RuleValue>,
+        star: &str,
+    ) -> Result<RuleValue> {
+        match e {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(slot) => env
+                .get(*slot as usize)
+                .cloned()
+                .ok_or_else(|| self.eval_err(star, format!("unbound slot {slot}"))),
+            Expr::CallStar(id, args) => {
+                let vals = self.eval_args(args, env, star)?;
+                Ok(RuleValue::Plans(self.eval_star(*id, vals)?))
+            }
+            Expr::CallFn(id, args) => {
+                let vals = self.eval_args(args, env, star)?;
+                self.stats.native_calls += 1;
+                self.natives.call(*id, &self.native_ctx(), &vals)
+            }
+            Expr::CallOp(name, args) => {
+                let vals = self.eval_args(args, env, star)?;
+                Ok(RuleValue::Plans(self.apply_op(name, &vals, star)?))
+            }
+            Expr::Glue(stream_e, preds_e) => {
+                let sv = self.eval_expr(stream_e, env, star)?;
+                let pv = self.eval_expr(preds_e, env, star)?;
+                let pushdown = self.as_preds(&pv, star)?;
+                match sv {
+                    RuleValue::Stream(s) => {
+                        Ok(RuleValue::Plans(glue::glue(self, s, pushdown)?))
+                    }
+                    // Glue over an existing SAP: discharge nothing (no
+                    // requirements travel with a SAP); retrofit a FILTER for
+                    // any pushdown predicates not yet applied.
+                    RuleValue::Plans(ps) => {
+                        Ok(RuleValue::Plans(glue::glue_plans(self, &ps, pushdown)?))
+                    }
+                    other => Err(self.eval_err(
+                        star,
+                        format!("Glue expects a stream, got {}", other.kind()),
+                    )),
+                }
+            }
+            Expr::WithReqs(base, reqs) => {
+                let b = self.eval_expr(base, env, star)?;
+                let mut s = match b {
+                    RuleValue::Stream(s) => s,
+                    other => {
+                        return Err(self.eval_err(
+                            star,
+                            format!("requirements apply to streams, got {}", other.kind()),
+                        ))
+                    }
+                };
+                for r in reqs {
+                    match r {
+                        ReqExpr::Temp => s.reqs.temp = true,
+                        ReqExpr::Order(e) => {
+                            let v = self.eval_expr(e, env, star)?;
+                            s.reqs.order = Some(self.as_cols(&v, star)?);
+                        }
+                        ReqExpr::Site(e) => {
+                            let v = self.eval_expr(e, env, star)?;
+                            match v {
+                                RuleValue::Site(site) => s.reqs.site = Some(site),
+                                other => {
+                                    return Err(self.eval_err(
+                                        star,
+                                        format!("site requirement must be a site, got {}", other.kind()),
+                                    ))
+                                }
+                            }
+                        }
+                        ReqExpr::Paths(e) => {
+                            let v = self.eval_expr(e, env, star)?;
+                            let cols = self.as_cols(&v, star)?;
+                            if !cols.is_empty() {
+                                s.reqs.paths = Some(cols);
+                            }
+                        }
+                    }
+                }
+                Ok(RuleValue::Stream(s))
+            }
+            Expr::Binary(op, l, r) => self.eval_binary(*op, l, r, env, star),
+            Expr::Not(inner) => {
+                let v = self.eval_expr(inner, env, star)?;
+                v.as_bool()
+                    .map(|b| RuleValue::Bool(!b))
+                    .ok_or_else(|| self.eval_err(star, "'not' applied to non-boolean"))
+            }
+        }
+    }
+
+    fn eval_args(
+        &mut self,
+        args: &[Expr],
+        env: &mut Vec<RuleValue>,
+        star: &str,
+    ) -> Result<Vec<RuleValue>> {
+        args.iter().map(|a| self.eval_expr(a, env, star)).collect()
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        env: &mut Vec<RuleValue>,
+        star: &str,
+    ) -> Result<RuleValue> {
+        // Short-circuit booleans.
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let lv = self.eval_expr(l, env, star)?;
+            let lb = lv
+                .as_bool()
+                .ok_or_else(|| self.eval_err(star, "boolean operator on non-boolean"))?;
+            if (op == BinOp::And && !lb) || (op == BinOp::Or && lb) {
+                return Ok(RuleValue::Bool(lb));
+            }
+            let rv = self.eval_expr(r, env, star)?;
+            return rv
+                .as_bool()
+                .map(RuleValue::Bool)
+                .ok_or_else(|| self.eval_err(star, "boolean operator on non-boolean"));
+        }
+        let lv = self.eval_expr(l, env, star)?;
+        let rv = self.eval_expr(r, env, star)?;
+        Ok(match op {
+            BinOp::Eq => RuleValue::Bool(self.loose_eq(&lv, &rv)),
+            BinOp::Ne => RuleValue::Bool(!self.loose_eq(&lv, &rv)),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let (a, b) = match (&lv, &rv) {
+                    (RuleValue::Int(a), RuleValue::Int(b)) => (*a, *b),
+                    _ => {
+                        return Err(self.eval_err(
+                            star,
+                            format!("ordering comparison on {} and {}", lv.kind(), rv.kind()),
+                        ))
+                    }
+                };
+                RuleValue::Bool(match op {
+                    BinOp::Lt => a < b,
+                    BinOp::Le => a <= b,
+                    BinOp::Gt => a > b,
+                    BinOp::Ge => a >= b,
+                    _ => unreachable!(),
+                })
+            }
+            BinOp::In => match &rv {
+                RuleValue::List(items) => RuleValue::Bool(items.contains(&lv)),
+                RuleValue::ColSet(cs) => match &lv {
+                    RuleValue::Cols(c) if c.len() == 1 => RuleValue::Bool(cs.contains(&c[0])),
+                    _ => return Err(self.eval_err(star, "'in' expects a column and a colset")),
+                },
+                _ => return Err(self.eval_err(star, "'in' expects a list on the right")),
+            },
+            BinOp::Subset => {
+                let a = self.as_preds(&lv, star);
+                let b = self.as_preds(&rv, star);
+                match (a, b) {
+                    (Ok(a), Ok(b)) => RuleValue::Bool(a.is_subset_of(b)),
+                    _ => {
+                        let a = self.as_colset(&lv, star)?;
+                        let b = self.as_colset(&rv, star)?;
+                        RuleValue::Bool(a.iter().all(|c| b.contains(c)))
+                    }
+                }
+            }
+            BinOp::Union | BinOp::Minus | BinOp::Intersect => self.set_op(op, &lv, &rv, star)?,
+            BinOp::And | BinOp::Or => unreachable!(),
+        })
+    }
+
+    /// `==` with symbol/string interchangeability (so rules can write
+    /// `storage_kind(T) == 'heap'` or `== heap`).
+    fn loose_eq(&self, a: &RuleValue, b: &RuleValue) -> bool {
+        match (a, b) {
+            (RuleValue::Str(x), RuleValue::Sym(y)) | (RuleValue::Sym(x), RuleValue::Str(y)) => {
+                x == y
+            }
+            _ => a == b,
+        }
+    }
+
+    fn set_op(&self, op: BinOp, l: &RuleValue, r: &RuleValue, star: &str) -> Result<RuleValue> {
+        // Predicate sets are the common case; `{}` is canonical empty preds
+        // and coerces to either side.
+        if let (Ok(a), Ok(b)) = (self.as_preds(l, star), self.as_preds(r, star)) {
+            return Ok(RuleValue::Preds(match op {
+                BinOp::Union => a.union(b),
+                BinOp::Minus => a.minus(b),
+                BinOp::Intersect => a.intersect(b),
+                _ => unreachable!(),
+            }));
+        }
+        // Column lists: ordered union/minus/intersect.
+        let a = self.as_cols(l, star)?;
+        let b = self.as_cols(r, star)?;
+        let out: Vec<QCol> = match op {
+            BinOp::Union => {
+                let mut v = a;
+                for c in b {
+                    if !v.contains(&c) {
+                        v.push(c);
+                    }
+                }
+                v
+            }
+            BinOp::Minus => a.into_iter().filter(|c| !b.contains(c)).collect(),
+            BinOp::Intersect => a.into_iter().filter(|c| b.contains(c)).collect(),
+            _ => unreachable!(),
+        };
+        Ok(RuleValue::Cols(Arc::new(out)))
+    }
+
+    // ---- coercions ------------------------------------------------------
+
+    pub fn as_preds(&self, v: &RuleValue, star: &str) -> Result<PredSet> {
+        match v {
+            RuleValue::Preds(p) => Ok(*p),
+            other => Err(self.eval_err(star, format!("expected preds, got {}", other.kind()))),
+        }
+    }
+
+    /// Ordered column list; `{}` (empty preds) coerces to the empty list.
+    pub fn as_cols(&self, v: &RuleValue, star: &str) -> Result<Vec<QCol>> {
+        match v {
+            RuleValue::Cols(c) => Ok(c.as_ref().clone()),
+            RuleValue::ColSet(c) => Ok(c.iter().copied().collect()),
+            RuleValue::Preds(p) if p.is_empty() => Ok(Vec::new()),
+            other => Err(self.eval_err(star, format!("expected columns, got {}", other.kind()))),
+        }
+    }
+
+    pub fn as_colset(
+        &self,
+        v: &RuleValue,
+        star: &str,
+    ) -> Result<std::collections::BTreeSet<QCol>> {
+        match v {
+            RuleValue::ColSet(c) => Ok(c.as_ref().clone()),
+            RuleValue::Cols(c) => Ok(c.iter().copied().collect()),
+            RuleValue::Preds(p) if p.is_empty() => Ok(Default::default()),
+            other => {
+                Err(self.eval_err(star, format!("expected column set, got {}", other.kind())))
+            }
+        }
+    }
+
+    // ---- LOLEPOP application ---------------------------------------------
+
+    /// Apply a LOLEPOP reference: map over the cartesian product of its SAP
+    /// arguments, building one plan node per combination. Combinations a
+    /// property function rejects are skipped (counted), not fatal — rules
+    /// offer alternatives, and illegal ones simply produce no plan.
+    fn apply_op(
+        &mut self,
+        name: &str,
+        args: &[RuleValue],
+        star: &str,
+    ) -> Result<Arc<Vec<PlanRef>>> {
+        let out = match name {
+            "ACCESS" => self.op_access(args, star)?,
+            "GET" => self.op_get(args, star)?,
+            "SORT" => {
+                let plans = self.arg_plans(args, 0, "SORT", star)?;
+                let key = self.as_cols(&args[1], star)?;
+                self.map_unary(&plans, |_| Lolepop::Sort { key: key.clone() })
+            }
+            "SHIP" => {
+                let plans = self.arg_plans(args, 0, "SHIP", star)?;
+                let to = match &args[1] {
+                    RuleValue::Site(s) => *s,
+                    other => {
+                        return Err(
+                            self.eval_err(star, format!("SHIP site: got {}", other.kind()))
+                        )
+                    }
+                };
+                self.map_unary(&plans, |_| Lolepop::Ship { to })
+            }
+            "STORE" => {
+                let plans = self.arg_plans(args, 0, "STORE", star)?;
+                self.map_unary(&plans, |_| Lolepop::Store)
+            }
+            "BUILD_INDEX" => {
+                let plans = self.arg_plans(args, 0, "BUILD_INDEX", star)?;
+                let key = self.as_cols(&args[1], star)?;
+                self.map_unary(&plans, |_| Lolepop::BuildIndex { key: key.clone() })
+            }
+            "FILTER" => {
+                let plans = self.arg_plans(args, 0, "FILTER", star)?;
+                let preds = self.as_preds(&args[1], star)?;
+                self.map_unary(&plans, |_| Lolepop::Filter { preds })
+            }
+            "JOIN" => self.op_join(args, star)?,
+            "UNION" => {
+                let l = self.arg_plans(args, 0, "UNION", star)?;
+                let r = self.arg_plans(args, 1, "UNION", star)?;
+                let mut out = Vec::new();
+                for a in l.iter() {
+                    for b in r.iter() {
+                        self.try_build(Lolepop::Union, vec![a.clone(), b.clone()], &mut out);
+                    }
+                }
+                out
+            }
+            ext => self.op_ext(ext, args, star)?,
+        };
+        Ok(Arc::new(dedup(out)))
+    }
+
+    fn arg_plans(
+        &self,
+        args: &[RuleValue],
+        i: usize,
+        op: &str,
+        star: &str,
+    ) -> Result<Arc<Vec<PlanRef>>> {
+        args.get(i)
+            .and_then(|v| v.plans().cloned())
+            .ok_or_else(|| self.eval_err(star, format!("{op}: argument {i} must be plans")))
+    }
+
+    fn try_build(&mut self, op: Lolepop, inputs: Vec<PlanRef>, out: &mut Vec<PlanRef>) {
+        let ctx = PropCtx::new(self.catalog, self.query, self.model);
+        match self.prop.build(op, inputs, &ctx) {
+            Ok(p) => {
+                self.stats.plans_built += 1;
+                out.push(p);
+            }
+            Err(_) => self.stats.plans_rejected += 1,
+        }
+    }
+
+    fn map_unary(
+        &mut self,
+        plans: &Arc<Vec<PlanRef>>,
+        mut op: impl FnMut(&PlanRef) -> Lolepop,
+    ) -> Vec<PlanRef> {
+        let mut out = Vec::new();
+        for p in plans.iter() {
+            let o = op(p);
+            self.try_build(o, vec![p.clone()], &mut out);
+        }
+        out
+    }
+
+    fn op_access(&mut self, args: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
+        if args.len() != 4 {
+            return Err(self.eval_err(star, "ACCESS takes (flavor, target, cols, preds)"));
+        }
+        let flavor = match &args[0] {
+            RuleValue::Sym(s) | RuleValue::Str(s) => s.clone(),
+            other => {
+                return Err(self.eval_err(star, format!("ACCESS flavor: got {}", other.kind())))
+            }
+        };
+        let preds = self.as_preds(&args[3], star)?;
+        let mut out = Vec::new();
+        match (&args[1], flavor.as_ref()) {
+            (RuleValue::Stream(s), "heap" | "btree") => {
+                let q = s.tables.as_single().ok_or_else(|| {
+                    self.eval_err(star, "base-table ACCESS requires a single-table stream")
+                })?;
+                let cols = match &args[2] {
+                    RuleValue::AllCols => {
+                        let t = self.catalog.table(self.query.quantifier(q).table);
+                        (0..t.columns.len() as u32).map(|c| QCol::new(q, ColId(c))).collect()
+                    }
+                    other => self.as_colset(other, star)?,
+                };
+                let spec = if flavor.as_ref() == "heap" {
+                    AccessSpec::HeapTable(q)
+                } else {
+                    AccessSpec::BTreeTable(q)
+                };
+                self.try_build(Lolepop::Access { spec, cols, preds }, vec![], &mut out);
+            }
+            (RuleValue::Index(ix, q), "index") => {
+                let cols = self.as_colset(&args[2], star)?;
+                self.try_build(
+                    Lolepop::Access {
+                        spec: AccessSpec::Index { index: *ix, q: *q },
+                        cols,
+                        preds,
+                    },
+                    vec![],
+                    &mut out,
+                );
+            }
+            (RuleValue::Plans(plans), "heap" | "temp") => {
+                for p in plans.iter() {
+                    let cols = match &args[2] {
+                        RuleValue::AllCols => p.props.cols.clone(),
+                        other => self.as_colset(other, star)?,
+                    };
+                    self.try_build(
+                        Lolepop::Access { spec: AccessSpec::TempHeap, cols, preds },
+                        vec![p.clone()],
+                        &mut out,
+                    );
+                }
+            }
+            (target, fl) => {
+                return Err(self.eval_err(
+                    star,
+                    format!("ACCESS: unsupported flavor {fl} on {}", target.kind()),
+                ))
+            }
+        }
+        Ok(out)
+    }
+
+    fn op_get(&mut self, args: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
+        if args.len() != 4 {
+            return Err(self.eval_err(star, "GET takes (input, table, cols, preds)"));
+        }
+        let input = self.arg_plans(args, 0, "GET", star)?;
+        let q = match &args[1] {
+            RuleValue::Stream(s) => s.tables.as_single().ok_or_else(|| {
+                self.eval_err(star, "GET requires a single-table stream parameter")
+            })?,
+            other => {
+                return Err(self.eval_err(star, format!("GET table: got {}", other.kind())))
+            }
+        };
+        let cols = match &args[2] {
+            RuleValue::AllCols => {
+                let t = self.catalog.table(self.query.quantifier(q).table);
+                (0..t.columns.len() as u32).map(|c| QCol::new(q, ColId(c))).collect()
+            }
+            other => self.as_colset(other, star)?,
+        };
+        let preds = self.as_preds(&args[3], star)?;
+        Ok(self.map_unary(&input, |_| Lolepop::Get { q, cols: cols.clone(), preds }))
+    }
+
+    fn op_join(&mut self, args: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
+        if args.len() != 5 {
+            return Err(self
+                .eval_err(star, "JOIN takes (flavor, outer, inner, join_preds, residual)"));
+        }
+        let flavor = match &args[0] {
+            RuleValue::Sym(s) | RuleValue::Str(s) => match s.as_ref() {
+                "NL" => JoinFlavor::NL,
+                "MG" => JoinFlavor::MG,
+                "HA" => JoinFlavor::HA,
+                other => {
+                    return Err(self.eval_err(star, format!("unknown JOIN flavor {other}")))
+                }
+            },
+            other => {
+                return Err(self.eval_err(star, format!("JOIN flavor: got {}", other.kind())))
+            }
+        };
+        let outer = self.arg_plans(args, 1, "JOIN", star)?;
+        let inner = self.arg_plans(args, 2, "JOIN", star)?;
+        let join_preds = self.as_preds(&args[3], star)?;
+        let residual = self.as_preds(&args[4], star)?;
+        let mut out = Vec::new();
+        for o in outer.iter() {
+            for i in inner.iter() {
+                self.try_build(
+                    Lolepop::Join { flavor, join_preds, residual },
+                    vec![o.clone(), i.clone()],
+                    &mut out,
+                );
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extension operators: SAP arguments become plan inputs (in order);
+    /// scalar arguments are packaged as `ExtArg`s.
+    fn op_ext(&mut self, name: &str, args: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
+        if !self.prop.has_ext(name) {
+            return Err(self.eval_err(star, format!("unknown operator {name}")));
+        }
+        let mut plan_args: Vec<Arc<Vec<PlanRef>>> = Vec::new();
+        let mut ext_args: Vec<ExtArg> = Vec::new();
+        for a in args {
+            match a {
+                RuleValue::Plans(p) => plan_args.push(p.clone()),
+                RuleValue::Preds(p) => ext_args.push(ExtArg::Preds(*p)),
+                RuleValue::Int(i) => ext_args.push(ExtArg::Int(*i)),
+                RuleValue::Str(s) | RuleValue::Sym(s) => {
+                    ext_args.push(ExtArg::Str(s.clone()))
+                }
+                RuleValue::Site(s) => ext_args.push(ExtArg::Site(*s)),
+                RuleValue::Cols(c) => ext_args.push(ExtArg::Cols(c.as_ref().clone())),
+                other => {
+                    return Err(self.eval_err(
+                        star,
+                        format!("{name}: unsupported argument {}", other.kind()),
+                    ))
+                }
+            }
+        }
+        let arity = plan_args.len();
+        let op = Lolepop::Ext { name: Arc::from(name), args: ext_args, arity };
+        // Cartesian product over SAP arguments.
+        let mut combos: Vec<Vec<PlanRef>> = vec![Vec::new()];
+        for sap in &plan_args {
+            let mut next = Vec::new();
+            for c in &combos {
+                for p in sap.iter() {
+                    let mut c2 = c.clone();
+                    c2.push(p.clone());
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
+        let mut out = Vec::new();
+        for inputs in combos {
+            self.try_build(op.clone(), inputs, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+impl Engine<'_> {
+    /// The recorded rule origin of a plan node, if any.
+    pub fn origin(&self, fingerprint: u64) -> Option<&str> {
+        self.provenance.get(&fingerprint).map(|s| s.as_str())
+    }
+}
+
+/// Drop structurally duplicate plans.
+pub fn dedup(plans: Vec<PlanRef>) -> Vec<PlanRef> {
+    let mut seen = std::collections::HashSet::new();
+    plans.into_iter().filter(|p| seen.insert(p.fingerprint())).collect()
+}
+
+/// Convenience: make a stream value.
+pub fn stream(tables: QSet) -> RuleValue {
+    RuleValue::Stream(StreamRef::new(tables))
+}

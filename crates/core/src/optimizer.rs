@@ -1,0 +1,200 @@
+//! The optimizer facade: rules in, plans out.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use starqo_catalog::Catalog;
+use starqo_plan::{CostModel, ExtPropFn, PlanRef, PropEngine};
+use starqo_query::Query;
+
+use crate::compile::{compile_into, CompileEnv};
+use crate::engine::{Engine, OptStats};
+use crate::enumerate::enumerate;
+use crate::error::Result;
+use crate::natives::Natives;
+use crate::rules::RuleSet;
+use crate::table::TableStats;
+
+/// Compile-time parameters of an optimization run (§2.3 and §4 describe all
+/// of these as parameters or rule conditions, not code).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct OptConfig {
+    /// Allow composite inners (bushy plans), e.g. `(A*B)*(C*D)`.
+    pub composite_inners: bool,
+    /// Consider Cartesian products between two streams of small estimated
+    /// cardinality.
+    pub cartesian: bool,
+    /// Glue returns all satisfying plans instead of only the cheapest.
+    pub glue_keep_all: bool,
+    /// Enabled optional strategy families, tested by rules via
+    /// `enabled('...')`: `hashjoin`, `force_projection`, `dynamic_index`,
+    /// `tid_sort`.
+    pub enabled: BTreeSet<String>,
+    /// ABLATION: disable STAR-reference memoization (every reference
+    /// re-expands). Quantifies §1's shared-fragment reuse.
+    pub ablate_memo: bool,
+    /// ABLATION: disable property-aware plan-table pruning (keep every
+    /// non-duplicate plan). Quantifies the System-R style dominance test.
+    pub ablate_pruning: bool,
+}
+
+
+impl OptConfig {
+    /// Enable an optional strategy family (chainable).
+    pub fn enable(mut self, feature: &str) -> Self {
+        self.enabled.insert(feature.to_string());
+        self
+    }
+
+    /// Everything on: bushy plans, Cartesian products, and all §4.5
+    /// extension strategies.
+    pub fn full() -> Self {
+        OptConfig {
+            composite_inners: true,
+            cartesian: true,
+            glue_keep_all: false,
+            enabled: ["hashjoin", "force_projection", "dynamic_index", "tid_sort"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            ablate_memo: false,
+            ablate_pruning: false,
+        }
+    }
+}
+
+/// The outcome of one optimization.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The chosen (cheapest) executable plan.
+    pub best: PlanRef,
+    /// All surviving alternatives for the full query (pre-final-Glue).
+    pub root_alternatives: Vec<PlanRef>,
+    /// Interpreter work counters.
+    pub stats: OptStats,
+    /// Plan-table churn counters.
+    pub table_stats: TableStats,
+    /// Plans retained in the plan table at the end.
+    pub table_plans: usize,
+    /// Relational keys in the plan table at the end.
+    pub table_keys: usize,
+    /// Rule provenance: node fingerprint → "Star[alt k]" (or "Glue") that
+    /// first produced it — §1's "traced to explain the origin of any
+    /// execution plan".
+    pub provenance: std::collections::HashMap<u64, String>,
+}
+
+impl Optimized {
+    /// The origin chain of a plan: one line per node, pre-order, annotated
+    /// with the rule alternative that produced it.
+    pub fn origin_trace(&self, plan: &PlanRef) -> Vec<String> {
+        let mut out = Vec::new();
+        plan.visit(&mut |n| {
+            let rule = self
+                .provenance
+                .get(&n.fingerprint())
+                .map(|s| s.as_str())
+                .unwrap_or("(driver)");
+            out.push(format!("{} <= {}", n.op.name(), rule));
+        });
+        out
+    }
+}
+
+/// A rule-driven query optimizer: a catalog, a cost model, a rule set
+/// compiled from DSL text, a native-function registry, and a
+/// property-function registry.
+pub struct Optimizer {
+    catalog: Arc<Catalog>,
+    model: CostModel,
+    rules: RuleSet,
+    natives: Natives,
+    prop: PropEngine,
+    ext_ops: BTreeSet<String>,
+}
+
+impl Optimizer {
+    /// An optimizer with the built-in rule files (§4's R\* strategy space
+    /// plus the §4.5 extensions, which stay dormant until enabled).
+    pub fn new(catalog: Arc<Catalog>) -> Result<Self> {
+        let mut opt = Self::empty(catalog);
+        opt.load_rules(crate::ACCESS_RULES)?;
+        opt.load_rules(crate::JOIN_RULES)?;
+        opt.load_rules(crate::EXTENSION_RULES)?;
+        Ok(opt)
+    }
+
+    /// An optimizer with no rules loaded (build your own repertoire).
+    pub fn empty(catalog: Arc<Catalog>) -> Self {
+        Optimizer {
+            catalog,
+            model: CostModel::default(),
+            rules: RuleSet::default(),
+            natives: Natives::builtin(),
+            prop: PropEngine::new(),
+            ext_ops: BTreeSet::new(),
+        }
+    }
+
+    /// Compile additional rule text into the rule set. Re-defining an
+    /// existing STAR *appends* alternatives (§4.5); new STARs simply become
+    /// referenceable.
+    pub fn load_rules(&mut self, text: &str) -> Result<()> {
+        let ast = starqo_dsl::parse_rules(text)?;
+        let env = CompileEnv { natives: &self.natives, ext_ops: &self.ext_ops };
+        compile_into(&mut self.rules, &ast, &env)
+    }
+
+    /// Register a new LOLEPOP (§5): name + property function. Rules loaded
+    /// afterwards may reference it like any built-in operator. The run-time
+    /// routine is registered separately with the executor.
+    pub fn register_ext_op(&mut self, name: &str, prop_fn: ExtPropFn) {
+        self.prop.register_ext(name, prop_fn);
+        self.ext_ops.insert(name.to_string());
+    }
+
+    /// Register a native condition/set function usable from rules.
+    pub fn register_native(&mut self, name: &str, f: crate::natives::NativeFn) {
+        self.natives.register(name, f);
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.model = model;
+    }
+
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Optimize one query under the given configuration.
+    pub fn optimize(&self, query: &Query, config: &OptConfig) -> Result<Optimized> {
+        let mut engine = Engine::new(
+            &self.rules,
+            &self.natives,
+            &self.prop,
+            &self.catalog,
+            query,
+            &self.model,
+            config,
+        );
+        let out = enumerate(&mut engine)?;
+        Ok(Optimized {
+            best: out.best,
+            root_alternatives: out.root_alternatives,
+            stats: engine.stats,
+            table_stats: engine.table.stats,
+            table_plans: engine.table.total_plans(),
+            table_keys: engine.table.total_keys(),
+            provenance: engine.provenance,
+        })
+    }
+}

@@ -1,0 +1,214 @@
+//! Rule-evaluation values.
+//!
+//! Everything a STAR parameter, `with`-binding, or native function can hold.
+//! The two load-bearing variants are [`RuleValue::Stream`] — a table
+//! (quantifier) set with its *accumulated required properties* (§3.2: "the
+//! requirements are accumulated until Glue is referenced") — and
+//! [`RuleValue::Plans`], the paper's SAP (Set of Alternative Plans, §2.2).
+
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use starqo_catalog::{IndexId, SiteId};
+use starqo_plan::PlanRef;
+use starqo_query::{PredSet, QCol, QSet};
+
+/// Accumulated required properties on a stream (§3.2). `T[site = s]` etc.
+/// append to this; only Glue discharges it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ReqVec {
+    /// Required tuple order.
+    pub order: Option<Vec<QCol>>,
+    /// Required delivery site.
+    pub site: Option<SiteId>,
+    /// Must be materialized as a temp.
+    pub temp: bool,
+    /// Required access path: an index whose key starts with these columns
+    /// (§4.5.3's `paths ⊇ IX`).
+    pub paths: Option<Vec<QCol>>,
+}
+
+impl ReqVec {
+    pub fn is_empty(&self) -> bool {
+        self.order.is_none() && self.site.is_none() && !self.temp && self.paths.is_none()
+    }
+}
+
+/// A stream argument: a quantifier set plus accumulated requirements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamRef {
+    pub tables: QSet,
+    pub reqs: ReqVec,
+}
+
+impl StreamRef {
+    pub fn new(tables: QSet) -> Self {
+        StreamRef { tables, reqs: ReqVec::default() }
+    }
+}
+
+/// A value during rule evaluation.
+#[derive(Debug, Clone)]
+pub enum RuleValue {
+    Bool(bool),
+    Int(i64),
+    Str(Arc<str>),
+    /// A bare symbol (unresolved identifier): LOLEPOP flavors (`NL`, `MG`,
+    /// `HA`, `heap`, `btree`, ...).
+    Sym(Arc<str>),
+    Site(SiteId),
+    /// An ordered column list (sort keys, index keys, ORDER requirements).
+    Cols(Arc<Vec<QCol>>),
+    /// An unordered column set (the C parameter of access STARs).
+    ColSet(Arc<BTreeSet<QCol>>),
+    /// A predicate set.
+    Preds(PredSet),
+    /// A stream: table set + accumulated requirements.
+    Stream(StreamRef),
+    /// A Set of Alternative Plans.
+    Plans(Arc<Vec<PlanRef>>),
+    /// A catalog index bound to the quantifier it serves (self-joins give
+    /// the same index different quantifiers).
+    Index(IndexId, starqo_query::QId),
+    /// Generic list (forall iterates it: sites, indexes, ...).
+    List(Arc<Vec<RuleValue>>),
+    /// `*` — all columns of the accessed object.
+    AllCols,
+}
+
+impl RuleValue {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RuleValue::Bool(_) => "bool",
+            RuleValue::Int(_) => "int",
+            RuleValue::Str(_) => "string",
+            RuleValue::Sym(_) => "symbol",
+            RuleValue::Site(_) => "site",
+            RuleValue::Cols(_) => "cols",
+            RuleValue::ColSet(_) => "colset",
+            RuleValue::Preds(_) => "preds",
+            RuleValue::Stream(_) => "stream",
+            RuleValue::Plans(_) => "plans",
+            RuleValue::Index(..) => "index",
+            RuleValue::List(_) => "list",
+            RuleValue::AllCols => "*",
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            RuleValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn plans(&self) -> Option<&Arc<Vec<PlanRef>>> {
+        match self {
+            RuleValue::Plans(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Digest for memoization: plans hash by structural fingerprint.
+    pub fn digest<H: Hasher>(&self, h: &mut H) {
+        std::mem::discriminant(self).hash(h);
+        match self {
+            RuleValue::Bool(b) => b.hash(h),
+            RuleValue::Int(i) => i.hash(h),
+            RuleValue::Str(s) | RuleValue::Sym(s) => s.hash(h),
+            RuleValue::Site(s) => s.hash(h),
+            RuleValue::Cols(c) => c.hash(h),
+            RuleValue::ColSet(c) => c.hash(h),
+            RuleValue::Preds(p) => p.hash(h),
+            RuleValue::Stream(s) => s.hash(h),
+            RuleValue::Plans(ps) => {
+                for p in ps.iter() {
+                    p.fingerprint().hash(h);
+                }
+            }
+            RuleValue::Index(i, q) => {
+                i.hash(h);
+                q.hash(h);
+            }
+            RuleValue::List(items) => {
+                for i in items.iter() {
+                    i.digest(h);
+                }
+            }
+            RuleValue::AllCols => {}
+        }
+    }
+}
+
+impl PartialEq for RuleValue {
+    fn eq(&self, other: &Self) -> bool {
+        use RuleValue::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Str(a), Str(b)) | (Sym(a), Sym(b)) => a == b,
+            (Site(a), Site(b)) => a == b,
+            (Cols(a), Cols(b)) => a == b,
+            (ColSet(a), ColSet(b)) => a == b,
+            (Preds(a), Preds(b)) => a == b,
+            (Stream(a), Stream(b)) => a == b,
+            (Plans(a), Plans(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|(x, y)| x.fingerprint() == y.fingerprint())
+            }
+            (Index(a, qa), Index(b, qb)) => a == b && qa == qb,
+            (List(a), List(b)) => a == b,
+            (AllCols, AllCols) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for RuleValue {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starqo_catalog::ColId;
+    use starqo_query::QId;
+
+    #[test]
+    fn reqvec_emptiness() {
+        let mut r = ReqVec::default();
+        assert!(r.is_empty());
+        r.temp = true;
+        assert!(!r.is_empty());
+        let mut r2 = ReqVec::default();
+        r2.order = Some(vec![QCol::new(QId(0), ColId(0))]);
+        assert!(!r2.is_empty());
+    }
+
+    #[test]
+    fn value_equality_and_kinds() {
+        assert_eq!(RuleValue::Int(3), RuleValue::Int(3));
+        assert_ne!(RuleValue::Int(3), RuleValue::Bool(true));
+        assert_eq!(RuleValue::Sym("NL".into()), RuleValue::Sym("NL".into()));
+        assert_ne!(RuleValue::Sym("NL".into()), RuleValue::Str("NL".into()));
+        assert_eq!(RuleValue::AllCols.kind(), "*");
+        assert_eq!(RuleValue::Preds(PredSet::EMPTY).kind(), "preds");
+    }
+
+    #[test]
+    fn digest_distinguishes() {
+        fn d(v: &RuleValue) -> u64 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            v.digest(&mut h);
+            h.finish()
+        }
+        assert_ne!(d(&RuleValue::Int(1)), d(&RuleValue::Int(2)));
+        assert_eq!(
+            d(&RuleValue::Stream(StreamRef::new(QSet::single(QId(1))))),
+            d(&RuleValue::Stream(StreamRef::new(QSet::single(QId(1)))))
+        );
+        assert_ne!(
+            d(&RuleValue::Stream(StreamRef::new(QSet::single(QId(1))))),
+            d(&RuleValue::Stream(StreamRef::new(QSet::single(QId(2)))))
+        );
+    }
+}

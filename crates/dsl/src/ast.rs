@@ -1,0 +1,114 @@
+//! The STAR rule AST.
+
+/// A parsed rule file: an ordered list of STAR definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleFileAst {
+    pub stars: Vec<StarDefAst>,
+}
+
+/// One STAR definition (§2.2): a named, parametrized non-terminal with
+/// optional `with` bindings and one or more alternative definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarDefAst {
+    pub name: String,
+    pub params: Vec<String>,
+    /// `with x = e, y = e` bindings, evaluated before the alternatives
+    /// (the paper's "where" clauses).
+    pub bindings: Vec<(String, ExprAst)>,
+    pub body: BodyAst,
+    pub line: u32,
+}
+
+/// The body of a STAR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyAst {
+    /// `[ alts ]` (inclusive) or `{ alts }` (exclusive, first match wins).
+    Alts { exclusive: bool, alts: Vec<AltAst> },
+    /// A single alternative with no brackets.
+    Single(AltAst),
+}
+
+impl BodyAst {
+    pub fn alternatives(&self) -> &[AltAst] {
+        match self {
+            BodyAst::Alts { alts, .. } => alts,
+            BodyAst::Single(a) => std::slice::from_ref(a),
+        }
+    }
+
+    pub fn exclusive(&self) -> bool {
+        matches!(self, BodyAst::Alts { exclusive: true, .. })
+    }
+}
+
+/// One alternative definition: optional ∀-binder, the plan expression, and
+/// an optional condition of applicability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AltAst {
+    pub forall: Option<(String, ExprAst)>,
+    pub expr: ExprAst,
+    pub guard: GuardAst,
+    pub line: u32,
+}
+
+/// The condition of applicability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardAst {
+    None,
+    If(ExprAst),
+    Otherwise,
+}
+
+/// Required-property annotations: `T[order = e, site = e, temp, paths >= e]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReqAst {
+    Order(ExprAst),
+    Site(ExprAst),
+    Temp,
+    Paths(ExprAst),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpAst {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    In,
+    Subset,
+    Union,
+    Minus,
+    Intersect,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    Num(i64),
+    Str(String),
+    /// A parameter, binding, or bare symbol (LOLEPOP flavors like `NL` are
+    /// bare symbols resolved by the compiler).
+    Ident(String),
+    /// `*` — all columns of the accessed stream (§4.5.2).
+    AllCols,
+    /// `{}` — the empty set.
+    EmptySet,
+    /// `name(args...)`: a STAR, LOLEPOP, Glue, or native-function reference.
+    Call(String, Vec<ExprAst>),
+    Binary(BinOpAst, Box<ExprAst>, Box<ExprAst>),
+    Not(Box<ExprAst>),
+    /// `expr[reqs]` — attach required properties to a stream.
+    WithReqs(Box<ExprAst>, Vec<ReqAst>),
+}
+
+impl ExprAst {
+    /// Convenience: is this a call to the given name?
+    pub fn is_call_to(&self, name: &str) -> bool {
+        matches!(self, ExprAst::Call(n, _) if n == name)
+    }
+}

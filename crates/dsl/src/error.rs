@@ -1,0 +1,27 @@
+//! DSL syntax errors with source positions.
+
+use std::fmt;
+
+/// A syntax error, with 1-based line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    pub msg: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+pub type Result<T> = std::result::Result<T, DslError>;
+
+impl DslError {
+    pub fn new(msg: impl Into<String>, line: u32, col: u32) -> Self {
+        DslError { msg: msg.into(), line, col }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule syntax error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for DslError {}

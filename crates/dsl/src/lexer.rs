@@ -1,0 +1,329 @@
+//! The rule-file lexer.
+
+use crate::error::{DslError, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Num(i64),
+    Str(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    EmptySet, // "{}"
+    Comma,
+    Semi,
+    Colon,
+    Assign,   // =
+    EqEq,     // ==
+    Ne,       // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PathsGe,  // >= inside requirement lists is the same token as Ge
+    Minus,
+    Amp,
+    Star,     // *
+    Eof,
+}
+
+/// A token with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Lex a whole rule file. `//` and `--` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($t:expr, $l:expr, $c:expr) => {
+            out.push(Token { tok: $t, line: $l, col: $c })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (l0, c0) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                // ASCII-only identifiers: a byte-wise scan must never step
+                // into the middle of a multi-byte UTF-8 sequence.
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()), l0, c0);
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let n: i64 = src[start..i]
+                    .parse()
+                    .map_err(|_| DslError::new("number too large", l0, c0))?;
+                push!(Tok::Num(n), l0, c0);
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                i += 1;
+                col += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != quote && bytes[i] != b'\n' {
+                    i += 1;
+                    col += 1;
+                }
+                if i >= bytes.len() || bytes[i] != quote {
+                    return Err(DslError::new("unterminated string", l0, c0));
+                }
+                push!(Tok::Str(src[start..i].to_string()), l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push!(Tok::LParen, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '{' => {
+                // "{}" is the empty-set literal.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\t') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'}' {
+                    push!(Tok::EmptySet, l0, c0);
+                    col += (j + 1 - i) as u32;
+                    i = j + 1;
+                } else {
+                    push!(Tok::LBrace, l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '}' => {
+                push!(Tok::RBrace, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(Tok::Semi, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push!(Tok::Colon, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq, l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Assign, l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ne, l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(DslError::new("unexpected '!'", l0, c0));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le, l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt, l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge, l0, c0);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt, l0, c0);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '-' => {
+                push!(Tok::Minus, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '&' => {
+                push!(Tok::Amp, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(Tok::Star, l0, c0);
+                i += 1;
+                col += 1;
+            }
+            other => {
+                return Err(DslError::new(format!("unexpected character {other:?}"), l0, c0));
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_basic_star_header() {
+        let k = kinds("star JoinRoot(T1, T2, P) = [");
+        assert_eq!(
+            k,
+            vec![
+                Tok::Ident("star".into()),
+                Tok::Ident("JoinRoot".into()),
+                Tok::LParen,
+                Tok::Ident("T1".into()),
+                Tok::Comma,
+                Tok::Ident("T2".into()),
+                Tok::Comma,
+                Tok::Ident("P".into()),
+                Tok::RParen,
+                Tok::Assign,
+                Tok::LBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_set_vs_brace() {
+        assert_eq!(kinds("{}")[0], Tok::EmptySet);
+        assert_eq!(kinds("{ }")[0], Tok::EmptySet);
+        assert_eq!(kinds("{ x }")[0], Tok::LBrace);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a // comment\nb -- another\nc");
+        assert_eq!(k.len(), 4); // a b c EOF
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("== != <= >= < > = - & *");
+        assert_eq!(
+            k,
+            vec![
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::Minus,
+                Tok::Amp,
+                Tok::Star,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        let k = kinds("'heap' \"btree\" 42");
+        assert_eq!(
+            k,
+            vec![Tok::Str("heap".into()), Tok::Str("btree".into()), Tok::Num(42), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_reported() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a $ b").is_err());
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # starqo-dsl
+//!
+//! The textual STAR rule language — the concrete realization of the paper's
+//! extensibility promise that strategy rules "may be input as data to the
+//! optimizer" (§1) so that "new STARs can be added to that file without
+//! impacting the Starburst system code at all" (§5, [LEE 88]).
+//!
+//! This crate is pure syntax: a lexer, a recursive-descent parser, and an
+//! AST. It knows nothing about plans or catalogs; `starqo-core` lowers the
+//! AST into executable rule structures, resolving names against its LOLEPOP
+//! templates and native-function registry.
+//!
+//! ## Language
+//!
+//! ```text
+//! // The paper's §4.1 join-permutation STAR:
+//! star JoinRoot(T1, T2, P) = [
+//!     PermutedJoin(T1, T2, P);
+//!     PermutedJoin(T2, T1, P);
+//! ]
+//!
+//! // §4.4, with bindings, an exclusive body, guards, requirements:
+//! star JMeth(T1, T2, P) =
+//!     with JP = join_preds(P),
+//!          IP = inner_preds(P, T2),
+//!          SP = sortable_preds(join_preds(P), T1, T2)
+//!     [
+//!         JOIN(NL, Glue(T1, {}), Glue(T2, JP union IP), JP, P - (JP union IP));
+//!         JOIN(MG, Glue(T1[order = cols(SP, T1)], {}),
+//!                  Glue(T2[order = cols(SP, T2)], IP),
+//!                  SP, P - (IP union SP))                  if not is_empty(SP);
+//!     ]
+//! ```
+//!
+//! * `[ ... ]` encloses *inclusive* alternatives, `{ ... }` *exclusive* ones
+//!   (first guard that holds wins) — the paper's square-vs-curly brackets.
+//! * `forall x in e : body` maps an alternative over a set (§2.2's ∀).
+//! * `T[order = e, site = e, temp, paths >= e]` attaches required
+//!   properties to a stream argument (§3.2's bracket notation).
+//! * `{}` is the empty set, `*` means "all columns" (§4.5.2).
+//! * Set operators: `union`, `-`, `&`; comparisons `== != < <= > >=`,
+//!   `in`, `subset`; boolean `and`, `or`, `not`; guards `if` / `otherwise`.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AltAst, BinOpAst, BodyAst, ExprAst, GuardAst, ReqAst, RuleFileAst, StarDefAst};
+pub use error::{DslError, Result};
+pub use parser::parse_rules;

@@ -1,0 +1,477 @@
+//! Recursive-descent parser for rule files.
+
+use crate::ast::{
+    AltAst, BinOpAst, BodyAst, ExprAst, GuardAst, ReqAst, RuleFileAst, StarDefAst,
+};
+use crate::error::{DslError, Result};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse a rule file into its AST.
+pub fn parse_rules(src: &str) -> Result<RuleFileAst> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let mut stars = Vec::new();
+    while !p.at_eof() {
+        stars.push(p.star_def()?);
+    }
+    Ok(RuleFileAst { stars })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn cur(&self) -> &Token {
+        &self.toks[self.at.min(self.toks.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.cur().tok == Tok::Eof
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DslError {
+        let t = self.cur();
+        DslError::new(msg, t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.cur().clone();
+        self.at += 1;
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if &self.cur().tok == t {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<()> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.cur().tok)))
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.cur().tok, Tok::Ident(w) if w == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump().tok {
+            Tok::Ident(w) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn star_def(&mut self) -> Result<StarDefAst> {
+        let line = self.cur().line;
+        if !self.eat_kw("star") {
+            return Err(self.err("expected 'star'"));
+        }
+        let name = self.ident()?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma, "',' or ')'")?;
+            }
+        }
+        self.expect(Tok::Assign, "'='")?;
+        let mut bindings = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let n = self.ident()?;
+                self.expect(Tok::Assign, "'=' in with-binding")?;
+                let e = self.expr()?;
+                bindings.push((n, e));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.body()?;
+        Ok(StarDefAst { name, params, bindings, body, line })
+    }
+
+    fn body(&mut self) -> Result<BodyAst> {
+        if self.eat(&Tok::LBracket) {
+            let alts = self.alts(&Tok::RBracket)?;
+            Ok(BodyAst::Alts { exclusive: false, alts })
+        } else if self.eat(&Tok::LBrace) {
+            let alts = self.alts(&Tok::RBrace)?;
+            Ok(BodyAst::Alts { exclusive: true, alts })
+        } else {
+            let a = self.alt()?;
+            self.eat(&Tok::Semi);
+            Ok(BodyAst::Single(a))
+        }
+    }
+
+    fn alts(&mut self, close: &Tok) -> Result<Vec<AltAst>> {
+        let mut out = Vec::new();
+        while !self.eat(close) {
+            if self.at_eof() {
+                return Err(self.err("unterminated alternative list"));
+            }
+            let a = self.alt()?;
+            self.expect(Tok::Semi, "';' after alternative")?;
+            out.push(a);
+        }
+        if out.is_empty() {
+            return Err(self.err("empty alternative list"));
+        }
+        Ok(out)
+    }
+
+    fn alt(&mut self) -> Result<AltAst> {
+        let line = self.cur().line;
+        let forall = if self.eat_kw("forall") {
+            let var = self.ident()?;
+            if !self.eat_kw("in") {
+                return Err(self.err("expected 'in' after forall variable"));
+            }
+            let set = self.expr()?;
+            self.expect(Tok::Colon, "':' after forall set")?;
+            Some((var, set))
+        } else {
+            None
+        };
+        let expr = self.expr()?;
+        let guard = if self.eat_kw("if") {
+            GuardAst::If(self.expr()?)
+        } else if self.eat_kw("otherwise") {
+            GuardAst::Otherwise
+        } else {
+            GuardAst::None
+        };
+        Ok(AltAst { forall, expr, guard, line })
+    }
+
+    // Precedence: or < and < not < cmp < set-ops < postfix < primary.
+    fn expr(&mut self) -> Result<ExprAst> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst> {
+        let mut e = self.and_expr()?;
+        while self.at_kw("or") {
+            self.at += 1;
+            let r = self.and_expr()?;
+            e = ExprAst::Binary(BinOpAst::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst> {
+        let mut e = self.not_expr()?;
+        while self.at_kw("and") {
+            self.at += 1;
+            let r = self.not_expr()?;
+            e = ExprAst::Binary(BinOpAst::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<ExprAst> {
+        if self.eat_kw("not") {
+            let e = self.not_expr()?;
+            return Ok(ExprAst::Not(Box::new(e)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst> {
+        let e = self.set_expr()?;
+        let op = match &self.cur().tok {
+            Tok::EqEq => Some(BinOpAst::Eq),
+            Tok::Ne => Some(BinOpAst::Ne),
+            Tok::Lt => Some(BinOpAst::Lt),
+            Tok::Le => Some(BinOpAst::Le),
+            Tok::Gt => Some(BinOpAst::Gt),
+            Tok::Ge => Some(BinOpAst::Ge),
+            Tok::Ident(w) if w == "in" => Some(BinOpAst::In),
+            Tok::Ident(w) if w == "subset" => Some(BinOpAst::Subset),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.at += 1;
+            let r = self.set_expr()?;
+            return Ok(ExprAst::Binary(op, Box::new(e), Box::new(r)));
+        }
+        Ok(e)
+    }
+
+    fn set_expr(&mut self) -> Result<ExprAst> {
+        let mut e = self.postfix()?;
+        loop {
+            let op = match &self.cur().tok {
+                Tok::Minus => BinOpAst::Minus,
+                Tok::Amp => BinOpAst::Intersect,
+                Tok::Ident(w) if w == "union" => BinOpAst::Union,
+                _ => break,
+            };
+            self.at += 1;
+            let r = self.postfix()?;
+            e = ExprAst::Binary(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    /// Is the `[` at the current position the start of a requirements list
+    /// (as opposed to a bracketed alternative body following a with-binding)?
+    /// Requirements start with one of the four property keywords followed by
+    /// `=`, `>=`, `,` or `]`; a body alternative never does.
+    fn at_requirements(&self) -> bool {
+        if self.cur().tok != Tok::LBracket {
+            return false;
+        }
+        let next = &self.toks[(self.at + 1).min(self.toks.len() - 1)].tok;
+        let after = &self.toks[(self.at + 2).min(self.toks.len() - 1)].tok;
+        match next {
+            Tok::Ident(w) if w == "order" || w == "site" => *after == Tok::Assign,
+            Tok::Ident(w) if w == "temp" => {
+                matches!(after, Tok::Comma | Tok::RBracket)
+            }
+            Tok::Ident(w) if w == "paths" => *after == Tok::Ge,
+            _ => false,
+        }
+    }
+
+    fn postfix(&mut self) -> Result<ExprAst> {
+        let mut e = self.primary()?;
+        while self.at_requirements() && self.eat(&Tok::LBracket) {
+            let mut reqs = Vec::new();
+            loop {
+                reqs.push(self.req()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket, "']' after requirements")?;
+            e = ExprAst::WithReqs(Box::new(e), reqs);
+        }
+        Ok(e)
+    }
+
+    fn req(&mut self) -> Result<ReqAst> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "order" => {
+                self.expect(Tok::Assign, "'=' after 'order'")?;
+                Ok(ReqAst::Order(self.expr()?))
+            }
+            "site" => {
+                self.expect(Tok::Assign, "'=' after 'site'")?;
+                Ok(ReqAst::Site(self.expr()?))
+            }
+            "temp" => Ok(ReqAst::Temp),
+            "paths" => {
+                self.expect(Tok::Ge, "'>=' after 'paths'")?;
+                Ok(ReqAst::Paths(self.expr()?))
+            }
+            other => Err(self.err(format!(
+                "unknown required property '{other}' (expected order/site/temp/paths)"
+            ))),
+        }
+    }
+
+    fn primary(&mut self) -> Result<ExprAst> {
+        match self.bump().tok {
+            Tok::Num(n) => Ok(ExprAst::Num(n)),
+            Tok::Str(s) => Ok(ExprAst::Str(s)),
+            Tok::Star => Ok(ExprAst::AllCols),
+            Tok::EmptySet => Ok(ExprAst::EmptySet),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma, "',' or ')' in argument list")?;
+                        }
+                    }
+                    Ok(ExprAst::Call(name, args))
+                } else {
+                    Ok(ExprAst::Ident(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_join_root() {
+        let f = parse_rules(
+            "star JoinRoot(T1, T2, P) = [\n  PermutedJoin(T1, T2, P);\n  PermutedJoin(T2, T1, P);\n]",
+        )
+        .unwrap();
+        assert_eq!(f.stars.len(), 1);
+        let s = &f.stars[0];
+        assert_eq!(s.name, "JoinRoot");
+        assert_eq!(s.params, vec!["T1", "T2", "P"]);
+        assert!(!s.body.exclusive());
+        assert_eq!(s.body.alternatives().len(), 2);
+        assert!(s.body.alternatives()[0].expr.is_call_to("PermutedJoin"));
+    }
+
+    #[test]
+    fn parses_exclusive_body_with_guards() {
+        let f = parse_rules(
+            "star SitedJoin(T1, T2, P) = {\n\
+               JMeth(T1, T2[temp], P)  if count(T2) > 1 or current_site(T2) != required_site(T2);\n\
+               JMeth(T1, T2, P)        otherwise;\n\
+             }",
+        )
+        .unwrap();
+        let s = &f.stars[0];
+        assert!(s.body.exclusive());
+        let alts = s.body.alternatives();
+        assert!(matches!(alts[0].guard, GuardAst::If(_)));
+        assert!(matches!(alts[1].guard, GuardAst::Otherwise));
+        // T2[temp] parsed as WithReqs.
+        if let ExprAst::Call(_, args) = &alts[0].expr {
+            assert!(matches!(&args[1], ExprAst::WithReqs(_, reqs) if reqs == &vec![ReqAst::Temp]));
+        } else {
+            panic!("expected call");
+        }
+    }
+
+    #[test]
+    fn parses_forall() {
+        let f = parse_rules(
+            "star PermutedJoin(T1, T2, P) = {\n\
+               SitedJoin(T1, T2, P) if local_query();\n\
+               forall s in candidate_sites(): RemoteJoin(T1, T2, P, s);\n\
+             }",
+        )
+        .unwrap();
+        let alts = f.stars[0].body.alternatives();
+        assert!(alts[0].forall.is_none());
+        let (var, set) = alts[1].forall.as_ref().unwrap();
+        assert_eq!(var, "s");
+        assert!(set.is_call_to("candidate_sites"));
+    }
+
+    #[test]
+    fn parses_with_bindings_and_set_ops() {
+        let f = parse_rules(
+            "star JMeth(T1, T2, P) =\n\
+               with JP = join_preds(P), IP = inner_preds(P, T2)\n\
+               [ JOIN(NL, Glue(T1, {}), Glue(T2, JP union IP), JP, P - (JP union IP)); ]",
+        )
+        .unwrap();
+        let s = &f.stars[0];
+        assert_eq!(s.bindings.len(), 2);
+        assert_eq!(s.bindings[0].0, "JP");
+        let alt = &s.body.alternatives()[0];
+        if let ExprAst::Call(name, args) = &alt.expr {
+            assert_eq!(name, "JOIN");
+            assert_eq!(args.len(), 5);
+            assert!(matches!(args[0], ExprAst::Ident(ref n) if n == "NL"));
+            assert!(matches!(args[1], ExprAst::Call(ref n, _) if n == "Glue"));
+            assert!(matches!(
+                args[4],
+                ExprAst::Binary(BinOpAst::Minus, _, _)
+            ));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parses_requirements_with_expressions() {
+        let f = parse_rules(
+            "star R(T, s) = Glue(T[order = cols(sp(), T), site = s, paths >= ix(T)], {});",
+        )
+        .unwrap();
+        let alt = &f.stars[0].body.alternatives()[0];
+        if let ExprAst::Call(_, args) = &alt.expr {
+            if let ExprAst::WithReqs(_, reqs) = &args[0] {
+                assert_eq!(reqs.len(), 3);
+                assert!(matches!(reqs[0], ReqAst::Order(_)));
+                assert!(matches!(reqs[1], ReqAst::Site(_)));
+                assert!(matches!(reqs[2], ReqAst::Paths(_)));
+                return;
+            }
+        }
+        panic!("requirements not parsed");
+    }
+
+    #[test]
+    fn parses_all_cols_star() {
+        let f =
+            parse_rules("star F(T2, IP, JP) = TableAccess(Glue(T2[temp], IP), *, JP);").unwrap();
+        let alt = &f.stars[0].body.alternatives()[0];
+        if let ExprAst::Call(_, args) = &alt.expr {
+            assert_eq!(args[1], ExprAst::AllCols);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let f = parse_rules("star C(a, b, c) = x() if a and not b or c;").unwrap();
+        let alt = &f.stars[0].body.alternatives()[0];
+        // (a and (not b)) or c
+        if let GuardAst::If(ExprAst::Binary(BinOpAst::Or, l, _)) = &alt.guard {
+            assert!(matches!(**l, ExprAst::Binary(BinOpAst::And, _, _)));
+        } else {
+            panic!("wrong precedence: {:?}", alt.guard);
+        }
+    }
+
+    #[test]
+    fn multiple_stars_in_one_file() {
+        let f = parse_rules(
+            "star A(x) = f(x);\n// comment between\nstar B(y) = [ g(y); h(y); ]",
+        )
+        .unwrap();
+        assert_eq!(f.stars.len(), 2);
+        assert_eq!(f.stars[1].body.alternatives().len(), 2);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse_rules("star A(x) = [ f(x) ]").unwrap_err(); // missing ';'
+        assert!(e.line >= 1 && e.col >= 1);
+        assert!(parse_rules("star A = f();").is_err()); // missing params
+        assert!(parse_rules("star A(x) = [ ]").is_err()); // empty alts
+        assert!(parse_rules("notstar A(x) = f(x);").is_err());
+        assert!(parse_rules("star A(x) = T[weird = 1];").is_err());
+        assert!(parse_rules("star A(x) = f(x").is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Parser robustness: arbitrary input never panics (errors are fine), and
+//! generated well-formed rules always parse to the expected shape.
+
+use proptest::prelude::*;
+use starqo_dsl::{parse_rules, BodyAst, ExprAst};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "star" | "with" | "forall" | "in" | "if" | "otherwise" | "not" | "and" | "or"
+                | "union" | "subset" | "order" | "site" | "temp" | "paths"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary text: the parser returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_rules(&input);
+    }
+
+    /// Arbitrary near-grammar soup (denser in meaningful tokens).
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("star".to_string()), Just("(".into()), Just(")".into()),
+                Just("[".into()), Just("]".into()), Just("{".into()), Just("}".into()),
+                Just("{}".into()), Just(";".into()), Just(",".into()), Just("=".into()),
+                Just("if".into()), Just("otherwise".into()), Just("forall".into()),
+                Just("in".into()), Just(":".into()), Just("with".into()),
+                Just("union".into()), Just("-".into()), Just("Glue".into()),
+                Just("JOIN".into()), Just("T1".into()), Just("42".into()),
+                Just("'x'".into()), Just("*".into()),
+            ],
+            0..40,
+        )
+    ) {
+        let _ = parse_rules(&tokens.join(" "));
+    }
+
+    /// Generated well-formed single-alternative stars always parse.
+    #[test]
+    fn wellformed_rules_parse(
+        name in ident(),
+        params in prop::collection::vec(ident(), 1..4),
+        callee in ident(),
+        guarded in any::<bool>(),
+        exclusive in any::<bool>(),
+    ) {
+        prop_assume!(params.iter().collect::<std::collections::HashSet<_>>().len() == params.len());
+        let args = params.join(", ");
+        let body = format!("{callee}({args})");
+        let alt = if guarded { format!("{body} if is_empty({})", params[0]) } else { body };
+        let (open, close) = if exclusive { ("{", "}") } else { ("[", "]") };
+        let text = format!("star {name}({args}) = {open} {alt}; {close}");
+        let file = parse_rules(&text).unwrap();
+        prop_assert_eq!(file.stars.len(), 1);
+        let star = &file.stars[0];
+        prop_assert_eq!(&star.name, &name);
+        prop_assert_eq!(&star.params, &params);
+        prop_assert_eq!(star.body.exclusive(), exclusive);
+        match &star.body {
+            BodyAst::Alts { alts, .. } => {
+                prop_assert_eq!(alts.len(), 1);
+                prop_assert!(matches!(&alts[0].expr, ExprAst::Call(n, a)
+                    if n == &callee && a.len() == params.len()));
+            }
+            BodyAst::Single(_) => prop_assert!(false, "expected bracketed body"),
+        }
+    }
+}

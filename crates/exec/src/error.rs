@@ -1,0 +1,39 @@
+//! Evaluator errors.
+
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub enum ExecError {
+    Storage(starqo_storage::StorageError),
+    /// A column referenced at run time is neither in the stream schema nor
+    /// bound by an enclosing nested-loop join.
+    UnboundColumn(String),
+    /// A plan shape the evaluator cannot run (should have been rejected by
+    /// the property functions).
+    BadPlan(String),
+    /// Extension operator with no registered execution routine.
+    UnknownExtOp(String),
+}
+
+pub type Result<T> = std::result::Result<T, ExecError>;
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::UnboundColumn(c) => write!(f, "unbound column {c}"),
+            ExecError::BadPlan(msg) => write!(f, "unexecutable plan: {msg}"),
+            ExecError::UnknownExtOp(n) => {
+                write!(f, "no execution routine registered for extension op {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<starqo_storage::StorageError> for ExecError {
+    fn from(e: starqo_storage::StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}

@@ -1,0 +1,678 @@
+//! The recursive plan evaluator.
+//!
+//! The evaluator materializes each operator's output. Correlation-free
+//! subtrees under `STORE` / `SORT` / `BUILD_INDEX` are cached by node
+//! identity, so a temp feeding a nested-loop inner is materialized exactly
+//! once — the property the paper's §4.5.2 STAR is careful to guarantee
+//! ("prevent the temp from being re-materialized for each outer tuple").
+//! Streams carrying pushed-down join predicates *are* re-evaluated per outer
+//! tuple, which is precisely nested-loop semantics.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use starqo_catalog::{TID_COL, Value};
+use starqo_plan::{AccessSpec, JoinFlavor, Lolepop, PlanNode, PlanRef};
+use starqo_query::{Classifier, CmpOp, PredSet, QCol, QId, Query, Scalar};
+use starqo_storage::{Database, Tid, Tuple, ROWS_PER_PAGE};
+
+use crate::error::{ExecError, Result};
+use crate::result::{project_rows, QueryResult};
+use crate::scalar::{eval_preds, eval_scalar, Bindings, RowView};
+use crate::schema::{cols_schema, position, schema_of, StreamSchema};
+
+/// A lazily built in-memory index over a cached temp: key values → row
+/// numbers within the cached materialization.
+type TempIndex = Arc<BTreeMap<Vec<Value>, Vec<usize>>>;
+
+/// Simulated resource counters, mirroring the cost model's components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Heap/index pages scanned.
+    pub pages_read: u64,
+    /// Individual tuple fetches performed by `GET`.
+    pub tuples_fetched: u64,
+    /// Messages sent by `SHIP`.
+    pub msgs: u64,
+    /// Bytes shipped.
+    pub bytes_shipped: u64,
+    /// Temp materializations performed (cache misses).
+    pub temps_built: u64,
+    /// Dynamic indexes built.
+    pub indexes_built: u64,
+    /// Index probes.
+    pub probes: u64,
+    /// Rows produced by the root operator.
+    pub rows_out: u64,
+}
+
+/// Execution routine for an extension LOLEPOP (§5): receives each input's
+/// (schema, rows), the output schema, and must produce output rows.
+pub type ExtExecFn = Arc<
+    dyn Fn(&Query, &Lolepop, &[(StreamSchema, Vec<Tuple>)], &StreamSchema) -> Result<Vec<Tuple>>
+        + Send
+        + Sync,
+>;
+
+/// The plan evaluator for one database.
+pub struct Executor<'a> {
+    db: &'a Database,
+    query: &'a Query,
+    ext: HashMap<String, ExtExecFn>,
+    stats: ExecStats,
+    /// Materialization cache for correlation-free STORE/SORT subtrees.
+    temp_cache: HashMap<usize, Arc<Vec<Tuple>>>,
+    /// Dynamic index cache: (store node, key) → key-values → row numbers.
+    index_cache: HashMap<(usize, Vec<QCol>), TempIndex>,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(db: &'a Database, query: &'a Query) -> Self {
+        Executor {
+            db,
+            query,
+            ext: HashMap::new(),
+            stats: ExecStats::default(),
+            temp_cache: HashMap::new(),
+            index_cache: HashMap::new(),
+        }
+    }
+
+    /// Register the run-time routine for an extension LOLEPOP.
+    pub fn register_ext(&mut self, name: &str, f: ExtExecFn) {
+        self.ext.insert(name.to_string(), f);
+    }
+
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Execute a plan and project onto the query's select list (or the
+    /// plan's full schema when the query selects `*`).
+    pub fn run(&mut self, plan: &PlanRef) -> Result<QueryResult> {
+        let bindings = Bindings::new();
+        let rows = self.eval(plan, &bindings)?;
+        self.stats.rows_out = rows.len() as u64;
+        let schema = schema_of(plan);
+        if self.query.select.is_empty() {
+            return Ok(QueryResult { schema, rows });
+        }
+        let want = self.query.select.clone();
+        let projected = project_rows(&schema, &rows, &want)?;
+        Ok(QueryResult { schema: want, rows: projected })
+    }
+
+    /// Evaluate one node under the given outer bindings.
+    pub fn eval(&mut self, node: &PlanNode, bindings: &Bindings) -> Result<Vec<Tuple>> {
+        match &node.op {
+            Lolepop::Access { spec, cols, preds } => match spec {
+                AccessSpec::HeapTable(q) | AccessSpec::BTreeTable(q) => {
+                    self.scan_base(*q, &cols_schema(cols), *preds, bindings)
+                }
+                AccessSpec::Index { index, q } => {
+                    self.scan_index(*index, *q, &cols_schema(cols), *preds, bindings)
+                }
+                AccessSpec::TempHeap => {
+                    self.access_temp(node, &cols_schema(cols), *preds, bindings)
+                }
+                AccessSpec::TempIndex { key } => {
+                    self.access_temp_index(node, key, &cols_schema(cols), *preds, bindings)
+                }
+            },
+            Lolepop::Get { q, cols: _, preds } => self.get(node, *q, *preds, bindings),
+            Lolepop::Sort { key } => {
+                let rows = self.eval_cached(&node.inputs[0], bindings)?;
+                let schema = schema_of(&node.inputs[0]);
+                let mut rows = rows.as_ref().clone();
+                let idx: Vec<usize> = key
+                    .iter()
+                    .map(|c| {
+                        position(&schema, *c)
+                            .ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
+                    })
+                    .collect::<Result<_>>()?;
+                rows.sort_by(|a, b| {
+                    idx.iter()
+                        .map(|i| a.get(*i).cmp(b.get(*i)))
+                        .find(|o| *o != std::cmp::Ordering::Equal)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                Ok(rows)
+            }
+            Lolepop::Ship { .. } => {
+                let rows = self.eval(&node.inputs[0], bindings)?;
+                let bytes: u64 = rows
+                    .iter()
+                    .map(|r| r.0.iter().map(value_bytes).sum::<u64>())
+                    .sum();
+                self.stats.bytes_shipped += bytes;
+                self.stats.msgs += (bytes / 4096).max(1);
+                Ok(rows)
+            }
+            Lolepop::Store | Lolepop::BuildIndex { .. } => {
+                // STORE materializes (cached); BUILD_INDEX passes the stored
+                // rows through — its index is built lazily on first probe.
+                Ok(self.eval_cached(&node.inputs[0], bindings)?.as_ref().clone())
+            }
+            Lolepop::Filter { preds } => {
+                let rows = self.eval(&node.inputs[0], bindings)?;
+                let schema = schema_of(&node.inputs[0]);
+                self.filter_rows(rows, &schema, *preds, bindings)
+            }
+            Lolepop::Join { flavor, join_preds, residual } => {
+                self.join(node, *flavor, *join_preds, *residual, bindings)
+            }
+            Lolepop::Union => {
+                let mut rows = self.eval(&node.inputs[0], bindings)?;
+                rows.extend(self.eval(&node.inputs[1], bindings)?);
+                Ok(rows)
+            }
+            Lolepop::Ext { name, .. } => {
+                let f = self
+                    .ext
+                    .get(name.as_ref())
+                    .cloned()
+                    .ok_or_else(|| ExecError::UnknownExtOp(name.to_string()))?;
+                let mut inputs = Vec::with_capacity(node.inputs.len());
+                for i in &node.inputs {
+                    let rows = self.eval(i, bindings)?;
+                    inputs.push((schema_of(i), rows));
+                }
+                f(self.query, &node.op, &inputs, &schema_of(node))
+            }
+        }
+    }
+
+    /// Evaluate with node-identity caching when the subtree is
+    /// correlation-free.
+    fn eval_cached(&mut self, node: &PlanRef, bindings: &Bindings) -> Result<Arc<Vec<Tuple>>> {
+        let key = Arc::as_ptr(node) as usize;
+        if let Some(hit) = self.temp_cache.get(&key) {
+            return Ok(hit.clone());
+        }
+        let rows = Arc::new(self.eval(node, bindings)?);
+        if !is_correlated(node, self.query) {
+            // Count a temp materialization only for STORE nodes themselves
+            // (not for the cached children they wrap).
+            if matches!(node.op, Lolepop::Store) {
+                self.stats.temps_built += 1;
+            }
+            self.temp_cache.insert(key, rows.clone());
+        }
+        Ok(rows)
+    }
+
+    fn filter_rows(
+        &self,
+        rows: Vec<Tuple>,
+        schema: &[QCol],
+        preds: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for r in rows {
+            let view = RowView { schema, row: &r, bindings };
+            if eval_preds(self.query, preds, &view)? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    fn scan_base(
+        &mut self,
+        q: QId,
+        schema: &[QCol],
+        preds: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Tuple>> {
+        let table_id = self.query.quantifier(q).table;
+        let stored = self.db.table(table_id)?;
+        self.stats.pages_read += stored.pages();
+        let mut out = Vec::new();
+        for (tid, row) in stored.scan() {
+            let tuple = Tuple(
+                schema
+                    .iter()
+                    .map(|c| {
+                        if c.col.is_tid() {
+                            tid.to_value()
+                        } else {
+                            row.get(c.col.0 as usize).clone()
+                        }
+                    })
+                    .collect(),
+            );
+            let view = RowView { schema, row: &tuple, bindings };
+            if eval_preds(self.query, preds, &view)? {
+                out.push(tuple);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Find the longest bound equality prefix of an index key: for each key
+    /// column in order, a predicate `key_col = expr` whose `expr` is
+    /// evaluable from constants and outer bindings alone.
+    fn bound_prefix(
+        &self,
+        key: &[QCol],
+        preds: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Value>> {
+        let cl = Classifier::new(self.query);
+        let empty_schema: Vec<QCol> = Vec::new();
+        let empty_row = Tuple(Vec::new());
+        let mut values = Vec::new();
+        'keys: for kc in key {
+            for p in preds.iter() {
+                if cl.sargable_on(p, *kc) != Some(CmpOp::Eq) {
+                    continue;
+                }
+                // Locate the non-key side and try to evaluate it from
+                // bindings/constants.
+                if let starqo_query::PredExpr::Cmp(_, l, r) = &self.query.pred(p).expr {
+                    let other: &Scalar = if l.as_col() == Some(*kc) { r } else { l };
+                    let view =
+                        RowView { schema: &empty_schema, row: &empty_row, bindings };
+                    if let Ok(v) = eval_scalar(other, &view) {
+                        if !v.is_null() {
+                            values.push(v);
+                            continue 'keys;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        Ok(values)
+    }
+
+    fn scan_index(
+        &mut self,
+        index: starqo_catalog::IndexId,
+        q: QId,
+        schema: &[QCol],
+        preds: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Tuple>> {
+        let def = self.db.catalog().index(index).clone();
+        let data = self.db.index(index)?;
+        let key_qcols: Vec<QCol> = def.cols.iter().map(|c| QCol::new(q, *c)).collect();
+        let prefix = self.bound_prefix(&key_qcols, preds, bindings)?;
+
+        let mut out = Vec::new();
+        let emit = |key: &Vec<Value>, tid: Tid, out: &mut Vec<Tuple>| {
+            let tuple = Tuple(
+                schema
+                    .iter()
+                    .map(|c| {
+                        if c.col.is_tid() {
+                            tid.to_value()
+                        } else {
+                            let pos = def.cols.iter().position(|k| *k == c.col).unwrap_or(0);
+                            key[pos].clone()
+                        }
+                    })
+                    .collect(),
+            );
+            out.push(tuple);
+        };
+        if prefix.is_empty() {
+            self.stats.pages_read += data.pages();
+            for (key, tid) in data.scan() {
+                emit(key, tid, &mut out);
+            }
+        } else {
+            self.stats.probes += 1;
+            let mut scanned = 0u64;
+            for (key, tid) in data.probe_prefix(&prefix) {
+                emit(key, tid, &mut out);
+                scanned += 1;
+            }
+            self.stats.pages_read += scanned.div_ceil(ROWS_PER_PAGE) + 1;
+        }
+        self.filter_rows(out, schema, preds, bindings)
+    }
+
+    fn get(
+        &mut self,
+        node: &PlanNode,
+        q: QId,
+        preds: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Tuple>> {
+        let input = &node.inputs[0];
+        let in_schema = schema_of(input);
+        let in_rows = self.eval(input, bindings)?;
+        let out_schema = schema_of(node);
+        let tid_col = QCol::new(q, TID_COL);
+        let tid_pos = position(&in_schema, tid_col)
+            .ok_or_else(|| ExecError::BadPlan("GET input lacks TID column".into()))?;
+        let table_id = self.query.quantifier(q).table;
+        let stored = self.db.table(table_id)?;
+
+        let mut out = Vec::with_capacity(in_rows.len());
+        // Buffer locality: consecutive fetches from the same page cost one
+        // read — this is what makes TID-sorted GETs cheap at run time.
+        let mut last_page = u64::MAX;
+        for r in in_rows {
+            let tid = Tid::from_value(r.get(tid_pos))
+                .ok_or_else(|| ExecError::BadPlan("non-TID value in TID column".into()))?;
+            let base = stored.fetch(tid)?;
+            self.stats.tuples_fetched += 1;
+            let page = tid.page(ROWS_PER_PAGE);
+            if page != last_page {
+                self.stats.pages_read += 1;
+                last_page = page;
+            }
+            let tuple = Tuple(
+                out_schema
+                    .iter()
+                    .map(|c| {
+                        if let Some(i) = position(&in_schema, *c) {
+                            r.get(i).clone()
+                        } else {
+                            base.get(c.col.0 as usize).clone()
+                        }
+                    })
+                    .collect(),
+            );
+            let view = RowView { schema: &out_schema, row: &tuple, bindings };
+            if eval_preds(self.query, preds, &view)? {
+                out.push(tuple);
+            }
+        }
+        Ok(out)
+    }
+
+    fn access_temp(
+        &mut self,
+        node: &PlanNode,
+        schema: &[QCol],
+        preds: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Tuple>> {
+        let input = &node.inputs[0];
+        let in_schema = schema_of(input);
+        let rows = self.eval_cached(input, bindings)?;
+        self.stats.pages_read += (rows.len() as u64).div_ceil(ROWS_PER_PAGE).max(1);
+        let projected = project_rows(&in_schema, &rows, schema)?;
+        self.filter_rows(projected, schema, preds, bindings)
+    }
+
+    fn access_temp_index(
+        &mut self,
+        node: &PlanNode,
+        key: &[QCol],
+        schema: &[QCol],
+        preds: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Tuple>> {
+        let input = &node.inputs[0];
+        let in_schema = schema_of(input);
+        let rows = self.eval_cached(input, bindings)?;
+        let cache_key = (Arc::as_ptr(input) as usize, key.to_vec());
+        let index = match self.index_cache.get(&cache_key) {
+            Some(ix) => ix.clone(),
+            None => {
+                let mut map: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+                let kpos: Vec<usize> = key
+                    .iter()
+                    .map(|c| {
+                        position(&in_schema, *c)
+                            .ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
+                    })
+                    .collect::<Result<_>>()?;
+                for (i, r) in rows.iter().enumerate() {
+                    let k: Vec<Value> = kpos.iter().map(|p| r.get(*p).clone()).collect();
+                    map.entry(k).or_default().push(i);
+                }
+                self.stats.indexes_built += 1;
+                let ix = Arc::new(map);
+                self.index_cache.insert(cache_key, ix.clone());
+                ix
+            }
+        };
+        let prefix = self.bound_prefix(key, preds, bindings)?;
+        self.stats.probes += 1;
+        let mut hits: Vec<Tuple> = Vec::new();
+        if prefix.is_empty() {
+            hits.extend(rows.iter().cloned());
+        } else {
+            use std::ops::Bound;
+            for (k, idxs) in index
+                .range::<[Value], _>((Bound::Included(prefix.as_slice()), Bound::Unbounded))
+            {
+                if k.len() < prefix.len() || k[..prefix.len()] != prefix[..] {
+                    break;
+                }
+                for i in idxs {
+                    hits.push(rows[*i].clone());
+                }
+            }
+        }
+        self.stats.pages_read += (hits.len() as u64).div_ceil(ROWS_PER_PAGE) + 1;
+        let projected = project_rows(&in_schema, &hits, schema)?;
+        self.filter_rows(projected, schema, preds, bindings)
+    }
+
+    fn join(
+        &mut self,
+        node: &PlanNode,
+        flavor: JoinFlavor,
+        join_preds: PredSet,
+        residual: PredSet,
+        bindings: &Bindings,
+    ) -> Result<Vec<Tuple>> {
+        let (outer_node, inner_node) = (&node.inputs[0], &node.inputs[1]);
+        let o_schema = schema_of(outer_node);
+        let i_schema = schema_of(inner_node);
+        let out_schema = schema_of(node);
+        let all_preds = join_preds.union(residual);
+
+        let combine = |o: &Tuple, i: &Tuple| -> Tuple {
+            Tuple(
+                out_schema
+                    .iter()
+                    .map(|c| {
+                        if let Some(p) = position(&o_schema, *c) {
+                            o.get(p).clone()
+                        } else if let Some(p) = position(&i_schema, *c) {
+                            i.get(p).clone()
+                        } else {
+                            Value::Null
+                        }
+                    })
+                    .collect(),
+            )
+        };
+
+        let mut out = Vec::new();
+        match flavor {
+            JoinFlavor::NL => {
+                let outer_rows = self.eval(outer_node, bindings)?;
+                for o in &outer_rows {
+                    // Sideways information passing: bind the outer columns.
+                    let mut b2 = bindings.clone();
+                    for (i, c) in o_schema.iter().enumerate() {
+                        b2.insert(*c, o.get(i).clone());
+                    }
+                    let inner_rows = self.eval(inner_node, &b2)?;
+                    for i in &inner_rows {
+                        let t = combine(o, i);
+                        let view = RowView { schema: &out_schema, row: &t, bindings };
+                        if eval_preds(self.query, all_preds, &view)? {
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+            JoinFlavor::MG => {
+                // Merge keys are paired *per predicate*: one (outer column,
+                // inner column) pair for each sortable join predicate. A
+                // column may repeat (e.g. `t0.FK = t1.ID AND t0.FK = t2.ID`
+                // repeats t0.FK) — repeating keeps the two key vectors the
+                // same length so positional comparison is meaningful, and a
+                // stream sorted on the deduplicated key is equally sorted on
+                // the repeated one.
+                let mut op: Vec<usize> = Vec::new();
+                let mut ip: Vec<usize> = Vec::new();
+                for p in join_preds.iter() {
+                    let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) =
+                        &self.query.pred(p).expr
+                    else {
+                        return Err(ExecError::BadPlan(
+                            "merge join predicate is not a column equality".into(),
+                        ));
+                    };
+                    let (lc, rc) = match (l.as_col(), r.as_col()) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => {
+                            return Err(ExecError::BadPlan(
+                                "merge join predicate side is not a bare column".into(),
+                            ))
+                        }
+                    };
+                    let (oc, ic) = if outer_node.props.tables.contains(lc.q) {
+                        (lc, rc)
+                    } else {
+                        (rc, lc)
+                    };
+                    op.push(
+                        position(&o_schema, oc)
+                            .ok_or_else(|| ExecError::UnboundColumn(oc.to_string()))?,
+                    );
+                    ip.push(
+                        position(&i_schema, ic)
+                            .ok_or_else(|| ExecError::UnboundColumn(ic.to_string()))?,
+                    );
+                }
+                // Both streams must be sorted compatibly with the key order
+                // the classifier derives (Glue guarantees it; check cheaply).
+                let cl = Classifier::new(self.query);
+                debug_assert!(outer_node
+                    .props
+                    .order_satisfies(&cl.sort_key(join_preds, outer_node.props.tables)));
+                debug_assert!(inner_node
+                    .props
+                    .order_satisfies(&cl.sort_key(join_preds, inner_node.props.tables)));
+                let outer_rows = self.eval(outer_node, bindings)?;
+                let inner_rows = self.eval(inner_node, bindings)?;
+                let keyed = |r: &Tuple, pos: &[usize]| -> Vec<Value> {
+                    pos.iter().map(|p| r.get(*p).clone()).collect()
+                };
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < outer_rows.len() && b < inner_rows.len() {
+                    let ka = keyed(&outer_rows[a], &op);
+                    let kb = keyed(&inner_rows[b], &ip);
+                    match ka.cmp(&kb) {
+                        std::cmp::Ordering::Less => a += 1,
+                        std::cmp::Ordering::Greater => b += 1,
+                        std::cmp::Ordering::Equal => {
+                            // Group boundaries on both sides.
+                            let mut a_end = a + 1;
+                            while a_end < outer_rows.len() && keyed(&outer_rows[a_end], &op) == ka
+                            {
+                                a_end += 1;
+                            }
+                            let mut b_end = b + 1;
+                            while b_end < inner_rows.len() && keyed(&inner_rows[b_end], &ip) == kb
+                            {
+                                b_end += 1;
+                            }
+                            for o in &outer_rows[a..a_end] {
+                                for i in &inner_rows[b..b_end] {
+                                    let t = combine(o, i);
+                                    let view =
+                                        RowView { schema: &out_schema, row: &t, bindings };
+                                    if eval_preds(self.query, all_preds, &view)? {
+                                        out.push(t);
+                                    }
+                                }
+                            }
+                            a = a_end;
+                            b = b_end;
+                        }
+                    }
+                }
+            }
+            JoinFlavor::HA => {
+                // Split each hashable predicate into (outer expr, inner expr).
+                let mut pairs: Vec<(Scalar, Scalar)> = Vec::new();
+                for p in join_preds.iter() {
+                    if let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) =
+                        &self.query.pred(p).expr
+                    {
+                        if l.quantifiers().is_subset_of(outer_node.props.tables) {
+                            pairs.push((l.clone(), r.clone()));
+                        } else {
+                            pairs.push((r.clone(), l.clone()));
+                        }
+                    }
+                }
+                let inner_rows = self.eval(inner_node, bindings)?;
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                'row: for (i, r) in inner_rows.iter().enumerate() {
+                    let view = RowView { schema: &i_schema, row: r, bindings };
+                    let mut key = Vec::with_capacity(pairs.len());
+                    for (_, ie) in &pairs {
+                        let v = eval_scalar(ie, &view)?;
+                        if v.is_null() {
+                            continue 'row; // NULL keys never match
+                        }
+                        key.push(v);
+                    }
+                    table.entry(key).or_default().push(i);
+                }
+                let outer_rows = self.eval(outer_node, bindings)?;
+                'orow: for o in &outer_rows {
+                    let view = RowView { schema: &o_schema, row: o, bindings };
+                    let mut key = Vec::with_capacity(pairs.len());
+                    for (oe, _) in &pairs {
+                        let v = eval_scalar(oe, &view)?;
+                        if v.is_null() {
+                            continue 'orow;
+                        }
+                        key.push(v);
+                    }
+                    if let Some(matches) = table.get(&key) {
+                        for i in matches {
+                            let t = combine(o, &inner_rows[*i]);
+                            let view = RowView { schema: &out_schema, row: &t, bindings };
+                            if eval_preds(self.query, all_preds, &view)? {
+                                out.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Approximate wire size of a value, for SHIP accounting.
+fn value_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Int(_) | Value::Double(_) => 8,
+        Value::Str(s) => s.len() as u64,
+    }
+}
+
+/// True if the subtree references quantifiers outside its own table set
+/// (i.e. depends on enclosing nested-loop bindings and must not be cached).
+pub fn is_correlated(node: &PlanNode, query: &Query) -> bool {
+    let root_tables = node.props.tables;
+    node.any(&|n| {
+        let preds = match &n.op {
+            Lolepop::Access { preds, .. } => *preds,
+            Lolepop::Get { preds, .. } => *preds,
+            Lolepop::Filter { preds } => *preds,
+            Lolepop::Join { join_preds, residual, .. } => join_preds.union(*residual),
+            _ => PredSet::EMPTY,
+        };
+        preds.iter().any(|p| !query.pred(p).quantifiers().is_subset_of(root_tables))
+    })
+}

@@ -1,0 +1,31 @@
+//! # starqo-exec
+//!
+//! The query evaluator: the run-time interpreter for LOLEPOP plans (§2.1 —
+//! "the basic object to be manipulated ... is a LOw-LEvel Plan OPerator
+//! (LOLEPOP) that will be interpreted by the query evaluator at run-time").
+//!
+//! The evaluator executes every LOLEPOP for real against the
+//! `starqo-storage` substrate: heap and B-tree scans, index probes with
+//! sideways information passing (join predicates bound per outer tuple),
+//! TID `GET`s, sorts, simulated `SHIP`s, temp materialization with
+//! caching (a temp is never re-materialized per outer tuple), dynamic
+//! index builds, and all three join methods.
+//!
+//! It exists for two reasons:
+//! 1. the paper's plans are *programs* and must run, and
+//! 2. it lets the test suite verify the optimizer's central safety property:
+//!    every alternative plan for a query produces the same result multiset
+//!    (see [`reference::reference_eval`] and experiment E13).
+
+pub mod error;
+pub mod eval;
+pub mod reference;
+pub mod result;
+pub mod scalar;
+pub mod schema;
+
+pub use error::{ExecError, Result};
+pub use eval::{ExecStats, Executor, ExtExecFn};
+pub use reference::reference_eval;
+pub use result::{project_rows, rows_equal_multiset, QueryResult};
+pub use schema::{schema_of, StreamSchema};

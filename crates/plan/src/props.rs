@@ -1,0 +1,172 @@
+//! The property vector (§3.1, Figure 2).
+//!
+//! > Every table (either base table or result of a plan) has a set of
+//! > *properties* that summarize the work done on the table thus far.
+//!
+//! Relational properties say WHAT the stream contains (TABLES, COLS, PREDS);
+//! physical properties say HOW it is delivered (ORDER, SITE, TEMP, PATHS);
+//! estimated properties say HOW MUCH (CARD, COST).
+
+use std::collections::BTreeSet;
+
+use starqo_catalog::{IndexId, SiteId};
+use starqo_query::{PredSet, QCol, QSet};
+
+/// A set of quantified columns (the COLS property).
+pub type ColSet = BTreeSet<QCol>;
+
+/// Where an access path came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathSource {
+    /// Declared in the catalog.
+    Catalog(IndexId),
+    /// Created dynamically by Glue on a temp (§4.5.3).
+    Dynamic,
+}
+
+/// One element of the PATHS property: "an ordered list of columns"
+/// (Figure 2) together with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AvailPath {
+    pub key: Vec<QCol>,
+    pub source: PathSource,
+    pub clustered: bool,
+}
+
+impl AvailPath {
+    /// The paper's `order ⊑ a` test: the required columns are a prefix of
+    /// this path's key.
+    pub fn covers_prefix(&self, required: &[QCol]) -> bool {
+        required.len() <= self.key.len()
+            && self.key.iter().zip(required).all(|(a, b)| a == b)
+    }
+}
+
+/// Estimated cost, split into one-time and per-scan work.
+///
+/// The split is what makes the §4.5.2 (materialized inner) and §4.5.3
+/// (dynamic index) alternatives costable: a nested-loop join pays its
+/// inner's `rescan` once *per outer tuple* but its `once` only once.
+/// Both components are already the paper's "linear combination of I/O, CPU,
+/// and communications costs".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    pub once: f64,
+    pub rescan: f64,
+}
+
+impl Cost {
+    pub const ZERO: Cost = Cost { once: 0.0, rescan: 0.0 };
+
+    pub fn new(once: f64, rescan: f64) -> Self {
+        Cost { once, rescan }
+    }
+
+    /// Total cost of producing the stream a single time.
+    pub fn total(&self) -> f64 {
+        self.once + self.rescan
+    }
+}
+
+/// The full property vector of a plan (or of a stored table before any
+/// operator touches it).
+///
+/// §5: "the default action of any LOLEPOP on any property is to leave the
+/// input property unchanged" — property functions start from a clone of the
+/// input vector and modify only what their operator changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Props {
+    // Relational (WHAT)
+    /// Set of tables (quantifiers) accessed.
+    pub tables: QSet,
+    /// Set of columns accessed.
+    pub cols: ColSet,
+    /// Set of predicates applied so far.
+    pub preds: PredSet,
+    // Physical (HOW)
+    /// Ordering of tuples: an ordered list of columns; empty = unknown.
+    pub order: Vec<QCol>,
+    /// Site to which tuples are delivered.
+    pub site: SiteId,
+    /// True if materialized in a temporary table.
+    pub temp: bool,
+    /// Available access paths on the (set of) tables.
+    pub paths: Vec<AvailPath>,
+    // Estimated (HOW MUCH)
+    /// Estimated number of tuples resulting.
+    pub card: f64,
+    /// Estimated cost (total resources).
+    pub cost: Cost,
+}
+
+impl Props {
+    /// A blank vector for building up from scratch.
+    pub fn empty(site: SiteId) -> Self {
+        Props {
+            tables: QSet::EMPTY,
+            cols: ColSet::new(),
+            preds: PredSet::EMPTY,
+            order: Vec::new(),
+            site,
+            temp: false,
+            paths: Vec::new(),
+            card: 0.0,
+            cost: Cost::ZERO,
+        }
+    }
+
+    /// Does the stream's order satisfy a required order? (The required list
+    /// must be a prefix of the actual order.)
+    pub fn order_satisfies(&self, required: &[QCol]) -> bool {
+        required.len() <= self.order.len()
+            && self.order.iter().zip(required).all(|(a, b)| a == b)
+    }
+
+    /// Find an available path whose key starts with the given columns.
+    pub fn path_with_prefix(&self, required: &[QCol]) -> Option<&AvailPath> {
+        self.paths.iter().find(|p| p.covers_prefix(required))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starqo_catalog::ColId;
+    use starqo_query::QId;
+
+    fn qc(q: u32, c: u32) -> QCol {
+        QCol::new(QId(q), ColId(c))
+    }
+
+    #[test]
+    fn cost_totals() {
+        let c = Cost::new(10.0, 5.0);
+        assert_eq!(c.total(), 15.0);
+        assert_eq!(Cost::ZERO.total(), 0.0);
+    }
+
+    #[test]
+    fn order_prefix_satisfaction() {
+        let mut p = Props::empty(SiteId(0));
+        p.order = vec![qc(0, 1), qc(0, 2)];
+        assert!(p.order_satisfies(&[]));
+        assert!(p.order_satisfies(&[qc(0, 1)]));
+        assert!(p.order_satisfies(&[qc(0, 1), qc(0, 2)]));
+        assert!(!p.order_satisfies(&[qc(0, 2)]));
+        assert!(!p.order_satisfies(&[qc(0, 1), qc(0, 2), qc(0, 3)]));
+    }
+
+    #[test]
+    fn path_prefix_lookup() {
+        let mut p = Props::empty(SiteId(0));
+        p.paths.push(AvailPath {
+            key: vec![qc(0, 3), qc(0, 1)],
+            source: PathSource::Dynamic,
+            clustered: false,
+        });
+        assert!(p.path_with_prefix(&[qc(0, 3)]).is_some());
+        assert!(p.path_with_prefix(&[qc(0, 3), qc(0, 1)]).is_some());
+        assert!(p.path_with_prefix(&[qc(0, 1)]).is_none());
+        assert!(p.path_with_prefix(&[]).is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based invariants of the cost model, selectivity estimator, and
+//! property functions.
+
+use proptest::prelude::*;
+use starqo_catalog::{Catalog, ColId, DataType, SiteId, StorageKind, Value};
+use starqo_plan::{AccessSpec, ColSet, CostModel, Lolepop, PropCtx, PropEngine};
+use starqo_query::{
+    CmpOp, PredExpr, PredSet, QCol, QId, QSet, Query, QueryBuilder, Scalar,
+};
+
+/// A two-table catalog with tunable stats.
+fn catalog(card_a: u64, card_b: u64, ndv: u64) -> Catalog {
+    Catalog::builder()
+        .site("x")
+        .site("y")
+        .table("A", "x", StorageKind::Heap, card_a)
+        .column("K", DataType::Int, Some(ndv))
+        .column("V", DataType::Int, Some(ndv.min(card_a).max(1)))
+        .table("B", "y", StorageKind::Heap, card_b)
+        .column("K", DataType::Int, Some(ndv))
+        .column("V", DataType::Int, Some(ndv.min(card_b).max(1)))
+        .build()
+        .unwrap()
+}
+
+/// Build a query with a configurable set of predicate shapes.
+fn query(cat: &Catalog, ops: &[CmpOp], consts: &[i64]) -> Query {
+    let mut b = QueryBuilder::new();
+    let a = b.quantifier(cat, "A", "a").unwrap();
+    let bb = b.quantifier(cat, "B", "b").unwrap();
+    // p0: join pred a.K <op0> b.K
+    b.predicate(PredExpr::Cmp(ops[0], Scalar::col(a, ColId(0)), Scalar::col(bb, ColId(0))))
+        .unwrap();
+    // p1..: local preds a.V <op> const
+    for (op, c) in ops[1..].iter().zip(consts) {
+        b.predicate(PredExpr::Cmp(*op, Scalar::col(a, ColId(1)), Scalar::Const(Value::Int(*c))))
+            .unwrap();
+    }
+    b.select(QCol::new(a, ColId(0)));
+    b.select(QCol::new(bb, ColId(0)));
+    b.build().unwrap()
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Selectivities always land in (0, 1], and conjunctions never increase
+    /// selectivity.
+    #[test]
+    fn selectivity_bounds(
+        card_a in 1u64..100_000,
+        card_b in 1u64..100_000,
+        ndv in 1u64..10_000,
+        ops in prop::collection::vec(arb_op(), 3..5),
+        consts in prop::collection::vec(-100i64..100, 2..4),
+    ) {
+        let cat = catalog(card_a, card_b, ndv);
+        let q = query(&cat, &ops, &consts);
+        let sel = starqo_plan::Selectivity::new(&cat, &q);
+        let both = QSet::all(2);
+        let all = q.all_preds();
+        let mut combined = 1.0f64;
+        for p in all.iter() {
+            let s = sel.pred(p, both);
+            prop_assert!(s > 0.0 && s <= 1.0, "sel({p}) = {s}");
+            combined *= s;
+        }
+        let joint = sel.preds(all, both);
+        prop_assert!((joint - combined.clamp(0.0, 1.0)).abs() < 1e-9);
+        // Adding predicates never increases selectivity.
+        let partial = sel.preds(PredSet::single(starqo_query::PredId(0)), both);
+        prop_assert!(joint <= partial + 1e-12);
+    }
+
+    /// Cost-model primitives are non-negative and monotone in their inputs.
+    #[test]
+    fn cost_model_monotonicity(
+        card in 0.0f64..1e7,
+        extra in 1.0f64..1e6,
+        width in 1.0f64..512.0,
+    ) {
+        let m = CostModel::default();
+        prop_assert!(m.pages(card, width) >= 1.0);
+        prop_assert!(m.pages(card + extra, width) >= m.pages(card, width));
+        prop_assert!(m.scan_io(card + extra, width) >= m.scan_io(card, width));
+        prop_assert!(m.ship_cost(card + extra, width) >= m.ship_cost(card, width));
+        prop_assert!(m.sort_cost(card + extra, width) >= m.sort_cost(card, width));
+        prop_assert!(m.stream_cpu(card, 3) >= m.stream_cpu(card, 0));
+        prop_assert!(m.probe_cost(0.0) > 0.0);
+    }
+
+    /// Along any legal operator chain, cardinality stays non-negative and
+    /// the total cost never decreases (every LOLEPOP adds work).
+    #[test]
+    fn operator_chains_accumulate_cost(
+        card_a in 1u64..50_000,
+        ndv in 1u64..5_000,
+        op in arb_op(),
+        c in -50i64..50,
+        to_other_site in any::<bool>(),
+        materialize in any::<bool>(),
+    ) {
+        let cat = catalog(card_a, 100, ndv);
+        let q = query(&cat, &[CmpOp::Eq, op], &[c]);
+        let model = CostModel::default();
+        let engine = PropEngine::new();
+        let ctx = PropCtx::new(&cat, &q, &model);
+        let a = QId(0);
+        let cols: ColSet = [QCol::new(a, ColId(0)), QCol::new(a, ColId(1))].into_iter().collect();
+        let mut plan = engine
+            .build(
+                Lolepop::Access {
+                    spec: AccessSpec::HeapTable(a),
+                    cols,
+                    preds: PredSet::single(starqo_query::PredId(1)),
+                },
+                vec![],
+                &ctx,
+            )
+            .unwrap();
+        prop_assert!(plan.props.card >= 0.0);
+        let mut last = plan.props.cost.total();
+        let mut steps: Vec<Lolepop> = vec![Lolepop::Sort { key: vec![QCol::new(a, ColId(0))] }];
+        if to_other_site {
+            steps.push(Lolepop::Ship { to: SiteId(1) });
+        }
+        if materialize {
+            steps.push(Lolepop::Store);
+        }
+        steps.push(Lolepop::Filter { preds: PredSet::single(starqo_query::PredId(1)) });
+        for op in steps {
+            plan = engine.build(op, vec![plan], &ctx).unwrap();
+            let total = plan.props.cost.total();
+            prop_assert!(plan.props.card >= 0.0);
+            prop_assert!(
+                total + 1e-9 >= last,
+                "cost decreased: {total} < {last} at {}",
+                plan.op.name()
+            );
+            last = total;
+        }
+        // Physical properties ended where the chain put them.
+        if to_other_site {
+            prop_assert_eq!(plan.props.site, SiteId(1));
+        }
+        if materialize {
+            prop_assert!(plan.props.temp);
+        }
+    }
+
+    /// Join output cardinality is bounded by the Cartesian product of the
+    /// inputs, and join cost at least covers both inputs.
+    #[test]
+    fn join_cardinality_bounded(
+        card_a in 1u64..20_000,
+        card_b in 1u64..20_000,
+        ndv in 1u64..2_000,
+    ) {
+        let cat = catalog(card_a, card_b, ndv);
+        let q = query(&cat, &[CmpOp::Eq, CmpOp::Eq], &[1]);
+        let model = CostModel::default();
+        let engine = PropEngine::new();
+        let ctx = PropCtx::new(&cat, &q, &model);
+        let mk_scan = |qid: u32| {
+            let cols: ColSet =
+                [QCol::new(QId(qid), ColId(0)), QCol::new(QId(qid), ColId(1))].into_iter().collect();
+            engine
+                .build(
+                    Lolepop::Access {
+                        spec: AccessSpec::HeapTable(QId(qid)),
+                        cols,
+                        preds: PredSet::EMPTY,
+                    },
+                    vec![],
+                    &ctx,
+                )
+                .unwrap()
+        };
+        let a = mk_scan(0);
+        // Same-site join: ship B to A's site first.
+        let b = engine.build(Lolepop::Ship { to: SiteId(0) }, vec![mk_scan(1)], &ctx).unwrap();
+        let join = engine
+            .build(
+                Lolepop::Join {
+                    flavor: starqo_plan::JoinFlavor::NL,
+                    join_preds: PredSet::EMPTY,
+                    residual: PredSet::single(starqo_query::PredId(0)),
+                },
+                vec![a.clone(), b.clone()],
+                &ctx,
+            )
+            .unwrap();
+        prop_assert!(join.props.card <= a.props.card * b.props.card + 1e-6);
+        prop_assert!(join.props.card >= 0.0);
+        prop_assert!(
+            join.props.cost.total() + 1e-9
+                >= a.props.cost.total().max(b.props.cost.total())
+        );
+    }
+}

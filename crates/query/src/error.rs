@@ -1,0 +1,35 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error in the mini-SQL parser, with byte offset.
+    Parse { msg: String, pos: usize },
+    /// Name-resolution failure (unknown table, alias, or column).
+    Resolve(String),
+    /// Structural limit exceeded (64 quantifiers / 128 predicates).
+    Limit(String),
+    Catalog(starqo_catalog::CatalogError),
+}
+
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { msg, pos } => write!(f, "parse error at byte {pos}: {msg}"),
+            QueryError::Resolve(msg) => write!(f, "resolution error: {msg}"),
+            QueryError::Limit(msg) => write!(f, "limit exceeded: {msg}"),
+            QueryError::Catalog(e) => write!(f, "catalog error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<starqo_catalog::CatalogError> for QueryError {
+    fn from(e: starqo_catalog::CatalogError) -> Self {
+        QueryError::Catalog(e)
+    }
+}

@@ -1,0 +1,25 @@
+//! # starqo-query
+//!
+//! The query model for the `starqo` optimizer: quantifiers (table
+//! references), scalar expressions, predicates, bitset representations of
+//! quantifier and predicate sets, the paper's §4 predicate classifications
+//! (JP / SP / HP / IP / XP), and a mini-SQL parser for examples and tests.
+//!
+//! The optimizer (in `starqo-core`) consumes a [`Query`] and the catalog; it
+//! never sees SQL text.
+
+pub mod classify;
+pub mod error;
+pub mod parser;
+pub mod pred;
+pub mod qset;
+pub mod query;
+pub mod scalar;
+
+pub use classify::Classifier;
+pub use error::{QueryError, Result};
+pub use parser::parse_query;
+pub use pred::{CmpOp, PredExpr, PredId, PredSet, Predicate};
+pub use qset::{QId, QSet};
+pub use query::{Quantifier, Query, QueryBuilder};
+pub use scalar::{ArithOp, QCol, Scalar};

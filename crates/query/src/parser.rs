@@ -1,0 +1,536 @@
+//! A mini-SQL parser for examples and tests.
+//!
+//! Grammar (conjunctive select-project-join queries, which is exactly the
+//! query class the paper's STARs cover — subqueries and recursion are
+//! explicitly out of scope in §4):
+//!
+//! ```text
+//! query   := SELECT selects FROM tables [WHERE conj] [ORDER BY cols]
+//! selects := '*' | colref (',' colref)*
+//! tables  := IDENT [IDENT] (',' IDENT [IDENT])*
+//! conj    := factor (AND factor)*
+//! factor  := '(' cmp (OR cmp)+ ')' | cmp
+//! cmp     := scalar op scalar          op := = | <> | != | < | <= | > | >=
+//! scalar  := term (('+'|'-') term)*
+//! term    := atom (('*'|'/') atom)*
+//! atom    := colref | NUMBER | 'string' | '(' scalar ')'
+//! colref  := IDENT '.' IDENT | IDENT
+//! ```
+
+use starqo_catalog::{Catalog, Value};
+
+use crate::error::{QueryError, Result};
+use crate::pred::{CmpOp, PredExpr};
+use crate::query::{Query, QueryBuilder};
+use crate::scalar::{ArithOp, Scalar};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64, bool), // value, is_integer
+    Str(String),
+    Sym(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> QueryError {
+        QueryError::Parse { msg: msg.into(), pos: self.pos }
+    }
+
+    fn bump_while(&mut self, f: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if f(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.pos]
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, usize)> {
+        {
+            self.bump_while(|c| c.is_whitespace());
+            let at = self.pos;
+            let Some(c) = self.src[self.pos..].chars().next() else {
+                return Ok((Tok::Eof, at));
+            };
+            match c {
+                'a'..='z' | 'A'..='Z' | '_' => {
+                    let w = self.bump_while(|c| c.is_alphanumeric() || c == '_');
+                    Ok((Tok::Ident(w.to_string()), at))
+                }
+                '0'..='9' => {
+                    let w = self.bump_while(|c| c.is_ascii_digit() || c == '.');
+                    let is_int = !w.contains('.');
+                    let v: f64 = w.parse().map_err(|_| self.error(format!("bad number {w}")))?;
+                    Ok((Tok::Number(v, is_int), at))
+                }
+                '\'' => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(c) = self.src[self.pos..].chars().next() {
+                        if c == '\'' {
+                            let s = self.src[start..self.pos].to_string();
+                            self.pos += 1;
+                            return Ok((Tok::Str(s), at));
+                        }
+                        self.pos += c.len_utf8();
+                    }
+                    Err(self.error("unterminated string literal"))
+                }
+                '<' => {
+                    self.pos += 1;
+                    if self.src[self.pos..].starts_with('=') {
+                        self.pos += 1;
+                        return Ok((Tok::Sym("<="), at));
+                    }
+                    if self.src[self.pos..].starts_with('>') {
+                        self.pos += 1;
+                        return Ok((Tok::Sym("<>"), at));
+                    }
+                    Ok((Tok::Sym("<"), at))
+                }
+                '>' => {
+                    self.pos += 1;
+                    if self.src[self.pos..].starts_with('=') {
+                        self.pos += 1;
+                        return Ok((Tok::Sym(">="), at));
+                    }
+                    Ok((Tok::Sym(">"), at))
+                }
+                '!' => {
+                    self.pos += 1;
+                    if self.src[self.pos..].starts_with('=') {
+                        self.pos += 1;
+                        return Ok((Tok::Sym("<>"), at));
+                    }
+                    Err(self.error("unexpected '!'"))
+                }
+                '=' => {
+                    self.pos += 1;
+                    Ok((Tok::Sym("="), at))
+                }
+                ',' | '.' | '(' | ')' | '*' | '+' | '-' | '/' => {
+                    self.pos += 1;
+                    let s = match c {
+                        ',' => ",",
+                        '.' => ".",
+                        '(' => "(",
+                        ')' => ")",
+                        '*' => "*",
+                        '+' => "+",
+                        '-' => "-",
+                        '/' => "/",
+                        _ => unreachable!(),
+                    };
+                    Ok((Tok::Sym(s), at))
+                }
+                _ => Err(self.error(format!("unexpected character {c:?}"))),
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+    cat: &'a Catalog,
+    builder: QueryBuilder,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at.min(self.toks.len() - 1)].0
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.at.min(self.toks.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at.min(self.toks.len() - 1)].0.clone();
+        self.at += 1;
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> QueryError {
+        QueryError::Parse { msg: msg.into(), pos: self.pos() }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.bump() {
+            Tok::Ident(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        match self.bump() {
+            Tok::Sym(s) if s == sym => Ok(()),
+            other => Err(self.error(format!("expected '{sym}', found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Tok::Sym(s) if *s == sym) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(w) => Ok(w),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parse a column reference (after FROM resolution).
+    fn colref(&mut self) -> Result<crate::scalar::QCol> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let col = self.ident()?;
+            self.builder.resolve(self.cat, &first, &col)
+        } else {
+            self.builder.resolve_bare(self.cat, &first)
+        }
+    }
+
+    fn atom(&mut self) -> Result<Scalar> {
+        match self.peek().clone() {
+            Tok::Number(v, is_int) => {
+                self.at += 1;
+                Ok(Scalar::Const(if is_int { Value::Int(v as i64) } else { Value::Double(v) }))
+            }
+            Tok::Str(s) => {
+                self.at += 1;
+                Ok(Scalar::Const(Value::str(s)))
+            }
+            Tok::Sym("(") => {
+                self.at += 1;
+                let e = self.scalar()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Sym("-") => {
+                self.at += 1;
+                let e = self.atom()?;
+                match e {
+                    Scalar::Const(Value::Int(i)) => Ok(Scalar::Const(Value::Int(-i))),
+                    Scalar::Const(Value::Double(d)) => Ok(Scalar::Const(Value::Double(-d))),
+                    other => Ok(Scalar::Arith(
+                        ArithOp::Sub,
+                        Box::new(Scalar::Const(Value::Int(0))),
+                        Box::new(other),
+                    )),
+                }
+            }
+            Tok::Ident(_) => Ok(Scalar::Col(self.colref()?)),
+            other => Err(self.error(format!("expected scalar, found {other:?}"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Scalar> {
+        let mut e = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym("*") => ArithOp::Mul,
+                Tok::Sym("/") => ArithOp::Div,
+                _ => break,
+            };
+            self.at += 1;
+            let r = self.atom()?;
+            e = Scalar::Arith(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn scalar(&mut self) -> Result<Scalar> {
+        let mut e = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym("+") => ArithOp::Add,
+                Tok::Sym("-") => ArithOp::Sub,
+                _ => break,
+            };
+            self.at += 1;
+            let r = self.term()?;
+            e = Scalar::Arith(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn cmp(&mut self) -> Result<PredExpr> {
+        let l = self.scalar()?;
+        let op = match self.bump() {
+            Tok::Sym("=") => CmpOp::Eq,
+            Tok::Sym("<>") => CmpOp::Ne,
+            Tok::Sym("<") => CmpOp::Lt,
+            Tok::Sym("<=") => CmpOp::Le,
+            Tok::Sym(">") => CmpOp::Gt,
+            Tok::Sym(">=") => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison, found {other:?}"))),
+        };
+        let r = self.scalar()?;
+        Ok(PredExpr::Cmp(op, l, r))
+    }
+
+    /// A WHERE factor: either a parenthesized OR-group or a comparison.
+    fn factor(&mut self) -> Result<PredExpr> {
+        if matches!(self.peek(), Tok::Sym("(")) {
+            // Could be "(scalar) op scalar" or "(cmp OR cmp)". Try the OR
+            // group by lookahead: parse inside as cmp; if followed by OR it
+            // is a group, otherwise re-parse as comparison.
+            let save = self.at;
+            self.at += 1;
+            if let Ok(first) = self.cmp() {
+                if self.at_kw("OR") {
+                    let mut arms = vec![first];
+                    while self.at_kw("OR") {
+                        self.at += 1;
+                        arms.push(self.cmp()?);
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(PredExpr::Or(arms));
+                }
+                if self.eat_sym(")") && !self.is_cmp_op() {
+                    return Ok(first);
+                }
+            }
+            self.at = save;
+        }
+        self.cmp()
+    }
+
+    fn is_cmp_op(&self) -> bool {
+        matches!(self.peek(), Tok::Sym("=" | "<>" | "<" | "<=" | ">" | ">="))
+    }
+
+    fn parse(mut self) -> Result<Query> {
+        self.expect_kw("SELECT")?;
+        // FROM must be parsed before select columns can resolve; collect the
+        // select token range first.
+        let select_start = self.at;
+        let mut depth = 0usize;
+        while !(depth == 0 && self.at_kw("FROM")) {
+            match self.peek() {
+                Tok::Eof => return Err(self.error("expected FROM")),
+                Tok::Sym("(") => depth += 1,
+                Tok::Sym(")") => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            self.at += 1;
+        }
+        let select_end = self.at;
+        self.expect_kw("FROM")?;
+        loop {
+            let table = self.ident()?;
+            let alias = match self.peek() {
+                Tok::Ident(w)
+                    if !w.eq_ignore_ascii_case("WHERE") && !w.eq_ignore_ascii_case("ORDER") =>
+                {
+                    self.ident()?
+                }
+                _ => table.clone(),
+            };
+            self.builder.quantifier(self.cat, &table, &alias)?;
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let after_from = self.at;
+
+        // Now resolve the select list.
+        self.at = select_start;
+        if matches!(self.peek(), Tok::Sym("*")) {
+            self.at += 1;
+            // Expand `*` into every column of every quantifier, in
+            // (quantifier, column) order, so the projection is explicit.
+            for qt in self.builder.quantifiers_snapshot() {
+                let ncols = self.cat.table(qt.1).columns.len() as u32;
+                for ci in 0..ncols {
+                    self.builder
+                        .select(crate::scalar::QCol::new(qt.0, starqo_catalog::ColId(ci)));
+                }
+            }
+        } else {
+            loop {
+                let c = self.colref()?;
+                self.builder.select(c);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        if self.at != select_end {
+            return Err(self.error("trailing tokens in select list"));
+        }
+        self.at = after_from;
+
+        if self.at_kw("WHERE") {
+            self.at += 1;
+            loop {
+                let p = self.factor()?;
+                self.builder.predicate(p)?;
+                if self.at_kw("AND") {
+                    self.at += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.at_kw("ORDER") {
+            self.at += 1;
+            self.expect_kw("BY")?;
+            loop {
+                let c = self.colref()?;
+                self.builder.order_by(c);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        match self.peek() {
+            Tok::Eof => self.builder.build(),
+            other => Err(self.error(format!("unexpected trailing token {other:?}"))),
+        }
+    }
+}
+
+/// Parse a mini-SQL query against a catalog.
+pub fn parse_query(cat: &Catalog, sql: &str) -> Result<Query> {
+    let mut lx = Lexer::new(sql);
+    let mut toks = Vec::new();
+    loop {
+        let (t, p) = lx.next_tok()?;
+        let eof = t == Tok::Eof;
+        toks.push((t, p));
+        if eof {
+            break;
+        }
+    }
+    Parser { toks, at: 0, cat, builder: QueryBuilder::new() }.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredId;
+    use crate::qset::{QId, QSet};
+    use starqo_catalog::{ColId, DataType, StorageKind};
+
+    fn cat() -> Catalog {
+        Catalog::builder()
+            .site("NY")
+            .table("DEPT", "NY", StorageKind::Heap, 50)
+            .column("DNO", DataType::Int, Some(50))
+            .column("MGR", DataType::Str, Some(40))
+            .table("EMP", "NY", StorageKind::Heap, 10_000)
+            .column("NAME", DataType::Str, None)
+            .column("DNO", DataType::Int, Some(50))
+            .column("SAL", DataType::Double, None)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_paper_query() {
+        let cat = cat();
+        let q = parse_query(
+            &cat,
+            "SELECT E.NAME FROM DEPT D, EMP E WHERE D.MGR = 'Haas' AND D.DNO = E.DNO",
+        )
+        .unwrap();
+        assert_eq!(q.quantifiers.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.pred_string(&cat, PredId(0)), "D.MGR = 'Haas'");
+        assert_eq!(q.pred_string(&cat, PredId(1)), "D.DNO = E.DNO");
+    }
+
+    #[test]
+    fn default_alias_is_table_name() {
+        let cat = cat();
+        let q = parse_query(&cat, "SELECT EMP.NAME FROM EMP WHERE EMP.SAL > 100.5").unwrap();
+        assert_eq!(q.quantifiers[0].alias, "EMP");
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn star_select_and_bare_columns() {
+        let cat = cat();
+        let q = parse_query(&cat, "SELECT * FROM EMP E WHERE SAL > 5 AND NAME = 'x'").unwrap();
+        // `*` expands to every column of every quantifier.
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.predicates.len(), 2);
+    }
+
+    #[test]
+    fn or_groups() {
+        let cat = cat();
+        let q = parse_query(
+            &cat,
+            "SELECT E.NAME FROM EMP E WHERE (E.DNO = 1 OR E.DNO = 2) AND E.SAL > 0",
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        assert!(q.pred(PredId(0)).expr.contains_or());
+        assert!(!q.pred(PredId(1)).expr.contains_or());
+    }
+
+    #[test]
+    fn arithmetic_and_order_by() {
+        let cat = cat();
+        let q = parse_query(
+            &cat,
+            "SELECT E.NAME FROM EMP E, DEPT D WHERE E.SAL + 10 * 2 = D.DNO ORDER BY E.NAME",
+        )
+        .unwrap();
+        assert_eq!(q.order_by, vec![crate::scalar::QCol::new(QId(0), ColId(0))]);
+        assert_eq!(q.pred(PredId(0)).quantifiers(), QSet::from_iter([QId(0), QId(1)]));
+    }
+
+    #[test]
+    fn parenthesized_scalar_not_confused_with_or_group() {
+        let cat = cat();
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE (E.SAL + 1) > 2").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn errors_reported() {
+        let cat = cat();
+        assert!(parse_query(&cat, "SELECT FROM EMP").is_err());
+        assert!(parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE").is_err());
+        assert!(parse_query(&cat, "SELECT E.NOPE FROM EMP E").is_err());
+        assert!(parse_query(&cat, "SELECT E.NAME FROM NOPE E").is_err());
+        assert!(parse_query(&cat, "SELECT E.NAME FROM EMP E extra garbage").is_err());
+        assert!(parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.SAL = 'oops").is_err());
+        assert!(parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.SAL ! 3").is_err());
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let cat = cat();
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.SAL > -5").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Quantifier identifiers and bitset quantifier sets.
+
+use std::fmt;
+
+/// Identifier of a quantifier (a table reference / range variable) within a
+/// query. Queries are limited to 64 quantifiers so that quantifier sets fit
+/// in one machine word — plenty for the paper's join-enumeration experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QId(pub u32);
+
+impl fmt::Display for QId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A set of quantifiers, as a 64-bit bitset.
+///
+/// This is the paper's "table (quantifier) set" — the `T1`, `T2` parameters
+/// of `JoinRoot` and friends. Bottom-up enumeration (§2.3) is dynamic
+/// programming over these sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QSet(pub u64);
+
+impl QSet {
+    pub const EMPTY: QSet = QSet(0);
+
+    pub fn single(q: QId) -> Self {
+        debug_assert!(q.0 < 64, "at most 64 quantifiers per query");
+        QSet(1u64 << q.0)
+    }
+
+    /// All quantifiers `q0..qn`.
+    pub fn all(n: usize) -> Self {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            QSet(u64::MAX)
+        } else {
+            QSet((1u64 << n) - 1)
+        }
+    }
+
+    #[must_use]
+    pub fn insert(self, q: QId) -> Self {
+        QSet(self.0 | (1u64 << q.0))
+    }
+
+    #[must_use]
+    pub fn remove(self, q: QId) -> Self {
+        QSet(self.0 & !(1u64 << q.0))
+    }
+
+    pub fn contains(self, q: QId) -> bool {
+        self.0 & (1u64 << q.0) != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of quantifiers — the paper's `|T|`.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if this is a composite (result of a join): `|T| > 1`.
+    pub fn is_composite(self) -> bool {
+        self.len() > 1
+    }
+
+    #[must_use]
+    pub fn union(self, other: QSet) -> Self {
+        QSet(self.0 | other.0)
+    }
+
+    #[must_use]
+    pub fn intersect(self, other: QSet) -> Self {
+        QSet(self.0 & other.0)
+    }
+
+    #[must_use]
+    pub fn minus(self, other: QSet) -> Self {
+        QSet(self.0 & !other.0)
+    }
+
+    pub fn is_subset_of(self, other: QSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    pub fn is_disjoint(self, other: QSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// The single quantifier, if `|T| == 1`.
+    pub fn as_single(self) -> Option<QId> {
+        if self.len() == 1 {
+            Some(QId(self.0.trailing_zeros()))
+        } else {
+            None
+        }
+    }
+
+    pub fn iter(self) -> impl Iterator<Item = QId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(QId(i))
+            }
+        })
+    }
+
+    /// Enumerate all non-empty proper subsets of this set. Used by bushy
+    /// join enumeration (composite inners, §2.3).
+    pub fn proper_subsets(self) -> impl Iterator<Item = QSet> {
+        let full = self.0;
+        let mut sub = full & full.wrapping_sub(1); // largest proper subset
+        let mut done = full == 0;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            if sub != 0 {
+                let cur = QSet(sub);
+                sub = (sub - 1) & full;
+                return Some(cur);
+            }
+            done = true;
+            None
+        })
+    }
+}
+
+impl FromIterator<QId> for QSet {
+    fn from_iter<T: IntoIterator<Item = QId>>(iter: T) -> Self {
+        iter.into_iter().fold(QSet::EMPTY, |s, q| s.insert(q))
+    }
+}
+
+impl fmt::Display for QSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, q) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_ops() {
+        let a = QSet::from_iter([QId(0), QId(2)]);
+        let b = QSet::single(QId(2)).insert(QId(5));
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(QId(2)));
+        assert!(!a.contains(QId(1)));
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersect(b), QSet::single(QId(2)));
+        assert_eq!(a.minus(b), QSet::single(QId(0)));
+        assert!(QSet::single(QId(2)).is_subset_of(a));
+        assert!(a.remove(QId(2)).is_disjoint(b.remove(QId(2)).remove(QId(5))));
+    }
+
+    #[test]
+    fn single_and_composite() {
+        assert_eq!(QSet::single(QId(3)).as_single(), Some(QId(3)));
+        assert!(QSet::from_iter([QId(0), QId(1)]).as_single().is_none());
+        assert!(QSet::from_iter([QId(0), QId(1)]).is_composite());
+        assert!(!QSet::single(QId(0)).is_composite());
+        assert!(QSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = QSet::from_iter([QId(5), QId(1), QId(9)]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![QId(1), QId(5), QId(9)]);
+        assert_eq!(s.to_string(), "{q1,q5,q9}");
+    }
+
+    #[test]
+    fn all_constructor() {
+        assert_eq!(QSet::all(3), QSet::from_iter([QId(0), QId(1), QId(2)]));
+        assert_eq!(QSet::all(0), QSet::EMPTY);
+        assert_eq!(QSet::all(64).len(), 64);
+    }
+
+    #[test]
+    fn proper_subsets_enumerates_all() {
+        let s = QSet::all(3);
+        let subs: Vec<_> = s.proper_subsets().collect();
+        // 2^3 - 2 = 6 non-empty proper subsets.
+        assert_eq!(subs.len(), 6);
+        for sub in &subs {
+            assert!(!sub.is_empty());
+            assert!(sub.is_subset_of(s));
+            assert_ne!(*sub, s);
+        }
+        // Pairs (sub, complement) partition the set.
+        for sub in subs {
+            let comp = s.minus(sub);
+            assert_eq!(sub.union(comp), s);
+        }
+    }
+
+    #[test]
+    fn proper_subsets_of_singleton_is_empty() {
+        assert_eq!(QSet::single(QId(0)).proper_subsets().count(), 0);
+        assert_eq!(QSet::EMPTY.proper_subsets().count(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The database container: stored tables and indexes for a whole catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use starqo_catalog::{Catalog, IndexId, StorageKind, TableId};
+
+use crate::btree::BTreeIndexData;
+use crate::error::{Result, StorageError};
+use crate::table::StoredTable;
+use crate::tuple::Tuple;
+
+/// A loaded database: one `StoredTable` per catalog table, plus built
+/// indexes. Sites are bookkeeping — all data lives in this process, and the
+/// `SHIP` operator's cost is simulated.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Arc<Catalog>,
+    tables: HashMap<TableId, StoredTable>,
+    indexes: HashMap<IndexId, BTreeIndexData>,
+}
+
+impl Database {
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn table(&self, id: TableId) -> Result<&StoredTable> {
+        self.tables.get(&id).ok_or(StorageError::NoSuchTable(id))
+    }
+
+    pub fn index(&self, id: IndexId) -> Result<&BTreeIndexData> {
+        self.indexes.get(&id).ok_or(StorageError::NoSuchIndex(id))
+    }
+
+    /// Actual row count of a table (may differ from the catalog estimate).
+    pub fn actual_card(&self, id: TableId) -> u64 {
+        self.tables.get(&id).map(|t| t.len() as u64).unwrap_or(0)
+    }
+}
+
+/// Builder that loads rows and then builds all catalog indexes.
+pub struct DatabaseBuilder {
+    catalog: Arc<Catalog>,
+    tables: HashMap<TableId, StoredTable>,
+}
+
+impl DatabaseBuilder {
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        let tables = catalog
+            .tables()
+            .iter()
+            .map(|t| (t.id, StoredTable::new(t.id)))
+            .collect();
+        DatabaseBuilder { catalog, tables }
+    }
+
+    /// Insert one row into a table (by name).
+    pub fn insert(&mut self, table: &str, values: Vec<starqo_catalog::Value>) -> Result<()> {
+        let t = self
+            .catalog
+            .table_by_name(table)
+            .map_err(|_| StorageError::NoSuchTable(TableId(u32::MAX)))?;
+        let schema = t.clone();
+        self.tables
+            .get_mut(&schema.id)
+            .ok_or(StorageError::NoSuchTable(schema.id))?
+            .insert(&schema, Tuple(values))?;
+        Ok(())
+    }
+
+    /// Insert one row by table id.
+    pub fn insert_id(&mut self, table: TableId, row: Tuple) -> Result<()> {
+        let schema = self.catalog.table(table).clone();
+        self.tables
+            .get_mut(&table)
+            .ok_or(StorageError::NoSuchTable(table))?
+            .insert(&schema, row)?;
+        Ok(())
+    }
+
+    /// Finish loading: sort B-tree-stored tables on their keys, then build
+    /// every catalog index.
+    pub fn build(mut self) -> Result<Database> {
+        for t in self.catalog.tables() {
+            if let StorageKind::BTree { key } = &t.storage {
+                if let Some(data) = self.tables.get_mut(&t.id) {
+                    data.sort_on(key);
+                }
+            }
+        }
+        let mut indexes = HashMap::new();
+        for def in self.catalog.indexes() {
+            let data = self.tables.get(&def.table).ok_or(StorageError::NoSuchTable(def.table))?;
+            indexes.insert(def.id, BTreeIndexData::build(def, data)?);
+        }
+        Ok(Database { catalog: self.catalog, tables: self.tables, indexes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starqo_catalog::{Catalog, DataType, Value};
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::builder()
+                .site("x")
+                .table("T", "x", StorageKind::BTree { key: vec![starqo_catalog::ColId(0)] }, 3)
+                .column("A", DataType::Int, Some(3))
+                .column("B", DataType::Str, None)
+                .index("T_B", "T", &["B"], false, false)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn load_sorts_btree_tables_and_builds_indexes() {
+        let cat = catalog();
+        let mut b = DatabaseBuilder::new(cat.clone());
+        b.insert("T", vec![Value::Int(3), Value::str("c")]).unwrap();
+        b.insert("T", vec![Value::Int(1), Value::str("a")]).unwrap();
+        b.insert("T", vec![Value::Int(2), Value::str("b")]).unwrap();
+        let db = b.build().unwrap();
+        let t = db.table(TableId(0)).unwrap();
+        let first: Vec<_> = t.scan().map(|(_, r)| r.get(0).clone()).collect();
+        assert_eq!(first, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let ix = db.index(IndexId(0)).unwrap();
+        assert_eq!(ix.entries(), 3);
+        assert_eq!(db.actual_card(TableId(0)), 3);
+    }
+
+    #[test]
+    fn missing_objects_error() {
+        let cat = catalog();
+        let db = DatabaseBuilder::new(cat).build().unwrap();
+        assert!(db.table(TableId(9)).is_err());
+        assert!(db.index(IndexId(9)).is_err());
+        assert_eq!(db.actual_card(TableId(9)), 0);
+    }
+
+    #[test]
+    fn insert_unknown_table_errors() {
+        let cat = catalog();
+        let mut b = DatabaseBuilder::new(cat);
+        assert!(b.insert("NOPE", vec![]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Stored heap tables.
+
+use starqo_catalog::{Table, TableId, Value};
+
+use crate::error::{Result, StorageError};
+use crate::tuple::{Tid, Tuple};
+
+/// Nominal rows per page for I/O accounting. The cost model sizes pages in
+/// bytes; the executor charges one page per `ROWS_PER_PAGE` contiguous rows.
+pub const ROWS_PER_PAGE: u64 = 64;
+
+/// The stored rows of one table. For `StorageKind::BTree` tables the rows
+/// are kept sorted on the key, which is how the storage manager delivers
+/// them in key order.
+#[derive(Debug, Clone)]
+pub struct StoredTable {
+    pub table: TableId,
+    rows: Vec<Tuple>,
+}
+
+impl StoredTable {
+    pub fn new(table: TableId) -> Self {
+        StoredTable { table, rows: Vec::new() }
+    }
+
+    /// Append a row, validating arity against the schema.
+    pub fn insert(&mut self, schema: &Table, row: Tuple) -> Result<Tid> {
+        if row.arity() != schema.columns.len() {
+            return Err(StorageError::SchemaMismatch {
+                table: self.table,
+                expected: schema.columns.len(),
+                got: row.arity(),
+            });
+        }
+        let tid = Tid(self.rows.len() as u64);
+        self.rows.push(row);
+        Ok(tid)
+    }
+
+    /// Sort rows on the given key columns (used when loading B-tree-stored
+    /// tables). Note: invalidates TIDs, so must happen before index builds.
+    pub fn sort_on(&mut self, key: &[starqo_catalog::ColId]) {
+        self.rows.sort_by(|a, b| {
+            for c in key {
+                let ord = a.get(c.0 as usize).cmp(b.get(c.0 as usize));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    pub fn fetch(&self, tid: Tid) -> Result<&Tuple> {
+        self.rows
+            .get(tid.0 as usize)
+            .ok_or(StorageError::BadTid { table: self.table, tid: tid.0 })
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of heap pages the table occupies.
+    pub fn pages(&self) -> u64 {
+        (self.rows.len() as u64).div_ceil(ROWS_PER_PAGE).max(1)
+    }
+
+    /// Scan all rows with their TIDs.
+    pub fn scan(&self) -> impl Iterator<Item = (Tid, &Tuple)> {
+        self.rows.iter().enumerate().map(|(i, t)| (Tid(i as u64), t))
+    }
+
+    /// Column values of a row by column position.
+    pub fn value(&self, tid: Tid, col: usize) -> Result<&Value> {
+        Ok(self.fetch(tid)?.get(col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starqo_catalog::{ColId, Column, DataType, SiteId, StorageKind};
+
+    fn schema() -> Table {
+        Table {
+            id: TableId(0),
+            name: "T".into(),
+            columns: vec![Column::new("A", DataType::Int), Column::new("B", DataType::Str)],
+            card: 0,
+            site: SiteId(0),
+            storage: StorageKind::Heap,
+        }
+    }
+
+    #[test]
+    fn insert_scan_fetch() {
+        let s = schema();
+        let mut t = StoredTable::new(TableId(0));
+        let t0 = t.insert(&s, Tuple(vec![Value::Int(2), Value::str("b")])).unwrap();
+        let t1 = t.insert(&s, Tuple(vec![Value::Int(1), Value::str("a")])).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(*t.value(t0, 0).unwrap(), Value::Int(2));
+        assert_eq!(*t.value(t1, 1).unwrap(), Value::str("a"));
+        let rows: Vec<_> = t.scan().map(|(tid, _)| tid).collect();
+        assert_eq!(rows, vec![Tid(0), Tid(1)]);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let s = schema();
+        let mut t = StoredTable::new(TableId(0));
+        let err = t.insert(&s, Tuple(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_tid() {
+        let t = StoredTable::new(TableId(0));
+        assert!(matches!(t.fetch(Tid(0)), Err(StorageError::BadTid { .. })));
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let s = schema();
+        let mut t = StoredTable::new(TableId(0));
+        assert_eq!(t.pages(), 1); // empty still occupies one page
+        for i in 0..(ROWS_PER_PAGE + 1) {
+            t.insert(&s, Tuple(vec![Value::Int(i as i64), Value::str("x")])).unwrap();
+        }
+        assert_eq!(t.pages(), 2);
+    }
+
+    #[test]
+    fn sort_on_key() {
+        let s = schema();
+        let mut t = StoredTable::new(TableId(0));
+        for v in [3, 1, 2] {
+            t.insert(&s, Tuple(vec![Value::Int(v), Value::str("x")])).unwrap();
+        }
+        t.sort_on(&[ColId(0)]);
+        let vals: Vec<_> = t.scan().map(|(_, r)| r.get(0).clone()).collect();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+}

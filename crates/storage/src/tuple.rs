@@ -1,0 +1,105 @@
+//! Tuples and tuple identifiers.
+
+use std::fmt;
+
+use starqo_catalog::Value;
+
+/// A tuple identifier: the stable address of a tuple within its table.
+///
+/// TIDs flow through plans as values of the TID pseudo-column (an index
+/// `ACCESS` emits them, `GET` dereferences them). The page number is derived
+/// from the slot so the evaluator can count page I/O for `GET`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u64);
+
+impl Tid {
+    /// The page this TID lives on, given rows-per-page.
+    pub fn page(self, rows_per_page: u64) -> u64 {
+        self.0 / rows_per_page.max(1)
+    }
+
+    /// Encode as a runtime value (TIDs travel in tuple columns).
+    pub fn to_value(self) -> Value {
+        Value::Int(self.0 as i64)
+    }
+
+    /// Decode from a runtime value.
+    pub fn from_value(v: &Value) -> Option<Tid> {
+        match v {
+            Value::Int(i) if *i >= 0 => Some(Tid(*i as u64)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid:{}", self.0)
+    }
+}
+
+/// A tuple: a vector of values in schema column order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_round_trip() {
+        let t = Tid(42);
+        assert_eq!(Tid::from_value(&t.to_value()), Some(t));
+        assert_eq!(Tid::from_value(&Value::str("x")), None);
+        assert_eq!(Tid::from_value(&Value::Int(-1)), None);
+    }
+
+    #[test]
+    fn tid_pages() {
+        assert_eq!(Tid(0).page(10), 0);
+        assert_eq!(Tid(9).page(10), 0);
+        assert_eq!(Tid(10).page(10), 1);
+        assert_eq!(Tid(5).page(0), 5); // degenerate rows_per_page clamps to 1
+    }
+
+    #[test]
+    fn tuple_display() {
+        let t: Tuple = vec![Value::Int(1), Value::str("x")].into_iter().collect();
+        assert_eq!(t.to_string(), "(1, 'x')");
+        assert_eq!(t.arity(), 2);
+        assert_eq!(*t.get(0), Value::Int(1));
+    }
+}

@@ -1,0 +1,23 @@
+//! # starqo-workload
+//!
+//! Synthetic catalogs, databases, and queries for benches, examples, and
+//! property tests. Everything is deterministic under a caller-supplied
+//! seed, so experiment tables are reproducible run to run.
+//!
+//! The paper has no workload of its own (its evaluation is worked examples
+//! and strategy-space arguments), so this crate supplies:
+//!
+//! * [`paper`] — the DEPT/EMP catalog, data, and query of Figures 1–3,
+//!   in local and distributed (N.Y./L.A.) variants;
+//! * [`synth`] — parameterized random catalogs + databases (table count,
+//!   cardinality ranges, index density, site count, storage mix);
+//! * [`queries`] — chain / star / clique join-query generators over a
+//!   synthetic catalog.
+
+pub mod paper;
+pub mod queries;
+pub mod synth;
+
+pub use paper::{dept_emp_catalog, dept_emp_database, dept_emp_query, PAPER_SQL};
+pub use queries::{query_shape, QueryShape};
+pub use synth::{synth_catalog, synth_database, SynthSpec};

@@ -1,0 +1,90 @@
+//! The paper's own example: DEPT ⋈ EMP with an index on EMP.DNO
+//! (Figure 1), stored at N.Y. (and EMP optionally at L.A. for the
+//! distributed experiments of §4.2 and Figure 3).
+
+use std::sync::Arc;
+
+use starqo_catalog::{Catalog, DataType, StorageKind, Value};
+use starqo_query::{parse_query, Query};
+use starqo_storage::{Database, DatabaseBuilder};
+
+/// The running-example query of §2.1:
+/// employees of departments managed by Haas.
+pub const PAPER_SQL: &str = "SELECT E.NAME, E.ADDRESS FROM DEPT D, EMP E \
+                             WHERE D.MGR = 'Haas' AND D.DNO = E.DNO";
+
+/// Build the DEPT/EMP catalog. With `distributed`, EMP lives at L.A. while
+/// DEPT and the query stay at N.Y.
+pub fn dept_emp_catalog(distributed: bool, emp_card: u64) -> Arc<Catalog> {
+    let emp_site = if distributed { "L.A." } else { "N.Y." };
+    Arc::new(
+        Catalog::builder()
+            .site("N.Y.")
+            .site("L.A.")
+            .table("DEPT", "N.Y.", StorageKind::Heap, 50)
+            .column("DNO", DataType::Int, Some(50))
+            .column("MGR", DataType::Str, Some(50))
+            .table("EMP", emp_site, StorageKind::Heap, emp_card)
+            .column("ENO", DataType::Int, Some(emp_card))
+            .column("NAME", DataType::Str, None)
+            .column("ADDRESS", DataType::Str, None)
+            .column("DNO", DataType::Int, Some(50))
+            .index("EMP_DNO", "EMP", &["DNO"], false, false)
+            .build()
+            .expect("paper catalog is well-formed"),
+    )
+}
+
+/// Load data matching the catalog statistics: 50 departments (exactly one
+/// managed by 'Haas'), `emp_card` employees spread uniformly over the 50
+/// departments.
+pub fn dept_emp_database(cat: Arc<Catalog>) -> Database {
+    let emp_card = cat.table_by_name("EMP").expect("EMP").card as i64;
+    let mut b = DatabaseBuilder::new(cat);
+    for d in 0..50i64 {
+        let mgr = if d == 7 { "Haas".to_string() } else { format!("mgr{d}") };
+        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)]).expect("dept row");
+    }
+    for e in 0..emp_card {
+        b.insert(
+            "EMP",
+            vec![
+                Value::Int(e),
+                Value::str(format!("name{e}")),
+                Value::str(format!("addr{e}")),
+                Value::Int(e % 50),
+            ],
+        )
+        .expect("emp row");
+    }
+    b.build().expect("paper database loads")
+}
+
+/// Parse the paper's query against the catalog.
+pub fn dept_emp_query(cat: &Catalog) -> Query {
+    parse_query(cat, PAPER_SQL).expect("paper query parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fixture_is_consistent() {
+        let cat = dept_emp_catalog(false, 1000);
+        let q = dept_emp_query(&cat);
+        assert_eq!(q.quantifiers.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        let db = dept_emp_database(cat);
+        assert_eq!(db.actual_card(starqo_catalog::TableId(0)), 50);
+        assert_eq!(db.actual_card(starqo_catalog::TableId(1)), 1000);
+    }
+
+    #[test]
+    fn distributed_variant_moves_emp() {
+        let cat = dept_emp_catalog(true, 100);
+        let emp = cat.table_by_name("EMP").unwrap();
+        let dept = cat.table_by_name("DEPT").unwrap();
+        assert_ne!(emp.site, dept.site);
+    }
+}

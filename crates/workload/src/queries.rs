@@ -1,0 +1,167 @@
+//! Join-query generators over synthetic catalogs.
+
+use starqo_catalog::{Catalog, ColId, Value};
+use starqo_query::{CmpOp, PredExpr, QCol, Query, QueryBuilder, Scalar};
+
+/// Join-graph shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// `T0.FK = T1.ID AND T1.FK = T2.ID AND ...`
+    Chain,
+    /// `T0.FK = T1.ID AND T0.FK = T2.ID AND ...` (T0 is the hub).
+    Star,
+    /// Chain plus a closing predicate `T(n-1).FK = T0.ID`.
+    Cycle,
+    /// Every pair joined: `Ti.FK = Tj.ID` for all i < j — the densest join
+    /// graph, where bushy enumeration has the most partitions to consider.
+    Clique,
+}
+
+/// Build a query of the given shape over the first `n` tables of a
+/// synthetic catalog (`synth_catalog` naming conventions), optionally with a
+/// selective local predicate `T0.P0 = 0` to exercise pushdown.
+pub fn query_shape(
+    cat: &Catalog,
+    shape: QueryShape,
+    n: usize,
+    local_pred: bool,
+) -> Query {
+    assert!(n >= 2, "need at least two tables to join");
+    let mut b = QueryBuilder::new();
+    let mut qs = Vec::with_capacity(n);
+    for i in 0..n {
+        let alias = format!("t{i}");
+        qs.push(
+            b.quantifier(cat, &format!("T{i}"), &alias)
+                .expect("synthetic table exists"),
+        );
+    }
+    let fk = ColId(1);
+    let id = ColId(0);
+    let eq = |a: Scalar, b: Scalar| PredExpr::Cmp(CmpOp::Eq, a, b);
+    match shape {
+        QueryShape::Chain => {
+            for i in 0..n - 1 {
+                b.predicate(eq(Scalar::col(qs[i], fk), Scalar::col(qs[i + 1], id)))
+                    .expect("pred");
+            }
+        }
+        QueryShape::Star => {
+            for i in 1..n {
+                b.predicate(eq(Scalar::col(qs[0], fk), Scalar::col(qs[i], id)))
+                    .expect("pred");
+            }
+        }
+        QueryShape::Cycle => {
+            for i in 0..n - 1 {
+                b.predicate(eq(Scalar::col(qs[i], fk), Scalar::col(qs[i + 1], id)))
+                    .expect("pred");
+            }
+            b.predicate(eq(Scalar::col(qs[n - 1], fk), Scalar::col(qs[0], id)))
+                .expect("pred");
+        }
+        QueryShape::Clique => {
+            for i in 0..n {
+                for j in i + 1..n {
+                    b.predicate(eq(Scalar::col(qs[i], fk), Scalar::col(qs[j], id)))
+                        .expect("pred");
+                }
+            }
+        }
+    }
+    if local_pred {
+        // T0.P0 = 0 (payload column, if present).
+        if cat.tables()[0].columns.len() > 2 {
+            b.predicate(PredExpr::Cmp(
+                CmpOp::Eq,
+                Scalar::col(qs[0], ColId(2)),
+                Scalar::Const(Value::Int(0)),
+            ))
+            .expect("pred");
+        }
+    }
+    b.select(QCol::new(qs[0], id));
+    b.select(QCol::new(qs[n - 1], id));
+    b.build().expect("generated query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synth_catalog, SynthSpec};
+    use starqo_query::QSet;
+
+    fn cat() -> std::sync::Arc<Catalog> {
+        synth_catalog(1, &SynthSpec { tables: 5, ..Default::default() })
+    }
+
+    #[test]
+    fn chain_is_connected_in_sequence() {
+        let cat = cat();
+        let q = query_shape(&cat, QueryShape::Chain, 4, false);
+        assert_eq!(q.predicates.len(), 3);
+        for i in 0..3u32 {
+            assert!(q.connects(
+                QSet::single(starqo_query::QId(i)),
+                QSet::single(starqo_query::QId(i + 1))
+            ));
+        }
+        assert!(!q.connects(
+            QSet::single(starqo_query::QId(0)),
+            QSet::single(starqo_query::QId(3))
+        ));
+    }
+
+    #[test]
+    fn star_hubs_on_t0() {
+        let cat = cat();
+        let q = query_shape(&cat, QueryShape::Star, 4, false);
+        assert_eq!(q.predicates.len(), 3);
+        for i in 1..4u32 {
+            assert!(q.connects(
+                QSet::single(starqo_query::QId(0)),
+                QSet::single(starqo_query::QId(i))
+            ));
+        }
+        assert!(!q.connects(
+            QSet::single(starqo_query::QId(1)),
+            QSet::single(starqo_query::QId(2))
+        ));
+    }
+
+    #[test]
+    fn cycle_closes_the_loop() {
+        let cat = cat();
+        let q = query_shape(&cat, QueryShape::Cycle, 3, false);
+        assert_eq!(q.predicates.len(), 3);
+        assert!(q.connects(
+            QSet::single(starqo_query::QId(2)),
+            QSet::single(starqo_query::QId(0))
+        ));
+    }
+
+    #[test]
+    fn clique_connects_every_pair() {
+        let cat = cat();
+        let q = query_shape(&cat, QueryShape::Clique, 4, false);
+        assert_eq!(q.predicates.len(), 6); // C(4,2)
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    assert!(q.connects(
+                        QSet::single(starqo_query::QId(i)),
+                        QSet::single(starqo_query::QId(j))
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_pred_added_when_requested() {
+        let cat = cat();
+        let with = query_shape(&cat, QueryShape::Chain, 3, true);
+        let without = query_shape(&cat, QueryShape::Chain, 3, false);
+        assert_eq!(with.predicates.len(), without.predicates.len() + 1);
+    }
+}

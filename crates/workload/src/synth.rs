@@ -1,0 +1,146 @@
+//! Parameterized synthetic catalogs and databases.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use starqo_catalog::{Catalog, DataType, StorageKind, Value};
+use starqo_storage::{Database, DatabaseBuilder};
+
+/// Shape of a synthetic schema.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    pub tables: usize,
+    /// Cardinality range per table (inclusive).
+    pub card_range: (u64, u64),
+    /// Number of sites; tables are assigned round-robin.
+    pub sites: usize,
+    /// Probability that a table gets a secondary index on its join column.
+    pub index_prob: f64,
+    /// Probability that a table is B-tree-stored on its ID column.
+    pub btree_prob: f64,
+    /// Extra payload columns per table.
+    pub payload_cols: usize,
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            tables: 4,
+            card_range: (100, 10_000),
+            sites: 1,
+            index_prob: 0.5,
+            btree_prob: 0.25,
+            payload_cols: 2,
+        }
+    }
+}
+
+/// Generate a catalog: table `Ti` has columns `ID` (unique-ish), `FK`
+/// (joins to `T(i+1).ID` in chain queries), and `payload_cols` extras.
+pub fn synth_catalog(seed: u64, spec: &SynthSpec) -> Arc<Catalog> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Catalog::builder();
+    for s in 0..spec.sites.max(1) {
+        b = b.site(format!("site{s}"));
+    }
+    let cards: Vec<u64> = (0..spec.tables)
+        .map(|_| rng.gen_range(spec.card_range.0..=spec.card_range.1))
+        .collect();
+    for (i, &card) in cards.iter().enumerate() {
+        let site = format!("site{}", i % spec.sites.max(1));
+        let storage = if rng.gen_bool(spec.btree_prob) {
+            StorageKind::BTree { key: vec![starqo_catalog::ColId(0)] }
+        } else {
+            StorageKind::Heap
+        };
+        b = b.table(format!("T{i}"), &site, storage, card);
+        b = b.column("ID", DataType::Int, Some(card));
+        // FK domain sized to the next table's cardinality (chain-friendly).
+        let next_card = cards[(i + 1) % cards.len()].max(1);
+        b = b.column("FK", DataType::Int, Some(next_card.min(card).max(1)));
+        for p in 0..spec.payload_cols {
+            b = b.column(format!("P{p}"), DataType::Int, Some((card / 10).max(2)));
+        }
+        if rng.gen_bool(spec.index_prob) {
+            b = b.index(format!("T{i}_FK"), &format!("T{i}"), &["FK"], false, false);
+        }
+    }
+    Arc::new(b.build().expect("synthetic catalog is well-formed"))
+}
+
+/// Load data consistent with the catalog statistics. `FK` of `Ti` is drawn
+/// uniformly from `T(i+1)`'s ID domain so chain joins have predictable
+/// selectivity.
+pub fn synth_database(seed: u64, cat: Arc<Catalog>) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15));
+    let tables: Vec<_> = cat.tables().to_vec();
+    let n = tables.len();
+    let mut b = DatabaseBuilder::new(cat);
+    for (i, t) in tables.iter().enumerate() {
+        let next_card = tables[(i + 1) % n].card.max(1);
+        for id in 0..t.card {
+            let mut row = vec![
+                Value::Int(id as i64),
+                Value::Int(rng.gen_range(0..next_card) as i64),
+            ];
+            for c in 2..t.columns.len() {
+                let ndv = t.columns[c].distinct.unwrap_or(10).max(1);
+                row.push(Value::Int(rng.gen_range(0..ndv) as i64));
+            }
+            b.insert_id(t.id, starqo_storage::Tuple(row)).expect("synthetic row");
+        }
+    }
+    b.build().expect("synthetic database loads")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = SynthSpec::default();
+        let a = synth_catalog(42, &spec);
+        let b = synth_catalog(42, &spec);
+        assert_eq!(a.tables().len(), b.tables().len());
+        for (x, y) in a.tables().iter().zip(b.tables()) {
+            assert_eq!(x.card, y.card);
+            assert_eq!(x.storage, y.storage);
+        }
+        let c = synth_catalog(43, &spec);
+        // Overwhelmingly likely to differ somewhere.
+        let same = a.tables().iter().zip(c.tables()).all(|(x, y)| x.card == y.card);
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn database_matches_catalog_cards() {
+        let spec = SynthSpec { tables: 3, card_range: (10, 50), ..Default::default() };
+        let cat = synth_catalog(7, &spec);
+        let db = synth_database(7, cat.clone());
+        for t in cat.tables() {
+            assert_eq!(db.actual_card(t.id), t.card);
+        }
+    }
+
+    #[test]
+    fn sites_assigned_round_robin() {
+        let spec = SynthSpec { tables: 4, sites: 2, ..Default::default() };
+        let cat = synth_catalog(1, &spec);
+        assert_eq!(cat.sites().len(), 2);
+        assert_eq!(cat.tables()[0].site, cat.tables()[2].site);
+        assert_ne!(cat.tables()[0].site, cat.tables()[1].site);
+    }
+
+    #[test]
+    fn indexes_built_and_usable() {
+        let spec = SynthSpec { tables: 6, index_prob: 1.0, ..Default::default() };
+        let cat = synth_catalog(5, &spec);
+        assert_eq!(cat.indexes().len(), 6);
+        let db = synth_database(5, cat.clone());
+        for ix in cat.indexes() {
+            assert_eq!(db.index(ix.id).unwrap().entries(), cat.table(ix.table).card);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # starqo-xform
+//!
+//! An EXODUS-style *transformational* rule optimizer [GRAE 87a] — the
+//! comparison baseline for the paper's central efficiency argument (§1,
+//! §6): plan-transformation rules "must examine a large set of rules and
+//! apply complicated conditions on each of a large set of plans generated
+//! thus far", where STAR expansion is a dictionary lookup.
+//!
+//! The baseline is deliberately faithful to the transformational paradigm:
+//!
+//! * it starts from one canonical initial plan (left-deep, nested-loop,
+//!   heap scans);
+//! * *transformation rules* (commute, associate, predicate pushdown) and
+//!   *implementation rules* (access-method selection, NL→merge with SORT
+//!   enforcers, NL→hash, inner materialization) pattern-match against every
+//!   node of every plan generated so far;
+//! * duplicate plans are eliminated by structural fingerprint, and search
+//!   runs to fixpoint (or a budget);
+//! * it shares `starqo-plan`'s property functions and cost model, so the
+//!   comparison with `starqo-core` is about *search mechanics*, not about
+//!   different costing.
+//!
+//! The work counters ([`XformStats`]) mirror `starqo_core::OptStats` so
+//! experiment E8 can put the two side by side. Rebuilding a plan above a
+//! rewritten subtree re-derives the property vector of every ancestor —
+//! counted as `reestimations`, the §6 claim that transformational systems
+//! "force re-estimation of the cost of every plan that has already
+//! incorporated that subplan".
+
+pub mod initial;
+pub mod rules;
+pub mod search;
+
+pub use initial::initial_plan;
+pub use rules::{all_rules, XformCtx, XformRule};
+pub use search::{XformOptimizer, XformResult, XformStats};

@@ -1,0 +1,142 @@
+//! Transformational-baseline tests: the search explores the strategy space
+//! from the canonical plan, improves cost, and stays correct (every result
+//! matches the brute-force reference).
+
+use std::sync::Arc;
+
+use starqo_catalog::{Catalog, DataType, StorageKind, Value};
+use starqo_exec::{reference_eval, rows_equal_multiset, Executor};
+use starqo_plan::{CostModel, JoinFlavor, Lolepop, PropEngine};
+use starqo_query::parse_query;
+use starqo_storage::DatabaseBuilder;
+use starqo_xform::{initial_plan, XformOptimizer};
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::builder()
+            .site("N.Y.")
+            .table("DEPT", "N.Y.", StorageKind::Heap, 50)
+            .column("DNO", DataType::Int, Some(50))
+            .column("MGR", DataType::Str, Some(25))
+            .table("EMP", "N.Y.", StorageKind::Heap, 10_000)
+            .column("ENO", DataType::Int, Some(10_000))
+            .column("NAME", DataType::Str, None)
+            .column("DNO", DataType::Int, Some(50))
+            .index("EMP_DNO", "EMP", &["DNO"], false, false)
+            .build()
+            .unwrap(),
+    )
+}
+
+const SQL: &str =
+    "SELECT E.NAME FROM DEPT D, EMP E WHERE D.MGR = 'Haas' AND D.DNO = E.DNO";
+
+fn small_db(cat: Arc<Catalog>) -> starqo_storage::Database {
+    let mut b = DatabaseBuilder::new(cat);
+    for d in 0..50i64 {
+        let mgr = if d == 7 { "Haas".into() } else { format!("m{d}") };
+        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)]).unwrap();
+    }
+    for e in 0..500i64 {
+        b.insert("EMP", vec![Value::Int(e), Value::str(format!("n{e}")), Value::Int(e % 50)])
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn initial_plan_is_canonical_and_correct() {
+    let cat = catalog();
+    let query = parse_query(&cat, SQL).unwrap();
+    let prop = PropEngine::new();
+    let plan = initial_plan(&cat, &query, &CostModel::default(), &prop).unwrap();
+    assert!(plan.any(&|n| matches!(n.op, Lolepop::Join { flavor: JoinFlavor::NL, .. })));
+    let db = small_db(cat);
+    let mut ex = Executor::new(&db, &query);
+    let got = ex.run(&plan).unwrap();
+    let want = reference_eval(&db, &query).unwrap();
+    assert!(rows_equal_multiset(&got.rows, &want));
+}
+
+#[test]
+fn search_improves_cost_and_stays_correct() {
+    let cat = catalog();
+    let query = parse_query(&cat, SQL).unwrap();
+    let opt = XformOptimizer::new();
+    let out = opt.optimize(&cat, &query).unwrap();
+    assert!(out.best.props.cost.total() < out.initial.props.cost.total());
+    assert!(out.stats.plans_generated > 0);
+    assert!(out.stats.duplicates > 0, "transformational search must hit duplicates");
+    assert!(out.stats.reestimations > out.stats.plans_generated);
+    assert!(!out.stats.budget_exhausted);
+    let db = small_db(cat);
+    let mut ex = Executor::new(&db, &query);
+    let got = ex.run(&out.best).unwrap();
+    let want = reference_eval(&db, &query).unwrap();
+    assert!(rows_equal_multiset(&got.rows, &want));
+}
+
+#[test]
+fn search_discovers_index_and_merge_and_hash_methods() {
+    let cat = catalog();
+    let query = parse_query(&cat, SQL).unwrap();
+    let out = XformOptimizer::new().optimize(&cat, &query).unwrap();
+    // The winning plan should beat the canonical full-scan NL join by using
+    // some discovered strategy; we don't prescribe which, but the search
+    // must have generated merge and hash variants along the way.
+    assert!(out.stats.plans_generated >= 10);
+}
+
+#[test]
+fn three_table_chain_budgeted_and_correct() {
+    let cat = Arc::new(
+        Catalog::builder()
+            .site("x")
+            .table("A", "x", StorageKind::Heap, 60)
+            .column("ID", DataType::Int, Some(60))
+            .column("BID", DataType::Int, Some(20))
+            .table("B", "x", StorageKind::Heap, 20)
+            .column("ID", DataType::Int, Some(20))
+            .column("CID", DataType::Int, Some(10))
+            .table("C", "x", StorageKind::Heap, 10)
+            .column("ID", DataType::Int, Some(10))
+            .build()
+            .unwrap(),
+    );
+    let query = parse_query(
+        &cat,
+        "SELECT A.ID FROM A, B, C WHERE A.BID = B.ID AND B.CID = C.ID",
+    )
+    .unwrap();
+    // Three tables already blow past any practical fixpoint — the paper's
+    // point about transformational search. Run under a small budget and
+    // require the best-so-far to be sound and no worse than canonical.
+    let out = XformOptimizer::new().with_budget(500).optimize(&cat, &query).unwrap();
+    assert!(out.stats.budget_exhausted);
+    assert!(out.best.props.cost.total() <= out.initial.props.cost.total());
+
+    let mut b = DatabaseBuilder::new(cat.clone());
+    for i in 0..60i64 {
+        b.insert("A", vec![Value::Int(i), Value::Int(i % 20)]).unwrap();
+    }
+    for i in 0..20i64 {
+        b.insert("B", vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+    }
+    for i in 0..10i64 {
+        b.insert("C", vec![Value::Int(i)]).unwrap();
+    }
+    let db = b.build().unwrap();
+    let mut ex = Executor::new(&db, &query);
+    let got = ex.run(&out.best).unwrap();
+    let want = reference_eval(&db, &query).unwrap();
+    assert_eq!(got.rows.len(), 60);
+    assert!(rows_equal_multiset(&got.rows, &want));
+}
+
+#[test]
+fn budget_caps_runaway_search() {
+    let cat = catalog();
+    let query = parse_query(&cat, SQL).unwrap();
+    let out = XformOptimizer::new().with_budget(3).optimize(&cat, &query).unwrap();
+    assert!(out.stats.budget_exhausted);
+}

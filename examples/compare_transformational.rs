@@ -1,0 +1,60 @@
+//! The paper's central argument, live: optimize the same query with the
+//! STAR engine and with an EXODUS-style transformational search, and compare
+//! the work each does.
+//!
+//! ```sh
+//! cargo run --release --example compare_transformational
+//! ```
+
+use starqo::prelude::*;
+use starqo::workload::{query_shape, synth_catalog, QueryShape, SynthSpec};
+use starqo::xform::XformOptimizer;
+
+fn main() {
+    let spec = SynthSpec {
+        tables: 5,
+        card_range: (500, 5_000),
+        index_prob: 0.5,
+        ..Default::default()
+    };
+    let cat = synth_catalog(11, &spec);
+    let star_opt = Optimizer::new(cat.clone()).expect("rules compile");
+    // Match the repertoires: the transformational rule box has NL/MG/HA and
+    // inner materialization.
+    let star_config = OptConfig::default().enable("hashjoin").enable("force_projection");
+
+    println!(
+        "{:>3} {:>9} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "n", "paradigm", "time(ms)", "rule-apps", "plans", "best$", "fixpoint"
+    );
+    for n in 2..=5usize {
+        let query = query_shape(&cat, QueryShape::Chain, n, true);
+
+        let t = std::time::Instant::now();
+        let star = star_opt.optimize(&query, &star_config).expect("star");
+        let star_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{n:>3} {:>9} {star_ms:>10.1} {:>12} {:>10} {:>10.0} {:>10}",
+            "STAR", star.stats.star_refs, star.stats.plans_built,
+            star.best.props.cost.total(), "yes"
+        );
+
+        let xf = XformOptimizer::new().with_budget(2_000);
+        let t = std::time::Instant::now();
+        let xout = xf.optimize(&cat, &query).expect("xform");
+        let xf_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{n:>3} {:>9} {xf_ms:>10.1} {:>12} {:>10} {:>10.0} {:>10}",
+            "XFORM",
+            xout.stats.match_attempts,
+            xout.stats.plans_generated,
+            xout.best.props.cost.total(),
+            if xout.stats.budget_exhausted { "NO" } else { "yes" }
+        );
+    }
+    println!(
+        "\nSTAR references expand like a macro dictionary; transformational rules\n\
+         pattern-match every node of every plan generated so far — the gap in\n\
+         rule applications is the paper's §1/§6 argument, measured."
+    );
+}

@@ -1,0 +1,54 @@
+//! Reproduce the paper's Figure 1: the DEPT ⋈ EMP query evaluation plan —
+//! a sort-merge join whose outer is `SORT(ACCESS(DEPT, {DNO, MGR},
+//! {MGR='Haas'}), DNO)` and whose inner is `GET(ACCESS(Index on EMP.DNO,
+//! {TID, DNO}, φ), EMP, {NAME, ADDRESS}, φ)` — straight out of the rules.
+//!
+//! ```sh
+//! cargo run --example figure1_dept_emp
+//! ```
+
+use starqo::prelude::*;
+use starqo::workload::{dept_emp_catalog, dept_emp_database, dept_emp_query};
+
+fn main() {
+    let cat = dept_emp_catalog(false, 10_000);
+    let query = dept_emp_query(&cat);
+    let optimizer = Optimizer::new(cat.clone()).expect("rules compile");
+
+    // Keep every plan Glue finds satisfying, so the whole alternative space
+    // is visible — Figure 1's plan is one of them.
+    let mut config = OptConfig::default();
+    config.glue_keep_all = true;
+    let optimized = optimizer.optimize(&query, &config).expect("optimize");
+
+    let explain = Explain::new(&cat, &query);
+    println!("All {} alternatives for the full query:\n", optimized.root_alternatives.len());
+    for (i, plan) in optimized.root_alternatives.iter().enumerate() {
+        println!(
+            "--- alternative {} (cost {:.1}) ---",
+            i + 1,
+            plan.props.cost.total()
+        );
+        println!("{}", explain.tree(plan));
+    }
+
+    let figure1 = optimized
+        .root_alternatives
+        .iter()
+        .find(|p| {
+            p.any(&|n| matches!(n.op, Lolepop::Join { flavor: JoinFlavor::MG, .. }))
+                && p.any(&|n| matches!(n.op, Lolepop::Sort { .. }))
+                && p.any(&|n| matches!(n.op, Lolepop::Get { .. }))
+        })
+        .expect("the Figure 1 plan is generated");
+    println!("=== Figure 1, functional notation (§2.1) ===");
+    println!("{}\n", explain.functional(figure1));
+    println!("=== Figure 1, property vector of the root (Figure 2 style) ===");
+    println!("{}", explain.property_vector(figure1));
+
+    // Execute it for real.
+    let db = dept_emp_database(cat);
+    let mut executor = Executor::new(&db, &query);
+    let result = executor.run(figure1).expect("figure-1 plan executes");
+    println!("Figure 1 plan executed: {} rows.", result.rows.len());
+}

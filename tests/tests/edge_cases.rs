@@ -1,0 +1,134 @@
+//! Edge cases the generators don't produce: NULL values in data, empty
+//! tables, all-rows-match predicates, duplicate join keys.
+
+use std::sync::Arc;
+
+use starqo_catalog::{Catalog, DataType, StorageKind, Value};
+use starqo_core::{OptConfig, Optimizer};
+use starqo_exec::{reference_eval, rows_equal_multiset, Executor};
+use starqo_query::parse_query;
+use starqo_storage::{Database, DatabaseBuilder};
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::builder()
+            .site("x")
+            .table("L", "x", StorageKind::Heap, 20)
+            .column("K", DataType::Int, Some(10))
+            .column("V", DataType::Str, None)
+            .table("R", "x", StorageKind::Heap, 20)
+            .column("K", DataType::Int, Some(10))
+            .column("W", DataType::Int, Some(5))
+            .index("R_K", "R", &["K"], false, false)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Check every alternative under every configuration against the reference.
+fn check_all(db: &Database, cat: &Arc<Catalog>, sql: &str) -> usize {
+    let query = parse_query(cat, sql).unwrap();
+    let want = reference_eval(db, &query).unwrap();
+    let opt = Optimizer::new(cat.clone()).unwrap();
+    for config in [OptConfig::default(), OptConfig::full()] {
+        let mut config = config;
+        config.glue_keep_all = true;
+        let out = opt.optimize(&query, &config).unwrap();
+        for plan in out.root_alternatives.iter().chain([&out.best]) {
+            let mut ex = Executor::new(db, &query);
+            let got = ex.run(plan).unwrap();
+            assert!(
+                rows_equal_multiset(&got.rows, &want),
+                "{sql}: diverged on {:?} ({} vs {})",
+                plan.op_names(),
+                got.rows.len(),
+                want.len()
+            );
+        }
+    }
+    want.len()
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let cat = catalog();
+    let mut b = DatabaseBuilder::new(cat.clone());
+    for k in 0..10i64 {
+        let key = if k % 3 == 0 { Value::Null } else { Value::Int(k) };
+        b.insert("L", vec![key.clone(), Value::str(format!("l{k}"))]).unwrap();
+        b.insert("R", vec![key, Value::Int(k % 5)]).unwrap();
+    }
+    let db = b.build().unwrap();
+    // NULL = NULL is false: NULL-keyed rows join with nothing, in every
+    // join method (NL filter, MG merge, HA hash, index probes).
+    let n = check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K");
+    // 6 non-null keys survive on each side, keys unique → 6 matches? Keys
+    // 1,2,4,5,7,8 on both sides → 6.
+    assert_eq!(n, 6);
+}
+
+#[test]
+fn null_local_predicates_filter_out() {
+    let cat = catalog();
+    let mut b = DatabaseBuilder::new(cat.clone());
+    b.insert("L", vec![Value::Null, Value::str("null-key")]).unwrap();
+    b.insert("L", vec![Value::Int(1), Value::str("one")]).unwrap();
+    b.insert("R", vec![Value::Int(1), Value::Int(0)]).unwrap();
+    let db = b.build().unwrap();
+    // Comparisons against NULL are false for every operator.
+    assert_eq!(check_all(&db, &cat, "SELECT L.V FROM L WHERE L.K = 1"), 1);
+    assert_eq!(check_all(&db, &cat, "SELECT L.V FROM L WHERE L.K < 5"), 1);
+    assert_eq!(check_all(&db, &cat, "SELECT L.V FROM L WHERE L.K <> 99"), 1);
+}
+
+#[test]
+fn empty_tables_yield_empty_results_everywhere() {
+    let cat = catalog();
+    let db = DatabaseBuilder::new(cat.clone()).build().unwrap(); // no rows at all
+    assert_eq!(check_all(&db, &cat, "SELECT L.V FROM L"), 0);
+    assert_eq!(check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"), 0);
+}
+
+#[test]
+fn one_sided_empty_join() {
+    let cat = catalog();
+    let mut b = DatabaseBuilder::new(cat.clone());
+    for k in 0..5i64 {
+        b.insert("L", vec![Value::Int(k), Value::str(format!("l{k}"))]).unwrap();
+    }
+    let db = b.build().unwrap();
+    assert_eq!(check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"), 0);
+}
+
+#[test]
+fn duplicate_join_keys_produce_cross_groups() {
+    let cat = catalog();
+    let mut b = DatabaseBuilder::new(cat.clone());
+    // Three L rows and two R rows all with key 7: 3 × 2 = 6 matches — the
+    // merge join's group-cartesian logic must produce all of them.
+    for i in 0..3i64 {
+        b.insert("L", vec![Value::Int(7), Value::str(format!("l{i}"))]).unwrap();
+    }
+    for i in 0..2i64 {
+        b.insert("R", vec![Value::Int(7), Value::Int(i)]).unwrap();
+    }
+    b.insert("L", vec![Value::Int(1), Value::str("lone")]).unwrap();
+    b.insert("R", vec![Value::Int(2), Value::Int(9)]).unwrap();
+    let db = b.build().unwrap();
+    assert_eq!(check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"), 6);
+}
+
+#[test]
+fn catalog_stats_may_disagree_with_data() {
+    // The catalog says 20 rows; the database holds 200. Estimates are wrong
+    // but plans must still be correct.
+    let cat = catalog();
+    let mut b = DatabaseBuilder::new(cat.clone());
+    for k in 0..200i64 {
+        b.insert("L", vec![Value::Int(k % 10), Value::str(format!("l{k}"))]).unwrap();
+        b.insert("R", vec![Value::Int(k % 10), Value::Int(k % 5)]).unwrap();
+    }
+    let db = b.build().unwrap();
+    let n = check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K");
+    assert_eq!(n, 200 * 20); // each L row matches 20 R rows
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the whole stack.
+//!
+//! The headline invariant is the paper's implicit soundness contract: the
+//! rules generate only *legal* plans, so every alternative the optimizer
+//! emits — under any configuration — must compute exactly the reference
+//! answer. Proptest drives randomized schemas, data, query shapes, and
+//! configurations through that oracle, plus structural invariants on the
+//! optimizer output.
+
+use proptest::prelude::*;
+use starqo_core::{OptConfig, Optimizer};
+use starqo_exec::{reference_eval, rows_equal_multiset, Executor};
+use starqo_workload::{query_shape, synth_catalog, synth_database, QueryShape, SynthSpec};
+
+fn arb_config() -> impl Strategy<Value = OptConfig> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(bushy, cart, ha, fp, di)| {
+            let mut c = OptConfig::default();
+            c.composite_inners = bushy;
+            c.cartesian = cart;
+            c.glue_keep_all = true;
+            if ha {
+                c = c.enable("hashjoin");
+            }
+            if fp {
+                c = c.enable("force_projection");
+            }
+            if di {
+                c = c.enable("dynamic_index");
+            }
+            c
+        },
+    )
+}
+
+fn arb_shape() -> impl Strategy<Value = QueryShape> {
+    prop_oneof![
+        Just(QueryShape::Chain),
+        Just(QueryShape::Star),
+        Just(QueryShape::Cycle),
+        Just(QueryShape::Clique)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every alternative plan for a randomized query computes the reference
+    /// answer (E13 as a property).
+    #[test]
+    fn all_alternatives_match_reference(
+        seed in 0u64..500,
+        shape in arb_shape(),
+        local_pred in any::<bool>(),
+        config in arb_config(),
+        sites in 1usize..3,
+    ) {
+        let spec = SynthSpec {
+            tables: 3,
+            card_range: (10, 80),
+            index_prob: 0.5,
+            btree_prob: 0.3,
+            sites,
+            ..Default::default()
+        };
+        let cat = synth_catalog(seed, &spec);
+        let db = synth_database(seed, cat.clone());
+        let query = query_shape(&cat, shape, 3, local_pred);
+        let want = reference_eval(&db, &query).unwrap();
+        let opt = Optimizer::new(cat).unwrap();
+        let out = opt.optimize(&query, &config).unwrap();
+        prop_assert!(!out.root_alternatives.is_empty());
+        for plan in out.root_alternatives.iter().chain(std::iter::once(&out.best)) {
+            let mut ex = Executor::new(&db, &query);
+            let got = ex.run(plan).unwrap();
+            prop_assert!(
+                rows_equal_multiset(&got.rows, &want),
+                "plan diverged: {:?}",
+                plan.op_names()
+            );
+        }
+    }
+
+    /// The chosen plan's relational properties always cover the whole query,
+    /// its site is the query site, and widening the repertoire never makes
+    /// the best plan worse.
+    #[test]
+    fn best_plan_invariants(
+        seed in 0u64..500,
+        shape in arb_shape(),
+    ) {
+        let spec = SynthSpec {
+            tables: 4,
+            card_range: (20, 400),
+            index_prob: 0.5,
+            ..Default::default()
+        };
+        let cat = synth_catalog(seed, &spec);
+        let query = query_shape(&cat, shape, 4, true);
+        let opt = Optimizer::new(cat).unwrap();
+
+        let narrow = opt.optimize(&query, &OptConfig::default()).unwrap();
+        prop_assert_eq!(narrow.best.props.tables, query.all_qset());
+        prop_assert_eq!(narrow.best.props.preds, query.all_preds());
+        prop_assert_eq!(narrow.best.props.site, query.query_site);
+        for c in &query.select {
+            prop_assert!(narrow.best.props.cols.contains(c), "missing select column {c}");
+        }
+
+        let wide = opt.optimize(&query, &OptConfig::full()).unwrap();
+        prop_assert!(
+            wide.best.props.cost.total() <= narrow.best.props.cost.total() + 1e-6,
+            "wider repertoire worsened the plan: {} > {}",
+            wide.best.props.cost.total(),
+            narrow.best.props.cost.total()
+        );
+    }
+
+    /// Optimization is deterministic: same inputs, same chosen plan.
+    #[test]
+    fn optimization_is_deterministic(seed in 0u64..200) {
+        let spec = SynthSpec { tables: 3, card_range: (20, 300), ..Default::default() };
+        let cat = synth_catalog(seed, &spec);
+        let query = query_shape(&cat, QueryShape::Chain, 3, false);
+        let opt = Optimizer::new(cat).unwrap();
+        let a = opt.optimize(&query, &OptConfig::full()).unwrap();
+        let b = opt.optimize(&query, &OptConfig::full()).unwrap();
+        prop_assert_eq!(a.best.fingerprint(), b.best.fingerprint());
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    /// The cost estimate and the simulated execution agree *directionally*:
+    /// on the same data, a plan the optimizer says is much cheaper should
+    /// not do dramatically more page I/O than the plan it beat.
+    #[test]
+    fn cost_model_is_directionally_sane(seed in 0u64..100) {
+        let spec = SynthSpec {
+            tables: 2,
+            card_range: (200, 2_000),
+            index_prob: 1.0,
+            btree_prob: 0.0,
+            ..Default::default()
+        };
+        let cat = synth_catalog(seed, &spec);
+        let db = synth_database(seed, cat.clone());
+        let query = query_shape(&cat, QueryShape::Chain, 2, true);
+        let opt = Optimizer::new(cat).unwrap();
+        let mut config = OptConfig::default();
+        config.glue_keep_all = true;
+        let out = opt.optimize(&query, &config).unwrap();
+        // Measure the best and the worst surviving alternative.
+        let best = &out.best;
+        let worst = out
+            .root_alternatives
+            .iter()
+            .max_by(|a, b| a.props.cost.total().total_cmp(&b.props.cost.total()))
+            .unwrap();
+        if worst.props.cost.total() > best.props.cost.total() * 20.0 {
+            let mut ex1 = Executor::new(&db, &query);
+            ex1.run(best).unwrap();
+            let io_best = ex1.stats().pages_read;
+            let mut ex2 = Executor::new(&db, &query);
+            ex2.run(worst).unwrap();
+            let io_worst = ex2.stats().pages_read;
+            prop_assert!(
+                io_best <= io_worst * 4,
+                "estimated-cheap plan did far more I/O: {io_best} vs {io_worst}"
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! "Rules are data": the built-in repertoire is plain text; it can be
+//! replaced, restricted, extended, and broken — all without touching engine
+//! code — and the engine reports rule errors helpfully.
+
+
+use starqo_core::{CoreError, OptConfig, Optimizer, ACCESS_RULES, EXTENSION_RULES, JOIN_RULES};
+use starqo_exec::{reference_eval, rows_equal_multiset, Executor};
+use starqo_plan::{JoinFlavor, Lolepop};
+use starqo_query::parse_query;
+use starqo_workload::{dept_emp_catalog, dept_emp_database, dept_emp_query};
+
+#[test]
+fn builtin_rule_files_parse_and_compile() {
+    // Parse standalone...
+    for (name, text) in
+        [("access", ACCESS_RULES), ("join", JOIN_RULES), ("extensions", EXTENSION_RULES)]
+    {
+        starqo_dsl::parse_rules(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    // ...and compile together.
+    let cat = dept_emp_catalog(false, 100);
+    let opt = Optimizer::new(cat).unwrap();
+    // The three files define exactly these STARs; JMeth accumulates the
+    // §4.5 groups.
+    for star in
+        ["AccessRoot", "TableAccess", "IndexAccess", "JoinRoot", "PermutedJoin", "RemoteJoin", "SitedJoin", "JMeth"]
+    {
+        assert!(opt.rules().lookup(star).is_some(), "missing STAR {star}");
+    }
+    let jmeth = opt.rules().star(opt.rules().lookup("JMeth").unwrap());
+    assert_eq!(jmeth.groups.len(), 4, "base JMeth + three §4.5 extension groups");
+}
+
+#[test]
+fn restricted_repertoire_nl_only() {
+    // A DBC who wants a nested-loop-only optimizer writes exactly this.
+    let rules = r#"
+star JoinRoot(T1, T2, P) = [
+    NlOnly(T1, T2, P)   if composite_inner_ok(T2);
+    NlOnly(T2, T1, P)   if composite_inner_ok(T1);
+]
+star NlOnly(T1, T2, P) =
+    with JP = join_preds(P),
+         IP = inner_preds(P, T2)
+    JOIN(NL, Glue(T1, {}), Glue(T2, JP union IP), JP, P - (JP union IP));
+"#;
+    let cat = dept_emp_catalog(false, 1_000);
+    let mut opt = Optimizer::empty(cat.clone());
+    opt.load_rules(ACCESS_RULES).unwrap();
+    opt.load_rules(rules).unwrap();
+    let query = dept_emp_query(&cat);
+    let mut config = OptConfig::default();
+    config.glue_keep_all = true;
+    let out = opt.optimize(&query, &config).unwrap();
+    // Only NL joins anywhere.
+    for p in &out.root_alternatives {
+        assert!(!p.any(&|n| matches!(
+            n.op,
+            Lolepop::Join { flavor: JoinFlavor::MG | JoinFlavor::HA, .. }
+        )));
+    }
+    // And the answer is still right.
+    let db = dept_emp_database(cat);
+    let want = reference_eval(&db, &query).unwrap();
+    let mut ex = Executor::new(&db, &query);
+    let got = ex.run(&out.best).unwrap();
+    assert!(rows_equal_multiset(&got.rows, &want));
+}
+
+#[test]
+fn redefining_jmeth_appends_alternatives() {
+    let cat = dept_emp_catalog(false, 1_000);
+    let mut opt = Optimizer::new(cat).unwrap();
+    let before = opt.rules().star(opt.rules().lookup("JMeth").unwrap()).groups.len();
+    opt.load_rules(
+        "star JMeth(T1, T2, P) = [ JOIN(NL, Glue(T1, {}), Glue(T2, {}), {}, P) if enabled('never'); ]",
+    )
+    .unwrap();
+    let after = opt.rules().star(opt.rules().lookup("JMeth").unwrap()).groups.len();
+    assert_eq!(after, before + 1);
+}
+
+#[test]
+fn rule_errors_are_reported_with_context() {
+    let cat = dept_emp_catalog(false, 100);
+    let mut opt = Optimizer::empty(cat);
+
+    // Syntax error: has a position.
+    let err = opt.load_rules("star Broken(T = ").unwrap_err();
+    assert!(matches!(err, CoreError::Syntax(_)), "{err}");
+
+    // Unresolved reference.
+    let err = opt.load_rules("star A(T) = NotAThing(T);").unwrap_err();
+    match err {
+        CoreError::Compile { star, msg } => {
+            assert_eq!(star, "A");
+            assert!(msg.contains("NotAThing"), "{msg}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+
+    // Star arity mismatch.
+    opt.load_rules("star B(T, P) = Glue(T, P);").unwrap();
+    let err = opt.load_rules("star C(T) = B(T);").unwrap_err();
+    assert!(matches!(err, CoreError::Compile { .. }));
+
+    // Parameter-count conflict on redefinition.
+    let err = opt.load_rules("star B(T) = Glue(T, {});").unwrap_err();
+    assert!(matches!(err, CoreError::Compile { .. }));
+}
+
+#[test]
+fn cyclic_rules_hit_the_recursion_guard() {
+    let cat = dept_emp_catalog(false, 100);
+    let mut opt = Optimizer::empty(cat.clone());
+    opt.load_rules(ACCESS_RULES).unwrap();
+    // JoinRoot that references itself unconditionally.
+    opt.load_rules("star JoinRoot(T1, T2, P) = JoinRoot(T2, T1, P);").unwrap();
+    let query = dept_emp_query(&cat);
+    let err = opt.optimize(&query, &OptConfig::default()).unwrap_err();
+    match err {
+        CoreError::Eval { msg, .. } => assert!(msg.contains("recursion"), "{msg}"),
+        other => panic!("expected recursion error, got {other}"),
+    }
+}
+
+#[test]
+fn missing_root_star_is_a_clean_error() {
+    let cat = dept_emp_catalog(false, 100);
+    let mut opt = Optimizer::empty(cat.clone());
+    opt.load_rules(ACCESS_RULES).unwrap(); // no JoinRoot at all
+    let query = dept_emp_query(&cat);
+    let err = opt.optimize(&query, &OptConfig::default()).unwrap_err();
+    assert!(matches!(err, CoreError::Eval { .. }), "{err}");
+}
+
+#[test]
+fn custom_native_condition_function() {
+    // §5: conditions bottom out in registered native functions.
+    let cat = dept_emp_catalog(false, 1_000);
+    let mut opt = Optimizer::new(cat.clone()).unwrap();
+    opt.register_native("always_false", |_ctx, _args| {
+        Ok(starqo_core::RuleValue::Bool(false))
+    });
+    // A JMeth alternative guarded by the new native never fires.
+    opt.load_rules(
+        "star JMeth(T1, T2, P) = [ JOIN(NL, Glue(T1, {}), Glue(T2, {}), {}, P) if always_false(); ]",
+    )
+    .unwrap();
+    let query = dept_emp_query(&cat);
+    let out = opt.optimize(&query, &OptConfig::default()).unwrap();
+    assert!(out.best.props.cost.total() > 0.0);
+}
+
+#[test]
+fn single_table_query_uses_access_rules_only() {
+    let cat = dept_emp_catalog(false, 1_000);
+    let query = parse_query(&cat, "SELECT D.DNO FROM DEPT D WHERE D.MGR = 'Haas'").unwrap();
+    let opt = Optimizer::new(cat.clone()).unwrap();
+    let out = opt.optimize(&query, &OptConfig::default()).unwrap();
+    assert!(!out.best.any(&|n| matches!(n.op, Lolepop::Join { .. })));
+    let db = dept_emp_database(cat);
+    let mut ex = Executor::new(&db, &query);
+    assert_eq!(ex.run(&out.best).unwrap().rows.len(), 1);
+}
