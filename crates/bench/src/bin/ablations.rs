@@ -1,4 +1,7 @@
 //! Experiment binary: prints the ablations report.
+//! Also writes `BENCH_ablations.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::comparison::e14_ablations().render());
+    starqo_bench::run_bin("ablations", || {
+        vec![starqo_bench::comparison::e14_ablations()]
+    });
 }

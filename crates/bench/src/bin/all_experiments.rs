@@ -1,24 +1,23 @@
 //! Run every experiment and print the full report suite (the source of the
 //! measured numbers recorded in EXPERIMENTS.md).
 fn main() {
-    let reports = [
-        starqo_bench::figures::e1_figure1(),
-        starqo_bench::figures::e2_figure2(),
-        starqo_bench::figures::e3_figure3(),
-        starqo_bench::strategies::e4_strategy_space(),
-        starqo_bench::strategies::e5_hash_join(),
-        starqo_bench::strategies::e6_forced_projection(),
-        starqo_bench::strategies::e7_dynamic_index(),
-        starqo_bench::comparison::e8_star_vs_xform(),
-        starqo_bench::comparison::e9_enumeration(),
-        starqo_bench::distributed::e10_join_sites(),
-        starqo_bench::extensibility::e11_extensibility(),
-        starqo_bench::comparison::e12_reestimation(),
-        starqo_bench::correctness::e13_correctness(),
-        starqo_bench::comparison::e14_ablations(),
-        starqo_bench::correctness::e15_estimation_quality(),
-    ];
-    for r in reports {
-        print!("{}", r.render());
-    }
+    starqo_bench::run_bin("all_experiments", || {
+        vec![
+            starqo_bench::figures::e1_figure1(),
+            starqo_bench::figures::e2_figure2(),
+            starqo_bench::figures::e3_figure3(),
+            starqo_bench::strategies::e4_strategy_space(),
+            starqo_bench::strategies::e5_hash_join(),
+            starqo_bench::strategies::e6_forced_projection(),
+            starqo_bench::strategies::e7_dynamic_index(),
+            starqo_bench::comparison::e8_star_vs_xform(),
+            starqo_bench::comparison::e9_enumeration(),
+            starqo_bench::distributed::e10_join_sites(),
+            starqo_bench::extensibility::e11_extensibility(),
+            starqo_bench::comparison::e12_reestimation(),
+            starqo_bench::correctness::e13_correctness(),
+            starqo_bench::comparison::e14_ablations(),
+            starqo_bench::correctness::e15_estimation_quality(),
+        ]
+    });
 }

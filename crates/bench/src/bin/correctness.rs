@@ -1,4 +1,7 @@
 //! Experiment binary: prints the correctness report.
+//! Also writes `BENCH_correctness.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::correctness::e13_correctness().render());
+    starqo_bench::run_bin("correctness", || {
+        vec![starqo_bench::correctness::e13_correctness()]
+    });
 }

@@ -1,4 +1,7 @@
 //! Experiment binary: prints the dynamic_index report.
+//! Also writes `BENCH_dynamic_index.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::strategies::e7_dynamic_index().render());
+    starqo_bench::run_bin("dynamic_index", || {
+        vec![starqo_bench::strategies::e7_dynamic_index()]
+    });
 }

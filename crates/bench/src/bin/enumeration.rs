@@ -1,4 +1,7 @@
 //! Experiment binary: prints the enumeration report.
+//! Also writes `BENCH_enumeration.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::comparison::e9_enumeration().render());
+    starqo_bench::run_bin("enumeration", || {
+        vec![starqo_bench::comparison::e9_enumeration()]
+    });
 }

@@ -1,4 +1,7 @@
 //! Experiment binary: prints the estimation-quality report.
+//! Also writes `BENCH_estimation.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::correctness::e15_estimation_quality().render());
+    starqo_bench::run_bin("estimation", || {
+        vec![starqo_bench::correctness::e15_estimation_quality()]
+    });
 }

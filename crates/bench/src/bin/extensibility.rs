@@ -1,4 +1,7 @@
 //! Experiment binary: prints the extensibility report.
+//! Also writes `BENCH_extensibility.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::extensibility::e11_extensibility().render());
+    starqo_bench::run_bin("extensibility", || {
+        vec![starqo_bench::extensibility::e11_extensibility()]
+    });
 }

@@ -1,4 +1,5 @@
 //! Experiment binary: prints the figure1 report.
+//! Also writes `BENCH_figure1.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::figures::e1_figure1().render());
+    starqo_bench::run_bin("figure1", || vec![starqo_bench::figures::e1_figure1()]);
 }

@@ -1,4 +1,5 @@
 //! Experiment binary: prints the figure2 report.
+//! Also writes `BENCH_figure2.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::figures::e2_figure2().render());
+    starqo_bench::run_bin("figure2", || vec![starqo_bench::figures::e2_figure2()]);
 }

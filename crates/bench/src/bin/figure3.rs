@@ -1,4 +1,5 @@
 //! Experiment binary: prints the figure3 report.
+//! Also writes `BENCH_figure3.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::figures::e3_figure3().render());
+    starqo_bench::run_bin("figure3", || vec![starqo_bench::figures::e3_figure3()]);
 }

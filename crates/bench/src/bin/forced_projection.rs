@@ -1,4 +1,7 @@
 //! Experiment binary: prints the forced_projection report.
+//! Also writes `BENCH_forced_projection.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::strategies::e6_forced_projection().render());
+    starqo_bench::run_bin("forced_projection", || {
+        vec![starqo_bench::strategies::e6_forced_projection()]
+    });
 }

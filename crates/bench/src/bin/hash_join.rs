@@ -1,4 +1,7 @@
 //! Experiment binary: prints the hash_join report.
+//! Also writes `BENCH_hash_join.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::strategies::e5_hash_join().render());
+    starqo_bench::run_bin("hash_join", || {
+        vec![starqo_bench::strategies::e5_hash_join()]
+    });
 }

@@ -1,4 +1,7 @@
 //! Experiment binary: prints the join_sites report.
+//! Also writes `BENCH_join_sites.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::distributed::e10_join_sites().render());
+    starqo_bench::run_bin("join_sites", || {
+        vec![starqo_bench::distributed::e10_join_sites()]
+    });
 }

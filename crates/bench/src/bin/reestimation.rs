@@ -1,4 +1,7 @@
 //! Experiment binary: prints the reestimation report.
+//! Also writes `BENCH_reestimation.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::comparison::e12_reestimation().render());
+    starqo_bench::run_bin("reestimation", || {
+        vec![starqo_bench::comparison::e12_reestimation()]
+    });
 }

@@ -1,4 +1,7 @@
 //! Experiment binary: prints the star_vs_xform report.
+//! Also writes `BENCH_star_vs_xform.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::comparison::e8_star_vs_xform().render());
+    starqo_bench::run_bin("star_vs_xform", || {
+        vec![starqo_bench::comparison::e8_star_vs_xform()]
+    });
 }

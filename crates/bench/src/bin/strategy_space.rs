@@ -1,4 +1,7 @@
 //! Experiment binary: prints the strategy_space report.
+//! Also writes `BENCH_strategy_space.json` with the run's counters and timings.
 fn main() {
-    print!("{}", starqo_bench::strategies::e4_strategy_space().render());
+    starqo_bench::run_bin("strategy_space", || {
+        vec![starqo_bench::strategies::e4_strategy_space()]
+    });
 }

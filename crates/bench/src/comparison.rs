@@ -14,8 +14,17 @@ pub fn e8_star_vs_xform() -> crate::Report {
     );
     let widths = [4usize, 12, 10, 10, 10, 10, 12, 10];
     r.line(crate::row(
-        &["n", "paradigm", "ms", "rule-apps", "conds", "plans", "best$", "fixpoint"]
-            .map(String::from),
+        &[
+            "n",
+            "paradigm",
+            "ms",
+            "rule-apps",
+            "conds",
+            "plans",
+            "best$",
+            "fixpoint",
+        ]
+        .map(String::from),
         &widths,
     ));
     let spec = SynthSpec {
@@ -29,11 +38,13 @@ pub fn e8_star_vs_xform() -> crate::Report {
     // Match the repertoires: the transformational rule box contains
     // NL/MG/HA implementation rules plus inner materialization, so the STAR
     // side enables the same strategy families.
-    let star_config = OptConfig::default().enable("hashjoin").enable("force_projection");
+    let star_config = OptConfig::default()
+        .enable("hashjoin")
+        .enable("force_projection");
     for n in 2..=6usize {
         let query = query_shape(&cat, QueryShape::Chain, n, true);
-        let (star, star_ms) =
-            crate::time_ms(|| opt.optimize(&query, &star_config).expect("star"));
+        let (star, star_ms) = crate::time_ms(|| opt.optimize(&query, &star_config).expect("star"));
+        r.absorb(&star.metrics);
         r.line(crate::row(
             &[
                 n.to_string(),
@@ -62,7 +73,12 @@ pub fn e8_star_vs_xform() -> crate::Report {
                 xout.stats.conds_evaluated.to_string(),
                 xout.stats.plans_generated.to_string(),
                 format!("{:.0}", xout.best.props.cost.total()),
-                if xout.stats.budget_exhausted { "NO (budget)" } else { "yes" }.to_string(),
+                if xout.stats.budget_exhausted {
+                    "NO (budget)"
+                } else {
+                    "yes"
+                }
+                .to_string(),
             ],
             &widths,
         ));
@@ -88,13 +104,20 @@ pub fn e12_reestimation() -> crate::Report {
         &["n", "star-refs", "memo-hits", "glue-hits", "xform-reest"].map(String::from),
         &widths,
     ));
-    let spec = SynthSpec { tables: 5, card_range: (500, 5_000), ..Default::default() };
+    let spec = SynthSpec {
+        tables: 5,
+        card_range: (500, 5_000),
+        ..Default::default()
+    };
     let cat = synth_catalog(13, &spec);
     let opt = Optimizer::new(cat.clone()).expect("rules");
-    let star_config = OptConfig::default().enable("hashjoin").enable("force_projection");
+    let star_config = OptConfig::default()
+        .enable("hashjoin")
+        .enable("force_projection");
     for n in 2..=5usize {
         let query = query_shape(&cat, QueryShape::Chain, n, false);
         let star = opt.optimize(&query, &star_config).expect("star");
+        r.absorb(&star.metrics);
         let xf = XformOptimizer::new().with_budget(1_000);
         let xout = xf.optimize(&cat, &query).expect("xform");
         r.line(crate::row(
@@ -142,16 +165,21 @@ pub fn e9_enumeration() -> crate::Report {
             let query = query_shape(&cat, shape, n, false);
             let mut configs: Vec<(&str, OptConfig)> = Vec::new();
             configs.push(("left-deep", OptConfig::default()));
-            let mut bushy = OptConfig::default();
-            bushy.composite_inners = true;
+            let bushy = OptConfig {
+                composite_inners: true,
+                ..Default::default()
+            };
             configs.push(("+composite inners", bushy));
-            let mut bushy_cart = OptConfig::default();
-            bushy_cart.composite_inners = true;
-            bushy_cart.cartesian = true;
+            let bushy_cart = OptConfig {
+                composite_inners: true,
+                cartesian: true,
+                ..Default::default()
+            };
             configs.push(("+cartesian", bushy_cart));
             let mut best_so_far = f64::INFINITY;
             for (label, config) in configs {
                 let out = opt.optimize(&query, &config).expect("optimize");
+                r.absorb(&out.metrics);
                 let best = out.best.props.cost.total();
                 r.line(crate::row(
                     &[
@@ -183,16 +211,18 @@ pub fn e9_enumeration() -> crate::Report {
 /// pruning (the System-R dominance test generalized to the property
 /// vector).
 pub fn e14_ablations() -> crate::Report {
-    let mut r = crate::Report::new(
-        "E14",
-        "ablations — memoization and property-aware pruning",
-    );
+    let mut r = crate::Report::new("E14", "ablations — memoization and property-aware pruning");
     let widths = [4usize, 22, 10, 10, 10, 10, 12];
     r.line(crate::row(
         &["n", "engine", "ms", "conds", "built", "plans", "best$"].map(String::from),
         &widths,
     ));
-    let spec = SynthSpec { tables: 5, card_range: (500, 5_000), index_prob: 0.5, ..Default::default() };
+    let spec = SynthSpec {
+        tables: 5,
+        card_range: (500, 5_000),
+        index_prob: 0.5,
+        ..Default::default()
+    };
     let cat = synth_catalog(41, &spec);
     let opt = Optimizer::new(cat.clone()).expect("rules");
     for n in [3usize, 4, 5] {
@@ -201,7 +231,9 @@ pub fn e14_ablations() -> crate::Report {
         // Forced projection references TableAccess with plan-valued
         // arguments, which is where STAR memoization earns its keep (most
         // other fragment reuse flows through the Glue cache).
-        let mut base = OptConfig::default().enable("hashjoin").enable("force_projection");
+        let mut base = OptConfig::default()
+            .enable("hashjoin")
+            .enable("force_projection");
         base.composite_inners = true;
         configs.push(("full engine", base.clone()));
         let mut no_memo = base.clone();
@@ -217,6 +249,7 @@ pub fn e14_ablations() -> crate::Report {
         let mut best_cost = None;
         for (label, config) in configs {
             let (out, ms) = crate::time_ms(|| opt.optimize(&query, &config).expect("optimize"));
+            r.absorb(&out.metrics);
             let cost = out.best.props.cost.total();
             // Ablations change work, never the answer.
             match best_cost {

@@ -35,19 +35,21 @@ pub fn correctness_sweep(seeds: std::ops::Range<u64>, tables: usize) -> SweepOut
             let want = reference_eval(&db, &query).expect("reference");
             queries += 1;
             for config in [
-                {
-                    let mut c = OptConfig::default();
-                    c.glue_keep_all = true;
-                    c
+                OptConfig {
+                    glue_keep_all: true,
+                    ..Default::default()
                 },
-                {
-                    let mut c = OptConfig::full();
-                    c.glue_keep_all = true;
-                    c
+                OptConfig {
+                    glue_keep_all: true,
+                    ..OptConfig::full()
                 },
             ] {
                 let out = opt.optimize(&query, &config).expect("optimize");
-                for plan in out.root_alternatives.iter().chain(std::iter::once(&out.best)) {
+                for plan in out
+                    .root_alternatives
+                    .iter()
+                    .chain(std::iter::once(&out.best))
+                {
                     let mut ex = Executor::new(&db, &query);
                     let got = ex.run(plan).expect("plan executes");
                     assert!(
@@ -60,7 +62,10 @@ pub fn correctness_sweep(seeds: std::ops::Range<u64>, tables: usize) -> SweepOut
             }
         }
     }
-    SweepOutcome { plans_checked, queries }
+    SweepOutcome {
+        plans_checked,
+        queries,
+    }
 }
 
 /// E13 report.
@@ -108,7 +113,10 @@ pub fn e15_estimation_quality() -> crate::Report {
         let opt = Optimizer::new(cat.clone()).expect("rules");
         for (shape, name) in [(QueryShape::Chain, "chain"), (QueryShape::Star, "star")] {
             let query = query_shape(&cat, shape, 3, seed % 2 == 0);
-            let out = opt.optimize(&query, &OptConfig::default()).expect("optimize");
+            let out = opt
+                .optimize(&query, &OptConfig::default())
+                .expect("optimize");
+            r.absorb(&out.metrics);
             let mut ex = Executor::new(&db, &query);
             let got = ex.run(&out.best).expect("executes");
             let est = out.best.props.card.max(0.5);
@@ -131,7 +139,9 @@ pub fn e15_estimation_quality() -> crate::Report {
     }
     let geo = product.powf(1.0 / count as f64);
     r.line("");
-    r.line(format!("geometric-mean q-error {geo:.2}, worst {worst:.2} over {count} queries"));
+    r.line(format!(
+        "geometric-mean q-error {geo:.2}, worst {worst:.2} over {count} queries"
+    ));
     r.line("(uniform-independence estimates on uniform synthetic data — the");
     r.line("favorable case; skew would degrade this, as it does every");
     r.line("System-R-style estimator)");

@@ -2,7 +2,9 @@
 
 use starqo_core::{OptConfig, Optimizer};
 use starqo_plan::Lolepop;
-use starqo_workload::{dept_emp_catalog, dept_emp_query, query_shape, synth_catalog, QueryShape, SynthSpec};
+use starqo_workload::{
+    dept_emp_catalog, dept_emp_query, query_shape, synth_catalog, QueryShape, SynthSpec,
+};
 
 /// E10: distributed joins — the local-query bypass, SHIP placement, and the
 /// growth of the alternative space with the number of sites.
@@ -19,9 +21,12 @@ pub fn e10_join_sites() -> crate::Report {
         let cat = dept_emp_catalog(distributed, 10_000);
         let query = dept_emp_query(&cat);
         let opt = Optimizer::new(cat).expect("rules");
-        let mut config = OptConfig::default();
-        config.glue_keep_all = true;
+        let config = OptConfig {
+            glue_keep_all: true,
+            ..Default::default()
+        };
         let out = opt.optimize(&query, &config).expect("optimize");
+        r.absorb(&out.metrics);
         let mut ships = 0;
         out.best.visit(&mut |n| {
             if matches!(n.op, Lolepop::Ship { .. }) {
@@ -48,7 +53,10 @@ pub fn e10_join_sites() -> crate::Report {
 
     // Part 2: alternatives vs number of sites on a 3-table chain.
     let widths2 = [8usize, 10, 12, 12];
-    r.line(crate::row(&["sites", "built", "conds", "best$"].map(String::from), &widths2));
+    r.line(crate::row(
+        &["sites", "built", "conds", "best$"].map(String::from),
+        &widths2,
+    ));
     for sites in [1usize, 2, 3] {
         let spec = SynthSpec {
             tables: 3,
@@ -60,7 +68,10 @@ pub fn e10_join_sites() -> crate::Report {
         let cat = synth_catalog(23, &spec);
         let query = query_shape(&cat, QueryShape::Chain, 3, false);
         let opt = Optimizer::new(cat).expect("rules");
-        let out = opt.optimize(&query, &OptConfig::default()).expect("optimize");
+        let out = opt
+            .optimize(&query, &OptConfig::default())
+            .expect("optimize");
+        r.absorb(&out.metrics);
         r.line(crate::row(
             &[
                 sites.to_string(),

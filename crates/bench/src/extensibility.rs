@@ -32,7 +32,9 @@ pub fn register_bloomjoin(opt: &mut Optimizer) {
     opt.register_ext_op(
         "BLOOMJOIN",
         Arc::new(|op, inputs, ctx| {
-            let Lolepop::Ext { args, .. } = op else { unreachable!() };
+            let Lolepop::Ext { args, .. } = op else {
+                unreachable!()
+            };
             let (jp, residual) = match (&args[0], &args[1]) {
                 (starqo_plan::ExtArg::Preds(a), starqo_plan::ExtArg::Preds(b)) => (*a, *b),
                 _ => {
@@ -81,7 +83,9 @@ pub fn register_bloomjoin_exec(ex: &mut Executor<'_>) {
     ex.register_ext(
         "BLOOMJOIN",
         Arc::new(|query, op, inputs, out_schema| {
-            let Lolepop::Ext { args, .. } = op else { unreachable!() };
+            let Lolepop::Ext { args, .. } = op else {
+                unreachable!()
+            };
             let (jp, residual) = match (&args[0], &args[1]) {
                 (starqo_plan::ExtArg::Preds(a), starqo_plan::ExtArg::Preds(b)) => (*a, *b),
                 _ => return Err(starqo_exec::ExecError::BadPlan("bad BLOOMJOIN args".into())),
@@ -90,8 +94,7 @@ pub fn register_bloomjoin_exec(ex: &mut Executor<'_>) {
             let (i_schema, i_rows) = &inputs[1];
             // Extract (outer expr, inner expr) pairs from the hashable
             // predicates.
-            let o_tables =
-                starqo_query::QSet::from_iter(o_schema.iter().map(|c| c.q));
+            let o_tables = starqo_query::QSet::from_iter(o_schema.iter().map(|c| c.q));
             let mut pairs: Vec<(Scalar, Scalar)> = Vec::new();
             for p in jp.iter() {
                 if let PredExpr::Cmp(CmpOp::Eq, l, r) = &query.pred(p).expr {
@@ -107,8 +110,11 @@ pub fn register_bloomjoin_exec(ex: &mut Executor<'_>) {
                           row: &starqo_storage::Tuple,
                           exprs: &[Scalar]|
              -> starqo_exec::Result<Option<Vec<starqo_catalog::Value>>> {
-                let view =
-                    starqo_exec::scalar::RowView { schema, row, bindings: &bindings };
+                let view = starqo_exec::scalar::RowView {
+                    schema,
+                    row,
+                    bindings: &bindings,
+                };
                 let mut key = Vec::with_capacity(exprs.len());
                 for e in exprs {
                     let v = starqo_exec::scalar::eval_scalar(e, &view)?;
@@ -133,7 +139,9 @@ pub fn register_bloomjoin_exec(ex: &mut Executor<'_>) {
             let mut out = Vec::new();
             let all = jp.union(residual);
             for i in i_rows {
-                let Some(k) = key_of(i_schema, i, &i_exprs)? else { continue };
+                let Some(k) = key_of(i_schema, i, &i_exprs)? else {
+                    continue;
+                };
                 if !filter.contains(&k) {
                     continue; // filtered before the join
                 }
@@ -190,6 +198,7 @@ pub fn e11_extensibility() -> crate::Report {
     let stock = Optimizer::new(cat.clone()).expect("rules");
     let config = OptConfig::default().enable("bloomjoin").enable("hashjoin");
     let before = stock.optimize(&query, &config).expect("optimize");
+    r.absorb(&before.metrics);
     r.line(format!(
         "before extension: best = {}  (cost {:.0})",
         before.best.op_names().join(" <- "),
@@ -200,17 +209,22 @@ pub fn e11_extensibility() -> crate::Report {
     let mut extended = Optimizer::new(cat.clone()).expect("rules");
     register_bloomjoin(&mut extended);
     let ((), compile_ms) = crate::time_ms(|| {
-        extended.load_rules(BLOOMJOIN_RULE).expect("extension rules compile");
+        extended
+            .load_rules(BLOOMJOIN_RULE)
+            .expect("extension rules compile");
     });
     r.line(format!("extension rule compiled in {compile_ms:.2} ms"));
     let after = extended.optimize(&query, &config).expect("optimize");
+    r.absorb(&after.metrics);
     r.line(format!(
         "after extension:  best = {}  (cost {:.0})",
         after.best.op_names().join(" <- "),
         after.best.props.cost.total()
     ));
     assert!(after.best.props.cost.total() <= before.best.props.cost.total() + 1e-9);
-    let uses_bloom = after.best.any(&|n| matches!(&n.op, Lolepop::Ext { name, .. } if name.as_ref() == "BLOOMJOIN"));
+    let uses_bloom = after
+        .best
+        .any(&|n| matches!(&n.op, Lolepop::Ext { name, .. } if name.as_ref() == "BLOOMJOIN"));
     r.line(format!("bloom join chosen: {uses_bloom}"));
 
     // And it runs, with the same answer as the reference evaluator.
@@ -220,7 +234,10 @@ pub fn e11_extensibility() -> crate::Report {
     let got = ex.run(&after.best).expect("executes");
     let want = reference_eval(&db, &query).expect("reference");
     assert!(rows_equal_multiset(&got.rows, &want));
-    r.line(format!("executed: {} rows, identical to the reference evaluator", got.rows.len()));
+    r.line(format!(
+        "executed: {} rows, identical to the reference evaluator",
+        got.rows.len()
+    ));
     r.line("");
     r.line("Changes required: 1 property function + 1 run-time routine +");
     r.line("5 lines of rule text. Engine, enumerator, and Glue untouched.");

@@ -30,25 +30,65 @@ pub mod strategies;
 
 use std::fmt::Write as _;
 
-/// A printable experiment report.
+use starqo_trace::MetricsSummary;
+
+/// A printable experiment report, plus the optimizer metrics accumulated
+/// across every `optimize` call the experiment made.
 pub struct Report {
     pub id: &'static str,
     pub title: String,
     pub body: String,
+    pub metrics: MetricsSummary,
 }
 
 impl Report {
     pub fn new(id: &'static str, title: impl Into<String>) -> Self {
-        Report { id, title: title.into(), body: String::new() }
+        Report {
+            id,
+            title: title.into(),
+            body: String::new(),
+            metrics: MetricsSummary::default(),
+        }
     }
 
     pub fn line(&mut self, s: impl AsRef<str>) {
         let _ = writeln!(self.body, "{}", s.as_ref());
     }
 
+    /// Fold one optimization run's metrics into this report's totals.
+    pub fn absorb(&mut self, m: &MetricsSummary) {
+        self.metrics.absorb(m);
+    }
+
     pub fn render(&self) -> String {
         let rule = "=".repeat(72);
-        format!("{rule}\n{} — {}\n{rule}\n{}\n", self.id, self.title, self.body)
+        format!(
+            "{rule}\n{} — {}\n{rule}\n{}\n",
+            self.id, self.title, self.body
+        )
+    }
+}
+
+/// Drive one experiment binary: run the experiments, print the reports, and
+/// drop a machine-readable `BENCH_<name>.json` (wall time plus the merged
+/// counters and phase timings) in the current directory.
+pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Report>) {
+    let (reports, wall_ms) = time_ms(f);
+    let mut merged = MetricsSummary::default();
+    for r in &reports {
+        print!("{}", r.render());
+        merged.absorb(&r.metrics);
+    }
+    let json = starqo_trace::json::JsonObj::new()
+        .str("bench", name)
+        .f64("wall_ms", wall_ms)
+        .u64("reports", reports.len() as u64)
+        .raw("metrics", &merged.to_json())
+        .finish();
+    let path = format!("BENCH_{name}.json");
+    match std::fs::write(&path, json + "\n") {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 

@@ -25,12 +25,26 @@ fn describe(plan: &PlanRef) -> String {
     let mut tags: Vec<&str> = vec![method_of(plan)];
     if plan.any(&|n| matches!(n.op, Lolepop::BuildIndex { .. })) {
         tags.push("dyn-index");
-    } else if plan
-        .any(&|n| matches!(n.op, Lolepop::Access { spec: AccessSpec::TempHeap, .. }))
-    {
+    } else if plan.any(&|n| {
+        matches!(
+            n.op,
+            Lolepop::Access {
+                spec: AccessSpec::TempHeap,
+                ..
+            }
+        )
+    }) {
         tags.push("temp-inner");
     }
-    if plan.any(&|n| matches!(n.op, Lolepop::Access { spec: AccessSpec::Index { .. }, .. })) {
+    if plan.any(&|n| {
+        matches!(
+            n.op,
+            Lolepop::Access {
+                spec: AccessSpec::Index { .. },
+                ..
+            }
+        )
+    }) {
         tags.push("ix-probe");
     }
     if plan.any(&|n| matches!(n.op, Lolepop::Sort { .. })) {
@@ -48,8 +62,15 @@ pub fn e4_strategy_space() -> crate::Report {
     let mut r = crate::Report::new("E4", "§4 strategy space — alternatives per configuration");
     let widths = [34usize, 8, 8, 10, 10, 10];
     r.line(crate::row(
-        &["configuration", "sites", "root", "built", "rejected", "best$"]
-            .map(String::from),
+        &[
+            "configuration",
+            "sites",
+            "root",
+            "built",
+            "rejected",
+            "best$",
+        ]
+        .map(String::from),
         &widths,
     ));
     let mut run = |label: &str, distributed: bool, config: &OptConfig| {
@@ -57,6 +78,7 @@ pub fn e4_strategy_space() -> crate::Report {
         let query = dept_emp_query(&cat);
         let opt = Optimizer::new(cat).expect("rules");
         let out = opt.optimize(&query, config).expect("optimize");
+        r.absorb(&out.metrics);
         r.line(crate::row(
             &[
                 label.to_string(),
@@ -69,18 +91,31 @@ pub fn e4_strategy_space() -> crate::Report {
             &widths,
         ));
     };
-    let mut keep_all = OptConfig::default();
-    keep_all.glue_keep_all = true;
-    run("R* base (NL+MG), cheapest-glue", false, &OptConfig::default());
+    let keep_all = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
+    run(
+        "R* base (NL+MG), cheapest-glue",
+        false,
+        &OptConfig::default(),
+    );
     run("R* base (NL+MG), keep-all-glue", false, &keep_all);
     run("+ hashjoin", false, &keep_all.clone().enable("hashjoin"));
-    run("+ force_projection", false, &keep_all.clone().enable("force_projection"));
-    run("+ dynamic_index", false, &keep_all.clone().enable("dynamic_index"));
+    run(
+        "+ force_projection",
+        false,
+        &keep_all.clone().enable("force_projection"),
+    );
+    run(
+        "+ dynamic_index",
+        false,
+        &keep_all.clone().enable("dynamic_index"),
+    );
     run("+ tid_sort", false, &keep_all.clone().enable("tid_sort"));
-    let full = {
-        let mut c = OptConfig::full();
-        c.glue_keep_all = true;
-        c
+    let full = OptConfig {
+        glue_keep_all: true,
+        ..OptConfig::full()
     };
     run("full repertoire", false, &full);
     run("R* base, distributed", true, &keep_all);
@@ -105,7 +140,9 @@ fn two_table_best(
     use starqo_catalog::{Catalog, ColId, DataType, StorageKind};
     let storage = || {
         if ordered {
-            StorageKind::BTree { key: vec![ColId(0)] }
+            StorageKind::BTree {
+                key: vec![ColId(0)],
+            }
         } else {
             StorageKind::Heap
         }
@@ -152,6 +189,8 @@ pub fn e5_hash_join() -> crate::Report {
     ] {
         let base = two_table_best(o, i, o.min(i) / 10, ordered, EQ_JOIN, &OptConfig::default());
         let with = two_table_best(o, i, o.min(i) / 10, ordered, EQ_JOIN, &ha);
+        r.absorb(&base.metrics);
+        r.absorb(&with.metrics);
         r.line(crate::row(
             &[
                 format!("{}{}", o, if ordered { " (ord)" } else { "" }),
@@ -212,9 +251,13 @@ pub fn e6_forced_projection() -> crate::Report {
         )
         .unwrap();
         let opt = Optimizer::new(cat).expect("rules");
-        let base = opt.optimize(&query, &OptConfig::default()).expect("optimize");
+        let base = opt
+            .optimize(&query, &OptConfig::default())
+            .expect("optimize");
         let fp = OptConfig::default().enable("force_projection");
         let with = opt.optimize(&query, &fp).expect("optimize");
+        r.absorb(&base.metrics);
+        r.absorb(&with.metrics);
         r.line(crate::row(
             &[
                 payload.to_string(),
@@ -249,10 +292,17 @@ pub fn e7_dynamic_index() -> crate::Report {
         &["|R|", "|S|", "base$", "with-DI$", "chosen (with DI)"].map(String::from),
         &widths,
     ));
-    for (o, i) in [(2u64, 20_000u64), (20, 20_000), (200, 20_000), (2_000, 20_000)] {
+    for (o, i) in [
+        (2u64, 20_000u64),
+        (20, 20_000),
+        (200, 20_000),
+        (2_000, 20_000),
+    ] {
         let base = two_table_best(o, i, i, false, EXPR_JOIN, &OptConfig::default());
         let di = OptConfig::default().enable("dynamic_index");
         let with = two_table_best(o, i, i, false, EXPR_JOIN, &di);
+        r.absorb(&base.metrics);
+        r.absorb(&with.metrics);
         r.line(crate::row(
             &[
                 o.to_string(),

@@ -52,7 +52,10 @@ impl Catalog {
         self.table_names
             .get(&name.to_ascii_uppercase())
             .map(|id| self.table(*id))
-            .ok_or_else(|| CatalogError::NotFound { kind: "table", name: name.into() })
+            .ok_or_else(|| CatalogError::NotFound {
+                kind: "table",
+                name: name.into(),
+            })
     }
 
     pub fn indexes(&self) -> &[Index] {
@@ -68,7 +71,10 @@ impl Catalog {
         self.index_names
             .get(&name.to_ascii_uppercase())
             .map(|id| self.index(*id))
-            .ok_or_else(|| CatalogError::NotFound { kind: "index", name: name.into() })
+            .ok_or_else(|| CatalogError::NotFound {
+                kind: "index",
+                name: name.into(),
+            })
     }
 
     /// All access paths defined on `table`.
@@ -185,17 +191,26 @@ impl CatalogBuilder {
         }
         for t in &cat.tables {
             if t.columns.is_empty() {
-                return Err(CatalogError::Invalid(format!("table {} has no columns", t.name)));
+                return Err(CatalogError::Invalid(format!(
+                    "table {} has no columns",
+                    t.name
+                )));
             }
             if cat.table_names.insert(t.name.clone(), t.id).is_some() {
-                return Err(CatalogError::Duplicate { kind: "table", name: t.name.clone() });
+                return Err(CatalogError::Duplicate {
+                    kind: "table",
+                    name: t.name.clone(),
+                });
             }
         }
         for (name, table, cols, unique, clustered) in self.pending_indexes {
             let tid = *cat
                 .table_names
                 .get(&table)
-                .ok_or_else(|| CatalogError::NotFound { kind: "table", name: table.clone() })?;
+                .ok_or_else(|| CatalogError::NotFound {
+                    kind: "table",
+                    name: table.clone(),
+                })?;
             let t = cat.table(tid).clone();
             let mut col_ids = Vec::with_capacity(cols.len());
             for c in &cols {
@@ -205,14 +220,26 @@ impl CatalogBuilder {
                 col_ids.push(cid);
             }
             if col_ids.is_empty() {
-                return Err(CatalogError::Invalid(format!("index {name} has no columns")));
+                return Err(CatalogError::Invalid(format!(
+                    "index {name} has no columns"
+                )));
             }
             let id = IndexId(cat.indexes.len() as u32);
             if cat.index_names.insert(name.clone(), id).is_some() {
-                return Err(CatalogError::Duplicate { kind: "index", name });
+                return Err(CatalogError::Duplicate {
+                    kind: "index",
+                    name,
+                });
             }
             cat.by_table.entry(tid).or_default().push(id);
-            cat.indexes.push(Index { id, name, table: tid, cols: col_ids, unique, clustered });
+            cat.indexes.push(Index {
+                id,
+                name,
+                table: tid,
+                cols: col_ids,
+                unique,
+                clustered,
+            });
         }
         Ok(cat)
     }
@@ -223,7 +250,10 @@ pub fn resolve_column(cat: &Catalog, table: &str, column: &str) -> Result<(Table
     let t = cat.table_by_name(table)?;
     let (cid, _) = t
         .column_by_name(column)
-        .ok_or_else(|| CatalogError::NotFound { kind: "column", name: format!("{table}.{column}") })?;
+        .ok_or_else(|| CatalogError::NotFound {
+            kind: "column",
+            name: format!("{table}.{column}"),
+        })?;
     Ok((t.id, cid))
 }
 

@@ -162,7 +162,9 @@ mod tests {
     fn native_order_follows_storage() {
         let mut t = dept();
         assert!(t.native_order().is_empty());
-        t.storage = StorageKind::BTree { key: vec![ColId(0)] };
+        t.storage = StorageKind::BTree {
+            key: vec![ColId(0)],
+        };
         assert_eq!(t.native_order(), &[ColId(0)]);
         assert_eq!(t.storage.name(), "btree");
     }

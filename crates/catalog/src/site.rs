@@ -13,6 +13,9 @@ pub struct Site {
 
 impl Site {
     pub fn new(id: SiteId, name: impl Into<String>) -> Self {
-        Site { id, name: name.into() }
+        Site {
+            id,
+            name: name.into(),
+        }
     }
 }

@@ -130,9 +130,7 @@ impl Ord for Value {
             (Null, Null) => Ordering::Equal,
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
-            (Double(a), Double(b)) => {
-                Value::canonical_f64(*a).total_cmp(&Value::canonical_f64(*b))
-            }
+            (Double(a), Double(b)) => Value::canonical_f64(*a).total_cmp(&Value::canonical_f64(*b)),
             (Int(a), Double(b)) => (*a as f64).total_cmp(&Value::canonical_f64(*b)),
             (Double(a), Int(b)) => Value::canonical_f64(*a).total_cmp(&(*b as f64)),
             (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),

@@ -27,8 +27,17 @@ use crate::rules::{Alt, AltGroup, BinOp, Expr, Guard, ReqExpr, RuleSet, StarDef,
 use crate::value::RuleValue;
 
 /// Built-in LOLEPOP names recognized by the engine.
-pub const LOLEPOP_NAMES: &[&str] =
-    &["ACCESS", "GET", "SORT", "SHIP", "STORE", "BUILD_INDEX", "FILTER", "JOIN", "UNION"];
+pub const LOLEPOP_NAMES: &[&str] = &[
+    "ACCESS",
+    "GET",
+    "SORT",
+    "SHIP",
+    "STORE",
+    "BUILD_INDEX",
+    "FILTER",
+    "JOIN",
+    "UNION",
+];
 
 /// Compilation environment.
 pub struct CompileEnv<'a> {
@@ -91,7 +100,10 @@ impl Scope {
                 });
             }
         }
-        Ok(Scope { slots, next: params.len() as u32 })
+        Ok(Scope {
+            slots,
+            next: params.len() as u32,
+        })
     }
 
     fn bind(&mut self, name: &str) -> u32 {
@@ -102,13 +114,12 @@ impl Scope {
     }
 }
 
-fn compile_star_group(
-    rules: &RuleSet,
-    def: &StarDefAst,
-    env: &CompileEnv<'_>,
-) -> Result<AltGroup> {
+fn compile_star_group(rules: &RuleSet, def: &StarDefAst, env: &CompileEnv<'_>) -> Result<AltGroup> {
     let mut scope = Scope::new(&def.params).map_err(|e| match e {
-        CoreError::Compile { msg, .. } => CoreError::Compile { star: def.name.clone(), msg },
+        CoreError::Compile { msg, .. } => CoreError::Compile {
+            star: def.name.clone(),
+            msg,
+        },
         other => other,
     })?;
     let mut bindings = Vec::new();
@@ -122,9 +133,20 @@ fn compile_star_group(
     let forall_slot = scope.next;
     let mut alts = Vec::new();
     for alt in def.body.alternatives() {
-        alts.push(compile_alt(rules, alt, &scope, forall_slot, env, &def.name)?);
+        alts.push(compile_alt(
+            rules,
+            alt,
+            &scope,
+            forall_slot,
+            env,
+            &def.name,
+        )?);
     }
-    Ok(AltGroup { bindings, exclusive: def.body.exclusive(), alts })
+    Ok(AltGroup {
+        bindings,
+        exclusive: def.body.exclusive(),
+        alts,
+    })
 }
 
 fn compile_alt(
@@ -139,7 +161,10 @@ fn compile_alt(
     match &alt.forall {
         Some((var, set)) => {
             let set_expr = compile_expr(rules, set, scope, env, star)?;
-            let mut s2 = Scope { slots: scope.slots.clone(), next: forall_slot };
+            let mut s2 = Scope {
+                slots: scope.slots.clone(),
+                next: forall_slot,
+            };
             let slot = s2.bind(var);
             debug_assert_eq!(slot, forall_slot);
             forall = Some(set_expr);
@@ -147,7 +172,10 @@ fn compile_alt(
         }
         None => {
             forall = None;
-            inner_scope = Scope { slots: scope.slots.clone(), next: scope.next };
+            inner_scope = Scope {
+                slots: scope.slots.clone(),
+                next: scope.next,
+            };
         }
     }
     let expr = compile_expr(rules, &alt.expr, &inner_scope, env, star)?;
@@ -156,7 +184,11 @@ fn compile_alt(
         GuardAst::Otherwise => Guard::Otherwise,
         GuardAst::If(e) => Guard::If(compile_expr(rules, e, &inner_scope, env, star)?),
     };
-    Ok(Alt { forall, expr, guard })
+    Ok(Alt {
+        forall,
+        expr,
+        guard,
+    })
 }
 
 fn compile_expr(
@@ -167,7 +199,9 @@ fn compile_expr(
     star: &str,
 ) -> Result<Expr> {
     let compile_args = |args: &[ExprAst]| -> Result<Vec<Expr>> {
-        args.iter().map(|a| compile_expr(rules, a, scope, env, star)).collect()
+        args.iter()
+            .map(|a| compile_expr(rules, a, scope, env, star))
+            .collect()
     };
     Ok(match e {
         ExprAst::Num(n) => Expr::Const(RuleValue::Int(*n)),
@@ -207,7 +241,9 @@ fn compile_expr(
             } else {
                 return Err(CoreError::Compile {
                     star: star.to_string(),
-                    msg: format!("unresolved reference {name}(...): not a LOLEPOP, STAR, or native function"),
+                    msg: format!(
+                        "unresolved reference {name}(...): not a LOLEPOP, STAR, or native function"
+                    ),
                 });
             }
         }
@@ -216,9 +252,7 @@ fn compile_expr(
             let ro = compile_expr(rules, r, scope, env, star)?;
             Expr::Binary(map_binop(*op), Box::new(lo), Box::new(ro))
         }
-        ExprAst::Not(inner) => {
-            Expr::Not(Box::new(compile_expr(rules, inner, scope, env, star)?))
-        }
+        ExprAst::Not(inner) => Expr::Not(Box::new(compile_expr(rules, inner, scope, env, star)?)),
         ExprAst::WithReqs(inner, reqs) => {
             let base = compile_expr(rules, inner, scope, env, star)?;
             let mut out = Vec::with_capacity(reqs.len());
@@ -261,7 +295,10 @@ mod tests {
     fn compile(src: &str) -> Result<RuleSet> {
         let natives = Natives::builtin();
         let ext = BTreeSet::new();
-        let env = CompileEnv { natives: &natives, ext_ops: &ext };
+        let env = CompileEnv {
+            natives: &natives,
+            ext_ops: &ext,
+        };
         let mut rs = RuleSet::default();
         compile_into(&mut rs, &parse_rules(src).unwrap(), &env)?;
         Ok(rs)
@@ -308,8 +345,8 @@ mod tests {
 
     #[test]
     fn flavors_become_symbols_and_vars_resolve() {
-        let rs = compile("star M(T1, T2, P) = JOIN(MG, Glue(T1, {}), Glue(T2, {}), P, {});")
-            .unwrap();
+        let rs =
+            compile("star M(T1, T2, P) = JOIN(MG, Glue(T1, {}), Glue(T2, {}), P, {});").unwrap();
         let m = rs.star(rs.lookup("M").unwrap());
         if let Expr::CallOp(name, args) = &m.groups[0].alts[0].expr {
             assert_eq!(name, "JOIN");
@@ -322,8 +359,7 @@ mod tests {
 
     #[test]
     fn natives_resolve_and_unknown_calls_fail() {
-        let rs =
-            compile("star C(T, P) = Glue(T, join_preds(P));").unwrap();
+        let rs = compile("star C(T, P) = Glue(T, join_preds(P));").unwrap();
         let c = rs.star(rs.lookup("C").unwrap());
         if let Expr::Glue(_, preds) = &c.groups[0].alts[0].expr {
             assert!(matches!(**preds, Expr::CallFn(_, _)));
@@ -346,10 +382,7 @@ mod tests {
 
     #[test]
     fn with_bindings_get_slots() {
-        let rs = compile(
-            "star J(T1, T2, P) = with JP = join_preds(P) [ Glue(T2, JP); ]",
-        )
-        .unwrap();
+        let rs = compile("star J(T1, T2, P) = with JP = join_preds(P) [ Glue(T2, JP); ]").unwrap();
         let j = rs.star(rs.lookup("J").unwrap());
         assert_eq!(j.groups[0].bindings.len(), 1);
         if let Expr::Glue(_, p) = &j.groups[0].alts[0].expr {
@@ -361,10 +394,8 @@ mod tests {
 
     #[test]
     fn forall_variable_scoped() {
-        let rs = compile(
-            "star A(T, C, P) = [ forall i in indexes(T): ACCESS(index, i, C, P); ]",
-        )
-        .unwrap();
+        let rs = compile("star A(T, C, P) = [ forall i in indexes(T): ACCESS(index, i, C, P); ]")
+            .unwrap();
         let a = rs.star(rs.lookup("A").unwrap());
         let alt = &a.groups[0].alts[0];
         assert!(alt.forall.is_some());
@@ -386,12 +417,14 @@ mod tests {
         let natives = Natives::builtin();
         let mut ext = BTreeSet::new();
         ext.insert("OUTERJOIN".to_string());
-        let env = CompileEnv { natives: &natives, ext_ops: &ext };
+        let env = CompileEnv {
+            natives: &natives,
+            ext_ops: &ext,
+        };
         let mut rs = RuleSet::default();
         compile_into(
             &mut rs,
-            &parse_rules("star OJ(T1, T2, P) = OUTERJOIN(Glue(T1, {}), Glue(T2, {}), P);")
-                .unwrap(),
+            &parse_rules("star OJ(T1, T2, P) = OUTERJOIN(Glue(T1, {}), Glue(T2, {}), P);").unwrap(),
             &env,
         )
         .unwrap();

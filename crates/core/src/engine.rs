@@ -21,6 +21,7 @@ use starqo_plan::{
     AccessSpec, CostModel, ExtArg, JoinFlavor, Lolepop, PlanRef, PropCtx, PropEngine,
 };
 use starqo_query::{PredSet, QCol, QSet, Query};
+use starqo_trace::{CostBreakdownEv, TraceEvent, Tracer};
 
 use crate::error::{CoreError, Result};
 use crate::glue;
@@ -102,6 +103,13 @@ pub struct Engine<'a> {
     /// first produced the node, realizing §1's "traced to explain the
     /// origin of any execution plan". Glue veneers record as "Glue".
     pub provenance: HashMap<u64, String>,
+    /// Structured event sink; `Tracer::off()` by default (zero overhead).
+    pub tracer: Tracer,
+    /// Wall-clock nanos spent inside top-level Glue invocations.
+    pub(crate) glue_nanos: u64,
+    /// Current Glue recursion depth (Glue can re-enter via AccessRoot);
+    /// only depth-0 invocations accumulate `glue_nanos`.
+    pub(crate) glue_depth: u32,
     memo: HashMap<MemoKey, Arc<Vec<PlanRef>>>,
     pub(crate) glue_cache: HashMap<GlueKey, Arc<Vec<PlanRef>>>,
     depth: u32,
@@ -133,10 +141,24 @@ impl<'a> Engine<'a> {
             table,
             stats: OptStats::default(),
             provenance: HashMap::new(),
+            tracer: Tracer::off(),
+            glue_nanos: 0,
+            glue_depth: 0,
             memo: HashMap::new(),
             glue_cache: HashMap::new(),
             depth: 0,
         }
+    }
+
+    /// Attach a tracer; the plan table shares it (insert/prune events).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.table.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Nanoseconds spent in top-level Glue invocations so far.
+    pub fn glue_nanos(&self) -> u64 {
+        self.glue_nanos
     }
 
     pub fn prop_ctx(&self) -> PropCtx<'a> {
@@ -154,11 +176,18 @@ impl<'a> Engine<'a> {
     }
 
     fn eval_err(&self, star: &str, msg: impl Into<String>) -> CoreError {
-        CoreError::Eval { star: star.to_string(), msg: msg.into() }
+        CoreError::Eval {
+            star: star.to_string(),
+            msg: msg.into(),
+        }
     }
 
     /// Reference a STAR by name (driver entry point).
-    pub fn eval_star_by_name(&mut self, name: &str, args: Vec<RuleValue>) -> Result<Arc<Vec<PlanRef>>> {
+    pub fn eval_star_by_name(
+        &mut self,
+        name: &str,
+        args: Vec<RuleValue>,
+    ) -> Result<Arc<Vec<PlanRef>>> {
         let id = self
             .rules
             .lookup(name)
@@ -173,9 +202,18 @@ impl<'a> Engine<'a> {
         if !self.config.ablate_memo {
             if let Some(hit) = self.memo.get(&key) {
                 self.stats.memo_hits += 1;
-                return Ok(hit.clone());
+                let hit = hit.clone();
+                self.tracer.emit(|| TraceEvent::StarRef {
+                    star: self.rules.star(id).name.clone(),
+                    memo_hit: true,
+                });
+                return Ok(hit);
             }
         }
+        self.tracer.emit(|| TraceEvent::StarRef {
+            star: self.rules.star(id).name.clone(),
+            memo_hit: false,
+        });
         let args = key.args.clone();
         if self.depth >= MAX_DEPTH {
             return Err(self.eval_err(
@@ -220,10 +258,21 @@ impl<'a> Engine<'a> {
                     }
                 };
                 if !fire {
+                    if matches!(alt.guard, Guard::If(_)) {
+                        self.tracer.emit(|| TraceEvent::CondFailed {
+                            star: star.name.clone(),
+                            alt: alt_idx + 1,
+                        });
+                    }
                     continue;
                 }
                 any_fired = true;
-                let produced = self.eval_alt(alt, &env, &star.name)?;
+                let produced = self.eval_alt(alt, &env, &star.name, alt_idx)?;
+                self.tracer.emit(|| TraceEvent::AltFired {
+                    star: star.name.clone(),
+                    alt: alt_idx + 1,
+                    plans: produced.len(),
+                });
                 for p in &produced {
                     self.provenance
                         .entry(p.fingerprint())
@@ -238,7 +287,13 @@ impl<'a> Engine<'a> {
         Ok(out)
     }
 
-    fn eval_alt(&mut self, alt: &Alt, env: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
+    fn eval_alt(
+        &mut self,
+        alt: &Alt,
+        env: &[RuleValue],
+        star: &str,
+        alt_idx: usize,
+    ) -> Result<Vec<PlanRef>> {
         let mut out = Vec::new();
         match &alt.forall {
             None => {
@@ -258,6 +313,11 @@ impl<'a> Engine<'a> {
                         ))
                     }
                 };
+                self.tracer.emit(|| TraceEvent::ForallExpand {
+                    star: star.to_string(),
+                    alt: alt_idx + 1,
+                    items: items.len(),
+                });
                 for item in items {
                     let mut env2 = env.to_vec();
                     env2.push(item);
@@ -310,19 +370,17 @@ impl<'a> Engine<'a> {
                 let pv = self.eval_expr(preds_e, env, star)?;
                 let pushdown = self.as_preds(&pv, star)?;
                 match sv {
-                    RuleValue::Stream(s) => {
-                        Ok(RuleValue::Plans(glue::glue(self, s, pushdown)?))
-                    }
+                    RuleValue::Stream(s) => Ok(RuleValue::Plans(glue::glue(self, s, pushdown)?)),
                     // Glue over an existing SAP: discharge nothing (no
                     // requirements travel with a SAP); retrofit a FILTER for
                     // any pushdown predicates not yet applied.
                     RuleValue::Plans(ps) => {
                         Ok(RuleValue::Plans(glue::glue_plans(self, &ps, pushdown)?))
                     }
-                    other => Err(self.eval_err(
-                        star,
-                        format!("Glue expects a stream, got {}", other.kind()),
-                    )),
+                    other => {
+                        Err(self
+                            .eval_err(star, format!("Glue expects a stream, got {}", other.kind())))
+                    }
                 }
             }
             Expr::WithReqs(base, reqs) => {
@@ -350,7 +408,10 @@ impl<'a> Engine<'a> {
                                 other => {
                                     return Err(self.eval_err(
                                         star,
-                                        format!("site requirement must be a site, got {}", other.kind()),
+                                        format!(
+                                            "site requirement must be a site, got {}",
+                                            other.kind()
+                                        ),
                                     ))
                                 }
                             }
@@ -517,18 +578,12 @@ impl<'a> Engine<'a> {
         }
     }
 
-    pub fn as_colset(
-        &self,
-        v: &RuleValue,
-        star: &str,
-    ) -> Result<std::collections::BTreeSet<QCol>> {
+    pub fn as_colset(&self, v: &RuleValue, star: &str) -> Result<std::collections::BTreeSet<QCol>> {
         match v {
             RuleValue::ColSet(c) => Ok(c.as_ref().clone()),
             RuleValue::Cols(c) => Ok(c.iter().copied().collect()),
             RuleValue::Preds(p) if p.is_empty() => Ok(Default::default()),
-            other => {
-                Err(self.eval_err(star, format!("expected column set, got {}", other.kind())))
-            }
+            other => Err(self.eval_err(star, format!("expected column set, got {}", other.kind()))),
         }
     }
 
@@ -557,9 +612,7 @@ impl<'a> Engine<'a> {
                 let to = match &args[1] {
                     RuleValue::Site(s) => *s,
                     other => {
-                        return Err(
-                            self.eval_err(star, format!("SHIP site: got {}", other.kind()))
-                        )
+                        return Err(self.eval_err(star, format!("SHIP site: got {}", other.kind())))
                     }
                 };
                 self.map_unary(&plans, |_| Lolepop::Ship { to })
@@ -609,12 +662,39 @@ impl<'a> Engine<'a> {
 
     fn try_build(&mut self, op: Lolepop, inputs: Vec<PlanRef>, out: &mut Vec<PlanRef>) {
         let ctx = PropCtx::new(self.catalog, self.query, self.model);
+        // `op` moves into build(); keep its name around only when tracing.
+        let rejected_name = if self.tracer.enabled() {
+            Some(op.name())
+        } else {
+            None
+        };
         match self.prop.build(op, inputs, &ctx) {
             Ok(p) => {
                 self.stats.plans_built += 1;
+                self.tracer.emit(|| {
+                    let by = p.props.cost.breakdown();
+                    TraceEvent::PlanBuilt {
+                        op: p.op.name(),
+                        card: p.props.card,
+                        cost_once: p.props.cost.once,
+                        cost_rescan: p.props.cost.rescan,
+                        breakdown: CostBreakdownEv {
+                            io: by.io,
+                            cpu: by.cpu,
+                            comm: by.comm,
+                            other: by.other,
+                        },
+                    }
+                });
                 out.push(p);
             }
-            Err(_) => self.stats.plans_rejected += 1,
+            Err(e) => {
+                self.stats.plans_rejected += 1;
+                self.tracer.emit(|| TraceEvent::PlanRejected {
+                    op: rejected_name.unwrap_or_default(),
+                    reason: e.to_string(),
+                });
+            }
         }
     }
 
@@ -651,7 +731,9 @@ impl<'a> Engine<'a> {
                 let cols = match &args[2] {
                     RuleValue::AllCols => {
                         let t = self.catalog.table(self.query.quantifier(q).table);
-                        (0..t.columns.len() as u32).map(|c| QCol::new(q, ColId(c))).collect()
+                        (0..t.columns.len() as u32)
+                            .map(|c| QCol::new(q, ColId(c)))
+                            .collect()
                     }
                     other => self.as_colset(other, star)?,
                 };
@@ -681,7 +763,11 @@ impl<'a> Engine<'a> {
                         other => self.as_colset(other, star)?,
                     };
                     self.try_build(
-                        Lolepop::Access { spec: AccessSpec::TempHeap, cols, preds },
+                        Lolepop::Access {
+                            spec: AccessSpec::TempHeap,
+                            cols,
+                            preds,
+                        },
                         vec![p.clone()],
                         &mut out,
                     );
@@ -706,38 +792,40 @@ impl<'a> Engine<'a> {
             RuleValue::Stream(s) => s.tables.as_single().ok_or_else(|| {
                 self.eval_err(star, "GET requires a single-table stream parameter")
             })?,
-            other => {
-                return Err(self.eval_err(star, format!("GET table: got {}", other.kind())))
-            }
+            other => return Err(self.eval_err(star, format!("GET table: got {}", other.kind()))),
         };
         let cols = match &args[2] {
             RuleValue::AllCols => {
                 let t = self.catalog.table(self.query.quantifier(q).table);
-                (0..t.columns.len() as u32).map(|c| QCol::new(q, ColId(c))).collect()
+                (0..t.columns.len() as u32)
+                    .map(|c| QCol::new(q, ColId(c)))
+                    .collect()
             }
             other => self.as_colset(other, star)?,
         };
         let preds = self.as_preds(&args[3], star)?;
-        Ok(self.map_unary(&input, |_| Lolepop::Get { q, cols: cols.clone(), preds }))
+        Ok(self.map_unary(&input, |_| Lolepop::Get {
+            q,
+            cols: cols.clone(),
+            preds,
+        }))
     }
 
     fn op_join(&mut self, args: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
         if args.len() != 5 {
-            return Err(self
-                .eval_err(star, "JOIN takes (flavor, outer, inner, join_preds, residual)"));
+            return Err(self.eval_err(
+                star,
+                "JOIN takes (flavor, outer, inner, join_preds, residual)",
+            ));
         }
         let flavor = match &args[0] {
             RuleValue::Sym(s) | RuleValue::Str(s) => match s.as_ref() {
                 "NL" => JoinFlavor::NL,
                 "MG" => JoinFlavor::MG,
                 "HA" => JoinFlavor::HA,
-                other => {
-                    return Err(self.eval_err(star, format!("unknown JOIN flavor {other}")))
-                }
+                other => return Err(self.eval_err(star, format!("unknown JOIN flavor {other}"))),
             },
-            other => {
-                return Err(self.eval_err(star, format!("JOIN flavor: got {}", other.kind())))
-            }
+            other => return Err(self.eval_err(star, format!("JOIN flavor: got {}", other.kind()))),
         };
         let outer = self.arg_plans(args, 1, "JOIN", star)?;
         let inner = self.arg_plans(args, 2, "JOIN", star)?;
@@ -747,7 +835,11 @@ impl<'a> Engine<'a> {
         for o in outer.iter() {
             for i in inner.iter() {
                 self.try_build(
-                    Lolepop::Join { flavor, join_preds, residual },
+                    Lolepop::Join {
+                        flavor,
+                        join_preds,
+                        residual,
+                    },
                     vec![o.clone(), i.clone()],
                     &mut out,
                 );
@@ -769,9 +861,7 @@ impl<'a> Engine<'a> {
                 RuleValue::Plans(p) => plan_args.push(p.clone()),
                 RuleValue::Preds(p) => ext_args.push(ExtArg::Preds(*p)),
                 RuleValue::Int(i) => ext_args.push(ExtArg::Int(*i)),
-                RuleValue::Str(s) | RuleValue::Sym(s) => {
-                    ext_args.push(ExtArg::Str(s.clone()))
-                }
+                RuleValue::Str(s) | RuleValue::Sym(s) => ext_args.push(ExtArg::Str(s.clone())),
                 RuleValue::Site(s) => ext_args.push(ExtArg::Site(*s)),
                 RuleValue::Cols(c) => ext_args.push(ExtArg::Cols(c.as_ref().clone())),
                 other => {
@@ -783,7 +873,11 @@ impl<'a> Engine<'a> {
             }
         }
         let arity = plan_args.len();
-        let op = Lolepop::Ext { name: Arc::from(name), args: ext_args, arity };
+        let op = Lolepop::Ext {
+            name: Arc::from(name),
+            args: ext_args,
+            arity,
+        };
         // Cartesian product over SAP arguments.
         let mut combos: Vec<Vec<PlanRef>> = vec![Vec::new()];
         for sap in &plan_args {
@@ -815,7 +909,10 @@ impl Engine<'_> {
 /// Drop structurally duplicate plans.
 pub fn dedup(plans: Vec<PlanRef>) -> Vec<PlanRef> {
     let mut seen = std::collections::HashSet::new();
-    plans.into_iter().filter(|p| seen.insert(p.fingerprint())).collect()
+    plans
+        .into_iter()
+        .filter(|p| seen.insert(p.fingerprint()))
+        .collect()
 }
 
 /// Convenience: make a stream value.

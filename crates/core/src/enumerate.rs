@@ -134,7 +134,10 @@ pub fn enumerate(engine: &mut Engine<'_>) -> Result<Enumerated> {
         .min_by(|a, b| a.props.cost.total().total_cmp(&b.props.cost.total()))
         .cloned()
         .ok_or_else(|| CoreError::NoPlan("glue returned no final plan".into()))?;
-    Ok(Enumerated { best, root_alternatives })
+    Ok(Enumerated {
+        best,
+        root_alternatives,
+    })
 }
 
 /// Estimated-small test for Cartesian candidates (§2.3: "streams of small

@@ -23,20 +23,62 @@ use std::sync::Arc;
 
 use starqo_plan::{AccessSpec, Lolepop, PlanRef};
 use starqo_query::{PredSet, QSet};
+use starqo_trace::TraceEvent;
 
 use crate::engine::{dedup, Engine, GlueKey};
 use crate::error::{CoreError, Result};
 use crate::value::{ReqVec, RuleValue, StreamRef};
 
 /// Discharge a stream's accumulated requirements (plus pushdown predicates).
-pub fn glue(engine: &mut Engine<'_>, stream: StreamRef, pushdown: PredSet) -> Result<Arc<Vec<PlanRef>>> {
+pub fn glue(
+    engine: &mut Engine<'_>,
+    stream: StreamRef,
+    pushdown: PredSet,
+) -> Result<Arc<Vec<PlanRef>>> {
     engine.stats.glue_refs += 1;
-    let key = GlueKey { tables: stream.tables, pushdown, reqs: stream.reqs.clone() };
+    let key = GlueKey {
+        tables: stream.tables,
+        pushdown,
+        reqs: stream.reqs.clone(),
+    };
     if let Some(hit) = engine.glue_cache.get(&key) {
         engine.stats.glue_cache_hits += 1;
-        return Ok(hit.clone());
+        let hit = hit.clone();
+        engine.tracer.emit(|| TraceEvent::GlueRef {
+            cache_hit: true,
+            candidates: hit.len(),
+            veneers: 0,
+        });
+        return Ok(hit);
     }
 
+    // Only depth-0 invocations accumulate glue wall time: Glue re-enters
+    // itself through AccessRoot's Glue expressions, and nested time is
+    // already inside the outer measurement.
+    engine.glue_depth += 1;
+    let started = std::time::Instant::now();
+    let veneers_before = engine.stats.glue_veneers;
+    let result = glue_miss(engine, &stream, pushdown);
+    engine.glue_depth -= 1;
+    if engine.glue_depth == 0 {
+        engine.glue_nanos += started.elapsed().as_nanos() as u64;
+    }
+    let out = result?;
+    engine.tracer.emit(|| TraceEvent::GlueRef {
+        cache_hit: false,
+        candidates: out.len(),
+        veneers: (engine.stats.glue_veneers - veneers_before) as usize,
+    });
+    engine.glue_cache.insert(key, out.clone());
+    Ok(out)
+}
+
+/// The cache-miss path of [`glue`]: find candidates, veneer, register.
+fn glue_miss(
+    engine: &mut Engine<'_>,
+    stream: &StreamRef,
+    pushdown: PredSet,
+) -> Result<Arc<Vec<PlanRef>>> {
     let candidates = candidate_plans(engine, stream.tables, pushdown, &stream.reqs)?;
     let mut satisfied: Vec<PlanRef> = Vec::new();
     for plan in candidates {
@@ -46,7 +88,10 @@ pub fn glue(engine: &mut Engine<'_>, stream: StreamRef, pushdown: PredSet) -> Re
     }
     let mut satisfied = dedup(satisfied);
     for p in &satisfied {
-        engine.provenance.entry(p.fingerprint()).or_insert_with(|| "Glue".to_string());
+        engine
+            .provenance
+            .entry(p.fingerprint())
+            .or_insert_with(|| "Glue".to_string());
     }
     if satisfied.is_empty() {
         return Err(CoreError::Glue(format!(
@@ -63,9 +108,7 @@ pub fn glue(engine: &mut Engine<'_>, stream: StreamRef, pushdown: PredSet) -> Re
         satisfied.sort_by(|a, b| a.props.cost.total().total_cmp(&b.props.cost.total()));
         satisfied.truncate(1);
     }
-    let out = Arc::new(satisfied);
-    engine.glue_cache.insert(key, out.clone());
-    Ok(out)
+    Ok(Arc::new(satisfied))
 }
 
 /// Glue over an already-computed SAP: no requirements travel with a SAP, so
@@ -79,6 +122,7 @@ pub fn glue_plans(
     if pushdown.is_empty() {
         return Ok(plans.clone());
     }
+    let veneers_before = engine.stats.glue_veneers;
     let mut out = Vec::new();
     for p in plans.iter() {
         let extra = pushdown.minus(p.props.preds);
@@ -87,7 +131,10 @@ pub fn glue_plans(
             continue;
         }
         let ctx = engine.prop_ctx();
-        match engine.prop.build(Lolepop::Filter { preds: extra }, vec![p.clone()], &ctx) {
+        match engine
+            .prop
+            .build(Lolepop::Filter { preds: extra }, vec![p.clone()], &ctx)
+        {
             Ok(f) => {
                 engine.stats.glue_veneers += 1;
                 out.push(f);
@@ -95,7 +142,13 @@ pub fn glue_plans(
             Err(e) => return Err(CoreError::Plan(e)),
         }
     }
-    Ok(Arc::new(dedup(out)))
+    let out = dedup(out);
+    engine.tracer.emit(|| TraceEvent::GlueRef {
+        cache_hit: false,
+        candidates: out.len(),
+        veneers: (engine.stats.glue_veneers - veneers_before) as usize,
+    });
+    Ok(Arc::new(out))
 }
 
 /// Step 1: find or create plans with the required relational properties.
@@ -127,7 +180,9 @@ fn candidate_plans(
         let mut p = cheapest;
         if let Some(site) = reqs.site {
             if p.props.site != site {
-                p = engine.prop.build(Lolepop::Ship { to: site }, vec![p], &ctx)?;
+                p = engine
+                    .prop
+                    .build(Lolepop::Ship { to: site }, vec![p], &ctx)?;
                 engine.stats.glue_veneers += 1;
             }
         }
@@ -135,15 +190,31 @@ fn candidate_plans(
             p = engine.prop.build(Lolepop::Store, vec![p], &ctx)?;
             engine.stats.glue_veneers += 1;
         }
-        let ix_cols: Vec<_> = ix.iter().filter(|c| p.props.cols.contains(c)).copied().collect();
+        let ix_cols: Vec<_> = ix
+            .iter()
+            .filter(|c| p.props.cols.contains(c))
+            .copied()
+            .collect();
         if ix_cols.is_empty() {
-            return Err(CoreError::Glue("required path columns not in stream".into()));
+            return Err(CoreError::Glue(
+                "required path columns not in stream".into(),
+            ));
         }
-        p = engine.prop.build(Lolepop::BuildIndex { key: ix_cols.clone() }, vec![p], &ctx)?;
+        p = engine.prop.build(
+            Lolepop::BuildIndex {
+                key: ix_cols.clone(),
+            },
+            vec![p],
+            &ctx,
+        )?;
         engine.stats.glue_veneers += 1;
         let cols = p.props.cols.clone();
         let probe = engine.prop.build(
-            Lolepop::Access { spec: AccessSpec::TempIndex { key: ix_cols }, cols, preds: extra },
+            Lolepop::Access {
+                spec: AccessSpec::TempIndex { key: ix_cols },
+                cols,
+                preds: extra,
+            },
             vec![p],
             &ctx,
         )?;
@@ -169,7 +240,9 @@ fn candidate_plans(
         let ctx = engine.prop_ctx();
         let mut out = Vec::new();
         for p in base {
-            let f = engine.prop.build(Lolepop::Filter { preds: extra }, vec![p], &ctx)?;
+            let f = engine
+                .prop
+                .build(Lolepop::Filter { preds: extra }, vec![p], &ctx)?;
             engine.stats.glue_veneers += 1;
             out.push(f);
         }
@@ -201,11 +274,7 @@ fn existing_or_access(
 }
 
 /// Reference the AccessRoot STAR for a single-table stream.
-fn access_root(
-    engine: &mut Engine<'_>,
-    tables: QSet,
-    preds: PredSet,
-) -> Result<Arc<Vec<PlanRef>>> {
+fn access_root(engine: &mut Engine<'_>, tables: QSet, preds: PredSet) -> Result<Arc<Vec<PlanRef>>> {
     let q = tables.as_single().expect("single-table stream");
     let cols = engine.query.required_cols(q);
     engine.eval_star_by_name(
@@ -229,13 +298,17 @@ fn veneer(engine: &mut Engine<'_>, plan: PlanRef, reqs: &ReqVec) -> Result<Optio
             if !order.iter().all(|c| p.props.cols.contains(c)) {
                 return Ok(None);
             }
-            p = engine.prop.build(Lolepop::Sort { key: order.clone() }, vec![p], &ctx)?;
+            p = engine
+                .prop
+                .build(Lolepop::Sort { key: order.clone() }, vec![p], &ctx)?;
             engine.stats.glue_veneers += 1;
         }
     }
     if let Some(site) = reqs.site {
         if p.props.site != site {
-            p = engine.prop.build(Lolepop::Ship { to: site }, vec![p], &ctx)?;
+            p = engine
+                .prop
+                .build(Lolepop::Ship { to: site }, vec![p], &ctx)?;
             engine.stats.glue_veneers += 1;
         }
     }

@@ -115,7 +115,10 @@ impl Natives {
 // ---- argument helpers -------------------------------------------------
 
 fn err(msg: impl Into<String>) -> CoreError {
-    CoreError::Eval { star: "<native>".into(), msg: msg.into() }
+    CoreError::Eval {
+        star: "<native>".into(),
+        msg: msg.into(),
+    }
 }
 
 fn want_preds(v: &RuleValue) -> Result<PredSet> {
@@ -135,9 +138,7 @@ fn want_stream(v: &RuleValue) -> Result<&crate::value::StreamRef> {
 fn want_tables(v: &RuleValue) -> Result<QSet> {
     match v {
         RuleValue::Stream(s) => Ok(s.tables),
-        RuleValue::Plans(ps) => {
-            Ok(ps.first().map(|p| p.props.tables).unwrap_or(QSet::EMPTY))
-        }
+        RuleValue::Plans(ps) => Ok(ps.first().map(|p| p.props.tables).unwrap_or(QSet::EMPTY)),
         other => Err(err(format!("expected stream, got {}", other.kind()))),
     }
 }
@@ -151,7 +152,10 @@ fn want_index(v: &RuleValue) -> Result<(starqo_catalog::IndexId, starqo_query::Q
 
 fn arity(args: &[RuleValue], n: usize, what: &str) -> Result<()> {
     if args.len() != n {
-        return Err(err(format!("{what}: expected {n} arguments, got {}", args.len())));
+        return Err(err(format!(
+            "{what}: expected {n} arguments, got {}",
+            args.len()
+        )));
     }
     Ok(())
 }
@@ -160,7 +164,9 @@ fn arity(args: &[RuleValue], n: usize, what: &str) -> Result<()> {
 
 fn n_join_preds(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
     arity(args, 1, "join_preds")?;
-    Ok(RuleValue::Preds(ctx.classifier().join_preds(want_preds(&args[0])?)))
+    Ok(RuleValue::Preds(
+        ctx.classifier().join_preds(want_preds(&args[0])?),
+    ))
 }
 
 fn n_inner_preds(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
@@ -191,14 +197,18 @@ fn n_indexable_preds(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValu
     let p = want_preds(&args[0])?;
     let t1 = want_tables(&args[1])?;
     let t2 = want_tables(&args[2])?;
-    Ok(RuleValue::Preds(ctx.classifier().indexable_preds(p, t1, t2)))
+    Ok(RuleValue::Preds(
+        ctx.classifier().indexable_preds(p, t1, t2),
+    ))
 }
 
 fn n_sort_key(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
     arity(args, 2, "sort_key")?;
     let sp = want_preds(&args[0])?;
     let side = want_tables(&args[1])?;
-    Ok(RuleValue::Cols(Arc::new(ctx.classifier().sort_key(sp, side))))
+    Ok(RuleValue::Cols(Arc::new(
+        ctx.classifier().sort_key(sp, side),
+    )))
 }
 
 fn n_index_cols(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
@@ -206,7 +216,9 @@ fn n_index_cols(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
     let ip = want_preds(&args[0])?;
     let xp = want_preds(&args[1])?;
     let t2 = want_tables(&args[2])?;
-    Ok(RuleValue::Cols(Arc::new(ctx.classifier().index_cols(ip, xp, t2))))
+    Ok(RuleValue::Cols(Arc::new(
+        ctx.classifier().index_cols(ip, xp, t2),
+    )))
 }
 
 // ---- generic set/scalar helpers ----------------------------------------
@@ -255,13 +267,16 @@ fn n_candidate_sites(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValu
     arity(args, 0, "candidate_sites")?;
     // "the set of sites at which tables of the query are stored, plus the
     // query site" (§4.2).
-    let mut sites =
-        ctx.catalog.storage_sites(ctx.query.quantifiers.iter().map(|q| q.table));
+    let mut sites = ctx
+        .catalog
+        .storage_sites(ctx.query.quantifiers.iter().map(|q| q.table));
     if !sites.contains(&ctx.query.query_site) {
         sites.push(ctx.query.query_site);
     }
     sites.sort();
-    Ok(RuleValue::List(Arc::new(sites.into_iter().map(RuleValue::Site).collect())))
+    Ok(RuleValue::List(Arc::new(
+        sites.into_iter().map(RuleValue::Site).collect(),
+    )))
 }
 
 fn n_current_site(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
@@ -275,7 +290,9 @@ fn n_required_site(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue>
     let s = want_stream(&args[0])?;
     // `T![site]`: the accumulated site requirement; defaults to the current
     // site so that "no requirement" compares equal.
-    Ok(RuleValue::Site(s.reqs.site.unwrap_or_else(|| ctx.current_site(s.tables))))
+    Ok(RuleValue::Site(
+        s.reqs.site.unwrap_or_else(|| ctx.current_site(s.tables)),
+    ))
 }
 
 // ---- storage and access paths ------------------------------------------
@@ -285,9 +302,11 @@ fn n_storage_kind(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> 
     match &args[0] {
         RuleValue::Stream(s) => {
             let kind = match s.tables.as_single() {
-                Some(q) => {
-                    ctx.catalog.table(ctx.query.quantifier(q).table).storage.name()
-                }
+                Some(q) => ctx
+                    .catalog
+                    .table(ctx.query.quantifier(q).table)
+                    .storage
+                    .name(),
                 None => "heap", // composites materialize as heaps
             };
             Ok(RuleValue::Str(kind.into()))
@@ -304,7 +323,10 @@ fn n_indexes(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
     let items = match s.tables.as_single() {
         Some(q) => {
             let t = ctx.query.quantifier(q).table;
-            ctx.catalog.indexes_on(t).map(|ix| RuleValue::Index(ix.id, q)).collect()
+            ctx.catalog
+                .indexes_on(t)
+                .map(|ix| RuleValue::Index(ix.id, q))
+                .collect()
         }
         None => Vec::new(), // composites have no catalog paths
     };
@@ -324,8 +346,11 @@ fn n_tid_stream_cols(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValu
     arity(args, 1, "tid_stream_cols")?;
     let (ix, q) = want_index(&args[0])?;
     let def = ctx.catalog.index(ix);
-    let mut cols: std::collections::BTreeSet<starqo_query::QCol> =
-        def.cols.iter().map(|c| starqo_query::QCol::new(q, *c)).collect();
+    let mut cols: std::collections::BTreeSet<starqo_query::QCol> = def
+        .cols
+        .iter()
+        .map(|c| starqo_query::QCol::new(q, *c))
+        .collect();
     cols.insert(starqo_query::QCol::new(q, starqo_catalog::TID_COL));
     Ok(RuleValue::ColSet(Arc::new(cols)))
 }
@@ -349,8 +374,11 @@ fn n_covers(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
     arity(args, 3, "covers")?;
     let (ix, q) = want_index(&args[0])?;
     let def = ctx.catalog.index(ix);
-    let key: Vec<starqo_query::QCol> =
-        def.cols.iter().map(|c| starqo_query::QCol::new(q, *c)).collect();
+    let key: Vec<starqo_query::QCol> = def
+        .cols
+        .iter()
+        .map(|c| starqo_query::QCol::new(q, *c))
+        .collect();
     let cols_ok = match &args[1] {
         RuleValue::ColSet(cs) => cs.iter().all(|c| key.contains(c)),
         RuleValue::AllCols => false,
@@ -377,7 +405,10 @@ fn n_enabled(ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
         RuleValue::Str(s) | RuleValue::Sym(s) => {
             Ok(RuleValue::Bool(ctx.config.enabled.contains(s.as_ref())))
         }
-        other => Err(err(format!("enabled: expected string, got {}", other.kind()))),
+        other => Err(err(format!(
+            "enabled: expected string, got {}",
+            other.kind()
+        ))),
     }
 }
 

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use starqo_catalog::Catalog;
 use starqo_plan::{CostModel, ExtPropFn, PlanRef, PropEngine};
 use starqo_query::Query;
+use starqo_trace::{MetricsRegistry, MetricsSummary, Phase, Tracer};
 
 use crate::compile::{compile_into, CompileEnv};
 use crate::engine::{Engine, OptStats};
@@ -17,8 +18,7 @@ use crate::table::TableStats;
 
 /// Compile-time parameters of an optimization run (§2.3 and §4 describe all
 /// of these as parameters or rule conditions, not code).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OptConfig {
     /// Allow composite inners (bushy plans), e.g. `(A*B)*(C*D)`.
     pub composite_inners: bool,
@@ -38,7 +38,6 @@ pub struct OptConfig {
     /// non-duplicate plan). Quantifies the System-R style dominance test.
     pub ablate_pruning: bool,
 }
-
 
 impl OptConfig {
     /// Enable an optional strategy family (chainable).
@@ -83,6 +82,8 @@ pub struct Optimized {
     /// first produced it — §1's "traced to explain the origin of any
     /// execution plan".
     pub provenance: std::collections::HashMap<u64, String>,
+    /// Counters and per-phase wall-clock timings for this run.
+    pub metrics: MetricsSummary,
 }
 
 impl Optimized {
@@ -112,6 +113,9 @@ pub struct Optimizer {
     natives: Natives,
     prop: PropEngine,
     ext_ops: BTreeSet<String>,
+    /// Accumulated wall time spent compiling rule text (reported as the
+    /// `compile` phase of every subsequent optimization's metrics).
+    compile_nanos: u64,
 }
 
 impl Optimizer {
@@ -134,6 +138,7 @@ impl Optimizer {
             natives: Natives::builtin(),
             prop: PropEngine::new(),
             ext_ops: BTreeSet::new(),
+            compile_nanos: 0,
         }
     }
 
@@ -141,9 +146,17 @@ impl Optimizer {
     /// existing STAR *appends* alternatives (§4.5); new STARs simply become
     /// referenceable.
     pub fn load_rules(&mut self, text: &str) -> Result<()> {
-        let ast = starqo_dsl::parse_rules(text)?;
-        let env = CompileEnv { natives: &self.natives, ext_ops: &self.ext_ops };
-        compile_into(&mut self.rules, &ast, &env)
+        let started = std::time::Instant::now();
+        let result = (|| {
+            let ast = starqo_dsl::parse_rules(text)?;
+            let env = CompileEnv {
+                natives: &self.natives,
+                ext_ops: &self.ext_ops,
+            };
+            compile_into(&mut self.rules, &ast, &env)
+        })();
+        self.compile_nanos += started.elapsed().as_nanos() as u64;
+        result
     }
 
     /// Register a new LOLEPOP (§5): name + property function. Rules loaded
@@ -177,6 +190,19 @@ impl Optimizer {
 
     /// Optimize one query under the given configuration.
     pub fn optimize(&self, query: &Query, config: &OptConfig) -> Result<Optimized> {
+        self.optimize_traced(query, config, Tracer::off())
+    }
+
+    /// [`Self::optimize`] with a structured-event tracer attached. The
+    /// engine, plan table, and Glue all emit through it; phase timings and
+    /// work counters land in [`Optimized::metrics`].
+    pub fn optimize_traced(
+        &self,
+        query: &Query,
+        config: &OptConfig,
+        tracer: Tracer,
+    ) -> Result<Optimized> {
+        let mut metrics = MetricsRegistry::new();
         let mut engine = Engine::new(
             &self.rules,
             &self.natives,
@@ -186,7 +212,34 @@ impl Optimizer {
             &self.model,
             config,
         );
-        let out = enumerate(&mut engine)?;
+        engine.set_tracer(tracer.clone());
+        let span = tracer.span("optimize");
+        let timer = metrics.start(Phase::Enumerate);
+        let out = enumerate(&mut engine);
+        metrics.finish(timer);
+        drop(span);
+        let out = out?;
+        // Glue time is nested inside enumeration; report it under its own
+        // phase (and leave it inside `enumerate` — callers comparing the two
+        // see how much of enumeration is property enforcement).
+        metrics.add_phase_nanos(Phase::Glue, engine.glue_nanos());
+        metrics.add_phase_nanos(Phase::Compile, self.compile_nanos);
+        let s = engine.stats;
+        metrics.count("star_refs", s.star_refs);
+        metrics.count("memo_hits", s.memo_hits);
+        metrics.count("alts_considered", s.alts_considered);
+        metrics.count("conds_evaluated", s.conds_evaluated);
+        metrics.count("plans_built", s.plans_built);
+        metrics.count("plans_rejected", s.plans_rejected);
+        metrics.count("glue_refs", s.glue_refs);
+        metrics.count("glue_cache_hits", s.glue_cache_hits);
+        metrics.count("glue_veneers", s.glue_veneers);
+        metrics.count("native_calls", s.native_calls);
+        let t = engine.table.stats;
+        metrics.count("table_offered", t.offered);
+        metrics.count("table_dominated", t.dominated);
+        metrics.count("table_evicted", t.evicted);
+        metrics.count("table_duplicates", t.duplicates);
         Ok(Optimized {
             best: out.best,
             root_alternatives: out.root_alternatives,
@@ -195,6 +248,7 @@ impl Optimizer {
             table_plans: engine.table.total_plans(),
             table_keys: engine.table.total_keys(),
             provenance: engine.provenance,
+            metrics: metrics.summary(),
         })
     }
 }

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use starqo_plan::PlanRef;
 use starqo_query::{PredSet, QSet};
+use starqo_trace::{TraceEvent, Tracer};
 
 /// Relational key of a plan: what it produces.
 pub type PlanKey = (QSet, PredSet);
@@ -37,6 +38,8 @@ pub struct PlanTable {
     /// ABLATION: when set, dominance pruning is skipped (duplicates are
     /// still dropped).
     pub ablate_pruning: bool,
+    /// Structured event sink for insert/prune/dominance churn.
+    tracer: Tracer,
 }
 
 /// Does `a` dominate `b`? Cheaper-or-equal on both cost components and at
@@ -58,6 +61,11 @@ impl PlanTable {
         Self::default()
     }
 
+    /// Attach a tracer for table churn events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn key_of(plan: &PlanRef) -> PlanKey {
         (plan.props.tables, plan.props.preds)
     }
@@ -70,19 +78,48 @@ impl PlanTable {
         let slot = self.map.entry(key).or_default();
         if slot.iter().any(|p| p.fingerprint() == plan.fingerprint()) {
             self.stats.duplicates += 1;
+            self.tracer.emit(|| TraceEvent::TablePrune {
+                op: plan.op.name(),
+                cost: plan.props.cost.total(),
+                duplicate: true,
+            });
             return false;
         }
         if self.ablate_pruning {
+            self.tracer.emit(|| TraceEvent::TableInsert {
+                op: plan.op.name(),
+                cost: plan.props.cost.total(),
+                evicted: 0,
+            });
             slot.push(plan);
             return true;
         }
         if slot.iter().any(|p| dominates(p, &plan)) {
             self.stats.dominated += 1;
+            self.tracer.emit(|| TraceEvent::TablePrune {
+                op: plan.op.name(),
+                cost: plan.props.cost.total(),
+                duplicate: false,
+            });
             return false;
         }
         let before = slot.len();
+        if self.tracer.enabled() {
+            for victim in slot.iter().filter(|p| dominates(&plan, p)) {
+                self.tracer.emit(|| TraceEvent::TableDominated {
+                    op: victim.op.name(),
+                    cost: victim.props.cost.total(),
+                });
+            }
+        }
         slot.retain(|p| !dominates(&plan, p));
-        self.stats.evicted += (before - slot.len()) as u64;
+        let evicted = before - slot.len();
+        self.stats.evicted += evicted as u64;
+        self.tracer.emit(|| TraceEvent::TableInsert {
+            op: plan.op.name(),
+            cost: plan.props.cost.total(),
+            evicted,
+        });
         slot.push(plan);
         true
     }
@@ -101,7 +138,11 @@ impl PlanTable {
 
     /// All keys whose quantifier set equals `tables` (any predicate set).
     pub fn keys_for_tables(&self, tables: QSet) -> Vec<PlanKey> {
-        self.map.keys().filter(|(t, _)| *t == tables).copied().collect()
+        self.map
+            .keys()
+            .filter(|(t, _)| *t == tables)
+            .copied()
+            .collect()
     }
 
     /// Number of plans retained across all keys.
@@ -131,7 +172,9 @@ mod tests {
         }
         // Salt the op parameters so fingerprints differ.
         PlanNode::with_props(
-            Lolepop::Ship { to: SiteId(salt as u16) },
+            Lolepop::Ship {
+                to: SiteId(salt as u16),
+            },
             vec![PlanNode::with_props(
                 Lolepop::Access {
                     spec: starqo_plan::AccessSpec::HeapTable(QId(0)),
@@ -211,6 +254,8 @@ mod tests {
         assert_eq!(t.total_keys(), 1);
         assert_eq!(t.keys_for_tables(QSet::single(QId(0))).len(), 1);
         assert!(t.keys_for_tables(QSet::single(QId(5))).is_empty());
-        assert!(t.best((QSet::single(QId(5)), starqo_query::PredSet::EMPTY)).is_none());
+        assert!(t
+            .best((QSet::single(QId(5)), starqo_query::PredSet::EMPTY))
+            .is_none());
     }
 }

@@ -44,7 +44,10 @@ pub struct StreamRef {
 
 impl StreamRef {
     pub fn new(tables: QSet) -> Self {
-        StreamRef { tables, reqs: ReqVec::default() }
+        StreamRef {
+            tables,
+            reqs: ReqVec::default(),
+        }
     }
 }
 
@@ -155,7 +158,9 @@ impl PartialEq for RuleValue {
             (Stream(a), Stream(b)) => a == b,
             (Plans(a), Plans(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|(x, y)| x.fingerprint() == y.fingerprint())
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.fingerprint() == y.fingerprint())
             }
             (Index(a, qa), Index(b, qb)) => a == b && qa == qb,
             (List(a), List(b)) => a == b,
@@ -179,8 +184,10 @@ mod tests {
         assert!(r.is_empty());
         r.temp = true;
         assert!(!r.is_empty());
-        let mut r2 = ReqVec::default();
-        r2.order = Some(vec![QCol::new(QId(0), ColId(0))]);
+        let r2 = ReqVec {
+            order: Some(vec![QCol::new(QId(0), ColId(0))]),
+            ..Default::default()
+        };
         assert!(!r2.is_empty());
     }
 

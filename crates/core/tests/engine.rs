@@ -31,8 +31,11 @@ fn catalog() -> Arc<Catalog> {
 }
 
 fn query(cat: &Catalog) -> Query {
-    parse_query(cat, "SELECT E.NAME FROM DEPT D, EMP E WHERE D.MGR = 'Haas' AND D.DNO = E.DNO")
-        .unwrap()
+    parse_query(
+        cat,
+        "SELECT E.NAME FROM DEPT D, EMP E WHERE D.MGR = 'Haas' AND D.DNO = E.DNO",
+    )
+    .unwrap()
 }
 
 /// Compile extra rules on top of the built-ins and hand back everything an
@@ -85,10 +88,12 @@ fn stream(q: u32) -> RuleValue {
 
 fn dept_args() -> Vec<RuleValue> {
     // AccessRoot(T, C, P) arguments for DEPT with its single-table pred.
-    let cols: std::collections::BTreeSet<QCol> =
-        [QCol::new(QId(0), starqo_catalog::ColId(0)), QCol::new(QId(0), starqo_catalog::ColId(1))]
-            .into_iter()
-            .collect();
+    let cols: std::collections::BTreeSet<QCol> = [
+        QCol::new(QId(0), starqo_catalog::ColId(0)),
+        QCol::new(QId(0), starqo_catalog::ColId(1)),
+    ]
+    .into_iter()
+    .collect();
     vec![
         stream(0),
         RuleValue::ColSet(Arc::new(cols)),
@@ -147,8 +152,7 @@ fn forall_expands_each_element() {
     let mut e = fx.engine();
     let plans = e.eval_star_by_name("PerSite", dept_args()).unwrap();
     assert_eq!(plans.len(), 2);
-    let sites: std::collections::BTreeSet<SiteId> =
-        plans.iter().map(|p| p.props.site).collect();
+    let sites: std::collections::BTreeSet<SiteId> = plans.iter().map(|p| p.props.site).collect();
     assert_eq!(sites.len(), 2);
 }
 
@@ -161,19 +165,28 @@ fn set_operators_on_predicates() {
     );
     let mut e = fx.engine();
     // Pass both preds; join pred p1 is subtracted, leaving only p0.
-    let cols: std::collections::BTreeSet<QCol> =
-        [QCol::new(QId(0), starqo_catalog::ColId(0)), QCol::new(QId(0), starqo_catalog::ColId(1))]
-            .into_iter()
-            .collect();
+    let cols: std::collections::BTreeSet<QCol> = [
+        QCol::new(QId(0), starqo_catalog::ColId(0)),
+        QCol::new(QId(0), starqo_catalog::ColId(1)),
+    ]
+    .into_iter()
+    .collect();
     let all = PredSet::from_iter([starqo_query::PredId(0), starqo_query::PredId(1)]);
     let plans = e
         .eval_star_by_name(
             "Minus",
-            vec![stream(0), RuleValue::ColSet(Arc::new(cols)), RuleValue::Preds(all)],
+            vec![
+                stream(0),
+                RuleValue::ColSet(Arc::new(cols)),
+                RuleValue::Preds(all),
+            ],
         )
         .unwrap();
     assert_eq!(plans.len(), 1);
-    assert_eq!(plans[0].props.preds, PredSet::single(starqo_query::PredId(0)));
+    assert_eq!(
+        plans[0].props.preds,
+        PredSet::single(starqo_query::PredId(0))
+    );
 }
 
 #[test]
@@ -184,17 +197,27 @@ fn requirements_accumulate_until_glue() {
     let mut natives = Natives::builtin();
     natives.register("la", |_ctx, _args| Ok(RuleValue::Site(SiteId(1))));
     natives.register("dno", |_ctx, args| {
-        let RuleValue::Stream(s) = &args[0] else { panic!() };
+        let RuleValue::Stream(s) = &args[0] else {
+            panic!()
+        };
         let q = s.tables.as_single().unwrap();
-        Ok(RuleValue::Cols(Arc::new(vec![QCol::new(q, starqo_catalog::ColId(0))])))
+        Ok(RuleValue::Cols(Arc::new(vec![QCol::new(
+            q,
+            starqo_catalog::ColId(0),
+        )])))
     });
     // Recompile with the extended registry so the names resolve.
     let mut opt = Optimizer::new(fx.cat.clone()).unwrap();
     opt.register_native("la", |_ctx, _args| Ok(RuleValue::Site(SiteId(1))));
     opt.register_native("dno", |_ctx, args| {
-        let RuleValue::Stream(s) = &args[0] else { panic!() };
+        let RuleValue::Stream(s) = &args[0] else {
+            panic!()
+        };
         let q = s.tables.as_single().unwrap();
-        Ok(RuleValue::Cols(Arc::new(vec![QCol::new(q, starqo_catalog::ColId(0))])))
+        Ok(RuleValue::Cols(Arc::new(vec![QCol::new(
+            q,
+            starqo_catalog::ColId(0),
+        )])))
     });
     opt.load_rules(
         "star Outer(T, C, P) = Inner(T[site = la()], C, P)\n\
@@ -208,13 +231,19 @@ fn requirements_accumulate_until_glue() {
     let plans = e
         .eval_star_by_name(
             "Outer",
-            vec![stream(0), dept_args()[1].clone(), RuleValue::Preds(PredSet::single(starqo_query::PredId(0)))],
+            vec![
+                stream(0),
+                dept_args()[1].clone(),
+                RuleValue::Preds(PredSet::single(starqo_query::PredId(0))),
+            ],
         )
         .unwrap();
     assert_eq!(plans.len(), 1);
     let p = &plans[0];
     assert_eq!(p.props.site, SiteId(1));
-    assert!(p.props.order_satisfies(&[QCol::new(QId(0), starqo_catalog::ColId(0))]));
+    assert!(p
+        .props
+        .order_satisfies(&[QCol::new(QId(0), starqo_catalog::ColId(0))]));
     // Both a SORT and a SHIP were injected.
     assert!(p.any(&|n| matches!(n.op, Lolepop::Sort { .. })));
     assert!(p.any(&|n| matches!(n.op, Lolepop::Ship { .. })));
@@ -246,7 +275,10 @@ fn glue_discharges_temp_with_store_at_destination() {
 fn glue_is_cached_per_requirement_vector() {
     let fx = Fx::new("", OptConfig::default());
     let mut e = fx.engine();
-    let s = StreamRef { tables: QSet::single(QId(0)), reqs: ReqVec::default() };
+    let s = StreamRef {
+        tables: QSet::single(QId(0)),
+        reqs: ReqVec::default(),
+    };
     let a = glue::glue(&mut e, s.clone(), PredSet::EMPTY).unwrap();
     let before = e.stats.glue_cache_hits;
     let b = glue::glue(&mut e, s, PredSet::EMPTY).unwrap();
@@ -255,7 +287,10 @@ fn glue_is_cached_per_requirement_vector() {
     // A different requirement misses the cache.
     let s2 = StreamRef {
         tables: QSet::single(QId(0)),
-        reqs: ReqVec { temp: true, ..Default::default() },
+        reqs: ReqVec {
+            temp: true,
+            ..Default::default()
+        },
     };
     glue::glue(&mut e, s2, PredSet::EMPTY).unwrap();
     assert_eq!(e.stats.glue_cache_hits, before + 1);
@@ -264,13 +299,17 @@ fn glue_is_cached_per_requirement_vector() {
 #[test]
 fn glue_pushdown_rereferences_access_root() {
     // Pushing the join predicate into EMP generates an index probe plan.
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let fx = Fx::new("", config);
     let mut e = fx.engine();
-    let s = StreamRef { tables: QSet::single(QId(1)), reqs: ReqVec::default() };
-    let plans =
-        glue::glue(&mut e, s, PredSet::single(starqo_query::PredId(1))).unwrap();
+    let s = StreamRef {
+        tables: QSet::single(QId(1)),
+        reqs: ReqVec::default(),
+    };
+    let plans = glue::glue(&mut e, s, PredSet::single(starqo_query::PredId(1))).unwrap();
     for p in plans.iter() {
         assert!(p.props.preds.contains(starqo_query::PredId(1)));
     }
@@ -278,7 +317,10 @@ fn glue_pushdown_rereferences_access_root() {
     // converted join predicate ("rather than retrofitting a FILTER").
     assert!(plans.iter().any(|p| p.any(&|n| matches!(
         n.op,
-        Lolepop::Access { spec: starqo_plan::AccessSpec::Index { .. }, .. }
+        Lolepop::Access {
+            spec: starqo_plan::AccessSpec::Index { .. },
+            ..
+        }
     ))));
 }
 
@@ -322,7 +364,10 @@ fn type_errors_are_reported_not_panicked() {
 
 #[test]
 fn alternative_returning_non_plans_is_an_error() {
-    let fx = Fx::new("star NotPlans(T, C, P) = join_preds(P);", OptConfig::default());
+    let fx = Fx::new(
+        "star NotPlans(T, C, P) = join_preds(P);",
+        OptConfig::default(),
+    );
     let mut e = fx.engine();
     let err = e.eval_star_by_name("NotPlans", dept_args()).unwrap_err();
     assert!(err.to_string().contains("did not produce plans"), "{err}");

@@ -38,8 +38,13 @@ fn catalog(distributed: bool) -> Arc<Catalog> {
 fn haas_database(cat: Arc<Catalog>) -> Database {
     let mut b = DatabaseBuilder::new(cat);
     for d in 0..50i64 {
-        let mgr = if d == 7 { "Haas".to_string() } else { format!("mgr{d}") };
-        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)]).unwrap();
+        let mgr = if d == 7 {
+            "Haas".to_string()
+        } else {
+            format!("mgr{d}")
+        };
+        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)])
+            .unwrap();
     }
     for e in 0..10_000i64 {
         b.insert(
@@ -56,7 +61,10 @@ fn haas_database(cat: Arc<Catalog>) -> Database {
     b.build().unwrap()
 }
 
-fn optimize(distributed: bool, config: &OptConfig) -> (Arc<Catalog>, starqo_query::Query, Optimized) {
+fn optimize(
+    distributed: bool,
+    config: &OptConfig,
+) -> (Arc<Catalog>, starqo_query::Query, Optimized) {
     let cat = catalog(distributed);
     let query = parse_query(&cat, SQL).unwrap();
     let opt = Optimizer::new(cat.clone()).unwrap();
@@ -84,32 +92,59 @@ fn figure1_shape_among_alternatives() {
     // With Glue keeping all satisfying plans, the alternative space must
     // contain the paper's Figure-1 plan: a merge join whose outer is a
     // SORTed DEPT scan and whose inner is GET over the EMP.DNO index.
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let (_, _, out) = optimize(false, &config);
     let found = out.root_alternatives.iter().any(|p| {
-        has_op(p, |o| matches!(o, Lolepop::Join { flavor: JoinFlavor::MG, .. }))
-            && has_op(p, |o| matches!(o, Lolepop::Sort { .. }))
+        has_op(p, |o| {
+            matches!(
+                o,
+                Lolepop::Join {
+                    flavor: JoinFlavor::MG,
+                    ..
+                }
+            )
+        }) && has_op(p, |o| matches!(o, Lolepop::Sort { .. }))
             && has_op(p, |o| matches!(o, Lolepop::Get { .. }))
     });
     assert!(
         found,
         "Figure 1 plan not generated; alternatives:\n{:#?}",
-        out.root_alternatives.iter().map(|p| p.op_names()).collect::<Vec<_>>()
+        out.root_alternatives
+            .iter()
+            .map(|p| p.op_names())
+            .collect::<Vec<_>>()
     );
 }
 
 #[test]
 fn nested_loop_index_probe_generated() {
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let (_, _, out) = optimize(false, &config);
     // An NL join whose inner probes the EMP_DNO index (ACCESS(index)).
     let found = out.root_alternatives.iter().any(|p| {
-        has_op(p, |o| matches!(o, Lolepop::Join { flavor: JoinFlavor::NL, .. }))
-            && has_op(p, |o| {
-                matches!(o, Lolepop::Access { spec: starqo_plan::AccessSpec::Index { .. }, .. })
-            })
+        has_op(p, |o| {
+            matches!(
+                o,
+                Lolepop::Join {
+                    flavor: JoinFlavor::NL,
+                    ..
+                }
+            )
+        }) && has_op(p, |o| {
+            matches!(
+                o,
+                Lolepop::Access {
+                    spec: starqo_plan::AccessSpec::Index { .. },
+                    ..
+                }
+            )
+        })
     });
     assert!(found, "NL + index probe plan not generated");
 }
@@ -128,8 +163,10 @@ fn best_local_plan_executes_and_matches_reference() {
 #[test]
 fn every_root_alternative_executes_identically() {
     // E13 in miniature: all alternatives agree with the reference.
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let (cat, query, out) = optimize(false, &config);
     let db = haas_database(cat);
     let want = reference_eval(&db, &query).unwrap();
@@ -157,8 +194,10 @@ fn distributed_query_ships_streams() {
 #[test]
 fn distributed_remote_inner_is_stored_as_temp() {
     // §4.3 C1: an inner shipped to another site must be stored as a temp.
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let (_, _, out) = optimize(true, &config);
     let found = out.root_alternatives.iter().any(|p| {
         // a STORE on top of a SHIP somewhere in the plan
@@ -177,16 +216,29 @@ fn hash_join_requires_enablement() {
         !base
             .root_alternatives
             .iter()
-            .any(|p| has_op(p, |o| matches!(o, Lolepop::Join { flavor: JoinFlavor::HA, .. }))),
+            .any(|p| has_op(p, |o| matches!(
+                o,
+                Lolepop::Join {
+                    flavor: JoinFlavor::HA,
+                    ..
+                }
+            ))),
         "hash join generated while disabled"
     );
     let mut config = OptConfig::default().enable("hashjoin");
     config.glue_keep_all = true;
     let (_, _, out) = optimize(false, &config);
-    let found = out
-        .root_alternatives
-        .iter()
-        .any(|p| has_op(p, |o| matches!(o, Lolepop::Join { flavor: JoinFlavor::HA, .. })));
+    let found = out.root_alternatives.iter().any(|p| {
+        has_op(p, |o| {
+            matches!(
+                o,
+                Lolepop::Join {
+                    flavor: JoinFlavor::HA,
+                    ..
+                }
+            )
+        })
+    });
     assert!(found, "hash join not generated when enabled");
 }
 
@@ -198,10 +250,15 @@ fn forced_projection_materializes_inner() {
     // Some alternative stores the inner and re-accesses the temp.
     let found = out.root_alternatives.iter().any(|p| {
         has_op(p, |o| matches!(o, Lolepop::Store))
-            && has_op(
-                p,
-                |o| matches!(o, Lolepop::Access { spec: starqo_plan::AccessSpec::TempHeap, .. }),
-            )
+            && has_op(p, |o| {
+                matches!(
+                    o,
+                    Lolepop::Access {
+                        spec: starqo_plan::AccessSpec::TempHeap,
+                        ..
+                    }
+                )
+            })
     });
     assert!(found, "forced-projection alternative missing");
     // And it executes correctly.
@@ -221,10 +278,15 @@ fn dynamic_index_builds_index_on_inner() {
     let (cat, query, out) = optimize(false, &config);
     let found = out.root_alternatives.iter().any(|p| {
         has_op(p, |o| matches!(o, Lolepop::BuildIndex { .. }))
-            && has_op(
-                p,
-                |o| matches!(o, Lolepop::Access { spec: starqo_plan::AccessSpec::TempIndex { .. }, .. }),
-            )
+            && has_op(p, |o| {
+                matches!(
+                    o,
+                    Lolepop::Access {
+                        spec: starqo_plan::AccessSpec::TempIndex { .. },
+                        ..
+                    }
+                )
+            })
     });
     assert!(found, "dynamic-index alternative missing");
     let db = haas_database(cat);
@@ -244,8 +306,10 @@ fn dynamic_index_builds_index_on_inner() {
 fn full_config_executes_correctly_and_improves_or_matches_cost() {
     let default = optimize(false, &OptConfig::default()).2;
     let (cat, query, full) = optimize(false, &OptConfig::full());
-    assert!(full.best.props.cost.total() <= default.best.props.cost.total() + 1e-9,
-        "a bigger repertoire must never yield a worse best plan");
+    assert!(
+        full.best.props.cost.total() <= default.best.props.cost.total() + 1e-9,
+        "a bigger repertoire must never yield a worse best plan"
+    );
     let db = haas_database(cat);
     let mut ex = Executor::new(&db, &query);
     let got = ex.run(&full.best).unwrap();
@@ -293,13 +357,16 @@ fn three_way_join_with_order_by() {
     // Load data and check execution.
     let mut b = DatabaseBuilder::new(cat.clone());
     for i in 0..100i64 {
-        b.insert("A", vec![Value::Int(i), Value::Int(i % 20)]).unwrap();
+        b.insert("A", vec![Value::Int(i), Value::Int(i % 20)])
+            .unwrap();
     }
     for i in 0..20i64 {
-        b.insert("B", vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+        b.insert("B", vec![Value::Int(i), Value::Int(i % 10)])
+            .unwrap();
     }
     for i in 0..10i64 {
-        b.insert("C", vec![Value::Int(i), Value::str(format!("c{i}"))]).unwrap();
+        b.insert("C", vec![Value::Int(i), Value::str(format!("c{i}"))])
+            .unwrap();
     }
     let db = b.build().unwrap();
     let mut ex = Executor::new(&db, &query);
@@ -338,8 +405,10 @@ fn bushy_vs_left_deep_repertoire() {
     .unwrap();
     let opt = Optimizer::new(cat).unwrap();
     let left_deep = opt.optimize(&query, &OptConfig::default()).unwrap();
-    let mut bushy_cfg = OptConfig::default();
-    bushy_cfg.composite_inners = true;
+    let bushy_cfg = OptConfig {
+        composite_inners: true,
+        ..Default::default()
+    };
     let bushy = opt.optimize(&query, &bushy_cfg).unwrap();
     assert!(bushy.stats.plans_built >= left_deep.stats.plans_built);
     assert!(bushy.best.props.cost.total() <= left_deep.best.props.cost.total() + 1e-9);
@@ -405,9 +474,19 @@ fn tid_sort_alternative_fetches_in_page_order() {
         .iter()
         .find(|p| {
             p.any(&|n| matches!(n.op, Lolepop::Get { .. }))
-                && !p.any(&|n| matches!(&n.op, Lolepop::Sort { key }
-                    if key.len() == 1 && key[0].col.is_tid()))
-                && !p.any(&|n| matches!(n.op, Lolepop::Join { flavor: JoinFlavor::MG, .. }))
+                && !p.any(&|n| {
+                    matches!(&n.op, Lolepop::Sort { key }
+                    if key.len() == 1 && key[0].col.is_tid())
+                })
+                && !p.any(&|n| {
+                    matches!(
+                        n.op,
+                        Lolepop::Join {
+                            flavor: JoinFlavor::MG,
+                            ..
+                        }
+                    )
+                })
         })
         .expect("plain index+GET alternative");
     let mut ex2 = Executor::new(&db, &query);
@@ -429,7 +508,8 @@ fn plan_origins_are_traceable_to_rules() {
     // access STARs; any veneers from Glue.
     assert!(joined.contains("JMeth[alt"), "{joined}");
     assert!(
-        joined.contains("TableAccess[alt") || joined.contains("IndexAccess[alt")
+        joined.contains("TableAccess[alt")
+            || joined.contains("IndexAccess[alt")
             || joined.contains("FetchAccess[alt"),
         "{joined}"
     );

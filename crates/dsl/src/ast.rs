@@ -37,7 +37,13 @@ impl BodyAst {
     }
 
     pub fn exclusive(&self) -> bool {
-        matches!(self, BodyAst::Alts { exclusive: true, .. })
+        matches!(
+            self,
+            BodyAst::Alts {
+                exclusive: true,
+                ..
+            }
+        )
     }
 }
 

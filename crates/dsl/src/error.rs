@@ -14,13 +14,21 @@ pub type Result<T> = std::result::Result<T, DslError>;
 
 impl DslError {
     pub fn new(msg: impl Into<String>, line: u32, col: u32) -> Self {
-        DslError { msg: msg.into(), line, col }
+        DslError {
+            msg: msg.into(),
+            line,
+            col,
+        }
     }
 }
 
 impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rule syntax error at {}:{}: {}", self.line, self.col, self.msg)
+        write!(
+            f,
+            "rule syntax error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 

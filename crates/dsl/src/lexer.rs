@@ -19,17 +19,17 @@ pub enum Tok {
     Comma,
     Semi,
     Colon,
-    Assign,   // =
-    EqEq,     // ==
-    Ne,       // !=
+    Assign, // =
+    EqEq,   // ==
+    Ne,     // !=
     Lt,
     Le,
     Gt,
     Ge,
-    PathsGe,  // >= inside requirement lists is the same token as Ge
+    PathsGe, // >= inside requirement lists is the same token as Ge
     Minus,
     Amp,
-    Star,     // *
+    Star, // *
     Eof,
 }
 
@@ -51,7 +51,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
     macro_rules! push {
         ($t:expr, $l:expr, $c:expr) => {
-            out.push(Token { tok: $t, line: $l, col: $c })
+            out.push(Token {
+                tok: $t,
+                line: $l,
+                col: $c,
+            })
         };
     }
 
@@ -82,9 +86,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 let start = i;
                 // ASCII-only identifiers: a byte-wise scan must never step
                 // into the middle of a multi-byte UTF-8 sequence.
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                     col += 1;
                 }
@@ -231,11 +233,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 col += 1;
             }
             other => {
-                return Err(DslError::new(format!("unexpected character {other:?}"), l0, c0));
+                return Err(DslError::new(
+                    format!("unexpected character {other:?}"),
+                    l0,
+                    c0,
+                ));
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line, col });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -308,7 +318,12 @@ mod tests {
         let k = kinds("'heap' \"btree\" 42");
         assert_eq!(
             k,
-            vec![Tok::Str("heap".into()), Tok::Str("btree".into()), Tok::Num(42), Tok::Eof]
+            vec![
+                Tok::Str("heap".into()),
+                Tok::Str("btree".into()),
+                Tok::Num(42),
+                Tok::Eof
+            ]
         );
     }
 

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for rule files.
 
-use crate::ast::{
-    AltAst, BinOpAst, BodyAst, ExprAst, GuardAst, ReqAst, RuleFileAst, StarDefAst,
-};
+use crate::ast::{AltAst, BinOpAst, BodyAst, ExprAst, GuardAst, ReqAst, RuleFileAst, StarDefAst};
 use crate::error::{DslError, Result};
 use crate::lexer::{lex, Tok, Token};
 
@@ -110,16 +108,28 @@ impl Parser {
             }
         }
         let body = self.body()?;
-        Ok(StarDefAst { name, params, bindings, body, line })
+        Ok(StarDefAst {
+            name,
+            params,
+            bindings,
+            body,
+            line,
+        })
     }
 
     fn body(&mut self) -> Result<BodyAst> {
         if self.eat(&Tok::LBracket) {
             let alts = self.alts(&Tok::RBracket)?;
-            Ok(BodyAst::Alts { exclusive: false, alts })
+            Ok(BodyAst::Alts {
+                exclusive: false,
+                alts,
+            })
         } else if self.eat(&Tok::LBrace) {
             let alts = self.alts(&Tok::RBrace)?;
-            Ok(BodyAst::Alts { exclusive: true, alts })
+            Ok(BodyAst::Alts {
+                exclusive: true,
+                alts,
+            })
         } else {
             let a = self.alt()?;
             self.eat(&Tok::Semi);
@@ -164,7 +174,12 @@ impl Parser {
         } else {
             GuardAst::None
         };
-        Ok(AltAst { forall, expr, guard, line })
+        Ok(AltAst {
+            forall,
+            expr,
+            guard,
+            line,
+        })
     }
 
     // Precedence: or < and < not < cmp < set-ops < postfix < primary.
@@ -402,10 +417,7 @@ mod tests {
             assert_eq!(args.len(), 5);
             assert!(matches!(args[0], ExprAst::Ident(ref n) if n == "NL"));
             assert!(matches!(args[1], ExprAst::Call(ref n, _) if n == "Glue"));
-            assert!(matches!(
-                args[4],
-                ExprAst::Binary(BinOpAst::Minus, _, _)
-            ));
+            assert!(matches!(args[4], ExprAst::Binary(BinOpAst::Minus, _, _)));
         } else {
             panic!();
         }
@@ -456,10 +468,8 @@ mod tests {
 
     #[test]
     fn multiple_stars_in_one_file() {
-        let f = parse_rules(
-            "star A(x) = f(x);\n// comment between\nstar B(y) = [ g(y); h(y); ]",
-        )
-        .unwrap();
+        let f = parse_rules("star A(x) = f(x);\n// comment between\nstar B(y) = [ g(y); h(y); ]")
+            .unwrap();
         assert_eq!(f.stars.len(), 2);
         assert_eq!(f.stars[1].body.alternatives().len(), 2);
     }

@@ -1,76 +1,160 @@
 //! Parser robustness: arbitrary input never panics (errors are fine), and
 //! generated well-formed rules always parse to the expected shape.
+//!
+//! Seeded deterministic randomness (splitmix64) keeps this offline-friendly;
+//! the dsl crate stays dependency-free.
 
-use proptest::prelude::*;
 use starqo_dsl::{parse_rules, BodyAst, ExprAst};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-        !matches!(
-            s.as_str(),
-            "star" | "with" | "forall" | "in" | "if" | "otherwise" | "not" | "and" | "or"
-                | "union" | "subset" | "order" | "site" | "temp" | "paths"
-        )
-    })
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+const KEYWORDS: [&str; 15] = [
+    "star",
+    "with",
+    "forall",
+    "in",
+    "if",
+    "otherwise",
+    "not",
+    "and",
+    "or",
+    "union",
+    "subset",
+    "order",
+    "site",
+    "temp",
+    "paths",
+];
 
-    /// Arbitrary text: the parser returns Ok or Err, never panics.
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
+/// Random identifier `[A-Za-z][A-Za-z0-9_]{0,8}` that is not a keyword.
+fn ident(rng: &mut Rng) -> String {
+    const HEAD: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let mut s = String::new();
+        s.push(HEAD[rng.below(HEAD.len())] as char);
+        for _ in 0..rng.below(9) {
+            s.push(TAIL[rng.below(TAIL.len())] as char);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
+}
+
+/// Arbitrary text: the parser returns Ok or Err, never panics.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng(0xF00D);
+    for _ in 0..256 {
+        let len = rng.below(201);
+        let input: String = (0..len)
+            .map(|_| {
+                // Mostly printable ASCII, occasionally something wider.
+                match rng.below(10) {
+                    0 => char::from_u32(0x20 + rng.next() as u32 % 0x2000).unwrap_or('·'),
+                    _ => (0x20 + rng.below(0x5f) as u8) as char,
+                }
+            })
+            .collect();
         let _ = parse_rules(&input);
     }
+}
 
-    /// Arbitrary near-grammar soup (denser in meaningful tokens).
-    #[test]
-    fn parser_never_panics_on_token_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("star".to_string()), Just("(".into()), Just(")".into()),
-                Just("[".into()), Just("]".into()), Just("{".into()), Just("}".into()),
-                Just("{}".into()), Just(";".into()), Just(",".into()), Just("=".into()),
-                Just("if".into()), Just("otherwise".into()), Just("forall".into()),
-                Just("in".into()), Just(":".into()), Just("with".into()),
-                Just("union".into()), Just("-".into()), Just("Glue".into()),
-                Just("JOIN".into()), Just("T1".into()), Just("42".into()),
-                Just("'x'".into()), Just("*".into()),
-            ],
-            0..40,
-        )
-    ) {
-        let _ = parse_rules(&tokens.join(" "));
+/// Arbitrary near-grammar soup (denser in meaningful tokens).
+#[test]
+fn parser_never_panics_on_token_soup() {
+    const VOCAB: [&str; 25] = [
+        "star",
+        "(",
+        ")",
+        "[",
+        "]",
+        "{",
+        "}",
+        "{}",
+        ";",
+        ",",
+        "=",
+        "if",
+        "otherwise",
+        "forall",
+        "in",
+        ":",
+        "with",
+        "union",
+        "-",
+        "Glue",
+        "JOIN",
+        "T1",
+        "42",
+        "'x'",
+        "*",
+    ];
+    let mut rng = Rng(0xBEEF);
+    for _ in 0..256 {
+        let n = rng.below(40);
+        let text = (0..n)
+            .map(|_| VOCAB[rng.below(VOCAB.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse_rules(&text);
     }
+}
 
-    /// Generated well-formed single-alternative stars always parse.
-    #[test]
-    fn wellformed_rules_parse(
-        name in ident(),
-        params in prop::collection::vec(ident(), 1..4),
-        callee in ident(),
-        guarded in any::<bool>(),
-        exclusive in any::<bool>(),
-    ) {
-        prop_assume!(params.iter().collect::<std::collections::HashSet<_>>().len() == params.len());
+/// Generated well-formed single-alternative stars always parse.
+#[test]
+fn wellformed_rules_parse() {
+    let mut rng = Rng(0xCAFE);
+    for _ in 0..256 {
+        let name = ident(&mut rng);
+        let nparams = 1 + rng.below(3);
+        let mut params: Vec<String> = Vec::new();
+        while params.len() < nparams {
+            let p = ident(&mut rng);
+            if p != name && !params.contains(&p) {
+                params.push(p);
+            }
+        }
+        let callee = ident(&mut rng);
+        let guarded = rng.below(2) == 1;
+        let exclusive = rng.below(2) == 1;
         let args = params.join(", ");
         let body = format!("{callee}({args})");
-        let alt = if guarded { format!("{body} if is_empty({})", params[0]) } else { body };
+        let alt = if guarded {
+            format!("{body} if is_empty({})", params[0])
+        } else {
+            body
+        };
         let (open, close) = if exclusive { ("{", "}") } else { ("[", "]") };
         let text = format!("star {name}({args}) = {open} {alt}; {close}");
         let file = parse_rules(&text).unwrap();
-        prop_assert_eq!(file.stars.len(), 1);
+        assert_eq!(file.stars.len(), 1);
         let star = &file.stars[0];
-        prop_assert_eq!(&star.name, &name);
-        prop_assert_eq!(&star.params, &params);
-        prop_assert_eq!(star.body.exclusive(), exclusive);
+        assert_eq!(star.name, name);
+        assert_eq!(star.params, params);
+        assert_eq!(star.body.exclusive(), exclusive);
         match &star.body {
             BodyAst::Alts { alts, .. } => {
-                prop_assert_eq!(alts.len(), 1);
-                prop_assert!(matches!(&alts[0].expr, ExprAst::Call(n, a)
+                assert_eq!(alts.len(), 1);
+                assert!(matches!(&alts[0].expr, ExprAst::Call(n, a)
                     if n == &callee && a.len() == params.len()));
             }
-            BodyAst::Single(_) => prop_assert!(false, "expected bracketed body"),
+            BodyAst::Single(_) => panic!("expected bracketed body"),
         }
     }
 }

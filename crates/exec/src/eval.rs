@@ -11,10 +11,11 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use starqo_catalog::{TID_COL, Value};
+use starqo_catalog::{Value, TID_COL};
 use starqo_plan::{AccessSpec, JoinFlavor, Lolepop, PlanNode, PlanRef};
 use starqo_query::{Classifier, CmpOp, PredSet, QCol, QId, Query, Scalar};
 use starqo_storage::{Database, Tid, Tuple, ROWS_PER_PAGE};
+use starqo_trace::{NodeActuals, TraceEvent, Tracer};
 
 use crate::error::{ExecError, Result};
 use crate::result::{project_rows, QueryResult};
@@ -64,6 +65,12 @@ pub struct Executor<'a> {
     temp_cache: HashMap<usize, Arc<Vec<Tuple>>>,
     /// Dynamic index cache: (store node, key) → key-values → row numbers.
     index_cache: HashMap<(usize, Vec<QCol>), TempIndex>,
+    /// Structured event sink for per-node run-time measurements.
+    tracer: Tracer,
+    /// When set, per-node actuals are collected (timing each `eval` call).
+    collect: bool,
+    /// Actuals per node fingerprint; filled only when `collect` is on.
+    node_stats: HashMap<u64, NodeActuals>,
 }
 
 impl<'a> Executor<'a> {
@@ -75,7 +82,28 @@ impl<'a> Executor<'a> {
             stats: ExecStats::default(),
             temp_cache: HashMap::new(),
             index_cache: HashMap::new(),
+            tracer: Tracer::off(),
+            collect: false,
+            node_stats: HashMap::new(),
         }
+    }
+
+    /// Attach a tracer. Also turns on per-node actuals collection so
+    /// `exec_node` events can be emitted when a plan finishes.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.collect = self.collect || tracer.enabled();
+        self.tracer = tracer;
+    }
+
+    /// Collect per-node actuals (invocations, rows, wall time) even without
+    /// a trace sink — what `explain_analyze` consumes.
+    pub fn enable_node_stats(&mut self) {
+        self.collect = true;
+    }
+
+    /// Actuals per plan-node fingerprint gathered so far.
+    pub fn node_actuals(&self) -> &HashMap<u64, NodeActuals> {
+        &self.node_stats
     }
 
     /// Register the run-time routine for an extension LOLEPOP.
@@ -93,17 +121,39 @@ impl<'a> Executor<'a> {
         let bindings = Bindings::new();
         let rows = self.eval(plan, &bindings)?;
         self.stats.rows_out = rows.len() as u64;
+        self.emit_node_events(plan);
         let schema = schema_of(plan);
         if self.query.select.is_empty() {
             return Ok(QueryResult { schema, rows });
         }
         let want = self.query.select.clone();
         let projected = project_rows(&schema, &rows, &want)?;
-        Ok(QueryResult { schema: want, rows: projected })
+        Ok(QueryResult {
+            schema: want,
+            rows: projected,
+        })
     }
 
     /// Evaluate one node under the given outer bindings.
     pub fn eval(&mut self, node: &PlanNode, bindings: &Bindings) -> Result<Vec<Tuple>> {
+        if !self.collect {
+            return self.eval_inner(node, bindings);
+        }
+        // Inclusive per-node timing: the wrapper runs for every recursive
+        // `eval` call, so a node's nanos include its inputs' time.
+        let started = std::time::Instant::now();
+        let result = self.eval_inner(node, bindings);
+        let nanos = started.elapsed().as_nanos() as u64;
+        if let Ok(rows) = &result {
+            let entry = self.node_stats.entry(node.fingerprint()).or_default();
+            entry.invocations += 1;
+            entry.rows_out = rows.len() as u64;
+            entry.nanos += nanos;
+        }
+        result
+    }
+
+    fn eval_inner(&mut self, node: &PlanNode, bindings: &Bindings) -> Result<Vec<Tuple>> {
         match &node.op {
             Lolepop::Access { spec, cols, preds } => match spec {
                 AccessSpec::HeapTable(q) | AccessSpec::BTreeTable(q) => {
@@ -127,8 +177,7 @@ impl<'a> Executor<'a> {
                 let idx: Vec<usize> = key
                     .iter()
                     .map(|c| {
-                        position(&schema, *c)
-                            .ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
+                        position(&schema, *c).ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
                     })
                     .collect::<Result<_>>()?;
                 rows.sort_by(|a, b| {
@@ -152,16 +201,21 @@ impl<'a> Executor<'a> {
             Lolepop::Store | Lolepop::BuildIndex { .. } => {
                 // STORE materializes (cached); BUILD_INDEX passes the stored
                 // rows through — its index is built lazily on first probe.
-                Ok(self.eval_cached(&node.inputs[0], bindings)?.as_ref().clone())
+                Ok(self
+                    .eval_cached(&node.inputs[0], bindings)?
+                    .as_ref()
+                    .clone())
             }
             Lolepop::Filter { preds } => {
                 let rows = self.eval(&node.inputs[0], bindings)?;
                 let schema = schema_of(&node.inputs[0]);
                 self.filter_rows(rows, &schema, *preds, bindings)
             }
-            Lolepop::Join { flavor, join_preds, residual } => {
-                self.join(node, *flavor, *join_preds, *residual, bindings)
-            }
+            Lolepop::Join {
+                flavor,
+                join_preds,
+                residual,
+            } => self.join(node, *flavor, *join_preds, *residual, bindings),
             Lolepop::Union => {
                 let mut rows = self.eval(&node.inputs[0], bindings)?;
                 rows.extend(self.eval(&node.inputs[1], bindings)?);
@@ -181,6 +235,31 @@ impl<'a> Executor<'a> {
                 f(self.query, &node.op, &inputs, &schema_of(node))
             }
         }
+    }
+
+    /// Emit one `exec_node` event per distinct plan node with its collected
+    /// actuals (shared subtrees appear once).
+    fn emit_node_events(&self, plan: &PlanRef) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let mut seen = std::collections::HashSet::new();
+        plan.visit(&mut |n| {
+            if !seen.insert(n.fingerprint()) {
+                return;
+            }
+            let a = self
+                .node_stats
+                .get(&n.fingerprint())
+                .copied()
+                .unwrap_or_default();
+            self.tracer.emit(|| TraceEvent::ExecNode {
+                op: n.op.name(),
+                rows_out: a.rows_out,
+                invocations: a.invocations,
+                nanos: a.nanos,
+            });
+        });
     }
 
     /// Evaluate with node-identity caching when the subtree is
@@ -211,7 +290,11 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<Tuple>> {
         let mut out = Vec::with_capacity(rows.len());
         for r in rows {
-            let view = RowView { schema, row: &r, bindings };
+            let view = RowView {
+                schema,
+                row: &r,
+                bindings,
+            };
             if eval_preds(self.query, preds, &view)? {
                 out.push(r);
             }
@@ -243,7 +326,11 @@ impl<'a> Executor<'a> {
                     })
                     .collect(),
             );
-            let view = RowView { schema, row: &tuple, bindings };
+            let view = RowView {
+                schema,
+                row: &tuple,
+                bindings,
+            };
             if eval_preds(self.query, preds, &view)? {
                 out.push(tuple);
             }
@@ -273,8 +360,11 @@ impl<'a> Executor<'a> {
                 // bindings/constants.
                 if let starqo_query::PredExpr::Cmp(_, l, r) = &self.query.pred(p).expr {
                     let other: &Scalar = if l.as_col() == Some(*kc) { r } else { l };
-                    let view =
-                        RowView { schema: &empty_schema, row: &empty_row, bindings };
+                    let view = RowView {
+                        schema: &empty_schema,
+                        row: &empty_row,
+                        bindings,
+                    };
                     if let Ok(v) = eval_scalar(other, &view) {
                         if !v.is_null() {
                             values.push(v);
@@ -378,7 +468,11 @@ impl<'a> Executor<'a> {
                     })
                     .collect(),
             );
-            let view = RowView { schema: &out_schema, row: &tuple, bindings };
+            let view = RowView {
+                schema: &out_schema,
+                row: &tuple,
+                bindings,
+            };
             if eval_preds(self.query, preds, &view)? {
                 out.push(tuple);
             }
@@ -441,8 +535,8 @@ impl<'a> Executor<'a> {
             hits.extend(rows.iter().cloned());
         } else {
             use std::ops::Bound;
-            for (k, idxs) in index
-                .range::<[Value], _>((Bound::Included(prefix.as_slice()), Bound::Unbounded))
+            for (k, idxs) in
+                index.range::<[Value], _>((Bound::Included(prefix.as_slice()), Bound::Unbounded))
             {
                 if k.len() < prefix.len() || k[..prefix.len()] != prefix[..] {
                     break;
@@ -501,7 +595,11 @@ impl<'a> Executor<'a> {
                     let inner_rows = self.eval(inner_node, &b2)?;
                     for i in &inner_rows {
                         let t = combine(o, i);
-                        let view = RowView { schema: &out_schema, row: &t, bindings };
+                        let view = RowView {
+                            schema: &out_schema,
+                            row: &t,
+                            bindings,
+                        };
                         if eval_preds(self.query, all_preds, &view)? {
                             out.push(t);
                         }
@@ -519,8 +617,7 @@ impl<'a> Executor<'a> {
                 let mut op: Vec<usize> = Vec::new();
                 let mut ip: Vec<usize> = Vec::new();
                 for p in join_preds.iter() {
-                    let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) =
-                        &self.query.pred(p).expr
+                    let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) = &self.query.pred(p).expr
                     else {
                         return Err(ExecError::BadPlan(
                             "merge join predicate is not a column equality".into(),
@@ -572,20 +669,21 @@ impl<'a> Executor<'a> {
                         std::cmp::Ordering::Equal => {
                             // Group boundaries on both sides.
                             let mut a_end = a + 1;
-                            while a_end < outer_rows.len() && keyed(&outer_rows[a_end], &op) == ka
-                            {
+                            while a_end < outer_rows.len() && keyed(&outer_rows[a_end], &op) == ka {
                                 a_end += 1;
                             }
                             let mut b_end = b + 1;
-                            while b_end < inner_rows.len() && keyed(&inner_rows[b_end], &ip) == kb
-                            {
+                            while b_end < inner_rows.len() && keyed(&inner_rows[b_end], &ip) == kb {
                                 b_end += 1;
                             }
                             for o in &outer_rows[a..a_end] {
                                 for i in &inner_rows[b..b_end] {
                                     let t = combine(o, i);
-                                    let view =
-                                        RowView { schema: &out_schema, row: &t, bindings };
+                                    let view = RowView {
+                                        schema: &out_schema,
+                                        row: &t,
+                                        bindings,
+                                    };
                                     if eval_preds(self.query, all_preds, &view)? {
                                         out.push(t);
                                     }
@@ -601,9 +699,7 @@ impl<'a> Executor<'a> {
                 // Split each hashable predicate into (outer expr, inner expr).
                 let mut pairs: Vec<(Scalar, Scalar)> = Vec::new();
                 for p in join_preds.iter() {
-                    if let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) =
-                        &self.query.pred(p).expr
-                    {
+                    if let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) = &self.query.pred(p).expr {
                         if l.quantifiers().is_subset_of(outer_node.props.tables) {
                             pairs.push((l.clone(), r.clone()));
                         } else {
@@ -614,7 +710,11 @@ impl<'a> Executor<'a> {
                 let inner_rows = self.eval(inner_node, bindings)?;
                 let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
                 'row: for (i, r) in inner_rows.iter().enumerate() {
-                    let view = RowView { schema: &i_schema, row: r, bindings };
+                    let view = RowView {
+                        schema: &i_schema,
+                        row: r,
+                        bindings,
+                    };
                     let mut key = Vec::with_capacity(pairs.len());
                     for (_, ie) in &pairs {
                         let v = eval_scalar(ie, &view)?;
@@ -627,7 +727,11 @@ impl<'a> Executor<'a> {
                 }
                 let outer_rows = self.eval(outer_node, bindings)?;
                 'orow: for o in &outer_rows {
-                    let view = RowView { schema: &o_schema, row: o, bindings };
+                    let view = RowView {
+                        schema: &o_schema,
+                        row: o,
+                        bindings,
+                    };
                     let mut key = Vec::with_capacity(pairs.len());
                     for (oe, _) in &pairs {
                         let v = eval_scalar(oe, &view)?;
@@ -639,7 +743,11 @@ impl<'a> Executor<'a> {
                     if let Some(matches) = table.get(&key) {
                         for i in matches {
                             let t = combine(o, &inner_rows[*i]);
-                            let view = RowView { schema: &out_schema, row: &t, bindings };
+                            let view = RowView {
+                                schema: &out_schema,
+                                row: &t,
+                                bindings,
+                            };
                             if eval_preds(self.query, all_preds, &view)? {
                                 out.push(t);
                             }
@@ -670,9 +778,15 @@ pub fn is_correlated(node: &PlanNode, query: &Query) -> bool {
             Lolepop::Access { preds, .. } => *preds,
             Lolepop::Get { preds, .. } => *preds,
             Lolepop::Filter { preds } => *preds,
-            Lolepop::Join { join_preds, residual, .. } => join_preds.union(*residual),
+            Lolepop::Join {
+                join_preds,
+                residual,
+                ..
+            } => join_preds.union(*residual),
             _ => PredSet::EMPTY,
         };
-        preds.iter().any(|p| !query.pred(p).quantifiers().is_subset_of(root_tables))
+        preds
+            .iter()
+            .any(|p| !query.pred(p).quantifiers().is_subset_of(root_tables))
     })
 }

@@ -29,3 +29,4 @@ pub use eval::{ExecStats, Executor, ExtExecFn};
 pub use reference::reference_eval;
 pub use result::{project_rows, rows_equal_multiset, QueryResult};
 pub use schema::{schema_of, StreamSchema};
+pub use starqo_trace::NodeActuals;

@@ -23,8 +23,11 @@ pub fn reference_eval(db: &Database, query: &Query) -> Result<Vec<Tuple>> {
             schema.push(QCol::new(qt.id, starqo_catalog::ColId(c)));
         }
     }
-    let select: Vec<QCol> =
-        if query.select.is_empty() { schema.clone() } else { query.select.clone() };
+    let select: Vec<QCol> = if query.select.is_empty() {
+        schema.clone()
+    } else {
+        query.select.clone()
+    };
 
     let mut out = Vec::new();
     let mut current: Vec<starqo_catalog::Value> = Vec::new();
@@ -44,12 +47,19 @@ fn cartesian(
     if qi == query.quantifiers.len() {
         let row = Tuple(current.clone());
         let bindings = Bindings::new();
-        let view = RowView { schema, row: &row, bindings: &bindings };
+        let view = RowView {
+            schema,
+            row: &row,
+            bindings: &bindings,
+        };
         if eval_preds(query, query.all_preds(), &view)? {
             let projected = select
                 .iter()
                 .map(|c| {
-                    let pos = schema.iter().position(|s| s == c).expect("select col in schema");
+                    let pos = schema
+                        .iter()
+                        .position(|s| s == c)
+                        .expect("select col in schema");
                     row.get(pos).clone()
                 })
                 .collect();

@@ -28,7 +28,9 @@ impl<'a> RowView<'a> {
         if let Some(i) = position(self.schema, c) {
             return Ok(self.row.get(i));
         }
-        self.bindings.get(&c).ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
+        self.bindings
+            .get(&c)
+            .ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
     }
 }
 
@@ -116,9 +118,19 @@ mod tests {
         let row = Tuple(vec![Value::Int(1), Value::Int(2)]);
         let mut b = Bindings::new();
         b.insert(QCol::new(QId(1), ColId(0)), Value::Int(99));
-        let view = RowView { schema: &s, row: &row, bindings: &b };
-        assert_eq!(*view.lookup(QCol::new(QId(0), ColId(1))).unwrap(), Value::Int(2));
-        assert_eq!(*view.lookup(QCol::new(QId(1), ColId(0))).unwrap(), Value::Int(99));
+        let view = RowView {
+            schema: &s,
+            row: &row,
+            bindings: &b,
+        };
+        assert_eq!(
+            *view.lookup(QCol::new(QId(0), ColId(1))).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            *view.lookup(QCol::new(QId(1), ColId(0))).unwrap(),
+            Value::Int(99)
+        );
         assert!(view.lookup(QCol::new(QId(2), ColId(0))).is_err());
     }
 
@@ -127,7 +139,11 @@ mod tests {
         let s = schema();
         let row = Tuple(vec![Value::Int(7), Value::Int(2)]);
         let b = Bindings::new();
-        let view = RowView { schema: &s, row: &row, bindings: &b };
+        let view = RowView {
+            schema: &s,
+            row: &row,
+            bindings: &b,
+        };
         let add = Scalar::Arith(
             ArithOp::Add,
             Box::new(Scalar::col(QId(0), ColId(0))),
@@ -147,7 +163,11 @@ mod tests {
         let s = schema();
         let row = Tuple(vec![Value::Null, Value::Int(2)]);
         let b = Bindings::new();
-        let view = RowView { schema: &s, row: &row, bindings: &b };
+        let view = RowView {
+            schema: &s,
+            row: &row,
+            bindings: &b,
+        };
         let add = Scalar::Arith(
             ArithOp::Add,
             Box::new(Scalar::col(QId(0), ColId(0))),
@@ -167,11 +187,23 @@ mod tests {
         let s = schema();
         let row = Tuple(vec![Value::Int(1), Value::Int(2)]);
         let b = Bindings::new();
-        let view = RowView { schema: &s, row: &row, bindings: &b };
+        let view = RowView {
+            schema: &s,
+            row: &row,
+            bindings: &b,
+        };
         let or = PredExpr::Or(vec![
-            PredExpr::Cmp(CmpOp::Eq, Scalar::col(QId(0), ColId(0)), Scalar::Const(Value::Int(1))),
+            PredExpr::Cmp(
+                CmpOp::Eq,
+                Scalar::col(QId(0), ColId(0)),
+                Scalar::Const(Value::Int(1)),
+            ),
             // Would error if evaluated strictly: unbound column.
-            PredExpr::Cmp(CmpOp::Eq, Scalar::col(QId(5), ColId(0)), Scalar::Const(Value::Int(1))),
+            PredExpr::Cmp(
+                CmpOp::Eq,
+                Scalar::col(QId(5), ColId(0)),
+                Scalar::Const(Value::Int(1)),
+            ),
         ]);
         assert!(eval_pred_expr(&or, &view).unwrap());
     }

@@ -3,9 +3,11 @@
 
 use std::sync::Arc;
 
-use starqo_catalog::{Catalog, ColId, DataType, IndexId, StorageKind, TID_COL, Value};
+use starqo_catalog::{Catalog, ColId, DataType, IndexId, StorageKind, Value, TID_COL};
 use starqo_exec::{reference_eval, rows_equal_multiset, Executor};
-use starqo_plan::{AccessSpec, ColSet, CostModel, JoinFlavor, Lolepop, PlanRef, PropCtx, PropEngine};
+use starqo_plan::{
+    AccessSpec, ColSet, CostModel, JoinFlavor, Lolepop, PlanRef, PropCtx, PropEngine,
+};
 use starqo_query::{parse_query, PredId, PredSet, QCol, QId, Query};
 use starqo_storage::{Database, DatabaseBuilder};
 
@@ -17,7 +19,14 @@ fn catalog() -> Arc<Catalog> {
             .table("DEPT", "N.Y.", StorageKind::Heap, 6)
             .column("DNO", DataType::Int, Some(6))
             .column("MGR", DataType::Str, Some(3))
-            .table("EMP", "N.Y.", StorageKind::BTree { key: vec![ColId(0)] }, 30)
+            .table(
+                "EMP",
+                "N.Y.",
+                StorageKind::BTree {
+                    key: vec![ColId(0)],
+                },
+                30,
+            )
             .column("ENO", DataType::Int, Some(30))
             .column("NAME", DataType::Str, None)
             .column("DNO", DataType::Int, Some(6))
@@ -31,12 +40,20 @@ fn database(cat: Arc<Catalog>) -> Database {
     let mut b = DatabaseBuilder::new(cat);
     let mgrs = ["Haas", "Codd", "Gray"];
     for d in 0..6i64 {
-        b.insert("DEPT", vec![Value::Int(d), Value::str(mgrs[(d % 3) as usize])]).unwrap();
+        b.insert(
+            "DEPT",
+            vec![Value::Int(d), Value::str(mgrs[(d % 3) as usize])],
+        )
+        .unwrap();
     }
     for e in 0..30i64 {
         b.insert(
             "EMP",
-            vec![Value::Int(e), Value::str(format!("emp{e}")), Value::Int(e % 6)],
+            vec![
+                Value::Int(e),
+                Value::str(format!("emp{e}")),
+                Value::Int(e % 6),
+            ],
         )
         .unwrap();
     }
@@ -55,7 +72,12 @@ impl Fx {
         let cat = catalog();
         let db = database(cat.clone());
         let query = parse_query(&cat, sql).unwrap();
-        Fx { db, query, model: CostModel::default(), engine: PropEngine::new() }
+        Fx {
+            db,
+            query,
+            model: CostModel::default(),
+            engine: PropEngine::new(),
+        }
     }
 
     fn build(&self, op: Lolepop, inputs: Vec<PlanRef>) -> PlanRef {
@@ -84,12 +106,19 @@ const P_MGR: PredId = PredId(0);
 const P_JOIN: PredId = PredId(1);
 
 fn cols(items: &[(QId, u32)]) -> ColSet {
-    items.iter().map(|(q, c)| QCol::new(*q, ColId(*c))).collect()
+    items
+        .iter()
+        .map(|(q, c)| QCol::new(*q, ColId(*c)))
+        .collect()
 }
 
 fn dept_scan(f: &Fx, preds: PredSet) -> PlanRef {
     f.build(
-        Lolepop::Access { spec: AccessSpec::HeapTable(D), cols: cols(&[(D, 0), (D, 1)]), preds },
+        Lolepop::Access {
+            spec: AccessSpec::HeapTable(D),
+            cols: cols(&[(D, 0), (D, 1)]),
+            preds,
+        },
         vec![],
     )
 }
@@ -109,19 +138,34 @@ fn emp_scan(f: &Fx, preds: PredSet) -> PlanRef {
 fn figure1_sort_merge_plan_executes_correctly() {
     let f = Fx::new(SQL);
     let d = dept_scan(&f, PredSet::single(P_MGR));
-    let d_sorted = f.build(Lolepop::Sort { key: vec![QCol::new(D, ColId(0))] }, vec![d]);
+    let d_sorted = f.build(
+        Lolepop::Sort {
+            key: vec![QCol::new(D, ColId(0))],
+        },
+        vec![d],
+    );
     // GET(ACCESS(index EMP_DNO)) — index order is DNO order.
     let mut ixcols = cols(&[(E, 2)]);
     ixcols.insert(QCol::new(E, TID_COL));
     let ix = f.build(
         Lolepop::Access {
-            spec: AccessSpec::Index { index: IndexId(0), q: E },
+            spec: AccessSpec::Index {
+                index: IndexId(0),
+                q: E,
+            },
             cols: ixcols,
             preds: PredSet::EMPTY,
         },
         vec![],
     );
-    let get = f.build(Lolepop::Get { q: E, cols: cols(&[(E, 1)]), preds: PredSet::EMPTY }, vec![ix]);
+    let get = f.build(
+        Lolepop::Get {
+            q: E,
+            cols: cols(&[(E, 1)]),
+            preds: PredSet::EMPTY,
+        },
+        vec![ix],
+    );
     let join = f.build(
         Lolepop::Join {
             flavor: JoinFlavor::MG,
@@ -160,13 +204,23 @@ fn nested_loop_with_index_probe_inner() {
     ixcols.insert(QCol::new(E, TID_COL));
     let ix = f.build(
         Lolepop::Access {
-            spec: AccessSpec::Index { index: IndexId(0), q: E },
+            spec: AccessSpec::Index {
+                index: IndexId(0),
+                q: E,
+            },
             cols: ixcols,
             preds: PredSet::single(P_JOIN),
         },
         vec![],
     );
-    let get = f.build(Lolepop::Get { q: E, cols: cols(&[(E, 1)]), preds: PredSet::EMPTY }, vec![ix]);
+    let get = f.build(
+        Lolepop::Get {
+            q: E,
+            cols: cols(&[(E, 1)]),
+            preds: PredSet::EMPTY,
+        },
+        vec![ix],
+    );
     let nl = f.build(
         Lolepop::Join {
             flavor: JoinFlavor::NL,
@@ -269,7 +323,12 @@ fn dynamic_index_on_temp_inner() {
 fn ship_counts_traffic_and_preserves_rows() {
     let f = Fx::new(SQL);
     let d = dept_scan(&f, PredSet::single(P_MGR));
-    let shipped = f.build(Lolepop::Ship { to: starqo_catalog::SiteId(1) }, vec![d.clone()]);
+    let shipped = f.build(
+        Lolepop::Ship {
+            to: starqo_catalog::SiteId(1),
+        },
+        vec![d.clone()],
+    );
     let mut ex = Executor::new(&f.db, &f.query);
     let b = starqo_exec::eval::is_correlated(&shipped, &f.query);
     assert!(!b);
@@ -283,7 +342,12 @@ fn ship_counts_traffic_and_preserves_rows() {
 fn filter_and_union_execute() {
     let f = Fx::new(SQL);
     let d_all = dept_scan(&f, PredSet::EMPTY);
-    let filtered = f.build(Lolepop::Filter { preds: PredSet::single(P_MGR) }, vec![d_all]);
+    let filtered = f.build(
+        Lolepop::Filter {
+            preds: PredSet::single(P_MGR),
+        },
+        vec![d_all],
+    );
     let other = dept_scan(&f, PredSet::single(P_MGR));
     let union = f.build(Lolepop::Union, vec![filtered, other]);
     let mut ex = Executor::new(&f.db, &f.query);
@@ -334,7 +398,11 @@ fn extension_op_executes_via_registry() {
             }),
         );
         eng.build(
-            Lolepop::Ext { name: Arc::from("DEDUP"), args: vec![], arity: 1 },
+            Lolepop::Ext {
+                name: Arc::from("DEDUP"),
+                args: vec![],
+                arity: 1,
+            },
             vec![d],
             &ctx,
         )

@@ -5,6 +5,8 @@
 //! byte). The weights below are calibrated for *relative* plan ranking —
 //! crossover shapes, not absolute milliseconds.
 
+use crate::props::CostComponents;
+
 /// Cost-model parameters. All weights are in abstract "resource units".
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -60,7 +62,9 @@ impl Default for CostModel {
 impl CostModel {
     /// Pages occupied by `card` tuples of `width` bytes.
     pub fn pages(&self, card: f64, width: f64) -> f64 {
-        ((card.max(0.0) * width.max(1.0)) / self.page_bytes).ceil().max(1.0)
+        ((card.max(0.0) * width.max(1.0)) / self.page_bytes)
+            .ceil()
+            .max(1.0)
     }
 
     /// I/O cost of scanning those pages.
@@ -98,6 +102,45 @@ impl CostModel {
     pub fn probe_cost(&self, leaf_pages: f64) -> f64 {
         (self.probe_pages + leaf_pages) * self.w_io
     }
+
+    // ----- component-attributed variants --------------------------------
+    //
+    // Same arithmetic as the scalar helpers above, but tagged with the
+    // resource they consume, so property functions can keep the
+    // I/O-vs-CPU-vs-communication split intact for EXPLAIN and tracing.
+
+    /// [`Self::scan_io`] attributed to I/O.
+    pub fn scan_io_c(&self, card: f64, width: f64) -> CostComponents {
+        CostComponents::io(self.scan_io(card, width))
+    }
+
+    /// [`Self::stream_cpu`] attributed to CPU.
+    pub fn stream_cpu_c(&self, card: f64, npreds: u32) -> CostComponents {
+        CostComponents::cpu(self.stream_cpu(card, npreds))
+    }
+
+    /// [`Self::ship_cost`] attributed to communication.
+    pub fn ship_cost_c(&self, card: f64, width: f64) -> CostComponents {
+        CostComponents::comm(self.ship_cost(card, width))
+    }
+
+    /// [`Self::sort_cost`] split into its comparison-CPU and spill-I/O parts.
+    pub fn sort_cost_c(&self, card: f64, width: f64) -> CostComponents {
+        let n = card.max(2.0);
+        CostComponents::cpu(n * n.log2() * self.sort_cpu)
+            + CostComponents::io(2.0 * self.pages(card, width) * self.w_io)
+    }
+
+    /// [`Self::index_build_cost`] split like the sort it contains.
+    pub fn index_build_cost_c(&self, card: f64, kwidth: f64) -> CostComponents {
+        self.sort_cost_c(card, kwidth + 8.0)
+            + CostComponents::io(self.pages(card, kwidth + 8.0) * self.w_io)
+    }
+
+    /// [`Self::probe_cost`] attributed to I/O.
+    pub fn probe_cost_c(&self, leaf_pages: f64) -> CostComponents {
+        CostComponents::io(self.probe_cost(leaf_pages))
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +171,29 @@ mod tests {
         let m = CostModel::default();
         let c1 = m.sort_cost(1_000.0, 50.0);
         let c2 = m.sort_cost(2_000.0, 50.0);
-        assert!(c2 > 2.0 * c1 * 0.99, "sort should be at least ~2x for 2x input");
+        assert!(
+            c2 > 2.0 * c1 * 0.99,
+            "sort should be at least ~2x for 2x input"
+        );
+    }
+
+    #[test]
+    fn component_helpers_match_scalars() {
+        let m = CostModel::default();
+        assert_eq!(m.scan_io_c(500.0, 80.0).total(), m.scan_io(500.0, 80.0));
+        assert_eq!(m.stream_cpu_c(500.0, 2).total(), m.stream_cpu(500.0, 2));
+        assert_eq!(m.ship_cost_c(500.0, 80.0).total(), m.ship_cost(500.0, 80.0));
+        assert!((m.sort_cost_c(500.0, 80.0).total() - m.sort_cost(500.0, 80.0)).abs() < 1e-9);
+        assert!(
+            (m.index_build_cost_c(500.0, 8.0).total() - m.index_build_cost(500.0, 8.0)).abs()
+                < 1e-9
+        );
+        assert_eq!(m.probe_cost_c(3.0).total(), m.probe_cost(3.0));
+        // Attribution lands in the right buckets.
+        assert_eq!(m.scan_io_c(500.0, 80.0).cpu, 0.0);
+        assert_eq!(m.ship_cost_c(500.0, 80.0).io, 0.0);
+        let sort = m.sort_cost_c(500.0, 80.0);
+        assert!(sort.cpu > 0.0 && sort.io > 0.0 && sort.comm == 0.0);
     }
 
     #[test]

@@ -11,7 +11,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanError {
     /// Operator applied to the wrong number of inputs.
-    Arity { op: &'static str, expected: usize, got: usize },
+    Arity {
+        op: &'static str,
+        expected: usize,
+        got: usize,
+    },
     /// A dyadic operator's inputs are at different sites (§3.2: "Dyadic
     /// LOLEPOPs such as GET, JOIN, and UNION require that the SITE of both
     /// input streams be the same").

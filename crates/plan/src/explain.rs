@@ -4,10 +4,12 @@
 //! of functions". Both renderings are implemented here, plus a Figure-2
 //! style property table used by the experiment harness.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use starqo_catalog::Catalog;
 use starqo_query::{PredSet, Query};
+use starqo_trace::NodeActuals;
 
 use crate::lolepop::{AccessSpec, Lolepop};
 use crate::node::PlanNode;
@@ -25,14 +27,18 @@ impl<'a> Explain<'a> {
     }
 
     fn cols(&self, cols: &ColSet) -> String {
-        let parts: Vec<String> =
-            cols.iter().map(|c| self.query.qcol_name(self.catalog, *c)).collect();
+        let parts: Vec<String> = cols
+            .iter()
+            .map(|c| self.query.qcol_name(self.catalog, *c))
+            .collect();
         format!("{{{}}}", parts.join(", "))
     }
 
     fn col_list(&self, cols: &[starqo_query::QCol]) -> String {
-        let parts: Vec<String> =
-            cols.iter().map(|c| self.query.qcol_name(self.catalog, *c)).collect();
+        let parts: Vec<String> = cols
+            .iter()
+            .map(|c| self.query.qcol_name(self.catalog, *c))
+            .collect();
         parts.join(", ")
     }
 
@@ -40,8 +46,10 @@ impl<'a> Explain<'a> {
         if preds.is_empty() {
             return "φ".to_string();
         }
-        let parts: Vec<String> =
-            preds.iter().map(|p| self.query.pred_string(self.catalog, p)).collect();
+        let parts: Vec<String> = preds
+            .iter()
+            .map(|p| self.query.pred_string(self.catalog, p))
+            .collect();
         format!("{{{}}}", parts.join(", "))
     }
 
@@ -77,11 +85,19 @@ impl<'a> Explain<'a> {
             Lolepop::Store => String::new(),
             Lolepop::BuildIndex { key } => self.col_list(key),
             Lolepop::Filter { preds } => self.preds(*preds),
-            Lolepop::Join { join_preds, residual, .. } => {
+            Lolepop::Join {
+                join_preds,
+                residual,
+                ..
+            } => {
                 if residual.is_empty() {
                     self.preds(*join_preds)
                 } else {
-                    format!("{}, residual {}", self.preds(*join_preds), self.preds(*residual))
+                    format!(
+                        "{}, residual {}",
+                        self.preds(*join_preds),
+                        self.preds(*residual)
+                    )
                 }
             }
             Lolepop::Union => String::new(),
@@ -112,6 +128,101 @@ impl<'a> Explain<'a> {
         );
         for i in &n.inputs {
             self.tree_rec(i, depth + 1, out);
+        }
+    }
+
+    /// EXPLAIN ANALYZE: the plan tree annotated per operator with the
+    /// optimizer's estimates (CARD, COST) next to the executor's actuals
+    /// (rows out, invocations, inclusive wall time) and the cardinality
+    /// estimation error. `actuals` is keyed by node fingerprint — the map
+    /// [`starqo-exec`]'s `Executor::node_actuals` produces.
+    pub fn analyze(&self, plan: &PlanNode, actuals: &HashMap<u64, NodeActuals>) -> String {
+        let mut rows: Vec<[String; 7]> = vec![[
+            "operator".into(),
+            "est.card".into(),
+            "act.rows".into(),
+            "rel.err".into(),
+            "est.cost".into(),
+            "time".into(),
+            "loops".into(),
+        ]];
+        self.analyze_rec(plan, 0, actuals, &mut rows);
+        // Column-align: operator column left-justified, the rest right.
+        let widths: Vec<usize> = (0..7)
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "{:<w0$}  {:>w1$}  {:>w2$}  {:>w3$}  {:>w4$}  {:>w5$}  {:>w6$}",
+                r[0],
+                r[1],
+                r[2],
+                r[3],
+                r[4],
+                r[5],
+                r[6],
+                w0 = widths[0],
+                w1 = widths[1],
+                w2 = widths[2],
+                w3 = widths[3],
+                w4 = widths[4],
+                w5 = widths[5],
+                w6 = widths[6],
+            );
+        }
+        out
+    }
+
+    fn analyze_rec(
+        &self,
+        n: &PlanNode,
+        depth: usize,
+        actuals: &HashMap<u64, NodeActuals>,
+        rows: &mut Vec<[String; 7]>,
+    ) {
+        let params = self.op_params(&n.op);
+        let label = format!(
+            "{}{}{}{}",
+            "  ".repeat(depth),
+            n.op.name(),
+            if params.is_empty() { "" } else { " " },
+            params
+        );
+        let est = n.props.card;
+        let row = match actuals.get(&n.fingerprint()) {
+            Some(a) => {
+                let err = if est > 0.0 {
+                    format!("{:+.0}%", (a.rows_out as f64 - est) / est * 100.0)
+                } else if a.rows_out == 0 {
+                    "0%".to_string()
+                } else {
+                    "inf".to_string()
+                };
+                [
+                    label,
+                    format!("{est:.1}"),
+                    a.rows_out.to_string(),
+                    err,
+                    format!("{:.1}", n.props.cost.total()),
+                    format_nanos(a.nanos),
+                    a.invocations.to_string(),
+                ]
+            }
+            None => [
+                label,
+                format!("{est:.1}"),
+                "-".into(),
+                "-".into(),
+                format!("{:.1}", n.props.cost.total()),
+                "-".into(),
+                "-".into(),
+            ],
+        };
+        rows.push(row);
+        for i in &n.inputs {
+            self.analyze_rec(i, depth + 1, actuals, rows);
         }
     }
 
@@ -169,11 +280,19 @@ impl<'a> Explain<'a> {
         let _ = writeln!(
             out,
             "ORDER    : {}",
-            if p.order.is_empty() { "unknown".into() } else { self.col_list(&p.order) }
+            if p.order.is_empty() {
+                "unknown".into()
+            } else {
+                self.col_list(&p.order)
+            }
         );
         let _ = writeln!(out, "SITE     : {}", self.catalog.site_name(p.site));
         let _ = writeln!(out, "TEMP     : {}", p.temp);
-        let paths: Vec<String> = p.paths.iter().map(|a| format!("({})", self.col_list(&a.key))).collect();
+        let paths: Vec<String> = p
+            .paths
+            .iter()
+            .map(|a| format!("({})", self.col_list(&a.key)))
+            .collect();
         let _ = writeln!(out, "PATHS    : {{{}}}", paths.join(", "));
         let _ = writeln!(out, "CARD     : {:.2}", p.card);
         let _ = writeln!(
@@ -198,5 +317,19 @@ impl<'a> Explain<'a> {
             out.push_str(&self.property_vector(n));
         }
         out
+    }
+}
+
+/// Human duration from nanoseconds: ns / µs / ms / s with one decimal.
+fn format_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n < 1_000.0 {
+        format!("{nanos}ns")
+    } else if n < 1_000_000.0 {
+        format!("{:.1}µs", n / 1_000.0)
+    } else if n < 1_000_000_000.0 {
+        format!("{:.1}ms", n / 1_000_000.0)
+    } else {
+        format!("{:.1}s", n / 1_000_000_000.0)
     }
 }

@@ -30,10 +30,10 @@ pub mod props;
 pub mod sel;
 
 pub use cost::CostModel;
-pub use explain::Explain;
 pub use error::{PlanError, Result};
+pub use explain::Explain;
 pub use lolepop::{AccessSpec, ExtArg, JoinFlavor, Lolepop};
 pub use node::{PlanNode, PlanRef};
 pub use propfn::{ExtPropFn, PropCtx, PropEngine};
-pub use props::{AvailPath, ColSet, Cost, PathSource, Props};
+pub use props::{AvailPath, ColSet, Cost, CostComponents, PathSource, Props};
 pub use sel::Selectivity;

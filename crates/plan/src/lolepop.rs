@@ -97,10 +97,18 @@ pub enum ExtArg {
 pub enum Lolepop {
     /// Convert a stored object into a stream, optionally projecting `cols`
     /// and applying `preds` ("relational select/project" options of §3.1).
-    Access { spec: AccessSpec, cols: ColSet, preds: PredSet },
+    Access {
+        spec: AccessSpec,
+        cols: ColSet,
+        preds: PredSet,
+    },
     /// Dereference TIDs from the input stream against table `q`, fetching
     /// `cols` and applying `preds` (Figure 1's GET).
-    Get { q: QId, cols: ColSet, preds: PredSet },
+    Get {
+        q: QId,
+        cols: ColSet,
+        preds: PredSet,
+    },
     /// Sort the input into `key` order.
     Sort { key: Vec<QCol> },
     /// Deliver the input stream at another site.
@@ -114,12 +122,20 @@ pub enum Lolepop {
     Filter { preds: PredSet },
     /// Join two streams. `join_preds` are applied by the method itself (and
     /// drive its cost equations); `residual` preds are applied afterwards.
-    Join { flavor: JoinFlavor, join_preds: PredSet, residual: PredSet },
+    Join {
+        flavor: JoinFlavor,
+        join_preds: PredSet,
+        residual: PredSet,
+    },
     /// Concatenate two union-compatible streams.
     Union,
     /// A dynamically registered extension operator (§5). Its property
     /// function and run-time routine live in registries.
-    Ext { name: Arc<str>, args: Vec<ExtArg>, arity: usize },
+    Ext {
+        name: Arc<str>,
+        args: Vec<ExtArg>,
+        arity: usize,
+    },
 }
 
 impl Lolepop {
@@ -187,8 +203,12 @@ mod tests {
             0
         );
         assert_eq!(
-            Lolepop::Access { spec: AccessSpec::TempHeap, cols: cs.clone(), preds: PredSet::EMPTY }
-                .arity(),
+            Lolepop::Access {
+                spec: AccessSpec::TempHeap,
+                cols: cs.clone(),
+                preds: PredSet::EMPTY
+            }
+            .arity(),
             1
         );
         assert_eq!(Lolepop::Store.arity(), 1);
@@ -203,7 +223,12 @@ mod tests {
             2
         );
         assert_eq!(
-            Lolepop::Ext { name: Arc::from("OUTERJOIN"), args: vec![], arity: 2 }.arity(),
+            Lolepop::Ext {
+                name: Arc::from("OUTERJOIN"),
+                args: vec![],
+                arity: 2
+            }
+            .arity(),
             2
         );
     }
@@ -217,7 +242,10 @@ mod tests {
         };
         assert_eq!(j.name(), "JOIN(MG)");
         let a = Lolepop::Access {
-            spec: AccessSpec::Index { index: IndexId(0), q: QId(1) },
+            spec: AccessSpec::Index {
+                index: IndexId(0),
+                q: QId(1),
+            },
             cols: ColSet::new(),
             preds: PredSet::EMPTY,
         };
@@ -227,8 +255,12 @@ mod tests {
 
     #[test]
     fn param_hash_distinguishes_parameters() {
-        let s1 = Lolepop::Sort { key: vec![QCol::new(QId(0), ColId(0))] };
-        let s2 = Lolepop::Sort { key: vec![QCol::new(QId(0), ColId(1))] };
+        let s1 = Lolepop::Sort {
+            key: vec![QCol::new(QId(0), ColId(0))],
+        };
+        let s2 = Lolepop::Sort {
+            key: vec![QCol::new(QId(0), ColId(1))],
+        };
         assert_ne!(s1.param_hash(), s2.param_hash());
         assert_eq!(s1.param_hash(), s1.clone().param_hash());
     }

@@ -36,7 +36,12 @@ impl PlanNode {
             i.fingerprint.hash(&mut h);
         }
         let fingerprint = h.finish();
-        Arc::new(PlanNode { op, inputs, props, fingerprint })
+        Arc::new(PlanNode {
+            op,
+            inputs,
+            props,
+            fingerprint,
+        })
     }
 
     /// Structural fingerprint: operator parameters + input fingerprints.
@@ -121,7 +126,10 @@ mod tests {
         let u = PlanNode::with_props(Lolepop::Union, vec![s.clone(), a], Props::empty(SiteId(0)));
         assert_eq!(u.op_count(), 4); // the shared leaf occurs twice
         assert_eq!(u.depth(), 3);
-        assert_eq!(u.op_names(), vec!["UNION", "STORE", "ACCESS(heap)", "ACCESS(heap)"]);
+        assert_eq!(
+            u.op_names(),
+            vec!["UNION", "STORE", "ACCESS(heap)", "ACCESS(heap)"]
+        );
         assert!(u.any(&|n| matches!(n.op, Lolepop::Store)));
         assert!(!u.any(&|n| matches!(n.op, Lolepop::Union) && n.inputs.is_empty()));
     }

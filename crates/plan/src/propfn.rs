@@ -22,7 +22,7 @@ use crate::cost::CostModel;
 use crate::error::{PlanError, Result};
 use crate::lolepop::{AccessSpec, JoinFlavor, Lolepop};
 use crate::node::{PlanNode, PlanRef};
-use crate::props::{AvailPath, ColSet, Cost, PathSource, Props};
+use crate::props::{AvailPath, ColSet, Cost, CostComponents, PathSource, Props};
 use crate::sel::Selectivity;
 
 /// Context every property function receives: catalog, query, cost model.
@@ -34,7 +34,11 @@ pub struct PropCtx<'a> {
 
 impl<'a> PropCtx<'a> {
     pub fn new(catalog: &'a Catalog, query: &'a Query, model: &'a CostModel) -> Self {
-        PropCtx { catalog, query, model }
+        PropCtx {
+            catalog,
+            query,
+            model,
+        }
     }
 
     pub fn sel(&self) -> Selectivity<'a> {
@@ -57,7 +61,9 @@ impl<'a> PropCtx<'a> {
 
     /// Full stored row width of the table behind quantifier `q`.
     pub fn row_width(&self, q: QId) -> f64 {
-        self.catalog.table(self.query.quantifier(q).table).row_width() as f64
+        self.catalog
+            .table(self.query.quantifier(q).table)
+            .row_width() as f64
     }
 
     /// Catalog access paths of quantifier `q` as `AvailPath`s.
@@ -75,8 +81,7 @@ impl<'a> PropCtx<'a> {
 }
 
 /// Signature of an extension property function.
-pub type ExtPropFn =
-    Arc<dyn Fn(&Lolepop, &[&Props], &PropCtx<'_>) -> Result<Props> + Send + Sync>;
+pub type ExtPropFn = Arc<dyn Fn(&Lolepop, &[&Props], &PropCtx<'_>) -> Result<Props> + Send + Sync>;
 
 /// The property-function registry and plan builder.
 #[derive(Default, Clone)]
@@ -117,9 +122,11 @@ impl PropEngine {
             Lolepop::Store => self.store(inputs[0], ctx),
             Lolepop::BuildIndex { key } => self.build_index(key, inputs[0], ctx),
             Lolepop::Filter { preds } => self.filter(*preds, inputs[0], ctx),
-            Lolepop::Join { flavor, join_preds, residual } => {
-                self.join(*flavor, *join_preds, *residual, inputs[0], inputs[1], ctx)
-            }
+            Lolepop::Join {
+                flavor,
+                join_preds,
+                residual,
+            } => self.join(*flavor, *join_preds, *residual, inputs[0], inputs[1], ctx),
             Lolepop::Union => self.union(inputs[0], inputs[1], ctx),
             Lolepop::Ext { name, .. } => match self.ext.get(name.as_ref()) {
                 Some(f) => f(op, inputs, ctx),
@@ -186,13 +193,20 @@ impl PropEngine {
         let (scanned_frac, order) = if btree {
             let key = table.native_order().to_vec();
             let (matched, ncols) = cl.index_matching(preds, q, &key);
-            let frac = if ncols > 0 { sel.preds(matched, local) } else { 1.0 };
-            (frac, key.iter().map(|c| QCol::new(q, *c)).collect::<Vec<_>>())
+            let frac = if ncols > 0 {
+                sel.preds(matched, local)
+            } else {
+                1.0
+            };
+            (
+                frac,
+                key.iter().map(|c| QCol::new(q, *c)).collect::<Vec<_>>(),
+            )
         } else {
             (1.0, Vec::new())
         };
         let scanned = base_card * scanned_frac;
-        let rescan = model.scan_io(scanned, row_w) + model.stream_cpu(scanned, preds.len());
+        let rescan = model.scan_io_c(scanned, row_w) + model.stream_cpu_c(scanned, preds.len());
 
         Ok(Props {
             tables: local,
@@ -203,7 +217,7 @@ impl PropEngine {
             temp: false,
             paths: ctx.catalog_paths(q),
             card: out_card,
-            cost: Cost::new(0.0, rescan),
+            cost: Cost::from_parts(CostComponents::ZERO, rescan),
         })
     }
 
@@ -254,19 +268,20 @@ impl PropEngine {
         let sel = ctx.sel();
         let base_card = table.card.max(1) as f64;
         let (matched, ncols) = cl.index_matching(preds, q, &ix.cols);
-        let matched_frac = if ncols > 0 { sel.preds(matched, local) } else { 1.0 };
-        let entry_w = table
-            .cols_width(&ix.cols)
-            .max(1) as f64
-            + 8.0; // key + TID
+        let matched_frac = if ncols > 0 {
+            sel.preds(matched, local)
+        } else {
+            1.0
+        };
+        let entry_w = table.cols_width(&ix.cols).max(1) as f64 + 8.0; // key + TID
         let model = ctx.model;
         let leaf_pages = model.pages(base_card, entry_w);
         let rescan = if ncols > 0 {
-            model.probe_cost(matched_frac * leaf_pages)
-                + model.stream_cpu(base_card * matched_frac, preds.minus(matched).len())
+            model.probe_cost_c(matched_frac * leaf_pages)
+                + model.stream_cpu_c(base_card * matched_frac, preds.minus(matched).len())
         } else {
             // Full index scan.
-            leaf_pages * model.w_io + model.stream_cpu(base_card, preds.len())
+            CostComponents::io(leaf_pages * model.w_io) + model.stream_cpu_c(base_card, preds.len())
         };
         Ok(Props {
             tables: local,
@@ -277,7 +292,7 @@ impl PropEngine {
             temp: false,
             paths: ctx.catalog_paths(q),
             card: base_card * sel.preds(preds, local),
-            cost: Cost::new(0.0, rescan),
+            cost: Cost::from_parts(CostComponents::ZERO, rescan),
         })
     }
 
@@ -289,7 +304,9 @@ impl PropEngine {
         ctx: &PropCtx<'_>,
     ) -> Result<Props> {
         if !input.temp {
-            return Err(PlanError::Invalid("ACCESS(temp) over a non-materialized input".into()));
+            return Err(PlanError::Invalid(
+                "ACCESS(temp) over a non-materialized input".into(),
+            ));
         }
         for c in cols {
             if !input.cols.contains(c) {
@@ -304,9 +321,9 @@ impl PropEngine {
         out.cols = cols.clone();
         out.preds = input.preds.union(preds);
         out.card = input.card * sel.preds(preds.minus(input.preds), input.tables);
-        out.cost = Cost::new(
-            input.cost.once,
-            input.cost.rescan + ctx.model.stream_cpu(input.card, preds.len()),
+        out.cost = Cost::from_parts(
+            input.cost.once_by,
+            input.cost.rescan_by + ctx.model.stream_cpu_c(input.card, preds.len()),
         );
         Ok(out)
     }
@@ -370,15 +387,17 @@ impl PropEngine {
         let key_set: ColSet = key.iter().copied().collect();
         let leaf_pages = model.pages(input.card, ctx.width(&key_set) + 8.0);
         let matched_card = input.card * matched_frac;
-        let rescan = model.probe_cost(matched_frac * leaf_pages)
-            + matched_card * model.fetch_io * model.clustered_factor * model.w_io
-            + model.stream_cpu(matched_card, preds.minus(matched).len());
+        let rescan = model.probe_cost_c(matched_frac * leaf_pages)
+            + CostComponents::io(
+                matched_card * model.fetch_io * model.clustered_factor * model.w_io,
+            )
+            + model.stream_cpu_c(matched_card, preds.minus(matched).len());
         let mut out = input.clone();
         out.cols = cols.clone();
         out.preds = input.preds.union(preds);
         out.order = key.to_vec();
         out.card = input.card * sel.preds(preds.minus(input.preds), input.tables);
-        out.cost = Cost::new(input.cost.once, rescan);
+        out.cost = Cost::from_parts(input.cost.once_by, rescan);
         Ok(out)
     }
 
@@ -423,11 +442,14 @@ impl PropEngine {
                 .any(|p| p.clustered && p.covers_prefix(&input.order[..1.min(input.order.len())]));
         let tid_ordered = input.order.first() == Some(&tid);
         let model = ctx.model;
-        let factor =
-            if clustered || tid_ordered { model.clustered_factor } else { 1.0 };
+        let factor = if clustered || tid_ordered {
+            model.clustered_factor
+        } else {
+            1.0
+        };
         let n = input.card;
-        let io = n * model.fetch_io * factor * model.w_io;
-        let cpu = model.stream_cpu(n, preds.len());
+        let io = CostComponents::io(n * model.fetch_io * factor * model.w_io);
+        let cpu = model.stream_cpu_c(n, preds.len());
         let sel = ctx.sel();
         let mut out = input.clone();
         let mut out_cols: ColSet = cols.clone();
@@ -439,7 +461,7 @@ impl PropEngine {
         out.cols = out_cols;
         out.preds = input.preds.union(preds);
         out.card = n * sel.preds(preds.minus(input.preds), QSet::single(q));
-        out.cost = Cost::new(input.cost.once, input.cost.rescan + io + cpu);
+        out.cost = Cost::from_parts(input.cost.once_by, input.cost.rescan_by + io + cpu);
         Ok(out)
     }
 
@@ -456,9 +478,9 @@ impl PropEngine {
         let width = ctx.width(&input.cols);
         let mut out = input.clone();
         out.order = key.to_vec();
-        out.cost = Cost::new(
-            input.cost.total() + model.sort_cost(input.card, width),
-            model.scan_io(input.card, width) + model.stream_cpu(input.card, 0),
+        out.cost = Cost::from_parts(
+            input.cost.breakdown() + model.sort_cost_c(input.card, width),
+            model.scan_io_c(input.card, width) + model.stream_cpu_c(input.card, 0),
         );
         Ok(out)
     }
@@ -472,9 +494,9 @@ impl PropEngine {
         out.temp = false;
         out.paths.clear();
         if input.site != to {
-            out.cost = Cost::new(
-                input.cost.once,
-                input.cost.rescan + model.ship_cost(input.card, ctx.width(&input.cols)),
+            out.cost = Cost::from_parts(
+                input.cost.once_by,
+                input.cost.rescan_by + model.ship_cost_c(input.card, ctx.width(&input.cols)),
             );
         }
         Ok(out)
@@ -486,16 +508,19 @@ impl PropEngine {
         let mut out = input.clone();
         out.temp = true;
         out.paths.clear(); // a fresh temp has no auxiliary access paths
-        out.cost = Cost::new(
-            input.cost.total() + model.pages(input.card, width) * model.w_io,
-            model.scan_io(input.card, width) + model.stream_cpu(input.card, 0),
+        out.cost = Cost::from_parts(
+            input.cost.breakdown()
+                + CostComponents::io(model.pages(input.card, width) * model.w_io),
+            model.scan_io_c(input.card, width) + model.stream_cpu_c(input.card, 0),
         );
         Ok(out)
     }
 
     fn build_index(&self, key: &[QCol], input: &Props, ctx: &PropCtx<'_>) -> Result<Props> {
         if !input.temp {
-            return Err(PlanError::Invalid("BUILD_INDEX requires a materialized temp".into()));
+            return Err(PlanError::Invalid(
+                "BUILD_INDEX requires a materialized temp".into(),
+            ));
         }
         if key.is_empty() {
             return Err(PlanError::Invalid("BUILD_INDEX with empty key".into()));
@@ -511,10 +536,14 @@ impl PropEngine {
         let key_set: ColSet = key.iter().copied().collect();
         let model = ctx.model;
         let mut out = input.clone();
-        out.paths.push(AvailPath { key: key.to_vec(), source: PathSource::Dynamic, clustered: false });
-        out.cost = Cost::new(
-            input.cost.once + model.index_build_cost(input.card, ctx.width(&key_set)),
-            input.cost.rescan,
+        out.paths.push(AvailPath {
+            key: key.to_vec(),
+            source: PathSource::Dynamic,
+            clustered: false,
+        });
+        out.cost = Cost::from_parts(
+            input.cost.once_by + model.index_build_cost_c(input.card, ctx.width(&key_set)),
+            input.cost.rescan_by,
         );
         Ok(out)
     }
@@ -525,9 +554,9 @@ impl PropEngine {
         out.preds = input.preds.union(preds);
         let new = preds.minus(input.preds);
         out.card = input.card * sel.preds(new, input.tables);
-        out.cost = Cost::new(
-            input.cost.once,
-            input.cost.rescan + ctx.model.stream_cpu(input.card, preds.len()),
+        out.cost = Cost::from_parts(
+            input.cost.once_by,
+            input.cost.rescan_by + ctx.model.stream_cpu_c(input.card, preds.len()),
         );
         Ok(out)
     }
@@ -556,7 +585,9 @@ impl PropEngine {
         // sortable-predicate columns (§4.4).
         if flavor == JoinFlavor::MG {
             if join_preds.is_empty() {
-                return Err(PlanError::Invalid("merge join with no join predicates".into()));
+                return Err(PlanError::Invalid(
+                    "merge join with no join predicates".into(),
+                ));
             }
             let ok = cl.sortable_preds(join_preds, outer.tables, inner.tables) == join_preds;
             if !ok {
@@ -587,33 +618,36 @@ impl PropEngine {
         }
 
         // Cardinality: apply only predicates not already applied by inputs.
-        let new_preds = join_preds.union(residual).minus(outer.preds).minus(inner.preds);
+        let new_preds = join_preds
+            .union(residual)
+            .minus(outer.preds)
+            .minus(inner.preds);
         let card = (outer.card * inner.card * sel.preds(new_preds, both)).max(0.0);
 
         let cost = match flavor {
-            JoinFlavor::NL => Cost::new(
-                outer.cost.once + inner.cost.once,
-                outer.cost.rescan
-                    + outer.card.max(1.0) * inner.cost.rescan
-                    + model.stream_cpu(outer.card, 0)
-                    + model.stream_cpu(card, residual.len()),
+            JoinFlavor::NL => Cost::from_parts(
+                outer.cost.once_by + inner.cost.once_by,
+                outer.cost.rescan_by
+                    + inner.cost.rescan_by * outer.card.max(1.0)
+                    + model.stream_cpu_c(outer.card, 0)
+                    + model.stream_cpu_c(card, residual.len()),
             ),
-            JoinFlavor::MG => Cost::new(
-                outer.cost.once + inner.cost.once,
-                outer.cost.rescan
-                    + inner.cost.rescan
-                    + model.stream_cpu(outer.card + inner.card, join_preds.len())
-                    + model.stream_cpu(card, residual.len()),
+            JoinFlavor::MG => Cost::from_parts(
+                outer.cost.once_by + inner.cost.once_by,
+                outer.cost.rescan_by
+                    + inner.cost.rescan_by
+                    + model.stream_cpu_c(outer.card + inner.card, join_preds.len())
+                    + model.stream_cpu_c(card, residual.len()),
             ),
-            JoinFlavor::HA => Cost::new(
+            JoinFlavor::HA => Cost::from_parts(
                 // Build the hash table on the inner once.
-                outer.cost.once
-                    + inner.cost.once
-                    + inner.cost.rescan
-                    + inner.card * model.hash_cpu,
-                outer.cost.rescan
-                    + outer.card * model.hash_cpu
-                    + model.stream_cpu(card, join_preds.union(residual).len()),
+                outer.cost.once_by
+                    + inner.cost.once_by
+                    + inner.cost.rescan_by
+                    + CostComponents::cpu(inner.card * model.hash_cpu),
+                outer.cost.rescan_by
+                    + CostComponents::cpu(outer.card * model.hash_cpu)
+                    + model.stream_cpu_c(card, join_preds.union(residual).len()),
             ),
         };
 
@@ -627,7 +661,11 @@ impl PropEngine {
         Ok(Props {
             tables: both,
             cols,
-            preds: outer.preds.union(inner.preds).union(join_preds).union(residual),
+            preds: outer
+                .preds
+                .union(inner.preds)
+                .union(join_preds)
+                .union(residual),
             order,
             site: outer.site,
             temp: false,
@@ -642,7 +680,9 @@ impl PropEngine {
             return Err(PlanError::SiteMismatch { op: "UNION" });
         }
         if l.cols != r.cols {
-            return Err(PlanError::Invalid("UNION inputs not union-compatible".into()));
+            return Err(PlanError::Invalid(
+                "UNION inputs not union-compatible".into(),
+            ));
         }
         let _ = ctx;
         let mut out = l.clone();
@@ -651,7 +691,10 @@ impl PropEngine {
         out.temp = false;
         out.paths.clear();
         out.card = l.card + r.card;
-        out.cost = Cost::new(l.cost.once + r.cost.once, l.cost.rescan + r.cost.rescan);
+        out.cost = Cost::from_parts(
+            l.cost.once_by + r.cost.once_by,
+            l.cost.rescan_by + r.cost.rescan_by,
+        );
         Ok(out)
     }
 }

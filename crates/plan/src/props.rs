@@ -37,8 +37,85 @@ impl AvailPath {
     /// The paper's `order ⊑ a` test: the required columns are a prefix of
     /// this path's key.
     pub fn covers_prefix(&self, required: &[QCol]) -> bool {
-        required.len() <= self.key.len()
-            && self.key.iter().zip(required).all(|(a, b)| a == b)
+        required.len() <= self.key.len() && self.key.iter().zip(required).all(|(a, b)| a == b)
+    }
+}
+
+/// Per-resource attribution of a cost figure — the paper's "linear
+/// combination of I/O, CPU, and communications costs" kept un-summed, so
+/// EXPLAIN and trace events can show *where* a plan spends. `other` holds
+/// contributions built through the legacy scalar [`Cost::new`] constructor
+/// (e.g. extension property functions) that don't attribute themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostComponents {
+    pub io: f64,
+    pub cpu: f64,
+    pub comm: f64,
+    pub other: f64,
+}
+
+impl CostComponents {
+    pub const ZERO: CostComponents = CostComponents {
+        io: 0.0,
+        cpu: 0.0,
+        comm: 0.0,
+        other: 0.0,
+    };
+
+    pub fn io(v: f64) -> Self {
+        CostComponents {
+            io: v,
+            ..CostComponents::ZERO
+        }
+    }
+
+    pub fn cpu(v: f64) -> Self {
+        CostComponents {
+            cpu: v,
+            ..CostComponents::ZERO
+        }
+    }
+
+    pub fn comm(v: f64) -> Self {
+        CostComponents {
+            comm: v,
+            ..CostComponents::ZERO
+        }
+    }
+
+    pub fn other(v: f64) -> Self {
+        CostComponents {
+            other: v,
+            ..CostComponents::ZERO
+        }
+    }
+
+    pub fn total(&self) -> f64 {
+        self.io + self.cpu + self.comm + self.other
+    }
+}
+
+impl std::ops::Add for CostComponents {
+    type Output = CostComponents;
+    fn add(self, r: CostComponents) -> CostComponents {
+        CostComponents {
+            io: self.io + r.io,
+            cpu: self.cpu + r.cpu,
+            comm: self.comm + r.comm,
+            other: self.other + r.other,
+        }
+    }
+}
+
+impl std::ops::Mul<f64> for CostComponents {
+    type Output = CostComponents;
+    fn mul(self, k: f64) -> CostComponents {
+        CostComponents {
+            io: self.io * k,
+            cpu: self.cpu * k,
+            comm: self.comm * k,
+            other: self.other * k,
+        }
     }
 }
 
@@ -48,23 +125,53 @@ impl AvailPath {
 /// (dynamic index) alternatives costable: a nested-loop join pays its
 /// inner's `rescan` once *per outer tuple* but its `once` only once.
 /// Both components are already the paper's "linear combination of I/O, CPU,
-/// and communications costs".
+/// and communications costs"; `once_by`/`rescan_by` carry that combination
+/// un-summed (the scalar fields stay the single source of truth for plan
+/// comparison — `once == once_by.total()` up to float rounding).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Cost {
     pub once: f64,
     pub rescan: f64,
+    pub once_by: CostComponents,
+    pub rescan_by: CostComponents,
 }
 
 impl Cost {
-    pub const ZERO: Cost = Cost { once: 0.0, rescan: 0.0 };
+    pub const ZERO: Cost = Cost {
+        once: 0.0,
+        rescan: 0.0,
+        once_by: CostComponents::ZERO,
+        rescan_by: CostComponents::ZERO,
+    };
 
+    /// Scalar constructor: attribution lands in the `other` bucket.
     pub fn new(once: f64, rescan: f64) -> Self {
-        Cost { once, rescan }
+        Cost {
+            once,
+            rescan,
+            once_by: CostComponents::other(once),
+            rescan_by: CostComponents::other(rescan),
+        }
+    }
+
+    /// Component-attributed constructor; the scalar fields are the sums.
+    pub fn from_parts(once_by: CostComponents, rescan_by: CostComponents) -> Self {
+        Cost {
+            once: once_by.total(),
+            rescan: rescan_by.total(),
+            once_by,
+            rescan_by,
+        }
     }
 
     /// Total cost of producing the stream a single time.
     pub fn total(&self) -> f64 {
         self.once + self.rescan
+    }
+
+    /// Combined attribution across both phases.
+    pub fn breakdown(&self) -> CostComponents {
+        self.once_by + self.rescan_by
     }
 }
 
@@ -118,8 +225,7 @@ impl Props {
     /// Does the stream's order satisfy a required order? (The required list
     /// must be a prefix of the actual order.)
     pub fn order_satisfies(&self, required: &[QCol]) -> bool {
-        required.len() <= self.order.len()
-            && self.order.iter().zip(required).all(|(a, b)| a == b)
+        required.len() <= self.order.len() && self.order.iter().zip(required).all(|(a, b)| a == b)
     }
 
     /// Find an available path whose key starts with the given columns.
@@ -143,6 +249,20 @@ mod tests {
         let c = Cost::new(10.0, 5.0);
         assert_eq!(c.total(), 15.0);
         assert_eq!(Cost::ZERO.total(), 0.0);
+        // Scalar construction attributes to `other`.
+        assert_eq!(c.breakdown().other, 15.0);
+        assert_eq!(c.breakdown().io, 0.0);
+    }
+
+    #[test]
+    fn cost_components_attribute_and_sum() {
+        let by = CostComponents::io(3.0) + CostComponents::cpu(1.0) + CostComponents::comm(0.5);
+        let c = Cost::from_parts(by, CostComponents::cpu(2.0) * 3.0);
+        assert_eq!(c.once, 4.5);
+        assert_eq!(c.rescan, 6.0);
+        assert_eq!(c.once_by.io, 3.0);
+        assert_eq!(c.rescan_by.cpu, 6.0);
+        assert!((c.breakdown().total() - c.total()).abs() < 1e-12);
     }
 
     #[test]

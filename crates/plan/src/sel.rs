@@ -49,7 +49,10 @@ impl<'a> Selectivity<'a> {
 
     /// Combined (independence-assumption) selectivity of a predicate set.
     pub fn preds(&self, ps: PredSet, local: QSet) -> f64 {
-        ps.iter().map(|p| self.pred(p, local)).product::<f64>().clamp(0.0, 1.0)
+        ps.iter()
+            .map(|p| self.pred(p, local))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
     }
 
     fn expr(&self, e: &PredExpr, local: QSet) -> f64 {
@@ -135,15 +138,33 @@ mod tests {
         let bb = b.quantifier(&cat, "B", "b").unwrap();
         let col = Scalar::col;
         // p0: a.A0 = b.B0
-        b.predicate(PredExpr::Cmp(CmpOp::Eq, col(a, ColId(0)), col(bb, ColId(0)))).unwrap();
+        b.predicate(PredExpr::Cmp(
+            CmpOp::Eq,
+            col(a, ColId(0)),
+            col(bb, ColId(0)),
+        ))
+        .unwrap();
         // p1: a.A1 = 7
-        b.predicate(PredExpr::Cmp(CmpOp::Eq, col(a, ColId(1)), Scalar::Const(Value::Int(7))))
-            .unwrap();
+        b.predicate(PredExpr::Cmp(
+            CmpOp::Eq,
+            col(a, ColId(1)),
+            Scalar::Const(Value::Int(7)),
+        ))
+        .unwrap();
         // p2: a.A0 < b.B0
-        b.predicate(PredExpr::Cmp(CmpOp::Lt, col(a, ColId(0)), col(bb, ColId(0)))).unwrap();
+        b.predicate(PredExpr::Cmp(
+            CmpOp::Lt,
+            col(a, ColId(0)),
+            col(bb, ColId(0)),
+        ))
+        .unwrap();
         // p3: a.A1 <> 7
-        b.predicate(PredExpr::Cmp(CmpOp::Ne, col(a, ColId(1)), Scalar::Const(Value::Int(7))))
-            .unwrap();
+        b.predicate(PredExpr::Cmp(
+            CmpOp::Ne,
+            col(a, ColId(1)),
+            Scalar::Const(Value::Int(7)),
+        ))
+        .unwrap();
         // p4: (a.A1 = 1 OR a.A1 = 2)
         b.predicate(PredExpr::Or(vec![
             PredExpr::Cmp(CmpOp::Eq, col(a, ColId(1)), Scalar::Const(Value::Int(1))),

@@ -48,7 +48,12 @@ impl Fixture {
     fn new() -> Self {
         let cat = paper_catalog();
         let query = paper_query(&cat);
-        Fixture { cat, query, model: CostModel::default(), engine: PropEngine::new() }
+        Fixture {
+            cat,
+            query,
+            model: CostModel::default(),
+            engine: PropEngine::new(),
+        }
     }
 
     fn ctx(&self) -> PropCtx<'_> {
@@ -66,7 +71,10 @@ const P_MGR: PredId = PredId(0); // D.MGR = 'Haas'
 const P_JOIN: PredId = PredId(1); // D.DNO = E.DNO
 
 fn cols(items: &[(QId, u32)]) -> ColSet {
-    items.iter().map(|(q, c)| QCol::new(*q, ColId(*c))).collect()
+    items
+        .iter()
+        .map(|(q, c)| QCol::new(*q, ColId(*c)))
+        .collect()
 }
 
 fn tid_col(q: QId) -> QCol {
@@ -92,7 +100,10 @@ fn emp_index_access(f: &Fixture) -> PlanRef {
     c.insert(tid_col(E));
     f.build(
         Lolepop::Access {
-            spec: AccessSpec::Index { index: starqo_catalog::IndexId(0), q: E },
+            spec: AccessSpec::Index {
+                index: starqo_catalog::IndexId(0),
+                q: E,
+            },
             cols: c,
             preds: PredSet::EMPTY,
         },
@@ -148,7 +159,10 @@ fn index_access_rejects_non_key_columns() {
     let err = f
         .build(
             Lolepop::Access {
-                spec: AccessSpec::Index { index: starqo_catalog::IndexId(0), q: E },
+                spec: AccessSpec::Index {
+                    index: starqo_catalog::IndexId(0),
+                    q: E,
+                },
                 cols: cols(&[(E, 0)]), // NAME is not in the index
                 preds: PredSet::EMPTY,
             },
@@ -168,7 +182,10 @@ fn index_probe_with_pushed_join_pred_is_cheap_and_selective() {
     let probe = f
         .build(
             Lolepop::Access {
-                spec: AccessSpec::Index { index: starqo_catalog::IndexId(0), q: E },
+                spec: AccessSpec::Index {
+                    index: starqo_catalog::IndexId(0),
+                    q: E,
+                },
                 cols: c,
                 preds: PredSet::single(P_JOIN),
             },
@@ -186,7 +203,11 @@ fn get_fetches_columns_and_preserves_order() {
     let ix = emp_index_access(&f);
     let get = f
         .build(
-            Lolepop::Get { q: E, cols: cols(&[(E, 0), (E, 1)]), preds: PredSet::EMPTY },
+            Lolepop::Get {
+                q: E,
+                cols: cols(&[(E, 0), (E, 1)]),
+                preds: PredSet::EMPTY,
+            },
             vec![ix.clone()],
         )
         .unwrap();
@@ -202,7 +223,14 @@ fn get_requires_tid_stream() {
     let f = Fixture::new();
     let d = dept_access(&f);
     let err = f
-        .build(Lolepop::Get { q: D, cols: cols(&[(D, 0)]), preds: PredSet::EMPTY }, vec![d])
+        .build(
+            Lolepop::Get {
+                q: D,
+                cols: cols(&[(D, 0)]),
+                preds: PredSet::EMPTY,
+            },
+            vec![d],
+        )
         .unwrap_err();
     assert!(matches!(err, PlanError::Scope { .. }));
 }
@@ -212,13 +240,20 @@ fn sort_sets_order_and_pays_once() {
     let f = Fixture::new();
     let d = dept_access(&f);
     let key = vec![QCol::new(D, ColId(0))];
-    let s = f.build(Lolepop::Sort { key: key.clone() }, vec![d.clone()]).unwrap();
+    let s = f
+        .build(Lolepop::Sort { key: key.clone() }, vec![d.clone()])
+        .unwrap();
     assert_eq!(s.props.order, key);
     assert!(s.props.cost.once > d.props.cost.total());
     assert!(s.props.order_satisfies(&key));
     // Sorting on a column the stream doesn't carry is illegal.
     let err = f
-        .build(Lolepop::Sort { key: vec![QCol::new(D, ColId(2))] }, vec![d])
+        .build(
+            Lolepop::Sort {
+                key: vec![QCol::new(D, ColId(2))],
+            },
+            vec![d],
+        )
         .unwrap_err();
     assert!(matches!(err, PlanError::Scope { .. }));
 }
@@ -227,12 +262,16 @@ fn sort_sets_order_and_pays_once() {
 fn ship_changes_site_and_charges_messages() {
     let f = Fixture::new();
     let d = dept_access(&f);
-    let shipped = f.build(Lolepop::Ship { to: SiteId(1) }, vec![d.clone()]).unwrap();
+    let shipped = f
+        .build(Lolepop::Ship { to: SiteId(1) }, vec![d.clone()])
+        .unwrap();
     assert_eq!(shipped.props.site, SiteId(1));
     assert!(shipped.props.cost.rescan > d.props.cost.rescan);
     assert!(shipped.props.paths.is_empty());
     // Shipping to the current site is free.
-    let noop = f.build(Lolepop::Ship { to: SiteId(0) }, vec![d.clone()]).unwrap();
+    let noop = f
+        .build(Lolepop::Ship { to: SiteId(0) }, vec![d.clone()])
+        .unwrap();
     assert_eq!(noop.props.cost.total(), d.props.cost.total());
 }
 
@@ -286,7 +325,9 @@ fn build_index_adds_dynamic_path() {
         .unwrap();
     let st = f.build(Lolepop::Store, vec![e]).unwrap();
     let key = vec![QCol::new(E, ColId(2))];
-    let bi = f.build(Lolepop::BuildIndex { key: key.clone() }, vec![st.clone()]).unwrap();
+    let bi = f
+        .build(Lolepop::BuildIndex { key: key.clone() }, vec![st.clone()])
+        .unwrap();
     assert_eq!(bi.props.paths.len(), 1);
     assert!(bi.props.path_with_prefix(&key).is_some());
     assert!(bi.props.cost.once > st.props.cost.once);
@@ -305,7 +346,14 @@ fn build_index_adds_dynamic_path() {
     assert!(probe.props.card < st.props.card);
     // BUILD_INDEX on a pipe (non-temp) is illegal.
     let d2 = dept_access(&f);
-    assert!(f.build(Lolepop::BuildIndex { key: vec![QCol::new(D, ColId(0))] }, vec![d2]).is_err());
+    assert!(f
+        .build(
+            Lolepop::BuildIndex {
+                key: vec![QCol::new(D, ColId(0))]
+            },
+            vec![d2]
+        )
+        .is_err());
 }
 
 #[test]
@@ -321,21 +369,49 @@ fn filter_reduces_cardinality_idempotently() {
             vec![],
         )
         .unwrap();
-    let fl = f.build(Lolepop::Filter { preds: PredSet::single(P_MGR) }, vec![d.clone()]).unwrap();
+    let fl = f
+        .build(
+            Lolepop::Filter {
+                preds: PredSet::single(P_MGR),
+            },
+            vec![d.clone()],
+        )
+        .unwrap();
     assert!(fl.props.card < d.props.card);
     // Re-filtering with an already-applied predicate doesn't shrink again.
-    let fl2 = f.build(Lolepop::Filter { preds: PredSet::single(P_MGR) }, vec![fl.clone()]).unwrap();
+    let fl2 = f
+        .build(
+            Lolepop::Filter {
+                preds: PredSet::single(P_MGR),
+            },
+            vec![fl.clone()],
+        )
+        .unwrap();
     assert!((fl2.props.card - fl.props.card).abs() < 1e-9);
 }
 
 fn figure1_plan(f: &Fixture) -> PlanRef {
     // SORT(ACCESS(DEPT,...), DNO)
     let d = dept_access(f);
-    let sorted = f.build(Lolepop::Sort { key: vec![QCol::new(D, ColId(0))] }, vec![d]).unwrap();
+    let sorted = f
+        .build(
+            Lolepop::Sort {
+                key: vec![QCol::new(D, ColId(0))],
+            },
+            vec![d],
+        )
+        .unwrap();
     // GET(ACCESS(Index on EMP.DNO, {TID, DNO}, φ), EMP, {NAME, ADDRESS}, φ)
     let ix = emp_index_access(f);
     let get = f
-        .build(Lolepop::Get { q: E, cols: cols(&[(E, 0), (E, 1)]), preds: PredSet::EMPTY }, vec![ix])
+        .build(
+            Lolepop::Get {
+                q: E,
+                cols: cols(&[(E, 0), (E, 1)]),
+                preds: PredSet::EMPTY,
+            },
+            vec![ix],
+        )
         .unwrap();
     // JOIN(sort-merge, D.DNO = E.DNO, D-stream, E-stream)
     f.build(
@@ -374,7 +450,14 @@ fn merge_join_requires_order() {
     let d = dept_access(&f); // unsorted
     let ix = emp_index_access(&f);
     let get = f
-        .build(Lolepop::Get { q: E, cols: cols(&[(E, 0), (E, 1)]), preds: PredSet::EMPTY }, vec![ix])
+        .build(
+            Lolepop::Get {
+                q: E,
+                cols: cols(&[(E, 0), (E, 1)]),
+                preds: PredSet::EMPTY,
+            },
+            vec![ix],
+        )
         .unwrap();
     let err = f
         .build(
@@ -393,7 +476,14 @@ fn merge_join_requires_order() {
 fn merge_join_rejects_unsortable_preds() {
     let f = Fixture::new();
     let d = dept_access(&f);
-    let sorted = f.build(Lolepop::Sort { key: vec![QCol::new(D, ColId(0))] }, vec![d]).unwrap();
+    let sorted = f
+        .build(
+            Lolepop::Sort {
+                key: vec![QCol::new(D, ColId(0))],
+            },
+            vec![d],
+        )
+        .unwrap();
     let e = f
         .build(
             Lolepop::Access {
@@ -475,7 +565,7 @@ fn hash_join_builds_once_and_validates_preds() {
         .unwrap();
     assert!(ha.props.cost.once > 0.0);
     assert!(ha.props.order.is_empty()); // hash destroys order
-    // Non-hashable pred rejected.
+                                        // Non-hashable pred rejected.
     let d2 = dept_access(&f);
     let err = f
         .build(
@@ -494,7 +584,9 @@ fn hash_join_builds_once_and_validates_preds() {
 fn join_site_mismatch_rejected() {
     let f = Fixture::new();
     let d = dept_access(&f);
-    let d_la = f.build(Lolepop::Ship { to: SiteId(1) }, vec![dept_access(&f)]).unwrap();
+    let d_la = f
+        .build(Lolepop::Ship { to: SiteId(1) }, vec![dept_access(&f)])
+        .unwrap();
     let e = f
         .build(
             Lolepop::Access {
@@ -554,7 +646,11 @@ fn union_requires_compatibility() {
 fn extension_op_registry() {
     let mut f = Fixture::new();
     let name: Arc<str> = Arc::from("OUTERJOIN");
-    let op = Lolepop::Ext { name: name.clone(), args: vec![], arity: 2 };
+    let op = Lolepop::Ext {
+        name: name.clone(),
+        args: vec![],
+        arity: 2,
+    };
     let d = dept_access(&f);
     let e = f
         .build(
@@ -578,10 +674,8 @@ fn extension_op_registry() {
             out.tables = o.tables.union(i.tables);
             out.cols.extend(i.cols.iter().copied());
             out.card = (o.card * i.card * 0.01).max(o.card);
-            out.cost = starqo_plan::Cost::new(
-                o.cost.once + i.cost.once,
-                o.cost.rescan + i.cost.rescan,
-            );
+            out.cost =
+                starqo_plan::Cost::new(o.cost.once + i.cost.once, o.cost.rescan + i.cost.rescan);
             Ok(out)
         }),
     );
@@ -610,7 +704,9 @@ fn property_vector_rendering_lists_all_fields() {
     let j = figure1_plan(&f);
     let ex = Explain::new(&f.cat, &f.query);
     let pv = ex.property_vector(&j);
-    for field in ["TABLES", "COLS", "PREDS", "ORDER", "SITE", "TEMP", "PATHS", "CARD", "COST"] {
+    for field in [
+        "TABLES", "COLS", "PREDS", "ORDER", "SITE", "TEMP", "PATHS", "CARD", "COST",
+    ] {
         assert!(pv.contains(field), "missing {field} in:\n{pv}");
     }
 }

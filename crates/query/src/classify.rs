@@ -70,34 +70,29 @@ impl<'q> Classifier<'q> {
     /// SP: sortable (merge-joinable) predicates: bare-column `=` bare-column
     /// with one column on each side.
     pub fn sortable_preds(&self, p_set: PredSet, t1: QSet, t2: QSet) -> PredSet {
-        PredSet::from_iter(p_set.iter().filter(|p| {
-            match &self.query.pred(*p).expr {
-                PredExpr::Cmp(CmpOp::Eq, l, r) => match (l.as_col(), r.as_col()) {
-                    (Some(a), Some(b)) => {
-                        (t1.contains(a.q) && t2.contains(b.q))
-                            || (t2.contains(a.q) && t1.contains(b.q))
-                    }
-                    _ => false,
-                },
+        PredSet::from_iter(p_set.iter().filter(|p| match &self.query.pred(*p).expr {
+            PredExpr::Cmp(CmpOp::Eq, l, r) => match (l.as_col(), r.as_col()) {
+                (Some(a), Some(b)) => {
+                    (t1.contains(a.q) && t2.contains(b.q)) || (t2.contains(a.q) && t1.contains(b.q))
+                }
                 _ => false,
-            }
+            },
+            _ => false,
         }))
     }
 
     /// HP: hashable predicates: `expr(χ(T1)) = expr(χ(T2))`.
     pub fn hashable_preds(&self, p_set: PredSet, t1: QSet, t2: QSet) -> PredSet {
-        PredSet::from_iter(p_set.iter().filter(|p| {
-            match &self.query.pred(*p).expr {
-                PredExpr::Cmp(CmpOp::Eq, l, r) => {
-                    let (lq, rq) = (l.quantifiers(), r.quantifiers());
-                    if lq.is_empty() || rq.is_empty() {
-                        return false;
-                    }
-                    (lq.is_subset_of(t1) && rq.is_subset_of(t2))
-                        || (lq.is_subset_of(t2) && rq.is_subset_of(t1))
+        PredSet::from_iter(p_set.iter().filter(|p| match &self.query.pred(*p).expr {
+            PredExpr::Cmp(CmpOp::Eq, l, r) => {
+                let (lq, rq) = (l.quantifiers(), r.quantifiers());
+                if lq.is_empty() || rq.is_empty() {
+                    return false;
                 }
-                _ => false,
+                (lq.is_subset_of(t1) && rq.is_subset_of(t2))
+                    || (lq.is_subset_of(t2) && rq.is_subset_of(t1))
             }
+            _ => false,
         }))
     }
 
@@ -105,19 +100,17 @@ impl<'q> Classifier<'q> {
     /// side is a bare column of the inner, the other references only the
     /// outer.
     pub fn indexable_preds(&self, p_set: PredSet, t1: QSet, t2: QSet) -> PredSet {
-        PredSet::from_iter(p_set.iter().filter(|p| {
-            match &self.query.pred(*p).expr {
-                PredExpr::Cmp(_, l, r) => {
-                    let inner_col_outer_expr = |col: &crate::scalar::Scalar,
-                                                other: &crate::scalar::Scalar| {
+        PredSet::from_iter(p_set.iter().filter(|p| match &self.query.pred(*p).expr {
+            PredExpr::Cmp(_, l, r) => {
+                let inner_col_outer_expr =
+                    |col: &crate::scalar::Scalar, other: &crate::scalar::Scalar| {
                         col.as_col().is_some_and(|c| t2.contains(c.q))
                             && !other.quantifiers().is_empty()
                             && other.quantifiers().is_subset_of(t1)
                     };
-                    inner_col_outer_expr(l, r) || inner_col_outer_expr(r, l)
-                }
-                PredExpr::Or(_) => false,
+                inner_col_outer_expr(l, r) || inner_col_outer_expr(r, l)
             }
+            PredExpr::Or(_) => false,
         }))
     }
 
@@ -263,21 +256,41 @@ mod tests {
         let bb = b.quantifier(&cat, "B", "b").unwrap();
         let c = b.quantifier(&cat, "C", "c").unwrap();
         let col = Scalar::col;
-        b.predicate(PredExpr::Cmp(CmpOp::Eq, col(a, ColId(0)), col(bb, ColId(0)))).unwrap();
         b.predicate(PredExpr::Cmp(
             CmpOp::Eq,
-            Scalar::Arith(ArithOp::Add, Box::new(col(a, ColId(1))), Box::new(Scalar::Const(Value::Int(1)))),
+            col(a, ColId(0)),
+            col(bb, ColId(0)),
+        ))
+        .unwrap();
+        b.predicate(PredExpr::Cmp(
+            CmpOp::Eq,
+            Scalar::Arith(
+                ArithOp::Add,
+                Box::new(col(a, ColId(1))),
+                Box::new(Scalar::Const(Value::Int(1))),
+            ),
             col(bb, ColId(1)),
         ))
         .unwrap();
-        b.predicate(PredExpr::Cmp(CmpOp::Lt, col(a, ColId(0)), col(bb, ColId(1)))).unwrap();
-        b.predicate(PredExpr::Cmp(CmpOp::Eq, col(bb, ColId(1)), Scalar::Const(Value::Int(5)))).unwrap();
+        b.predicate(PredExpr::Cmp(
+            CmpOp::Lt,
+            col(a, ColId(0)),
+            col(bb, ColId(1)),
+        ))
+        .unwrap();
+        b.predicate(PredExpr::Cmp(
+            CmpOp::Eq,
+            col(bb, ColId(1)),
+            Scalar::Const(Value::Int(5)),
+        ))
+        .unwrap();
         b.predicate(PredExpr::Or(vec![
             PredExpr::Cmp(CmpOp::Eq, col(bb, ColId(0)), Scalar::Const(Value::Int(1))),
             PredExpr::Cmp(CmpOp::Eq, col(bb, ColId(0)), Scalar::Const(Value::Int(2))),
         ]))
         .unwrap();
-        b.predicate(PredExpr::Cmp(CmpOp::Eq, col(a, ColId(0)), col(c, ColId(0)))).unwrap();
+        b.predicate(PredExpr::Cmp(CmpOp::Eq, col(a, ColId(0)), col(c, ColId(0))))
+            .unwrap();
         b.select(QCol::new(a, ColId(0)));
         let q = b.build().unwrap();
         let all = q.all_preds();
@@ -411,7 +424,7 @@ mod tests {
         // Range join pred p2 (a.A0 < b.B1) is sargable on B1 as a range.
         let (m2, _) = cl.index_matching(all, b, &[ColId(1)]);
         assert!(m2.contains(PredId(3))); // eq pred wins the column
-        // With only p2 available, it matches as a range.
+                                         // With only p2 available, it matches as a range.
         let (m3, n3) = cl.index_matching(ps(&[2]), b, &[ColId(1)]);
         assert!(m3.contains(PredId(2)));
         assert_eq!(n3, 1);
@@ -422,8 +435,14 @@ mod tests {
         let (q, _) = setup();
         let cl = Classifier::new(&q);
         // p2: a.A0 < b.B1. On target B1 it reads "B1 > (outer)".
-        assert_eq!(cl.sargable_on(PredId(2), QCol::new(QId(1), ColId(1))), Some(CmpOp::Gt));
-        assert_eq!(cl.sargable_on(PredId(2), QCol::new(QId(0), ColId(0))), Some(CmpOp::Lt));
+        assert_eq!(
+            cl.sargable_on(PredId(2), QCol::new(QId(1), ColId(1))),
+            Some(CmpOp::Gt)
+        );
+        assert_eq!(
+            cl.sargable_on(PredId(2), QCol::new(QId(0), ColId(0))),
+            Some(CmpOp::Lt)
+        );
         assert_eq!(cl.sargable_on(PredId(4), QCol::new(QId(1), ColId(0))), None);
     }
 }

@@ -5,7 +5,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// Syntax error in the mini-SQL parser, with byte offset.
-    Parse { msg: String, pos: usize },
+    Parse {
+        msg: String,
+        pos: usize,
+    },
     /// Name-resolution failure (unknown table, alias, or column).
     Resolve(String),
     /// Structural limit exceeded (64 quantifiers / 128 predicates).

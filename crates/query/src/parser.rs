@@ -44,7 +44,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, msg: impl Into<String>) -> QueryError {
-        QueryError::Parse { msg: msg.into(), pos: self.pos }
+        QueryError::Parse {
+            msg: msg.into(),
+            pos: self.pos,
+        }
     }
 
     fn bump_while(&mut self, f: impl Fn(char) -> bool) -> &'a str {
@@ -74,7 +77,9 @@ impl<'a> Lexer<'a> {
                 '0'..='9' => {
                     let w = self.bump_while(|c| c.is_ascii_digit() || c == '.');
                     let is_int = !w.contains('.');
-                    let v: f64 = w.parse().map_err(|_| self.error(format!("bad number {w}")))?;
+                    let v: f64 = w
+                        .parse()
+                        .map_err(|_| self.error(format!("bad number {w}")))?;
                     Ok((Tok::Number(v, is_int), at))
                 }
                 '\'' => {
@@ -166,7 +171,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, msg: impl Into<String>) -> QueryError {
-        QueryError::Parse { msg: msg.into(), pos: self.pos() }
+        QueryError::Parse {
+            msg: msg.into(),
+            pos: self.pos(),
+        }
     }
 
     fn expect_kw(&mut self, kw: &str) -> Result<()> {
@@ -218,7 +226,11 @@ impl<'a> Parser<'a> {
         match self.peek().clone() {
             Tok::Number(v, is_int) => {
                 self.at += 1;
-                Ok(Scalar::Const(if is_int { Value::Int(v as i64) } else { Value::Double(v) }))
+                Ok(Scalar::Const(if is_int {
+                    Value::Int(v as i64)
+                } else {
+                    Value::Double(v)
+                }))
             }
             Tok::Str(s) => {
                 self.at += 1;
@@ -427,7 +439,13 @@ pub fn parse_query(cat: &Catalog, sql: &str) -> Result<Query> {
             break;
         }
     }
-    Parser { toks, at: 0, cat, builder: QueryBuilder::new() }.parse()
+    Parser {
+        toks,
+        at: 0,
+        cat,
+        builder: QueryBuilder::new(),
+    }
+    .parse()
 }
 
 #[cfg(test)]
@@ -505,7 +523,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.order_by, vec![crate::scalar::QCol::new(QId(0), ColId(0))]);
-        assert_eq!(q.pred(PredId(0)).quantifiers(), QSet::from_iter([QId(0), QId(1)]));
+        assert_eq!(
+            q.pred(PredId(0)).quantifiers(),
+            QSet::from_iter([QId(0), QId(1)])
+        );
     }
 
     #[test]

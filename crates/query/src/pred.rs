@@ -261,8 +261,16 @@ mod tests {
     #[test]
     fn or_predicates_detected() {
         let or = PredExpr::Or(vec![
-            cmp(CmpOp::Eq, Scalar::col(QId(0), ColId(0)), Scalar::Const(Value::Int(1))),
-            cmp(CmpOp::Eq, Scalar::col(QId(0), ColId(0)), Scalar::Const(Value::Int(2))),
+            cmp(
+                CmpOp::Eq,
+                Scalar::col(QId(0), ColId(0)),
+                Scalar::Const(Value::Int(1)),
+            ),
+            cmp(
+                CmpOp::Eq,
+                Scalar::col(QId(0), ColId(0)),
+                Scalar::Const(Value::Int(2)),
+            ),
         ]);
         assert!(or.contains_or());
         assert_eq!(or.quantifiers(), QSet::single(QId(0)));

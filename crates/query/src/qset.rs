@@ -168,7 +168,9 @@ mod tests {
         assert_eq!(a.intersect(b), QSet::single(QId(2)));
         assert_eq!(a.minus(b), QSet::single(QId(0)));
         assert!(QSet::single(QId(2)).is_subset_of(a));
-        assert!(a.remove(QId(2)).is_disjoint(b.remove(QId(2)).remove(QId(5))));
+        assert!(a
+            .remove(QId(2))
+            .is_disjoint(b.remove(QId(2)).remove(QId(5))));
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl Query {
     /// eligible on the union but on neither input alone.
     pub fn newly_eligible(&self, s1: QSet, s2: QSet) -> PredSet {
         let both = self.eligible_preds(s1.union(s2));
-        both.minus(self.eligible_preds(s1)).minus(self.eligible_preds(s2))
+        both.minus(self.eligible_preds(s1))
+            .minus(self.eligible_preds(s2))
     }
 
     /// True if some predicate links the two sets (a join predicate exists).
@@ -133,14 +134,24 @@ impl Query {
                 Scalar::Col(c) => q.qcol_name(cat, *c),
                 Scalar::Const(v) => v.to_string(),
                 Scalar::Arith(op, l, r) => {
-                    format!("({} {} {})", scalar(q, cat, l), op.symbol(), scalar(q, cat, r))
+                    format!(
+                        "({} {} {})",
+                        scalar(q, cat, l),
+                        op.symbol(),
+                        scalar(q, cat, r)
+                    )
                 }
             }
         }
         fn expr(q: &Query, cat: &Catalog, e: &PredExpr) -> String {
             match e {
                 PredExpr::Cmp(op, l, r) => {
-                    format!("{} {} {}", scalar(q, cat, l), op.symbol(), scalar(q, cat, r))
+                    format!(
+                        "{} {} {}",
+                        scalar(q, cat, l),
+                        op.symbol(),
+                        scalar(q, cat, r)
+                    )
                 }
                 PredExpr::Or(ps) => {
                     let parts: Vec<_> = ps.iter().map(|p| expr(q, cat, p)).collect();
@@ -175,7 +186,11 @@ impl QueryBuilder {
         }
         let t = cat.table_by_name(table)?;
         let id = QId(self.quantifiers.len() as u32);
-        self.quantifiers.push(Quantifier { id, alias: alias.to_string(), table: t.id });
+        self.quantifiers.push(Quantifier {
+            id,
+            alias: alias.to_string(),
+            table: t.id,
+        });
         Ok(id)
     }
 

@@ -27,8 +27,11 @@ impl BTreeIndexData {
         let mut map: BTreeMap<Vec<Value>, Vec<Tid>> = BTreeMap::new();
         let mut entries = 0u64;
         for (tid, row) in data.scan() {
-            let key: Vec<Value> =
-                def.cols.iter().map(|c| row.get(c.0 as usize).clone()).collect();
+            let key: Vec<Value> = def
+                .cols
+                .iter()
+                .map(|c| row.get(c.0 as usize).clone())
+                .collect();
             let bucket = map.entry(key).or_default();
             if def.unique && !bucket.is_empty() {
                 return Err(StorageError::UniqueViolation { index: def.id });
@@ -36,12 +39,18 @@ impl BTreeIndexData {
             bucket.push(tid);
             entries += 1;
         }
-        Ok(BTreeIndexData { index: def.id, map, entries })
+        Ok(BTreeIndexData {
+            index: def.id,
+            map,
+            entries,
+        })
     }
 
     /// Full scan in key order.
     pub fn scan(&self) -> impl Iterator<Item = (&Vec<Value>, Tid)> {
-        self.map.iter().flat_map(|(k, tids)| tids.iter().map(move |t| (k, *t)))
+        self.map
+            .iter()
+            .flat_map(|(k, tids)| tids.iter().map(move |t| (k, *t)))
     }
 
     /// Probe: all TIDs whose key has the given prefix, in key order.
@@ -74,14 +83,17 @@ impl BTreeIndexData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use starqo_catalog::{ColId, Column, DataType, SiteId, StorageKind, Table, TableId};
     use crate::tuple::Tuple;
+    use starqo_catalog::{ColId, Column, DataType, SiteId, StorageKind, Table, TableId};
 
     fn setup(unique: bool) -> (Index, StoredTable, Table) {
         let schema = Table {
             id: TableId(0),
             name: "T".into(),
-            columns: vec![Column::new("A", DataType::Int), Column::new("B", DataType::Int)],
+            columns: vec![
+                Column::new("A", DataType::Int),
+                Column::new("B", DataType::Int),
+            ],
             card: 0,
             site: SiteId(0),
             storage: StorageKind::Heap,
@@ -96,7 +108,8 @@ mod tests {
         };
         let mut data = StoredTable::new(TableId(0));
         for (a, b) in [(1, 20), (2, 10), (3, 20), (4, 10)] {
-            data.insert(&schema, Tuple(vec![Value::Int(a), Value::Int(b)])).unwrap();
+            data.insert(&schema, Tuple(vec![Value::Int(a), Value::Int(b)]))
+                .unwrap();
         }
         (def, data, schema)
     }
@@ -125,8 +138,10 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert!(hits.contains(&Tid(1)) && hits.contains(&Tid(3)));
         // Full-key probe.
-        let hits: Vec<Tid> =
-            ix.probe_prefix(&[Value::Int(20), Value::Int(3)]).map(|(_, t)| t).collect();
+        let hits: Vec<Tid> = ix
+            .probe_prefix(&[Value::Int(20), Value::Int(3)])
+            .map(|(_, t)| t)
+            .collect();
         assert_eq!(hits, vec![Tid(2)]);
         // Miss.
         assert_eq!(ix.probe_prefix(&[Value::Int(99)]).count(), 0);
@@ -140,7 +155,8 @@ mod tests {
         assert!(matches!(err, StorageError::UniqueViolation { .. }));
         // A unique index on a unique column is fine.
         def.cols = vec![ColId(0)];
-        data.insert(&schema, Tuple(vec![Value::Int(9), Value::Int(9)])).unwrap();
+        data.insert(&schema, Tuple(vec![Value::Int(9), Value::Int(9)]))
+            .unwrap();
         assert!(BTreeIndexData::build(&def, &data).is_ok());
     }
 }

@@ -91,10 +91,17 @@ impl DatabaseBuilder {
         }
         let mut indexes = HashMap::new();
         for def in self.catalog.indexes() {
-            let data = self.tables.get(&def.table).ok_or(StorageError::NoSuchTable(def.table))?;
+            let data = self
+                .tables
+                .get(&def.table)
+                .ok_or(StorageError::NoSuchTable(def.table))?;
             indexes.insert(def.id, BTreeIndexData::build(def, data)?);
         }
-        Ok(Database { catalog: self.catalog, tables: self.tables, indexes })
+        Ok(Database {
+            catalog: self.catalog,
+            tables: self.tables,
+            indexes,
+        })
     }
 }
 
@@ -107,7 +114,14 @@ mod tests {
         Arc::new(
             Catalog::builder()
                 .site("x")
-                .table("T", "x", StorageKind::BTree { key: vec![starqo_catalog::ColId(0)] }, 3)
+                .table(
+                    "T",
+                    "x",
+                    StorageKind::BTree {
+                        key: vec![starqo_catalog::ColId(0)],
+                    },
+                    3,
+                )
                 .column("A", DataType::Int, Some(3))
                 .column("B", DataType::Str, None)
                 .index("T_B", "T", &["B"], false, false)

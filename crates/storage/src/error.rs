@@ -8,9 +8,18 @@ use starqo_catalog::{IndexId, TableId};
 pub enum StorageError {
     NoSuchTable(TableId),
     NoSuchIndex(IndexId),
-    BadTid { table: TableId, tid: u64 },
-    SchemaMismatch { table: TableId, expected: usize, got: usize },
-    UniqueViolation { index: IndexId },
+    BadTid {
+        table: TableId,
+        tid: u64,
+    },
+    SchemaMismatch {
+        table: TableId,
+        expected: usize,
+        got: usize,
+    },
+    UniqueViolation {
+        index: IndexId,
+    },
 }
 
 pub type Result<T> = std::result::Result<T, StorageError>;
@@ -21,8 +30,15 @@ impl fmt::Display for StorageError {
             StorageError::NoSuchTable(t) => write!(f, "no stored data for table {t}"),
             StorageError::NoSuchIndex(i) => write!(f, "no stored data for index {i}"),
             StorageError::BadTid { table, tid } => write!(f, "dangling TID {tid} into {table}"),
-            StorageError::SchemaMismatch { table, expected, got } => {
-                write!(f, "tuple arity {got} != schema arity {expected} for {table}")
+            StorageError::SchemaMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "tuple arity {got} != schema arity {expected} for {table}"
+                )
             }
             StorageError::UniqueViolation { index } => {
                 write!(f, "unique index {index} violated")

@@ -20,7 +20,10 @@ pub struct StoredTable {
 
 impl StoredTable {
     pub fn new(table: TableId) -> Self {
-        StoredTable { table, rows: Vec::new() }
+        StoredTable {
+            table,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row, validating arity against the schema.
@@ -52,9 +55,10 @@ impl StoredTable {
     }
 
     pub fn fetch(&self, tid: Tid) -> Result<&Tuple> {
-        self.rows
-            .get(tid.0 as usize)
-            .ok_or(StorageError::BadTid { table: self.table, tid: tid.0 })
+        self.rows.get(tid.0 as usize).ok_or(StorageError::BadTid {
+            table: self.table,
+            tid: tid.0,
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -72,7 +76,10 @@ impl StoredTable {
 
     /// Scan all rows with their TIDs.
     pub fn scan(&self) -> impl Iterator<Item = (Tid, &Tuple)> {
-        self.rows.iter().enumerate().map(|(i, t)| (Tid(i as u64), t))
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Tid(i as u64), t))
     }
 
     /// Column values of a row by column position.
@@ -90,7 +97,10 @@ mod tests {
         Table {
             id: TableId(0),
             name: "T".into(),
-            columns: vec![Column::new("A", DataType::Int), Column::new("B", DataType::Str)],
+            columns: vec![
+                Column::new("A", DataType::Int),
+                Column::new("B", DataType::Str),
+            ],
             card: 0,
             site: SiteId(0),
             storage: StorageKind::Heap,
@@ -101,8 +111,12 @@ mod tests {
     fn insert_scan_fetch() {
         let s = schema();
         let mut t = StoredTable::new(TableId(0));
-        let t0 = t.insert(&s, Tuple(vec![Value::Int(2), Value::str("b")])).unwrap();
-        let t1 = t.insert(&s, Tuple(vec![Value::Int(1), Value::str("a")])).unwrap();
+        let t0 = t
+            .insert(&s, Tuple(vec![Value::Int(2), Value::str("b")]))
+            .unwrap();
+        let t1 = t
+            .insert(&s, Tuple(vec![Value::Int(1), Value::str("a")]))
+            .unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(*t.value(t0, 0).unwrap(), Value::Int(2));
         assert_eq!(*t.value(t1, 1).unwrap(), Value::str("a"));
@@ -130,7 +144,8 @@ mod tests {
         let mut t = StoredTable::new(TableId(0));
         assert_eq!(t.pages(), 1); // empty still occupies one page
         for i in 0..(ROWS_PER_PAGE + 1) {
-            t.insert(&s, Tuple(vec![Value::Int(i as i64), Value::str("x")])).unwrap();
+            t.insert(&s, Tuple(vec![Value::Int(i as i64), Value::str("x")]))
+                .unwrap();
         }
         assert_eq!(t.pages(), 2);
     }
@@ -140,7 +155,8 @@ mod tests {
         let s = schema();
         let mut t = StoredTable::new(TableId(0));
         for v in [3, 1, 2] {
-            t.insert(&s, Tuple(vec![Value::Int(v), Value::str("x")])).unwrap();
+            t.insert(&s, Tuple(vec![Value::Int(v), Value::str("x")]))
+                .unwrap();
         }
         t.sort_on(&[ColId(0)]);
         let vals: Vec<_> = t.scan().map(|(_, r)| r.get(0).clone()).collect();

@@ -1,0 +1,296 @@
+//! The typed event taxonomy emitted by the optimizer and executor.
+//!
+//! Every variant serializes to one flat JSON object (see
+//! [`TraceEvent::to_json`]) with a `"type"` discriminator, so a JSON-Lines
+//! trace is trivially greppable/`jq`-able.
+
+use crate::json::JsonObj;
+
+/// Per-component cost attribution carried on plan-construction events.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdownEv {
+    pub io: f64,
+    pub cpu: f64,
+    pub comm: f64,
+    pub other: f64,
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A STAR was referenced (possibly satisfied from the memo).
+    StarRef { star: String, memo_hit: bool },
+    /// One alternative of a STAR fired and produced plans.
+    AltFired {
+        star: String,
+        alt: usize,
+        plans: usize,
+    },
+    /// An alternative's condition of applicability evaluated to false.
+    CondFailed { star: String, alt: usize },
+    /// A `forall` alternative expanded over a set (∀-fan-out).
+    ForallExpand {
+        star: String,
+        alt: usize,
+        items: usize,
+    },
+    /// The Glue mechanism was invoked to meet required properties.
+    GlueRef {
+        cache_hit: bool,
+        candidates: usize,
+        veneers: usize,
+    },
+    /// A plan node was built, with its estimated properties and cost split.
+    PlanBuilt {
+        op: String,
+        card: f64,
+        cost_once: f64,
+        cost_rescan: f64,
+        breakdown: CostBreakdownEv,
+    },
+    /// A candidate operator application failed to build (illegal combo).
+    PlanRejected { op: String, reason: String },
+    /// A plan entered the plan table.
+    TableInsert {
+        op: String,
+        cost: f64,
+        evicted: usize,
+    },
+    /// A plan was pruned: dominated by an existing entry, or a duplicate.
+    TablePrune {
+        op: String,
+        cost: f64,
+        duplicate: bool,
+    },
+    /// An existing table entry was evicted by a dominating newcomer.
+    TableDominated { op: String, cost: f64 },
+    /// Per-LOLEPOP actuals recorded by the executor.
+    ExecNode {
+        op: String,
+        rows_out: u64,
+        invocations: u64,
+        nanos: u64,
+    },
+    /// A named span opened (engine phases, per-query wrappers, ...).
+    SpanStart { name: String },
+    /// A named span closed after `nanos`.
+    SpanEnd { name: String, nanos: u64 },
+    /// A free-form named counter observation (metrics bridge).
+    Counter { name: String, value: u64 },
+}
+
+impl TraceEvent {
+    /// The `"type"` discriminator used in the JSON form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::StarRef { .. } => "star_ref",
+            TraceEvent::AltFired { .. } => "alt_fired",
+            TraceEvent::CondFailed { .. } => "cond_failed",
+            TraceEvent::ForallExpand { .. } => "forall_expand",
+            TraceEvent::GlueRef { .. } => "glue_ref",
+            TraceEvent::PlanBuilt { .. } => "plan_built",
+            TraceEvent::PlanRejected { .. } => "plan_rejected",
+            TraceEvent::TableInsert { .. } => "table_insert",
+            TraceEvent::TablePrune { .. } => "table_prune",
+            TraceEvent::TableDominated { .. } => "table_dominated",
+            TraceEvent::ExecNode { .. } => "exec_node",
+            TraceEvent::SpanStart { .. } => "span_start",
+            TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::Counter { .. } => "counter",
+        }
+    }
+
+    /// Serialize as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let o = JsonObj::new().str("type", self.kind());
+        match self {
+            TraceEvent::StarRef { star, memo_hit } => {
+                o.str("star", star).bool("memo_hit", *memo_hit)
+            }
+            TraceEvent::AltFired { star, alt, plans } => o
+                .str("star", star)
+                .u64("alt", *alt as u64)
+                .u64("plans", *plans as u64),
+            TraceEvent::CondFailed { star, alt } => o.str("star", star).u64("alt", *alt as u64),
+            TraceEvent::ForallExpand { star, alt, items } => o
+                .str("star", star)
+                .u64("alt", *alt as u64)
+                .u64("items", *items as u64),
+            TraceEvent::GlueRef {
+                cache_hit,
+                candidates,
+                veneers,
+            } => o
+                .bool("cache_hit", *cache_hit)
+                .u64("candidates", *candidates as u64)
+                .u64("veneers", *veneers as u64),
+            TraceEvent::PlanBuilt {
+                op,
+                card,
+                cost_once,
+                cost_rescan,
+                breakdown,
+            } => o
+                .str("op", op)
+                .f64("card", *card)
+                .f64("cost_once", *cost_once)
+                .f64("cost_rescan", *cost_rescan)
+                .f64("io", breakdown.io)
+                .f64("cpu", breakdown.cpu)
+                .f64("comm", breakdown.comm)
+                .f64("other", breakdown.other),
+            TraceEvent::PlanRejected { op, reason } => o.str("op", op).str("reason", reason),
+            TraceEvent::TableInsert { op, cost, evicted } => o
+                .str("op", op)
+                .f64("cost", *cost)
+                .u64("evicted", *evicted as u64),
+            TraceEvent::TablePrune {
+                op,
+                cost,
+                duplicate,
+            } => o
+                .str("op", op)
+                .f64("cost", *cost)
+                .bool("duplicate", *duplicate),
+            TraceEvent::TableDominated { op, cost } => o.str("op", op).f64("cost", *cost),
+            TraceEvent::ExecNode {
+                op,
+                rows_out,
+                invocations,
+                nanos,
+            } => o
+                .str("op", op)
+                .u64("rows_out", *rows_out)
+                .u64("invocations", *invocations)
+                .u64("nanos", *nanos),
+            TraceEvent::SpanStart { name } => o.str("name", name),
+            TraceEvent::SpanEnd { name, nanos } => o.str("name", name).u64("nanos", *nanos),
+            TraceEvent::Counter { name, value } => o.str("name", name).u64("value", *value),
+        }
+        .finish()
+    }
+}
+
+/// Actual per-plan-node measurements gathered during execution, keyed by the
+/// node's fingerprint. Defined here so both `starqo-plan` (the renderer) and
+/// `starqo-exec` (the collector) can see it without depending on each other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeActuals {
+    /// How many times the node was evaluated (rescans count).
+    pub invocations: u64,
+    /// Rows produced by the last evaluation.
+    pub rows_out: u64,
+    /// Total inclusive wall-clock time across all invocations.
+    pub nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_to_flat_json() {
+        let ev = TraceEvent::StarRef {
+            star: "JoinRoot".into(),
+            memo_hit: true,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"type":"star_ref","star":"JoinRoot","memo_hit":true}"#
+        );
+        let ev = TraceEvent::PlanBuilt {
+            op: "JOIN(NL)".into(),
+            card: 10.0,
+            cost_once: 3.5,
+            cost_rescan: 0.5,
+            breakdown: CostBreakdownEv {
+                io: 2.0,
+                cpu: 1.0,
+                comm: 0.5,
+                other: 0.5,
+            },
+        };
+        let j = ev.to_json();
+        assert!(
+            j.starts_with(r#"{"type":"plan_built","op":"JOIN(NL)""#),
+            "{j}"
+        );
+        assert!(
+            j.contains(r#""io":2"#) && j.contains(r#""comm":0.5"#),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn every_kind_is_distinct() {
+        let evs = [
+            TraceEvent::StarRef {
+                star: String::new(),
+                memo_hit: false,
+            },
+            TraceEvent::AltFired {
+                star: String::new(),
+                alt: 0,
+                plans: 0,
+            },
+            TraceEvent::CondFailed {
+                star: String::new(),
+                alt: 0,
+            },
+            TraceEvent::ForallExpand {
+                star: String::new(),
+                alt: 0,
+                items: 0,
+            },
+            TraceEvent::GlueRef {
+                cache_hit: false,
+                candidates: 0,
+                veneers: 0,
+            },
+            TraceEvent::PlanBuilt {
+                op: String::new(),
+                card: 0.0,
+                cost_once: 0.0,
+                cost_rescan: 0.0,
+                breakdown: CostBreakdownEv::default(),
+            },
+            TraceEvent::PlanRejected {
+                op: String::new(),
+                reason: String::new(),
+            },
+            TraceEvent::TableInsert {
+                op: String::new(),
+                cost: 0.0,
+                evicted: 0,
+            },
+            TraceEvent::TablePrune {
+                op: String::new(),
+                cost: 0.0,
+                duplicate: false,
+            },
+            TraceEvent::TableDominated {
+                op: String::new(),
+                cost: 0.0,
+            },
+            TraceEvent::ExecNode {
+                op: String::new(),
+                rows_out: 0,
+                invocations: 0,
+                nanos: 0,
+            },
+            TraceEvent::SpanStart {
+                name: String::new(),
+            },
+            TraceEvent::SpanEnd {
+                name: String::new(),
+                nanos: 0,
+            },
+            TraceEvent::Counter {
+                name: String::new(),
+                value: 0,
+            },
+        ];
+        let kinds: std::collections::BTreeSet<_> = evs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), evs.len());
+    }
+}

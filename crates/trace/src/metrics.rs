@@ -1,0 +1,245 @@
+//! Named monotonic counters and per-phase wall-clock timers, aggregated
+//! into a [`MetricsSummary`] that optimization results expose.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::json::JsonObj;
+
+/// The optimizer/executor lifecycle phases that get first-class timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// SQL-subset text → `Query`.
+    Parse,
+    /// DSL rule text → executable rule structures.
+    Compile,
+    /// Bottom-up STAR-driven plan enumeration.
+    Enumerate,
+    /// Glue invocations (property enforcement).
+    Glue,
+    /// Plan execution.
+    Execute,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 5] = [
+        Phase::Parse,
+        Phase::Compile,
+        Phase::Enumerate,
+        Phase::Glue,
+        Phase::Execute,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Compile => "compile",
+            Phase::Enumerate => "enumerate",
+            Phase::Glue => "glue",
+            Phase::Execute => "execute",
+        }
+    }
+}
+
+/// An in-flight phase measurement; hand it back to
+/// [`MetricsRegistry::finish`] to record it.
+#[derive(Debug)]
+#[must_use = "finish() this timer to record the phase"]
+pub struct PhaseTimer {
+    phase: Phase,
+    start: Instant,
+}
+
+/// Mutable collection point for counters and phase timers.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    phase_nanos: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Bump a named monotonic counter.
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Start timing a phase.
+    pub fn start(&self, phase: Phase) -> PhaseTimer {
+        PhaseTimer {
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop a phase timer and accumulate its elapsed time. Phases may run
+    /// multiple times (e.g. `Glue`); durations add up.
+    pub fn finish(&mut self, timer: PhaseTimer) {
+        self.add_phase_nanos(timer.phase, timer.start.elapsed().as_nanos() as u64);
+    }
+
+    /// Accumulate an externally measured duration for a phase.
+    pub fn add_phase_nanos(&mut self, phase: Phase, nanos: u64) {
+        *self.phase_nanos.entry(phase.name()).or_insert(0) += nanos;
+    }
+
+    /// Time a closure under a phase.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t = self.start(phase);
+        let r = f();
+        self.finish(t);
+        r
+    }
+
+    /// Freeze into an immutable summary.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            phase_nanos: self
+                .phase_nanos
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable aggregation of a run: counters plus per-phase wall time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    counters: Vec<(String, u64)>,
+    phase_nanos: Vec<(String, u64)>,
+}
+
+impl MetricsSummary {
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    pub fn phase_nanos(&self) -> &[(String, u64)] {
+        &self.phase_nanos
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn phase(&self, phase: Phase) -> Option<u64> {
+        self.phase_nanos
+            .iter()
+            .find(|(k, _)| k == phase.name())
+            .map(|(_, v)| *v)
+    }
+
+    /// Merge another summary into this one (counters and phases add).
+    pub fn absorb(&mut self, other: &MetricsSummary) {
+        for (k, v) in &other.counters {
+            match self.counters.iter_mut().find(|(ek, _)| ek == k) {
+                Some((_, ev)) => *ev += v,
+                None => self.counters.push((k.clone(), *v)),
+            }
+        }
+        for (k, v) in &other.phase_nanos {
+            match self.phase_nanos.iter_mut().find(|(ek, _)| ek == k) {
+                Some((_, ev)) => *ev += v,
+                None => self.phase_nanos.push((k.clone(), *v)),
+            }
+        }
+    }
+
+    /// `{"counters": {...}, "phase_nanos": {...}}`
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObj::new();
+        for (k, v) in &self.counters {
+            counters = counters.u64(k, *v);
+        }
+        let mut phases = JsonObj::new();
+        for (k, v) in &self.phase_nanos {
+            phases = phases.u64(k, *v);
+        }
+        JsonObj::new()
+            .raw("counters", &counters.finish())
+            .raw("phase_nanos", &phases.finish())
+            .finish()
+    }
+
+    /// Multi-line human rendering (for reports and explain output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phases:\n");
+        for (k, v) in &self.phase_nanos {
+            out.push_str(&format!("  {:<12} {:>12.3} ms\n", k, *v as f64 / 1e6));
+        }
+        out.push_str("counters:\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("  {k:<28} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.count("memo_hits", 2);
+        m.count("memo_hits", 3);
+        m.count("plans", 1);
+        let s = m.summary();
+        assert_eq!(s.counter("memo_hits"), Some(5));
+        assert_eq!(s.counter("plans"), Some(1));
+        assert_eq!(s.counter("absent"), None);
+    }
+
+    #[test]
+    fn phases_accumulate_across_runs() {
+        let mut m = MetricsRegistry::new();
+        m.add_phase_nanos(Phase::Glue, 10);
+        m.add_phase_nanos(Phase::Glue, 5);
+        assert_eq!(m.summary().phase(Phase::Glue), Some(15));
+    }
+
+    #[test]
+    fn timing_a_closure_records_nonzero() {
+        let mut m = MetricsRegistry::new();
+        let out = m.time(Phase::Enumerate, || {
+            std::hint::black_box((0..1000).sum::<u64>())
+        });
+        assert_eq!(out, 499_500);
+        assert!(m.summary().phase(Phase::Enumerate).unwrap() > 0);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let mut m = MetricsRegistry::new();
+        m.count("x", 1);
+        m.add_phase_nanos(Phase::Parse, 42);
+        let j = m.summary().to_json();
+        assert_eq!(j, r#"{"counters":{"x":1},"phase_nanos":{"parse":42}}"#);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = MetricsSummary::default();
+        let mut reg = MetricsRegistry::new();
+        reg.count("x", 1);
+        reg.add_phase_nanos(Phase::Execute, 5);
+        a.absorb(&reg.summary());
+        a.absorb(&reg.summary());
+        assert_eq!(a.counter("x"), Some(2));
+        assert_eq!(a.phase(Phase::Execute), Some(10));
+    }
+}

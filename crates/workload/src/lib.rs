@@ -9,6 +9,7 @@
 //!
 //! * [`paper`] — the DEPT/EMP catalog, data, and query of Figures 1–3,
 //!   in local and distributed (N.Y./L.A.) variants;
+//! * [`rng`] — the tiny deterministic PRNG all generators draw from;
 //! * [`synth`] — parameterized random catalogs + databases (table count,
 //!   cardinality ranges, index density, site count, storage mix);
 //! * [`queries`] — chain / star / clique join-query generators over a
@@ -16,8 +17,10 @@
 
 pub mod paper;
 pub mod queries;
+pub mod rng;
 pub mod synth;
 
 pub use paper::{dept_emp_catalog, dept_emp_database, dept_emp_query, PAPER_SQL};
 pub use queries::{query_shape, QueryShape};
+pub use rng::Rng64;
 pub use synth::{synth_catalog, synth_database, SynthSpec};

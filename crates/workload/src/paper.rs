@@ -42,8 +42,13 @@ pub fn dept_emp_database(cat: Arc<Catalog>) -> Database {
     let emp_card = cat.table_by_name("EMP").expect("EMP").card as i64;
     let mut b = DatabaseBuilder::new(cat);
     for d in 0..50i64 {
-        let mgr = if d == 7 { "Haas".to_string() } else { format!("mgr{d}") };
-        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)]).expect("dept row");
+        let mgr = if d == 7 {
+            "Haas".to_string()
+        } else {
+            format!("mgr{d}")
+        };
+        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)])
+            .expect("dept row");
     }
     for e in 0..emp_card {
         b.insert(

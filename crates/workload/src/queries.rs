@@ -20,12 +20,7 @@ pub enum QueryShape {
 /// Build a query of the given shape over the first `n` tables of a
 /// synthetic catalog (`synth_catalog` naming conventions), optionally with a
 /// selective local predicate `T0.P0 = 0` to exercise pushdown.
-pub fn query_shape(
-    cat: &Catalog,
-    shape: QueryShape,
-    n: usize,
-    local_pred: bool,
-) -> Query {
+pub fn query_shape(cat: &Catalog, shape: QueryShape, n: usize, local_pred: bool) -> Query {
     assert!(n >= 2, "need at least two tables to join");
     let mut b = QueryBuilder::new();
     let mut qs = Vec::with_capacity(n);
@@ -92,7 +87,13 @@ mod tests {
     use starqo_query::QSet;
 
     fn cat() -> std::sync::Arc<Catalog> {
-        synth_catalog(1, &SynthSpec { tables: 5, ..Default::default() })
+        synth_catalog(
+            1,
+            &SynthSpec {
+                tables: 5,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! A tiny deterministic PRNG, so the workspace builds fully offline.
+//!
+//! The generators only need reproducibility under a caller-supplied seed and
+//! reasonable uniformity — not cryptographic quality — so a hand-rolled
+//! splitmix64/xoshiro256** pair (public-domain algorithms by Vigna et al.)
+//! replaces the external `rand` crate.
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Seed the generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng64 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). The modulo bias is
+    /// negligible for the ranges the generators use (≪ 2⁶⁴).
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo + 1; // never 0: hi < u64::MAX in all call sites
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be positive.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(43);
+        assert_ne!(Rng64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng64::new(7);
+        for _ in 0..1000 {
+            let v = r.range_inclusive(10, 20);
+            assert!((10..=20).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.index(3) < 3);
+        }
+        // Degenerate range.
+        assert_eq!(r.range_inclusive(5, 5), 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng64::new(1);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = Rng64::new(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[r.index(10)] += 1;
+        }
+        for b in buckets {
+            assert!(
+                (700..1300).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+    }
+}

@@ -2,8 +2,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 use starqo_catalog::{Catalog, DataType, StorageKind, Value};
 use starqo_storage::{Database, DatabaseBuilder};
 
@@ -39,18 +38,20 @@ impl Default for SynthSpec {
 /// Generate a catalog: table `Ti` has columns `ID` (unique-ish), `FK`
 /// (joins to `T(i+1).ID` in chain queries), and `payload_cols` extras.
 pub fn synth_catalog(seed: u64, spec: &SynthSpec) -> Arc<Catalog> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut b = Catalog::builder();
     for s in 0..spec.sites.max(1) {
         b = b.site(format!("site{s}"));
     }
     let cards: Vec<u64> = (0..spec.tables)
-        .map(|_| rng.gen_range(spec.card_range.0..=spec.card_range.1))
+        .map(|_| rng.range_inclusive(spec.card_range.0, spec.card_range.1))
         .collect();
     for (i, &card) in cards.iter().enumerate() {
         let site = format!("site{}", i % spec.sites.max(1));
-        let storage = if rng.gen_bool(spec.btree_prob) {
-            StorageKind::BTree { key: vec![starqo_catalog::ColId(0)] }
+        let storage = if rng.chance(spec.btree_prob) {
+            StorageKind::BTree {
+                key: vec![starqo_catalog::ColId(0)],
+            }
         } else {
             StorageKind::Heap
         };
@@ -62,7 +63,7 @@ pub fn synth_catalog(seed: u64, spec: &SynthSpec) -> Arc<Catalog> {
         for p in 0..spec.payload_cols {
             b = b.column(format!("P{p}"), DataType::Int, Some((card / 10).max(2)));
         }
-        if rng.gen_bool(spec.index_prob) {
+        if rng.chance(spec.index_prob) {
             b = b.index(format!("T{i}_FK"), &format!("T{i}"), &["FK"], false, false);
         }
     }
@@ -73,7 +74,7 @@ pub fn synth_catalog(seed: u64, spec: &SynthSpec) -> Arc<Catalog> {
 /// uniformly from `T(i+1)`'s ID domain so chain joins have predictable
 /// selectivity.
 pub fn synth_database(seed: u64, cat: Arc<Catalog>) -> Database {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15));
+    let mut rng = Rng64::new(seed.wrapping_add(0x9E3779B97F4A7C15));
     let tables: Vec<_> = cat.tables().to_vec();
     let n = tables.len();
     let mut b = DatabaseBuilder::new(cat);
@@ -82,13 +83,14 @@ pub fn synth_database(seed: u64, cat: Arc<Catalog>) -> Database {
         for id in 0..t.card {
             let mut row = vec![
                 Value::Int(id as i64),
-                Value::Int(rng.gen_range(0..next_card) as i64),
+                Value::Int(rng.below(next_card) as i64),
             ];
             for c in 2..t.columns.len() {
                 let ndv = t.columns[c].distinct.unwrap_or(10).max(1);
-                row.push(Value::Int(rng.gen_range(0..ndv) as i64));
+                row.push(Value::Int(rng.below(ndv) as i64));
             }
-            b.insert_id(t.id, starqo_storage::Tuple(row)).expect("synthetic row");
+            b.insert_id(t.id, starqo_storage::Tuple(row))
+                .expect("synthetic row");
         }
     }
     b.build().expect("synthetic database loads")
@@ -110,13 +112,21 @@ mod tests {
         }
         let c = synth_catalog(43, &spec);
         // Overwhelmingly likely to differ somewhere.
-        let same = a.tables().iter().zip(c.tables()).all(|(x, y)| x.card == y.card);
+        let same = a
+            .tables()
+            .iter()
+            .zip(c.tables())
+            .all(|(x, y)| x.card == y.card);
         assert!(!same, "different seeds should differ");
     }
 
     #[test]
     fn database_matches_catalog_cards() {
-        let spec = SynthSpec { tables: 3, card_range: (10, 50), ..Default::default() };
+        let spec = SynthSpec {
+            tables: 3,
+            card_range: (10, 50),
+            ..Default::default()
+        };
         let cat = synth_catalog(7, &spec);
         let db = synth_database(7, cat.clone());
         for t in cat.tables() {
@@ -126,7 +136,11 @@ mod tests {
 
     #[test]
     fn sites_assigned_round_robin() {
-        let spec = SynthSpec { tables: 4, sites: 2, ..Default::default() };
+        let spec = SynthSpec {
+            tables: 4,
+            sites: 2,
+            ..Default::default()
+        };
         let cat = synth_catalog(1, &spec);
         assert_eq!(cat.sites().len(), 2);
         assert_eq!(cat.tables()[0].site, cat.tables()[2].site);
@@ -135,7 +149,11 @@ mod tests {
 
     #[test]
     fn indexes_built_and_usable() {
-        let spec = SynthSpec { tables: 6, index_prob: 1.0, ..Default::default() };
+        let spec = SynthSpec {
+            tables: 6,
+            index_prob: 1.0,
+            ..Default::default()
+        };
         let cat = synth_catalog(5, &spec);
         assert_eq!(cat.indexes().len(), 6);
         let db = synth_database(5, cat.clone());

@@ -30,7 +30,11 @@ pub fn initial_plan(
         let single_preds = query.eligible_preds(qs);
         let cols = query.required_cols(qt.id);
         let scan = prop.build(
-            Lolepop::Access { spec, cols, preds: single_preds },
+            Lolepop::Access {
+                spec,
+                cols,
+                preds: single_preds,
+            },
             vec![],
             &ctx,
         )?;
@@ -44,7 +48,13 @@ pub fn initial_plan(
                 joined = joined.union(qs);
                 // Same-site requirement: ship the inner to the outer's site.
                 let scan = if scan.props.site != left.props.site {
-                    prop.build(Lolepop::Ship { to: left.props.site }, vec![scan], &ctx)?
+                    prop.build(
+                        Lolepop::Ship {
+                            to: left.props.site,
+                        },
+                        vec![scan],
+                        &ctx,
+                    )?
                 } else {
                     scan
                 };
@@ -62,10 +72,22 @@ pub fn initial_plan(
     }
     let mut plan = acc.ok_or(PlanError::Invalid("query has no tables".into()))?;
     if !query.order_by.is_empty() && !plan.props.order_satisfies(&query.order_by) {
-        plan = prop.build(Lolepop::Sort { key: query.order_by.clone() }, vec![plan], &ctx)?;
+        plan = prop.build(
+            Lolepop::Sort {
+                key: query.order_by.clone(),
+            },
+            vec![plan],
+            &ctx,
+        )?;
     }
     if plan.props.site != query.query_site {
-        plan = prop.build(Lolepop::Ship { to: query.query_site }, vec![plan], &ctx)?;
+        plan = prop.build(
+            Lolepop::Ship {
+                to: query.query_site,
+            },
+            vec![plan],
+            &ctx,
+        )?;
     }
     Ok(plan)
 }

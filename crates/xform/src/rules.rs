@@ -39,10 +39,16 @@ impl<'a> XformCtx<'a> {
                 Lolepop::Access { preds, .. } => *preds,
                 Lolepop::Get { preds, .. } => *preds,
                 Lolepop::Filter { preds } => *preds,
-                Lolepop::Join { join_preds, residual, .. } => join_preds.union(*residual),
+                Lolepop::Join {
+                    join_preds,
+                    residual,
+                    ..
+                } => join_preds.union(*residual),
                 _ => PredSet::EMPTY,
             };
-            preds.iter().any(|p| !self.query.pred(p).quantifiers().is_subset_of(tables))
+            preds
+                .iter()
+                .any(|p| !self.query.pred(p).quantifiers().is_subset_of(tables))
         })
     }
 }
@@ -52,8 +58,7 @@ impl<'a> XformCtx<'a> {
 pub trait XformRule {
     fn name(&self) -> &'static str;
     /// Attempt to rewrite `node`; returns zero or more replacement subtrees.
-    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats)
-        -> Vec<PlanRef>;
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef>;
 }
 
 /// The standard rule box.
@@ -90,14 +95,11 @@ impl XformRule for AccessMethod {
         "access-method"
     }
 
-    fn rewrite(
-        &self,
-        node: &PlanRef,
-        ctx: &XformCtx<'_>,
-        stats: &mut XformStats,
-    ) -> Vec<PlanRef> {
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef> {
         stats.match_attempts += 1;
-        let Lolepop::Access { spec, cols, preds } = &node.op else { return vec![] };
+        let Lolepop::Access { spec, cols, preds } = &node.op else {
+            return vec![];
+        };
         let q = match spec {
             AccessSpec::HeapTable(q) | AccessSpec::BTreeTable(q) => *q,
             _ => return vec![],
@@ -107,8 +109,11 @@ impl XformRule for AccessMethod {
         let mut out = Vec::new();
         for ix in ctx.catalog.indexes_on(table) {
             stats.conds_evaluated += 1;
-            let key_qcols: Vec<starqo_query::QCol> =
-                ix.cols.iter().map(|c| starqo_query::QCol::new(q, *c)).collect();
+            let key_qcols: Vec<starqo_query::QCol> = ix
+                .cols
+                .iter()
+                .map(|c| starqo_query::QCol::new(q, *c))
+                .collect();
             let (matched, _) = cl.index_matching(*preds, q, &ix.cols);
             // Index-only: every needed column and predicate column is a key
             // column.
@@ -152,7 +157,11 @@ impl XformRule for AccessMethod {
                 if let Some(get) = build(
                     ctx,
                     stats,
-                    Lolepop::Get { q, cols: cols.clone(), preds: preds.minus(matched) },
+                    Lolepop::Get {
+                        q,
+                        cols: cols.clone(),
+                        preds: preds.minus(matched),
+                    },
                     vec![probe],
                 ) {
                     out.push(get);
@@ -172,40 +181,47 @@ impl XformRule for PushJoinPredDown {
         "push-join-pred"
     }
 
-    fn rewrite(
-        &self,
-        node: &PlanRef,
-        ctx: &XformCtx<'_>,
-        stats: &mut XformStats,
-    ) -> Vec<PlanRef> {
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef> {
         stats.match_attempts += 1;
-        let Lolepop::Join { flavor: JoinFlavor::NL, join_preds, residual } = &node.op else {
+        let Lolepop::Join {
+            flavor: JoinFlavor::NL,
+            join_preds,
+            residual,
+        } = &node.op
+        else {
             return vec![];
         };
         let inner = &node.inputs[1];
-        let Lolepop::Access { spec, cols, preds } = &inner.op else { return vec![] };
+        let Lolepop::Access { spec, cols, preds } = &inner.op else {
+            return vec![];
+        };
         if !matches!(spec, AccessSpec::HeapTable(_) | AccessSpec::BTreeTable(_)) {
             return vec![];
         }
         stats.conds_evaluated += 1;
         let cl = Classifier::new(ctx.query);
         // Join predicates of the residual whose inner side is this table.
-        let jp =
-            cl.join_preds(*residual).intersect(cl.indexable_preds(
-                *residual,
-                node.inputs[0].props.tables,
-                inner.props.tables,
-            ));
+        let jp = cl.join_preds(*residual).intersect(cl.indexable_preds(
+            *residual,
+            node.inputs[0].props.tables,
+            inner.props.tables,
+        ));
         if jp.is_empty() {
             return vec![];
         }
         let new_inner = build(
             ctx,
             stats,
-            Lolepop::Access { spec: spec.clone(), cols: cols.clone(), preds: preds.union(jp) },
+            Lolepop::Access {
+                spec: spec.clone(),
+                cols: cols.clone(),
+                preds: preds.union(jp),
+            },
             vec![],
         );
-        let Some(new_inner) = new_inner else { return vec![] };
+        let Some(new_inner) = new_inner else {
+            return vec![];
+        };
         build(
             ctx,
             stats,
@@ -230,14 +246,16 @@ impl XformRule for JoinCommute {
         "join-commute"
     }
 
-    fn rewrite(
-        &self,
-        node: &PlanRef,
-        ctx: &XformCtx<'_>,
-        stats: &mut XformStats,
-    ) -> Vec<PlanRef> {
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef> {
         stats.match_attempts += 1;
-        let Lolepop::Join { flavor, join_preds, residual } = &node.op else { return vec![] };
+        let Lolepop::Join {
+            flavor,
+            join_preds,
+            residual,
+        } = &node.op
+        else {
+            return vec![];
+        };
         stats.conds_evaluated += 1;
         if !ctx.uncorrelated(&node.inputs[0]) || !ctx.uncorrelated(&node.inputs[1]) {
             return vec![];
@@ -245,7 +263,11 @@ impl XformRule for JoinCommute {
         build(
             ctx,
             stats,
-            Lolepop::Join { flavor: *flavor, join_preds: *join_preds, residual: *residual },
+            Lolepop::Join {
+                flavor: *flavor,
+                join_preds: *join_preds,
+                residual: *residual,
+            },
             vec![node.inputs[1].clone(), node.inputs[0].clone()],
         )
         .into_iter()
@@ -262,18 +284,23 @@ impl XformRule for JoinAssocRight {
         "join-assoc-right"
     }
 
-    fn rewrite(
-        &self,
-        node: &PlanRef,
-        ctx: &XformCtx<'_>,
-        stats: &mut XformStats,
-    ) -> Vec<PlanRef> {
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef> {
         stats.match_attempts += 1;
-        let Lolepop::Join { join_preds: jp1, residual: r1, .. } = &node.op else {
+        let Lolepop::Join {
+            join_preds: jp1,
+            residual: r1,
+            ..
+        } = &node.op
+        else {
             return vec![];
         };
         let left = &node.inputs[0];
-        let Lolepop::Join { join_preds: jp2, residual: r2, .. } = &left.op else {
+        let Lolepop::Join {
+            join_preds: jp2,
+            residual: r2,
+            ..
+        } = &left.op
+        else {
             return vec![];
         };
         stats.conds_evaluated += 1;
@@ -313,7 +340,11 @@ impl XformRule for JoinAssocRight {
         build(
             ctx,
             stats,
-            Lolepop::Join { flavor: JoinFlavor::NL, join_preds: PredSet::EMPTY, residual: rest },
+            Lolepop::Join {
+                flavor: JoinFlavor::NL,
+                join_preds: PredSet::EMPTY,
+                residual: rest,
+            },
             vec![a.clone(), bc],
         )
         .into_iter()
@@ -329,14 +360,14 @@ impl XformRule for NlToMerge {
         "nl-to-merge"
     }
 
-    fn rewrite(
-        &self,
-        node: &PlanRef,
-        ctx: &XformCtx<'_>,
-        stats: &mut XformStats,
-    ) -> Vec<PlanRef> {
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef> {
         stats.match_attempts += 1;
-        let Lolepop::Join { flavor: JoinFlavor::NL, join_preds, residual } = &node.op else {
+        let Lolepop::Join {
+            flavor: JoinFlavor::NL,
+            join_preds,
+            residual,
+        } = &node.op
+        else {
             return vec![];
         };
         stats.conds_evaluated += 1;
@@ -353,15 +384,28 @@ impl XformRule for NlToMerge {
             if side.props.order_satisfies(key) {
                 Some(side.clone())
             } else {
-                build(ctx, stats, Lolepop::Sort { key: key.clone() }, vec![side.clone()])
+                build(
+                    ctx,
+                    stats,
+                    Lolepop::Sort { key: key.clone() },
+                    vec![side.clone()],
+                )
             }
         };
-        let Some(so) = sorted(o, &o_key, stats) else { return vec![] };
-        let Some(si) = sorted(i, &i_key, stats) else { return vec![] };
+        let Some(so) = sorted(o, &o_key, stats) else {
+            return vec![];
+        };
+        let Some(si) = sorted(i, &i_key, stats) else {
+            return vec![];
+        };
         build(
             ctx,
             stats,
-            Lolepop::Join { flavor: JoinFlavor::MG, join_preds: sp, residual: all.minus(sp) },
+            Lolepop::Join {
+                flavor: JoinFlavor::MG,
+                join_preds: sp,
+                residual: all.minus(sp),
+            },
             vec![so, si],
         )
         .into_iter()
@@ -377,14 +421,14 @@ impl XformRule for NlToHash {
         "nl-to-hash"
     }
 
-    fn rewrite(
-        &self,
-        node: &PlanRef,
-        ctx: &XformCtx<'_>,
-        stats: &mut XformStats,
-    ) -> Vec<PlanRef> {
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef> {
         stats.match_attempts += 1;
-        let Lolepop::Join { flavor: JoinFlavor::NL, join_preds, residual } = &node.op else {
+        let Lolepop::Join {
+            flavor: JoinFlavor::NL,
+            join_preds,
+            residual,
+        } = &node.op
+        else {
             return vec![];
         };
         stats.conds_evaluated += 1;
@@ -399,7 +443,11 @@ impl XformRule for NlToHash {
             ctx,
             stats,
             // Hashable preds stay residual too (collisions).
-            Lolepop::Join { flavor: JoinFlavor::HA, join_preds: hp, residual: all },
+            Lolepop::Join {
+                flavor: JoinFlavor::HA,
+                join_preds: hp,
+                residual: all,
+            },
             vec![o.clone(), i.clone()],
         )
         .into_iter()
@@ -416,14 +464,14 @@ impl XformRule for MaterializeInner {
         "materialize-inner"
     }
 
-    fn rewrite(
-        &self,
-        node: &PlanRef,
-        ctx: &XformCtx<'_>,
-        stats: &mut XformStats,
-    ) -> Vec<PlanRef> {
+    fn rewrite(&self, node: &PlanRef, ctx: &XformCtx<'_>, stats: &mut XformStats) -> Vec<PlanRef> {
         stats.match_attempts += 1;
-        let Lolepop::Join { flavor: JoinFlavor::NL, join_preds, residual } = &node.op else {
+        let Lolepop::Join {
+            flavor: JoinFlavor::NL,
+            join_preds,
+            residual,
+        } = &node.op
+        else {
             return vec![];
         };
         stats.conds_evaluated += 1;
@@ -449,7 +497,11 @@ impl XformRule for MaterializeInner {
         build(
             ctx,
             stats,
-            Lolepop::Join { flavor: JoinFlavor::NL, join_preds: *join_preds, residual: *residual },
+            Lolepop::Join {
+                flavor: JoinFlavor::NL,
+                join_preds: *join_preds,
+                residual: *residual,
+            },
             vec![node.inputs[0].clone(), re],
         )
         .into_iter()

@@ -72,7 +72,12 @@ impl XformOptimizer {
 
     /// Run the search to fixpoint (or budget) and return the cheapest plan.
     pub fn optimize(&self, catalog: &Catalog, query: &Query) -> Result<XformResult, PlanError> {
-        let ctx = XformCtx { catalog, query, model: &self.model, prop: &self.prop };
+        let ctx = XformCtx {
+            catalog,
+            query,
+            model: &self.model,
+            prop: &self.prop,
+        };
         let initial = initial_plan(catalog, query, &self.model, &self.prop)?;
         let mut stats = XformStats::default();
         let mut seen: HashSet<u64> = HashSet::new();
@@ -102,7 +107,11 @@ impl XformOptimizer {
             .into_iter()
             .min_by(|a, b| a.props.cost.total().total_cmp(&b.props.cost.total()))
             .expect("pool contains at least the initial plan");
-        Ok(XformResult { best, initial, stats })
+        Ok(XformResult {
+            best,
+            initial,
+            stats,
+        })
     }
 }
 

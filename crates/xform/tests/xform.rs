@@ -28,18 +28,29 @@ fn catalog() -> Arc<Catalog> {
     )
 }
 
-const SQL: &str =
-    "SELECT E.NAME FROM DEPT D, EMP E WHERE D.MGR = 'Haas' AND D.DNO = E.DNO";
+const SQL: &str = "SELECT E.NAME FROM DEPT D, EMP E WHERE D.MGR = 'Haas' AND D.DNO = E.DNO";
 
 fn small_db(cat: Arc<Catalog>) -> starqo_storage::Database {
     let mut b = DatabaseBuilder::new(cat);
     for d in 0..50i64 {
-        let mgr = if d == 7 { "Haas".into() } else { format!("m{d}") };
-        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)]).unwrap();
+        let mgr = if d == 7 {
+            "Haas".into()
+        } else {
+            format!("m{d}")
+        };
+        b.insert("DEPT", vec![Value::Int(d), Value::str(mgr)])
+            .unwrap();
     }
     for e in 0..500i64 {
-        b.insert("EMP", vec![Value::Int(e), Value::str(format!("n{e}")), Value::Int(e % 50)])
-            .unwrap();
+        b.insert(
+            "EMP",
+            vec![
+                Value::Int(e),
+                Value::str(format!("n{e}")),
+                Value::Int(e % 50),
+            ],
+        )
+        .unwrap();
     }
     b.build().unwrap()
 }
@@ -50,7 +61,13 @@ fn initial_plan_is_canonical_and_correct() {
     let query = parse_query(&cat, SQL).unwrap();
     let prop = PropEngine::new();
     let plan = initial_plan(&cat, &query, &CostModel::default(), &prop).unwrap();
-    assert!(plan.any(&|n| matches!(n.op, Lolepop::Join { flavor: JoinFlavor::NL, .. })));
+    assert!(plan.any(&|n| matches!(
+        n.op,
+        Lolepop::Join {
+            flavor: JoinFlavor::NL,
+            ..
+        }
+    )));
     let db = small_db(cat);
     let mut ex = Executor::new(&db, &query);
     let got = ex.run(&plan).unwrap();
@@ -66,7 +83,10 @@ fn search_improves_cost_and_stays_correct() {
     let out = opt.optimize(&cat, &query).unwrap();
     assert!(out.best.props.cost.total() < out.initial.props.cost.total());
     assert!(out.stats.plans_generated > 0);
-    assert!(out.stats.duplicates > 0, "transformational search must hit duplicates");
+    assert!(
+        out.stats.duplicates > 0,
+        "transformational search must hit duplicates"
+    );
     assert!(out.stats.reestimations > out.stats.plans_generated);
     assert!(!out.stats.budget_exhausted);
     let db = small_db(cat);
@@ -111,16 +131,21 @@ fn three_table_chain_budgeted_and_correct() {
     // Three tables already blow past any practical fixpoint — the paper's
     // point about transformational search. Run under a small budget and
     // require the best-so-far to be sound and no worse than canonical.
-    let out = XformOptimizer::new().with_budget(500).optimize(&cat, &query).unwrap();
+    let out = XformOptimizer::new()
+        .with_budget(500)
+        .optimize(&cat, &query)
+        .unwrap();
     assert!(out.stats.budget_exhausted);
     assert!(out.best.props.cost.total() <= out.initial.props.cost.total());
 
     let mut b = DatabaseBuilder::new(cat.clone());
     for i in 0..60i64 {
-        b.insert("A", vec![Value::Int(i), Value::Int(i % 20)]).unwrap();
+        b.insert("A", vec![Value::Int(i), Value::Int(i % 20)])
+            .unwrap();
     }
     for i in 0..20i64 {
-        b.insert("B", vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+        b.insert("B", vec![Value::Int(i), Value::Int(i % 10)])
+            .unwrap();
     }
     for i in 0..10i64 {
         b.insert("C", vec![Value::Int(i)]).unwrap();
@@ -137,6 +162,9 @@ fn three_table_chain_budgeted_and_correct() {
 fn budget_caps_runaway_search() {
     let cat = catalog();
     let query = parse_query(&cat, SQL).unwrap();
-    let out = XformOptimizer::new().with_budget(3).optimize(&cat, &query).unwrap();
+    let out = XformOptimizer::new()
+        .with_budget(3)
+        .optimize(&cat, &query)
+        .unwrap();
     assert!(out.stats.budget_exhausted);
 }

@@ -21,7 +21,9 @@ fn main() {
     let star_opt = Optimizer::new(cat.clone()).expect("rules compile");
     // Match the repertoires: the transformational rule box has NL/MG/HA and
     // inner materialization.
-    let star_config = OptConfig::default().enable("hashjoin").enable("force_projection");
+    let star_config = OptConfig::default()
+        .enable("hashjoin")
+        .enable("force_projection");
 
     println!(
         "{:>3} {:>9} {:>10} {:>12} {:>10} {:>10} {:>10}",
@@ -35,8 +37,11 @@ fn main() {
         let star_ms = t.elapsed().as_secs_f64() * 1e3;
         println!(
             "{n:>3} {:>9} {star_ms:>10.1} {:>12} {:>10} {:>10.0} {:>10}",
-            "STAR", star.stats.star_refs, star.stats.plans_built,
-            star.best.props.cost.total(), "yes"
+            "STAR",
+            star.stats.star_refs,
+            star.stats.plans_built,
+            star.best.props.cost.total(),
+            "yes"
         );
 
         let xf = XformOptimizer::new().with_budget(2_000);
@@ -49,7 +54,11 @@ fn main() {
             xout.stats.match_attempts,
             xout.stats.plans_generated,
             xout.best.props.cost.total(),
-            if xout.stats.budget_exhausted { "NO" } else { "yes" }
+            if xout.stats.budget_exhausted {
+                "NO"
+            } else {
+                "yes"
+            }
         );
     }
     println!(

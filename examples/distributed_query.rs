@@ -37,10 +37,15 @@ fn main() {
     .expect("query");
 
     let optimizer = Optimizer::new(cat.clone()).expect("rules compile");
-    let optimized = optimizer.optimize(&query, &OptConfig::default()).expect("optimize");
+    let optimized = optimizer
+        .optimize(&query, &OptConfig::default())
+        .expect("optimize");
 
     let explain = Explain::new(&cat, &query);
-    println!("== chosen distributed plan (cost {:.1}) ==", optimized.best.props.cost.total());
+    println!(
+        "== chosen distributed plan (cost {:.1}) ==",
+        optimized.best.props.cost.total()
+    );
     println!("{}", explain.tree(&optimized.best));
     println!(
         "delivered at: {} (the query site)",
@@ -60,19 +65,31 @@ fn main() {
     // full Cartesian product — runs on this smaller instance).
     let mut loader = DatabaseBuilder::new(cat.clone());
     for p in 0..200i64 {
-        loader.insert("PRODUCTS", vec![Value::Int(p), Value::str(format!("prod{p}"))]).unwrap();
+        loader
+            .insert(
+                "PRODUCTS",
+                vec![Value::Int(p), Value::str(format!("prod{p}"))],
+            )
+            .unwrap();
     }
     let regions = ["west", "east", "north", "south"];
     for r in 0..20i64 {
         loader
-            .insert("REGIONS", vec![Value::Int(r), Value::str(regions[(r % 4) as usize])])
+            .insert(
+                "REGIONS",
+                vec![Value::Int(r), Value::str(regions[(r % 4) as usize])],
+            )
             .unwrap();
     }
     for s in 0..2_000i64 {
         loader
             .insert(
                 "SALES",
-                vec![Value::Int(s % 200), Value::Int(s % 20), Value::Double(s as f64 * 0.5)],
+                vec![
+                    Value::Int(s % 200),
+                    Value::Int(s % 20),
+                    Value::Double(s as f64 * 0.5),
+                ],
             )
             .unwrap();
     }

@@ -38,8 +38,11 @@ fn main() {
             .expect("catalog"),
     );
     // The selective predicate on R is what gives the Bloom filter teeth.
-    let query = parse_query(&cat, "SELECT R.K, S.K FROM R, S WHERE R.K = S.K AND R.G = 0")
-        .expect("query");
+    let query = parse_query(
+        &cat,
+        "SELECT R.K, S.K FROM R, S WHERE R.K = S.K AND R.G = 0",
+    )
+    .expect("query");
 
     // Stock optimizer first.
     let stock = Optimizer::new(cat.clone()).expect("rules compile");
@@ -58,7 +61,9 @@ fn main() {
     extended.register_ext_op(
         "BLOOMJOIN",
         Arc::new(|op, inputs, ctx| {
-            let Lolepop::Ext { args, .. } = op else { unreachable!() };
+            let Lolepop::Ext { args, .. } = op else {
+                unreachable!()
+            };
             let (ExtArg::Preds(jp), ExtArg::Preds(residual)) = (&args[0], &args[1]) else {
                 return Err(starqo_plan::PlanError::Invalid("bad BLOOMJOIN args".into()));
             };
@@ -91,7 +96,9 @@ fn main() {
     );
 
     // (2) The rule text, compiled like any other STAR file.
-    extended.load_rules(BLOOMJOIN_RULE).expect("extension rule compiles");
+    extended
+        .load_rules(BLOOMJOIN_RULE)
+        .expect("extension rule compiles");
 
     let after = extended.optimize(&query, &config).expect("optimize");
     println!(
@@ -99,13 +106,17 @@ fn main() {
         after.best.op_names().join(" <- "),
         after.best.props.cost.total()
     );
-    assert!(after.best.any(&|n| matches!(&n.op, Lolepop::Ext { name, .. } if name.as_ref() == "BLOOMJOIN")));
+    assert!(after
+        .best
+        .any(&|n| matches!(&n.op, Lolepop::Ext { name, .. } if name.as_ref() == "BLOOMJOIN")));
 
     // (3) The run-time routine, registered with the evaluator. (Here the
     // "Bloom filter" is exact — the outer's key set — so results are exact.)
     let mut loader = DatabaseBuilder::new(cat.clone());
     for k in 0..5_000i64 {
-        loader.insert("R", vec![Value::Int(k), Value::Int(k % 500)]).unwrap();
+        loader
+            .insert("R", vec![Value::Int(k), Value::Int(k % 500)])
+            .unwrap();
         loader.insert("S", vec![Value::Int(k)]).unwrap();
     }
     let db = loader.build().expect("database");
@@ -113,7 +124,9 @@ fn main() {
     executor.register_ext(
         "BLOOMJOIN",
         Arc::new(|query, op, inputs, out_schema| {
-            let Lolepop::Ext { args, .. } = op else { unreachable!() };
+            let Lolepop::Ext { args, .. } = op else {
+                unreachable!()
+            };
             let (ExtArg::Preds(jp), ExtArg::Preds(residual)) = (&args[0], &args[1]) else {
                 return Err(starqo_exec::ExecError::BadPlan("bad args".into()));
             };
@@ -135,7 +148,11 @@ fn main() {
                        row: &starqo_storage::Tuple,
                        exprs: &[&Scalar]|
              -> starqo_exec::Result<Vec<Value>> {
-                let view = starqo_exec::scalar::RowView { schema, row, bindings: &bindings };
+                let view = starqo_exec::scalar::RowView {
+                    schema,
+                    row,
+                    bindings: &bindings,
+                };
                 exprs
                     .iter()
                     .map(|e| starqo_exec::scalar::eval_scalar(e, &view))
@@ -145,7 +162,10 @@ fn main() {
             let i_exprs: Vec<&Scalar> = pairs.iter().map(|(_, i)| i).collect();
             let mut table: std::collections::HashMap<Vec<Value>, Vec<usize>> = Default::default();
             for (idx, o) in o_rows.iter().enumerate() {
-                table.entry(key(o_schema, o, &o_exprs)?).or_default().push(idx);
+                table
+                    .entry(key(o_schema, o, &o_exprs)?)
+                    .or_default()
+                    .push(idx);
             }
             let mut out = Vec::new();
             let all = jp.union(*residual);
@@ -153,7 +173,9 @@ fn main() {
                 let k = key(i_schema, i, &i_exprs)?;
                 // The filter step: inner tuples missing from the outer's key
                 // set are discarded before the join.
-                let Some(matches) = table.get(&k) else { continue };
+                let Some(matches) = table.get(&k) else {
+                    continue;
+                };
                 for oi in matches {
                     let o = &o_rows[*oi];
                     let combined: starqo_storage::Tuple = out_schema

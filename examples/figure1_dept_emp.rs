@@ -17,12 +17,17 @@ fn main() {
 
     // Keep every plan Glue finds satisfying, so the whole alternative space
     // is visible — Figure 1's plan is one of them.
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let optimized = optimizer.optimize(&query, &config).expect("optimize");
 
     let explain = Explain::new(&cat, &query);
-    println!("All {} alternatives for the full query:\n", optimized.root_alternatives.len());
+    println!(
+        "All {} alternatives for the full query:\n",
+        optimized.root_alternatives.len()
+    );
     for (i, plan) in optimized.root_alternatives.iter().enumerate() {
         println!(
             "--- alternative {} (cost {:.1}) ---",
@@ -36,8 +41,15 @@ fn main() {
         .root_alternatives
         .iter()
         .find(|p| {
-            p.any(&|n| matches!(n.op, Lolepop::Join { flavor: JoinFlavor::MG, .. }))
-                && p.any(&|n| matches!(n.op, Lolepop::Sort { .. }))
+            p.any(&|n| {
+                matches!(
+                    n.op,
+                    Lolepop::Join {
+                        flavor: JoinFlavor::MG,
+                        ..
+                    }
+                )
+            }) && p.any(&|n| matches!(n.op, Lolepop::Sort { .. }))
                 && p.any(&|n| matches!(n.op, Lolepop::Get { .. }))
         })
         .expect("the Figure 1 plan is generated");

@@ -28,12 +28,26 @@ fn main() {
     let mut loader = DatabaseBuilder::new(cat.clone());
     for c in 0..1_000i64 {
         loader
-            .insert("CUSTOMERS", vec![Value::Int(c), Value::str(format!("cust{c}")), Value::Int(c % 4)])
+            .insert(
+                "CUSTOMERS",
+                vec![
+                    Value::Int(c),
+                    Value::str(format!("cust{c}")),
+                    Value::Int(c % 4),
+                ],
+            )
             .expect("row");
     }
     for o in 0..20_000i64 {
         loader
-            .insert("ORDERS", vec![Value::Int(o), Value::Int(o % 1_000), Value::Double(o as f64)])
+            .insert(
+                "ORDERS",
+                vec![
+                    Value::Int(o),
+                    Value::Int(o % 1_000),
+                    Value::Double(o as f64),
+                ],
+            )
             .expect("row");
     }
     let db = loader.build().expect("database");
@@ -53,9 +67,15 @@ fn main() {
     let optimized = optimizer.optimize(&query, &config).expect("optimize");
 
     let explain = Explain::new(&cat, &query);
-    println!("== chosen plan (cost {:.1}) ==", optimized.best.props.cost.total());
+    println!(
+        "== chosen plan (cost {:.1}) ==",
+        optimized.best.props.cost.total()
+    );
     println!("{}", explain.tree(&optimized.best));
-    println!("== functional notation ==\n{}\n", explain.functional(&optimized.best));
+    println!(
+        "== functional notation ==\n{}\n",
+        explain.functional(&optimized.best)
+    );
     println!(
         "optimizer work: {} STAR references, {} plans built, {} alternatives survive",
         optimized.stats.star_refs,

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, and the full test suite.
+# Usage: scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -38,7 +38,13 @@ impl Shell {
         let cat = dept_emp_catalog(false, 10_000);
         let db = dept_emp_database(cat.clone());
         let optimizer = Optimizer::new(cat.clone()).expect("builtin rules compile");
-        Shell { cat, db, optimizer, config: OptConfig::default(), last: None }
+        Shell {
+            cat,
+            db,
+            optimizer,
+            config: OptConfig::default(),
+            last: None,
+        }
     }
 
     fn run_line(&mut self, line: &str) -> bool {
@@ -165,14 +171,20 @@ impl Shell {
     }
 
     fn explain(&mut self, sql: &str, alternatives: bool) {
-        let Some((query, out)) = self.optimize(sql, alternatives) else { return };
+        let Some((query, out)) = self.optimize(sql, alternatives) else {
+            return;
+        };
         let ex = Explain::new(&self.cat, &query);
         if alternatives {
             println!("  {} surviving alternatives:", out.root_alternatives.len());
             let mut sorted = out.root_alternatives.clone();
             sorted.sort_by(|a, b| a.props.cost.total().total_cmp(&b.props.cost.total()));
             for (i, p) in sorted.iter().enumerate() {
-                println!("--- alternative {} (cost {:.1}) ---", i + 1, p.props.cost.total());
+                println!(
+                    "--- alternative {} (cost {:.1}) ---",
+                    i + 1,
+                    p.props.cost.total()
+                );
                 print!("{}", ex.tree(p));
             }
             return;
@@ -186,13 +198,18 @@ impl Shell {
     }
 
     fn query(&mut self, sql: &str) {
-        let Some((query, out)) = self.optimize(sql, false) else { return };
+        let Some((query, out)) = self.optimize(sql, false) else {
+            return;
+        };
         let mut exec = Executor::new(&self.db, &query);
         match exec.run(&out.best) {
             Err(e) => println!("  execution error: {e}"),
             Ok(result) => {
-                let header: Vec<String> =
-                    result.schema.iter().map(|c| query.qcol_name(&self.cat, *c)).collect();
+                let header: Vec<String> = result
+                    .schema
+                    .iter()
+                    .map(|c| query.qcol_name(&self.cat, *c))
+                    .collect();
                 println!("  {}", header.join(" | "));
                 for row in result.rows.iter().take(20) {
                     println!("  {row}");
@@ -203,7 +220,11 @@ impl Shell {
                 let s = exec.stats();
                 println!(
                     "  {} rows; {} pages read, {} fetches, {} probes, {} msgs",
-                    result.rows.len(), s.pages_read, s.tuples_fetched, s.probes, s.msgs
+                    result.rows.len(),
+                    s.pages_read,
+                    s.tuples_fetched,
+                    s.probes,
+                    s.msgs
                 );
             }
         }

@@ -16,7 +16,9 @@
 //!   enumeration, the built-in rule files;
 //! * [`dsl`] — the textual rule language;
 //! * [`xform`] — the transformational (EXODUS-style) baseline optimizer;
-//! * [`workload`] — synthetic data and query generators.
+//! * [`workload`] — synthetic data and query generators;
+//! * [`trace`] — structured optimizer/executor tracing and metrics
+//!   (see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use starqo_exec as exec;
 pub use starqo_plan as plan;
 pub use starqo_query as query;
 pub use starqo_storage as storage;
+pub use starqo_trace as trace;
 pub use starqo_workload as workload;
 pub use starqo_xform as xform;
 
@@ -62,4 +65,7 @@ pub mod prelude {
     pub use starqo_plan::{CostModel, Explain, JoinFlavor, Lolepop, PlanRef};
     pub use starqo_query::{parse_query, Query, QueryBuilder};
     pub use starqo_storage::{Database, DatabaseBuilder};
+    pub use starqo_trace::{
+        JsonLinesSink, MemorySink, MetricsRegistry, NullSink, Phase, TraceEvent, Tracer,
+    };
 }

@@ -54,8 +54,13 @@ fn null_join_keys_never_match() {
     let cat = catalog();
     let mut b = DatabaseBuilder::new(cat.clone());
     for k in 0..10i64 {
-        let key = if k % 3 == 0 { Value::Null } else { Value::Int(k) };
-        b.insert("L", vec![key.clone(), Value::str(format!("l{k}"))]).unwrap();
+        let key = if k % 3 == 0 {
+            Value::Null
+        } else {
+            Value::Int(k)
+        };
+        b.insert("L", vec![key.clone(), Value::str(format!("l{k}"))])
+            .unwrap();
         b.insert("R", vec![key, Value::Int(k % 5)]).unwrap();
     }
     let db = b.build().unwrap();
@@ -71,8 +76,10 @@ fn null_join_keys_never_match() {
 fn null_local_predicates_filter_out() {
     let cat = catalog();
     let mut b = DatabaseBuilder::new(cat.clone());
-    b.insert("L", vec![Value::Null, Value::str("null-key")]).unwrap();
-    b.insert("L", vec![Value::Int(1), Value::str("one")]).unwrap();
+    b.insert("L", vec![Value::Null, Value::str("null-key")])
+        .unwrap();
+    b.insert("L", vec![Value::Int(1), Value::str("one")])
+        .unwrap();
     b.insert("R", vec![Value::Int(1), Value::Int(0)]).unwrap();
     let db = b.build().unwrap();
     // Comparisons against NULL are false for every operator.
@@ -86,7 +93,10 @@ fn empty_tables_yield_empty_results_everywhere() {
     let cat = catalog();
     let db = DatabaseBuilder::new(cat.clone()).build().unwrap(); // no rows at all
     assert_eq!(check_all(&db, &cat, "SELECT L.V FROM L"), 0);
-    assert_eq!(check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"), 0);
+    assert_eq!(
+        check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"),
+        0
+    );
 }
 
 #[test]
@@ -94,10 +104,14 @@ fn one_sided_empty_join() {
     let cat = catalog();
     let mut b = DatabaseBuilder::new(cat.clone());
     for k in 0..5i64 {
-        b.insert("L", vec![Value::Int(k), Value::str(format!("l{k}"))]).unwrap();
+        b.insert("L", vec![Value::Int(k), Value::str(format!("l{k}"))])
+            .unwrap();
     }
     let db = b.build().unwrap();
-    assert_eq!(check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"), 0);
+    assert_eq!(
+        check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"),
+        0
+    );
 }
 
 #[test]
@@ -107,15 +121,20 @@ fn duplicate_join_keys_produce_cross_groups() {
     // Three L rows and two R rows all with key 7: 3 × 2 = 6 matches — the
     // merge join's group-cartesian logic must produce all of them.
     for i in 0..3i64 {
-        b.insert("L", vec![Value::Int(7), Value::str(format!("l{i}"))]).unwrap();
+        b.insert("L", vec![Value::Int(7), Value::str(format!("l{i}"))])
+            .unwrap();
     }
     for i in 0..2i64 {
         b.insert("R", vec![Value::Int(7), Value::Int(i)]).unwrap();
     }
-    b.insert("L", vec![Value::Int(1), Value::str("lone")]).unwrap();
+    b.insert("L", vec![Value::Int(1), Value::str("lone")])
+        .unwrap();
     b.insert("R", vec![Value::Int(2), Value::Int(9)]).unwrap();
     let db = b.build().unwrap();
-    assert_eq!(check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"), 6);
+    assert_eq!(
+        check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K"),
+        6
+    );
 }
 
 #[test]
@@ -125,8 +144,10 @@ fn catalog_stats_may_disagree_with_data() {
     let cat = catalog();
     let mut b = DatabaseBuilder::new(cat.clone());
     for k in 0..200i64 {
-        b.insert("L", vec![Value::Int(k % 10), Value::str(format!("l{k}"))]).unwrap();
-        b.insert("R", vec![Value::Int(k % 10), Value::Int(k % 5)]).unwrap();
+        b.insert("L", vec![Value::Int(k % 10), Value::str(format!("l{k}"))])
+            .unwrap();
+        b.insert("R", vec![Value::Int(k % 10), Value::Int(k % 5)])
+            .unwrap();
     }
     let db = b.build().unwrap();
     let n = check_all(&db, &cat, "SELECT L.V, R.W FROM L, R WHERE L.K = R.K");

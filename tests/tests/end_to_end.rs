@@ -18,7 +18,14 @@ fn catalog() -> Arc<Catalog> {
             .site("hq")
             .site("east")
             .site("west")
-            .table("CUST", "hq", StorageKind::BTree { key: vec![starqo_catalog::ColId(0)] }, 300)
+            .table(
+                "CUST",
+                "hq",
+                StorageKind::BTree {
+                    key: vec![starqo_catalog::ColId(0)],
+                },
+                300,
+            )
             .column("CID", DataType::Int, Some(300))
             .column("TIER", DataType::Int, Some(3))
             .column("NAME", DataType::Str, None)
@@ -39,14 +46,26 @@ fn catalog() -> Arc<Catalog> {
 fn database(cat: Arc<Catalog>) -> Database {
     let mut b = DatabaseBuilder::new(cat);
     for c in 0..300i64 {
-        b.insert("CUST", vec![Value::Int(c), Value::Int(c % 3), Value::str(format!("c{c}"))])
-            .unwrap();
+        b.insert(
+            "CUST",
+            vec![
+                Value::Int(c),
+                Value::Int(c % 3),
+                Value::str(format!("c{c}")),
+            ],
+        )
+        .unwrap();
     }
     for o in 0..1_200i64 {
-        b.insert("ORD", vec![Value::Int(o), Value::Int(o % 300), Value::Int(o % 40)]).unwrap();
+        b.insert(
+            "ORD",
+            vec![Value::Int(o), Value::Int(o % 300), Value::Int(o % 40)],
+        )
+        .unwrap();
     }
     for i in 0..40i64 {
-        b.insert("ITEMS", vec![Value::Int(i), Value::Int(i % 20)]).unwrap();
+        b.insert("ITEMS", vec![Value::Int(i), Value::Int(i % 20)])
+            .unwrap();
     }
     b.build().unwrap()
 }
@@ -72,7 +91,10 @@ fn check(sql: &str, config: &OptConfig) -> usize {
 
 #[test]
 fn single_table_with_btree_range() {
-    let n = check("SELECT C.NAME FROM CUST C WHERE C.CID < 10", &OptConfig::default());
+    let n = check(
+        "SELECT C.NAME FROM CUST C WHERE C.CID < 10",
+        &OptConfig::default(),
+    );
     assert_eq!(n, 10);
 }
 
@@ -91,11 +113,13 @@ fn three_way_join_all_configs() {
                WHERE C.CID = O.CID AND O.ITEM = I.IID AND C.TIER = 1 AND I.PRICE = 3";
     let n1 = check(sql, &OptConfig::default());
     let n2 = check(sql, &OptConfig::full());
-    let n3 = check(sql, &{
-        let mut c = OptConfig::full();
-        c.glue_keep_all = true;
-        c
-    });
+    let n3 = check(
+        sql,
+        &OptConfig {
+            glue_keep_all: true,
+            ..OptConfig::full()
+        },
+    );
     assert_eq!(n1, n2);
     assert_eq!(n2, n3);
     assert!(n1 > 0);
@@ -132,8 +156,10 @@ fn multi_column_index_is_exploited() {
     )
     .unwrap();
     let opt = Optimizer::new(cat.clone()).unwrap();
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let out = opt.optimize(&query, &config).unwrap();
     // Some alternative uses ORD_CID_ITEM (index id 1).
     let uses_two_col = out.root_alternatives.iter().any(|p| {
@@ -177,13 +203,19 @@ fn or_predicates_survive_optimization() {
 
 #[test]
 fn select_star_round_trip() {
-    let n = check("SELECT * FROM ITEMS I WHERE I.PRICE = 0", &OptConfig::default());
+    let n = check(
+        "SELECT * FROM ITEMS I WHERE I.PRICE = 0",
+        &OptConfig::default(),
+    );
     assert_eq!(n, 2);
 }
 
 #[test]
 fn empty_result_queries() {
-    let n = check("SELECT C.NAME FROM CUST C WHERE C.CID = 99999", &OptConfig::default());
+    let n = check(
+        "SELECT C.NAME FROM CUST C WHERE C.CID = 99999",
+        &OptConfig::default(),
+    );
     assert_eq!(n, 0);
     let n = check(
         "SELECT C.NAME, O.OID FROM CUST C, ORD O WHERE C.CID = O.CID AND C.CID = 99999",
@@ -218,17 +250,25 @@ fn distributed_result_lands_at_query_site() {
     let opt = Optimizer::new(cat).unwrap();
     let out = opt.optimize(&query, &OptConfig::default()).unwrap();
     assert_eq!(out.best.props.site, query.query_site);
-    assert!(out.best.any(&|n| matches!(n.op, starqo_plan::Lolepop::Ship { .. })));
+    assert!(out
+        .best
+        .any(&|n| matches!(n.op, starqo_plan::Lolepop::Ship { .. })));
 }
 
 #[test]
 fn ablations_change_work_not_answers() {
     use starqo_workload::{query_shape, synth_catalog, QueryShape, SynthSpec};
-    let spec = SynthSpec { tables: 5, card_range: (500, 5_000), ..Default::default() };
+    let spec = SynthSpec {
+        tables: 5,
+        card_range: (500, 5_000),
+        ..Default::default()
+    };
     let cat = synth_catalog(13, &spec);
     let query = query_shape(&cat, QueryShape::Chain, 5, false);
     let opt = Optimizer::new(cat).unwrap();
-    let base_cfg = OptConfig::default().enable("hashjoin").enable("force_projection");
+    let base_cfg = OptConfig::default()
+        .enable("hashjoin")
+        .enable("force_projection");
     let base = opt.optimize(&query, &base_cfg).unwrap();
     let mut no_memo = base_cfg.clone();
     no_memo.ablate_memo = true;
@@ -244,7 +284,5 @@ fn ablations_change_work_not_answers() {
     no_prune.ablate_pruning = true;
     let abl_prune = opt.optimize(&query, &no_prune).unwrap();
     assert!(abl_prune.table_plans > base.table_plans);
-    assert!(
-        (abl_prune.best.props.cost.total() - base.best.props.cost.total()).abs() < 1e-6
-    );
+    assert!((abl_prune.best.props.cost.total() - base.best.props.cost.total()).abs() < 1e-6);
 }

@@ -1,60 +1,51 @@
-//! Property-based tests over the whole stack.
+//! Randomized tests over the whole stack (seeded, deterministic).
 //!
 //! The headline invariant is the paper's implicit soundness contract: the
 //! rules generate only *legal* plans, so every alternative the optimizer
 //! emits — under any configuration — must compute exactly the reference
-//! answer. Proptest drives randomized schemas, data, query shapes, and
-//! configurations through that oracle, plus structural invariants on the
-//! optimizer output.
+//! answer. Seeded random schemas, data, query shapes, and configurations
+//! drive that oracle, plus structural invariants on the optimizer output.
 
-use proptest::prelude::*;
 use starqo_core::{OptConfig, Optimizer};
 use starqo_exec::{reference_eval, rows_equal_multiset, Executor};
-use starqo_workload::{query_shape, synth_catalog, synth_database, QueryShape, SynthSpec};
+use starqo_workload::{query_shape, synth_catalog, synth_database, QueryShape, Rng64, SynthSpec};
 
-fn arb_config() -> impl Strategy<Value = OptConfig> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(bushy, cart, ha, fp, di)| {
-            let mut c = OptConfig::default();
-            c.composite_inners = bushy;
-            c.cartesian = cart;
-            c.glue_keep_all = true;
-            if ha {
-                c = c.enable("hashjoin");
-            }
-            if fp {
-                c = c.enable("force_projection");
-            }
-            if di {
-                c = c.enable("dynamic_index");
-            }
-            c
-        },
-    )
+fn rand_config(rng: &mut Rng64) -> OptConfig {
+    let mut c = OptConfig {
+        composite_inners: rng.flip(),
+        cartesian: rng.flip(),
+        glue_keep_all: true,
+        ..Default::default()
+    };
+    if rng.flip() {
+        c = c.enable("hashjoin");
+    }
+    if rng.flip() {
+        c = c.enable("force_projection");
+    }
+    if rng.flip() {
+        c = c.enable("dynamic_index");
+    }
+    c
 }
 
-fn arb_shape() -> impl Strategy<Value = QueryShape> {
-    prop_oneof![
-        Just(QueryShape::Chain),
-        Just(QueryShape::Star),
-        Just(QueryShape::Cycle),
-        Just(QueryShape::Clique)
-    ]
-}
+const SHAPES: [QueryShape; 4] = [
+    QueryShape::Chain,
+    QueryShape::Star,
+    QueryShape::Cycle,
+    QueryShape::Clique,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Every alternative plan for a randomized query computes the reference
-    /// answer (E13 as a property).
-    #[test]
-    fn all_alternatives_match_reference(
-        seed in 0u64..500,
-        shape in arb_shape(),
-        local_pred in any::<bool>(),
-        config in arb_config(),
-        sites in 1usize..3,
-    ) {
+/// Every alternative plan for a randomized query computes the reference
+/// answer (E13 as a property).
+#[test]
+fn all_alternatives_match_reference() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::new(seed.wrapping_mul(0x5851F42D4C957F2D));
+        let shape = SHAPES[rng.index(SHAPES.len())];
+        let local_pred = rng.flip();
+        let config = rand_config(&mut rng);
+        let sites = 1 + rng.index(2);
         let spec = SynthSpec {
             tables: 3,
             card_range: (10, 80),
@@ -69,26 +60,31 @@ proptest! {
         let want = reference_eval(&db, &query).unwrap();
         let opt = Optimizer::new(cat).unwrap();
         let out = opt.optimize(&query, &config).unwrap();
-        prop_assert!(!out.root_alternatives.is_empty());
-        for plan in out.root_alternatives.iter().chain(std::iter::once(&out.best)) {
+        assert!(!out.root_alternatives.is_empty());
+        for plan in out
+            .root_alternatives
+            .iter()
+            .chain(std::iter::once(&out.best))
+        {
             let mut ex = Executor::new(&db, &query);
             let got = ex.run(plan).unwrap();
-            prop_assert!(
+            assert!(
                 rows_equal_multiset(&got.rows, &want),
-                "plan diverged: {:?}",
+                "seed {seed}: plan diverged: {:?}",
                 plan.op_names()
             );
         }
     }
+}
 
-    /// The chosen plan's relational properties always cover the whole query,
-    /// its site is the query site, and widening the repertoire never makes
-    /// the best plan worse.
-    #[test]
-    fn best_plan_invariants(
-        seed in 0u64..500,
-        shape in arb_shape(),
-    ) {
+/// The chosen plan's relational properties always cover the whole query,
+/// its site is the query site, and widening the repertoire never makes
+/// the best plan worse.
+#[test]
+fn best_plan_invariants() {
+    for seed in 0..24u64 {
+        let mut rng = Rng64::new(seed ^ 0xA5A5_5A5A);
+        let shape = SHAPES[rng.index(SHAPES.len())];
         let spec = SynthSpec {
             tables: 4,
             card_range: (20, 400),
@@ -100,40 +96,51 @@ proptest! {
         let opt = Optimizer::new(cat).unwrap();
 
         let narrow = opt.optimize(&query, &OptConfig::default()).unwrap();
-        prop_assert_eq!(narrow.best.props.tables, query.all_qset());
-        prop_assert_eq!(narrow.best.props.preds, query.all_preds());
-        prop_assert_eq!(narrow.best.props.site, query.query_site);
+        assert_eq!(narrow.best.props.tables, query.all_qset());
+        assert_eq!(narrow.best.props.preds, query.all_preds());
+        assert_eq!(narrow.best.props.site, query.query_site);
         for c in &query.select {
-            prop_assert!(narrow.best.props.cols.contains(c), "missing select column {c}");
+            assert!(
+                narrow.best.props.cols.contains(c),
+                "missing select column {c}"
+            );
         }
 
         let wide = opt.optimize(&query, &OptConfig::full()).unwrap();
-        prop_assert!(
+        assert!(
             wide.best.props.cost.total() <= narrow.best.props.cost.total() + 1e-6,
             "wider repertoire worsened the plan: {} > {}",
             wide.best.props.cost.total(),
             narrow.best.props.cost.total()
         );
     }
+}
 
-    /// Optimization is deterministic: same inputs, same chosen plan.
-    #[test]
-    fn optimization_is_deterministic(seed in 0u64..200) {
-        let spec = SynthSpec { tables: 3, card_range: (20, 300), ..Default::default() };
+/// Optimization is deterministic: same inputs, same chosen plan.
+#[test]
+fn optimization_is_deterministic() {
+    for seed in 0..12u64 {
+        let spec = SynthSpec {
+            tables: 3,
+            card_range: (20, 300),
+            ..Default::default()
+        };
         let cat = synth_catalog(seed, &spec);
         let query = query_shape(&cat, QueryShape::Chain, 3, false);
         let opt = Optimizer::new(cat).unwrap();
         let a = opt.optimize(&query, &OptConfig::full()).unwrap();
         let b = opt.optimize(&query, &OptConfig::full()).unwrap();
-        prop_assert_eq!(a.best.fingerprint(), b.best.fingerprint());
-        prop_assert_eq!(a.stats, b.stats);
+        assert_eq!(a.best.fingerprint(), b.best.fingerprint());
+        assert_eq!(a.stats, b.stats);
     }
+}
 
-    /// The cost estimate and the simulated execution agree *directionally*:
-    /// on the same data, a plan the optimizer says is much cheaper should
-    /// not do dramatically more page I/O than the plan it beat.
-    #[test]
-    fn cost_model_is_directionally_sane(seed in 0u64..100) {
+/// The cost estimate and the simulated execution agree *directionally*:
+/// on the same data, a plan the optimizer says is much cheaper should
+/// not do dramatically more page I/O than the plan it beat.
+#[test]
+fn cost_model_is_directionally_sane() {
+    for seed in 0..16u64 {
         let spec = SynthSpec {
             tables: 2,
             card_range: (200, 2_000),
@@ -145,8 +152,10 @@ proptest! {
         let db = synth_database(seed, cat.clone());
         let query = query_shape(&cat, QueryShape::Chain, 2, true);
         let opt = Optimizer::new(cat).unwrap();
-        let mut config = OptConfig::default();
-        config.glue_keep_all = true;
+        let config = OptConfig {
+            glue_keep_all: true,
+            ..Default::default()
+        };
         let out = opt.optimize(&query, &config).unwrap();
         // Measure the best and the worst surviving alternative.
         let best = &out.best;
@@ -162,9 +171,9 @@ proptest! {
             let mut ex2 = Executor::new(&db, &query);
             ex2.run(worst).unwrap();
             let io_worst = ex2.stats().pages_read;
-            prop_assert!(
+            assert!(
                 io_best <= io_worst * 4,
-                "estimated-cheap plan did far more I/O: {io_best} vs {io_worst}"
+                "seed {seed}: estimated-cheap plan did far more I/O: {io_best} vs {io_worst}"
             );
         }
     }

@@ -2,7 +2,6 @@
 //! replaced, restricted, extended, and broken — all without touching engine
 //! code — and the engine reports rule errors helpfully.
 
-
 use starqo_core::{CoreError, OptConfig, Optimizer, ACCESS_RULES, EXTENSION_RULES, JOIN_RULES};
 use starqo_exec::{reference_eval, rows_equal_multiset, Executor};
 use starqo_plan::{JoinFlavor, Lolepop};
@@ -12,9 +11,11 @@ use starqo_workload::{dept_emp_catalog, dept_emp_database, dept_emp_query};
 #[test]
 fn builtin_rule_files_parse_and_compile() {
     // Parse standalone...
-    for (name, text) in
-        [("access", ACCESS_RULES), ("join", JOIN_RULES), ("extensions", EXTENSION_RULES)]
-    {
+    for (name, text) in [
+        ("access", ACCESS_RULES),
+        ("join", JOIN_RULES),
+        ("extensions", EXTENSION_RULES),
+    ] {
         starqo_dsl::parse_rules(text).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
     // ...and compile together.
@@ -22,13 +23,24 @@ fn builtin_rule_files_parse_and_compile() {
     let opt = Optimizer::new(cat).unwrap();
     // The three files define exactly these STARs; JMeth accumulates the
     // §4.5 groups.
-    for star in
-        ["AccessRoot", "TableAccess", "IndexAccess", "JoinRoot", "PermutedJoin", "RemoteJoin", "SitedJoin", "JMeth"]
-    {
+    for star in [
+        "AccessRoot",
+        "TableAccess",
+        "IndexAccess",
+        "JoinRoot",
+        "PermutedJoin",
+        "RemoteJoin",
+        "SitedJoin",
+        "JMeth",
+    ] {
         assert!(opt.rules().lookup(star).is_some(), "missing STAR {star}");
     }
     let jmeth = opt.rules().star(opt.rules().lookup("JMeth").unwrap());
-    assert_eq!(jmeth.groups.len(), 4, "base JMeth + three §4.5 extension groups");
+    assert_eq!(
+        jmeth.groups.len(),
+        4,
+        "base JMeth + three §4.5 extension groups"
+    );
 }
 
 #[test]
@@ -49,14 +61,19 @@ star NlOnly(T1, T2, P) =
     opt.load_rules(ACCESS_RULES).unwrap();
     opt.load_rules(rules).unwrap();
     let query = dept_emp_query(&cat);
-    let mut config = OptConfig::default();
-    config.glue_keep_all = true;
+    let config = OptConfig {
+        glue_keep_all: true,
+        ..Default::default()
+    };
     let out = opt.optimize(&query, &config).unwrap();
     // Only NL joins anywhere.
     for p in &out.root_alternatives {
         assert!(!p.any(&|n| matches!(
             n.op,
-            Lolepop::Join { flavor: JoinFlavor::MG | JoinFlavor::HA, .. }
+            Lolepop::Join {
+                flavor: JoinFlavor::MG | JoinFlavor::HA,
+                ..
+            }
         )));
     }
     // And the answer is still right.
@@ -71,12 +88,20 @@ star NlOnly(T1, T2, P) =
 fn redefining_jmeth_appends_alternatives() {
     let cat = dept_emp_catalog(false, 1_000);
     let mut opt = Optimizer::new(cat).unwrap();
-    let before = opt.rules().star(opt.rules().lookup("JMeth").unwrap()).groups.len();
+    let before = opt
+        .rules()
+        .star(opt.rules().lookup("JMeth").unwrap())
+        .groups
+        .len();
     opt.load_rules(
         "star JMeth(T1, T2, P) = [ JOIN(NL, Glue(T1, {}), Glue(T2, {}), {}, P) if enabled('never'); ]",
     )
     .unwrap();
-    let after = opt.rules().star(opt.rules().lookup("JMeth").unwrap()).groups.len();
+    let after = opt
+        .rules()
+        .star(opt.rules().lookup("JMeth").unwrap())
+        .groups
+        .len();
     assert_eq!(after, before + 1);
 }
 
@@ -115,7 +140,8 @@ fn cyclic_rules_hit_the_recursion_guard() {
     let mut opt = Optimizer::empty(cat.clone());
     opt.load_rules(ACCESS_RULES).unwrap();
     // JoinRoot that references itself unconditionally.
-    opt.load_rules("star JoinRoot(T1, T2, P) = JoinRoot(T2, T1, P);").unwrap();
+    opt.load_rules("star JoinRoot(T1, T2, P) = JoinRoot(T2, T1, P);")
+        .unwrap();
     let query = dept_emp_query(&cat);
     let err = opt.optimize(&query, &OptConfig::default()).unwrap_err();
     match err {

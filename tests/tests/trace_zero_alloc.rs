@@ -1,0 +1,45 @@
+//! The zero-overhead guarantee: with tracing disabled (the default), no
+//! trace event is ever constructed — the event-building closures are never
+//! run, so tracing costs nothing on the hot path.
+//!
+//! This lives in its own test binary on purpose: `events_constructed()` is a
+//! process-global counter, and any *enabled* tracer in a sibling test would
+//! pollute it.
+
+use starqo_core::{OptConfig, Optimizer};
+use starqo_exec::Executor;
+use starqo_trace::{events_constructed, NullSink, Tracer};
+use starqo_workload::{query_shape, synth_catalog, synth_database, QueryShape, SynthSpec};
+
+#[test]
+fn untraced_optimize_and_execute_construct_zero_events() {
+    let spec = SynthSpec {
+        tables: 3,
+        card_range: (50, 300),
+        ..Default::default()
+    };
+    let cat = synth_catalog(17, &spec);
+    let db = synth_database(17, cat.clone());
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    let query = query_shape(&cat, QueryShape::Chain, 3, false);
+
+    let before = events_constructed();
+    // Plain optimize (Tracer::off) and a NullSink-backed run: both must
+    // short-circuit before any event is built.
+    let out = opt.optimize(&query, &OptConfig::full()).expect("optimize");
+    let out2 = opt
+        .optimize_traced(&query, &OptConfig::full(), Tracer::new(NullSink))
+        .expect("optimize");
+    assert_eq!(out.best.fingerprint(), out2.best.fingerprint());
+
+    let mut ex = Executor::new(&db, &query);
+    ex.set_tracer(Tracer::new(NullSink));
+    ex.run(&out.best).expect("execute");
+
+    assert_eq!(
+        events_constructed(),
+        before,
+        "disabled tracing must never construct events"
+    );
+    assert!(!Tracer::new(NullSink).enabled());
+}
