@@ -71,7 +71,9 @@ impl Report {
 
 /// Drive one experiment binary: run the experiments, print the reports, and
 /// drop a machine-readable `BENCH_<name>.json` (wall time plus the merged
-/// counters and phase timings) in the current directory.
+/// counters and phase timings). The file lands in the current directory, or
+/// in `$STARQO_BENCH_DIR` when set — which is how regression-gate baselines
+/// are (re)generated into `baselines/`.
 pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Report>) {
     let (reports, wall_ms) = time_ms(f);
     let mut merged = MetricsSummary::default();
@@ -85,10 +87,14 @@ pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Report>) {
         .u64("reports", reports.len() as u64)
         .raw("metrics", &merged.to_json())
         .finish();
-    let path = format!("BENCH_{name}.json");
+    let file = format!("BENCH_{name}.json");
+    let path = match std::env::var_os("STARQO_BENCH_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir).join(file),
+        None => std::path::PathBuf::from(file),
+    };
     match std::fs::write(&path, json + "\n") {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 

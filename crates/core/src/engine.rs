@@ -21,7 +21,7 @@ use starqo_plan::{
     AccessSpec, CostModel, ExtArg, JoinFlavor, Lolepop, PlanRef, PropCtx, PropEngine,
 };
 use starqo_query::{PredSet, QCol, QSet, Query};
-use starqo_trace::{CostBreakdownEv, TraceEvent, Tracer};
+use starqo_trace::{CostBreakdownEv, Histogram, TraceEvent, Tracer};
 
 use crate::error::{CoreError, Result};
 use crate::glue;
@@ -105,6 +105,12 @@ pub struct Engine<'a> {
     pub provenance: HashMap<u64, String>,
     /// Structured event sink; `Tracer::off()` by default (zero overhead).
     pub tracer: Tracer,
+    /// Per-reference inclusive latency distribution (recorded only when a
+    /// tracer is attached — timing a reference costs a clock read).
+    pub star_nanos: Histogram,
+    /// Distribution of `cost.once` over every plan node built (always on:
+    /// recording is two adds).
+    pub plan_cost: Histogram,
     /// Wall-clock nanos spent inside top-level Glue invocations.
     pub(crate) glue_nanos: u64,
     /// Current Glue recursion depth (Glue can re-enter via AccessRoot);
@@ -113,6 +119,12 @@ pub struct Engine<'a> {
     memo: HashMap<MemoKey, Arc<Vec<PlanRef>>>,
     pub(crate) glue_cache: HashMap<GlueKey, Arc<Vec<PlanRef>>>,
     depth: u32,
+    /// Unique-per-run STAR reference ids (0 is reserved for "the driver");
+    /// only advanced when a tracer is attached.
+    next_ref_id: u64,
+    /// Stack of in-flight reference ids — the top is the `parent` of any
+    /// reference (and the `ref_id` of any event) emitted right now.
+    ref_stack: Vec<u64>,
 }
 
 const MAX_DEPTH: u32 = 128;
@@ -142,11 +154,15 @@ impl<'a> Engine<'a> {
             stats: OptStats::default(),
             provenance: HashMap::new(),
             tracer: Tracer::off(),
+            star_nanos: Histogram::new(),
+            plan_cost: Histogram::new(),
             glue_nanos: 0,
             glue_depth: 0,
             memo: HashMap::new(),
             glue_cache: HashMap::new(),
             depth: 0,
+            next_ref_id: 0,
+            ref_stack: Vec::new(),
         }
     }
 
@@ -195,16 +211,32 @@ impl<'a> Engine<'a> {
         self.eval_star(id, args)
     }
 
+    /// The reference id events emitted right now should attribute to.
+    pub(crate) fn cur_ref(&self) -> u64 {
+        self.ref_stack.last().copied().unwrap_or(0)
+    }
+
     /// Reference a STAR: expand its alternative definitions.
     pub fn eval_star(&mut self, id: StarId, args: Vec<RuleValue>) -> Result<Arc<Vec<PlanRef>>> {
         self.stats.star_refs += 1;
         let key = MemoKey { star: id, args };
+        let traced = self.tracer.enabled();
+        let ref_id = if traced {
+            self.next_ref_id += 1;
+            self.next_ref_id
+        } else {
+            0
+        };
+        let parent = self.cur_ref();
         if !self.config.ablate_memo {
             if let Some(hit) = self.memo.get(&key) {
                 self.stats.memo_hits += 1;
                 let hit = hit.clone();
                 self.tracer.emit(|| TraceEvent::StarRef {
                     star: self.rules.star(id).name.clone(),
+                    sid: id.0,
+                    id: ref_id,
+                    parent,
                     memo_hit: true,
                 });
                 return Ok(hit);
@@ -212,6 +244,9 @@ impl<'a> Engine<'a> {
         }
         self.tracer.emit(|| TraceEvent::StarRef {
             star: self.rules.star(id).name.clone(),
+            sid: id.0,
+            id: ref_id,
+            parent,
             memo_hit: false,
         });
         let args = key.args.clone();
@@ -222,10 +257,27 @@ impl<'a> Engine<'a> {
             ));
         }
         self.depth += 1;
+        if traced {
+            self.ref_stack.push(ref_id);
+        }
+        let start = traced.then(std::time::Instant::now);
         let result = self.eval_star_inner(id, &args);
+        if traced {
+            self.ref_stack.pop();
+        }
         self.depth -= 1;
         let plans = result?;
         let plans = Arc::new(dedup(plans));
+        if let Some(start) = start {
+            let nanos = start.elapsed().as_nanos() as u64;
+            self.star_nanos.record(nanos);
+            self.tracer.emit(|| TraceEvent::StarDone {
+                star: self.rules.star(id).name.clone(),
+                id: ref_id,
+                plans: plans.len(),
+                nanos,
+            });
+        }
         self.memo.insert(key, plans.clone());
         Ok(plans)
     }
@@ -258,10 +310,12 @@ impl<'a> Engine<'a> {
                     }
                 };
                 if !fire {
-                    if matches!(alt.guard, Guard::If(_)) {
+                    if let Guard::If(cond) = &alt.guard {
                         self.tracer.emit(|| TraceEvent::CondFailed {
                             star: star.name.clone(),
                             alt: alt_idx + 1,
+                            ref_id: self.cur_ref(),
+                            cond: self.rules.render_expr(cond, &star.params, self.natives),
                         });
                     }
                     continue;
@@ -271,6 +325,7 @@ impl<'a> Engine<'a> {
                 self.tracer.emit(|| TraceEvent::AltFired {
                     star: star.name.clone(),
                     alt: alt_idx + 1,
+                    ref_id: self.cur_ref(),
                     plans: produced.len(),
                 });
                 for p in &produced {
@@ -316,6 +371,7 @@ impl<'a> Engine<'a> {
                 self.tracer.emit(|| TraceEvent::ForallExpand {
                     star: star.to_string(),
                     alt: alt_idx + 1,
+                    ref_id: self.cur_ref(),
                     items: items.len(),
                 });
                 for item in items {
@@ -671,10 +727,14 @@ impl<'a> Engine<'a> {
         match self.prop.build(op, inputs, &ctx) {
             Ok(p) => {
                 self.stats.plans_built += 1;
+                self.plan_cost
+                    .record(p.props.cost.once.max(0.0).round() as u64);
                 self.tracer.emit(|| {
                     let by = p.props.cost.breakdown();
                     TraceEvent::PlanBuilt {
                         op: p.op.name(),
+                        fp: p.fingerprint(),
+                        ref_id: self.cur_ref(),
                         card: p.props.card,
                         cost_once: p.props.cost.once,
                         cost_rescan: p.props.cost.rescan,
@@ -692,6 +752,7 @@ impl<'a> Engine<'a> {
                 self.stats.plans_rejected += 1;
                 self.tracer.emit(|| TraceEvent::PlanRejected {
                     op: rejected_name.unwrap_or_default(),
+                    ref_id: self.cur_ref(),
                     reason: e.to_string(),
                 });
             }

@@ -45,6 +45,7 @@ pub fn glue(
         engine.stats.glue_cache_hits += 1;
         let hit = hit.clone();
         engine.tracer.emit(|| TraceEvent::GlueRef {
+            ref_id: engine.cur_ref(),
             cache_hit: true,
             candidates: hit.len(),
             veneers: 0,
@@ -65,6 +66,7 @@ pub fn glue(
     }
     let out = result?;
     engine.tracer.emit(|| TraceEvent::GlueRef {
+        ref_id: engine.cur_ref(),
         cache_hit: false,
         candidates: out.len(),
         veneers: (engine.stats.glue_veneers - veneers_before) as usize,
@@ -144,6 +146,7 @@ pub fn glue_plans(
     }
     let out = dedup(out);
     engine.tracer.emit(|| TraceEvent::GlueRef {
+        ref_id: engine.cur_ref(),
         cache_hit: false,
         candidates: out.len(),
         veneers: (engine.stats.glue_veneers - veneers_before) as usize,

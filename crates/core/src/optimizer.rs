@@ -6,7 +6,7 @@ use std::sync::Arc;
 use starqo_catalog::Catalog;
 use starqo_plan::{CostModel, ExtPropFn, PlanRef, PropEngine};
 use starqo_query::Query;
-use starqo_trace::{MetricsRegistry, MetricsSummary, Phase, Tracer};
+use starqo_trace::{MetricsRegistry, MetricsSummary, Phase, TraceEvent, Tracer};
 
 use crate::compile::{compile_into, CompileEnv};
 use crate::engine::{Engine, OptStats};
@@ -219,6 +219,26 @@ impl Optimizer {
         metrics.finish(timer);
         drop(span);
         let out = out?;
+        // Emit the winning plan's lineage: one pre-order `best_node` per
+        // operator, annotated with the rule alternative that produced it —
+        // offline analytics recover "which rules built the winner" without
+        // re-running the optimizer.
+        if tracer.enabled() {
+            out.best.visit_depth(&mut |n, depth| {
+                tracer.emit(|| TraceEvent::BestNode {
+                    op: n.op.name(),
+                    fp: n.fingerprint(),
+                    depth,
+                    origin: engine
+                        .provenance
+                        .get(&n.fingerprint())
+                        .cloned()
+                        .unwrap_or_else(|| "(driver)".to_string()),
+                    card: n.props.card,
+                    cost: n.props.cost.total(),
+                });
+            });
+        }
         // Glue time is nested inside enumeration; report it under its own
         // phase (and leave it inside `enumerate` — callers comparing the two
         // see how much of enumeration is property enforcement).
@@ -240,6 +260,8 @@ impl Optimizer {
         metrics.count("table_dominated", t.dominated);
         metrics.count("table_evicted", t.evicted);
         metrics.count("table_duplicates", t.duplicates);
+        metrics.merge_hist("star_ref_nanos", &engine.star_nanos);
+        metrics.merge_hist("plan_cost_once", &engine.plan_cost);
         Ok(Optimized {
             best: out.best,
             root_alternatives: out.root_alternatives,

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use crate::natives::Natives;
 use crate::value::RuleValue;
 
 /// Index of a star within a [`RuleSet`].
@@ -107,9 +108,83 @@ pub struct RuleSet {
     pub by_name: HashMap<String, StarId>,
 }
 
+impl BinOp {
+    fn token(self) -> &'static str {
+        match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::In => "in",
+            BinOp::Subset => "subset",
+            BinOp::Union => "union",
+            BinOp::Minus => "minus",
+            BinOp::Intersect => "intersect",
+        }
+    }
+}
+
 impl RuleSet {
     pub fn star(&self, id: StarId) -> &StarDef {
         &self.stars[id.0 as usize]
+    }
+
+    /// Render a compiled expression back to readable rule text — used for
+    /// condition-failure attribution in traces, so profiles can report
+    /// *which* condition of applicability kept an alternative from firing.
+    /// `params` names the enclosing STAR's environment slots; slots beyond
+    /// it (group bindings, the forall variable) render as `$n`.
+    pub fn render_expr(&self, e: &Expr, params: &[String], natives: &Natives) -> String {
+        match e {
+            Expr::Const(v) => render_value(v),
+            Expr::Var(slot) => params
+                .get(*slot as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("${slot}")),
+            Expr::CallStar(id, args) => {
+                format!(
+                    "{}({})",
+                    self.star(*id).name,
+                    self.render_args(args, params, natives)
+                )
+            }
+            Expr::CallOp(name, args) => {
+                format!("{name}({})", self.render_args(args, params, natives))
+            }
+            Expr::CallFn(id, args) => {
+                format!(
+                    "{}({})",
+                    natives.name(*id),
+                    self.render_args(args, params, natives)
+                )
+            }
+            Expr::Glue(s, p) => format!(
+                "Glue({}, {})",
+                self.render_expr(s, params, natives),
+                self.render_expr(p, params, natives)
+            ),
+            Expr::WithReqs(base, _) => {
+                format!("{}[...]", self.render_expr(base, params, natives))
+            }
+            Expr::Binary(op, l, r) => format!(
+                "{} {} {}",
+                self.render_expr(l, params, natives),
+                op.token(),
+                self.render_expr(r, params, natives)
+            ),
+            Expr::Not(inner) => format!("not {}", self.render_expr(inner, params, natives)),
+        }
+    }
+
+    fn render_args(&self, args: &[Expr], params: &[String], natives: &Natives) -> String {
+        args.iter()
+            .map(|a| self.render_expr(a, params, natives))
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     pub fn lookup(&self, name: &str) -> Option<StarId> {
@@ -122,5 +197,17 @@ impl RuleSet {
 
     pub fn is_empty(&self) -> bool {
         self.stars.is_empty()
+    }
+}
+
+fn render_value(v: &RuleValue) -> String {
+    match v {
+        RuleValue::Bool(b) => b.to_string(),
+        RuleValue::Int(i) => i.to_string(),
+        RuleValue::Str(s) => format!("'{s}'"),
+        RuleValue::Sym(s) => s.to_string(),
+        RuleValue::Preds(p) if p.is_empty() => "{}".to_string(),
+        RuleValue::AllCols => "*".to_string(),
+        other => format!("<{}>", other.kind()),
     }
 }

@@ -80,6 +80,7 @@ impl PlanTable {
             self.stats.duplicates += 1;
             self.tracer.emit(|| TraceEvent::TablePrune {
                 op: plan.op.name(),
+                fp: plan.fingerprint(),
                 cost: plan.props.cost.total(),
                 duplicate: true,
             });
@@ -88,6 +89,7 @@ impl PlanTable {
         if self.ablate_pruning {
             self.tracer.emit(|| TraceEvent::TableInsert {
                 op: plan.op.name(),
+                fp: plan.fingerprint(),
                 cost: plan.props.cost.total(),
                 evicted: 0,
             });
@@ -98,6 +100,7 @@ impl PlanTable {
             self.stats.dominated += 1;
             self.tracer.emit(|| TraceEvent::TablePrune {
                 op: plan.op.name(),
+                fp: plan.fingerprint(),
                 cost: plan.props.cost.total(),
                 duplicate: false,
             });
@@ -108,6 +111,7 @@ impl PlanTable {
             for victim in slot.iter().filter(|p| dominates(&plan, p)) {
                 self.tracer.emit(|| TraceEvent::TableDominated {
                     op: victim.op.name(),
+                    fp: victim.fingerprint(),
                     cost: victim.props.cost.total(),
                 });
             }
@@ -117,6 +121,7 @@ impl PlanTable {
         self.stats.evicted += evicted as u64;
         self.tracer.emit(|| TraceEvent::TableInsert {
             op: plan.op.name(),
+            fp: plan.fingerprint(),
             cost: plan.props.cost.total(),
             evicted,
         });

@@ -1,0 +1,127 @@
+//! Trace-analytics CLI.
+//!
+//! ```text
+//! starqo-obs profile <trace.jsonl>                  rule-level profile
+//! starqo-obs flame   <trace.jsonl> [--folded]       expansion flamegraph
+//! starqo-obs diff    <a.jsonl> <b.jsonl>            compare two runs
+//! starqo-obs gate    <baseline.json> <fresh.json>   bench regression gate
+//!                    [--wall-pct N] [--counter-pct N] [--enforce]
+//! ```
+//!
+//! `gate` is report-only by default (always exits 0, for observability in
+//! CI logs); `--enforce` exits 1 on violations.
+
+use std::process::ExitCode;
+
+use starqo_obs::{gate, FlameTree, Profile, Thresholds, TraceDiff};
+use starqo_trace::{load_jsonl, TraceEvent};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut folded = false;
+    let mut enforce = false;
+    let mut wall_pct: Option<f64> = None;
+    let mut counter_pct: Option<f64> = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(a) = it.next() {
+        match a {
+            "--folded" => folded = true,
+            "--enforce" => enforce = true,
+            "--wall-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => wall_pct = Some(v),
+                None => return usage("--wall-pct needs a number"),
+            },
+            "--counter-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => counter_pct = Some(v),
+                None => return usage("--counter-pct needs a number"),
+            },
+            "-h" | "--help" => return usage(""),
+            _ if a.starts_with('-') => return usage(&format!("unknown flag {a}")),
+            _ => positional.push(a),
+        }
+    }
+
+    match positional.as_slice() {
+        ["profile", path] => with_trace(path, |events| {
+            print!("{}", Profile::from_events(&events).render());
+            ExitCode::SUCCESS
+        }),
+        ["flame", path] => with_trace(path, |events| {
+            let tree = FlameTree::from_events(&events);
+            if folded {
+                print!("{}", tree.folded());
+            } else {
+                print!("{}", tree.render());
+            }
+            ExitCode::SUCCESS
+        }),
+        ["diff", a, b] => with_trace(a, |ea| {
+            with_trace(b, |eb| {
+                let d = TraceDiff::compare(&ea, &eb);
+                print!("{}", d.render());
+                ExitCode::SUCCESS
+            })
+        }),
+        ["gate", baseline, fresh] => {
+            let read =
+                |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+            let mut th = Thresholds::default();
+            if let Some(v) = wall_pct {
+                th.wall_pct = v;
+            }
+            if let Some(v) = counter_pct {
+                th.counter_pct = v;
+            }
+            let run = || -> Result<bool, String> {
+                let r = gate(&read(baseline)?, &read(fresh)?, th)?;
+                print!("{}", r.render());
+                Ok(r.passed())
+            };
+            match run() {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) if enforce => ExitCode::FAILURE,
+                Ok(false) => {
+                    println!("(report-only: pass --enforce to fail on violations)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("starqo-obs gate: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage("expected a subcommand"),
+    }
+}
+
+/// Load a JSONL trace and hand it to `f`; unparsable lines are skipped
+/// with a note on stderr.
+fn with_trace(path: &str, f: impl FnOnce(Vec<TraceEvent>) -> ExitCode) -> ExitCode {
+    match load_jsonl(path) {
+        Ok((events, skipped)) => {
+            if skipped > 0 {
+                eprintln!("starqo-obs: skipped {skipped} unparsable line(s) in {path}");
+            }
+            f(events)
+        }
+        Err(e) => {
+            eprintln!("starqo-obs: cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("starqo-obs: {err}");
+    }
+    eprintln!(
+        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

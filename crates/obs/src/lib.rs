@@ -1,0 +1,30 @@
+//! # starqo-obs
+//!
+//! Offline trace analytics for the STAR optimizer: everything here consumes
+//! the event stream `starqo-trace` sinks write (a `MemorySink` in-process,
+//! or a `.jsonl` file re-read with [`starqo_trace::load_jsonl`]) and
+//! produces reports — no optimizer types involved, so traces from any
+//! version of the engine that speaks the event schema analyze fine.
+//!
+//! - [`profile::Profile`] — per-STAR attribution: reference/memo counts,
+//!   per-alternative firings, failing conditions, plan-table churn,
+//!   inclusive time, and the winning plan's rule lineage;
+//! - [`flame::FlameTree`] — the STAR expansion tree as an ASCII flamegraph
+//!   or folded-stacks output for standard flamegraph tooling;
+//! - [`diff::TraceDiff`] — behavioral comparison of two runs;
+//! - [`gate::gate`] — `BENCH_*.json` regression gating against a committed
+//!   baseline with percentage thresholds.
+//!
+//! The `starqo-obs` binary exposes all four as subcommands.
+
+pub mod diff;
+pub mod flame;
+pub mod gate;
+pub mod profile;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use diff::TraceDiff;
+pub use flame::FlameTree;
+pub use gate::{gate, GateResult, Thresholds, Violation};
+pub use profile::{LineageRow, Profile, StarProfile};

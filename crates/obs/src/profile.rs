@@ -1,0 +1,390 @@
+//! Per-STAR attribution profile: what every rule did during a traced run.
+//!
+//! Built in one pass over the event stream. The joins:
+//! - `star_ref.id` → STAR name maps every `ref_id`-carrying event (alt
+//!   firings, condition failures, plan construction) to the rule it
+//!   happened under;
+//! - `plan_built.fp` → the building STAR maps plan-table churn
+//!   (`table_insert` / `table_prune` / `table_dominated`, keyed by
+//!   fingerprint) back to the rule that offered the plan;
+//! - `best_node` events (pre-order, emitted post-optimization) give the
+//!   winning plan's lineage directly.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use starqo_trace::TraceEvent;
+
+/// Everything attributed to one STAR across a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StarProfile {
+    pub name: String,
+    /// References (memo hits + expansions).
+    pub refs: u64,
+    pub memo_hits: u64,
+    /// Fire count per alternative (1-based, as emitted).
+    pub alt_fires: BTreeMap<usize, u64>,
+    /// Plans returned by fired alternatives (pre-dedup).
+    pub plans_from_alts: u64,
+    /// Condition-of-applicability failures, keyed by rendered condition.
+    pub cond_failures: BTreeMap<String, u64>,
+    /// Plan nodes built / rejected while this STAR's alternatives ran.
+    pub plans_built: u64,
+    pub plans_rejected: u64,
+    /// Plan-table outcomes for plans this STAR built.
+    pub table_inserted: u64,
+    pub table_pruned: u64,
+    /// Entries this STAR built that a later dominator evicted.
+    pub table_evicted: u64,
+    /// Inclusive wall-clock nanos across all non-memoized expansions.
+    pub inclusive_nanos: u64,
+    /// Nodes of the winning plan attributed to this STAR.
+    pub best_nodes: u64,
+}
+
+impl StarProfile {
+    pub fn fires(&self) -> u64 {
+        self.alt_fires.values().sum()
+    }
+
+    pub fn cond_failed(&self) -> u64 {
+        self.cond_failures.values().sum()
+    }
+}
+
+/// One node of the winning plan, as traced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageRow {
+    pub op: String,
+    pub depth: usize,
+    pub origin: String,
+    pub card: f64,
+    pub cost: f64,
+}
+
+/// The whole-run profile: per-STAR rows plus the winning-plan lineage.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    pub stars: Vec<StarProfile>,
+    pub lineage: Vec<LineageRow>,
+    pub events: usize,
+    /// Plans built outside any STAR reference (ref_id 0: driver/Glue).
+    pub driver_plans_built: u64,
+}
+
+impl Profile {
+    /// Aggregate a trace. Events with `ref_id` 0 (driver or Glue work
+    /// outside any STAR) accumulate under `driver_plans_built`.
+    pub fn from_events(events: &[TraceEvent]) -> Profile {
+        let mut by_name: BTreeMap<String, StarProfile> = BTreeMap::new();
+        // ref id → STAR name, populated as star_ref events stream past
+        // (references always precede the events they enclose).
+        let mut ref_star: HashMap<u64, String> = HashMap::new();
+        // fingerprint → building STAR name (first builder wins, matching
+        // the engine's provenance rule).
+        let mut fp_star: HashMap<u64, String> = HashMap::new();
+        let mut lineage = Vec::new();
+        let mut driver_plans_built = 0u64;
+
+        let star_of = |by_name: &mut BTreeMap<String, StarProfile>, name: &str| {
+            by_name
+                .entry(name.to_string())
+                .or_insert_with(|| StarProfile {
+                    name: name.to_string(),
+                    ..StarProfile::default()
+                });
+        };
+
+        for ev in events {
+            match ev {
+                TraceEvent::StarRef {
+                    star, id, memo_hit, ..
+                } => {
+                    star_of(&mut by_name, star);
+                    let p = by_name.get_mut(star).unwrap();
+                    p.refs += 1;
+                    if *memo_hit {
+                        p.memo_hits += 1;
+                    }
+                    ref_star.insert(*id, star.clone());
+                }
+                TraceEvent::StarDone { star, nanos, .. } => {
+                    star_of(&mut by_name, star);
+                    by_name.get_mut(star).unwrap().inclusive_nanos += nanos;
+                }
+                TraceEvent::AltFired {
+                    star, alt, plans, ..
+                } => {
+                    star_of(&mut by_name, star);
+                    let p = by_name.get_mut(star).unwrap();
+                    *p.alt_fires.entry(*alt).or_insert(0) += 1;
+                    p.plans_from_alts += *plans as u64;
+                }
+                TraceEvent::CondFailed { star, cond, .. } => {
+                    star_of(&mut by_name, star);
+                    *by_name
+                        .get_mut(star)
+                        .unwrap()
+                        .cond_failures
+                        .entry(cond.clone())
+                        .or_insert(0) += 1;
+                }
+                TraceEvent::PlanBuilt { fp, ref_id, .. } => {
+                    match ref_star.get(ref_id) {
+                        Some(star) => {
+                            let star = star.clone();
+                            star_of(&mut by_name, &star);
+                            by_name.get_mut(&star).unwrap().plans_built += 1;
+                            fp_star.entry(*fp).or_insert(star);
+                        }
+                        None => driver_plans_built += 1,
+                    };
+                }
+                TraceEvent::PlanRejected { ref_id, .. } => {
+                    if let Some(star) = ref_star.get(ref_id) {
+                        let star = star.clone();
+                        star_of(&mut by_name, &star);
+                        by_name.get_mut(&star).unwrap().plans_rejected += 1;
+                    }
+                }
+                TraceEvent::TableInsert { fp, .. } => {
+                    if let Some(star) = fp_star.get(fp) {
+                        if let Some(p) = by_name.get_mut(star) {
+                            p.table_inserted += 1;
+                        }
+                    }
+                }
+                TraceEvent::TablePrune { fp, .. } => {
+                    if let Some(star) = fp_star.get(fp) {
+                        if let Some(p) = by_name.get_mut(star) {
+                            p.table_pruned += 1;
+                        }
+                    }
+                }
+                TraceEvent::TableDominated { fp, .. } => {
+                    if let Some(star) = fp_star.get(fp) {
+                        if let Some(p) = by_name.get_mut(star) {
+                            p.table_evicted += 1;
+                        }
+                    }
+                }
+                TraceEvent::BestNode {
+                    op,
+                    depth,
+                    origin,
+                    card,
+                    cost,
+                    ..
+                } => {
+                    lineage.push(LineageRow {
+                        op: op.clone(),
+                        depth: *depth,
+                        origin: origin.clone(),
+                        card: *card,
+                        cost: *cost,
+                    });
+                    if let Some(star) = origin.split('[').next().filter(|s| !s.is_empty()) {
+                        if let Some(p) = by_name.get_mut(star) {
+                            p.best_nodes += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut stars: Vec<StarProfile> = by_name.into_values().collect();
+        stars.sort_by(|a, b| {
+            b.inclusive_nanos
+                .cmp(&a.inclusive_nanos)
+                .then_with(|| b.refs.cmp(&a.refs))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        Profile {
+            stars,
+            lineage,
+            events: events.len(),
+            driver_plans_built,
+        }
+    }
+
+    pub fn star(&self, name: &str) -> Option<&StarProfile> {
+        self.stars.iter().find(|s| s.name == name)
+    }
+
+    /// Human rendering: the per-rule table, the top failing conditions,
+    /// and the winning plan's lineage.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "rule profile ({} events)", self.events);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7} {:>5} {:>5} {:>7} {:>6} {:>10}",
+            "star",
+            "refs",
+            "memo",
+            "fires",
+            "failed",
+            "built",
+            "rej",
+            "ins",
+            "pruned",
+            "best",
+            "incl"
+        );
+        for s in &self.stars {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>6} {:>6} {:>7} {:>7} {:>5} {:>5} {:>7} {:>6} {:>10}",
+                s.name,
+                s.refs,
+                s.memo_hits,
+                s.fires(),
+                s.cond_failed(),
+                s.plans_built,
+                s.plans_rejected,
+                s.table_inserted,
+                s.table_pruned,
+                s.best_nodes,
+                fmt_nanos(s.inclusive_nanos),
+            );
+        }
+        if self.driver_plans_built > 0 {
+            let _ = writeln!(
+                out,
+                "(driver/glue)    plans built outside rules: {}",
+                self.driver_plans_built
+            );
+        }
+
+        let mut failing: Vec<(&str, &String, u64)> = self
+            .stars
+            .iter()
+            .flat_map(|s| {
+                s.cond_failures
+                    .iter()
+                    .map(move |(c, n)| (s.name.as_str(), c, *n))
+            })
+            .collect();
+        if !failing.is_empty() {
+            failing.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+            let _ = writeln!(out, "\ntop failing conditions:");
+            for (star, cond, n) in failing.iter().take(10) {
+                let _ = writeln!(out, "  {n:>6}x  {star}: {cond}");
+            }
+        }
+
+        if !self.lineage.is_empty() {
+            let _ = writeln!(out, "\nwinning plan lineage:");
+            for row in &self.lineage {
+                let _ = writeln!(
+                    out,
+                    "  {}{}  <= {}  [card={:.1} cost={:.1}]",
+                    "  ".repeat(row.depth),
+                    row.op,
+                    row.origin,
+                    row.card,
+                    row.cost,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// ns → human units.
+pub(crate) fn fmt_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n >= 1e9 {
+        format!("{:.2}s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.1}ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1}us", n / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trace_one_star;
+
+    #[test]
+    fn attributes_fires_failures_and_table_churn() {
+        let events = trace_one_star();
+        let p = Profile::from_events(&events);
+        let s = p.star("JMeth").expect("JMeth profiled");
+        assert_eq!(s.refs, 2);
+        assert_eq!(s.memo_hits, 1);
+        assert_eq!(s.fires(), 1);
+        assert_eq!(s.alt_fires.get(&2), Some(&1));
+        assert_eq!(s.cond_failed(), 1);
+        assert_eq!(s.cond_failures.get("enabled('hashjoin')").copied(), Some(1));
+        assert_eq!(s.plans_built, 2);
+        assert_eq!(s.plans_rejected, 1);
+        assert_eq!(s.table_inserted, 1);
+        assert_eq!(s.table_pruned, 1);
+        assert_eq!(s.inclusive_nanos, 1_500);
+        assert_eq!(s.best_nodes, 1);
+    }
+
+    #[test]
+    fn lineage_comes_from_best_node_events() {
+        let events = trace_one_star();
+        let p = Profile::from_events(&events);
+        assert_eq!(p.lineage.len(), 2);
+        assert_eq!(p.lineage[0].op, "JOIN(MG)");
+        assert_eq!(p.lineage[0].depth, 0);
+        assert_eq!(p.lineage[0].origin, "JMeth[alt 2]");
+        assert_eq!(p.lineage[1].depth, 1);
+        let text = p.render();
+        assert!(text.contains("winning plan lineage"), "{text}");
+        assert!(text.contains("JMeth[alt 2]"), "{text}");
+        assert!(text.contains("enabled('hashjoin')"), "{text}");
+    }
+
+    #[test]
+    fn unattributed_plans_count_as_driver_work() {
+        let events = vec![TraceEvent::PlanBuilt {
+            op: "ACCESS(heap)".into(),
+            fp: 1,
+            ref_id: 0,
+            card: 1.0,
+            cost_once: 1.0,
+            cost_rescan: 0.0,
+            breakdown: Default::default(),
+        }];
+        let p = Profile::from_events(&events);
+        assert!(p.stars.is_empty());
+        assert_eq!(p.driver_plans_built, 1);
+    }
+
+    #[test]
+    fn sorted_by_inclusive_time() {
+        let mk = |star: &str, id: u64, nanos: u64| {
+            vec![
+                TraceEvent::StarRef {
+                    star: star.into(),
+                    sid: 0,
+                    id,
+                    parent: 0,
+                    memo_hit: false,
+                },
+                TraceEvent::StarDone {
+                    star: star.into(),
+                    id,
+                    plans: 0,
+                    nanos,
+                },
+            ]
+        };
+        let mut events = mk("Cheap", 1, 10);
+        events.extend(mk("Hot", 2, 10_000));
+        let p = Profile::from_events(&events);
+        assert_eq!(p.stars[0].name, "Hot");
+        assert_eq!(p.stars[1].name, "Cheap");
+    }
+}

@@ -1,0 +1,110 @@
+//! Hand-constructed traces shared by the analytics tests. Every number
+//! here is asserted somewhere — change with care.
+
+use starqo_trace::{CostBreakdownEv, TraceEvent};
+
+/// A minimal but complete run: `JoinRoot` expands once and references
+/// `JMeth` twice (one expansion, one memo hit). `JMeth`'s alt 1 fails its
+/// condition, alt 2 fires and builds two plans (one inserted, one pruned),
+/// and a third candidate is rejected. The winner is `JOIN(MG)` over
+/// `ACCESS(heap)`.
+pub fn trace_one_star() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::StarRef {
+            star: "JoinRoot".into(),
+            sid: 0,
+            id: 1,
+            parent: 0,
+            memo_hit: false,
+        },
+        TraceEvent::StarRef {
+            star: "JMeth".into(),
+            sid: 1,
+            id: 2,
+            parent: 1,
+            memo_hit: false,
+        },
+        TraceEvent::CondFailed {
+            star: "JMeth".into(),
+            alt: 1,
+            ref_id: 2,
+            cond: "enabled('hashjoin')".into(),
+        },
+        TraceEvent::AltFired {
+            star: "JMeth".into(),
+            alt: 2,
+            ref_id: 2,
+            plans: 2,
+        },
+        TraceEvent::PlanBuilt {
+            op: "JOIN(MG)".into(),
+            fp: 100,
+            ref_id: 2,
+            card: 100.0,
+            cost_once: 42.0,
+            cost_rescan: 1.0,
+            breakdown: CostBreakdownEv::default(),
+        },
+        TraceEvent::PlanBuilt {
+            op: "JOIN(NL)".into(),
+            fp: 101,
+            ref_id: 2,
+            card: 100.0,
+            cost_once: 99.0,
+            cost_rescan: 9.0,
+            breakdown: CostBreakdownEv::default(),
+        },
+        TraceEvent::PlanRejected {
+            op: "SORT".into(),
+            ref_id: 2,
+            reason: "no key".into(),
+        },
+        TraceEvent::TableInsert {
+            op: "JOIN(MG)".into(),
+            fp: 100,
+            cost: 43.0,
+            evicted: 0,
+        },
+        TraceEvent::TablePrune {
+            op: "JOIN(NL)".into(),
+            fp: 101,
+            cost: 108.0,
+            duplicate: false,
+        },
+        TraceEvent::StarDone {
+            star: "JMeth".into(),
+            id: 2,
+            plans: 1,
+            nanos: 1_500,
+        },
+        TraceEvent::StarRef {
+            star: "JMeth".into(),
+            sid: 1,
+            id: 3,
+            parent: 1,
+            memo_hit: true,
+        },
+        TraceEvent::StarDone {
+            star: "JoinRoot".into(),
+            id: 1,
+            plans: 1,
+            nanos: 2_000,
+        },
+        TraceEvent::BestNode {
+            op: "JOIN(MG)".into(),
+            fp: 100,
+            depth: 0,
+            origin: "JMeth[alt 2]".into(),
+            card: 100.0,
+            cost: 43.0,
+        },
+        TraceEvent::BestNode {
+            op: "ACCESS(heap)".into(),
+            fp: 50,
+            depth: 1,
+            origin: "AccessStar[alt 1]".into(),
+            card: 10.0,
+            cost: 5.0,
+        },
+    ]
+}

@@ -318,6 +318,30 @@ impl<'a> Explain<'a> {
         }
         out
     }
+
+    /// The winning plan's rule lineage: the operator tree with each node
+    /// annotated by the rule alternative (fingerprint → "Star[alt k]") that
+    /// first produced it. Nodes absent from the provenance map (e.g. built
+    /// by the driver) render as `(driver)`.
+    pub fn lineage(&self, plan: &PlanNode, provenance: &HashMap<u64, String>) -> String {
+        let mut out = String::new();
+        plan.visit_depth(&mut |n, depth| {
+            let pad = "  ".repeat(depth);
+            let origin = provenance
+                .get(&n.fingerprint())
+                .map(|s| s.as_str())
+                .unwrap_or("(driver)");
+            let _ = writeln!(
+                out,
+                "{pad}{}  <= {}  [card={:.1} cost={:.1}]",
+                n.op.name(),
+                origin,
+                n.props.card,
+                n.props.cost.total(),
+            );
+        });
+        out
+    }
 }
 
 /// Human duration from nanoseconds: ns / µs / ms / s with one decimal.

@@ -69,6 +69,19 @@ impl PlanNode {
         }
     }
 
+    /// Pre-order traversal carrying each node's depth (root = 0). Depth
+    /// disambiguates tree shape when structurally identical subtrees (equal
+    /// fingerprints) occur more than once.
+    pub fn visit_depth<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode, usize)) {
+        fn walk<'a>(n: &'a PlanNode, depth: usize, f: &mut impl FnMut(&'a PlanNode, usize)) {
+            f(n, depth);
+            for i in &n.inputs {
+                walk(i, depth + 1, f);
+            }
+        }
+        walk(self, 0, f)
+    }
+
     /// Collect operator names in pre-order (handy in tests).
     pub fn op_names(&self) -> Vec<String> {
         let mut out = Vec::new();

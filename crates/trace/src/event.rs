@@ -2,9 +2,20 @@
 //!
 //! Every variant serializes to one flat JSON object (see
 //! [`TraceEvent::to_json`]) with a `"type"` discriminator, so a JSON-Lines
-//! trace is trivially greppable/`jq`-able.
+//! trace is trivially greppable/`jq`-able — and parses back via
+//! [`TraceEvent::from_json`], so offline tooling (the `starqo-obs`
+//! analytics) consumes the same stream the sinks wrote.
+//!
+//! Attribution model: every STAR reference gets a unique `id` and carries
+//! the `parent` reference id it was expanded under (0 = the enumeration
+//! driver), so the full expansion tree reconstructs from a flat stream.
+//! Events emitted while an alternative evaluates carry the enclosing
+//! reference's id as `ref_id`, and plan-construction/table events carry the
+//! plan's structural fingerprint `fp`, letting consumers join "which rule
+//! built the plan" with "what the plan table did to it".
 
 use crate::json::JsonObj;
+use crate::read::{parse_json, JsonValue};
 
 /// Per-component cost attribution carried on plan-construction events.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -18,24 +29,50 @@ pub struct CostBreakdownEv {
 /// One structured trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
-    /// A STAR was referenced (possibly satisfied from the memo).
-    StarRef { star: String, memo_hit: bool },
+    /// A STAR was referenced (possibly satisfied from the memo). `sid` is
+    /// the stable index of the STAR in the rule set; `id` is unique per
+    /// reference; `parent` is the enclosing reference's id (0 = driver).
+    StarRef {
+        star: String,
+        sid: u32,
+        id: u64,
+        parent: u64,
+        memo_hit: bool,
+    },
+    /// A non-memoized STAR reference finished expanding: how many plans it
+    /// returned and its inclusive wall-clock time. Pairs with the
+    /// `StarRef` of the same `id`.
+    StarDone {
+        star: String,
+        id: u64,
+        plans: usize,
+        nanos: u64,
+    },
     /// One alternative of a STAR fired and produced plans.
     AltFired {
         star: String,
         alt: usize,
+        ref_id: u64,
         plans: usize,
     },
     /// An alternative's condition of applicability evaluated to false.
-    CondFailed { star: String, alt: usize },
+    /// `cond` is the rendered condition text (for failure attribution).
+    CondFailed {
+        star: String,
+        alt: usize,
+        ref_id: u64,
+        cond: String,
+    },
     /// A `forall` alternative expanded over a set (∀-fan-out).
     ForallExpand {
         star: String,
         alt: usize,
+        ref_id: u64,
         items: usize,
     },
     /// The Glue mechanism was invoked to meet required properties.
     GlueRef {
+        ref_id: u64,
         cache_hit: bool,
         candidates: usize,
         veneers: usize,
@@ -43,27 +80,45 @@ pub enum TraceEvent {
     /// A plan node was built, with its estimated properties and cost split.
     PlanBuilt {
         op: String,
+        fp: u64,
+        ref_id: u64,
         card: f64,
         cost_once: f64,
         cost_rescan: f64,
         breakdown: CostBreakdownEv,
     },
     /// A candidate operator application failed to build (illegal combo).
-    PlanRejected { op: String, reason: String },
+    PlanRejected {
+        op: String,
+        ref_id: u64,
+        reason: String,
+    },
     /// A plan entered the plan table.
     TableInsert {
         op: String,
+        fp: u64,
         cost: f64,
         evicted: usize,
     },
     /// A plan was pruned: dominated by an existing entry, or a duplicate.
     TablePrune {
         op: String,
+        fp: u64,
         cost: f64,
         duplicate: bool,
     },
     /// An existing table entry was evicted by a dominating newcomer.
-    TableDominated { op: String, cost: f64 },
+    TableDominated { op: String, fp: u64, cost: f64 },
+    /// One node of the winning plan (emitted pre-order after optimization
+    /// succeeds), annotated with the rule alternative that built it.
+    BestNode {
+        op: String,
+        fp: u64,
+        depth: usize,
+        origin: String,
+        card: f64,
+        cost: f64,
+    },
     /// Per-LOLEPOP actuals recorded by the executor.
     ExecNode {
         op: String,
@@ -84,6 +139,7 @@ impl TraceEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::StarRef { .. } => "star_ref",
+            TraceEvent::StarDone { .. } => "star_done",
             TraceEvent::AltFired { .. } => "alt_fired",
             TraceEvent::CondFailed { .. } => "cond_failed",
             TraceEvent::ForallExpand { .. } => "forall_expand",
@@ -93,6 +149,7 @@ impl TraceEvent {
             TraceEvent::TableInsert { .. } => "table_insert",
             TraceEvent::TablePrune { .. } => "table_prune",
             TraceEvent::TableDominated { .. } => "table_dominated",
+            TraceEvent::BestNode { .. } => "best_node",
             TraceEvent::ExecNode { .. } => "exec_node",
             TraceEvent::SpanStart { .. } => "span_start",
             TraceEvent::SpanEnd { .. } => "span_end",
@@ -104,34 +161,80 @@ impl TraceEvent {
     pub fn to_json(&self) -> String {
         let o = JsonObj::new().str("type", self.kind());
         match self {
-            TraceEvent::StarRef { star, memo_hit } => {
-                o.str("star", star).bool("memo_hit", *memo_hit)
-            }
-            TraceEvent::AltFired { star, alt, plans } => o
+            TraceEvent::StarRef {
+                star,
+                sid,
+                id,
+                parent,
+                memo_hit,
+            } => o
+                .str("star", star)
+                .u64("sid", *sid as u64)
+                .u64("id", *id)
+                .u64("parent", *parent)
+                .bool("memo_hit", *memo_hit),
+            TraceEvent::StarDone {
+                star,
+                id,
+                plans,
+                nanos,
+            } => o
+                .str("star", star)
+                .u64("id", *id)
+                .u64("plans", *plans as u64)
+                .u64("nanos", *nanos),
+            TraceEvent::AltFired {
+                star,
+                alt,
+                ref_id,
+                plans,
+            } => o
                 .str("star", star)
                 .u64("alt", *alt as u64)
+                .u64("ref_id", *ref_id)
                 .u64("plans", *plans as u64),
-            TraceEvent::CondFailed { star, alt } => o.str("star", star).u64("alt", *alt as u64),
-            TraceEvent::ForallExpand { star, alt, items } => o
+            TraceEvent::CondFailed {
+                star,
+                alt,
+                ref_id,
+                cond,
+            } => o
                 .str("star", star)
                 .u64("alt", *alt as u64)
+                .u64("ref_id", *ref_id)
+                .str("cond", cond),
+            TraceEvent::ForallExpand {
+                star,
+                alt,
+                ref_id,
+                items,
+            } => o
+                .str("star", star)
+                .u64("alt", *alt as u64)
+                .u64("ref_id", *ref_id)
                 .u64("items", *items as u64),
             TraceEvent::GlueRef {
+                ref_id,
                 cache_hit,
                 candidates,
                 veneers,
             } => o
+                .u64("ref_id", *ref_id)
                 .bool("cache_hit", *cache_hit)
                 .u64("candidates", *candidates as u64)
                 .u64("veneers", *veneers as u64),
             TraceEvent::PlanBuilt {
                 op,
+                fp,
+                ref_id,
                 card,
                 cost_once,
                 cost_rescan,
                 breakdown,
             } => o
                 .str("op", op)
+                .u64("fp", *fp)
+                .u64("ref_id", *ref_id)
                 .f64("card", *card)
                 .f64("cost_once", *cost_once)
                 .f64("cost_rescan", *cost_rescan)
@@ -139,20 +242,46 @@ impl TraceEvent {
                 .f64("cpu", breakdown.cpu)
                 .f64("comm", breakdown.comm)
                 .f64("other", breakdown.other),
-            TraceEvent::PlanRejected { op, reason } => o.str("op", op).str("reason", reason),
-            TraceEvent::TableInsert { op, cost, evicted } => o
+            TraceEvent::PlanRejected { op, ref_id, reason } => {
+                o.str("op", op).u64("ref_id", *ref_id).str("reason", reason)
+            }
+            TraceEvent::TableInsert {
+                op,
+                fp,
+                cost,
+                evicted,
+            } => o
                 .str("op", op)
+                .u64("fp", *fp)
                 .f64("cost", *cost)
                 .u64("evicted", *evicted as u64),
             TraceEvent::TablePrune {
                 op,
+                fp,
                 cost,
                 duplicate,
             } => o
                 .str("op", op)
+                .u64("fp", *fp)
                 .f64("cost", *cost)
                 .bool("duplicate", *duplicate),
-            TraceEvent::TableDominated { op, cost } => o.str("op", op).f64("cost", *cost),
+            TraceEvent::TableDominated { op, fp, cost } => {
+                o.str("op", op).u64("fp", *fp).f64("cost", *cost)
+            }
+            TraceEvent::BestNode {
+                op,
+                fp,
+                depth,
+                origin,
+                card,
+                cost,
+            } => o
+                .str("op", op)
+                .u64("fp", *fp)
+                .u64("depth", *depth as u64)
+                .str("origin", origin)
+                .f64("card", *card)
+                .f64("cost", *cost),
             TraceEvent::ExecNode {
                 op,
                 rows_out,
@@ -169,6 +298,172 @@ impl TraceEvent {
         }
         .finish()
     }
+
+    /// Parse one JSON-Lines line back into a typed event. `None` for
+    /// malformed lines, unknown `type`s, or missing fields — readers skip
+    /// rather than fail, so traces from newer writers degrade gracefully.
+    pub fn from_json(line: &str) -> Option<TraceEvent> {
+        let v = parse_json(line.trim()).ok()?;
+        let str_of = |k: &str| v.get(k)?.as_str().map(str::to_string);
+        let u64_of = |k: &str| v.get(k)?.as_u64();
+        let usize_of = |k: &str| v.get(k)?.as_usize();
+        let f64_of = |k: &str| v.get(k)?.as_f64();
+        let bool_of = |k: &str| v.get(k)?.as_bool();
+        Some(match v.get("type")?.as_str()? {
+            "star_ref" => TraceEvent::StarRef {
+                star: str_of("star")?,
+                sid: u64_of("sid")? as u32,
+                id: u64_of("id")?,
+                parent: u64_of("parent")?,
+                memo_hit: bool_of("memo_hit")?,
+            },
+            "star_done" => TraceEvent::StarDone {
+                star: str_of("star")?,
+                id: u64_of("id")?,
+                plans: usize_of("plans")?,
+                nanos: u64_of("nanos")?,
+            },
+            "alt_fired" => TraceEvent::AltFired {
+                star: str_of("star")?,
+                alt: usize_of("alt")?,
+                ref_id: u64_of("ref_id")?,
+                plans: usize_of("plans")?,
+            },
+            "cond_failed" => TraceEvent::CondFailed {
+                star: str_of("star")?,
+                alt: usize_of("alt")?,
+                ref_id: u64_of("ref_id")?,
+                cond: str_of("cond")?,
+            },
+            "forall_expand" => TraceEvent::ForallExpand {
+                star: str_of("star")?,
+                alt: usize_of("alt")?,
+                ref_id: u64_of("ref_id")?,
+                items: usize_of("items")?,
+            },
+            "glue_ref" => TraceEvent::GlueRef {
+                ref_id: u64_of("ref_id")?,
+                cache_hit: bool_of("cache_hit")?,
+                candidates: usize_of("candidates")?,
+                veneers: usize_of("veneers")?,
+            },
+            "plan_built" => TraceEvent::PlanBuilt {
+                op: str_of("op")?,
+                fp: u64_of("fp")?,
+                ref_id: u64_of("ref_id")?,
+                card: f64_of("card")?,
+                cost_once: f64_of("cost_once")?,
+                cost_rescan: f64_of("cost_rescan")?,
+                breakdown: CostBreakdownEv {
+                    io: f64_of("io")?,
+                    cpu: f64_of("cpu")?,
+                    comm: f64_of("comm")?,
+                    other: f64_of("other")?,
+                },
+            },
+            "plan_rejected" => TraceEvent::PlanRejected {
+                op: str_of("op")?,
+                ref_id: u64_of("ref_id")?,
+                reason: str_of("reason")?,
+            },
+            "table_insert" => TraceEvent::TableInsert {
+                op: str_of("op")?,
+                fp: u64_of("fp")?,
+                cost: f64_of("cost")?,
+                evicted: usize_of("evicted")?,
+            },
+            "table_prune" => TraceEvent::TablePrune {
+                op: str_of("op")?,
+                fp: u64_of("fp")?,
+                cost: f64_of("cost")?,
+                duplicate: bool_of("duplicate")?,
+            },
+            "table_dominated" => TraceEvent::TableDominated {
+                op: str_of("op")?,
+                fp: u64_of("fp")?,
+                cost: f64_of("cost")?,
+            },
+            "best_node" => TraceEvent::BestNode {
+                op: str_of("op")?,
+                fp: u64_of("fp")?,
+                depth: usize_of("depth")?,
+                origin: str_of("origin")?,
+                card: f64_of("card")?,
+                cost: f64_of("cost")?,
+            },
+            "exec_node" => TraceEvent::ExecNode {
+                op: str_of("op")?,
+                rows_out: u64_of("rows_out")?,
+                invocations: u64_of("invocations")?,
+                nanos: u64_of("nanos")?,
+            },
+            "span_start" => TraceEvent::SpanStart {
+                name: str_of("name")?,
+            },
+            "span_end" => TraceEvent::SpanEnd {
+                name: str_of("name")?,
+                nanos: u64_of("nanos")?,
+            },
+            "counter" => TraceEvent::Counter {
+                name: str_of("name")?,
+                value: u64_of("value")?,
+            },
+            _ => return None,
+        })
+    }
+
+    /// The value of `v` as a typed event, when it is one.
+    pub fn from_value(v: &JsonValue) -> Option<TraceEvent> {
+        // Delegate through the string form only for objects that look like
+        // events; cheap enough for offline tooling.
+        v.get("type")?;
+        TraceEvent::from_json(&render_value(v))
+    }
+}
+
+fn render_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::UInt(n) => n.to_string(),
+        JsonValue::Int(n) => n.to_string(),
+        JsonValue::Num(n) => crate::json::num(*n),
+        JsonValue::Str(s) => format!("\"{}\"", crate::json::escape(s)),
+        JsonValue::Arr(items) => {
+            let parts: Vec<String> = items.iter().map(render_value).collect();
+            format!("[{}]", parts.join(","))
+        }
+        JsonValue::Obj(fields) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", crate::json::escape(k), render_value(v)))
+                .collect();
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}
+
+/// Parse a JSON-Lines trace: typed events plus the count of skipped lines
+/// (blank lines are not counted as skipped).
+pub fn read_events(text: &str) -> (Vec<TraceEvent>, usize) {
+    let mut events = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::from_json(line) {
+            Some(ev) => events.push(ev),
+            None => skipped += 1,
+        }
+    }
+    (events, skipped)
+}
+
+/// Load a `.jsonl` trace file written by a
+/// [`crate::sink::JsonLinesSink`].
+pub fn load_jsonl(path: impl AsRef<std::path::Path>) -> std::io::Result<(Vec<TraceEvent>, usize)> {
+    Ok(read_events(&std::fs::read_to_string(path)?))
 }
 
 /// Actual per-plan-node measurements gathered during execution, keyed by the
@@ -188,18 +483,127 @@ pub struct NodeActuals {
 mod tests {
     use super::*;
 
+    /// One of every variant, with distinguishable field values.
+    pub(crate) fn one_of_each() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::StarRef {
+                star: "JoinRoot".into(),
+                sid: 3,
+                id: 17,
+                parent: 4,
+                memo_hit: true,
+            },
+            TraceEvent::StarDone {
+                star: "JoinRoot".into(),
+                id: 17,
+                plans: 5,
+                nanos: 120,
+            },
+            TraceEvent::AltFired {
+                star: "JMeth".into(),
+                alt: 2,
+                ref_id: 17,
+                plans: 3,
+            },
+            TraceEvent::CondFailed {
+                star: "JMeth".into(),
+                alt: 1,
+                ref_id: 17,
+                cond: "enabled('hashjoin')".into(),
+            },
+            TraceEvent::ForallExpand {
+                star: "AccessStar".into(),
+                alt: 1,
+                ref_id: 9,
+                items: 4,
+            },
+            TraceEvent::GlueRef {
+                ref_id: 9,
+                cache_hit: false,
+                candidates: 2,
+                veneers: 1,
+            },
+            TraceEvent::PlanBuilt {
+                op: "JOIN(NL)".into(),
+                fp: u64::MAX,
+                ref_id: 17,
+                card: 10.0,
+                cost_once: 3.5,
+                cost_rescan: 0.5,
+                breakdown: CostBreakdownEv {
+                    io: 2.0,
+                    cpu: 1.0,
+                    comm: 0.5,
+                    other: 0.5,
+                },
+            },
+            TraceEvent::PlanRejected {
+                op: "SORT".into(),
+                ref_id: 17,
+                reason: "no key".into(),
+            },
+            TraceEvent::TableInsert {
+                op: "JOIN(MG)".into(),
+                fp: (1 << 53) + 1,
+                cost: 8.25,
+                evicted: 1,
+            },
+            TraceEvent::TablePrune {
+                op: "JOIN(HA)".into(),
+                fp: 77,
+                cost: 9.0,
+                duplicate: false,
+            },
+            TraceEvent::TableDominated {
+                op: "ACCESS(heap)".into(),
+                fp: 78,
+                cost: 12.5,
+            },
+            TraceEvent::BestNode {
+                op: "JOIN(MG)".into(),
+                fp: 79,
+                depth: 0,
+                origin: "JMeth[alt 2]".into(),
+                card: 100.0,
+                cost: 42.0,
+            },
+            TraceEvent::ExecNode {
+                op: "ACCESS(heap)".into(),
+                rows_out: 100,
+                invocations: 2,
+                nanos: 999,
+            },
+            TraceEvent::SpanStart {
+                name: "optimize".into(),
+            },
+            TraceEvent::SpanEnd {
+                name: "optimize".into(),
+                nanos: 5_000,
+            },
+            TraceEvent::Counter {
+                name: "x".into(),
+                value: 1,
+            },
+        ]
+    }
+
     #[test]
     fn events_serialize_to_flat_json() {
         let ev = TraceEvent::StarRef {
             star: "JoinRoot".into(),
+            sid: 2,
+            id: 7,
+            parent: 3,
             memo_hit: true,
         };
         assert_eq!(
             ev.to_json(),
-            r#"{"type":"star_ref","star":"JoinRoot","memo_hit":true}"#
+            r#"{"type":"star_ref","star":"JoinRoot","sid":2,"id":7,"parent":3,"memo_hit":true}"#
         );
         let ev = TraceEvent::PlanBuilt {
             op: "JOIN(NL)".into(),
+            fp: 42,
+            ref_id: 7,
             card: 10.0,
             cost_once: 3.5,
             cost_rescan: 0.5,
@@ -212,7 +616,7 @@ mod tests {
         };
         let j = ev.to_json();
         assert!(
-            j.starts_with(r#"{"type":"plan_built","op":"JOIN(NL)""#),
+            j.starts_with(r#"{"type":"plan_built","op":"JOIN(NL)","fp":42"#),
             "{j}"
         );
         assert!(
@@ -223,74 +627,42 @@ mod tests {
 
     #[test]
     fn every_kind_is_distinct() {
-        let evs = [
-            TraceEvent::StarRef {
-                star: String::new(),
-                memo_hit: false,
-            },
-            TraceEvent::AltFired {
-                star: String::new(),
-                alt: 0,
-                plans: 0,
-            },
-            TraceEvent::CondFailed {
-                star: String::new(),
-                alt: 0,
-            },
-            TraceEvent::ForallExpand {
-                star: String::new(),
-                alt: 0,
-                items: 0,
-            },
-            TraceEvent::GlueRef {
-                cache_hit: false,
-                candidates: 0,
-                veneers: 0,
-            },
-            TraceEvent::PlanBuilt {
-                op: String::new(),
-                card: 0.0,
-                cost_once: 0.0,
-                cost_rescan: 0.0,
-                breakdown: CostBreakdownEv::default(),
-            },
-            TraceEvent::PlanRejected {
-                op: String::new(),
-                reason: String::new(),
-            },
-            TraceEvent::TableInsert {
-                op: String::new(),
-                cost: 0.0,
-                evicted: 0,
-            },
-            TraceEvent::TablePrune {
-                op: String::new(),
-                cost: 0.0,
-                duplicate: false,
-            },
-            TraceEvent::TableDominated {
-                op: String::new(),
-                cost: 0.0,
-            },
-            TraceEvent::ExecNode {
-                op: String::new(),
-                rows_out: 0,
-                invocations: 0,
-                nanos: 0,
-            },
-            TraceEvent::SpanStart {
-                name: String::new(),
-            },
-            TraceEvent::SpanEnd {
-                name: String::new(),
-                nanos: 0,
-            },
-            TraceEvent::Counter {
-                name: String::new(),
-                value: 0,
-            },
-        ];
+        let evs = one_of_each();
         let kinds: std::collections::BTreeSet<_> = evs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), evs.len());
+    }
+
+    #[test]
+    fn every_event_roundtrips_through_json() {
+        for ev in one_of_each() {
+            let line = ev.to_json();
+            let back = TraceEvent::from_json(&line)
+                .unwrap_or_else(|| panic!("failed to parse back: {line}"));
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_gracefully() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"type":"unknown_kind"}"#,
+            r#"{"type":"counter","name":"x"}"#,
+            r#"{"type":"counter","name":"x","value":"nope"}"#,
+        ] {
+            assert_eq!(TraceEvent::from_json(bad), None, "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn read_events_skips_bad_lines_and_blanks() {
+        let text = "\n{\"type\":\"counter\",\"name\":\"a\",\"value\":1}\ngarbage\n\n{\"type\":\"span_start\",\"name\":\"s\"}\n";
+        let (events, skipped) = read_events(text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped, 1);
+        assert_eq!(events[0].kind(), "counter");
+        assert_eq!(events[1].kind(), "span_start");
     }
 }

@@ -1,0 +1,287 @@
+//! Log-bucketed histograms for latency and cost distributions.
+//!
+//! Values land in power-of-two buckets: bucket `b` (1 ≤ b ≤ 64) holds
+//! values in `[2^(b-1), 2^b - 1]`; bucket 0 holds exactly the value 0.
+//! Recording is O(1) (a `leading_zeros` and an increment), merging is
+//! element-wise addition, and quantiles are read by walking the cumulative
+//! counts — the standard HDR-style tradeoff: bounded (≤ 2×) relative error
+//! per estimate, constant memory, and no stored samples.
+
+use crate::json::JsonObj;
+
+/// Number of buckets: one per bit length, plus the zero bucket.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log₂ histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket a value lands in: its bit length (0 for the value 0).
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive `[lo, hi]` range of values a bucket holds.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        assert!(b < BUCKETS, "bucket {b} out of range");
+        if b == 0 {
+            (0, 0)
+        } else if b == 64 {
+            (1u64 << 63, u64::MAX)
+        } else {
+            (1u64 << (b - 1), (1u64 << b) - 1)
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (!self.is_empty()).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Raw per-bucket counts (for renderers).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The quantile estimate for `q ∈ [0, 1]`: the upper bound of the
+    /// bucket holding the ⌈q·count⌉-th smallest observation, clamped into
+    /// the recorded `[min, max]`. Deterministic and hand-computable: the
+    /// estimate never errs by more than the bucket width (< 2× the true
+    /// value). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (_, hi) = Self::bucket_bounds(b);
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        unreachable!("cumulative count covers all observations")
+    }
+
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// `{"count":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..}`
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .u64("count", self.count)
+            .u64("min", self.min().unwrap_or(0))
+            .u64("max", self.max().unwrap_or(0))
+            .f64("mean", self.mean().unwrap_or(0.0))
+            .u64("p50", self.p50().unwrap_or(0))
+            .u64("p90", self.p90().unwrap_or(0))
+            .u64("p99", self.p99().unwrap_or(0))
+            .finish()
+    }
+
+    /// One-line human rendering with a unit-formatting callback.
+    pub fn render_line(&self, fmt: impl Fn(u64) -> String) -> String {
+        if self.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} min={} p50={} p90={} p99={} max={}",
+            self.count,
+            fmt(self.min),
+            fmt(self.p50().unwrap()),
+            fmt(self.p90().unwrap()),
+            fmt(self.p99().unwrap()),
+            fmt(self.max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Hand-computed: value → bucket.
+        for (v, b) in [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ] {
+            assert_eq!(Histogram::bucket_of(v), b, "value {v}");
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside bucket {b} [{lo},{hi}]"
+            );
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(10), (512, 1023));
+        assert_eq!(Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.render_line(|v| v.to_string()), "n=0");
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(5);
+        // 5 lands in bucket 3 ([4,7]); clamping to [min,max] = [5,5]
+        // recovers the exact value.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(5), "q={q}");
+        }
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn hand_computed_quantiles_on_known_dataset() {
+        // Ten samples: 1..=10. Buckets: 1→b1, {2,3}→b2, {4..7}→b3,
+        // {8,9,10}→b4. Cumulative: b1=1, b2=3, b3=7, b4=10.
+        let mut h = Histogram::new();
+        for v in 1..=10 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        // p50: rank ⌈0.5·10⌉=5 → bucket 3, upper bound 7.
+        assert_eq!(h.p50(), Some(7));
+        // p90: rank 9 → bucket 4, upper bound 15 clamped to max 10.
+        assert_eq!(h.p90(), Some(10));
+        // p99: rank ⌈9.9⌉=10 → bucket 4 → 10.
+        assert_eq!(h.p99(), Some(10));
+        // p10: rank 1 → bucket 1, upper bound 1.
+        assert_eq!(h.quantile(0.10), Some(1));
+        // p0 clamps the rank to 1 (the minimum observation's bucket).
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.mean(), Some(5.5));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+    }
+
+    #[test]
+    fn zeros_land_in_the_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        // rank(0.5) = ⌈1.5⌉ = 2 → zero bucket (cum 2 ≥ 2) → 0.
+        assert_eq!(h.p50(), Some(0));
+        // rank(0.99) = 3 → bucket 4 ([8,15]) clamped to max 8.
+        assert_eq!(h.p99(), Some(8));
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(200));
+        // rank(0.5)=3 → cum: b1=1, b2=3 → bucket 2 upper bound 3.
+        assert_eq!(a.p50(), Some(3));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new();
+        h.record(4);
+        assert_eq!(
+            h.to_json(),
+            r#"{"count":1,"min":4,"max":4,"mean":4,"p50":4,"p90":4,"p99":4}"#
+        );
+    }
+}

@@ -12,16 +12,20 @@
 //! ([`events_constructed`]) lets tests assert that guarantee.
 
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod read;
 pub mod sink;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-pub use event::{CostBreakdownEv, NodeActuals, TraceEvent};
+pub use event::{load_jsonl, read_events, CostBreakdownEv, NodeActuals, TraceEvent};
+pub use hist::Histogram;
 pub use metrics::{MetricsRegistry, MetricsSummary, Phase, PhaseTimer};
+pub use read::{parse_json, JsonError, JsonValue};
 pub use sink::{JsonLinesSink, MemorySink, NullSink, TraceSink};
 
 /// Global count of trace events ever constructed in this process. Only

@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use crate::hist::Histogram;
 use crate::json::JsonObj;
 
 /// The optimizer/executor lifecycle phases that get first-class timers.
@@ -50,11 +51,12 @@ pub struct PhaseTimer {
     start: Instant,
 }
 
-/// Mutable collection point for counters and phase timers.
+/// Mutable collection point for counters, phase timers, and histograms.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     phase_nanos: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -65,6 +67,18 @@ impl MetricsRegistry {
     /// Bump a named monotonic counter.
     pub fn count(&mut self, name: &'static str, delta: u64) {
         *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Record one observation into a named log-bucketed histogram.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().record(value);
+    }
+
+    /// Fold an externally built histogram into a named one.
+    pub fn merge_hist(&mut self, name: &'static str, hist: &Histogram) {
+        if !hist.is_empty() {
+            self.hists.entry(name).or_default().merge(hist);
+        }
     }
 
     /// Start timing a phase.
@@ -107,15 +121,22 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
         }
     }
 }
 
-/// Immutable aggregation of a run: counters plus per-phase wall time.
+/// Immutable aggregation of a run: counters, per-phase wall time, and
+/// log-bucketed value distributions.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSummary {
     counters: Vec<(String, u64)>,
     phase_nanos: Vec<(String, u64)>,
+    hists: Vec<(String, Histogram)>,
 }
 
 impl MetricsSummary {
@@ -141,6 +162,14 @@ impl MetricsSummary {
             .map(|(_, v)| *v)
     }
 
+    pub fn hists(&self) -> &[(String, Histogram)] {
+        &self.hists
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
     /// Merge another summary into this one (counters and phases add).
     pub fn absorb(&mut self, other: &MetricsSummary) {
         for (k, v) in &other.counters {
@@ -155,9 +184,16 @@ impl MetricsSummary {
                 None => self.phase_nanos.push((k.clone(), *v)),
             }
         }
+        for (k, v) in &other.hists {
+            match self.hists.iter_mut().find(|(ek, _)| ek == k) {
+                Some((_, ev)) => ev.merge(v),
+                None => self.hists.push((k.clone(), v.clone())),
+            }
+        }
     }
 
-    /// `{"counters": {...}, "phase_nanos": {...}}`
+    /// `{"counters": {...}, "phase_nanos": {...}}`, plus a
+    /// `"histograms"` object when any histogram was recorded.
     pub fn to_json(&self) -> String {
         let mut counters = JsonObj::new();
         for (k, v) in &self.counters {
@@ -167,10 +203,17 @@ impl MetricsSummary {
         for (k, v) in &self.phase_nanos {
             phases = phases.u64(k, *v);
         }
-        JsonObj::new()
+        let mut out = JsonObj::new()
             .raw("counters", &counters.finish())
-            .raw("phase_nanos", &phases.finish())
-            .finish()
+            .raw("phase_nanos", &phases.finish());
+        if !self.hists.is_empty() {
+            let mut hists = JsonObj::new();
+            for (k, v) in &self.hists {
+                hists = hists.raw(k, &v.to_json());
+            }
+            out = out.raw("histograms", &hists.finish());
+        }
+        out.finish()
     }
 
     /// Multi-line human rendering (for reports and explain output).
@@ -183,6 +226,12 @@ impl MetricsSummary {
         out.push_str("counters:\n");
         for (k, v) in &self.counters {
             out.push_str(&format!("  {k:<28} {v}\n"));
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, v) in &self.hists {
+                out.push_str(&format!("  {k:<28} {}\n", v.render_line(|x| x.to_string())));
+            }
         }
         out
     }

@@ -13,4 +13,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== starqo-obs smoke (profile a real trace) =="
+cargo build -q --offline -p starqo-obs
+cargo run -q --offline --example trace_plan > /dev/null
+./target/debug/starqo-obs profile trace_plan.jsonl | grep -q "winning plan lineage"
+./target/debug/starqo-obs flame trace_plan.jsonl --folded | grep -q ";"
+echo "starqo-obs smoke passed."
+
 echo "All checks passed."

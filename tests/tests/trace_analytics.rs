@@ -1,0 +1,117 @@
+//! End-to-end trace analytics: real optimizer runs through the
+//! `starqo-obs` profiler, flamegraph, and diff — including the full
+//! serialize → JSONL → parse → analyze loop the CLI uses.
+
+use std::sync::Arc;
+
+use starqo_core::{OptConfig, Optimizer};
+use starqo_obs::{FlameTree, Profile, TraceDiff};
+use starqo_trace::{read_events, MemorySink, TraceEvent, Tracer};
+use starqo_workload::{query_shape, synth_catalog, QueryShape, SynthSpec};
+
+fn spec() -> SynthSpec {
+    SynthSpec {
+        tables: 3,
+        card_range: (50, 400),
+        index_prob: 0.5,
+        ..Default::default()
+    }
+}
+
+/// Trace one optimization and return its events.
+fn traced_run(seed: u64, config: &OptConfig) -> Vec<TraceEvent> {
+    let cat = synth_catalog(seed, &spec());
+    let opt = Optimizer::new(cat.clone()).expect("rules");
+    let query = query_shape(&cat, QueryShape::Chain, 3, false);
+    let sink = Arc::new(MemorySink::new());
+    opt.optimize_traced(&query, config, Tracer::shared(sink.clone()))
+        .expect("optimize");
+    sink.events()
+}
+
+#[test]
+fn events_roundtrip_through_jsonl_on_a_real_run() {
+    let events = traced_run(7, &OptConfig::full());
+    assert!(events.len() > 100, "expected a substantial trace");
+    let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+    let (back, skipped) = read_events(&text);
+    assert_eq!(skipped, 0, "every emitted event must parse back");
+    assert_eq!(back, events);
+}
+
+#[test]
+fn profile_attributes_a_real_run() {
+    let events = traced_run(7, &OptConfig::full());
+    let profile = Profile::from_events(&events);
+
+    // The engine's entry star must be profiled, with nonzero activity.
+    assert!(!profile.stars.is_empty());
+    let total_fires: u64 = profile.stars.iter().map(|s| s.fires()).sum();
+    let total_built: u64 = profile.stars.iter().map(|s| s.plans_built).sum();
+    assert!(total_fires > 0, "no alternative firings attributed");
+    assert!(total_built > 0, "no plan construction attributed");
+    assert!(
+        profile.stars.iter().any(|s| s.inclusive_nanos > 0),
+        "no inclusive time recorded"
+    );
+    assert!(
+        profile.stars.iter().any(|s| s.table_inserted > 0),
+        "no table inserts attributed to a rule"
+    );
+
+    // The winning lineage is present and starts at the root.
+    assert!(!profile.lineage.is_empty(), "no best_node events");
+    assert_eq!(profile.lineage[0].depth, 0);
+    assert!(profile
+        .lineage
+        .iter()
+        .all(|r| r.origin.contains("[alt ") || r.origin == "Glue" || r.origin == "(driver)"));
+
+    // The human report carries all the advertised sections.
+    let text = profile.render();
+    for needle in ["rule profile", "refs", "incl", "winning plan lineage"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn flame_tree_accounts_for_the_run() {
+    let events = traced_run(7, &OptConfig::full());
+    let tree = FlameTree::from_events(&events);
+    assert!(tree.root().inclusive > 0);
+    let folded = tree.folded();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("folded format");
+        assert!(!stack.is_empty());
+        assert!(value.parse::<u64>().is_ok(), "bad folded value: {line}");
+    }
+}
+
+#[test]
+fn diff_pinpoints_a_disabled_rule() {
+    // Baseline: everything on. Candidate: hash join disabled.
+    let full = OptConfig::full();
+    let mut no_ha = OptConfig::full();
+    no_ha.enabled.remove("hashjoin");
+
+    let a = traced_run(7, &full);
+    let b = traced_run(7, &no_ha);
+    let d = TraceDiff::compare(&a, &b);
+    assert!(!d.is_empty(), "disabling a strategy family must show up");
+
+    // The hash-join condition now fails (more often) in run b.
+    let ha_cond = d
+        .cond_deltas
+        .iter()
+        .find(|delta| delta.key.contains("enabled('hashjoin')"))
+        .expect("hashjoin condition failure delta");
+    assert!(
+        ha_cond.b > ha_cond.a,
+        "condition should fail more with the flag off: {ha_cond:?}"
+    );
+
+    // Identical configs diff clean.
+    let d2 = TraceDiff::compare(&a, &traced_run(7, &full));
+    assert!(d2.is_empty(), "same config, same seed => same behavior");
+}
