@@ -1,7 +1,11 @@
-//! Experiment binary: prints the estimation-quality report.
+//! Experiment binary: prints the estimation-quality report (E15) and the
+//! estimation-accuracy observatory with cost calibration (E16).
 //! Also writes `BENCH_estimation.json` with the run's counters and timings.
 fn main() {
     starqo_bench::run_bin("estimation", || {
-        vec![starqo_bench::correctness::e15_estimation_quality()]
+        vec![
+            starqo_bench::correctness::e15_estimation_quality(),
+            starqo_bench::observatory::e16_estimation_observatory(),
+        ]
     });
 }

@@ -1,0 +1,85 @@
+//! Workload runner: optimize **and execute** every `starqo-workload` query
+//! (paper + synthetic) with tracing on, writing one combined JSONL stream
+//! that `starqo-obs accuracy` and `starqo-obs calibrate` consume.
+//!
+//! ```text
+//! workload_run [--quick] [--out <trace.jsonl>] [--profile <profile.json>]
+//! ```
+//!
+//! The cost model defaults to `CostModel::from_env()` (honoring
+//! `STARQO_COST_PROFILE`); `--profile` points at a calibration profile
+//! explicitly. The trace defaults to `<bench_dir>/workload_trace.jsonl`.
+
+use std::process::ExitCode;
+
+use starqo_bench::observatory::run_workload;
+use starqo_plan::{CostCalibration, CostModel};
+use starqo_trace::{JsonLinesSink, Tracer};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut profile: Option<String> = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(a) = it.next() {
+        match a {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.to_string()),
+                None => return usage("--out needs a path"),
+            },
+            "--profile" => match it.next() {
+                Some(p) => profile = Some(p.to_string()),
+                None => return usage("--profile needs a path"),
+            },
+            "-h" | "--help" => return usage(""),
+            _ => return usage(&format!("unknown argument {a}")),
+        }
+    }
+
+    let model = match &profile {
+        Some(p) => match CostCalibration::load(p) {
+            Ok(c) => c.apply(&CostModel::default()),
+            Err(e) => {
+                eprintln!("workload_run: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => CostModel::from_env(),
+    };
+    let path = out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| starqo_bench::bench_dir().join("workload_trace.jsonl"));
+    let sink = match JsonLinesSink::to_file(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workload_run: cannot create {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let tracer = Tracer::new(sink);
+    let sum = run_workload(&tracer, &model, quick);
+    tracer.flush();
+    println!(
+        "ran {} queries ({} rows) in {:.1} ms; trace: {}",
+        sum.queries,
+        sum.rows,
+        sum.nanos as f64 / 1e6,
+        path.display()
+    );
+    println!("analyze with: starqo-obs accuracy {}", path.display());
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("workload_run: {err}");
+    }
+    eprintln!("usage: workload_run [--quick] [--out <trace.jsonl>] [--profile <profile.json>]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

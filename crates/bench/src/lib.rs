@@ -20,12 +20,15 @@
 //! | E11 | §5 extensibility | [`extensibility::e11_extensibility`] |
 //! | E12 | §6 subplan re-estimation | [`comparison::e12_reestimation`] |
 //! | E13 | plan-correctness oracle sweep | [`correctness::e13_correctness`] |
+//! | E15 | CARD estimation quality | [`correctness::e15_estimation_quality`] |
+//! | E16 | estimation observatory + cost calibration | [`observatory::e16_estimation_observatory`] |
 
 pub mod comparison;
 pub mod correctness;
 pub mod distributed;
 pub mod extensibility;
 pub mod figures;
+pub mod observatory;
 pub mod strategies;
 
 use std::fmt::Write as _;
@@ -69,11 +72,25 @@ impl Report {
     }
 }
 
+/// Where bench artifacts (`BENCH_*.json`, workload traces, accuracy
+/// reports) land: `$STARQO_BENCH_DIR` when set, `target/bench/` otherwise —
+/// never the repo root. Creates the directory.
+pub fn bench_dir() -> std::path::PathBuf {
+    let dir = match std::env::var_os("STARQO_BENCH_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::path::PathBuf::from("target").join("bench"),
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+    }
+    dir
+}
+
 /// Drive one experiment binary: run the experiments, print the reports, and
 /// drop a machine-readable `BENCH_<name>.json` (wall time plus the merged
-/// counters and phase timings). The file lands in the current directory, or
-/// in `$STARQO_BENCH_DIR` when set — which is how regression-gate baselines
-/// are (re)generated into `baselines/`.
+/// counters and phase timings). The file lands in [`bench_dir`] — set
+/// `STARQO_BENCH_DIR` to redirect it, which is how regression-gate
+/// baselines are (re)generated into `baselines/`.
 pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Report>) {
     let (reports, wall_ms) = time_ms(f);
     let mut merged = MetricsSummary::default();
@@ -87,11 +104,7 @@ pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Report>) {
         .u64("reports", reports.len() as u64)
         .raw("metrics", &merged.to_json())
         .finish();
-    let file = format!("BENCH_{name}.json");
-    let path = match std::env::var_os("STARQO_BENCH_DIR") {
-        Some(dir) => std::path::PathBuf::from(dir).join(file),
-        None => std::path::PathBuf::from(file),
-    };
+    let path = bench_dir().join(format!("BENCH_{name}.json"));
     match std::fs::write(&path, json + "\n") {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

@@ -716,6 +716,44 @@ impl<'a> Engine<'a> {
             .ok_or_else(|| self.eval_err(star, format!("{op}: argument {i} must be plans")))
     }
 
+    /// Emit the `plan_built` trace event for a freshly built plan node —
+    /// shared by rule-built plans and Glue veneers so estimate→actual
+    /// analytics see a per-component cost breakdown for every node that
+    /// can appear in a winning plan.
+    fn emit_plan_built(&self, p: &PlanRef) {
+        self.tracer.emit(|| {
+            let by = p.props.cost.breakdown();
+            TraceEvent::PlanBuilt {
+                op: p.op.name(),
+                fp: p.fingerprint(),
+                ref_id: self.cur_ref(),
+                card: p.props.card,
+                cost_once: p.props.cost.once,
+                cost_rescan: p.props.cost.rescan,
+                breakdown: CostBreakdownEv {
+                    io: by.io,
+                    cpu: by.cpu,
+                    comm: by.comm,
+                    other: by.other,
+                },
+            }
+        });
+    }
+
+    /// Build a Glue veneer node (SORT / SHIP / STORE / FILTER / BUILD_INDEX
+    /// / temp-index probe), emitting `plan_built` like rule-built plans do.
+    /// Veneers are the only nodes carrying pure sort and communication
+    /// cost, so calibration would be blind to those components without
+    /// their breakdowns. Counts toward `glue_veneers`, not `plans_built` —
+    /// a veneer is impedance matching, not a strategy alternative.
+    pub(crate) fn build_veneer(&mut self, op: Lolepop, inputs: Vec<PlanRef>) -> Result<PlanRef> {
+        let ctx = self.prop_ctx();
+        let p = self.prop.build(op, inputs, &ctx)?;
+        self.stats.glue_veneers += 1;
+        self.emit_plan_built(&p);
+        Ok(p)
+    }
+
     fn try_build(&mut self, op: Lolepop, inputs: Vec<PlanRef>, out: &mut Vec<PlanRef>) {
         let ctx = PropCtx::new(self.catalog, self.query, self.model);
         // `op` moves into build(); keep its name around only when tracing.
@@ -729,23 +767,7 @@ impl<'a> Engine<'a> {
                 self.stats.plans_built += 1;
                 self.plan_cost
                     .record(p.props.cost.once.max(0.0).round() as u64);
-                self.tracer.emit(|| {
-                    let by = p.props.cost.breakdown();
-                    TraceEvent::PlanBuilt {
-                        op: p.op.name(),
-                        fp: p.fingerprint(),
-                        ref_id: self.cur_ref(),
-                        card: p.props.card,
-                        cost_once: p.props.cost.once,
-                        cost_rescan: p.props.cost.rescan,
-                        breakdown: CostBreakdownEv {
-                            io: by.io,
-                            cpu: by.cpu,
-                            comm: by.comm,
-                            other: by.other,
-                        },
-                    }
-                });
+                self.emit_plan_built(&p);
                 out.push(p);
             }
             Err(e) => {

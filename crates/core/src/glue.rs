@@ -132,17 +132,7 @@ pub fn glue_plans(
             out.push(p.clone());
             continue;
         }
-        let ctx = engine.prop_ctx();
-        match engine
-            .prop
-            .build(Lolepop::Filter { preds: extra }, vec![p.clone()], &ctx)
-        {
-            Ok(f) => {
-                engine.stats.glue_veneers += 1;
-                out.push(f);
-            }
-            Err(e) => return Err(CoreError::Plan(e)),
-        }
+        out.push(engine.build_veneer(Lolepop::Filter { preds: extra }, vec![p.clone()])?);
     }
     let out = dedup(out);
     engine.tracer.emit(|| TraceEvent::GlueRef {
@@ -177,21 +167,16 @@ fn candidate_plans(
         else {
             return Err(CoreError::Glue(format!("no base plans for {tables}")));
         };
-        let ctx = engine.prop_ctx();
         // SHIP to the required site first so the temp and its index live
         // where the join runs.
         let mut p = cheapest;
         if let Some(site) = reqs.site {
             if p.props.site != site {
-                p = engine
-                    .prop
-                    .build(Lolepop::Ship { to: site }, vec![p], &ctx)?;
-                engine.stats.glue_veneers += 1;
+                p = engine.build_veneer(Lolepop::Ship { to: site }, vec![p])?;
             }
         }
         if !p.props.temp {
-            p = engine.prop.build(Lolepop::Store, vec![p], &ctx)?;
-            engine.stats.glue_veneers += 1;
+            p = engine.build_veneer(Lolepop::Store, vec![p])?;
         }
         let ix_cols: Vec<_> = ix
             .iter()
@@ -203,25 +188,21 @@ fn candidate_plans(
                 "required path columns not in stream".into(),
             ));
         }
-        p = engine.prop.build(
+        p = engine.build_veneer(
             Lolepop::BuildIndex {
                 key: ix_cols.clone(),
             },
             vec![p],
-            &ctx,
         )?;
-        engine.stats.glue_veneers += 1;
         let cols = p.props.cols.clone();
-        let probe = engine.prop.build(
+        let probe = engine.build_veneer(
             Lolepop::Access {
                 spec: AccessSpec::TempIndex { key: ix_cols },
                 cols,
                 preds: extra,
             },
             vec![p],
-            &ctx,
         )?;
-        engine.stats.glue_veneers += 1;
         return Ok(vec![probe]);
     }
 
@@ -240,14 +221,9 @@ fn candidate_plans(
     } else {
         // Composite stream: retrofit a FILTER.
         let base = existing_or_access(engine, tables, base_preds)?;
-        let ctx = engine.prop_ctx();
         let mut out = Vec::new();
         for p in base {
-            let f = engine
-                .prop
-                .build(Lolepop::Filter { preds: extra }, vec![p], &ctx)?;
-            engine.stats.glue_veneers += 1;
-            out.push(f);
+            out.push(engine.build_veneer(Lolepop::Filter { preds: extra }, vec![p])?);
         }
         Ok(out)
     }
@@ -294,30 +270,22 @@ fn access_root(engine: &mut Engine<'_>, tables: QSet, preds: PredSet) -> Result<
 /// requirements. Returns `None` if the plan cannot be made to satisfy them
 /// (e.g. the sort columns are not in the stream).
 fn veneer(engine: &mut Engine<'_>, plan: PlanRef, reqs: &ReqVec) -> Result<Option<PlanRef>> {
-    let ctx = engine.prop_ctx();
     let mut p = plan;
     if let Some(order) = &reqs.order {
         if !p.props.order_satisfies(order) {
             if !order.iter().all(|c| p.props.cols.contains(c)) {
                 return Ok(None);
             }
-            p = engine
-                .prop
-                .build(Lolepop::Sort { key: order.clone() }, vec![p], &ctx)?;
-            engine.stats.glue_veneers += 1;
+            p = engine.build_veneer(Lolepop::Sort { key: order.clone() }, vec![p])?;
         }
     }
     if let Some(site) = reqs.site {
         if p.props.site != site {
-            p = engine
-                .prop
-                .build(Lolepop::Ship { to: site }, vec![p], &ctx)?;
-            engine.stats.glue_veneers += 1;
+            p = engine.build_veneer(Lolepop::Ship { to: site }, vec![p])?;
         }
     }
     if reqs.temp && !p.props.temp {
-        p = engine.prop.build(Lolepop::Store, vec![p], &ctx)?;
-        engine.stats.glue_veneers += 1;
+        p = engine.build_veneer(Lolepop::Store, vec![p])?;
     }
     Ok(Some(p))
 }

@@ -255,6 +255,7 @@ impl<'a> Executor<'a> {
                 .unwrap_or_default();
             self.tracer.emit(|| TraceEvent::ExecNode {
                 op: n.op.name(),
+                fp: n.fingerprint(),
                 rows_out: a.rows_out,
                 invocations: a.invocations,
                 nanos: a.nanos,

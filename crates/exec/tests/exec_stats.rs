@@ -223,3 +223,81 @@ fn node_actuals_track_invocations_and_rows() {
     assert_eq!(store.invocations, 1);
     assert_eq!(store.rows_out, 30);
 }
+
+/// A genuine DAG: one STORE node (same `Arc`) feeds both inputs of a
+/// UNION through two temp accesses. The shared subtree must evaluate once
+/// (identity cache) and appear once in `node_actuals` and the trace.
+#[test]
+fn shared_subtree_in_a_dag_is_executed_and_counted_once() {
+    use starqo_trace::{MemorySink, TraceEvent, Tracer};
+
+    let f = Fx::new();
+    let e = f.build(
+        Lolepop::Access {
+            spec: AccessSpec::HeapTable(E),
+            cols: cols(&[(E, 1), (E, 2)]),
+            preds: PredSet::EMPTY,
+        },
+        vec![],
+    );
+    let store = f.build(Lolepop::Store, vec![e]);
+    let scan_temp = |_: usize| {
+        f.build(
+            Lolepop::Access {
+                spec: AccessSpec::TempHeap,
+                cols: cols(&[(E, 1), (E, 2)]),
+                preds: PredSet::EMPTY,
+            },
+            vec![store.clone()], // same Arc both times: a true DAG
+        )
+    };
+    let (a1, a2) = (scan_temp(0), scan_temp(1));
+    assert_eq!(
+        a1.fingerprint(),
+        a2.fingerprint(),
+        "structurally identical branches share a fingerprint"
+    );
+    let union = f.build(Lolepop::Union, vec![a1, a2]);
+
+    let sink = Arc::new(MemorySink::new());
+    let mut ex = Executor::new(&f.db, &f.query);
+    ex.set_tracer(Tracer::shared(sink.clone()));
+    let got = ex.run(&union).unwrap();
+    // Both branches produce all 30 EMP rows.
+    assert_eq!(got.rows.len(), 60);
+    // The STORE materialized once, not once per branch...
+    assert_eq!(ex.stats().temps_built, 1);
+    // ...and its actuals say one invocation, 30 rows out.
+    let actuals = ex.node_actuals();
+    let s = actuals.get(&store.fingerprint()).unwrap();
+    assert_eq!(s.invocations, 1);
+    assert_eq!(s.rows_out, 30);
+    // The (fingerprint-shared) temp scan ran once per branch.
+    let scan = actuals.get(&union.inputs[0].fingerprint()).unwrap();
+    assert_eq!(scan.invocations, 2);
+    // The trace carries exactly one exec_node per distinct fingerprint —
+    // the shared STORE (and the EMP scan under it) are not double-counted.
+    let events = sink.events();
+    let mut exec_fps: Vec<u64> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::ExecNode { fp, .. } => Some(*fp),
+            _ => None,
+        })
+        .collect();
+    // union, shared temp scan, store, emp scan = 4 distinct nodes.
+    assert_eq!(exec_fps.len(), 4);
+    exec_fps.sort_unstable();
+    exec_fps.dedup();
+    assert_eq!(exec_fps.len(), 4);
+    let store_ev = events.iter().find_map(|ev| match ev {
+        TraceEvent::ExecNode {
+            fp,
+            invocations,
+            rows_out,
+            ..
+        } if *fp == store.fingerprint() => Some((*invocations, *rows_out)),
+        _ => None,
+    });
+    assert_eq!(store_ev, Some((1, 30)));
+}

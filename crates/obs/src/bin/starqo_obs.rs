@@ -1,19 +1,24 @@
 //! Trace-analytics CLI.
 //!
 //! ```text
-//! starqo-obs profile <trace.jsonl>                  rule-level profile
-//! starqo-obs flame   <trace.jsonl> [--folded]       expansion flamegraph
-//! starqo-obs diff    <a.jsonl> <b.jsonl>            compare two runs
-//! starqo-obs gate    <baseline.json> <fresh.json>   bench regression gate
-//!                    [--wall-pct N] [--counter-pct N] [--enforce]
+//! starqo-obs profile  <trace.jsonl>                 rule-level profile
+//! starqo-obs flame    <trace.jsonl> [--folded]      expansion flamegraph
+//! starqo-obs diff     <a.jsonl> <b.jsonl>           compare two runs
+//! starqo-obs accuracy <trace.jsonl> [--json <out>]  est-vs-actual Q-error
+//! starqo-obs calibrate <trace.jsonl> [--out <file>] fit a cost profile
+//! starqo-obs gate     <baseline.json> <fresh.json>  bench regression gate
+//!                     [--wall-pct N] [--counter-pct N]
+//!                     [--enforce | --enforce-counters]
 //! ```
 //!
 //! `gate` is report-only by default (always exits 0, for observability in
-//! CI logs); `--enforce` exits 1 on violations.
+//! CI logs); `--enforce` exits 1 on any violation, `--enforce-counters`
+//! only on deterministic work-counter violations (wall-clock regressions
+//! stay report-only — CI machines are noisy, counters aren't).
 
 use std::process::ExitCode;
 
-use starqo_obs::{gate, FlameTree, Profile, Thresholds, TraceDiff};
+use starqo_obs::{calibrate, gate, AccuracyReport, FlameTree, Profile, Thresholds, TraceDiff};
 use starqo_trace::{load_jsonl, TraceEvent};
 
 fn main() -> ExitCode {
@@ -21,13 +26,25 @@ fn main() -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut folded = false;
     let mut enforce = false;
+    let mut enforce_counters = false;
     let mut wall_pct: Option<f64> = None;
     let mut counter_pct: Option<f64> = None;
+    let mut json_out: Option<&str> = None;
+    let mut profile_out: Option<&str> = None;
     let mut it = args.iter().map(String::as_str);
     while let Some(a) = it.next() {
         match a {
             "--folded" => folded = true,
             "--enforce" => enforce = true,
+            "--enforce-counters" => enforce_counters = true,
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(p),
+                None => return usage("--json needs a path"),
+            },
+            "--out" => match it.next() {
+                Some(p) => profile_out = Some(p),
+                None => return usage("--out needs a path"),
+            },
             "--wall-pct" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => wall_pct = Some(v),
                 None => return usage("--wall-pct needs a number"),
@@ -63,6 +80,37 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             })
         }),
+        ["accuracy", path] => with_trace(path, |events| {
+            let report = AccuracyReport::from_events(&events);
+            print!("{}", report.render());
+            if let Some(p) = json_out {
+                if let Err(e) = std::fs::write(p, report.to_json() + "\n") {
+                    eprintln!("starqo-obs accuracy: cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("json report written to {p}");
+            }
+            ExitCode::SUCCESS
+        }),
+        ["calibrate", path] => with_trace(path, |events| {
+            let report = AccuracyReport::from_events(&events);
+            match calibrate::fit(&calibrate::samples(&report)) {
+                Ok(f) => {
+                    print!("{}", f.render());
+                    let out = profile_out.unwrap_or("cost_profile.json");
+                    if let Err(e) = f.profile.save(out) {
+                        eprintln!("starqo-obs calibrate: cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("profile written to {out} (use via STARQO_COST_PROFILE={out})");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("starqo-obs calibrate: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }),
         ["gate", baseline, fresh] => {
             let read =
                 |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
@@ -73,16 +121,29 @@ fn main() -> ExitCode {
             if let Some(v) = counter_pct {
                 th.counter_pct = v;
             }
-            let run = || -> Result<bool, String> {
+            // With --enforce-counters, only deterministic work-counter
+            // regressions fail the run; wall_ms stays report-only.
+            let run = || -> Result<(bool, bool), String> {
                 let r = gate(&read(baseline)?, &read(fresh)?, th)?;
                 print!("{}", r.render());
-                Ok(r.passed())
+                let counters_ok = !r.violations.iter().any(|v| v.metric != "wall_ms");
+                Ok((r.passed(), counters_ok))
             };
             match run() {
-                Ok(true) => ExitCode::SUCCESS,
-                Ok(false) if enforce => ExitCode::FAILURE,
-                Ok(false) => {
-                    println!("(report-only: pass --enforce to fail on violations)");
+                Ok((true, _)) => ExitCode::SUCCESS,
+                Ok((false, _)) if enforce => ExitCode::FAILURE,
+                Ok((false, counters_ok)) if enforce_counters => {
+                    if counters_ok {
+                        println!("(wall-clock only: report-only under --enforce-counters)");
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Ok((false, _)) => {
+                    println!(
+                        "(report-only: pass --enforce or --enforce-counters to fail on violations)"
+                    );
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -117,7 +178,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("starqo-obs: {err}");
     }
     eprintln!(
-        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce]"
+        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs accuracy <trace.jsonl> [--json <out.json>]\n  starqo-obs calibrate <trace.jsonl> [--out <profile.json>]\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce|--enforce-counters]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -13,10 +13,17 @@
 //!   or folded-stacks output for standard flamegraph tooling;
 //! - [`diff::TraceDiff`] — behavioral comparison of two runs;
 //! - [`gate::gate`] — `BENCH_*.json` regression gating against a committed
-//!   baseline with percentage thresholds.
+//!   baseline with percentage thresholds;
+//! - [`accuracy::AccuracyReport`] — the estimate→actual join: CARD/COST
+//!   Q-error per plan node, aggregated per LOLEPOP, per STAR rule, and per
+//!   workload query;
+//! - [`calibrate::fit`] — least-squares cost-model calibration from the
+//!   accuracy join, producing a `starqo-plan` [`CostCalibration`] profile.
 //!
-//! The `starqo-obs` binary exposes all four as subcommands.
+//! The `starqo-obs` binary exposes all of these as subcommands.
 
+pub mod accuracy;
+pub mod calibrate;
 pub mod diff;
 pub mod flame;
 pub mod gate;
@@ -24,7 +31,10 @@ pub mod profile;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use accuracy::{q_error, AccuracyReport, GroupStats, NodeJoin, QuerySummary};
+pub use calibrate::{fit, samples, CalibFit, CalibSample};
 pub use diff::TraceDiff;
 pub use flame::FlameTree;
 pub use gate::{gate, GateResult, Thresholds, Violation};
 pub use profile::{LineageRow, Profile, StarProfile};
+pub use starqo_plan::CostCalibration;

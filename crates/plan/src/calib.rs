@@ -1,0 +1,249 @@
+//! Cost-model calibration profiles.
+//!
+//! The default [`CostModel`] weights rank plans *relatively*; they say
+//! nothing about wall-clock time. A [`CostCalibration`] closes that gap: it
+//! carries one multiplicative scale per resource component (I/O, CPU,
+//! communication), fitted offline from (estimated breakdown, actual nanos)
+//! pairs by `starqo-obs calibrate`, and [`CostCalibration::apply`] folds the
+//! scales into the model's weights so every downstream cost estimate lands
+//! in (approximately) nanoseconds of the measured executor.
+//!
+//! Profiles round-trip through the repo's hand-rolled JSON (no serde) and
+//! load from the environment: setting `STARQO_COST_PROFILE=<path>` makes
+//! [`CostModel::from_env`] return a calibrated model.
+
+use starqo_trace::json::JsonObj;
+use starqo_trace::read::{parse_json, JsonValue};
+
+use crate::cost::CostModel;
+
+/// Environment variable naming a profile JSON file to apply to
+/// [`CostModel::from_env`].
+pub const COST_PROFILE_ENV: &str = "STARQO_COST_PROFILE";
+
+/// Per-component multiplicative rescaling of a [`CostModel`], in
+/// nanos-per-cost-unit (when fitted against executor wall time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostCalibration {
+    /// Multiplier for the I/O weight (`w_io`).
+    pub scale_io: f64,
+    /// Multiplier for all CPU weights (`w_cpu`, `w_pred`, `sort_cpu`,
+    /// `hash_cpu`).
+    pub scale_cpu: f64,
+    /// Multiplier for the communication weights (`w_msg`, `w_byte`).
+    pub scale_comm: f64,
+    /// How many (estimate, actual) pairs the fit used.
+    pub samples: u64,
+    /// Root-mean-square *relative* residual of the fit — RMS of
+    /// `(predicted − actual) / actual`, dimensionless (0 = perfect).
+    pub residual_rms: f64,
+}
+
+impl Default for CostCalibration {
+    fn default() -> Self {
+        CostCalibration {
+            scale_io: 1.0,
+            scale_cpu: 1.0,
+            scale_comm: 1.0,
+            samples: 0,
+            residual_rms: 0.0,
+        }
+    }
+}
+
+impl CostCalibration {
+    /// The identity profile: applying it returns the model unchanged.
+    pub fn identity() -> Self {
+        CostCalibration::default()
+    }
+
+    /// A copy of `base` with the component weights rescaled. Structural
+    /// parameters (page size, message size, clustering factors, ...) are
+    /// left alone: calibration changes how much a page/tuple/byte *costs*,
+    /// not how many of them an operator touches.
+    pub fn apply(&self, base: &CostModel) -> CostModel {
+        let mut m = base.clone();
+        m.w_io *= self.scale_io;
+        m.w_cpu *= self.scale_cpu;
+        m.w_pred *= self.scale_cpu;
+        m.sort_cpu *= self.scale_cpu;
+        m.hash_cpu *= self.scale_cpu;
+        m.w_msg *= self.scale_comm;
+        m.w_byte *= self.scale_comm;
+        m
+    }
+
+    /// Serialize as one JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .str("profile", "cost_calibration")
+            .f64("scale_io", self.scale_io)
+            .f64("scale_cpu", self.scale_cpu)
+            .f64("scale_comm", self.scale_comm)
+            .u64("samples", self.samples)
+            .f64("residual_rms", self.residual_rms)
+            .finish()
+    }
+
+    /// Parse a profile back from its JSON form. `Err` carries a
+    /// human-readable reason (malformed JSON, wrong `profile` tag, missing
+    /// scale, or a non-positive scale — which would invert plan rankings).
+    pub fn from_json(text: &str) -> Result<CostCalibration, String> {
+        let v = parse_json(text.trim()).map_err(|e| format!("profile JSON: {e}"))?;
+        let tag = v.get("profile").and_then(JsonValue::as_str).unwrap_or("");
+        if tag != "cost_calibration" {
+            return Err(format!("not a cost_calibration profile (tag {tag:?})"));
+        }
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("profile missing numeric field {k:?}"))
+        };
+        let c = CostCalibration {
+            scale_io: f("scale_io")?,
+            scale_cpu: f("scale_cpu")?,
+            scale_comm: f("scale_comm")?,
+            samples: v.get("samples").and_then(JsonValue::as_u64).unwrap_or(0),
+            residual_rms: v
+                .get("residual_rms")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+        };
+        for (name, s) in [
+            ("scale_io", c.scale_io),
+            ("scale_cpu", c.scale_cpu),
+            ("scale_comm", c.scale_comm),
+        ] {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(format!("{name} must be finite and positive, got {s}"));
+            }
+        }
+        Ok(c)
+    }
+
+    /// Load a profile from a JSON file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<CostCalibration, String> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        CostCalibration::from_json(&text)
+    }
+
+    /// Write the profile to a JSON file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// The profile named by `STARQO_COST_PROFILE`, when set. A set-but-bad
+    /// profile is an `Err` (silently optimizing with the wrong weights
+    /// would be worse than failing); an unset variable is `Ok(None)`.
+    pub fn from_env() -> Result<Option<CostCalibration>, String> {
+        match std::env::var(COST_PROFILE_ENV) {
+            Ok(path) if !path.is_empty() => CostCalibration::load(&path).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+impl CostModel {
+    /// The default model, rescaled by the `STARQO_COST_PROFILE` profile if
+    /// that variable names one. Panics on a set-but-unreadable profile —
+    /// the caller asked for calibration and didn't get it.
+    pub fn from_env() -> CostModel {
+        match CostCalibration::from_env() {
+            Ok(Some(c)) => c.apply(&CostModel::default()),
+            Ok(None) => CostModel::default(),
+            Err(e) => panic!("{COST_PROFILE_ENV}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_profile_is_a_noop() {
+        let base = CostModel::default();
+        let m = CostCalibration::identity().apply(&base);
+        assert_eq!(m.w_io, base.w_io);
+        assert_eq!(m.w_cpu, base.w_cpu);
+        assert_eq!(m.w_msg, base.w_msg);
+        assert_eq!(m.sort_cpu, base.sort_cpu);
+    }
+
+    #[test]
+    fn apply_rescales_exactly_the_component_weights() {
+        let base = CostModel::default();
+        let c = CostCalibration {
+            scale_io: 2.0,
+            scale_cpu: 10.0,
+            scale_comm: 0.5,
+            samples: 12,
+            residual_rms: 3.25,
+        };
+        let m = c.apply(&base);
+        assert_eq!(m.w_io, base.w_io * 2.0);
+        assert_eq!(m.w_cpu, base.w_cpu * 10.0);
+        assert_eq!(m.w_pred, base.w_pred * 10.0);
+        assert_eq!(m.sort_cpu, base.sort_cpu * 10.0);
+        assert_eq!(m.hash_cpu, base.hash_cpu * 10.0);
+        assert_eq!(m.w_msg, base.w_msg * 0.5);
+        assert_eq!(m.w_byte, base.w_byte * 0.5);
+        // Structural parameters untouched.
+        assert_eq!(m.page_bytes, base.page_bytes);
+        assert_eq!(m.msg_bytes, base.msg_bytes);
+        assert_eq!(m.fetch_io, base.fetch_io);
+        assert_eq!(m.clustered_factor, base.clustered_factor);
+        assert_eq!(m.probe_pages, base.probe_pages);
+        assert_eq!(m.small_card, base.small_card);
+    }
+
+    #[test]
+    fn profile_roundtrips_through_json() {
+        let c = CostCalibration {
+            scale_io: 0.125,
+            scale_cpu: 1500.5,
+            scale_comm: 3.0,
+            samples: 22,
+            residual_rms: 12345.75,
+        };
+        let back = CostCalibration::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_profiles() {
+        assert!(CostCalibration::from_json("nope").is_err());
+        assert!(CostCalibration::from_json("{}").is_err());
+        // Wrong tag.
+        assert!(CostCalibration::from_json(r#"{"profile":"other","scale_io":1}"#).is_err());
+        // Missing a scale.
+        assert!(CostCalibration::from_json(
+            r#"{"profile":"cost_calibration","scale_io":1,"scale_cpu":2}"#
+        )
+        .is_err());
+        // Non-positive scale would invert rankings.
+        assert!(CostCalibration::from_json(
+            r#"{"profile":"cost_calibration","scale_io":0,"scale_cpu":2,"scale_comm":1}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("starqo_calib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        let c = CostCalibration {
+            scale_io: 7.0,
+            scale_cpu: 11.0,
+            scale_comm: 13.0,
+            samples: 3,
+            residual_rms: 0.5,
+        };
+        c.save(&path).unwrap();
+        assert_eq!(CostCalibration::load(&path).unwrap(), c);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -20,6 +20,7 @@
 //! * **Explain** — the paper's two plan renderings: the operator graph of
 //!   Figure 1 and the nested functional notation of §2.1.
 
+pub mod calib;
 pub mod cost;
 pub mod error;
 pub mod explain;
@@ -29,6 +30,7 @@ pub mod propfn;
 pub mod props;
 pub mod sel;
 
+pub use calib::{CostCalibration, COST_PROFILE_ENV};
 pub use cost::CostModel;
 pub use error::{PlanError, Result};
 pub use explain::Explain;

@@ -119,13 +119,23 @@ pub enum TraceEvent {
         card: f64,
         cost: f64,
     },
-    /// Per-LOLEPOP actuals recorded by the executor.
+    /// Per-LOLEPOP actuals recorded by the executor. `fp` is the plan
+    /// node's structural fingerprint — the same key `PlanBuilt` and
+    /// `BestNode` carry — so estimate-vs-actual joins need no side channel.
     ExecNode {
         op: String,
+        fp: u64,
         rows_out: u64,
         invocations: u64,
         nanos: u64,
     },
+    /// A workload runner is about to optimize + execute one named query.
+    /// Delimits per-query segments in a combined multi-query stream: every
+    /// event until the next `QueryStart` belongs to this query.
+    QueryStart { name: String },
+    /// The named query finished executing: final row count and inclusive
+    /// optimize+execute wall-clock time.
+    QueryDone { name: String, rows: u64, nanos: u64 },
     /// A named span opened (engine phases, per-query wrappers, ...).
     SpanStart { name: String },
     /// A named span closed after `nanos`.
@@ -151,6 +161,8 @@ impl TraceEvent {
             TraceEvent::TableDominated { .. } => "table_dominated",
             TraceEvent::BestNode { .. } => "best_node",
             TraceEvent::ExecNode { .. } => "exec_node",
+            TraceEvent::QueryStart { .. } => "query_start",
+            TraceEvent::QueryDone { .. } => "query_done",
             TraceEvent::SpanStart { .. } => "span_start",
             TraceEvent::SpanEnd { .. } => "span_end",
             TraceEvent::Counter { .. } => "counter",
@@ -284,14 +296,20 @@ impl TraceEvent {
                 .f64("cost", *cost),
             TraceEvent::ExecNode {
                 op,
+                fp,
                 rows_out,
                 invocations,
                 nanos,
             } => o
                 .str("op", op)
+                .u64("fp", *fp)
                 .u64("rows_out", *rows_out)
                 .u64("invocations", *invocations)
                 .u64("nanos", *nanos),
+            TraceEvent::QueryStart { name } => o.str("name", name),
+            TraceEvent::QueryDone { name, rows, nanos } => {
+                o.str("name", name).u64("rows", *rows).u64("nanos", *nanos)
+            }
             TraceEvent::SpanStart { name } => o.str("name", name),
             TraceEvent::SpanEnd { name, nanos } => o.str("name", name).u64("nanos", *nanos),
             TraceEvent::Counter { name, value } => o.str("name", name).u64("value", *value),
@@ -393,8 +411,19 @@ impl TraceEvent {
             },
             "exec_node" => TraceEvent::ExecNode {
                 op: str_of("op")?,
+                // Absent in pre-observatory traces: degrade to 0 (unjoinable)
+                // instead of dropping the whole event.
+                fp: u64_of("fp").unwrap_or(0),
                 rows_out: u64_of("rows_out")?,
                 invocations: u64_of("invocations")?,
+                nanos: u64_of("nanos")?,
+            },
+            "query_start" => TraceEvent::QueryStart {
+                name: str_of("name")?,
+            },
+            "query_done" => TraceEvent::QueryDone {
+                name: str_of("name")?,
+                rows: u64_of("rows")?,
                 nanos: u64_of("nanos")?,
             },
             "span_start" => TraceEvent::SpanStart {
@@ -569,9 +598,18 @@ mod tests {
             },
             TraceEvent::ExecNode {
                 op: "ACCESS(heap)".into(),
+                fp: 80,
                 rows_out: 100,
                 invocations: 2,
                 nanos: 999,
+            },
+            TraceEvent::QueryStart {
+                name: "paper/local".into(),
+            },
+            TraceEvent::QueryDone {
+                name: "paper/local".into(),
+                rows: 84,
+                nanos: 77_000,
             },
             TraceEvent::SpanStart {
                 name: "optimize".into(),
@@ -654,6 +692,23 @@ mod tests {
         ] {
             assert_eq!(TraceEvent::from_json(bad), None, "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn legacy_exec_node_without_fp_parses_as_zero() {
+        // Pre-observatory traces lack "fp" on exec_node; they should still
+        // load (with an unjoinable fp of 0) rather than be skipped.
+        let line = r#"{"type":"exec_node","op":"SORT","rows_out":9,"invocations":1,"nanos":55}"#;
+        assert_eq!(
+            TraceEvent::from_json(line),
+            Some(TraceEvent::ExecNode {
+                op: "SORT".into(),
+                fp: 0,
+                rows_out: 9,
+                invocations: 1,
+                nanos: 55,
+            })
+        );
     }
 
     #[test]

@@ -276,6 +276,68 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        for v in [3u64, 9, 40] {
+            a.record(v);
+        }
+        let snapshot = a.clone();
+        // Non-empty ⊕ empty: unchanged (in particular min/max must not be
+        // poisoned by the empty histogram's sentinel min = u64::MAX).
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+        // Empty ⊕ non-empty: becomes the non-empty one.
+        let mut e = Histogram::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+        // Empty ⊕ empty: still empty, still no quantiles.
+        let mut z = Histogram::new();
+        z.merge(&Histogram::new());
+        assert!(z.is_empty());
+        assert_eq!(z.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_at_bucket_boundaries() {
+        // 1023 (bucket 10) and 1024 (bucket 11) straddle a power-of-two
+        // boundary; merging must keep them in distinct buckets.
+        let mut a = Histogram::new();
+        a.record(1023);
+        let mut b = Histogram::new();
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts()[10], 1);
+        assert_eq!(a.bucket_counts()[11], 1);
+        assert_eq!(a.count(), 2);
+        // rank(0.5) = 1 → bucket 10, upper bound 1023.
+        assert_eq!(a.p50(), Some(1023));
+        // rank(0.99) = 2 → bucket 11, upper bound 2047 clamped to max 1024.
+        assert_eq!(a.p99(), Some(1024));
+    }
+
+    #[test]
+    fn merge_handles_extreme_buckets() {
+        // Bucket 0 (exactly 0) and bucket 64 (top half of the u64 range)
+        // are the two irregular buckets; a merge spanning both keeps
+        // count/sum/min/max exact.
+        let mut a = Histogram::new();
+        a.record(0);
+        let mut b = Histogram::new();
+        b.record(u64::MAX);
+        b.record(1u64 << 63);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(u64::MAX));
+        assert_eq!(a.bucket_counts()[0], 1);
+        assert_eq!(a.bucket_counts()[64], 2);
+        assert_eq!(
+            a.mean(),
+            Some(((u64::MAX as u128 + (1u128 << 63)) as f64) / 3.0)
+        );
+    }
+
+    #[test]
     fn json_shape() {
         let mut h = Histogram::new();
         h.record(4);

@@ -20,4 +20,22 @@ cargo run -q --offline --example trace_plan > /dev/null
 ./target/debug/starqo-obs flame trace_plan.jsonl --folded | grep -q ";"
 echo "starqo-obs smoke passed."
 
+echo "== estimation observatory smoke (run -> accuracy -> calibrate -> re-run) =="
+cargo build -q --offline -p starqo-bench --bin workload_run
+./target/debug/workload_run --quick --out target/bench/smoke_trace.jsonl > /dev/null
+# Capture full output before grepping: `| grep -q` would close the pipe
+# early and make the writer die on a broken pipe.
+./target/debug/starqo-obs accuracy target/bench/smoke_trace.jsonl \
+    > target/bench/smoke_accuracy.txt
+grep -q "per LOLEPOP" target/bench/smoke_accuracy.txt
+./target/debug/starqo-obs calibrate target/bench/smoke_trace.jsonl \
+    --out target/bench/smoke_profile.json > target/bench/smoke_calibrate.txt
+grep -q "scale_io" target/bench/smoke_calibrate.txt
+STARQO_COST_PROFILE=target/bench/smoke_profile.json \
+    ./target/debug/workload_run --quick --out target/bench/smoke_recal.jsonl > /dev/null
+./target/debug/starqo-obs accuracy target/bench/smoke_recal.jsonl \
+    > target/bench/smoke_recal.txt
+grep -q "per query" target/bench/smoke_recal.txt
+echo "estimation observatory smoke passed."
+
 echo "All checks passed."
