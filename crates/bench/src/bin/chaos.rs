@@ -1,0 +1,45 @@
+//! Chaos smoke: sweep injected faults (panic / error / stall) across every
+//! native function, property evaluation, and executor LOLEPOP, one at a
+//! time, over the workload fleet. Exits non-zero if any panic escapes the
+//! engine/executor containment — the robustness contract enforced in CI.
+//!
+//! With `STARQO_FAULTS` set (e.g. `native:join_preds:panic@2;exec:JOIN:stall500`),
+//! the fleet runs once under exactly that fault plan instead of sweeping.
+//!
+//! Usage: `[STARQO_FAULTS=spec] chaos [--quick] [--seed N]`
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other} (usage: chaos [--quick] [--seed N])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let env_plan = match starqo_core::FaultPlan::from_env() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("STARQO_FAULTS: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match env_plan {
+        Some(plan) => starqo_bench::chaos::run_under_plan(plan, quick),
+        None => starqo_bench::chaos::run_chaos(seed, quick),
+    };
+    print!("{}", report.render());
+    if !report.escapes.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@
 //! | E15 | CARD estimation quality | [`correctness::e15_estimation_quality`] |
 //! | E16 | estimation observatory + cost calibration | [`observatory::e16_estimation_observatory`] |
 
+pub mod chaos;
 pub mod comparison;
 pub mod correctness;
 pub mod distributed;

@@ -1,0 +1,107 @@
+//! The optimizer resource governor.
+//!
+//! STARs are data (§1, §6): rules shipped as text can be explosive, cyclic,
+//! or slow, so the engine accepts a [`Budget`] bounding what one
+//! optimization run may consume. Exhausting a budget is **not** an error —
+//! the engine switches to greedy, best-so-far exploration ("anytime"
+//! semantics): every alternative still on the stack completes with the
+//! first plan it can produce, Glue veneers (always applicable) discharge
+//! the root requirements, and the result is flagged
+//! [`degraded`](crate::Optimized::degraded) instead of failing. The only
+//! cap whose violation is an error is the recursion depth, because blowing
+//! it means the rule set is cyclic, not merely expensive.
+
+use std::time::Duration;
+
+/// Resource limits for one optimization run. `None` everywhere (the
+/// default) means unlimited — the seed behavior.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline for the run. Checked at every STAR reference.
+    pub deadline: Option<Duration>,
+    /// Cap on memo-table entries (distinct memoized STAR references).
+    pub max_memo_entries: Option<usize>,
+    /// Cap on plan nodes built by rules.
+    pub max_plans_built: Option<u64>,
+    /// Per-rule recursion cap: nesting depth of STAR references. Exceeding
+    /// it yields a typed error (cyclic definitions), not degradation.
+    /// `None` uses the engine default of 128.
+    pub max_star_depth: Option<u32>,
+    /// Per-rule expansion cap: items a single ∀ alternative may expand.
+    /// Excess items are dropped (degraded), not an error.
+    pub max_forall_items: Option<usize>,
+}
+
+impl Budget {
+    /// No limits at all (same as `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// True when no cap is set (degradation is impossible).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_memo_entries.is_none()
+            && self.max_plans_built.is_none()
+            && self.max_forall_items.is_none()
+    }
+
+    /// Set a wall-clock deadline (chainable).
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Cap memo-table entries (chainable).
+    pub fn with_memo_cap(mut self, n: usize) -> Self {
+        self.max_memo_entries = Some(n);
+        self
+    }
+
+    /// Cap plan nodes built (chainable).
+    pub fn with_plans_cap(mut self, n: u64) -> Self {
+        self.max_plans_built = Some(n);
+        self
+    }
+
+    /// Cap STAR recursion depth (chainable).
+    pub fn with_depth_cap(mut self, n: u32) -> Self {
+        self.max_star_depth = Some(n);
+        self
+    }
+
+    /// Cap per-alternative ∀ expansion (chainable).
+    pub fn with_forall_cap(mut self, n: usize) -> Self {
+        self.max_forall_items = Some(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(Budget::default().is_unlimited());
+        // A pure depth cap is not a degradation source.
+        assert!(Budget::default().with_depth_cap(16).is_unlimited());
+        assert!(!Budget::default().with_memo_cap(4).is_unlimited());
+        assert!(!Budget::default()
+            .with_deadline(Duration::from_millis(5))
+            .is_unlimited());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let b = Budget::unlimited()
+            .with_deadline(Duration::from_secs(1))
+            .with_memo_cap(100)
+            .with_plans_cap(1_000)
+            .with_forall_cap(8);
+        assert_eq!(b.deadline, Some(Duration::from_secs(1)));
+        assert_eq!(b.max_memo_entries, Some(100));
+        assert_eq!(b.max_plans_built, Some(1_000));
+        assert_eq!(b.max_forall_items, Some(8));
+    }
+}

@@ -12,9 +12,11 @@
 //! alternatives need be evaluated only once" (§1) — the E12 counters come
 //! from here.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 use starqo_catalog::{Catalog, ColId};
 use starqo_plan::{
@@ -23,11 +25,12 @@ use starqo_plan::{
 use starqo_query::{PredSet, QCol, QSet, Query};
 use starqo_trace::{CostBreakdownEv, Histogram, TraceEvent, Tracer};
 
-use crate::error::{CoreError, Result};
+use crate::error::{panic_msg, CoreError, Result};
+use crate::faults::{self, FaultPlan};
 use crate::glue;
 use crate::natives::{NativeCtx, Natives};
 use crate::optimizer::OptConfig;
-use crate::rules::{Alt, BinOp, Expr, Guard, ReqExpr, RuleSet, StarId};
+use crate::rules::{Alt, BinOp, Expr, Guard, ReqExpr, RuleSet, StarDef, StarId};
 use crate::table::PlanTable;
 use crate::value::{ReqVec, RuleValue, StreamRef};
 
@@ -80,6 +83,21 @@ impl Hash for MemoKey {
     }
 }
 
+/// One quarantined rule alternative: the diagnostic surfaced on
+/// [`crate::Optimized::quarantined`] and in `rule_quarantined` trace
+/// events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    pub star: String,
+    /// 1-based alternative index within the STAR.
+    pub alt: usize,
+    /// Rendered condition of applicability (or the alternative's
+    /// expression when unguarded).
+    pub cond: String,
+    /// The panic or error message that triggered quarantine.
+    pub reason: String,
+}
+
 /// Glue cache key.
 #[derive(PartialEq, Eq, Hash)]
 pub(crate) struct GlueKey {
@@ -118,6 +136,18 @@ pub struct Engine<'a> {
     pub(crate) glue_depth: u32,
     memo: HashMap<MemoKey, Arc<Vec<PlanRef>>>,
     pub(crate) glue_cache: HashMap<GlueKey, Arc<Vec<PlanRef>>>,
+    /// Armed fault-injection plan (`native`/`prop` sites), from the config.
+    faults: Option<Arc<FaultPlan>>,
+    /// Absolute deadline computed from the budget at construction.
+    deadline: Option<Instant>,
+    /// First exhausted budget resource ("resource: detail"); once set, the
+    /// engine explores greedily (first productive alternative wins).
+    exhausted: Option<String>,
+    /// Alternatives disabled after panicking or erroring, keyed by
+    /// (star, group, alternative).
+    quarantined: HashSet<(StarId, usize, usize)>,
+    /// Quarantine diagnostics in order of occurrence.
+    pub quarantine_log: Vec<QuarantineRecord>,
     depth: u32,
     /// Unique-per-run STAR reference ids (0 is reserved for "the driver");
     /// only advanced when a tracer is attached.
@@ -160,6 +190,11 @@ impl<'a> Engine<'a> {
             glue_depth: 0,
             memo: HashMap::new(),
             glue_cache: HashMap::new(),
+            faults: config.faults.clone(),
+            deadline: config.budget.deadline.map(|d| Instant::now() + d),
+            exhausted: None,
+            quarantined: HashSet::new(),
+            quarantine_log: Vec::new(),
             depth: 0,
             next_ref_id: 0,
             ref_stack: Vec::new(),
@@ -198,6 +233,51 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // ---- resource governor ----------------------------------------------
+
+    /// True once any budget resource ran out: the engine is in greedy,
+    /// best-so-far mode and the result will be flagged degraded.
+    pub fn degraded(&self) -> bool {
+        self.exhausted.is_some()
+    }
+
+    /// Which resource ran out first ("resource: detail"), when degraded.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.exhausted.as_deref()
+    }
+
+    /// Record budget exhaustion (first one wins) and switch to greedy
+    /// exploration. Never an error: any complete plan the greedy pass
+    /// keeps can be veneered by Glue to meet the root requirements.
+    fn exhaust(&mut self, resource: &str, detail: String) {
+        if self.exhausted.is_some() {
+            return;
+        }
+        self.tracer.emit(|| TraceEvent::BudgetExhausted {
+            resource: resource.to_string(),
+            detail: detail.clone(),
+        });
+        self.exhausted = Some(format!("{resource}: {detail}"));
+    }
+
+    /// Deadline check, paid once per STAR reference (one clock read).
+    fn check_deadline(&mut self) {
+        if self.exhausted.is_some() {
+            return;
+        }
+        if let Some(dl) = self.deadline {
+            if Instant::now() >= dl {
+                let ms = self
+                    .config
+                    .budget
+                    .deadline
+                    .map(|d| d.as_millis())
+                    .unwrap_or(0);
+                self.exhaust("deadline", format!("deadline of {ms} ms elapsed"));
+            }
+        }
+    }
+
     /// Reference a STAR by name (driver entry point).
     pub fn eval_star_by_name(
         &mut self,
@@ -219,6 +299,7 @@ impl<'a> Engine<'a> {
     /// Reference a STAR: expand its alternative definitions.
     pub fn eval_star(&mut self, id: StarId, args: Vec<RuleValue>) -> Result<Arc<Vec<PlanRef>>> {
         self.stats.star_refs += 1;
+        self.check_deadline();
         let key = MemoKey { star: id, args };
         let traced = self.tracer.enabled();
         let ref_id = if traced {
@@ -250,7 +331,8 @@ impl<'a> Engine<'a> {
             memo_hit: false,
         });
         let args = key.args.clone();
-        if self.depth >= MAX_DEPTH {
+        let max_depth = self.config.budget.max_star_depth.unwrap_or(MAX_DEPTH);
+        if self.depth >= max_depth {
             return Err(self.eval_err(
                 &self.rules.star(id).name,
                 "recursion limit exceeded (cyclic STAR definitions?)",
@@ -278,14 +360,24 @@ impl<'a> Engine<'a> {
                 nanos,
             });
         }
-        self.memo.insert(key, plans.clone());
+        match self.config.budget.max_memo_entries {
+            // A full memo stops growing (references re-expand from here
+            // on) and flips the engine into greedy mode.
+            Some(cap) if self.memo.len() >= cap => {
+                self.exhaust("memo_entries", format!("memo cap of {cap} entries reached"));
+            }
+            _ => {
+                self.memo.insert(key, plans.clone());
+            }
+        }
         Ok(plans)
     }
 
     fn eval_star_inner(&mut self, id: StarId, args: &[RuleValue]) -> Result<Vec<PlanRef>> {
         let star = self.rules.star(id).clone();
         let mut out: Vec<PlanRef> = Vec::new();
-        for group in &star.groups {
+        let mut first_err: Option<CoreError> = None;
+        for (group_idx, group) in star.groups.iter().enumerate() {
             // Environment: parameters, then this group's bindings, then one
             // slot for the forall variable.
             let mut env: Vec<RuleValue> = args.to_vec();
@@ -295,51 +387,138 @@ impl<'a> Engine<'a> {
             }
             let mut any_fired = false;
             for (alt_idx, alt) in group.alts.iter().enumerate() {
+                if self.quarantined.contains(&(id, group_idx, alt_idx)) {
+                    continue;
+                }
                 self.stats.alts_considered += 1;
-                let fire = match &alt.guard {
-                    Guard::Always => true,
-                    Guard::Otherwise => !any_fired,
-                    Guard::If(cond) => {
-                        self.stats.conds_evaluated += 1;
-                        // The forall variable is not in scope in the guard;
-                        // guards are per-alternative, not per-item.
-                        let v = self.eval_expr(cond, &mut env.clone(), &star.name)?;
-                        v.as_bool().ok_or_else(|| {
-                            self.eval_err(&star.name, "condition did not evaluate to a boolean")
-                        })?
+                // Quarantine boundary: rules are data, so a panicking or
+                // erroring alternative (guard included) disables itself
+                // while its siblings keep optimizing. A panic unwinding
+                // through nested references leaves depth/ref/glue counters
+                // advanced; snapshot them for repair.
+                let depth0 = self.depth;
+                let stack0 = self.ref_stack.len();
+                let glue_depth0 = self.glue_depth;
+                let step = catch_unwind(AssertUnwindSafe(|| -> Result<Option<Vec<PlanRef>>> {
+                    let fire = match &alt.guard {
+                        Guard::Always => true,
+                        Guard::Otherwise => !any_fired,
+                        Guard::If(cond) => {
+                            self.stats.conds_evaluated += 1;
+                            // The forall variable is not in scope in the
+                            // guard; guards are per-alternative, not
+                            // per-item.
+                            let v = self.eval_expr(cond, &mut env.clone(), &star.name)?;
+                            v.as_bool().ok_or_else(|| {
+                                self.eval_err(&star.name, "condition did not evaluate to a boolean")
+                            })?
+                        }
+                    };
+                    if !fire {
+                        if let Guard::If(cond) = &alt.guard {
+                            self.tracer.emit(|| TraceEvent::CondFailed {
+                                star: star.name.clone(),
+                                alt: alt_idx + 1,
+                                ref_id: self.cur_ref(),
+                                cond: self.rules.render_expr(cond, &star.params, self.natives),
+                            });
+                        }
+                        return Ok(None);
                     }
-                };
-                if !fire {
-                    if let Guard::If(cond) = &alt.guard {
-                        self.tracer.emit(|| TraceEvent::CondFailed {
+                    self.eval_alt(alt, &env, &star.name, alt_idx).map(Some)
+                }));
+                match step {
+                    Ok(Ok(None)) => {} // condition of applicability failed
+                    Ok(Ok(Some(produced))) => {
+                        any_fired = true;
+                        self.tracer.emit(|| TraceEvent::AltFired {
                             star: star.name.clone(),
                             alt: alt_idx + 1,
                             ref_id: self.cur_ref(),
-                            cond: self.rules.render_expr(cond, &star.params, self.natives),
+                            plans: produced.len(),
                         });
+                        for p in &produced {
+                            self.provenance
+                                .entry(p.fingerprint())
+                                .or_insert_with(|| format!("{}[alt {}]", star.name, alt_idx + 1));
+                        }
+                        let productive = !produced.is_empty();
+                        out.extend(produced);
+                        if group.exclusive {
+                            break;
+                        }
+                        // Greedy (degraded) mode: an inclusive group stops
+                        // at its first productive alternative.
+                        if self.exhausted.is_some() && productive {
+                            break;
+                        }
                     }
-                    continue;
-                }
-                any_fired = true;
-                let produced = self.eval_alt(alt, &env, &star.name, alt_idx)?;
-                self.tracer.emit(|| TraceEvent::AltFired {
-                    star: star.name.clone(),
-                    alt: alt_idx + 1,
-                    ref_id: self.cur_ref(),
-                    plans: produced.len(),
-                });
-                for p in &produced {
-                    self.provenance
-                        .entry(p.fingerprint())
-                        .or_insert_with(|| format!("{}[alt {}]", star.name, alt_idx + 1));
-                }
-                out.extend(produced);
-                if group.exclusive {
-                    break;
+                    Ok(Err(e)) => {
+                        let e = self.quarantine_alt(id, group_idx, alt_idx, &star, alt, e);
+                        first_err.get_or_insert(e);
+                    }
+                    Err(payload) => {
+                        self.depth = depth0;
+                        self.ref_stack.truncate(stack0);
+                        self.glue_depth = glue_depth0;
+                        let e = CoreError::Panicked {
+                            context: format!("STAR {}[alt {}]", star.name, alt_idx + 1),
+                            msg: panic_msg(payload),
+                        };
+                        let e = self.quarantine_alt(id, group_idx, alt_idx, &star, alt, e);
+                        first_err.get_or_insert(e);
+                    }
                 }
             }
         }
+        // Partial failure with surviving plans is quarantine-and-continue;
+        // a reference that produced nothing *because* its alternatives
+        // failed keeps the first typed error (a fully-broken rule — e.g. a
+        // cyclic definition — still fails loudly).
+        if out.is_empty() {
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
         Ok(out)
+    }
+
+    /// Disable one alternative for the rest of the run, recording a
+    /// diagnostic that names the STAR and its condition of applicability.
+    fn quarantine_alt(
+        &mut self,
+        id: StarId,
+        group_idx: usize,
+        alt_idx: usize,
+        star: &StarDef,
+        alt: &Alt,
+        err: CoreError,
+    ) -> CoreError {
+        if !self.quarantined.insert((id, group_idx, alt_idx)) {
+            return err; // already quarantined (recursive re-entry)
+        }
+        let cond = match &alt.guard {
+            Guard::If(c) => self.rules.render_expr(c, &star.params, self.natives),
+            Guard::Otherwise => "otherwise".to_string(),
+            Guard::Always => self
+                .rules
+                .render_expr(&alt.expr, &star.params, self.natives),
+        };
+        let reason = err.to_string();
+        self.tracer.emit(|| TraceEvent::RuleQuarantined {
+            star: star.name.clone(),
+            alt: alt_idx + 1,
+            ref_id: self.cur_ref(),
+            cond: cond.clone(),
+            reason: reason.clone(),
+        });
+        self.quarantine_log.push(QuarantineRecord {
+            star: star.name.clone(),
+            alt: alt_idx + 1,
+            cond,
+            reason,
+        });
+        err
     }
 
     fn eval_alt(
@@ -359,7 +538,7 @@ impl<'a> Engine<'a> {
             Some(set_expr) => {
                 let mut env0 = env.to_vec();
                 let set = self.eval_expr(set_expr, &mut env0, star)?;
-                let items: Vec<RuleValue> = match set {
+                let mut items: Vec<RuleValue> = match set {
                     RuleValue::List(items) => items.as_ref().clone(),
                     other => {
                         return Err(self.eval_err(
@@ -368,6 +547,17 @@ impl<'a> Engine<'a> {
                         ))
                     }
                 };
+                // Per-rule expansion cap: excess ∀ items are dropped
+                // (degraded), not an error.
+                if let Some(cap) = self.config.budget.max_forall_items {
+                    if items.len() > cap {
+                        self.exhaust(
+                            "forall_items",
+                            format!("forall expansion of {} items capped at {cap}", items.len()),
+                        );
+                        items.truncate(cap);
+                    }
+                }
                 self.tracer.emit(|| TraceEvent::ForallExpand {
                     star: star.to_string(),
                     alt: alt_idx + 1,
@@ -379,6 +569,10 @@ impl<'a> Engine<'a> {
                     env2.push(item);
                     let v = self.eval_expr(&alt.expr, &mut env2, star)?;
                     out.extend(self.want_plans(&v, star)?.iter().cloned());
+                    // Greedy (degraded) mode: first productive item wins.
+                    if self.exhausted.is_some() && !out.is_empty() {
+                        break;
+                    }
                 }
             }
         }
@@ -415,7 +609,7 @@ impl<'a> Engine<'a> {
             Expr::CallFn(id, args) => {
                 let vals = self.eval_args(args, env, star)?;
                 self.stats.native_calls += 1;
-                self.natives.call(*id, &self.native_ctx(), &vals)
+                self.call_native(*id, &vals, star)
             }
             Expr::CallOp(name, args) => {
                 let vals = self.eval_args(args, env, star)?;
@@ -490,6 +684,29 @@ impl<'a> Engine<'a> {
                     .map(|b| RuleValue::Bool(!b))
                     .ok_or_else(|| self.eval_err(star, "'not' applied to non-boolean"))
             }
+        }
+    }
+
+    /// Call a native function behind the fault-injection and panic-
+    /// containment boundary: armed faults fire first, then the call runs
+    /// under `catch_unwind` so a panicking native becomes a typed error
+    /// (and quarantines the invoking alternative).
+    fn call_native(&mut self, id: u32, vals: &[RuleValue], star: &str) -> Result<RuleValue> {
+        let natives = self.natives;
+        if let Some(plan) = &self.faults {
+            if let Some(mode) = plan.trigger("native", natives.name(id)) {
+                if let Some(msg) = faults::fire(mode, natives.name(id)) {
+                    return Err(self.eval_err(star, msg));
+                }
+            }
+        }
+        let ctx = self.native_ctx();
+        match catch_unwind(AssertUnwindSafe(|| natives.call(id, &ctx, vals))) {
+            Ok(r) => r,
+            Err(payload) => Err(CoreError::Panicked {
+                context: format!("native function '{}'", natives.name(id)),
+                msg: panic_msg(payload),
+            }),
         }
     }
 
@@ -661,7 +878,7 @@ impl<'a> Engine<'a> {
             "SORT" => {
                 let plans = self.arg_plans(args, 0, "SORT", star)?;
                 let key = self.as_cols(&args[1], star)?;
-                self.map_unary(&plans, |_| Lolepop::Sort { key: key.clone() })
+                self.map_unary(&plans, |_| Lolepop::Sort { key: key.clone() })?
             }
             "SHIP" => {
                 let plans = self.arg_plans(args, 0, "SHIP", star)?;
@@ -671,21 +888,21 @@ impl<'a> Engine<'a> {
                         return Err(self.eval_err(star, format!("SHIP site: got {}", other.kind())))
                     }
                 };
-                self.map_unary(&plans, |_| Lolepop::Ship { to })
+                self.map_unary(&plans, |_| Lolepop::Ship { to })?
             }
             "STORE" => {
                 let plans = self.arg_plans(args, 0, "STORE", star)?;
-                self.map_unary(&plans, |_| Lolepop::Store)
+                self.map_unary(&plans, |_| Lolepop::Store)?
             }
             "BUILD_INDEX" => {
                 let plans = self.arg_plans(args, 0, "BUILD_INDEX", star)?;
                 let key = self.as_cols(&args[1], star)?;
-                self.map_unary(&plans, |_| Lolepop::BuildIndex { key: key.clone() })
+                self.map_unary(&plans, |_| Lolepop::BuildIndex { key: key.clone() })?
             }
             "FILTER" => {
                 let plans = self.arg_plans(args, 0, "FILTER", star)?;
                 let preds = self.as_preds(&args[1], star)?;
-                self.map_unary(&plans, |_| Lolepop::Filter { preds })
+                self.map_unary(&plans, |_| Lolepop::Filter { preds })?
             }
             "JOIN" => self.op_join(args, star)?,
             "UNION" => {
@@ -694,7 +911,7 @@ impl<'a> Engine<'a> {
                 let mut out = Vec::new();
                 for a in l.iter() {
                     for b in r.iter() {
-                        self.try_build(Lolepop::Union, vec![a.clone(), b.clone()], &mut out);
+                        self.try_build(Lolepop::Union, vec![a.clone(), b.clone()], &mut out)?;
                     }
                 }
                 out
@@ -748,36 +965,96 @@ impl<'a> Engine<'a> {
     /// a veneer is impedance matching, not a strategy alternative.
     pub(crate) fn build_veneer(&mut self, op: Lolepop, inputs: Vec<PlanRef>) -> Result<PlanRef> {
         let ctx = self.prop_ctx();
-        let p = self.prop.build(op, inputs, &ctx)?;
+        let prop = self.prop;
+        let faults = self.faults.clone();
+        let op_name = faults.is_some().then(|| op.name());
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            if let (Some(plan), Some(name)) = (&faults, &op_name) {
+                if let Some(mode) = plan.trigger("prop", name) {
+                    if let Some(msg) = faults::fire(mode, name) {
+                        return Err(CoreError::Glue(msg));
+                    }
+                }
+            }
+            prop.build(op, inputs, &ctx).map_err(CoreError::from)
+        }));
+        let p = match built {
+            Ok(r) => r?,
+            Err(payload) => {
+                return Err(CoreError::Panicked {
+                    context: "property function (glue veneer)".to_string(),
+                    msg: panic_msg(payload),
+                })
+            }
+        };
         self.stats.glue_veneers += 1;
         self.emit_plan_built(&p);
         Ok(p)
     }
 
-    fn try_build(&mut self, op: Lolepop, inputs: Vec<PlanRef>, out: &mut Vec<PlanRef>) {
+    /// Run a property function under the fault-injection and panic-
+    /// containment boundary. A typed rejection stays a counted rejection;
+    /// a panic becomes `CoreError::Panicked` for the caller to propagate
+    /// (quarantining the invoking alternative).
+    fn try_build(
+        &mut self,
+        op: Lolepop,
+        inputs: Vec<PlanRef>,
+        out: &mut Vec<PlanRef>,
+    ) -> Result<()> {
         let ctx = PropCtx::new(self.catalog, self.query, self.model);
-        // `op` moves into build(); keep its name around only when tracing.
-        let rejected_name = if self.tracer.enabled() {
+        // `op` moves into build(); keep its name around only when tracing
+        // or fault matching needs it.
+        let op_name = if self.tracer.enabled() || self.faults.is_some() {
             Some(op.name())
         } else {
             None
         };
-        match self.prop.build(op, inputs, &ctx) {
-            Ok(p) => {
+        let prop = self.prop;
+        let faults = self.faults.clone();
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            if let (Some(plan), Some(name)) = (&faults, &op_name) {
+                if let Some(mode) = plan.trigger("prop", name) {
+                    if let Some(msg) = faults::fire(mode, name) {
+                        return Err(CoreError::Eval {
+                            star: "<injected>".to_string(),
+                            msg,
+                        });
+                    }
+                }
+            }
+            prop.build(op, inputs, &ctx).map_err(CoreError::from)
+        }));
+        match built {
+            Ok(Ok(p)) => {
                 self.stats.plans_built += 1;
+                if let Some(cap) = self.config.budget.max_plans_built {
+                    if self.stats.plans_built >= cap {
+                        self.exhaust("plans_built", format!("plan cap of {cap} nodes reached"));
+                    }
+                }
                 self.plan_cost
                     .record(p.props.cost.once.max(0.0).round() as u64);
                 self.emit_plan_built(&p);
                 out.push(p);
+                Ok(())
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 self.stats.plans_rejected += 1;
                 self.tracer.emit(|| TraceEvent::PlanRejected {
-                    op: rejected_name.unwrap_or_default(),
+                    op: op_name.clone().unwrap_or_default(),
                     ref_id: self.cur_ref(),
                     reason: e.to_string(),
                 });
+                Ok(())
             }
+            Err(payload) => Err(CoreError::Panicked {
+                context: format!(
+                    "property function for {}",
+                    op_name.unwrap_or_else(|| "operator".to_string())
+                ),
+                msg: panic_msg(payload),
+            }),
         }
     }
 
@@ -785,13 +1062,13 @@ impl<'a> Engine<'a> {
         &mut self,
         plans: &Arc<Vec<PlanRef>>,
         mut op: impl FnMut(&PlanRef) -> Lolepop,
-    ) -> Vec<PlanRef> {
+    ) -> Result<Vec<PlanRef>> {
         let mut out = Vec::new();
         for p in plans.iter() {
             let o = op(p);
-            self.try_build(o, vec![p.clone()], &mut out);
+            self.try_build(o, vec![p.clone()], &mut out)?;
         }
-        out
+        Ok(out)
     }
 
     fn op_access(&mut self, args: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
@@ -825,7 +1102,7 @@ impl<'a> Engine<'a> {
                 } else {
                     AccessSpec::BTreeTable(q)
                 };
-                self.try_build(Lolepop::Access { spec, cols, preds }, vec![], &mut out);
+                self.try_build(Lolepop::Access { spec, cols, preds }, vec![], &mut out)?;
             }
             (RuleValue::Index(ix, q), "index") => {
                 let cols = self.as_colset(&args[2], star)?;
@@ -837,7 +1114,7 @@ impl<'a> Engine<'a> {
                     },
                     vec![],
                     &mut out,
-                );
+                )?;
             }
             (RuleValue::Plans(plans), "heap" | "temp") => {
                 for p in plans.iter() {
@@ -853,7 +1130,7 @@ impl<'a> Engine<'a> {
                         },
                         vec![p.clone()],
                         &mut out,
-                    );
+                    )?;
                 }
             }
             (target, fl) => {
@@ -887,11 +1164,11 @@ impl<'a> Engine<'a> {
             other => self.as_colset(other, star)?,
         };
         let preds = self.as_preds(&args[3], star)?;
-        Ok(self.map_unary(&input, |_| Lolepop::Get {
+        self.map_unary(&input, |_| Lolepop::Get {
             q,
             cols: cols.clone(),
             preds,
-        }))
+        })
     }
 
     fn op_join(&mut self, args: &[RuleValue], star: &str) -> Result<Vec<PlanRef>> {
@@ -925,7 +1202,7 @@ impl<'a> Engine<'a> {
                     },
                     vec![o.clone(), i.clone()],
                     &mut out,
-                );
+                )?;
             }
         }
         Ok(out)
@@ -976,7 +1253,7 @@ impl<'a> Engine<'a> {
         }
         let mut out = Vec::new();
         for inputs in combos {
-            self.try_build(op.clone(), inputs, &mut out);
+            self.try_build(op.clone(), inputs, &mut out)?;
         }
         Ok(out)
     }

@@ -103,6 +103,13 @@ pub fn enumerate(engine: &mut Engine<'_>) -> Result<Enumerated> {
                         built_any = true;
                         engine.table.insert(p.clone());
                     }
+                    // Greedy (degraded) mode: once the budget is exhausted,
+                    // the first partition producing plans for this subset
+                    // is enough — a complete plan always survives because
+                    // Glue veneers can discharge any root requirement.
+                    if engine.degraded() && built_any {
+                        break;
+                    }
                 }
             }
         }

@@ -18,6 +18,9 @@ pub enum CoreError {
     Glue(String),
     /// The enumerator could not produce any plan for the query.
     NoPlan(String),
+    /// A rule, native function, or property function panicked; the panic
+    /// was caught at an engine boundary and surfaced as a typed error.
+    Panicked { context: String, msg: String },
 }
 
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -31,7 +34,20 @@ impl fmt::Display for CoreError {
             CoreError::Plan(e) => write!(f, "plan construction: {e}"),
             CoreError::Glue(msg) => write!(f, "glue: {msg}"),
             CoreError::NoPlan(msg) => write!(f, "no plan found: {msg}"),
+            CoreError::Panicked { context, msg } => write!(f, "panic in {context}: {msg}"),
         }
+    }
+}
+
+/// Render a caught panic payload (the `Box<dyn Any>` from `catch_unwind`)
+/// as a message string.
+pub fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -254,7 +254,9 @@ fn existing_or_access(
 
 /// Reference the AccessRoot STAR for a single-table stream.
 fn access_root(engine: &mut Engine<'_>, tables: QSet, preds: PredSet) -> Result<Arc<Vec<PlanRef>>> {
-    let q = tables.as_single().expect("single-table stream");
+    let q = tables
+        .as_single()
+        .ok_or_else(|| CoreError::Glue(format!("AccessRoot on multi-table stream {tables}")))?;
     let cols = engine.query.required_cols(q);
     engine.eval_star_by_name(
         "AccessRoot",

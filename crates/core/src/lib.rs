@@ -27,10 +27,16 @@
 //!   STARs (verbatim in structure and naming) and the single-table access
 //!   STARs in the spirit of [LEE 88].
 
+// Library code must surface failures as typed errors (tests may still
+// unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod budget;
 pub mod compile;
 pub mod engine;
 pub mod enumerate;
 pub mod error;
+pub mod faults;
 pub mod glue;
 pub mod natives;
 pub mod optimizer;
@@ -38,8 +44,10 @@ pub mod rules;
 pub mod table;
 pub mod value;
 
-pub use engine::{Engine, OptStats};
+pub use budget::Budget;
+pub use engine::{Engine, OptStats, QuarantineRecord};
 pub use error::{CoreError, Result};
+pub use faults::{FaultMode, FaultPlan};
 pub use optimizer::{OptConfig, Optimized, Optimizer};
 pub use rules::{RuleSet, StarId};
 pub use value::{ReqVec, RuleValue, StreamRef};

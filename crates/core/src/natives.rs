@@ -107,6 +107,12 @@ impl Natives {
         &self.names[id as usize]
     }
 
+    /// All registered native function names (in registration order) — the
+    /// chaos runner enumerates fault-injection sites from this.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
     pub fn call(&self, id: u32, ctx: &NativeCtx<'_>, args: &[RuleValue]) -> Result<RuleValue> {
         (self.fns[id as usize])(ctx, args)
     }

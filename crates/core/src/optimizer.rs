@@ -8,10 +8,12 @@ use starqo_plan::{CostModel, ExtPropFn, PlanRef, PropEngine};
 use starqo_query::Query;
 use starqo_trace::{MetricsRegistry, MetricsSummary, Phase, TraceEvent, Tracer};
 
+use crate::budget::Budget;
 use crate::compile::{compile_into, CompileEnv};
-use crate::engine::{Engine, OptStats};
+use crate::engine::{Engine, OptStats, QuarantineRecord};
 use crate::enumerate::enumerate;
-use crate::error::Result;
+use crate::error::{panic_msg, CoreError, Result};
+use crate::faults::FaultPlan;
 use crate::natives::Natives;
 use crate::rules::RuleSet;
 use crate::table::TableStats;
@@ -37,6 +39,12 @@ pub struct OptConfig {
     /// ABLATION: disable property-aware plan-table pruning (keep every
     /// non-duplicate plan). Quantifies the System-R style dominance test.
     pub ablate_pruning: bool,
+    /// Resource budget for the run. Exhaustion degrades the run to greedy,
+    /// best-so-far exploration (`Optimized::degraded`) instead of erroring.
+    pub budget: Budget,
+    /// Armed fault-injection plan (robustness testing; see
+    /// [`crate::faults`]). `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl OptConfig {
@@ -59,6 +67,8 @@ impl OptConfig {
                 .collect(),
             ablate_memo: false,
             ablate_pruning: false,
+            budget: Budget::default(),
+            faults: None,
         }
     }
 }
@@ -84,6 +94,15 @@ pub struct Optimized {
     pub provenance: std::collections::HashMap<u64, String>,
     /// Counters and per-phase wall-clock timings for this run.
     pub metrics: MetricsSummary,
+    /// True when a budget resource ran out and the plan came from greedy,
+    /// best-so-far exploration (anytime semantics). The plan is still
+    /// complete and executable.
+    pub degraded: bool,
+    /// Which resource ran out first ("resource: detail"), when degraded.
+    pub degraded_reason: Option<String>,
+    /// Rule alternatives disabled after panicking or erroring during this
+    /// run, with rendered diagnostics.
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 impl Optimized {
@@ -116,6 +135,8 @@ pub struct Optimizer {
     /// Accumulated wall time spent compiling rule text (reported as the
     /// `compile` phase of every subsequent optimization's metrics).
     compile_nanos: u64,
+    /// Structural lint warnings accumulated over every `load_rules` call.
+    warnings: Vec<starqo_dsl::LintWarning>,
 }
 
 impl Optimizer {
@@ -139,6 +160,7 @@ impl Optimizer {
             prop: PropEngine::new(),
             ext_ops: BTreeSet::new(),
             compile_nanos: 0,
+            warnings: Vec::new(),
         }
     }
 
@@ -149,6 +171,9 @@ impl Optimizer {
         let started = std::time::Instant::now();
         let result = (|| {
             let ast = starqo_dsl::parse_rules(text)?;
+            // Structural lints are advisory: legal-but-suspect rule shapes
+            // accumulate as warnings instead of failing the load.
+            self.warnings.extend(starqo_dsl::lint_rules(&ast));
             let env = CompileEnv {
                 natives: &self.natives,
                 ext_ops: &self.ext_ops,
@@ -157,6 +182,13 @@ impl Optimizer {
         })();
         self.compile_nanos += started.elapsed().as_nanos() as u64;
         result
+    }
+
+    /// Structural lint warnings from every rule file loaded so far
+    /// (unused parameters, unreachable alternatives, recursion without a
+    /// base case).
+    pub fn warnings(&self) -> &[starqo_dsl::LintWarning] {
+        &self.warnings
     }
 
     /// Register a new LOLEPOP (§5): name + property function. Rules loaded
@@ -215,7 +247,18 @@ impl Optimizer {
         engine.set_tracer(tracer.clone());
         let span = tracer.span("optimize");
         let timer = metrics.start(Phase::Enumerate);
-        let out = enumerate(&mut engine);
+        // Last-resort containment: panics escaping the engine's per-
+        // alternative quarantine (e.g. from driver-level Glue) surface as
+        // a typed error, never a process abort.
+        let out =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| enumerate(&mut engine)))
+            {
+                Ok(r) => r,
+                Err(payload) => Err(CoreError::Panicked {
+                    context: "enumeration".to_string(),
+                    msg: panic_msg(payload),
+                }),
+            };
         metrics.finish(timer);
         drop(span);
         let out = out?;
@@ -262,6 +305,10 @@ impl Optimizer {
         metrics.count("table_duplicates", t.duplicates);
         metrics.merge_hist("star_ref_nanos", &engine.star_nanos);
         metrics.merge_hist("plan_cost_once", &engine.plan_cost);
+        metrics.count("rules_quarantined", engine.quarantine_log.len() as u64);
+        metrics.count("degraded", engine.degraded() as u64);
+        let degraded = engine.degraded();
+        let degraded_reason = engine.degraded_reason().map(str::to_string);
         Ok(Optimized {
             best: out.best,
             root_alternatives: out.root_alternatives,
@@ -271,6 +318,9 @@ impl Optimizer {
             table_keys: engine.table.total_keys(),
             provenance: engine.provenance,
             metrics: metrics.summary(),
+            degraded,
+            degraded_reason,
+            quarantined: engine.quarantine_log,
         })
     }
 }

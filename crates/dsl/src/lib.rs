@@ -44,8 +44,10 @@
 pub mod ast;
 pub mod error;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 
 pub use ast::{AltAst, BinOpAst, BodyAst, ExprAst, GuardAst, ReqAst, RuleFileAst, StarDefAst};
 pub use error::{DslError, Result};
+pub use lint::{lint_rules, LintKind, LintWarning};
 pub use parser::parse_rules;

@@ -1,0 +1,294 @@
+//! Structural lints over the parsed rule AST.
+//!
+//! The DSL deliberately accepts any well-formed rule text — §5's promise is
+//! that "new STARs can be added ... without impacting the Starburst system
+//! code at all", and a too-eager compiler would undercut that. These checks
+//! instead flag *legal but suspect* shapes as warnings at load time:
+//!
+//! * a declared parameter that no binding or alternative ever reads,
+//! * an alternative that can never fire because an earlier unconditional
+//!   (or `otherwise`) alternative in an *exclusive* group shadows it,
+//! * a STAR whose every alternative references itself — recursion with no
+//!   base case, guaranteed to hit the engine's depth limit.
+//!
+//! Warnings carry the STAR name and source line so a rule author can fix
+//! the file without reading compiler internals.
+
+use crate::ast::{AltAst, ExprAst, GuardAst, RuleFileAst, StarDefAst};
+
+/// What a lint warning is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A STAR parameter is never referenced by any binding or alternative.
+    UnusedParameter,
+    /// An alternative in an exclusive group follows an unconditional or
+    /// `otherwise` alternative and can never be selected.
+    UnreachableAlternative,
+    /// Every alternative of the STAR references the STAR itself: the
+    /// recursion has no base case and can only end at the depth limit.
+    NoBaseCase,
+}
+
+impl std::fmt::Display for LintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintKind::UnusedParameter => write!(f, "unused-parameter"),
+            LintKind::UnreachableAlternative => write!(f, "unreachable-alternative"),
+            LintKind::NoBaseCase => write!(f, "no-base-case"),
+        }
+    }
+}
+
+/// One structural warning, tied to a STAR and a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintWarning {
+    pub kind: LintKind,
+    pub star: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] STAR {} (line {}): {}",
+            self.kind, self.star, self.line, self.message
+        )
+    }
+}
+
+/// Run every lint over a parsed rule file.
+pub fn lint_rules(ast: &RuleFileAst) -> Vec<LintWarning> {
+    let mut out = Vec::new();
+    for star in &ast.stars {
+        lint_unused_params(star, &mut out);
+        lint_unreachable_alts(star, &mut out);
+        lint_no_base_case(star, &mut out);
+    }
+    out
+}
+
+fn lint_unused_params(star: &StarDefAst, out: &mut Vec<LintWarning>) {
+    let mut used = Vec::new();
+    for (_, e) in &star.bindings {
+        collect_idents(e, &mut used);
+    }
+    for alt in star.body.alternatives() {
+        collect_alt_idents(alt, &mut used);
+    }
+    for p in &star.params {
+        // A leading underscore is the conventional "intentionally unused"
+        // marker, as in Rust.
+        if !p.starts_with('_') && !used.iter().any(|u| u == p) {
+            out.push(LintWarning {
+                kind: LintKind::UnusedParameter,
+                star: star.name.clone(),
+                line: star.line,
+                message: format!("parameter '{p}' is never referenced"),
+            });
+        }
+    }
+}
+
+fn lint_unreachable_alts(star: &StarDefAst, out: &mut Vec<LintWarning>) {
+    // Only exclusive groups commit to the first alternative whose guard
+    // holds; in an inclusive group every alternative is considered.
+    if !star.body.exclusive() {
+        return;
+    }
+    let alts = star.body.alternatives();
+    let mut terminal: Option<u32> = None;
+    for alt in alts {
+        if let Some(term_line) = terminal {
+            out.push(LintWarning {
+                kind: LintKind::UnreachableAlternative,
+                star: star.name.clone(),
+                line: alt.line,
+                message: format!(
+                    "alternative can never fire: the unconditional alternative \
+                     at line {term_line} always wins in this exclusive group"
+                ),
+            });
+            continue;
+        }
+        if matches!(alt.guard, GuardAst::None | GuardAst::Otherwise) {
+            terminal = Some(alt.line);
+        }
+    }
+}
+
+fn lint_no_base_case(star: &StarDefAst, out: &mut Vec<LintWarning>) {
+    let alts = star.body.alternatives();
+    if alts.is_empty() {
+        return;
+    }
+    let all_recurse = alts.iter().all(|alt| {
+        let mut calls = Vec::new();
+        collect_calls(&alt.expr, &mut calls);
+        if let Some((_, set)) = &alt.forall {
+            collect_calls(set, &mut calls);
+        }
+        calls.iter().any(|c| c == &star.name)
+    });
+    if all_recurse {
+        out.push(LintWarning {
+            kind: LintKind::NoBaseCase,
+            star: star.name.clone(),
+            line: star.line,
+            message: format!(
+                "every alternative references {} itself; the recursion has \
+                 no base case and can only end at the depth limit",
+                star.name
+            ),
+        });
+    }
+}
+
+fn collect_alt_idents(alt: &AltAst, out: &mut Vec<String>) {
+    if let Some((_, set)) = &alt.forall {
+        collect_idents(set, out);
+    }
+    collect_idents(&alt.expr, out);
+    if let GuardAst::If(cond) = &alt.guard {
+        collect_idents(cond, out);
+    }
+}
+
+/// Every identifier an expression reads (parameters, bindings, bare
+/// symbols — over-approximate on purpose: a false "used" is harmless).
+fn collect_idents(e: &ExprAst, out: &mut Vec<String>) {
+    match e {
+        ExprAst::Ident(n) => out.push(n.clone()),
+        ExprAst::Call(_, args) => {
+            for a in args {
+                collect_idents(a, out);
+            }
+        }
+        ExprAst::Binary(_, l, r) => {
+            collect_idents(l, out);
+            collect_idents(r, out);
+        }
+        ExprAst::Not(x) => collect_idents(x, out),
+        ExprAst::WithReqs(x, reqs) => {
+            collect_idents(x, out);
+            for r in reqs {
+                match r {
+                    crate::ast::ReqAst::Order(e)
+                    | crate::ast::ReqAst::Site(e)
+                    | crate::ast::ReqAst::Paths(e) => collect_idents(e, out),
+                    crate::ast::ReqAst::Temp => {}
+                }
+            }
+        }
+        ExprAst::Num(_) | ExprAst::Str(_) | ExprAst::AllCols | ExprAst::EmptySet => {}
+    }
+}
+
+/// Every call-target name in an expression (STARs, LOLEPOPs, natives).
+fn collect_calls(e: &ExprAst, out: &mut Vec<String>) {
+    match e {
+        ExprAst::Call(n, args) => {
+            out.push(n.clone());
+            for a in args {
+                collect_calls(a, out);
+            }
+        }
+        ExprAst::Binary(_, l, r) => {
+            collect_calls(l, out);
+            collect_calls(r, out);
+        }
+        ExprAst::Not(x) => collect_calls(x, out),
+        ExprAst::WithReqs(x, reqs) => {
+            collect_calls(x, out);
+            for r in reqs {
+                match r {
+                    crate::ast::ReqAst::Order(e)
+                    | crate::ast::ReqAst::Site(e)
+                    | crate::ast::ReqAst::Paths(e) => collect_calls(e, out),
+                    crate::ast::ReqAst::Temp => {}
+                }
+            }
+        }
+        ExprAst::Num(_)
+        | ExprAst::Str(_)
+        | ExprAst::Ident(_)
+        | ExprAst::AllCols
+        | ExprAst::EmptySet => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_rules;
+
+    fn lints(text: &str) -> Vec<LintWarning> {
+        lint_rules(&parse_rules(text).expect("parse"))
+    }
+
+    #[test]
+    fn unused_parameter_flagged() {
+        let ws = lints("star S(T, P) = ACCESS(T);");
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].kind, LintKind::UnusedParameter);
+        assert!(ws[0].message.contains("'P'"));
+        assert_eq!(ws[0].star, "S");
+    }
+
+    #[test]
+    fn underscore_parameter_not_flagged() {
+        assert!(lints("star S(T, _P) = ACCESS(T);").is_empty());
+    }
+
+    #[test]
+    fn parameter_used_via_binding_not_flagged() {
+        let ws = lints("star S(T, P) = with JP = join_preds(P) ACCESS(T, JP);");
+        assert!(ws.is_empty(), "{ws:?}");
+    }
+
+    #[test]
+    fn unreachable_after_unconditional_in_exclusive() {
+        let ws = lints("star S(T) = {\n    ACCESS(T);\n    GET(T) if is_empty(T);\n}");
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].kind, LintKind::UnreachableAlternative);
+        assert_eq!(ws[0].line, 3);
+    }
+
+    #[test]
+    fn unreachable_after_otherwise_in_exclusive() {
+        let ws = lints(
+            "star S(T) = {\n    ACCESS(T) if is_empty(T);\n    GET(T) otherwise;\n    STORE(T) if is_empty(T);\n}",
+        );
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].kind, LintKind::UnreachableAlternative);
+        assert_eq!(ws[0].line, 4);
+    }
+
+    #[test]
+    fn inclusive_group_never_unreachable() {
+        let ws = lints("star S(T) = [\n    ACCESS(T);\n    GET(T) if is_empty(T);\n]");
+        assert!(ws.is_empty(), "{ws:?}");
+    }
+
+    #[test]
+    fn self_recursion_without_base_case_flagged() {
+        let ws = lints("star S(T) = S(T);");
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].kind, LintKind::NoBaseCase);
+    }
+
+    #[test]
+    fn self_recursion_with_base_case_not_flagged() {
+        let ws = lints("star S(T) = {\n    ACCESS(T) if is_empty(T);\n    S(T) otherwise;\n}");
+        assert!(ws.is_empty(), "{ws:?}");
+    }
+
+    #[test]
+    fn clean_builtin_style_rule_is_quiet() {
+        let ws = lints(
+            "star JRoot(T1, T2, P) = [\n    JOIN(NL, Glue(T1, {}), Glue(T2, P), P, {});\n    JRoot(T2, T1, P);\n]",
+        );
+        assert!(ws.is_empty(), "{ws:?}");
+    }
+}

@@ -13,6 +13,12 @@ pub enum ExecError {
     BadPlan(String),
     /// Extension operator with no registered execution routine.
     UnknownExtOp(String),
+    /// An operator (or extension routine) panicked; the panic was caught at
+    /// the executor boundary and surfaced as a typed error.
+    Panicked(String),
+    /// An armed fault-injection hook fired for this operator (robustness
+    /// testing only; never produced in production).
+    Injected(String),
 }
 
 pub type Result<T> = std::result::Result<T, ExecError>;
@@ -26,6 +32,8 @@ impl fmt::Display for ExecError {
             ExecError::UnknownExtOp(n) => {
                 write!(f, "no execution routine registered for extension op {n}")
             }
+            ExecError::Panicked(msg) => write!(f, "panic during execution: {msg}"),
+            ExecError::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

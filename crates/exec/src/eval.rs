@@ -55,6 +55,13 @@ pub type ExtExecFn = Arc<
         + Sync,
 >;
 
+/// A fault-injection hook, consulted once per operator evaluation with the
+/// operator's display name (robustness testing; see `starqo-core`'s `faults`
+/// module). Returning `Some(msg)` surfaces [`ExecError::Injected`]; the hook
+/// may also panic (contained by [`Executor::run`]) or stall before returning
+/// `None`.
+pub type FaultHook = Arc<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
 /// The plan evaluator for one database.
 pub struct Executor<'a> {
     db: &'a Database,
@@ -71,6 +78,8 @@ pub struct Executor<'a> {
     collect: bool,
     /// Actuals per node fingerprint; filled only when `collect` is on.
     node_stats: HashMap<u64, NodeActuals>,
+    /// Armed fault-injection hook; `None` in production.
+    fault_hook: Option<FaultHook>,
 }
 
 impl<'a> Executor<'a> {
@@ -85,7 +94,13 @@ impl<'a> Executor<'a> {
             tracer: Tracer::off(),
             collect: false,
             node_stats: HashMap::new(),
+            fault_hook: None,
         }
+    }
+
+    /// Arm a fault-injection hook, consulted at every operator evaluation.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault_hook = Some(hook);
     }
 
     /// Attach a tracer. Also turns on per-node actuals collection so
@@ -117,7 +132,18 @@ impl<'a> Executor<'a> {
 
     /// Execute a plan and project onto the query's select list (or the
     /// plan's full schema when the query selects `*`).
+    ///
+    /// Panics anywhere below the root (operators, extension routines,
+    /// injected faults) are caught here and surfaced as
+    /// [`ExecError::Panicked`] — never a process abort.
     pub fn run(&mut self, plan: &PlanRef) -> Result<QueryResult> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner(plan))) {
+            Ok(r) => r,
+            Err(payload) => Err(ExecError::Panicked(panic_msg(payload))),
+        }
+    }
+
+    fn run_inner(&mut self, plan: &PlanRef) -> Result<QueryResult> {
         let bindings = Bindings::new();
         let rows = self.eval(plan, &bindings)?;
         self.stats.rows_out = rows.len() as u64;
@@ -154,6 +180,11 @@ impl<'a> Executor<'a> {
     }
 
     fn eval_inner(&mut self, node: &PlanNode, bindings: &Bindings) -> Result<Vec<Tuple>> {
+        if let Some(hook) = &self.fault_hook {
+            if let Some(msg) = hook(&node.op.name()) {
+                return Err(ExecError::Injected(msg));
+            }
+        }
         match &node.op {
             Lolepop::Access { spec, cols, preds } => match spec {
                 AccessSpec::HeapTable(q) | AccessSpec::BTreeTable(q) => {
@@ -171,8 +202,9 @@ impl<'a> Executor<'a> {
             },
             Lolepop::Get { q, cols: _, preds } => self.get(node, *q, *preds, bindings),
             Lolepop::Sort { key } => {
-                let rows = self.eval_cached(&node.inputs[0], bindings)?;
-                let schema = schema_of(&node.inputs[0]);
+                let child = input(node, 0)?;
+                let rows = self.eval_cached(child, bindings)?;
+                let schema = schema_of(child);
                 let mut rows = rows.as_ref().clone();
                 let idx: Vec<usize> = key
                     .iter()
@@ -189,7 +221,7 @@ impl<'a> Executor<'a> {
                 Ok(rows)
             }
             Lolepop::Ship { .. } => {
-                let rows = self.eval(&node.inputs[0], bindings)?;
+                let rows = self.eval(input(node, 0)?, bindings)?;
                 let bytes: u64 = rows
                     .iter()
                     .map(|r| r.0.iter().map(value_bytes).sum::<u64>())
@@ -202,13 +234,14 @@ impl<'a> Executor<'a> {
                 // STORE materializes (cached); BUILD_INDEX passes the stored
                 // rows through — its index is built lazily on first probe.
                 Ok(self
-                    .eval_cached(&node.inputs[0], bindings)?
+                    .eval_cached(input(node, 0)?, bindings)?
                     .as_ref()
                     .clone())
             }
             Lolepop::Filter { preds } => {
-                let rows = self.eval(&node.inputs[0], bindings)?;
-                let schema = schema_of(&node.inputs[0]);
+                let child = input(node, 0)?;
+                let rows = self.eval(child, bindings)?;
+                let schema = schema_of(child);
                 self.filter_rows(rows, &schema, *preds, bindings)
             }
             Lolepop::Join {
@@ -217,8 +250,8 @@ impl<'a> Executor<'a> {
                 residual,
             } => self.join(node, *flavor, *join_preds, *residual, bindings),
             Lolepop::Union => {
-                let mut rows = self.eval(&node.inputs[0], bindings)?;
-                rows.extend(self.eval(&node.inputs[1], bindings)?);
+                let mut rows = self.eval(input(node, 0)?, bindings)?;
+                rows.extend(self.eval(input(node, 1)?, bindings)?);
                 Ok(rows)
             }
             Lolepop::Ext { name, .. } => {
@@ -433,7 +466,7 @@ impl<'a> Executor<'a> {
         preds: PredSet,
         bindings: &Bindings,
     ) -> Result<Vec<Tuple>> {
-        let input = &node.inputs[0];
+        let input = input(node, 0)?;
         let in_schema = schema_of(input);
         let in_rows = self.eval(input, bindings)?;
         let out_schema = schema_of(node);
@@ -488,7 +521,7 @@ impl<'a> Executor<'a> {
         preds: PredSet,
         bindings: &Bindings,
     ) -> Result<Vec<Tuple>> {
-        let input = &node.inputs[0];
+        let input = input(node, 0)?;
         let in_schema = schema_of(input);
         let rows = self.eval_cached(input, bindings)?;
         self.stats.pages_read += (rows.len() as u64).div_ceil(ROWS_PER_PAGE).max(1);
@@ -504,7 +537,7 @@ impl<'a> Executor<'a> {
         preds: PredSet,
         bindings: &Bindings,
     ) -> Result<Vec<Tuple>> {
-        let input = &node.inputs[0];
+        let input = input(node, 0)?;
         let in_schema = schema_of(input);
         let rows = self.eval_cached(input, bindings)?;
         let cache_key = (Arc::as_ptr(input) as usize, key.to_vec());
@@ -560,7 +593,7 @@ impl<'a> Executor<'a> {
         residual: PredSet,
         bindings: &Bindings,
     ) -> Result<Vec<Tuple>> {
-        let (outer_node, inner_node) = (&node.inputs[0], &node.inputs[1]);
+        let (outer_node, inner_node) = (input(node, 0)?, input(node, 1)?);
         let o_schema = schema_of(outer_node);
         let i_schema = schema_of(inner_node);
         let out_schema = schema_of(node);
@@ -758,6 +791,30 @@ impl<'a> Executor<'a> {
             }
         }
         Ok(out)
+    }
+}
+
+/// Checked input access: a malformed plan (wrong operator arity) surfaces
+/// as a typed `BadPlan`, never an index panic.
+fn input(node: &PlanNode, i: usize) -> Result<&PlanRef> {
+    node.inputs.get(i).ok_or_else(|| {
+        ExecError::BadPlan(format!(
+            "{} requires input #{} but the node has {}",
+            node.op.name(),
+            i + 1,
+            node.inputs.len()
+        ))
+    })
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

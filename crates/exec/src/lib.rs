@@ -25,7 +25,7 @@ pub mod scalar;
 pub mod schema;
 
 pub use error::{ExecError, Result};
-pub use eval::{ExecStats, Executor, ExtExecFn};
+pub use eval::{ExecStats, Executor, ExtExecFn, FaultHook};
 pub use reference::reference_eval;
 pub use result::{project_rows, rows_equal_multiset, QueryResult};
 pub use schema::{schema_of, StreamSchema};

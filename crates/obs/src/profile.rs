@@ -63,6 +63,26 @@ pub struct LineageRow {
     pub cost: f64,
 }
 
+/// One `rule_quarantined` event: an alternative the engine disabled after a
+/// panic or error, attributed to the query running at the time (when the
+/// trace carries `query_start` markers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRow {
+    pub star: String,
+    pub alt: usize,
+    pub cond: String,
+    pub reason: String,
+    pub query: Option<String>,
+}
+
+/// One `budget_exhausted` event, attributed like [`QuarantineRow`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedRow {
+    pub resource: String,
+    pub detail: String,
+    pub query: Option<String>,
+}
+
 /// The whole-run profile: per-STAR rows plus the winning-plan lineage.
 #[derive(Debug, Clone, Default)]
 pub struct Profile {
@@ -71,6 +91,10 @@ pub struct Profile {
     pub events: usize,
     /// Plans built outside any STAR reference (ref_id 0: driver/Glue).
     pub driver_plans_built: u64,
+    /// Rule alternatives disabled mid-run after a panic or error.
+    pub quarantines: Vec<QuarantineRow>,
+    /// Budget exhaustions (queries that degraded to greedy exploration).
+    pub degraded: Vec<DegradedRow>,
 }
 
 impl Profile {
@@ -86,6 +110,11 @@ impl Profile {
         let mut fp_star: HashMap<u64, String> = HashMap::new();
         let mut lineage = Vec::new();
         let mut driver_plans_built = 0u64;
+        let mut quarantines = Vec::new();
+        let mut degraded = Vec::new();
+        // The query whose events are streaming past, when the trace carries
+        // `query_start` markers (fleet runs do; single-query traces don't).
+        let mut cur_query: Option<String> = None;
 
         let star_of = |by_name: &mut BTreeMap<String, StarProfile>, name: &str| {
             by_name
@@ -190,6 +219,31 @@ impl Profile {
                         }
                     }
                 }
+                TraceEvent::QueryStart { name } => {
+                    cur_query = Some(name.clone());
+                }
+                TraceEvent::RuleQuarantined {
+                    star,
+                    alt,
+                    cond,
+                    reason,
+                    ..
+                } => {
+                    quarantines.push(QuarantineRow {
+                        star: star.clone(),
+                        alt: *alt,
+                        cond: cond.clone(),
+                        reason: reason.clone(),
+                        query: cur_query.clone(),
+                    });
+                }
+                TraceEvent::BudgetExhausted { resource, detail } => {
+                    degraded.push(DegradedRow {
+                        resource: resource.clone(),
+                        detail: detail.clone(),
+                        query: cur_query.clone(),
+                    });
+                }
                 _ => {}
             }
         }
@@ -206,6 +260,8 @@ impl Profile {
             lineage,
             events: events.len(),
             driver_plans_built,
+            quarantines,
+            degraded,
         }
     }
 
@@ -272,6 +328,36 @@ impl Profile {
             let _ = writeln!(out, "\ntop failing conditions:");
             for (star, cond, n) in failing.iter().take(10) {
                 let _ = writeln!(out, "  {n:>6}x  {star}: {cond}");
+            }
+        }
+
+        if !self.quarantines.is_empty() || !self.degraded.is_empty() {
+            let _ = writeln!(out, "\nquarantined rules / degraded queries:");
+            for q in &self.quarantines {
+                let _ = writeln!(
+                    out,
+                    "  quarantined {}[alt {}] (cond: {}){}: {}",
+                    q.star,
+                    q.alt,
+                    q.cond,
+                    q.query
+                        .as_deref()
+                        .map(|n| format!(" during {n}"))
+                        .unwrap_or_default(),
+                    q.reason,
+                );
+            }
+            for d in &self.degraded {
+                let _ = writeln!(
+                    out,
+                    "  degraded{}: budget exhausted ({}: {})",
+                    d.query
+                        .as_deref()
+                        .map(|n| format!(" {n}"))
+                        .unwrap_or_default(),
+                    d.resource,
+                    d.detail,
+                );
             }
         }
 
@@ -360,6 +446,43 @@ mod tests {
         let p = Profile::from_events(&events);
         assert!(p.stars.is_empty());
         assert_eq!(p.driver_plans_built, 1);
+    }
+
+    #[test]
+    fn quarantines_and_degradations_attributed_to_queries() {
+        let events = vec![
+            TraceEvent::QueryStart {
+                name: "paper_q1".into(),
+            },
+            TraceEvent::RuleQuarantined {
+                star: "JMeth".into(),
+                alt: 3,
+                ref_id: 7,
+                cond: "enabled('hashjoin')".into(),
+                reason: "panic in STAR JMeth[alt 3]: boom".into(),
+            },
+            TraceEvent::QueryStart {
+                name: "paper_q2".into(),
+            },
+            TraceEvent::BudgetExhausted {
+                resource: "memo_entries".into(),
+                detail: "cap 4 reached".into(),
+            },
+        ];
+        let p = Profile::from_events(&events);
+        assert_eq!(p.quarantines.len(), 1);
+        assert_eq!(p.quarantines[0].query.as_deref(), Some("paper_q1"));
+        assert_eq!(p.degraded.len(), 1);
+        assert_eq!(p.degraded[0].query.as_deref(), Some("paper_q2"));
+        let text = p.render();
+        assert!(
+            text.contains("quarantined rules / degraded queries"),
+            "{text}"
+        );
+        assert!(text.contains("JMeth[alt 3]"), "{text}");
+        assert!(text.contains("during paper_q1"), "{text}");
+        assert!(text.contains("degraded paper_q2"), "{text}");
+        assert!(text.contains("memo_entries"), "{text}");
     }
 
     #[test]

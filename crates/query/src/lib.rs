@@ -8,6 +8,10 @@
 //! The optimizer (in `starqo-core`) consumes a [`Query`] and the catalog; it
 //! never sees SQL text.
 
+// Library code surfaces failures as typed errors, never by panicking;
+// tests may unwrap freely (the gate is off under cfg(test)).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod classify;
 pub mod error;
 pub mod parser;

@@ -142,6 +142,19 @@ pub enum TraceEvent {
     SpanEnd { name: String, nanos: u64 },
     /// A free-form named counter observation (metrics bridge).
     Counter { name: String, value: u64 },
+    /// A rule alternative panicked or errored and was disabled for the
+    /// rest of the run; `cond` is the rendered condition of applicability
+    /// (or the alternative's expression when unguarded).
+    RuleQuarantined {
+        star: String,
+        alt: usize,
+        ref_id: u64,
+        cond: String,
+        reason: String,
+    },
+    /// A resource budget ran out; the engine degraded to greedy,
+    /// best-so-far exploration (anytime semantics).
+    BudgetExhausted { resource: String, detail: String },
 }
 
 impl TraceEvent {
@@ -166,6 +179,8 @@ impl TraceEvent {
             TraceEvent::SpanStart { .. } => "span_start",
             TraceEvent::SpanEnd { .. } => "span_end",
             TraceEvent::Counter { .. } => "counter",
+            TraceEvent::RuleQuarantined { .. } => "rule_quarantined",
+            TraceEvent::BudgetExhausted { .. } => "budget_exhausted",
         }
     }
 
@@ -313,6 +328,21 @@ impl TraceEvent {
             TraceEvent::SpanStart { name } => o.str("name", name),
             TraceEvent::SpanEnd { name, nanos } => o.str("name", name).u64("nanos", *nanos),
             TraceEvent::Counter { name, value } => o.str("name", name).u64("value", *value),
+            TraceEvent::RuleQuarantined {
+                star,
+                alt,
+                ref_id,
+                cond,
+                reason,
+            } => o
+                .str("star", star)
+                .u64("alt", *alt as u64)
+                .u64("ref_id", *ref_id)
+                .str("cond", cond)
+                .str("reason", reason),
+            TraceEvent::BudgetExhausted { resource, detail } => {
+                o.str("resource", resource).str("detail", detail)
+            }
         }
         .finish()
     }
@@ -436,6 +466,17 @@ impl TraceEvent {
             "counter" => TraceEvent::Counter {
                 name: str_of("name")?,
                 value: u64_of("value")?,
+            },
+            "rule_quarantined" => TraceEvent::RuleQuarantined {
+                star: str_of("star")?,
+                alt: usize_of("alt")?,
+                ref_id: u64_of("ref_id")?,
+                cond: str_of("cond")?,
+                reason: str_of("reason")?,
+            },
+            "budget_exhausted" => TraceEvent::BudgetExhausted {
+                resource: str_of("resource")?,
+                detail: str_of("detail")?,
             },
             _ => return None,
         })
@@ -621,6 +662,17 @@ mod tests {
             TraceEvent::Counter {
                 name: "x".into(),
                 value: 1,
+            },
+            TraceEvent::RuleQuarantined {
+                star: "JMeth".into(),
+                alt: 3,
+                ref_id: 17,
+                cond: "hashable_preds(JP) != {}".into(),
+                reason: "panic in native function 'hashable_preds': boom".into(),
+            },
+            TraceEvent::BudgetExhausted {
+                resource: "memo_entries".into(),
+                detail: "memo cap of 64 entries reached".into(),
             },
         ]
     }

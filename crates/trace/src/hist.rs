@@ -157,9 +157,9 @@ impl Histogram {
             "n={} min={} p50={} p90={} p99={} max={}",
             self.count,
             fmt(self.min),
-            fmt(self.p50().unwrap()),
-            fmt(self.p90().unwrap()),
-            fmt(self.p99().unwrap()),
+            fmt(self.p50().unwrap_or(self.max)),
+            fmt(self.p90().unwrap_or(self.max)),
+            fmt(self.p99().unwrap_or(self.max)),
             fmt(self.max),
         )
     }

@@ -11,6 +11,10 @@
 //! is attached and enabled. A global "events constructed" counter
 //! ([`events_constructed`]) lets tests assert that guarantee.
 
+// Library code surfaces failures as typed errors (or degrades), never by
+// panicking; tests may unwrap freely (the gate is off under cfg(test)).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod event;
 pub mod hist;
 pub mod json;

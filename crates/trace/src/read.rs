@@ -295,7 +295,10 @@ impl<'a> Parser<'a> {
                     // form valid sequences; find the char covering pos).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().unwrap();
+                    let ch = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unexpected end of string"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -329,7 +332,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Only ASCII digit/sign/dot/exponent bytes were consumed, so the
+        // slice is valid UTF-8; still fail typed rather than panic.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
         if integral {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(JsonValue::UInt(v));

@@ -63,13 +63,14 @@ impl JsonLinesSink {
 
 impl TraceSink for JsonLinesSink {
     fn emit(&self, event: &TraceEvent) {
-        let mut out = self.out.lock().expect("trace writer poisoned");
-        // A failed trace write must never take the optimizer down.
+        // A failed trace write (or a writer poisoned by a panicking rule)
+        // must never take the optimizer down.
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
         let _ = writeln!(out, "{}", event.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("trace writer poisoned").flush();
+        let _ = self.out.lock().unwrap_or_else(|p| p.into_inner()).flush();
     }
 }
 
@@ -85,11 +86,14 @@ impl MemorySink {
     }
 
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     pub fn len(&self) -> usize {
-        self.events.lock().expect("memory sink poisoned").len()
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -101,7 +105,7 @@ impl TraceSink for MemorySink {
     fn emit(&self, event: &TraceEvent) {
         self.events
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .push(event.clone());
     }
 }

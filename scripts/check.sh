@@ -38,4 +38,12 @@ STARQO_COST_PROFILE=target/bench/smoke_profile.json \
 grep -q "per query" target/bench/smoke_recal.txt
 echo "estimation observatory smoke passed."
 
+echo "== chaos smoke (fault-injection sweep; zero panic escapes) =="
+cargo build -q --offline -p starqo-bench --bin chaos
+# Fixed seed: a failure replays exactly. The binary exits non-zero if any
+# injected panic escapes the engine/executor containment.
+./target/debug/chaos --quick --seed 42 > target/bench/chaos_smoke.txt
+grep -q "panic escapes: 0" target/bench/chaos_smoke.txt
+echo "chaos smoke passed."
+
 echo "All checks passed."
