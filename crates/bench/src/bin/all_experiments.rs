@@ -18,6 +18,7 @@ fn main() {
             starqo_bench::correctness::e13_correctness(),
             starqo_bench::comparison::e14_ablations(),
             starqo_bench::correctness::e15_estimation_quality(),
+            starqo_bench::serving::e17_serving(false),
         ]
     });
 }

@@ -1,0 +1,16 @@
+//! Experiment binary: the serving benchmark (E17) — multi-threaded plan
+//! cache throughput, tail latency, hit ratio, and oracle-checked
+//! correctness. Writes `BENCH_serving.json` with the run's deterministic
+//! counters for the regression gate.
+//!
+//! `--smoke` (alias `--quick`) runs the small fleet on 4 threads; the
+//! experiment itself asserts hit ratio >= 0.9 and zero divergences, so a
+//! violated invariant exits non-zero.
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "--smoke");
+    starqo_bench::run_bin("serving", || {
+        vec![starqo_bench::serving::e17_serving(quick)]
+    });
+}

@@ -22,6 +22,7 @@
 //! | E13 | plan-correctness oracle sweep | [`correctness::e13_correctness`] |
 //! | E15 | CARD estimation quality | [`correctness::e15_estimation_quality`] |
 //! | E16 | estimation observatory + cost calibration | [`observatory::e16_estimation_observatory`] |
+//! | E17 | serving layer: plan-cache throughput + correctness | [`serving::e17_serving`] |
 
 pub mod chaos;
 pub mod comparison;
@@ -30,6 +31,7 @@ pub mod distributed;
 pub mod extensibility;
 pub mod figures;
 pub mod observatory;
+pub mod serving;
 pub mod strategies;
 
 use std::fmt::Write as _;

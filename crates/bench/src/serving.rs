@@ -1,0 +1,323 @@
+//! E17: the serving benchmark — N worker threads hammer one [`Service`]
+//! with a closed-loop, Zipf-skewed stream of parameterized queries and the
+//! harness reports throughput, tail latency, and cache effectiveness,
+//! cached versus cache-disabled.
+//!
+//! Skew matters: a serving layer earns its keep exactly when a few query
+//! *shapes* dominate the stream while their bound constants vary request to
+//! request. Each template below is one canonical shape; each request draws
+//! a fresh constant, so every cache hit is a plan optimized for a
+//! *different* literal — the fingerprint layer's whole value proposition.
+//!
+//! Correctness rides along: after the throughput passes, every template is
+//! executed through the still-warm service and compared, as a multiset,
+//! against the brute-force reference oracle. A divergence count other than
+//! zero fails the run (and the regression gate, which pins the counter).
+
+use std::time::Instant;
+
+use starqo_exec::{reference_eval, rows_equal_multiset};
+use starqo_query::canonicalize;
+use starqo_serve::{ServeCountersSnapshot, Service, ServiceConfig};
+use starqo_trace::MetricsRegistry;
+use starqo_workload::{
+    query_shape_param, synth_catalog, synth_database, QueryShape, Rng64, SynthSpec,
+};
+
+use crate::{row, Report};
+
+/// One canonical query shape the workload draws from. Requests against a
+/// `param` template carry a fresh constant each time; all of them share one
+/// fingerprint (and so one cached plan).
+#[derive(Debug, Clone, Copy)]
+struct Template {
+    name: &'static str,
+    shape: QueryShape,
+    n: usize,
+    param: bool,
+}
+
+fn templates(quick: bool) -> Vec<Template> {
+    let t = |name, shape, n, param| Template {
+        name,
+        shape,
+        n,
+        param,
+    };
+    if quick {
+        vec![
+            t("chain2?", QueryShape::Chain, 2, true),
+            t("chain3?", QueryShape::Chain, 3, true),
+            t("star3?", QueryShape::Star, 3, true),
+            t("chain2", QueryShape::Chain, 2, false),
+        ]
+    } else {
+        vec![
+            t("chain2?", QueryShape::Chain, 2, true),
+            t("chain3?", QueryShape::Chain, 3, true),
+            t("star3?", QueryShape::Star, 3, true),
+            t("cycle3?", QueryShape::Cycle, 3, true),
+            t("clique3?", QueryShape::Clique, 3, true),
+            t("chain2", QueryShape::Chain, 2, false),
+            t("chain3", QueryShape::Chain, 3, false),
+            t("star3", QueryShape::Star, 3, false),
+            t("cycle3", QueryShape::Cycle, 3, false),
+            t("clique3", QueryShape::Clique, 3, false),
+        ]
+    }
+}
+
+/// Cumulative Zipf(s) distribution over `k` ranks.
+fn zipf_cdf(k: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=k).map(|i| 1.0 / (i as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn zipf_pick(cdf: &[f64], u: f64) -> usize {
+    cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
+}
+
+/// What one multi-threaded pass over the workload measured.
+#[derive(Debug, Clone)]
+struct PassSummary {
+    requests: u64,
+    wall_secs: f64,
+    p50_us: f64,
+    p99_us: f64,
+    snapshot: ServeCountersSnapshot,
+}
+
+impl PassSummary {
+    fn throughput(&self) -> f64 {
+        self.requests as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Drive `threads` closed-loop workers for `per_thread` requests each.
+/// Template picks and constants come from per-thread deterministic PRNGs,
+/// so the *set* of fingerprints touched — and with single-flight, the
+/// cold-optimization count — is identical run to run; only the scheduling
+/// (hit vs coalesced split, wall time) varies.
+fn run_pass(
+    svc: &Service,
+    cat: &std::sync::Arc<starqo_catalog::Catalog>,
+    fleet: &[Template],
+    cdf: &[f64],
+    threads: usize,
+    per_thread: usize,
+    seed: u64,
+) -> PassSummary {
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut rng = Rng64::new(seed.wrapping_mul(0x9E37).wrapping_add(tid as u64));
+                    let mut lats = Vec::with_capacity(per_thread);
+                    for _ in 0..per_thread {
+                        let t = &fleet[zipf_pick(cdf, rng.next_f64())];
+                        let c = t.param.then(|| rng.below(64) as i64);
+                        let query = query_shape_param(cat, t.shape, t.n, c);
+                        let req = Instant::now();
+                        svc.optimize(&query)
+                            .unwrap_or_else(|e| panic!("serve {}: {e}", t.name));
+                        lats.push(req.elapsed().as_nanos() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread"))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct =
+        |p: usize| latencies[(latencies.len() * p / 100).min(latencies.len() - 1)] as f64 / 1e3;
+    PassSummary {
+        requests: (threads * per_thread) as u64,
+        wall_secs,
+        p50_us: pct(50),
+        p99_us: pct(99),
+        snapshot: svc.counters(),
+    }
+}
+
+/// Execute every template through the (warm) service and compare against
+/// the brute-force oracle. Returns `(executions, divergences)`.
+fn correctness_sweep(
+    svc: &Service,
+    cat: &std::sync::Arc<starqo_catalog::Catalog>,
+    db: &starqo_storage::Database,
+    fleet: &[Template],
+) -> (u64, u64) {
+    let mut executions = 0u64;
+    let mut divergences = 0u64;
+    for t in fleet {
+        let constants: &[Option<i64>] = if t.param {
+            &[Some(1), Some(7)]
+        } else {
+            &[None]
+        };
+        for &c in constants {
+            let query = query_shape_param(cat, t.shape, t.n, c);
+            let (got, _) = svc
+                .execute(db, &query)
+                .unwrap_or_else(|e| panic!("execute {}: {e}", t.name));
+            let want = reference_eval(db, &canonicalize(&query).query)
+                .unwrap_or_else(|e| panic!("reference {}: {e:?}", t.name));
+            executions += 1;
+            if !rows_equal_multiset(&got.rows, &want) {
+                divergences += 1;
+            }
+        }
+    }
+    (executions, divergences)
+}
+
+/// E17: serving throughput, latency, and hit ratio — cached vs cold.
+pub fn e17_serving(quick: bool) -> Report {
+    let (threads, per_thread) = if quick { (4, 60) } else { (8, 250) };
+    let seed = 42;
+    let zipf_s = 1.1;
+
+    let spec = SynthSpec {
+        tables: 4,
+        card_range: (30, 60),
+        sites: 1,
+        index_prob: 0.6,
+        btree_prob: 0.4,
+        payload_cols: 2,
+    };
+    let cat = synth_catalog(seed, &spec);
+    let db = synth_database(seed, cat.clone());
+    let fleet = templates(quick);
+    let cdf = zipf_cdf(fleet.len(), zipf_s);
+
+    let cached = Service::new(cat.clone(), ServiceConfig::default()).expect("service builds");
+    let cold_svc = Service::new(
+        cat.clone(),
+        ServiceConfig {
+            cache_enabled: false,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service builds");
+
+    let warm = run_pass(&cached, &cat, &fleet, &cdf, threads, per_thread, seed);
+    let cold = run_pass(&cold_svc, &cat, &fleet, &cdf, threads, per_thread, seed);
+    let (executions, divergences) = correctness_sweep(&cached, &cat, &db, &fleet);
+    let final_snap = cached.counters();
+
+    let mut report = Report::new(
+        "E17",
+        format!(
+            "serving: {threads} threads x {per_thread} reqs, {} templates, zipf(s={zipf_s})",
+            fleet.len()
+        ),
+    );
+    let widths = [8, 9, 12, 9, 9, 10, 7];
+    report.line(row(
+        &[
+            "mode".into(),
+            "requests".into(),
+            "thrpt(q/s)".into(),
+            "p50(us)".into(),
+            "p99(us)".into(),
+            "hit ratio".into(),
+            "misses".into(),
+        ],
+        &widths,
+    ));
+    for (mode, pass) in [("cached", &warm), ("cold", &cold)] {
+        report.line(row(
+            &[
+                mode.into(),
+                pass.requests.to_string(),
+                format!("{:.0}", pass.throughput()),
+                format!("{:.1}", pass.p50_us),
+                format!("{:.1}", pass.p99_us),
+                format!("{:.3}", pass.snapshot.hit_ratio()),
+                pass.snapshot.misses.to_string(),
+            ],
+            &widths,
+        ));
+    }
+    let speedup = warm.throughput() / cold.throughput().max(1e-9);
+    report.line(format!("speedup (cached/cold): {speedup:.1}x"));
+    report.line(format!(
+        "cold-optimization time avoided: {:.1}ms across {} warm serves",
+        final_snap.saved_nanos as f64 / 1e6,
+        final_snap.hits + final_snap.coalesced,
+    ));
+    report.line(format!(
+        "correctness: {executions} warm executions vs reference oracle, divergences: {divergences}"
+    ));
+
+    // Invariants the smoke and the regression gate both lean on. Everything
+    // asserted or counted here is deterministic: template picks are fixed by
+    // per-thread seeds and single-flight pins cold optimizations to one per
+    // distinct fingerprint, whatever the thread interleaving.
+    assert_eq!(divergences, 0, "cached plans must match the oracle");
+    assert!(
+        warm.snapshot.hit_ratio() >= 0.9,
+        "hit ratio {:.3} below 0.9 — cache is not absorbing the skew",
+        warm.snapshot.hit_ratio()
+    );
+    assert_eq!(
+        warm.snapshot.misses,
+        fleet.len() as u64,
+        "exactly one cold optimization per template"
+    );
+
+    let mut reg = MetricsRegistry::new();
+    reg.count("serve_requests", warm.requests);
+    reg.count("serve_cache_miss", final_snap.misses);
+    reg.count("serve_warm", final_snap.hits + final_snap.coalesced);
+    reg.count("serve_cache_evict", final_snap.evictions);
+    reg.count("serve_rejected", final_snap.rejected);
+    reg.count("serve_divergences", divergences);
+    reg.count("serve_cold_requests", cold.requests);
+    reg.count("serve_cold_miss", cold.snapshot.misses);
+    report.absorb(&reg.summary());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_skewed() {
+        let cdf = zipf_cdf(10, 1.1);
+        assert_eq!(cdf.len(), 10);
+        assert!((cdf[9] - 1.0).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Rank 1 carries more than a uniform share.
+        assert!(cdf[0] > 0.2);
+        assert_eq!(zipf_pick(&cdf, 0.0), 0);
+        assert_eq!(zipf_pick(&cdf, 0.999_999), 9);
+    }
+
+    #[test]
+    fn quick_serving_run_hits_and_matches_oracle() {
+        // The assertions live inside e17_serving: hit ratio >= 0.9, zero
+        // divergences, misses == templates.
+        let report = e17_serving(true);
+        assert_eq!(report.metrics.counter("serve_divergences"), Some(0));
+        assert_eq!(report.metrics.counter("serve_cache_miss"), Some(4));
+        assert!(report.body.contains("divergences: 0"), "{}", report.body);
+    }
+}

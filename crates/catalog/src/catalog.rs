@@ -93,6 +93,104 @@ impl Catalog {
         out.dedup();
         out
     }
+
+    // ---- copy-on-write mutations ------------------------------------
+    //
+    // A deployed catalog is an immutable snapshot shared by `Arc`; DDL and
+    // stats refresh produce a *new* catalog (see [`crate::SharedCatalog`],
+    // which pairs these with an epoch counter so plan caches can detect
+    // staleness). Each method clones, edits, and returns the edited copy.
+
+    /// A copy of this catalog with `table`'s cardinality replaced.
+    pub fn with_table_card(&self, table: &str, card: u64) -> Result<Catalog> {
+        let tid = self.table_by_name(table)?.id;
+        let mut cat = self.clone();
+        cat.tables[tid.0 as usize].card = card;
+        Ok(cat)
+    }
+
+    /// A copy of this catalog with one column's distinct-value statistic
+    /// replaced (`None` resets it to "unknown").
+    pub fn with_column_distinct(
+        &self,
+        table: &str,
+        column: &str,
+        distinct: Option<u64>,
+    ) -> Result<Catalog> {
+        let t = self.table_by_name(table)?;
+        let (cid, _) = t
+            .column_by_name(column)
+            .ok_or_else(|| CatalogError::NotFound {
+                kind: "column",
+                name: format!("{table}.{column}"),
+            })?;
+        let tid = t.id;
+        let mut cat = self.clone();
+        cat.tables[tid.0 as usize].columns[cid.0 as usize].distinct = distinct.map(|d| d.max(1));
+        Ok(cat)
+    }
+
+    /// A copy of this catalog with a new index defined.
+    pub fn with_index(
+        &self,
+        name: &str,
+        table: &str,
+        cols: &[&str],
+        unique: bool,
+        clustered: bool,
+    ) -> Result<Catalog> {
+        let name = name.to_ascii_uppercase();
+        if self.index_names.contains_key(&name) {
+            return Err(CatalogError::Duplicate {
+                kind: "index",
+                name,
+            });
+        }
+        let t = self.table_by_name(table)?;
+        let mut col_ids = Vec::with_capacity(cols.len());
+        for c in cols {
+            let (cid, _) = t.column_by_name(c).ok_or_else(|| {
+                CatalogError::Invalid(format!("index {name}: no column {c} on {table}"))
+            })?;
+            col_ids.push(cid);
+        }
+        if col_ids.is_empty() {
+            return Err(CatalogError::Invalid(format!(
+                "index {name} has no columns"
+            )));
+        }
+        let tid = t.id;
+        let mut cat = self.clone();
+        let id = IndexId(cat.indexes.len() as u32);
+        cat.index_names.insert(name.clone(), id);
+        cat.by_table.entry(tid).or_default().push(id);
+        cat.indexes.push(Index {
+            id,
+            name,
+            table: tid,
+            cols: col_ids,
+            unique,
+            clustered,
+        });
+        Ok(cat)
+    }
+
+    /// A copy of this catalog with the named index removed. Surviving
+    /// indexes are renumbered (ids are positions, valid only within one
+    /// catalog snapshot).
+    pub fn without_index(&self, name: &str) -> Result<Catalog> {
+        let victim = self.index_by_name(name)?.id;
+        let mut cat = self.clone();
+        cat.indexes.remove(victim.0 as usize);
+        cat.index_names.clear();
+        cat.by_table.clear();
+        for (pos, ix) in cat.indexes.iter_mut().enumerate() {
+            ix.id = IndexId(pos as u32);
+            cat.index_names.insert(ix.name.clone(), ix.id);
+            cat.by_table.entry(ix.table).or_default().push(ix.id);
+        }
+        Ok(cat)
+    }
 }
 
 /// Fluent builder for catalogs.

@@ -15,6 +15,7 @@ pub mod error;
 pub mod ids;
 pub mod index;
 pub mod schema;
+pub mod shared;
 pub mod site;
 pub mod value;
 
@@ -23,5 +24,6 @@ pub use error::{CatalogError, Result};
 pub use ids::{ColId, IndexId, SiteId, TableId, TID_COL};
 pub use index::Index;
 pub use schema::{Column, StorageKind, Table};
+pub use shared::SharedCatalog;
 pub use site::Site;
 pub use value::{DataType, Value};

@@ -83,6 +83,40 @@ pub struct DegradedRow {
     pub query: Option<String>,
 }
 
+/// Plan-cache activity from a serving-layer trace: the `cache_*` events
+/// plus any `serve_*` counter snapshots the service emitted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeCacheStats {
+    /// `cache_hit` events (true hits and coalesced in-flight shares).
+    pub hits: u64,
+    /// `cache_miss` events (cold optimizations).
+    pub misses: u64,
+    pub evicts: u64,
+    pub invalidates: u64,
+    /// Cold-optimization time warm serves avoided, summed.
+    pub saved_nanos: u64,
+    /// Latest `serve_*` counter snapshot (the service emits monotonic
+    /// snapshots, so last-write-wins is the end-of-run state).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl ServeCacheStats {
+    /// Whether the trace carried any serving-layer activity at all.
+    pub fn any(&self) -> bool {
+        self.hits + self.misses + self.evicts + self.invalidates > 0 || !self.counters.is_empty()
+    }
+
+    /// Warm serves over all serves that produced a plan.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The whole-run profile: per-STAR rows plus the winning-plan lineage.
 #[derive(Debug, Clone, Default)]
 pub struct Profile {
@@ -95,6 +129,9 @@ pub struct Profile {
     pub quarantines: Vec<QuarantineRow>,
     /// Budget exhaustions (queries that degraded to greedy exploration).
     pub degraded: Vec<DegradedRow>,
+    /// Serving-layer plan-cache activity (empty unless the trace came from
+    /// a `starqo-serve` service).
+    pub serve: ServeCacheStats,
 }
 
 impl Profile {
@@ -112,6 +149,7 @@ impl Profile {
         let mut driver_plans_built = 0u64;
         let mut quarantines = Vec::new();
         let mut degraded = Vec::new();
+        let mut serve = ServeCacheStats::default();
         // The query whose events are streaming past, when the trace carries
         // `query_start` markers (fleet runs do; single-query traces don't).
         let mut cur_query: Option<String> = None;
@@ -244,6 +282,16 @@ impl Profile {
                         query: cur_query.clone(),
                     });
                 }
+                TraceEvent::CacheHit { saved_nanos, .. } => {
+                    serve.hits += 1;
+                    serve.saved_nanos += saved_nanos;
+                }
+                TraceEvent::CacheMiss { .. } => serve.misses += 1,
+                TraceEvent::CacheEvict { .. } => serve.evicts += 1,
+                TraceEvent::CacheInvalidate { .. } => serve.invalidates += 1,
+                TraceEvent::Counter { name, value } if name.starts_with("serve_") => {
+                    serve.counters.insert(name.clone(), *value);
+                }
                 _ => {}
             }
         }
@@ -262,6 +310,7 @@ impl Profile {
             driver_plans_built,
             quarantines,
             degraded,
+            serve,
         }
     }
 
@@ -358,6 +407,30 @@ impl Profile {
                     d.resource,
                     d.detail,
                 );
+            }
+        }
+
+        if self.serve.any() {
+            let _ = writeln!(out, "\nserve cache:");
+            let _ = writeln!(
+                out,
+                "  hits {} (incl. coalesced)  misses {}  evicts {}  invalidates {}",
+                self.serve.hits, self.serve.misses, self.serve.evicts, self.serve.invalidates,
+            );
+            let _ = writeln!(
+                out,
+                "  hit ratio {:.3}  cold time avoided {}",
+                self.serve.hit_ratio(),
+                fmt_nanos(self.serve.saved_nanos),
+            );
+            if !self.serve.counters.is_empty() {
+                let rendered: Vec<String> = self
+                    .serve
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let _ = writeln!(out, "  counters: {}", rendered.join("  "));
             }
         }
 
@@ -483,6 +556,63 @@ mod tests {
         assert!(text.contains("during paper_q1"), "{text}");
         assert!(text.contains("degraded paper_q2"), "{text}");
         assert!(text.contains("memo_entries"), "{text}");
+    }
+
+    #[test]
+    fn serve_cache_events_aggregate_into_their_own_section() {
+        let events = vec![
+            TraceEvent::CacheMiss { fp: 1, epoch: 0 },
+            TraceEvent::CacheHit {
+                fp: 1,
+                epoch: 0,
+                saved_nanos: 1_000,
+            },
+            TraceEvent::CacheHit {
+                fp: 1,
+                epoch: 0,
+                saved_nanos: 2_000,
+            },
+            TraceEvent::CacheInvalidate { fp: 1, epoch: 1 },
+            TraceEvent::CacheEvict {
+                fp: 2,
+                reason: "capacity".into(),
+            },
+            // Two snapshots of the same counter: last one wins.
+            TraceEvent::Counter {
+                name: "serve_requests".into(),
+                value: 2,
+            },
+            TraceEvent::Counter {
+                name: "serve_requests".into(),
+                value: 4,
+            },
+            // Non-serve counters stay out of the section.
+            TraceEvent::Counter {
+                name: "plans_built".into(),
+                value: 9,
+            },
+        ];
+        let p = Profile::from_events(&events);
+        assert!(p.serve.any());
+        assert_eq!(p.serve.hits, 2);
+        assert_eq!(p.serve.misses, 1);
+        assert_eq!(p.serve.evicts, 1);
+        assert_eq!(p.serve.invalidates, 1);
+        assert_eq!(p.serve.saved_nanos, 3_000);
+        assert!((p.serve.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.serve.counters.get("serve_requests"), Some(&4));
+        assert_eq!(p.serve.counters.get("plans_built"), None);
+        let text = p.render();
+        assert!(text.contains("serve cache:"), "{text}");
+        assert!(text.contains("hit ratio 0.667"), "{text}");
+        assert!(text.contains("serve_requests=4"), "{text}");
+    }
+
+    #[test]
+    fn profiles_without_serve_events_omit_the_section() {
+        let p = Profile::from_events(&trace_one_star());
+        assert!(!p.serve.any());
+        assert!(!p.render().contains("serve cache:"));
     }
 
     #[test]

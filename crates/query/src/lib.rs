@@ -14,6 +14,7 @@
 
 pub mod classify;
 pub mod error;
+pub mod fingerprint;
 pub mod parser;
 pub mod pred;
 pub mod qset;
@@ -22,6 +23,7 @@ pub mod scalar;
 
 pub use classify::Classifier;
 pub use error::{QueryError, Result};
+pub use fingerprint::{canonicalize, CanonicalQuery, QueryFingerprint};
 pub use parser::parse_query;
 pub use pred::{CmpOp, PredExpr, PredId, PredSet, Predicate};
 pub use qset::{QId, QSet};

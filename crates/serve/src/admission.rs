@@ -1,0 +1,152 @@
+//! Admission control for cold optimizations.
+//!
+//! Cache hits are cheap and unmetered; a *cold* optimization burns CPU in
+//! the rule interpreter, so the service bounds how many run at once with a
+//! counting semaphore. A thread that would exceed the bound waits its turn;
+//! if a queue-wait cap is configured and expires first, the request is
+//! **rejected** (a typed outcome, not an error inside the optimizer) so the
+//! caller can shed load instead of piling up. Per-request *deadlines* are
+//! the other half of admission control and ride on the optimizer's own
+//! [`starqo_core::Budget`], which degrades rather than fails.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A counting semaphore with an optional bounded queue wait.
+#[derive(Debug)]
+pub struct OptGate {
+    limit: usize,
+    in_use: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Outcome of [`OptGate::acquire`] when the queue-wait cap expires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateTimeout {
+    pub waited: Duration,
+}
+
+/// Releases its slot on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a OptGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut n = self.gate.in_use.lock().unwrap_or_else(|p| p.into_inner());
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.gate.cv.notify_one();
+    }
+}
+
+impl OptGate {
+    /// A gate admitting at most `limit` concurrent holders (`limit` of 0
+    /// means unlimited).
+    pub fn new(limit: usize) -> Self {
+        OptGate {
+            limit,
+            in_use: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Acquire a slot, waiting at most `max_wait` (`None` = forever).
+    /// Returns how long the acquisition waited alongside the permit.
+    pub fn acquire(
+        &self,
+        max_wait: Option<Duration>,
+    ) -> Result<(Permit<'_>, Duration), GateTimeout> {
+        let started = Instant::now();
+        let mut n = self.in_use.lock().unwrap_or_else(|p| p.into_inner());
+        while self.limit != 0 && *n >= self.limit {
+            match max_wait {
+                None => {
+                    n = self.cv.wait(n).unwrap_or_else(|p| p.into_inner());
+                }
+                Some(cap) => {
+                    let elapsed = started.elapsed();
+                    if elapsed >= cap {
+                        return Err(GateTimeout { waited: elapsed });
+                    }
+                    let (g, _) = self
+                        .cv
+                        .wait_timeout(n, cap - elapsed)
+                        .unwrap_or_else(|p| p.into_inner());
+                    n = g;
+                }
+            }
+        }
+        *n += 1;
+        Ok((Permit { gate: self }, started.elapsed()))
+    }
+
+    /// Holders right now (for metrics/tests).
+    pub fn in_use(&self) -> usize {
+        *self.in_use.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn unlimited_gate_never_blocks() {
+        let gate = OptGate::new(0);
+        let (_a, _) = gate.acquire(Some(Duration::ZERO)).unwrap();
+        let (_b, _) = gate.acquire(Some(Duration::ZERO)).unwrap();
+        assert_eq!(gate.in_use(), 2);
+    }
+
+    #[test]
+    fn permits_release_on_drop() {
+        let gate = OptGate::new(1);
+        {
+            let (_p, waited) = gate.acquire(None).unwrap();
+            assert_eq!(gate.in_use(), 1);
+            assert!(waited < Duration::from_secs(1));
+        }
+        assert_eq!(gate.in_use(), 0);
+        let (_p, _) = gate.acquire(Some(Duration::ZERO)).unwrap();
+    }
+
+    #[test]
+    fn zero_wait_rejects_when_full() {
+        let gate = OptGate::new(1);
+        let (_held, _) = gate.acquire(None).unwrap();
+        let err = gate.acquire(Some(Duration::ZERO)).unwrap_err();
+        assert!(err.waited < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn bounded_concurrency_under_contention() {
+        let gate = Arc::new(OptGate::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let now = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gate = Arc::clone(&gate);
+            let peak = Arc::clone(&peak);
+            let now = Arc::clone(&now);
+            handles.push(std::thread::spawn(move || {
+                let (_p, _) = gate.acquire(None).unwrap();
+                let cur = now.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(cur, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                now.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "gate must bound concurrency"
+        );
+        assert_eq!(gate.in_use(), 0);
+    }
+}

@@ -1,0 +1,661 @@
+//! The optimization service: prepare, optimize, execute — concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use starqo_catalog::{Catalog, SharedCatalog};
+use starqo_core::{OptConfig, Optimized, Optimizer};
+use starqo_exec::{Executor, QueryResult};
+use starqo_query::{canonicalize, CanonicalQuery, Query, QueryFingerprint};
+use starqo_storage::Database;
+use starqo_trace::{TraceEvent, Tracer};
+
+use crate::admission::OptGate;
+use crate::cache::{CacheConfig, PlanCache};
+
+/// Sentinel prefix carried inside flight errors when the leader was turned
+/// away by admission control, so followers sharing the flight surface the
+/// same typed outcome.
+const REJECTED_MARKER: &str = "\u{1}rejected\u{1}";
+
+/// Service-level configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The optimizer configuration every request runs under. Part of the
+    /// cache key: change it and previously cached plans no longer apply.
+    pub opt_config: OptConfig,
+    /// Plan-cache sizing.
+    pub cache: CacheConfig,
+    /// Serve straight from the optimizer when false (benchmark baseline).
+    pub cache_enabled: bool,
+    /// Concurrent *cold* optimizations allowed at once (0 = unlimited).
+    /// Cache hits are never gated.
+    pub max_concurrent_opt: usize,
+    /// How long a cold optimization may queue for a slot before the request
+    /// is rejected (`None` = wait forever).
+    pub max_queue_wait: Option<Duration>,
+    /// Default per-request optimization deadline, folded into the budget
+    /// (`None` = the budget in `opt_config` as-is).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            opt_config: OptConfig::default(),
+            cache: CacheConfig::default(),
+            cache_enabled: true,
+            max_concurrent_opt: 0,
+            max_queue_wait: None,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Typed service failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control turned the request away before optimization.
+    Rejected { waited_ms: u64, detail: String },
+    /// The optimizer failed (rendered upstream error).
+    Optimize(String),
+    /// The executor failed (rendered upstream error).
+    Execute(String),
+    /// The service could not (re)build its optimizer for a new catalog
+    /// epoch.
+    Catalog(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { waited_ms, detail } => {
+                write!(f, "rejected after {waited_ms}ms: {detail}")
+            }
+            ServeError::Optimize(e) => write!(f, "optimize: {e}"),
+            ServeError::Execute(e) => write!(f, "execute: {e}"),
+            ServeError::Catalog(e) => write!(f, "catalog: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A prepared (canonicalized, fingerprinted) query, ready to serve many
+/// times with different bound constants.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub canonical: CanonicalQuery,
+}
+
+impl Prepared {
+    pub fn fingerprint(&self) -> &QueryFingerprint {
+        &self.canonical.fingerprint
+    }
+
+    /// The canonical query the service optimizes and executes.
+    pub fn query(&self) -> &Query {
+        &self.canonical.query
+    }
+}
+
+/// What one `optimize` request experienced.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    pub optimized: Arc<Optimized>,
+    /// Served from the cache (no optimization, no admission).
+    pub cache_hit: bool,
+    /// Shared a concurrent thread's in-flight optimization.
+    pub coalesced: bool,
+    /// Catalog epoch the plan belongs to.
+    pub epoch: u64,
+    /// Cold-optimization wall time this request paid (0 on hits).
+    pub opt_nanos: u64,
+    /// Cold-optimization wall time this request avoided (0 on misses).
+    pub saved_nanos: u64,
+    pub fingerprint: QueryFingerprint,
+}
+
+/// Lock-free service counters. One instance per service, shared by every
+/// worker thread; snapshots are taken without stopping the world.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    rejected: AtomicU64,
+    degraded: AtomicU64,
+    errors: AtomicU64,
+    opt_nanos: AtomicU64,
+    saved_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCountersSnapshot {
+    pub requests: u64,
+    pub hits: u64,
+    pub coalesced: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+    pub rejected: u64,
+    pub degraded: u64,
+    pub errors: u64,
+    pub opt_nanos: u64,
+    pub saved_nanos: u64,
+}
+
+impl ServeCountersSnapshot {
+    /// Requests served without a cold optimization, over all requests that
+    /// produced a plan.
+    pub fn hit_ratio(&self) -> f64 {
+        let served = self.hits + self.coalesced + self.misses;
+        if served == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / served as f64
+        }
+    }
+
+    /// Stable `(name, value)` rows, for metrics export and benchmarks.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("serve_requests", self.requests),
+            ("serve_cache_hit", self.hits),
+            ("serve_cache_coalesced", self.coalesced),
+            ("serve_cache_miss", self.misses),
+            ("serve_cache_evict", self.evictions),
+            ("serve_cache_invalidate", self.invalidations),
+            ("serve_rejected", self.rejected),
+            ("serve_degraded", self.degraded),
+            ("serve_errors", self.errors),
+        ]
+    }
+}
+
+/// A thread-safe serving layer: one catalog, one compiled rule set, one
+/// plan cache, many worker threads. All methods take `&self`.
+pub struct Service {
+    catalog: Arc<SharedCatalog>,
+    config: ServiceConfig,
+    /// Rendered `OptConfig`, the second component of the cache key.
+    config_sig: Arc<str>,
+    cache: PlanCache,
+    gate: OptGate,
+    /// The compiled optimizer, tagged with the catalog epoch it was built
+    /// against; rebuilt (rules recompiled) when the epoch moves.
+    optimizer: RwLock<(u64, Arc<Optimizer>)>,
+    counters: ServeCounters,
+    tracer: Tracer,
+}
+
+impl Service {
+    /// A service over a fresh [`SharedCatalog`] wrapping `catalog`.
+    pub fn new(catalog: Arc<Catalog>, config: ServiceConfig) -> Result<Self, ServeError> {
+        Self::with_shared(Arc::new(SharedCatalog::new(catalog)), config)
+    }
+
+    /// A service over an existing shared catalog (so DDL/stats tooling and
+    /// the service observe the same epochs).
+    pub fn with_shared(
+        catalog: Arc<SharedCatalog>,
+        config: ServiceConfig,
+    ) -> Result<Self, ServeError> {
+        let (cat, epoch) = catalog.snapshot();
+        let optimizer = Optimizer::new(cat).map_err(|e| ServeError::Catalog(e.to_string()))?;
+        let config_sig: Arc<str> = Arc::from(format!("{:?}", config.opt_config).as_str());
+        Ok(Service {
+            cache: PlanCache::new(&config.cache),
+            gate: OptGate::new(config.max_concurrent_opt),
+            optimizer: RwLock::new((epoch, Arc::new(optimizer))),
+            counters: ServeCounters::default(),
+            tracer: Tracer::off(),
+            config_sig,
+            config,
+            catalog,
+        })
+    }
+
+    /// Attach a tracer (builder-style, before sharing the service).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    pub fn shared_catalog(&self) -> &Arc<SharedCatalog> {
+        &self.catalog
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Canonicalize + fingerprint a query. Pure computation — callers may
+    /// prepare once and optimize many times.
+    pub fn prepare(&self, query: &Query) -> Prepared {
+        Prepared {
+            canonical: canonicalize(query),
+        }
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> ServeCountersSnapshot {
+        let c = &self.counters;
+        ServeCountersSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            hits: c.hits.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            invalidations: c.invalidations.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            opt_nanos: c.opt_nanos.load(Ordering::Relaxed),
+            saved_nanos: c.saved_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resident plan-cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Emit the counter snapshot as `counter` trace events (the obs
+    /// `profile` section reads these back).
+    pub fn emit_counters(&self) {
+        let snap = self.counters();
+        for (name, value) in snap.rows() {
+            self.tracer.emit(|| TraceEvent::Counter {
+                name: name.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Optimize a query end-to-end: prepare, then serve.
+    pub fn optimize(&self, query: &Query) -> Result<ServeOutcome, ServeError> {
+        let prepared = self.prepare(query);
+        self.optimize_prepared(&prepared, None)
+    }
+
+    /// Serve one prepared query, with an optional per-request deadline
+    /// overriding the service default. Deadlines fold into the optimizer
+    /// budget: an expired deadline *degrades* the plan (anytime semantics)
+    /// rather than failing, and degraded plans are shared with concurrent
+    /// waiters but never cached.
+    pub fn optimize_prepared(
+        &self,
+        prepared: &Prepared,
+        deadline: Option<Duration>,
+    ) -> Result<ServeOutcome, ServeError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (cat, epoch) = self.catalog.snapshot();
+        let fp = &prepared.canonical.fingerprint;
+        let fp_text: Arc<str> = Arc::from(fp.text.as_str());
+
+        if !self.config.cache_enabled {
+            let (optimized, nanos) = self.cold_optimize(prepared, &cat, epoch, deadline)?;
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.opt_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.tracer
+                .emit(|| TraceEvent::CacheMiss { fp: fp.hash, epoch });
+            return Ok(self.finish(prepared, optimized, false, false, epoch, nanos, 0));
+        }
+
+        let (result, meta) = self
+            .cache
+            .serve(&fp_text, &self.config_sig, fp.hash, epoch, || {
+                match self.cold_optimize(prepared, &cat, epoch, deadline) {
+                    Ok((optimized, nanos)) => {
+                        let cacheable = !optimized.degraded;
+                        Ok((optimized, nanos, cacheable))
+                    }
+                    Err(ServeError::Rejected { waited_ms, detail }) => {
+                        Err(format!("{REJECTED_MARKER}{waited_ms}\u{1}{detail}"))
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            });
+
+        if meta.invalidated {
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.tracer
+                .emit(|| TraceEvent::CacheInvalidate { fp: fp.hash, epoch });
+        }
+        for (victim_fp, reason) in &meta.evicted {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            let (victim_fp, reason) = (*victim_fp, *reason);
+            self.tracer.emit(|| TraceEvent::CacheEvict {
+                fp: victim_fp,
+                reason: reason.to_string(),
+            });
+        }
+
+        match result {
+            Ok((optimized, nanos)) => {
+                if meta.hit || meta.coalesced {
+                    if meta.hit {
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.counters
+                        .saved_nanos
+                        .fetch_add(meta.saved_nanos, Ordering::Relaxed);
+                    self.tracer.emit(|| TraceEvent::CacheHit {
+                        fp: fp.hash,
+                        epoch,
+                        saved_nanos: meta.saved_nanos,
+                    });
+                } else {
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    self.counters.opt_nanos.fetch_add(nanos, Ordering::Relaxed);
+                    self.tracer
+                        .emit(|| TraceEvent::CacheMiss { fp: fp.hash, epoch });
+                }
+                Ok(self.finish(
+                    prepared,
+                    optimized,
+                    meta.hit,
+                    meta.coalesced,
+                    epoch,
+                    nanos,
+                    meta.saved_nanos,
+                ))
+            }
+            Err(msg) => Err(self.classify_flight_error(msg)),
+        }
+    }
+
+    /// Optimize and execute against `db`, returning rows plus the serving
+    /// outcome. The executor evaluates the *actual* canonical query's
+    /// predicates, so a cached plan (optimized for a different bound
+    /// constant) still produces exact results.
+    pub fn execute(
+        &self,
+        db: &Database,
+        query: &Query,
+    ) -> Result<(QueryResult, ServeOutcome), ServeError> {
+        let prepared = self.prepare(query);
+        self.execute_prepared(db, &prepared, None)
+    }
+
+    /// [`Self::execute`] for an already-prepared query.
+    pub fn execute_prepared(
+        &self,
+        db: &Database,
+        prepared: &Prepared,
+        deadline: Option<Duration>,
+    ) -> Result<(QueryResult, ServeOutcome), ServeError> {
+        let outcome = self.optimize_prepared(prepared, deadline)?;
+        let mut ex = Executor::new(db, &prepared.canonical.query);
+        let result = ex
+            .run(&outcome.optimized.best)
+            .map_err(|e| ServeError::Execute(e.to_string()))?;
+        Ok((result, outcome))
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    /// One gated, budgeted cold optimization against the given snapshot.
+    fn cold_optimize(
+        &self,
+        prepared: &Prepared,
+        cat: &Arc<Catalog>,
+        epoch: u64,
+        deadline: Option<Duration>,
+    ) -> Result<(Arc<Optimized>, u64), ServeError> {
+        let (_permit, _waited) = self.gate.acquire(self.config.max_queue_wait).map_err(|t| {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            ServeError::Rejected {
+                waited_ms: t.waited.as_millis() as u64,
+                detail: format!(
+                    "optimization queue full ({} concurrent)",
+                    self.config.max_concurrent_opt
+                ),
+            }
+        })?;
+        let optimizer = self.optimizer_for(cat, epoch)?;
+        let mut config = self.config.opt_config.clone();
+        if let Some(d) = deadline.or(self.config.default_deadline) {
+            config.budget.deadline = Some(match config.budget.deadline {
+                Some(existing) => existing.min(d),
+                None => d,
+            });
+        }
+        let started = Instant::now();
+        let optimized = optimizer
+            .optimize_traced(&prepared.canonical.query, &config, self.tracer.clone())
+            .map_err(|e| {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                ServeError::Optimize(e.to_string())
+            })?;
+        let nanos = started.elapsed().as_nanos() as u64;
+        if optimized.degraded {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((Arc::new(optimized), nanos))
+    }
+
+    /// The compiled optimizer for this epoch, rebuilding (recompiling the
+    /// rule repertoire against the new snapshot) when the epoch moved.
+    fn optimizer_for(&self, cat: &Arc<Catalog>, epoch: u64) -> Result<Arc<Optimizer>, ServeError> {
+        {
+            let g = self.optimizer.read().unwrap_or_else(|p| p.into_inner());
+            if g.0 == epoch {
+                return Ok(Arc::clone(&g.1));
+            }
+        }
+        let mut g = self.optimizer.write().unwrap_or_else(|p| p.into_inner());
+        if g.0 != epoch {
+            let rebuilt =
+                Optimizer::new(Arc::clone(cat)).map_err(|e| ServeError::Catalog(e.to_string()))?;
+            *g = (epoch, Arc::new(rebuilt));
+        }
+        Ok(Arc::clone(&g.1))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        prepared: &Prepared,
+        optimized: Arc<Optimized>,
+        cache_hit: bool,
+        coalesced: bool,
+        epoch: u64,
+        opt_nanos: u64,
+        saved_nanos: u64,
+    ) -> ServeOutcome {
+        ServeOutcome {
+            optimized,
+            cache_hit,
+            coalesced,
+            epoch,
+            opt_nanos,
+            saved_nanos,
+            fingerprint: prepared.canonical.fingerprint.clone(),
+        }
+    }
+
+    /// Map a stringified flight error back to its typed form. Followers of
+    /// a rejected leader surface `Rejected` too — nobody optimized on their
+    /// behalf.
+    fn classify_flight_error(&self, msg: String) -> ServeError {
+        if let Some(rest) = msg.strip_prefix(REJECTED_MARKER) {
+            let mut parts = rest.splitn(2, '\u{1}');
+            let waited_ms = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+            let detail = parts.next().unwrap_or("admission").to_string();
+            return ServeError::Rejected { waited_ms, detail };
+        }
+        ServeError::Optimize(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starqo_catalog::{DataType, StorageKind, Value};
+    use starqo_query::parse_query;
+    use starqo_storage::DatabaseBuilder;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::builder()
+                .site("NY")
+                .table("DEPT", "NY", StorageKind::Heap, 4)
+                .column("DNO", DataType::Int, Some(4))
+                .column("MGR", DataType::Str, Some(4))
+                .table("EMP", "NY", StorageKind::Heap, 8)
+                .column("NAME", DataType::Str, None)
+                .column("DNO", DataType::Int, Some(4))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn database(cat: &Arc<Catalog>) -> Database {
+        let mut b = DatabaseBuilder::new(Arc::clone(cat));
+        for i in 0..4i64 {
+            b.insert("DEPT", vec![Value::Int(i), Value::str(format!("M{i}"))])
+                .unwrap();
+        }
+        for i in 0..8i64 {
+            b.insert("EMP", vec![Value::str(format!("E{i}")), Value::Int(i % 4)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hit_after_miss_and_params_share_a_plan() {
+        let cat = catalog();
+        let svc = Service::new(Arc::clone(&cat), ServiceConfig::default()).unwrap();
+        let q1 = parse_query(
+            &cat,
+            "SELECT E.NAME FROM EMP E, DEPT D WHERE D.DNO = E.DNO AND D.MGR = 'M1'",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            &cat,
+            "SELECT E.NAME FROM EMP E, DEPT D WHERE D.MGR = 'M2' AND D.DNO = E.DNO",
+        )
+        .unwrap();
+        let o1 = svc.optimize(&q1).unwrap();
+        assert!(!o1.cache_hit);
+        let o2 = svc.optimize(&q2).unwrap();
+        assert!(o2.cache_hit, "different constant + conjunct order must hit");
+        assert_eq!(o1.fingerprint, o2.fingerprint);
+        let snap = svc.counters();
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.hits, 1);
+        assert!(snap.hit_ratio() > 0.49);
+    }
+
+    #[test]
+    fn cached_plans_execute_with_the_request_constants() {
+        let cat = catalog();
+        let db = database(&cat);
+        let svc = Service::new(Arc::clone(&cat), ServiceConfig::default()).unwrap();
+        let q1 = parse_query(
+            &cat,
+            "SELECT E.NAME FROM EMP E, DEPT D WHERE D.DNO = E.DNO AND D.MGR = 'M1'",
+        )
+        .unwrap();
+        let q2 = parse_query(
+            &cat,
+            "SELECT E.NAME FROM EMP E, DEPT D WHERE D.DNO = E.DNO AND D.MGR = 'M2'",
+        )
+        .unwrap();
+        let (r1, o1) = svc.execute(&db, &q1).unwrap();
+        let (r2, o2) = svc.execute(&db, &q2).unwrap();
+        assert!(!o1.cache_hit && o2.cache_hit);
+        // Different constants select different departments: the cached plan
+        // must not replay q1's rows for q2.
+        let ref1 = starqo_exec::reference_eval(&db, &canonicalize(&q1).query).unwrap();
+        let ref2 = starqo_exec::reference_eval(&db, &canonicalize(&q2).query).unwrap();
+        assert!(starqo_exec::rows_equal_multiset(&r1.rows, &ref1));
+        assert!(starqo_exec::rows_equal_multiset(&r2.rows, &ref2));
+        assert!(!starqo_exec::rows_equal_multiset(&r1.rows, &r2.rows));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_and_reoptimizes() {
+        let cat = catalog();
+        let svc = Service::new(Arc::clone(&cat), ServiceConfig::default()).unwrap();
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.DNO = 1").unwrap();
+        let o1 = svc.optimize(&q).unwrap();
+        assert_eq!(o1.epoch, 0);
+        svc.shared_catalog().set_table_card("EMP", 100_000).unwrap();
+        let o2 = svc.optimize(&q).unwrap();
+        assert_eq!(o2.epoch, 1);
+        assert!(!o2.cache_hit, "epoch bump must force a re-optimization");
+        let snap = svc.counters();
+        assert_eq!(snap.invalidations, 1);
+        assert_eq!(snap.misses, 2);
+        // The re-optimization saw the new statistics.
+        assert!(o2.optimized.best.props.card > o1.optimized.best.props.card);
+    }
+
+    #[test]
+    fn cache_disabled_always_misses() {
+        let cat = catalog();
+        let svc = Service::new(
+            Arc::clone(&cat),
+            ServiceConfig {
+                cache_enabled: false,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.DNO = 1").unwrap();
+        svc.optimize(&q).unwrap();
+        svc.optimize(&q).unwrap();
+        let snap = svc.counters();
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.hits, 0);
+        assert_eq!(svc.cache_len(), 0);
+    }
+
+    #[test]
+    fn zero_wait_gate_rejects_second_request() {
+        let cat = catalog();
+        let svc = Arc::new(
+            Service::new(
+                Arc::clone(&cat),
+                ServiceConfig {
+                    max_concurrent_opt: 1,
+                    max_queue_wait: Some(Duration::ZERO),
+                    cache_enabled: false,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Hold the only slot on another thread, then ask again.
+        let (_permit, _) = svc.gate.acquire(None).unwrap();
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E").unwrap();
+        let err = svc.optimize(&q).unwrap_err();
+        assert!(matches!(err, ServeError::Rejected { .. }), "{err}");
+        assert_eq!(svc.counters().rejected, 1);
+    }
+
+    #[test]
+    fn counter_rows_are_stable() {
+        let snap = ServeCountersSnapshot {
+            requests: 3,
+            hits: 1,
+            coalesced: 1,
+            misses: 1,
+            ..Default::default()
+        };
+        let rows = snap.rows();
+        assert_eq!(rows[0], ("serve_requests", 3));
+        assert!((snap.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

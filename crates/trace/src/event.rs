@@ -155,6 +155,23 @@ pub enum TraceEvent {
     /// A resource budget ran out; the engine degraded to greedy,
     /// best-so-far exploration (anytime semantics).
     BudgetExhausted { resource: String, detail: String },
+    /// The serving layer satisfied a request from the plan cache. `fp` is
+    /// the canonical query fingerprint hash; `saved_nanos` is the cold
+    /// optimization time the hit avoided (as measured when the entry was
+    /// populated).
+    CacheHit {
+        fp: u64,
+        epoch: u64,
+        saved_nanos: u64,
+    },
+    /// No usable cache entry: the request paid for a cold optimization.
+    CacheMiss { fp: u64, epoch: u64 },
+    /// An entry left the cache to make room (`reason` = "capacity" or
+    /// "bytes").
+    CacheEvict { fp: u64, reason: String },
+    /// An entry was dropped because its catalog epoch was stale; `epoch`
+    /// is the *current* epoch that invalidated it.
+    CacheInvalidate { fp: u64, epoch: u64 },
 }
 
 impl TraceEvent {
@@ -181,6 +198,10 @@ impl TraceEvent {
             TraceEvent::Counter { .. } => "counter",
             TraceEvent::RuleQuarantined { .. } => "rule_quarantined",
             TraceEvent::BudgetExhausted { .. } => "budget_exhausted",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::CacheInvalidate { .. } => "cache_invalidate",
         }
     }
 
@@ -343,6 +364,17 @@ impl TraceEvent {
             TraceEvent::BudgetExhausted { resource, detail } => {
                 o.str("resource", resource).str("detail", detail)
             }
+            TraceEvent::CacheHit {
+                fp,
+                epoch,
+                saved_nanos,
+            } => o
+                .u64("fp", *fp)
+                .u64("epoch", *epoch)
+                .u64("saved_nanos", *saved_nanos),
+            TraceEvent::CacheMiss { fp, epoch } => o.u64("fp", *fp).u64("epoch", *epoch),
+            TraceEvent::CacheEvict { fp, reason } => o.u64("fp", *fp).str("reason", reason),
+            TraceEvent::CacheInvalidate { fp, epoch } => o.u64("fp", *fp).u64("epoch", *epoch),
         }
         .finish()
     }
@@ -477,6 +509,23 @@ impl TraceEvent {
             "budget_exhausted" => TraceEvent::BudgetExhausted {
                 resource: str_of("resource")?,
                 detail: str_of("detail")?,
+            },
+            "cache_hit" => TraceEvent::CacheHit {
+                fp: u64_of("fp")?,
+                epoch: u64_of("epoch")?,
+                saved_nanos: u64_of("saved_nanos")?,
+            },
+            "cache_miss" => TraceEvent::CacheMiss {
+                fp: u64_of("fp")?,
+                epoch: u64_of("epoch")?,
+            },
+            "cache_evict" => TraceEvent::CacheEvict {
+                fp: u64_of("fp")?,
+                reason: str_of("reason")?,
+            },
+            "cache_invalidate" => TraceEvent::CacheInvalidate {
+                fp: u64_of("fp")?,
+                epoch: u64_of("epoch")?,
             },
             _ => return None,
         })
@@ -673,6 +722,23 @@ mod tests {
             TraceEvent::BudgetExhausted {
                 resource: "memo_entries".into(),
                 detail: "memo cap of 64 entries reached".into(),
+            },
+            TraceEvent::CacheHit {
+                fp: 0xDEAD_BEEF,
+                epoch: 3,
+                saved_nanos: 1_250_000,
+            },
+            TraceEvent::CacheMiss {
+                fp: 0xDEAD_BEEF,
+                epoch: 3,
+            },
+            TraceEvent::CacheEvict {
+                fp: 0xFEED_FACE,
+                reason: "capacity".into(),
+            },
+            TraceEvent::CacheInvalidate {
+                fp: 0xDEAD_BEEF,
+                epoch: 4,
             },
         ]
     }

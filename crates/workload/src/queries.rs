@@ -21,6 +21,14 @@ pub enum QueryShape {
 /// synthetic catalog (`synth_catalog` naming conventions), optionally with a
 /// selective local predicate `T0.P0 = 0` to exercise pushdown.
 pub fn query_shape(cat: &Catalog, shape: QueryShape, n: usize, local_pred: bool) -> Query {
+    query_shape_param(cat, shape, n, if local_pred { Some(0) } else { None })
+}
+
+/// Like [`query_shape`], but the local predicate compares `T0.P0` against a
+/// caller-supplied constant. Queries built with different constants are
+/// canonically equivalent (the literal becomes a bind slot), which is what
+/// the serving benchmark leans on: one cached plan, many parameter values.
+pub fn query_shape_param(cat: &Catalog, shape: QueryShape, n: usize, param: Option<i64>) -> Query {
     assert!(n >= 2, "need at least two tables to join");
     let mut b = QueryBuilder::new();
     let mut qs = Vec::with_capacity(n);
@@ -64,13 +72,13 @@ pub fn query_shape(cat: &Catalog, shape: QueryShape, n: usize, local_pred: bool)
             }
         }
     }
-    if local_pred {
-        // T0.P0 = 0 (payload column, if present).
+    if let Some(c) = param {
+        // T0.P0 = c (payload column, if present).
         if cat.tables()[0].columns.len() > 2 {
             b.predicate(PredExpr::Cmp(
                 CmpOp::Eq,
                 Scalar::col(qs[0], ColId(2)),
-                Scalar::Const(Value::Int(0)),
+                Scalar::Const(Value::Int(c)),
             ))
             .expect("pred");
         }

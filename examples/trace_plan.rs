@@ -5,8 +5,9 @@
 //! 2. `EXPLAIN ANALYZE` — estimated CARD/COST against actual rows and time,
 //! 3. the per-phase timing and counter summary.
 //!
-//! The full event stream is also written to `trace_plan.jsonl` (one JSON
-//! object per line) through a [`JsonLinesSink`].
+//! The full event stream is also written to `target/trace_plan.jsonl` (one
+//! JSON object per line) through a [`JsonLinesSink`] — under `target/` so
+//! run artifacts never land in the repo root.
 //!
 //! ```sh
 //! cargo run --example trace_plan
@@ -93,10 +94,12 @@ fn main() {
         .expect("query");
 
     // Attach the tracer: everything the engine, plan table, Glue, and
-    // executor see goes to trace_plan.jsonl AND an in-memory buffer.
+    // executor see goes to target/trace_plan.jsonl AND an in-memory buffer.
+    let trace_path = std::path::Path::new("target").join("trace_plan.jsonl");
+    std::fs::create_dir_all("target").expect("target dir");
     let mem = Arc::new(MemorySink::new());
     let sink = Tee(
-        JsonLinesSink::to_file("trace_plan.jsonl").expect("trace file"),
+        JsonLinesSink::to_file(&trace_path).expect("trace file"),
         mem.clone(),
     );
     let tracer = Tracer::new(sink);
@@ -160,7 +163,8 @@ fn main() {
 
     tracer.flush();
     println!(
-        "\nfull event stream: trace_plan.jsonl ({} events)",
+        "\nfull event stream: {} ({} events)",
+        trace_path.display(),
         mem.events().len()
     );
 }

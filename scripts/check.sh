@@ -16,8 +16,8 @@ cargo test --workspace -q
 echo "== starqo-obs smoke (profile a real trace) =="
 cargo build -q --offline -p starqo-obs
 cargo run -q --offline --example trace_plan > /dev/null
-./target/debug/starqo-obs profile trace_plan.jsonl | grep -q "winning plan lineage"
-./target/debug/starqo-obs flame trace_plan.jsonl --folded | grep -q ";"
+./target/debug/starqo-obs profile target/trace_plan.jsonl | grep -q "winning plan lineage"
+./target/debug/starqo-obs flame target/trace_plan.jsonl --folded | grep -q ";"
 echo "starqo-obs smoke passed."
 
 echo "== estimation observatory smoke (run -> accuracy -> calibrate -> re-run) =="
@@ -45,5 +45,15 @@ cargo build -q --offline -p starqo-bench --bin chaos
 ./target/debug/chaos --quick --seed 42 > target/bench/chaos_smoke.txt
 grep -q "panic escapes: 0" target/bench/chaos_smoke.txt
 echo "chaos smoke passed."
+
+echo "== serving smoke (4-thread plan cache; hits, zero divergences) =="
+cargo build -q --offline -p starqo-bench --bin serve
+# The experiment asserts hit ratio >= 0.9 and zero oracle divergences
+# internally (non-zero exit on violation); the greps double-check the
+# report said what the exit code implies.
+./target/debug/serve --smoke > target/bench/serve_smoke.txt
+grep -q "divergences: 0" target/bench/serve_smoke.txt
+grep -q "speedup (cached/cold)" target/bench/serve_smoke.txt
+echo "serving smoke passed."
 
 echo "All checks passed."

@@ -69,7 +69,7 @@ fn events_with_random_payloads_survive_the_jsonl_loop() {
     let mut rng = Rng64::new(7);
     let mut events = Vec::new();
     for _ in 0..200 {
-        events.push(match rng.below(4) {
+        events.push(match rng.below(8) {
             0 => TraceEvent::CondFailed {
                 star: nasty_string(&mut rng, 10),
                 alt: rng.below(9) as usize,
@@ -84,12 +84,31 @@ fn events_with_random_payloads_survive_the_jsonl_loop() {
             2 => TraceEvent::SpanStart {
                 name: nasty_string(&mut rng, 20),
             },
-            _ => TraceEvent::TableInsert {
+            3 => TraceEvent::TableInsert {
                 op: nasty_string(&mut rng, 10),
                 // Full-range u64 fingerprints: precision must survive.
                 fp: rng.next_u64(),
                 cost: rng.next_f64() * 1e6,
                 evicted: rng.below(4) as usize,
+            },
+            // The serving layer's cache events: full-range u64 query
+            // fingerprints and epochs, plus a free-form eviction reason.
+            4 => TraceEvent::CacheHit {
+                fp: rng.next_u64(),
+                epoch: rng.next_u64(),
+                saved_nanos: rng.next_u64(),
+            },
+            5 => TraceEvent::CacheMiss {
+                fp: rng.next_u64(),
+                epoch: rng.next_u64(),
+            },
+            6 => TraceEvent::CacheEvict {
+                fp: rng.next_u64(),
+                reason: nasty_string(&mut rng, 20),
+            },
+            _ => TraceEvent::CacheInvalidate {
+                fp: rng.next_u64(),
+                epoch: rng.next_u64(),
             },
         });
     }
