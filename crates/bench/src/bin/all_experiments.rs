@@ -19,6 +19,7 @@ fn main() {
             starqo_bench::comparison::e14_ablations(),
             starqo_bench::correctness::e15_estimation_quality(),
             starqo_bench::serving::e17_serving(false),
+            starqo_bench::telemetry::e19_telemetry(false),
         ]
     });
 }

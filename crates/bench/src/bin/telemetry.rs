@@ -1,0 +1,18 @@
+//! Experiment binary: the telemetry-overhead benchmark (E19) — the E17
+//! workload replayed against counters-only, full-plane, and full-plus-
+//! sampled-tracing services. Writes `BENCH_telemetry.json` with the run's
+//! deterministic counters for the regression gate, and exports the full
+//! service's final snapshot (`telemetry_snapshot.json` / `.prom`) for
+//! `starqo-obs live`.
+//!
+//! `--smoke` (alias `--quick`) runs the small fleet on 4 threads with loose
+//! overhead ceilings; the experiment itself asserts the snapshot/counter
+//! consistency checks, so a violated invariant exits non-zero.
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "--smoke");
+    starqo_bench::run_bin("telemetry", || {
+        vec![starqo_bench::telemetry::e19_telemetry(quick)]
+    });
+}

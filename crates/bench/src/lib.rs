@@ -23,6 +23,7 @@
 //! | E15 | CARD estimation quality | [`correctness::e15_estimation_quality`] |
 //! | E16 | estimation observatory + cost calibration | [`observatory::e16_estimation_observatory`] |
 //! | E17 | serving layer: plan-cache throughput + correctness | [`serving::e17_serving`] |
+//! | E19 | live telemetry plane: overhead + snapshot invariants | [`telemetry::e19_telemetry`] |
 
 pub mod chaos;
 pub mod comparison;
@@ -33,6 +34,7 @@ pub mod figures;
 pub mod observatory;
 pub mod serving;
 pub mod strategies;
+pub mod telemetry;
 
 use std::fmt::Write as _;
 
@@ -109,7 +111,9 @@ pub fn run_bin(name: &str, f: impl FnOnce() -> Vec<Report>) {
         .finish();
     let path = bench_dir().join(format!("BENCH_{name}.json"));
     match std::fs::write(&path, json + "\n") {
-        Ok(()) => eprintln!("wrote {}", path.display()),
+        // On stdout deliberately: every bench bin reports where its gate
+        // artifact landed as part of its normal output.
+        Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }

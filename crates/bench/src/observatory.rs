@@ -193,9 +193,19 @@ pub fn e16_estimation_observatory() -> crate::Report {
         r.line(line);
     }
     r.line(format!(
-        "artifacts: {} (+ traces and accuracy JSON alongside)",
+        "profile (use via STARQO_COST_PROFILE): {}",
         profile_path.display()
     ));
+    r.line("artifacts:");
+    for name in [
+        "workload_uncalibrated.jsonl",
+        "accuracy_uncalibrated.json",
+        "cost_profile.json",
+        "workload_calibrated.jsonl",
+        "accuracy_calibrated.json",
+    ] {
+        r.line(format!("  {}", dir.join(name).display()));
+    }
 
     // Gate-able counters: only the deterministic half of the experiment
     // (pass A joins under the default model; pass B depends on measured

@@ -28,16 +28,17 @@ use crate::{row, Report};
 
 /// One canonical query shape the workload draws from. Requests against a
 /// `param` template carry a fresh constant each time; all of them share one
-/// fingerprint (and so one cached plan).
+/// fingerprint (and so one cached plan). Shared with E19, which replays the
+/// same workload against differently instrumented services.
 #[derive(Debug, Clone, Copy)]
-struct Template {
-    name: &'static str,
-    shape: QueryShape,
-    n: usize,
-    param: bool,
+pub(crate) struct Template {
+    pub(crate) name: &'static str,
+    pub(crate) shape: QueryShape,
+    pub(crate) n: usize,
+    pub(crate) param: bool,
 }
 
-fn templates(quick: bool) -> Vec<Template> {
+pub(crate) fn templates(quick: bool) -> Vec<Template> {
     let t = |name, shape, n, param| Template {
         name,
         shape,
@@ -68,7 +69,7 @@ fn templates(quick: bool) -> Vec<Template> {
 }
 
 /// Cumulative Zipf(s) distribution over `k` ranks.
-fn zipf_cdf(k: usize, s: f64) -> Vec<f64> {
+pub(crate) fn zipf_cdf(k: usize, s: f64) -> Vec<f64> {
     let weights: Vec<f64> = (1..=k).map(|i| 1.0 / (i as f64).powf(s)).collect();
     let total: f64 = weights.iter().sum();
     let mut acc = 0.0;
@@ -81,22 +82,22 @@ fn zipf_cdf(k: usize, s: f64) -> Vec<f64> {
         .collect()
 }
 
-fn zipf_pick(cdf: &[f64], u: f64) -> usize {
+pub(crate) fn zipf_pick(cdf: &[f64], u: f64) -> usize {
     cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
 }
 
 /// What one multi-threaded pass over the workload measured.
 #[derive(Debug, Clone)]
-struct PassSummary {
-    requests: u64,
-    wall_secs: f64,
-    p50_us: f64,
-    p99_us: f64,
-    snapshot: ServeCountersSnapshot,
+pub(crate) struct PassSummary {
+    pub(crate) requests: u64,
+    pub(crate) wall_secs: f64,
+    pub(crate) p50_us: f64,
+    pub(crate) p99_us: f64,
+    pub(crate) snapshot: ServeCountersSnapshot,
 }
 
 impl PassSummary {
-    fn throughput(&self) -> f64 {
+    pub(crate) fn throughput(&self) -> f64 {
         self.requests as f64 / self.wall_secs.max(1e-9)
     }
 }
@@ -106,7 +107,7 @@ impl PassSummary {
 /// so the *set* of fingerprints touched — and with single-flight, the
 /// cold-optimization count — is identical run to run; only the scheduling
 /// (hit vs coalesced split, wall time) varies.
-fn run_pass(
+pub(crate) fn run_pass(
     svc: &Service,
     cat: &std::sync::Arc<starqo_catalog::Catalog>,
     fleet: &[Template],

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use starqo_catalog::Catalog;
 use starqo_plan::{CostModel, ExtPropFn, PlanRef, PropEngine};
 use starqo_query::Query;
-use starqo_trace::{MetricsRegistry, MetricsSummary, Phase, TraceEvent, Tracer};
+use starqo_trace::{Metric, MetricsRegistry, MetricsSummary, Phase, Telemetry, TraceEvent, Tracer};
 
 use crate::budget::Budget;
 use crate::compile::{compile_into, CompileEnv};
@@ -223,6 +223,27 @@ impl Optimizer {
     /// Optimize one query under the given configuration.
     pub fn optimize(&self, query: &Query, config: &OptConfig) -> Result<Optimized> {
         self.optimize_traced(query, config, Tracer::off())
+    }
+
+    /// [`Self::optimize_traced`] with the live telemetry plane attached:
+    /// after a successful run, the engine's work counters (STAR references,
+    /// memo hits, plans built, Glue invocations) fold into `telemetry` so
+    /// live dashboards see optimizer work without per-request trace events.
+    /// Latency histograms are the caller's concern — the serving layer
+    /// times the paths it owns.
+    pub fn optimize_observed(
+        &self,
+        query: &Query,
+        config: &OptConfig,
+        tracer: Tracer,
+        telemetry: &Telemetry,
+    ) -> Result<Optimized> {
+        let out = self.optimize_traced(query, config, tracer)?;
+        telemetry.add(Metric::StarRefs, out.stats.star_refs);
+        telemetry.add(Metric::MemoHits, out.stats.memo_hits);
+        telemetry.add(Metric::PlansBuilt, out.stats.plans_built);
+        telemetry.add(Metric::GlueRefs, out.stats.glue_refs);
+        Ok(out)
     }
 
     /// [`Self::optimize`] with a structured-event tracer attached. The

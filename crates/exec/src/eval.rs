@@ -10,12 +10,13 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 use starqo_catalog::{Value, TID_COL};
 use starqo_plan::{AccessSpec, JoinFlavor, Lolepop, PlanNode, PlanRef};
 use starqo_query::{Classifier, CmpOp, PredSet, QCol, QId, Query, Scalar};
 use starqo_storage::{Database, Tid, Tuple, ROWS_PER_PAGE};
-use starqo_trace::{NodeActuals, TraceEvent, Tracer};
+use starqo_trace::{LatencyPath, Metric, NodeActuals, Telemetry, TraceEvent, Tracer};
 
 use crate::error::{ExecError, Result};
 use crate::result::{project_rows, QueryResult};
@@ -80,6 +81,9 @@ pub struct Executor<'a> {
     node_stats: HashMap<u64, NodeActuals>,
     /// Armed fault-injection hook; `None` in production.
     fault_hook: Option<FaultHook>,
+    /// Live metrics plane; when attached, [`Self::run`] records
+    /// executions, rows out, wall nanos, and the execute-latency histogram.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl<'a> Executor<'a> {
@@ -95,6 +99,7 @@ impl<'a> Executor<'a> {
             collect: false,
             node_stats: HashMap::new(),
             fault_hook: None,
+            telemetry: None,
         }
     }
 
@@ -114,6 +119,14 @@ impl<'a> Executor<'a> {
     /// a trace sink — what `explain_analyze` consumes.
     pub fn enable_node_stats(&mut self) {
         self.collect = true;
+    }
+
+    /// Attach the live telemetry plane: each successful [`Self::run`]
+    /// records one execution (count, rows out, wall nanos) in the counter
+    /// plane and the `execute` latency histogram. Counter cost only —
+    /// per-node actuals stay off unless a tracer asks for them.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Actuals per plan-node fingerprint gathered so far.
@@ -137,10 +150,20 @@ impl<'a> Executor<'a> {
     /// injected faults) are caught here and surfaced as
     /// [`ExecError::Panicked`] — never a process abort.
     pub fn run(&mut self, plan: &PlanRef) -> Result<QueryResult> {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner(plan))) {
-            Ok(r) => r,
-            Err(payload) => Err(ExecError::Panicked(panic_msg(payload))),
+        let started = Instant::now();
+        let out =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner(plan))) {
+                Ok(r) => r,
+                Err(payload) => Err(ExecError::Panicked(panic_msg(payload))),
+            };
+        if let (Some(t), Ok(result)) = (&self.telemetry, &out) {
+            let nanos = started.elapsed().as_nanos() as u64;
+            t.add(Metric::Executions, 1);
+            t.add(Metric::ExecRows, result.rows.len() as u64);
+            t.add(Metric::ExecNanos, nanos);
+            t.observe(LatencyPath::Execute, nanos);
         }
+        out
     }
 
     fn run_inner(&mut self, plan: &PlanRef) -> Result<QueryResult> {

@@ -9,6 +9,9 @@
 //! starqo-obs gate     <baseline.json> <fresh.json>  bench regression gate
 //!                     [--wall-pct N] [--counter-pct N]
 //!                     [--enforce | --enforce-counters]
+//! starqo-obs live     <snapshot.json>               live-telemetry dashboard
+//!                     [--since <prev.json>] [--prom]
+//! starqo-obs live --smoke                           synthetic end-to-end check
 //! ```
 //!
 //! `gate` is report-only by default (always exits 0, for observability in
@@ -18,8 +21,11 @@
 
 use std::process::ExitCode;
 
-use starqo_obs::{calibrate, gate, AccuracyReport, FlameTree, Profile, Thresholds, TraceDiff};
-use starqo_trace::{load_jsonl, TraceEvent};
+use starqo_obs::{
+    calibrate, gate, smoke_snapshot, AccuracyReport, FlameTree, LiveReport, Profile, Thresholds,
+    TraceDiff,
+};
+use starqo_trace::{load_jsonl, TelemetrySnapshot, TraceEvent};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,12 +37,21 @@ fn main() -> ExitCode {
     let mut counter_pct: Option<f64> = None;
     let mut json_out: Option<&str> = None;
     let mut profile_out: Option<&str> = None;
+    let mut since: Option<&str> = None;
+    let mut smoke = false;
+    let mut prom = false;
     let mut it = args.iter().map(String::as_str);
     while let Some(a) = it.next() {
         match a {
             "--folded" => folded = true,
             "--enforce" => enforce = true,
             "--enforce-counters" => enforce_counters = true,
+            "--smoke" => smoke = true,
+            "--prom" => prom = true,
+            "--since" => match it.next() {
+                Some(p) => since = Some(p),
+                None => return usage("--since needs a path"),
+            },
             "--json" => match it.next() {
                 Some(p) => json_out = Some(p),
                 None => return usage("--json needs a path"),
@@ -152,6 +167,58 @@ fn main() -> ExitCode {
                 }
             }
         }
+        ["live"] if smoke => {
+            // Synthetic end-to-end check: render the dashboard and push the
+            // snapshot through both exporters and back.
+            let snap = smoke_snapshot();
+            let parsed = match TelemetrySnapshot::from_json(&snap.to_json()) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("starqo-obs live --smoke: JSON round-trip failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if parsed != snap {
+                eprintln!("starqo-obs live --smoke: round-tripped snapshot differs");
+                return ExitCode::FAILURE;
+            }
+            if prom {
+                print!("{}", snap.to_prometheus());
+            } else {
+                print!("{}", LiveReport::new(snap).render());
+            }
+            println!("live --smoke ok");
+            ExitCode::SUCCESS
+        }
+        ["live", path] => {
+            let load = |p: &str| -> Result<TelemetrySnapshot, String> {
+                let text =
+                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                TelemetrySnapshot::from_json(&text)
+            };
+            let run = || -> Result<String, String> {
+                let current = load(path)?;
+                let report = match since {
+                    Some(prev) => LiveReport::since(&current, &load(prev)?),
+                    None => LiveReport::new(current),
+                };
+                Ok(if prom {
+                    report.snapshot().to_prometheus()
+                } else {
+                    report.render()
+                })
+            };
+            match run() {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("starqo-obs live: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => usage("expected a subcommand"),
     }
 }
@@ -178,7 +245,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("starqo-obs: {err}");
     }
     eprintln!(
-        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs accuracy <trace.jsonl> [--json <out.json>]\n  starqo-obs calibrate <trace.jsonl> [--out <profile.json>]\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce|--enforce-counters]"
+        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs accuracy <trace.jsonl> [--json <out.json>]\n  starqo-obs calibrate <trace.jsonl> [--out <profile.json>]\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce|--enforce-counters]\n  starqo-obs live <snapshot.json> [--since <prev.json>] [--prom]\n  starqo-obs live --smoke [--prom]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

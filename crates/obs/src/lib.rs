@@ -18,7 +18,11 @@
 //!   Q-error per plan node, aggregated per LOLEPOP, per STAR rule, and per
 //!   workload query;
 //! - [`calibrate::fit`] — least-squares cost-model calibration from the
-//!   accuracy join, producing a `starqo-plan` [`CostCalibration`] profile.
+//!   accuracy join, producing a `starqo-plan` [`CostCalibration`] profile;
+//! - [`live::LiveReport`] — the live-telemetry dashboard: renders a
+//!   serving-layer [`starqo_trace::TelemetrySnapshot`] (throughput, cache
+//!   effectiveness, latency quantiles, hot-query top-K), point-in-time or
+//!   diffed between two snapshots.
 //!
 //! The `starqo-obs` binary exposes all of these as subcommands.
 
@@ -27,6 +31,7 @@ pub mod calibrate;
 pub mod diff;
 pub mod flame;
 pub mod gate;
+pub mod live;
 pub mod profile;
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -36,5 +41,6 @@ pub use calibrate::{fit, samples, CalibFit, CalibSample};
 pub use diff::TraceDiff;
 pub use flame::FlameTree;
 pub use gate::{gate, GateResult, Thresholds, Violation};
+pub use live::{fmt_nanos, smoke_snapshot, LiveReport};
 pub use profile::{LineageRow, Profile, StarProfile};
 pub use starqo_plan::CostCalibration;

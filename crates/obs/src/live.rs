@@ -1,0 +1,279 @@
+//! The live-telemetry dashboard: renders a [`TelemetrySnapshot`] (the
+//! serving layer's always-on metrics plane) as a terminal report —
+//! throughput, cache effectiveness, latency quantiles per path, and the
+//! hot-query top-K. Point-in-time by default; hand it the delta of two
+//! snapshots ([`TelemetrySnapshot::delta_since`]) and the same renderer
+//! shows interval rates instead of lifetime totals.
+
+use starqo_trace::{Histogram, TelemetrySnapshot};
+
+/// A renderable view over one snapshot (lifetime or interval).
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    snapshot: TelemetrySnapshot,
+    /// True when the snapshot is a delta between two points in time.
+    interval: bool,
+}
+
+impl LiveReport {
+    /// A lifetime (since-service-start) view.
+    pub fn new(snapshot: TelemetrySnapshot) -> LiveReport {
+        LiveReport {
+            snapshot,
+            interval: false,
+        }
+    }
+
+    /// An interval view: `current` diffed against `previous`.
+    pub fn since(current: &TelemetrySnapshot, previous: &TelemetrySnapshot) -> LiveReport {
+        LiveReport {
+            snapshot: current.delta_since(previous),
+            interval: true,
+        }
+    }
+
+    pub fn snapshot(&self) -> &TelemetrySnapshot {
+        &self.snapshot
+    }
+
+    pub fn render(&self) -> String {
+        let s = &self.snapshot;
+        let c = |name: &str| s.counter(name).unwrap_or(0);
+        let mut out = String::new();
+        let window = if self.interval { "interval" } else { "uptime" };
+        out.push_str(&format!(
+            "== starqo live telemetry ==  ({window} {})\n\n",
+            fmt_nanos(s.uptime_nanos)
+        ));
+
+        out.push_str("-- serving --\n");
+        out.push_str(&format!(
+            "  requests        {:>10}   ({:.1}/s)\n",
+            c("serve_requests"),
+            s.requests_per_sec()
+        ));
+        out.push_str(&format!(
+            "  cache           {:>9.2}% hit   (hit {} + coalesced {} / miss {})\n",
+            s.hit_ratio() * 100.0,
+            c("serve_cache_hit"),
+            c("serve_cache_coalesced"),
+            c("serve_cache_miss")
+        ));
+        out.push_str(&format!(
+            "  churn           evict {}   invalidate {}\n",
+            c("serve_cache_evict"),
+            c("serve_cache_invalidate")
+        ));
+        out.push_str(&format!(
+            "  pressure        rejected {}   degraded {}   errors {}\n",
+            c("serve_rejected"),
+            c("serve_degraded"),
+            c("serve_errors")
+        ));
+        out.push_str(&format!(
+            "  execution       {} runs   {} rows\n",
+            c("serve_executions"),
+            c("serve_exec_rows")
+        ));
+        let (sampled, unsampled) = (c("serve_trace_sampled"), c("serve_trace_unsampled"));
+        if sampled + unsampled > 0 {
+            out.push_str(&format!(
+                "  tracing         {sampled} sampled / {unsampled} suppressed\n"
+            ));
+        }
+        out.push_str(&format!(
+            "  optimizer work  {} star refs   {} memo hits   {} plans built   {} glue refs\n",
+            c("opt_star_refs"),
+            c("opt_memo_hits"),
+            c("opt_plans_built"),
+            c("opt_glue_refs")
+        ));
+
+        out.push_str("\n-- latency --\n");
+        out.push_str(&format!(
+            "  {:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "path", "count", "p50", "p90", "p99", "p999", "max"
+        ));
+        for (path, h) in &s.latency {
+            out.push_str(&format!(
+                "  {:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                path,
+                h.count(),
+                fmt_quantile(h, 0.5),
+                fmt_quantile(h, 0.9),
+                fmt_quantile(h, 0.99),
+                fmt_quantile(h, 0.999),
+                h.max().map(fmt_nanos).unwrap_or_else(|| "-".into())
+            ));
+        }
+
+        out.push_str("\n-- hot queries --\n");
+        if s.topk.is_empty() {
+            out.push_str("  (none tracked)\n");
+        } else {
+            out.push_str(&format!(
+                "  {:<4} {:<18} {:>8} {:>6} {:>10} {:>10} {:>6}\n",
+                "#", "fingerprint", "count", "±err", "total", "mean", "epoch"
+            ));
+            for (rank, e) in s.topk.iter().enumerate() {
+                let mean = e.nanos.checked_div(e.count).unwrap_or(0);
+                out.push_str(&format!(
+                    "  {:<4} {:<18} {:>8} {:>6} {:>10} {:>10} {:>6}\n",
+                    rank + 1,
+                    format!("{:#018x}", e.fp),
+                    e.count,
+                    e.err,
+                    fmt_nanos(e.nanos),
+                    fmt_nanos(mean),
+                    e.last_epoch
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// One latency quantile, humanized ("-" for an empty histogram).
+fn fmt_quantile(h: &Histogram, q: f64) -> String {
+    h.quantile(q).map(fmt_nanos).unwrap_or_else(|| "-".into())
+}
+
+/// Humanize a nano count: `999ns`, `12.3µs`, `4.56ms`, `7.89s`.
+pub fn fmt_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", n / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", n / 1e6)
+    } else {
+        format!("{:.2}s", n / 1e9)
+    }
+}
+
+/// A deterministic synthetic snapshot for smoke-testing the dashboard
+/// pipeline (render + JSON + Prometheus) without a live service.
+pub fn smoke_snapshot() -> TelemetrySnapshot {
+    use starqo_trace::HotQuery;
+    let mut optimize = Histogram::new();
+    let mut cache_hit = Histogram::new();
+    let mut execute = Histogram::new();
+    let mut end_to_end = Histogram::new();
+    for i in 0..200u64 {
+        // A few cold optimizations, many cheap warm serves.
+        if i % 50 == 0 {
+            optimize.record(2_000_000 + i * 10_000);
+            end_to_end.record(2_100_000 + i * 10_000);
+        } else {
+            cache_hit.record(2_000 + (i % 7) * 300);
+            end_to_end.record(2_500 + (i % 7) * 300);
+        }
+        execute.record(40_000 + (i % 11) * 1_000);
+    }
+    TelemetrySnapshot {
+        uptime_nanos: 2_000_000_000,
+        counters: vec![
+            ("serve_requests".into(), 200),
+            ("serve_cache_hit".into(), 196),
+            ("serve_cache_coalesced".into(), 0),
+            ("serve_cache_miss".into(), 4),
+            ("serve_cache_evict".into(), 0),
+            ("serve_cache_invalidate".into(), 0),
+            ("serve_rejected".into(), 0),
+            ("serve_degraded".into(), 0),
+            ("serve_errors".into(), 0),
+            ("serve_executions".into(), 200),
+            ("serve_exec_rows".into(), 1_600),
+            ("serve_trace_sampled".into(), 3),
+            ("serve_trace_unsampled".into(), 197),
+            ("opt_star_refs".into(), 56),
+            ("opt_memo_hits".into(), 24),
+            ("opt_plans_built".into(), 180),
+            ("opt_glue_refs".into(), 32),
+            ("serve_opt_nanos".into(), 8_600_000),
+            ("serve_saved_nanos".into(), 420_000_000),
+            ("serve_exec_nanos".into(), 9_000_000),
+        ],
+        latency: vec![
+            ("optimize".into(), optimize),
+            ("cache_hit".into(), cache_hit),
+            ("execute".into(), execute),
+            ("end_to_end".into(), end_to_end),
+        ],
+        topk: vec![
+            HotQuery {
+                fp: 0xA11CE,
+                count: 120,
+                err: 0,
+                nanos: 360_000,
+                last_epoch: 1,
+            },
+            HotQuery {
+                fp: 0xB0B,
+                count: 80,
+                err: 0,
+                nanos: 250_000,
+                last_epoch: 1,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_section_with_real_quantiles() {
+        let report = LiveReport::new(smoke_snapshot());
+        let text = report.render();
+        assert!(text.contains("== starqo live telemetry =="));
+        // 200 requests over the 2s uptime.
+        assert!(text.contains("(100.0/s)"), "{text}");
+        assert!(text.contains("98.00% hit"));
+        assert!(text.contains("-- latency --"));
+        for path in ["optimize", "cache_hit", "execute", "end_to_end"] {
+            assert!(text.contains(path), "missing path {path}");
+        }
+        assert!(text.contains("-- hot queries --"));
+        assert!(text.contains("0x00000000000a11ce"));
+        // Quantiles are real values, not placeholders, for non-empty paths.
+        let latency_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("end_to_end"))
+            .expect("end_to_end row");
+        assert!(!latency_line.contains('-'), "dash in {latency_line}");
+    }
+
+    #[test]
+    fn interval_view_renders_rates_over_the_window() {
+        let later = smoke_snapshot();
+        let mut earlier = smoke_snapshot();
+        earlier.uptime_nanos = 1_000_000_000;
+        earlier.counters = vec![("serve_requests".into(), 150)];
+        let report = LiveReport::since(&later, &earlier);
+        let text = report.render();
+        assert!(text.contains("interval 1.00s"));
+        // 200 - 150 = 50 requests over the 1s interval.
+        assert!(text.contains("(50.0/s)"), "{text}");
+    }
+
+    #[test]
+    fn smoke_snapshot_roundtrips_through_both_exporters() {
+        let snap = smoke_snapshot();
+        let parsed = TelemetrySnapshot::from_json(&snap.to_json()).expect("json");
+        assert_eq!(parsed, snap);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("starqo_serve_requests_total 200"));
+        assert!(prom.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn fmt_nanos_picks_sane_units() {
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(12_300), "12.3µs");
+        assert_eq!(fmt_nanos(4_560_000), "4.56ms");
+        assert_eq!(fmt_nanos(7_890_000_000), "7.89s");
+    }
+}

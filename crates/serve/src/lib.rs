@@ -38,6 +38,5 @@ pub mod service;
 pub use admission::{GateTimeout, OptGate, Permit};
 pub use cache::{CacheConfig, CacheMeta, PlanCache};
 pub use service::{
-    Prepared, ServeCounters, ServeCountersSnapshot, ServeError, ServeOutcome, Service,
-    ServiceConfig,
+    Prepared, ServeCountersSnapshot, ServeError, ServeOutcome, Service, ServiceConfig,
 };

@@ -1,6 +1,5 @@
 //! The optimization service: prepare, optimize, execute — concurrently.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
@@ -9,7 +8,9 @@ use starqo_core::{OptConfig, Optimized, Optimizer};
 use starqo_exec::{Executor, QueryResult};
 use starqo_query::{canonicalize, CanonicalQuery, Query, QueryFingerprint};
 use starqo_storage::Database;
-use starqo_trace::{TraceEvent, Tracer};
+use starqo_trace::{
+    LatencyPath, Metric, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceEvent, Tracer,
+};
 
 use crate::admission::OptGate;
 use crate::cache::{CacheConfig, PlanCache};
@@ -38,6 +39,9 @@ pub struct ServiceConfig {
     /// Default per-request optimization deadline, folded into the budget
     /// (`None` = the budget in `opt_config` as-is).
     pub default_deadline: Option<Duration>,
+    /// Live metrics plane sizing and gating. The default reads
+    /// `STARQO_TRACE_SAMPLE` for the head sampler and keeps every tier on.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +53,7 @@ impl Default for ServiceConfig {
             max_concurrent_opt: 0,
             max_queue_wait: None,
             default_deadline: None,
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 }
@@ -117,24 +122,9 @@ pub struct ServeOutcome {
     pub fingerprint: QueryFingerprint,
 }
 
-/// Lock-free service counters. One instance per service, shared by every
-/// worker thread; snapshots are taken without stopping the world.
-#[derive(Debug, Default)]
-pub struct ServeCounters {
-    requests: AtomicU64,
-    hits: AtomicU64,
-    coalesced: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
-    rejected: AtomicU64,
-    degraded: AtomicU64,
-    errors: AtomicU64,
-    opt_nanos: AtomicU64,
-    saved_nanos: AtomicU64,
-}
-
-/// A point-in-time copy of [`ServeCounters`].
+/// A point-in-time fold of the service's counter plane (the live
+/// [`Telemetry`] striped counters — one relaxed atomic op per increment on
+/// the hot path, folded across stripes here).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeCountersSnapshot {
     pub requests: u64,
@@ -148,6 +138,24 @@ pub struct ServeCountersSnapshot {
     pub errors: u64,
     pub opt_nanos: u64,
     pub saved_nanos: u64,
+    /// Plan executions completed through [`Service::execute_prepared`].
+    pub executions: u64,
+    /// Result rows those executions produced.
+    pub exec_rows: u64,
+    /// Wall nanos spent executing plans.
+    pub exec_nanos: u64,
+    /// Requests whose attached tracer the head sampler admitted.
+    pub trace_sampled: u64,
+    /// Requests whose attached tracer the head sampler suppressed.
+    pub trace_unsampled: u64,
+    /// STAR references made by cold optimizations.
+    pub star_refs: u64,
+    /// Memo hits inside cold optimizations.
+    pub memo_hits: u64,
+    /// Plans built by cold optimizations.
+    pub plans_built: u64,
+    /// Glue invocations inside cold optimizations.
+    pub glue_refs: u64,
 }
 
 impl ServeCountersSnapshot {
@@ -163,6 +171,8 @@ impl ServeCountersSnapshot {
     }
 
     /// Stable `(name, value)` rows, for metrics export and benchmarks.
+    /// Deterministic counters only — wall-clock sums (`*_nanos`) stay out
+    /// so benchmark gates can enforce these values exactly.
     pub fn rows(&self) -> Vec<(&'static str, u64)> {
         vec![
             ("serve_requests", self.requests),
@@ -174,6 +184,14 @@ impl ServeCountersSnapshot {
             ("serve_rejected", self.rejected),
             ("serve_degraded", self.degraded),
             ("serve_errors", self.errors),
+            ("serve_executions", self.executions),
+            ("serve_exec_rows", self.exec_rows),
+            ("serve_trace_sampled", self.trace_sampled),
+            ("serve_trace_unsampled", self.trace_unsampled),
+            ("opt_star_refs", self.star_refs),
+            ("opt_memo_hits", self.memo_hits),
+            ("opt_plans_built", self.plans_built),
+            ("opt_glue_refs", self.glue_refs),
         ]
     }
 }
@@ -190,7 +208,7 @@ pub struct Service {
     /// The compiled optimizer, tagged with the catalog epoch it was built
     /// against; rebuilt (rules recompiled) when the epoch moves.
     optimizer: RwLock<(u64, Arc<Optimizer>)>,
-    counters: ServeCounters,
+    telemetry: Arc<Telemetry>,
     tracer: Tracer,
 }
 
@@ -213,7 +231,7 @@ impl Service {
             cache: PlanCache::new(&config.cache),
             gate: OptGate::new(config.max_concurrent_opt),
             optimizer: RwLock::new((epoch, Arc::new(optimizer))),
-            counters: ServeCounters::default(),
+            telemetry: Arc::new(Telemetry::new(config.telemetry)),
             tracer: Tracer::off(),
             config_sig,
             config,
@@ -243,21 +261,44 @@ impl Service {
         }
     }
 
-    /// Current counters.
+    /// The live telemetry plane (share it with executors, exporters, or a
+    /// scrape endpoint).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Freeze the full telemetry plane: counters, latency histograms,
+    /// hot-query top-K. See [`TelemetrySnapshot`] for JSON / Prometheus
+    /// rendering and interval diffing.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Current counters, folded from the striped plane.
     pub fn counters(&self) -> ServeCountersSnapshot {
-        let c = &self.counters;
+        let fold = self.telemetry.fold();
+        let c = |m: Metric| fold[m as usize];
         ServeCountersSnapshot {
-            requests: c.requests.load(Ordering::Relaxed),
-            hits: c.hits.load(Ordering::Relaxed),
-            coalesced: c.coalesced.load(Ordering::Relaxed),
-            misses: c.misses.load(Ordering::Relaxed),
-            evictions: c.evictions.load(Ordering::Relaxed),
-            invalidations: c.invalidations.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            degraded: c.degraded.load(Ordering::Relaxed),
-            errors: c.errors.load(Ordering::Relaxed),
-            opt_nanos: c.opt_nanos.load(Ordering::Relaxed),
-            saved_nanos: c.saved_nanos.load(Ordering::Relaxed),
+            requests: c(Metric::Requests),
+            hits: c(Metric::CacheHit),
+            coalesced: c(Metric::CacheCoalesced),
+            misses: c(Metric::CacheMiss),
+            evictions: c(Metric::CacheEvict),
+            invalidations: c(Metric::CacheInvalidate),
+            rejected: c(Metric::Rejected),
+            degraded: c(Metric::Degraded),
+            errors: c(Metric::Errors),
+            opt_nanos: c(Metric::OptNanos),
+            saved_nanos: c(Metric::SavedNanos),
+            executions: c(Metric::Executions),
+            exec_rows: c(Metric::ExecRows),
+            exec_nanos: c(Metric::ExecNanos),
+            trace_sampled: c(Metric::TraceSampled),
+            trace_unsampled: c(Metric::TraceUnsampled),
+            star_refs: c(Metric::StarRefs),
+            memo_hits: c(Metric::MemoHits),
+            plans_built: c(Metric::PlansBuilt),
+            glue_refs: c(Metric::GlueRefs),
         }
     }
 
@@ -294,24 +335,29 @@ impl Service {
         prepared: &Prepared,
         deadline: Option<Duration>,
     ) -> Result<ServeOutcome, ServeError> {
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        self.telemetry.add(Metric::Requests, 1);
         let (cat, epoch) = self.catalog.snapshot();
         let fp = &prepared.canonical.fingerprint;
         let fp_text: Arc<str> = Arc::from(fp.text.as_str());
+        let tracer = self.request_tracer(fp.hash);
 
         if !self.config.cache_enabled {
-            let (optimized, nanos) = self.cold_optimize(prepared, &cat, epoch, deadline)?;
-            self.counters.misses.fetch_add(1, Ordering::Relaxed);
-            self.counters.opt_nanos.fetch_add(nanos, Ordering::Relaxed);
-            self.tracer
-                .emit(|| TraceEvent::CacheMiss { fp: fp.hash, epoch });
-            return Ok(self.finish(prepared, optimized, false, false, epoch, nanos, 0));
+            let (optimized, nanos) =
+                self.cold_optimize(prepared, &cat, epoch, deadline, &tracer)?;
+            self.telemetry.add(Metric::CacheMiss, 1);
+            self.telemetry.add(Metric::OptNanos, nanos);
+            self.telemetry.observe(LatencyPath::Optimize, nanos);
+            tracer.emit(|| TraceEvent::CacheMiss { fp: fp.hash, epoch });
+            let outcome = self.finish(prepared, optimized, false, false, epoch, nanos, 0);
+            self.finish_request(fp.hash, epoch, started);
+            return Ok(outcome);
         }
 
         let (result, meta) = self
             .cache
             .serve(&fp_text, &self.config_sig, fp.hash, epoch, || {
-                match self.cold_optimize(prepared, &cat, epoch, deadline) {
+                match self.cold_optimize(prepared, &cat, epoch, deadline, &tracer) {
                     Ok((optimized, nanos)) => {
                         let cacheable = !optimized.degraded;
                         Ok((optimized, nanos, cacheable))
@@ -324,14 +370,13 @@ impl Service {
             });
 
         if meta.invalidated {
-            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
-            self.tracer
-                .emit(|| TraceEvent::CacheInvalidate { fp: fp.hash, epoch });
+            self.telemetry.add(Metric::CacheInvalidate, 1);
+            tracer.emit(|| TraceEvent::CacheInvalidate { fp: fp.hash, epoch });
         }
         for (victim_fp, reason) in &meta.evicted {
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add(Metric::CacheEvict, 1);
             let (victim_fp, reason) = (*victim_fp, *reason);
-            self.tracer.emit(|| TraceEvent::CacheEvict {
+            tracer.emit(|| TraceEvent::CacheEvict {
                 fp: victim_fp,
                 reason: reason.to_string(),
             });
@@ -340,26 +385,29 @@ impl Service {
         match result {
             Ok((optimized, nanos)) => {
                 if meta.hit || meta.coalesced {
-                    if meta.hit {
-                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-                    }
-                    self.counters
-                        .saved_nanos
-                        .fetch_add(meta.saved_nanos, Ordering::Relaxed);
-                    self.tracer.emit(|| TraceEvent::CacheHit {
+                    self.telemetry.add(
+                        if meta.hit {
+                            Metric::CacheHit
+                        } else {
+                            Metric::CacheCoalesced
+                        },
+                        1,
+                    );
+                    self.telemetry.add(Metric::SavedNanos, meta.saved_nanos);
+                    self.telemetry
+                        .observe(LatencyPath::CacheHit, started.elapsed().as_nanos() as u64);
+                    tracer.emit(|| TraceEvent::CacheHit {
                         fp: fp.hash,
                         epoch,
                         saved_nanos: meta.saved_nanos,
                     });
                 } else {
-                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
-                    self.counters.opt_nanos.fetch_add(nanos, Ordering::Relaxed);
-                    self.tracer
-                        .emit(|| TraceEvent::CacheMiss { fp: fp.hash, epoch });
+                    self.telemetry.add(Metric::CacheMiss, 1);
+                    self.telemetry.add(Metric::OptNanos, nanos);
+                    self.telemetry.observe(LatencyPath::Optimize, nanos);
+                    tracer.emit(|| TraceEvent::CacheMiss { fp: fp.hash, epoch });
                 }
-                Ok(self.finish(
+                let outcome = self.finish(
                     prepared,
                     optimized,
                     meta.hit,
@@ -367,7 +415,9 @@ impl Service {
                     epoch,
                     nanos,
                     meta.saved_nanos,
-                ))
+                );
+                self.finish_request(fp.hash, epoch, started);
+                Ok(outcome)
             }
             Err(msg) => Err(self.classify_flight_error(msg)),
         }
@@ -395,6 +445,7 @@ impl Service {
     ) -> Result<(QueryResult, ServeOutcome), ServeError> {
         let outcome = self.optimize_prepared(prepared, deadline)?;
         let mut ex = Executor::new(db, &prepared.canonical.query);
+        ex.set_telemetry(Arc::clone(&self.telemetry));
         let result = ex
             .run(&outcome.optimized.best)
             .map_err(|e| ServeError::Execute(e.to_string()))?;
@@ -403,6 +454,30 @@ impl Service {
 
     // ---- internals ---------------------------------------------------
 
+    /// The tracer one request's events flow through: the service tracer
+    /// when the head sampler admits this fingerprint, the off tracer when
+    /// it doesn't. Counts the decision either way (so the sampled /
+    /// suppressed split is visible live); with no tracer attached there is
+    /// no decision to make.
+    fn request_tracer(&self, fp: u64) -> Tracer {
+        if !self.tracer.enabled() {
+            return Tracer::off();
+        }
+        if self.telemetry.admit_trace(fp) {
+            self.tracer.clone()
+        } else {
+            Tracer::off()
+        }
+    }
+
+    /// Close out a request that produced a plan: the end-to-end latency
+    /// histogram and the hot-query tracker.
+    fn finish_request(&self, fp: u64, epoch: u64, started: Instant) {
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.telemetry.observe(LatencyPath::EndToEnd, nanos);
+        self.telemetry.record_request(fp, nanos, epoch);
+    }
+
     /// One gated, budgeted cold optimization against the given snapshot.
     fn cold_optimize(
         &self,
@@ -410,9 +485,10 @@ impl Service {
         cat: &Arc<Catalog>,
         epoch: u64,
         deadline: Option<Duration>,
+        tracer: &Tracer,
     ) -> Result<(Arc<Optimized>, u64), ServeError> {
         let (_permit, _waited) = self.gate.acquire(self.config.max_queue_wait).map_err(|t| {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add(Metric::Rejected, 1);
             ServeError::Rejected {
                 waited_ms: t.waited.as_millis() as u64,
                 detail: format!(
@@ -431,14 +507,19 @@ impl Service {
         }
         let started = Instant::now();
         let optimized = optimizer
-            .optimize_traced(&prepared.canonical.query, &config, self.tracer.clone())
+            .optimize_observed(
+                &prepared.canonical.query,
+                &config,
+                tracer.clone(),
+                &self.telemetry,
+            )
             .map_err(|e| {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add(Metric::Errors, 1);
                 ServeError::Optimize(e.to_string())
             })?;
         let nanos = started.elapsed().as_nanos() as u64;
         if optimized.degraded {
-            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add(Metric::Degraded, 1);
         }
         Ok((Arc::new(optimized), nanos))
     }
@@ -503,6 +584,7 @@ mod tests {
     use starqo_catalog::{DataType, StorageKind, Value};
     use starqo_query::parse_query;
     use starqo_storage::DatabaseBuilder;
+    use starqo_trace::Histogram;
 
     fn catalog() -> Arc<Catalog> {
         Arc::new(
@@ -643,6 +725,99 @@ mod tests {
         let err = svc.optimize(&q).unwrap_err();
         assert!(matches!(err, ServeError::Rejected { .. }), "{err}");
         assert_eq!(svc.counters().rejected, 1);
+    }
+
+    #[test]
+    fn telemetry_snapshot_matches_counters_and_tracks_hot_queries() {
+        let cat = catalog();
+        let db = database(&cat);
+        let svc = Service::new(Arc::clone(&cat), ServiceConfig::default()).unwrap();
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.DNO = 1").unwrap();
+        let prepared = svc.prepare(&q);
+        for _ in 0..5 {
+            svc.execute_prepared(&db, &prepared, None).unwrap();
+        }
+        let counters = svc.counters();
+        assert_eq!(
+            (counters.requests, counters.misses, counters.hits),
+            (5, 1, 4)
+        );
+        assert_eq!(counters.executions, 5);
+        assert!(counters.star_refs > 0 && counters.plans_built > 0);
+
+        let snap = svc.telemetry_snapshot();
+        // The snapshot's counter plane is the same fold `counters()` reads.
+        for (name, value) in counters.rows() {
+            assert_eq!(snap.counter(name), Some(value), "{name}");
+        }
+        assert!((snap.hit_ratio() - counters.hit_ratio()).abs() < 1e-9);
+        // Latency paths: 1 cold optimize, 4 warm serves, 5 end-to-end, and
+        // 5 executions.
+        assert_eq!(snap.hist("optimize").map(Histogram::count), Some(1));
+        assert_eq!(snap.hist("cache_hit").map(Histogram::count), Some(4));
+        assert_eq!(snap.hist("end_to_end").map(Histogram::count), Some(5));
+        assert_eq!(snap.hist("execute").map(Histogram::count), Some(5));
+        // The one fingerprint is the hottest query, with exact counts.
+        let fp = prepared.fingerprint().hash;
+        assert_eq!(snap.topk.len(), 1);
+        assert_eq!(
+            (snap.topk[0].fp, snap.topk[0].count, snap.topk[0].err),
+            (fp, 5, 0)
+        );
+        assert!(snap.topk[0].nanos > 0);
+    }
+
+    #[test]
+    fn counters_only_plane_skips_histograms_but_keeps_counts() {
+        let cat = catalog();
+        let svc = Service::new(
+            Arc::clone(&cat),
+            ServiceConfig {
+                telemetry: TelemetryConfig::counters_only(),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.DNO = 1").unwrap();
+        svc.optimize(&q).unwrap();
+        svc.optimize(&q).unwrap();
+        let snap = svc.telemetry_snapshot();
+        assert_eq!(snap.counter("serve_requests"), Some(2));
+        assert_eq!(snap.counter("serve_cache_hit"), Some(1));
+        assert!(snap.hist("end_to_end").is_some_and(Histogram::is_empty));
+        assert!(snap.topk.is_empty());
+    }
+
+    #[test]
+    fn head_sampler_gates_the_request_tracer_deterministically() {
+        use starqo_trace::{MemorySink, TraceSampler};
+        let cat = catalog();
+        let sampler = TraceSampler::one_in(1 << 30);
+        let sink = Arc::new(MemorySink::new());
+        let svc = Service::new(
+            Arc::clone(&cat),
+            ServiceConfig {
+                telemetry: TelemetryConfig {
+                    sample: sampler,
+                    ..TelemetryConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+        .with_tracer(Tracer::shared(sink.clone()));
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.DNO = 1").unwrap();
+        let prepared = svc.prepare(&q);
+        let admitted = sampler.admit(prepared.fingerprint().hash);
+        svc.optimize_prepared(&prepared, None).unwrap();
+        svc.optimize_prepared(&prepared, None).unwrap();
+        let counters = svc.counters();
+        // The decision is per-request but deterministic on the fingerprint:
+        // both requests land on the same side of the sampler.
+        let (expect_sampled, expect_unsampled) = if admitted { (2, 0) } else { (0, 2) };
+        assert_eq!(counters.trace_sampled, expect_sampled);
+        assert_eq!(counters.trace_unsampled, expect_unsampled);
+        assert_eq!(sink.events().is_empty(), !admitted);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! per estimate, constant memory, and no stored samples.
 
 use crate::json::JsonObj;
+use crate::read::JsonValue;
 
 /// Number of buckets: one per bit length, plus the zero bucket.
 pub const BUCKETS: usize = 65;
@@ -96,6 +97,29 @@ impl Histogram {
         (!self.is_empty()).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Exact sum of every recorded observation.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Rebuild a histogram from raw parts (bucket counts plus the exact
+    /// aggregates a concurrent or serialized producer tracked on the side).
+    /// The total count derives from the buckets; empty buckets yield the
+    /// empty histogram regardless of the aggregate arguments.
+    pub fn from_raw(counts: [u64; BUCKETS], sum: u128, min: u64, max: u64) -> Histogram {
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return Histogram::default();
+        }
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Raw per-bucket counts (for renderers).
     pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
         &self.counts
@@ -135,7 +159,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// `{"count":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..}`
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
+    /// `{"count":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,"p999":..}`
     pub fn to_json(&self) -> String {
         JsonObj::new()
             .u64("count", self.count)
@@ -145,7 +173,49 @@ impl Histogram {
             .u64("p50", self.p50().unwrap_or(0))
             .u64("p90", self.p90().unwrap_or(0))
             .u64("p99", self.p99().unwrap_or(0))
+            .u64("p999", self.p999().unwrap_or(0))
             .finish()
+    }
+
+    /// Lossless serialization: the summary fields of [`Self::to_json`] plus
+    /// a sparse `"buckets"` object (`bucket index -> count`) and the exact
+    /// `"sum"`, so a reader reconstructs the full distribution (and its
+    /// quantiles) with [`Self::from_json_value`]. The sum saturates at
+    /// `u64::MAX` in the JSON form — nanosecond sums sit far below that.
+    pub fn to_json_full(&self) -> String {
+        let mut buckets = JsonObj::new();
+        for (b, c) in self.counts.iter().enumerate() {
+            if *c > 0 {
+                buckets = buckets.u64(&b.to_string(), *c);
+            }
+        }
+        JsonObj::new()
+            .u64("count", self.count)
+            .u64("sum", u64::try_from(self.sum).unwrap_or(u64::MAX))
+            .u64("min", self.min().unwrap_or(0))
+            .u64("max", self.max().unwrap_or(0))
+            .raw("buckets", &buckets.finish())
+            .finish()
+    }
+
+    /// Parse the [`Self::to_json_full`] form back. `None` on shape errors
+    /// (missing buckets, non-numeric counts, bucket index out of range).
+    pub fn from_json_value(v: &JsonValue) -> Option<Histogram> {
+        let fields = v.get("buckets")?.fields()?;
+        let mut counts = [0u64; BUCKETS];
+        for (k, c) in fields {
+            let b: usize = k.parse().ok()?;
+            if b >= BUCKETS {
+                return None;
+            }
+            counts[b] = c.as_u64()?;
+        }
+        Some(Histogram::from_raw(
+            counts,
+            v.get("sum")?.as_u64()? as u128,
+            v.get("min")?.as_u64()?,
+            v.get("max")?.as_u64()?,
+        ))
     }
 
     /// One-line human rendering with a unit-formatting callback.
@@ -343,7 +413,92 @@ mod tests {
         h.record(4);
         assert_eq!(
             h.to_json(),
-            r#"{"count":1,"min":4,"max":4,"mean":4,"p50":4,"p90":4,"p99":4}"#
+            r#"{"count":1,"min":4,"max":4,"mean":4,"p50":4,"p90":4,"p99":4,"p999":4}"#
         );
+        assert_eq!(
+            h.to_json_full(),
+            r#"{"count":1,"sum":4,"min":4,"max":4,"buckets":{"3":1}}"#
+        );
+    }
+
+    #[test]
+    fn full_json_roundtrips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 900, 70_000, u64::MAX] {
+            h.record(v);
+        }
+        let parsed =
+            Histogram::from_json_value(&crate::read::parse_json(&h.to_json_full()).unwrap());
+        // u64::MAX saturates the serialized sum; rebuild what the reader
+        // actually sees and compare against that.
+        let expect = Histogram::from_raw(*h.bucket_counts(), u64::MAX as u128, 0, u64::MAX);
+        assert_eq!(parsed, Some(expect));
+
+        // A sum that fits u64 roundtrips exactly.
+        let mut small = Histogram::new();
+        for v in [3u64, 9, 40, 1023, 1024] {
+            small.record(v);
+        }
+        let parsed =
+            Histogram::from_json_value(&crate::read::parse_json(&small.to_json_full()).unwrap());
+        assert_eq!(parsed, Some(small));
+    }
+
+    #[test]
+    fn from_raw_ignores_aggregates_when_empty() {
+        let h = Histogram::from_raw([0; BUCKETS], 999, 7, 3);
+        assert!(h.is_empty());
+        assert_eq!(h, Histogram::default());
+    }
+
+    /// The satellite property test: against a brute-force sorted-sample
+    /// oracle, `quantile(q)` must return exactly the upper bound of the
+    /// bucket holding the true rank-⌈q·n⌉ sample (clamped to [min, max]),
+    /// and therefore never err past 2× the true value.
+    #[test]
+    fn quantile_matches_brute_force_sorted_samples() {
+        // Tiny deterministic xorshift so the trace crate stays zero-dep.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        // Several size/range regimes: dense small values, wide spreads,
+        // heavy duplication, and zero-inclusive streams.
+        for (n, modulus) in [
+            (1usize, 100u64),
+            (7, 10),
+            (100, 1 << 20),
+            (1000, 50),
+            (517, u64::MAX),
+            (250, 3),
+        ] {
+            let mut samples: Vec<u64> = (0..n).map(|_| next() % modulus).collect();
+            let mut h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            samples.sort_unstable();
+            let (lo, hi) = (samples[0], samples[n - 1]);
+            for q in qs {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let truth = samples[rank - 1];
+                let expect = Histogram::bucket_bounds(Histogram::bucket_of(truth))
+                    .1
+                    .clamp(lo, hi);
+                let got = h.quantile(q);
+                assert_eq!(got, Some(expect), "n={n} modulus={modulus} q={q}");
+                // Bounded relative error: estimate ∈ [truth, 2·truth].
+                let got = got.unwrap();
+                assert!(got >= truth, "estimate {got} below truth {truth}");
+                assert!(
+                    got <= truth.saturating_mul(2).max(1),
+                    "estimate {got} beyond 2x truth {truth}"
+                );
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@ pub mod json;
 pub mod metrics;
 pub mod read;
 pub mod sink;
+pub mod telemetry;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,6 +32,9 @@ pub use hist::Histogram;
 pub use metrics::{MetricsRegistry, MetricsSummary, Phase, PhaseTimer};
 pub use read::{parse_json, JsonError, JsonValue};
 pub use sink::{JsonLinesSink, MemorySink, NullSink, TraceSink};
+pub use telemetry::{
+    HotQuery, LatencyPath, Metric, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceSampler,
+};
 
 /// Global count of trace events ever constructed in this process. Only
 /// advanced when a tracer is enabled; tests use it to verify the

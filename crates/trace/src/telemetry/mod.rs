@@ -1,0 +1,308 @@
+//! The live telemetry plane: always-on, low-overhead metrics for the
+//! serving path.
+//!
+//! Four cooperating pieces, each in its own module:
+//!
+//! - [`counters`]: the striped lock-free counter plane — a fixed catalog
+//!   of serve/optimizer/executor metrics, one relaxed `fetch_add` per
+//!   increment, fold-on-read. **Always on**: this tier replaces the plain
+//!   atomic serve counters and costs the same class of work.
+//! - [`atomic_hist`]: wait-free log₂ latency histograms (optimize,
+//!   cache-hit, execute, end-to-end) with mergeable snapshots and
+//!   p50/p90/p99/p999 at < 2× relative error.
+//! - [`topk`]: bounded-memory per-fingerprint hot-query tracking
+//!   (space-saving), recording count, cumulative latency, last epoch.
+//! - [`sample`]: head-based deterministic trace sampling
+//!   (`STARQO_TRACE_SAMPLE=1/N` over the fingerprint hash), so structured
+//!   tracing can stay attached in production at 1/N of its cost.
+//!
+//! The *full* flag gates the second and third tiers (histograms, top-K);
+//! counters never turn off. [`Telemetry::snapshot`] freezes the whole
+//! plane into a [`TelemetrySnapshot`] for JSON/Prometheus export and
+//! interval diffing.
+
+pub mod atomic_hist;
+pub mod counters;
+pub mod sample;
+pub mod snapshot;
+pub mod topk;
+
+pub use atomic_hist::AtomicHistogram;
+pub use counters::{CounterPlane, Metric};
+pub use sample::TraceSampler;
+pub use snapshot::TelemetrySnapshot;
+pub use topk::{HotQuery, TopKTracker};
+
+use std::time::Instant;
+
+/// Sizing and gating knobs for a [`Telemetry`] plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Enable the histogram and top-K tiers (counters are always on).
+    pub full: bool,
+    /// Top-K capacity per shard, and the default `k` of snapshots.
+    pub topk: usize,
+    /// Top-K shard count (rounded up to a power of two).
+    pub topk_shards: usize,
+    /// Counter/histogram stripes (0 = one per available core).
+    pub stripes: usize,
+    /// Head sampler applied to attached tracers.
+    pub sample: TraceSampler,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            full: true,
+            topk: 32,
+            topk_shards: 4,
+            stripes: 0,
+            sample: TraceSampler::all(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The default config with the sampler taken from
+    /// `STARQO_TRACE_SAMPLE` (admit-all when unset).
+    pub fn from_env() -> TelemetryConfig {
+        TelemetryConfig {
+            sample: TraceSampler::from_env(),
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Counters only: histograms and top-K disabled.
+    pub fn counters_only() -> TelemetryConfig {
+        TelemetryConfig {
+            full: false,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// The latency paths the plane tracks, end to end and by stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum LatencyPath {
+    /// Cold optimization (cache miss, the engine actually ran).
+    Optimize,
+    /// Warm serve (resident hit or coalesced wait).
+    CacheHit,
+    /// Plan execution.
+    Execute,
+    /// Whole `optimize_prepared` request, any outcome that yields a plan.
+    EndToEnd,
+}
+
+impl LatencyPath {
+    pub const COUNT: usize = 4;
+
+    pub const ALL: [LatencyPath; LatencyPath::COUNT] = [
+        LatencyPath::Optimize,
+        LatencyPath::CacheHit,
+        LatencyPath::Execute,
+        LatencyPath::EndToEnd,
+    ];
+
+    /// Stable exported name (snapshot JSON keys, Prometheus `path` label).
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyPath::Optimize => "optimize",
+            LatencyPath::CacheHit => "cache_hit",
+            LatencyPath::Execute => "execute",
+            LatencyPath::EndToEnd => "end_to_end",
+        }
+    }
+}
+
+/// The assembled plane. Cheap to share (`Arc<Telemetry>`), safe to hammer
+/// from every serving thread.
+#[derive(Debug)]
+pub struct Telemetry {
+    full: bool,
+    started: Instant,
+    counters: CounterPlane,
+    hists: [AtomicHistogram; LatencyPath::COUNT],
+    topk: TopKTracker,
+    topk_k: usize,
+    sampler: TraceSampler,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            full: config.full,
+            started: Instant::now(),
+            counters: CounterPlane::new(config.stripes),
+            hists: std::array::from_fn(|_| AtomicHistogram::new(config.stripes)),
+            topk: TopKTracker::new(config.topk_shards, config.topk.max(1)),
+            topk_k: config.topk.max(1),
+            sampler: config.sample,
+        }
+    }
+
+    /// A counters-only plane (histograms and top-K disabled).
+    pub fn counters_only() -> Telemetry {
+        Telemetry::new(TelemetryConfig::counters_only())
+    }
+
+    /// Whether the histogram/top-K tiers are live.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// The head sampler attached tracers are filtered through.
+    pub fn sampler(&self) -> TraceSampler {
+        self.sampler
+    }
+
+    /// Nanos since this plane was created.
+    pub fn uptime_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Bump a counter. Always live, one relaxed atomic op.
+    #[inline]
+    pub fn add(&self, m: Metric, delta: u64) {
+        self.counters.add(m, delta);
+    }
+
+    /// Fold one counter across stripes.
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters.get(m)
+    }
+
+    /// Fold every counter, in [`Metric::ALL`] order.
+    pub fn fold(&self) -> [u64; Metric::COUNT] {
+        self.counters.fold()
+    }
+
+    /// Record a latency observation. No-op unless the plane is full.
+    #[inline]
+    pub fn observe(&self, path: LatencyPath, nanos: u64) {
+        if self.full {
+            self.hists[path as usize].record(nanos);
+        }
+    }
+
+    /// Attribute one served request to its fingerprint in the top-K
+    /// tracker. No-op unless the plane is full.
+    #[inline]
+    pub fn record_request(&self, fp: u64, nanos: u64, epoch: u64) {
+        if self.full {
+            self.topk.record(fp, nanos, epoch);
+        }
+    }
+
+    /// Head-sampling decision for a request with an attached tracer:
+    /// deterministic on the fingerprint, and counted either way so the
+    /// sampled/suppressed split is visible in the counter plane.
+    #[inline]
+    pub fn admit_trace(&self, fp: u64) -> bool {
+        let admitted = self.sampler.admit(fp);
+        self.add(
+            if admitted {
+                Metric::TraceSampled
+            } else {
+                Metric::TraceUnsampled
+            },
+            1,
+        );
+        admitted
+    }
+
+    /// Freeze the plane: counters in catalog order, one histogram per
+    /// latency path, the current top-K (at most `topk` entries).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let fold = self.fold();
+        TelemetrySnapshot {
+            uptime_nanos: self.uptime_nanos(),
+            counters: Metric::ALL
+                .iter()
+                .map(|m| (m.name().to_string(), fold[*m as usize]))
+                .collect(),
+            latency: LatencyPath::ALL
+                .iter()
+                .map(|p| (p.name().to_string(), self.hists[*p as usize].snapshot()))
+                .collect(),
+            topk: self.topk.snapshot(self.topk_k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_stay_live_when_not_full() {
+        let t = Telemetry::counters_only();
+        assert!(!t.is_full());
+        t.add(Metric::Requests, 3);
+        t.observe(LatencyPath::EndToEnd, 500);
+        t.record_request(42, 500, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("serve_requests"), Some(3));
+        assert!(snap.hist("end_to_end").is_some_and(Histogram::is_empty));
+        assert!(snap.topk.is_empty());
+    }
+    use crate::hist::Histogram;
+
+    #[test]
+    fn full_plane_populates_every_tier() {
+        let t = Telemetry::new(TelemetryConfig {
+            stripes: 2,
+            topk: 4,
+            ..TelemetryConfig::default()
+        });
+        t.add(Metric::Requests, 2);
+        t.observe(LatencyPath::Optimize, 1_000);
+        t.observe(LatencyPath::EndToEnd, 1_100);
+        t.record_request(7, 1_100, 3);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("serve_requests"), Some(2));
+        assert_eq!(snap.counters.len(), Metric::COUNT);
+        assert_eq!(snap.latency.len(), LatencyPath::COUNT);
+        assert_eq!(snap.hist("optimize").map(Histogram::count), Some(1));
+        assert_eq!(snap.hist("cache_hit").map(Histogram::count), Some(0));
+        assert_eq!(
+            (snap.topk[0].fp, snap.topk[0].nanos, snap.topk[0].last_epoch),
+            (7, 1_100, 3)
+        );
+    }
+
+    #[test]
+    fn admit_trace_counts_both_outcomes() {
+        let t = Telemetry::new(TelemetryConfig {
+            sample: TraceSampler::one_in(64),
+            ..TelemetryConfig::default()
+        });
+        let mut admitted = 0u64;
+        for fp in 0..1_000u64 {
+            if t.admit_trace(fp) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(t.get(Metric::TraceSampled), admitted);
+        assert_eq!(t.get(Metric::TraceUnsampled), 1_000 - admitted);
+        assert!(admitted > 0 && admitted < 100, "≈1/64 of 1000: {admitted}");
+    }
+
+    #[test]
+    fn snapshot_counter_order_matches_catalog() {
+        let snap = Telemetry::default().snapshot();
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(snap.counters[i].0, m.name());
+        }
+        for (i, p) in LatencyPath::ALL.iter().enumerate() {
+            assert_eq!(snap.latency[i].0, p.name());
+        }
+    }
+}

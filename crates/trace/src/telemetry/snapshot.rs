@@ -1,0 +1,395 @@
+//! Point-in-time telemetry exports: a [`TelemetrySnapshot`] captures the
+//! counter plane, the latency histograms, and the top-K tracker without
+//! stopping the world, serializes losslessly as JSON (buckets included, so
+//! consumers re-derive any quantile), renders as Prometheus text
+//! exposition format, and diffs against an earlier snapshot to yield
+//! interval metrics (`starqo-obs live --since`).
+
+use crate::hist::{Histogram, BUCKETS};
+use crate::json::JsonObj;
+use crate::read::{parse_json, JsonValue};
+use crate::telemetry::topk::HotQuery;
+
+/// A consistent-enough copy of the whole telemetry plane: counters in
+/// [`super::Metric::ALL`] order, one histogram per latency path, and the
+/// hot-fingerprint top-K. "Consistent enough": each field is read
+/// atomically but the plane keeps serving while the snapshot is taken, so
+/// cross-field invariants may lag by in-flight requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Nanos since the telemetry plane was created (interval rates divide
+    /// counter deltas by the delta of this).
+    pub uptime_nanos: u64,
+    /// `(name, value)` in stable catalog order.
+    pub counters: Vec<(String, u64)>,
+    /// `(path, histogram)`: optimize, cache_hit, execute, end_to_end.
+    pub latency: Vec<(String, Histogram)>,
+    /// Hottest fingerprints by request count, descending.
+    pub topk: Vec<HotQuery>,
+}
+
+impl TelemetrySnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn hist(&self, path: &str) -> Option<&Histogram> {
+        self.latency.iter().find(|(k, _)| k == path).map(|(_, v)| v)
+    }
+
+    /// Warm serves over all serves that produced a plan.
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.counter("serve_cache_hit").unwrap_or(0)
+            + self.counter("serve_cache_coalesced").unwrap_or(0);
+        let served = hits + self.counter("serve_cache_miss").unwrap_or(0);
+        if served == 0 {
+            0.0
+        } else {
+            hits as f64 / served as f64
+        }
+    }
+
+    /// Requests per second over this snapshot's window (lifetime for a
+    /// point-in-time snapshot, the interval for a delta).
+    pub fn requests_per_sec(&self) -> f64 {
+        let reqs = self.counter("serve_requests").unwrap_or(0);
+        let secs = self.uptime_nanos as f64 / 1e9;
+        if secs <= 0.0 {
+            0.0
+        } else {
+            reqs as f64 / secs
+        }
+    }
+
+    /// Serialize losslessly (histograms carry their buckets).
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObj::new();
+        for (k, v) in &self.counters {
+            counters = counters.u64(k, *v);
+        }
+        let mut latency = JsonObj::new();
+        for (k, h) in &self.latency {
+            latency = latency.raw(k, &h.to_json_full());
+        }
+        let topk: Vec<String> = self
+            .topk
+            .iter()
+            .map(|e| {
+                JsonObj::new()
+                    .u64("fp", e.fp)
+                    .u64("count", e.count)
+                    .u64("err", e.err)
+                    .u64("nanos", e.nanos)
+                    .u64("last_epoch", e.last_epoch)
+                    .finish()
+            })
+            .collect();
+        JsonObj::new()
+            .u64("version", 1)
+            .u64("uptime_nanos", self.uptime_nanos)
+            .raw("counters", &counters.finish())
+            .raw("latency", &latency.finish())
+            .raw("topk", &format!("[{}]", topk.join(",")))
+            .finish()
+    }
+
+    /// Parse the [`Self::to_json`] form back.
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, String> {
+        let v = parse_json(text).map_err(|e| format!("snapshot JSON: {e}"))?;
+        let uptime_nanos = v
+            .get("uptime_nanos")
+            .and_then(JsonValue::as_u64)
+            .ok_or("snapshot missing uptime_nanos")?;
+        let counters = v
+            .get("counters")
+            .and_then(JsonValue::fields)
+            .ok_or("snapshot missing counters")?
+            .iter()
+            .map(|(k, c)| {
+                c.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("counter {k} is not a u64"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let latency = v
+            .get("latency")
+            .and_then(JsonValue::fields)
+            .ok_or("snapshot missing latency")?
+            .iter()
+            .map(|(k, h)| {
+                Histogram::from_json_value(h)
+                    .map(|parsed| (k.clone(), parsed))
+                    .ok_or_else(|| format!("latency {k} is not a full histogram"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let topk = match v.get("topk") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|e| {
+                    let f = |k: &str| e.get(k).and_then(JsonValue::as_u64);
+                    Some(HotQuery {
+                        fp: f("fp")?,
+                        count: f("count")?,
+                        err: f("err")?,
+                        nanos: f("nanos")?,
+                        last_epoch: f("last_epoch")?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed topk entry")?,
+            _ => return Err("snapshot missing topk".to_string()),
+        };
+        Ok(TelemetrySnapshot {
+            uptime_nanos,
+            counters,
+            latency,
+            topk,
+        })
+    }
+
+    /// Prometheus text exposition format (0.0.4): counters as `_total`
+    /// counters, latency paths as summaries (quantiles + sum + count), the
+    /// top-K as labeled gauges. Values are nanoseconds where the name says
+    /// so — unit conversion belongs to the scrape config, not the emitter.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE starqo_uptime_nanos gauge\n");
+        out.push_str(&format!("starqo_uptime_nanos {}\n", self.uptime_nanos));
+        for (k, v) in &self.counters {
+            out.push_str(&format!("# TYPE starqo_{k}_total counter\n"));
+            out.push_str(&format!("starqo_{k}_total {v}\n"));
+        }
+        out.push_str("# TYPE starqo_latency_nanos summary\n");
+        for (path, h) in &self.latency {
+            for (q, val) in [
+                ("0.5", h.p50()),
+                ("0.9", h.p90()),
+                ("0.99", h.p99()),
+                ("0.999", h.p999()),
+            ] {
+                out.push_str(&format!(
+                    "starqo_latency_nanos{{path=\"{path}\",quantile=\"{q}\"}} {}\n",
+                    val.unwrap_or(0)
+                ));
+            }
+            out.push_str(&format!(
+                "starqo_latency_nanos_sum{{path=\"{path}\"}} {}\n",
+                u64::try_from(h.sum()).unwrap_or(u64::MAX)
+            ));
+            out.push_str(&format!(
+                "starqo_latency_nanos_count{{path=\"{path}\"}} {}\n",
+                h.count()
+            ));
+        }
+        out.push_str("# TYPE starqo_hot_query_requests gauge\n");
+        out.push_str("# TYPE starqo_hot_query_nanos gauge\n");
+        for (rank, e) in self.topk.iter().enumerate() {
+            let labels = format!("fp=\"{:#018x}\",rank=\"{}\"", e.fp, rank + 1);
+            out.push_str(&format!(
+                "starqo_hot_query_requests{{{labels}}} {}\n",
+                e.count
+            ));
+            out.push_str(&format!("starqo_hot_query_nanos{{{labels}}} {}\n", e.nanos));
+        }
+        out
+    }
+
+    /// The interval view: what happened between `prev` and `self`
+    /// (counters subtract, histogram buckets subtract, top-K counts
+    /// subtract for fingerprints present in both). `self` must be the
+    /// later snapshot of the same plane; values saturate at zero if not.
+    /// Interval histogram min/max are approximated from the surviving
+    /// bucket bounds (exact min/max are not recoverable from two
+    /// endpoints).
+    pub fn delta_since(&self, prev: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(prev.counter(k).unwrap_or(0))))
+            .collect();
+        let latency = self
+            .latency
+            .iter()
+            .map(|(k, h)| {
+                let empty = Histogram::default();
+                let base = prev.hist(k).unwrap_or(&empty);
+                (k.clone(), hist_delta(h, base))
+            })
+            .collect();
+        let topk: Vec<HotQuery> = self
+            .topk
+            .iter()
+            .filter_map(|e| {
+                let (pc, pn) = prev
+                    .topk
+                    .iter()
+                    .find(|p| p.fp == e.fp)
+                    .map(|p| (p.count, p.nanos))
+                    .unwrap_or((0, 0));
+                (e.count > pc).then(|| HotQuery {
+                    fp: e.fp,
+                    count: e.count - pc,
+                    err: e.err,
+                    nanos: e.nanos - pn.min(e.nanos),
+                    last_epoch: e.last_epoch,
+                })
+            })
+            .collect();
+        TelemetrySnapshot {
+            uptime_nanos: self.uptime_nanos.saturating_sub(prev.uptime_nanos),
+            counters,
+            latency,
+            topk,
+        }
+    }
+}
+
+/// Bucket-wise histogram subtraction. Min/max of the interval are
+/// approximated by the bounds of the extremal non-empty delta buckets,
+/// tightened by the later snapshot's observed range.
+fn hist_delta(cur: &Histogram, prev: &Histogram) -> Histogram {
+    let (cc, pc) = (cur.bucket_counts(), prev.bucket_counts());
+    let mut counts = [0u64; BUCKETS];
+    for b in 0..BUCKETS {
+        counts[b] = cc[b].saturating_sub(pc[b]);
+    }
+    let lo_bucket = counts.iter().position(|&c| c > 0);
+    let hi_bucket = counts.iter().rposition(|&c| c > 0);
+    let (Some(lo), Some(hi)) = (lo_bucket, hi_bucket) else {
+        return Histogram::default();
+    };
+    let min = Histogram::bucket_bounds(lo).0.max(cur.min().unwrap_or(0));
+    let max = Histogram::bucket_bounds(hi)
+        .1
+        .min(cur.max().unwrap_or(u64::MAX));
+    Histogram::from_raw(counts, cur.sum().saturating_sub(prev.sum()), min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut opt = Histogram::new();
+        let mut e2e = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000, 150_000] {
+            opt.record(v);
+        }
+        for v in [500u64, 600, 700, 5_000, 160_000] {
+            e2e.record(v);
+        }
+        TelemetrySnapshot {
+            uptime_nanos: 2_000_000_000,
+            counters: vec![
+                ("serve_requests".into(), 100),
+                ("serve_cache_hit".into(), 90),
+                ("serve_cache_coalesced".into(), 5),
+                ("serve_cache_miss".into(), 5),
+            ],
+            latency: vec![("optimize".into(), opt), ("end_to_end".into(), e2e)],
+            topk: vec![
+                HotQuery {
+                    fp: 0xDEAD_BEEF,
+                    count: 60,
+                    err: 0,
+                    nanos: 90_000,
+                    last_epoch: 2,
+                },
+                HotQuery {
+                    fp: 7,
+                    count: 40,
+                    err: 3,
+                    nanos: 70_000,
+                    last_epoch: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        let snap = sample_snapshot();
+        let parsed = TelemetrySnapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn derived_rates_are_hand_computable() {
+        let snap = sample_snapshot();
+        assert!((snap.hit_ratio() - 0.95).abs() < 1e-9);
+        assert!((snap.requests_per_sec() - 50.0).abs() < 1e-9);
+        assert_eq!(snap.counter("serve_requests"), Some(100));
+        assert_eq!(snap.counter("absent"), None);
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_every_series() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("starqo_serve_requests_total 100"));
+        assert!(text.contains("starqo_latency_nanos{path=\"optimize\",quantile=\"0.99\"}"));
+        assert!(text.contains("starqo_latency_nanos_count{path=\"end_to_end\"} 5"));
+        assert!(text.contains("starqo_hot_query_requests{fp=\"0x00000000deadbeef\",rank=\"1\"} 60"));
+        // Every non-comment line is `name{labels} value` with a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad value in {line}"));
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_counters_histograms_and_topk() {
+        let later = sample_snapshot();
+        let mut earlier = sample_snapshot();
+        earlier.uptime_nanos = 1_000_000_000;
+        earlier.counters = vec![
+            ("serve_requests".into(), 40),
+            ("serve_cache_hit".into(), 36),
+            ("serve_cache_coalesced".into(), 2),
+            ("serve_cache_miss".into(), 2),
+        ];
+        // Earlier optimize histogram: the first two observations.
+        let mut opt = Histogram::new();
+        opt.record(1_000);
+        opt.record(2_000);
+        earlier.latency = vec![
+            ("optimize".into(), opt),
+            ("end_to_end".into(), Histogram::new()),
+        ];
+        earlier.topk = vec![HotQuery {
+            fp: 0xDEAD_BEEF,
+            count: 25,
+            err: 0,
+            nanos: 40_000,
+            last_epoch: 1,
+        }];
+
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.uptime_nanos, 1_000_000_000);
+        assert_eq!(d.counter("serve_requests"), Some(60));
+        assert!((d.requests_per_sec() - 60.0).abs() < 1e-9);
+        let opt = d.hist("optimize").expect("optimize");
+        assert_eq!(opt.count(), 2);
+        assert_eq!(opt.sum(), 4_000 + 150_000);
+        // The interval's two observations: 4_000 (bucket 12) and 150_000.
+        assert_eq!(opt.quantile(0.0), Some(Histogram::bucket_bounds(12).1));
+        let hot = &d.topk[0];
+        assert_eq!((hot.fp, hot.count, hot.nanos), (0xDEAD_BEEF, 35, 50_000));
+        // fp 7 absent earlier: full count survives the delta.
+        assert_eq!(d.topk[1].count, 40);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(TelemetrySnapshot::from_json("not json").is_err());
+        assert!(TelemetrySnapshot::from_json(r#"{"version":1}"#).is_err());
+        assert!(TelemetrySnapshot::from_json(
+            r#"{"version":1,"uptime_nanos":1,"counters":{"x":1},"latency":{},"topk":[{"fp":1}]}"#
+        )
+        .is_err());
+    }
+}

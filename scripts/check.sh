@@ -56,4 +56,20 @@ grep -q "divergences: 0" target/bench/serve_smoke.txt
 grep -q "speedup (cached/cold)" target/bench/serve_smoke.txt
 echo "serving smoke passed."
 
+echo "== telemetry smoke (overhead run -> snapshot -> live dashboard) =="
+cargo build -q --offline -p starqo-bench --bin telemetry
+# The experiment asserts the snapshot/counter consistency checks and the
+# JSON round-trip internally (non-zero exit on violation); the dashboard
+# render proves the exported snapshot is consumable end to end.
+./target/debug/telemetry --smoke > target/bench/telemetry_smoke.txt
+grep -q "consistency: 0 failures" target/bench/telemetry_smoke.txt
+./target/debug/starqo-obs live target/bench/telemetry_snapshot.json \
+    > target/bench/telemetry_live.txt
+grep -q -- "-- latency --" target/bench/telemetry_live.txt
+grep -q -- "-- hot queries --" target/bench/telemetry_live.txt
+./target/debug/starqo-obs live target/bench/telemetry_snapshot.json --prom \
+    | grep -q "starqo_serve_requests_total"
+./target/debug/starqo-obs live --smoke | grep -q "live --smoke ok"
+echo "telemetry smoke passed."
+
 echo "All checks passed."

@@ -1,0 +1,145 @@
+//! Cross-crate telemetry-plane tests: the striped counters, histograms,
+//! and top-K tracker must agree with a deterministic serial total no matter
+//! how many threads hammer them, and a snapshot must survive the trip
+//! through both exporters (exactly through JSON, faithfully through the
+//! Prometheus text format).
+
+use std::sync::Arc;
+
+use starqo_trace::{Histogram, LatencyPath, Metric, Telemetry, TelemetryConfig, TelemetrySnapshot};
+
+/// The workload one thread contributes: a deterministic function of its id,
+/// so the expected totals are computable without running anything.
+fn thread_workload(tid: u64) -> Vec<(u64, u64)> {
+    // (fingerprint, nanos) pairs; fingerprints cycle over a small hot set so
+    // the top-K tracker sees real skew, latencies spread over buckets.
+    (0..500)
+        .map(|i| {
+            let fp = 0xF00D + (i + tid) % 7;
+            let nanos = 1 + ((i * 37 + tid * 101) % 10_000);
+            (fp, nanos)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_hammering_matches_the_serial_total() {
+    let threads = 8u64;
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let t = Arc::clone(&telemetry);
+            scope.spawn(move || {
+                for (fp, nanos) in thread_workload(tid) {
+                    t.add(Metric::Requests, 1);
+                    t.add(Metric::ExecRows, nanos % 13);
+                    t.observe(LatencyPath::EndToEnd, nanos);
+                    t.record_request(fp, nanos, 3);
+                }
+            });
+        }
+    });
+
+    // The serial oracle: replay every thread's deterministic stream into
+    // fresh single-threaded state.
+    let mut expect_requests = 0u64;
+    let mut expect_rows = 0u64;
+    let mut expect_hist = Histogram::new();
+    let mut expect_per_fp: std::collections::BTreeMap<u64, (u64, u64)> = Default::default();
+    for tid in 0..threads {
+        for (fp, nanos) in thread_workload(tid) {
+            expect_requests += 1;
+            expect_rows += nanos % 13;
+            expect_hist.record(nanos);
+            let e = expect_per_fp.entry(fp).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += nanos;
+        }
+    }
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("serve_requests"), Some(expect_requests));
+    assert_eq!(snap.counter("serve_exec_rows"), Some(expect_rows));
+    let hist = snap.hist("end_to_end").expect("end_to_end histogram");
+    assert_eq!(hist.count(), expect_requests);
+    assert_eq!(hist.min(), expect_hist.min());
+    assert_eq!(hist.max(), expect_hist.max());
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        assert_eq!(hist.quantile(q), expect_hist.quantile(q), "quantile {q}");
+    }
+
+    // 7 distinct fingerprints fit the tracker, so counts are exact and the
+    // overcount bound is zero for every entry.
+    assert_eq!(snap.topk.len(), expect_per_fp.len());
+    for entry in &snap.topk {
+        let &(count, nanos) = expect_per_fp.get(&entry.fp).expect("known fp");
+        assert_eq!(entry.count, count, "fp {:#x}", entry.fp);
+        assert_eq!(entry.nanos, nanos, "fp {:#x}", entry.fp);
+        assert_eq!(entry.err, 0);
+        assert_eq!(entry.last_epoch, 3);
+    }
+}
+
+#[test]
+fn counters_only_plane_is_safe_under_concurrency_and_stays_lean() {
+    let telemetry = Arc::new(Telemetry::counters_only());
+    std::thread::scope(|scope| {
+        for tid in 0..4u64 {
+            let t = Arc::clone(&telemetry);
+            scope.spawn(move || {
+                for (fp, nanos) in thread_workload(tid) {
+                    t.add(Metric::Requests, 1);
+                    t.observe(LatencyPath::Execute, nanos);
+                    t.record_request(fp, nanos, 0);
+                }
+            });
+        }
+    });
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("serve_requests"), Some(4 * 500));
+    assert!(snap.latency.iter().all(|(_, h)| h.count() == 0));
+    assert!(snap.topk.is_empty());
+}
+
+#[test]
+fn snapshot_survives_json_and_prometheus_exposition() {
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    for (fp, nanos) in thread_workload(1) {
+        telemetry.add(Metric::Requests, 1);
+        telemetry.add(Metric::CacheHit, 1);
+        telemetry.observe(LatencyPath::CacheHit, nanos);
+        telemetry.record_request(fp, nanos, 1);
+    }
+    let snap = telemetry.snapshot();
+
+    // JSON is the lossless format: an exact round-trip, bucket for bucket.
+    let parsed = TelemetrySnapshot::from_json(&snap.to_json()).expect("parse");
+    assert_eq!(parsed, snap);
+
+    // Prometheus text exposition is write-only, but every number it carries
+    // must match the snapshot it came from.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE starqo_serve_requests_total counter"));
+    assert!(prom.contains("starqo_serve_requests_total 500"));
+    let hit = snap.hist("cache_hit").expect("cache_hit histogram");
+    assert!(prom.contains(&format!(
+        "starqo_latency_nanos_count{{path=\"cache_hit\"}} {}",
+        hit.count()
+    )));
+    let p99 = hit.quantile(0.99).expect("p99");
+    assert!(
+        prom.contains(&format!(
+            "starqo_latency_nanos{{path=\"cache_hit\",quantile=\"0.99\"}} {p99}"
+        )),
+        "{prom}"
+    );
+    for (rank, entry) in snap.topk.iter().enumerate() {
+        assert!(prom.contains(&format!(
+            "starqo_hot_query_requests{{fp=\"{:#018x}\",rank=\"{}\"}} {}",
+            entry.fp,
+            rank + 1,
+            entry.count
+        )));
+    }
+}
