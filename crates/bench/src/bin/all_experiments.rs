@@ -20,6 +20,7 @@ fn main() {
             starqo_bench::correctness::e15_estimation_quality(),
             starqo_bench::serving::e17_serving(false),
             starqo_bench::telemetry::e19_telemetry(false),
+            starqo_bench::drift::e20_drift(false),
         ]
     });
 }

@@ -1,0 +1,17 @@
+//! Experiment binary: the cardinality-drift benchmark (E20) — the E17
+//! workload executed with the feedback plane on and off, then against a
+//! database holding 32x the rows the catalog statistics claim. Writes
+//! `BENCH_drift.json` with the run's deterministic counters for the
+//! regression gate, and exports the post-shift snapshot
+//! (`drift_snapshot.json` / `.prom`) for `starqo-obs live` / `doctor`.
+//!
+//! `--smoke` (alias `--quick`) runs the small fleet on 4 threads with a
+//! loose overhead ceiling; the experiment itself asserts zero baseline
+//! suspects, full detection, clean controls, and the consistency checks,
+//! so any violated invariant exits non-zero.
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "--smoke");
+    starqo_bench::run_bin("drift", || vec![starqo_bench::drift::e20_drift(quick)]);
+}

@@ -24,11 +24,13 @@
 //! | E16 | estimation observatory + cost calibration | [`observatory::e16_estimation_observatory`] |
 //! | E17 | serving layer: plan-cache throughput + correctness | [`serving::e17_serving`] |
 //! | E19 | live telemetry plane: overhead + snapshot invariants | [`telemetry::e19_telemetry`] |
+//! | E20 | feedback plane: drift detection + overhead | [`drift::e20_drift`] |
 
 pub mod chaos;
 pub mod comparison;
 pub mod correctness;
 pub mod distributed;
+pub mod drift;
 pub mod extensibility;
 pub mod figures;
 pub mod observatory;

@@ -28,8 +28,9 @@ use crate::{row, Report};
 
 /// One canonical query shape the workload draws from. Requests against a
 /// `param` template carry a fresh constant each time; all of them share one
-/// fingerprint (and so one cached plan). Shared with E19, which replays the
-/// same workload against differently instrumented services.
+/// fingerprint (and so one cached plan). Shared with E19 (which replays the
+/// same workload against differently instrumented services) and E20 (which
+/// executes it against data that drifts away from the catalog statistics).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Template {
     pub(crate) name: &'static str,
@@ -130,6 +131,62 @@ pub(crate) fn run_pass(
                         let req = Instant::now();
                         svc.optimize(&query)
                             .unwrap_or_else(|e| panic!("serve {}: {e}", t.name));
+                        lats.push(req.elapsed().as_nanos() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread"))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct =
+        |p: usize| latencies[(latencies.len() * p / 100).min(latencies.len() - 1)] as f64 / 1e3;
+    PassSummary {
+        requests: (threads * per_thread) as u64,
+        wall_secs,
+        p50_us: pct(50),
+        p99_us: pct(99),
+        snapshot: svc.counters(),
+    }
+}
+
+/// [`run_pass`], but every request *executes* against `db` after
+/// optimizing, so the service's feedback plane sees actual root
+/// cardinalities. Constants are drawn from `0..param_domain`; E20 keeps
+/// that domain inside every payload column's value set so parameterized
+/// templates always select rows — a query that returns nothing cannot
+/// witness cardinality drift.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_exec_pass(
+    svc: &Service,
+    cat: &std::sync::Arc<starqo_catalog::Catalog>,
+    db: &starqo_storage::Database,
+    fleet: &[Template],
+    cdf: &[f64],
+    threads: usize,
+    per_thread: usize,
+    seed: u64,
+    param_domain: u64,
+) -> PassSummary {
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut rng = Rng64::new(seed.wrapping_mul(0x9E37).wrapping_add(tid as u64));
+                    let mut lats = Vec::with_capacity(per_thread);
+                    for _ in 0..per_thread {
+                        let t = &fleet[zipf_pick(cdf, rng.next_f64())];
+                        let c = t.param.then(|| rng.below(param_domain.max(1)) as i64);
+                        let query = query_shape_param(cat, t.shape, t.n, c);
+                        let req = Instant::now();
+                        svc.execute(db, &query)
+                            .unwrap_or_else(|e| panic!("execute {}: {e}", t.name));
                         lats.push(req.elapsed().as_nanos() as u64);
                     }
                     lats

@@ -46,6 +46,11 @@ pub struct ExecStats {
     pub probes: u64,
     /// Rows produced by the root operator.
     pub rows_out: u64,
+    /// Rows crossing pipeline breakers: each correlation-free temp
+    /// materialization plus the root pipeline's output. The compact
+    /// per-run actual the feedback plane folds even when tracing is
+    /// suppressed.
+    pub pipeline_rows: u64,
 }
 
 /// Execution routine for an extension LOLEPOP (§5): receives each input's
@@ -161,6 +166,7 @@ impl<'a> Executor<'a> {
             t.add(Metric::Executions, 1);
             t.add(Metric::ExecRows, result.rows.len() as u64);
             t.add(Metric::ExecNanos, nanos);
+            t.add(Metric::PipelineRows, self.stats.pipeline_rows);
             t.observe(LatencyPath::Execute, nanos);
         }
         out
@@ -170,6 +176,7 @@ impl<'a> Executor<'a> {
         let bindings = Bindings::new();
         let rows = self.eval(plan, &bindings)?;
         self.stats.rows_out = rows.len() as u64;
+        self.stats.pipeline_rows += rows.len() as u64;
         self.emit_node_events(plan);
         let schema = schema_of(plan);
         if self.query.select.is_empty() {
@@ -332,6 +339,7 @@ impl<'a> Executor<'a> {
             // (not for the cached children they wrap).
             if matches!(node.op, Lolepop::Store) {
                 self.stats.temps_built += 1;
+                self.stats.pipeline_rows += rows.len() as u64;
             }
             self.temp_cache.insert(key, rows.clone());
         }

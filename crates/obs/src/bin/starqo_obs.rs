@@ -12,6 +12,12 @@
 //! starqo-obs live     <snapshot.json>               live-telemetry dashboard
 //!                     [--since <prev.json>] [--prom]
 //! starqo-obs live --smoke                           synthetic end-to-end check
+//! starqo-obs watch    <snapshot.json>               refreshing dashboard + trends
+//!                     [--interval-ms N] [--once] [--json]
+//! starqo-obs watch --smoke                          synthetic watch-loop check
+//! starqo-obs doctor   <snapshot.json>               one-shot health verdict
+//!                     [--enforce]
+//! starqo-obs doctor --smoke                         synthetic doctor check
 //! ```
 //!
 //! `gate` is report-only by default (always exits 0, for observability in
@@ -22,8 +28,8 @@
 use std::process::ExitCode;
 
 use starqo_obs::{
-    calibrate, gate, smoke_snapshot, AccuracyReport, FlameTree, LiveReport, Profile, Thresholds,
-    TraceDiff,
+    calibrate, gate, smoke_sequence, smoke_snapshot, AccuracyReport, Diagnosis, FlameTree,
+    LiveReport, Profile, Thresholds, TraceDiff, Watcher,
 };
 use starqo_trace::{load_jsonl, TelemetrySnapshot, TraceEvent};
 
@@ -40,6 +46,8 @@ fn main() -> ExitCode {
     let mut since: Option<&str> = None;
     let mut smoke = false;
     let mut prom = false;
+    let mut once = false;
+    let mut interval_ms: u64 = 2_000;
     let mut it = args.iter().map(String::as_str);
     while let Some(a) = it.next() {
         match a {
@@ -48,6 +56,11 @@ fn main() -> ExitCode {
             "--enforce-counters" => enforce_counters = true,
             "--smoke" => smoke = true,
             "--prom" => prom = true,
+            "--once" => once = true,
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => interval_ms = v,
+                None => return usage("--interval-ms needs a number"),
+            },
             "--since" => match it.next() {
                 Some(p) => since = Some(p),
                 None => return usage("--since needs a path"),
@@ -219,6 +232,91 @@ fn main() -> ExitCode {
                 }
             }
         }
+        ["watch"] if smoke => {
+            // Synthetic watch-loop check: feed a deterministic snapshot
+            // sequence through the ring and render every frame.
+            let mut w = Watcher::new(16);
+            let mut last = String::new();
+            for s in smoke_sequence() {
+                last = w.tick(s);
+            }
+            print!("{last}");
+            if !last.contains("-- trend --") {
+                eprintln!("starqo-obs watch --smoke: trend section missing");
+                return ExitCode::FAILURE;
+            }
+            println!("watch --smoke ok");
+            ExitCode::SUCCESS
+        }
+        ["watch", path] => {
+            let load = |p: &str| -> Result<TelemetrySnapshot, String> {
+                let text =
+                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                TelemetrySnapshot::from_json(&text)
+            };
+            let mut w = Watcher::new(32);
+            loop {
+                let snap = match load(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("starqo-obs watch: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Some(out) = json_out {
+                    // Machine-readable tap: the latest absolute snapshot.
+                    if let Err(e) = std::fs::write(out, snap.to_json() + "\n") {
+                        eprintln!("starqo-obs watch: cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                let frame = w.tick(snap);
+                if once {
+                    print!("{frame}");
+                    return ExitCode::SUCCESS;
+                }
+                // Clear and redraw, terminal-dashboard style.
+                print!("\x1b[2J\x1b[H{frame}");
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+            }
+        }
+        ["doctor"] if smoke => {
+            // Synthetic doctor check: the smoke snapshot plants a drifted
+            // suspect and a saturated tracker entry; the doctor must find
+            // both without any critical finding.
+            let d = Diagnosis::from_snapshot(&smoke_snapshot());
+            print!("{}", d.render());
+            let found = |check: &str| d.findings.iter().any(|f| f.check == check);
+            if !found("plan_drift") || !found("topk_saturation") || d.crit_count() > 0 {
+                eprintln!("starqo-obs doctor --smoke: expected findings missing");
+                return ExitCode::FAILURE;
+            }
+            println!("doctor --smoke ok");
+            ExitCode::SUCCESS
+        }
+        ["doctor", path] => {
+            let run = || -> Result<Diagnosis, String> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                Ok(Diagnosis::from_snapshot(&TelemetrySnapshot::from_json(
+                    &text,
+                )?))
+            };
+            match run() {
+                Ok(d) => {
+                    print!("{}", d.render());
+                    if enforce && d.crit_count() > 0 {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("starqo-obs doctor: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => usage("expected a subcommand"),
     }
 }
@@ -245,7 +343,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("starqo-obs: {err}");
     }
     eprintln!(
-        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs accuracy <trace.jsonl> [--json <out.json>]\n  starqo-obs calibrate <trace.jsonl> [--out <profile.json>]\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce|--enforce-counters]\n  starqo-obs live <snapshot.json> [--since <prev.json>] [--prom]\n  starqo-obs live --smoke [--prom]"
+        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs accuracy <trace.jsonl> [--json <out.json>]\n  starqo-obs calibrate <trace.jsonl> [--out <profile.json>]\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce|--enforce-counters]\n  starqo-obs live <snapshot.json> [--since <prev.json>] [--prom]\n  starqo-obs live --smoke [--prom]\n  starqo-obs watch <snapshot.json> [--interval-ms N] [--once] [--json <out.json>]\n  starqo-obs watch --smoke\n  starqo-obs doctor <snapshot.json> [--enforce]\n  starqo-obs doctor --smoke"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

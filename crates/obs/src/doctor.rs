@@ -1,0 +1,301 @@
+//! `starqo-obs doctor`: a one-shot health verdict over a telemetry
+//! snapshot. Runs a fixed checklist — cache efficacy, admission/pressure
+//! counters, error rates, plan-quality drift hotspots, top-K tracker
+//! saturation, feedback-plane coverage — and renders a finding list with
+//! an overall verdict. Detection and advice only: the doctor never
+//! mutates anything.
+
+use starqo_trace::TelemetrySnapshot;
+
+/// How much a finding should worry the operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Context worth knowing; not a problem.
+    Info,
+    /// Degraded but serving; act soon.
+    Warn,
+    /// Actively losing work (errors, rejections).
+    Crit,
+}
+
+impl Severity {
+    fn tag(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "WARN",
+            Severity::Crit => "CRIT",
+        }
+    }
+}
+
+/// One checklist outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub severity: Severity,
+    /// Stable check identifier (scripts grep on these).
+    pub check: &'static str,
+    pub detail: String,
+}
+
+/// The doctor's full verdict over one snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnosis {
+    pub findings: Vec<Finding>,
+}
+
+impl Diagnosis {
+    /// Run the checklist. Thresholds are fixed and intentionally
+    /// conservative — the doctor flags what is unambiguously wrong, the
+    /// dashboards carry the nuance.
+    pub fn from_snapshot(s: &TelemetrySnapshot) -> Diagnosis {
+        let c = |name: &str| s.counter(name).unwrap_or(0);
+        let mut findings = Vec::new();
+        let mut push = |severity: Severity, check: &'static str, detail: String| {
+            findings.push(Finding {
+                severity,
+                check,
+                detail,
+            });
+        };
+
+        let requests = c("serve_requests");
+        if requests == 0 {
+            push(
+                Severity::Info,
+                "traffic",
+                "no requests in this snapshot window".to_string(),
+            );
+        }
+
+        // Cache efficacy: only judged once there is enough traffic for the
+        // ratio to mean something.
+        let served = c("serve_cache_hit") + c("serve_cache_coalesced") + c("serve_cache_miss");
+        if served >= 50 && s.hit_ratio() < 0.5 {
+            push(
+                Severity::Warn,
+                "cache_efficacy",
+                format!(
+                    "hit ratio {:.1}% over {served} served requests (churning workload, \
+                     undersized cache, or epoch thrash)",
+                    s.hit_ratio() * 100.0
+                ),
+            );
+        }
+
+        let errors = c("serve_errors");
+        if errors > 0 {
+            push(
+                Severity::Crit,
+                "errors",
+                format!("{errors} optimizer/executor error(s) surfaced to callers"),
+            );
+        }
+        let rejected = c("serve_rejected");
+        if rejected > 0 {
+            push(
+                Severity::Crit,
+                "admission",
+                format!("{rejected} request(s) rejected by admission control"),
+            );
+        }
+        let degraded = c("serve_degraded");
+        if degraded > 0 {
+            push(
+                Severity::Warn,
+                "degraded",
+                format!("{degraded} plan(s) degraded by budget exhaustion"),
+            );
+        }
+        let invalidations = c("serve_cache_invalidate");
+        if invalidations > 0 && invalidations * 5 >= requests.max(1) {
+            push(
+                Severity::Warn,
+                "epoch_thrash",
+                format!(
+                    "{invalidations} cache invalidations against {requests} requests \
+                     (catalog epoch moving faster than plans amortize)"
+                ),
+            );
+        }
+
+        // Drift hotspots: the feedback plane's suspect registry.
+        let suspects = s.suspects();
+        if !suspects.is_empty() {
+            let hot: Vec<String> = suspects
+                .iter()
+                .take(4)
+                .map(|e| {
+                    format!(
+                        "{:#x} (geomean Q {:.1}, {} runs)",
+                        e.fp,
+                        e.geomean_q().unwrap_or(1.0),
+                        e.runs
+                    )
+                })
+                .collect();
+            push(
+                Severity::Warn,
+                "plan_drift",
+                format!(
+                    "{} suspect plan(s) — observed Q-error/latency crossed thresholds: {}",
+                    suspects.len(),
+                    hot.join(", ")
+                ),
+            );
+        } else if !s.qerror.is_empty() {
+            push(
+                Severity::Info,
+                "plan_drift",
+                format!(
+                    "{} fingerprint(s) tracked by the feedback plane, none suspect",
+                    s.qerror.len()
+                ),
+            );
+        }
+
+        // Top-K saturation: space-saving overcount bound at or above half
+        // the count means ranks are recycling noise.
+        let saturated = s
+            .topk
+            .iter()
+            .filter(|e| e.count > 0 && e.err >= e.count / 2)
+            .count();
+        if saturated > 0 {
+            push(
+                Severity::Warn,
+                "topk_saturation",
+                format!(
+                    "{saturated} hot-query entries have overcount bound >= count/2 \
+                     (raise topk capacity)"
+                ),
+            );
+        }
+
+        // Feedback coverage: executions happening but nothing folding
+        // means the feedback plane is disabled and drift is invisible.
+        if c("serve_executions") > 0 && c("serve_feedback_runs") == 0 {
+            push(
+                Severity::Warn,
+                "feedback_coverage",
+                "executions ran but the feedback plane folded nothing (feedback disabled?)"
+                    .to_string(),
+            );
+        }
+
+        Diagnosis { findings }
+    }
+
+    /// No warnings or criticals.
+    pub fn healthy(&self) -> bool {
+        self.findings.iter().all(|f| f.severity == Severity::Info)
+    }
+
+    pub fn crit_count(&self) -> usize {
+        self.count(Severity::Crit)
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("== starqo doctor ==\n");
+        if self.findings.is_empty() {
+            out.push_str("  all checks passed\n");
+        }
+        let mut ordered = self.findings.clone();
+        ordered.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        for f in &ordered {
+            out.push_str(&format!(
+                "  [{}] {}: {}\n",
+                f.severity.tag(),
+                f.check,
+                f.detail
+            ));
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.healthy() {
+                "HEALTHY".to_string()
+            } else {
+                format!(
+                    "{} critical, {} warning(s)",
+                    self.crit_count(),
+                    self.warn_count()
+                )
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::smoke_snapshot;
+
+    #[test]
+    fn smoke_snapshot_yields_the_expected_findings() {
+        let d = Diagnosis::from_snapshot(&smoke_snapshot());
+        assert!(!d.healthy());
+        let checks: Vec<&str> = d.findings.iter().map(|f| f.check).collect();
+        // The smoke snapshot plants a drifted suspect and a saturated
+        // top-K entry; the doctor must find both and nothing critical.
+        assert!(checks.contains(&"plan_drift"), "{checks:?}");
+        assert!(checks.contains(&"topk_saturation"), "{checks:?}");
+        assert_eq!(d.crit_count(), 0);
+        let text = d.render();
+        assert!(text.contains("[WARN] plan_drift"));
+        assert!(text.contains("verdict: 0 critical"));
+    }
+
+    #[test]
+    fn clean_snapshot_is_healthy() {
+        let mut s = smoke_snapshot();
+        s.qerror.clear();
+        s.topk.clear();
+        let d = Diagnosis::from_snapshot(&s);
+        assert!(d.healthy(), "{}", d.render());
+        assert!(d.render().contains("verdict: HEALTHY"));
+    }
+
+    #[test]
+    fn pressure_counters_escalate_to_critical() {
+        let mut s = smoke_snapshot();
+        s.qerror.clear();
+        s.topk.clear();
+        for (name, v) in s.counters.iter_mut() {
+            if name == "serve_errors" {
+                *v = 3;
+            }
+            if name == "serve_rejected" {
+                *v = 7;
+            }
+        }
+        let d = Diagnosis::from_snapshot(&s);
+        assert_eq!(d.crit_count(), 2);
+        let text = d.render();
+        assert!(text.contains("[CRIT] errors: 3"));
+        assert!(text.contains("[CRIT] admission: 7"));
+        // Criticals sort above warnings and infos.
+        assert!(text.find("[CRIT]").unwrap() < text.find("verdict").unwrap());
+    }
+
+    #[test]
+    fn missing_feedback_under_executions_is_flagged() {
+        let mut s = smoke_snapshot();
+        s.qerror.clear();
+        s.topk.clear();
+        for (name, v) in s.counters.iter_mut() {
+            if name == "serve_feedback_runs" {
+                *v = 0;
+            }
+        }
+        let d = Diagnosis::from_snapshot(&s);
+        assert!(d.findings.iter().any(|f| f.check == "feedback_coverage"));
+    }
+}

@@ -21,26 +21,36 @@
 //!   accuracy join, producing a `starqo-plan` [`CostCalibration`] profile;
 //! - [`live::LiveReport`] — the live-telemetry dashboard: renders a
 //!   serving-layer [`starqo_trace::TelemetrySnapshot`] (throughput, cache
-//!   effectiveness, latency quantiles, hot-query top-K), point-in-time or
-//!   diffed between two snapshots.
+//!   effectiveness, latency quantiles, hot-query top-K, plan-quality
+//!   sketches), point-in-time or diffed between two snapshots;
+//! - [`watch::Watcher`] — the continuously refreshing watch loop: folds
+//!   successive snapshots into a [`starqo_trace::SnapshotRing`] and
+//!   renders interval frames with trend sparklines;
+//! - [`doctor::Diagnosis`] — a one-shot health verdict: cache efficacy,
+//!   pressure counters, drift hotspots, tracker saturation, feedback
+//!   coverage.
 //!
 //! The `starqo-obs` binary exposes all of these as subcommands.
 
 pub mod accuracy;
 pub mod calibrate;
 pub mod diff;
+pub mod doctor;
 pub mod flame;
 pub mod gate;
 pub mod live;
 pub mod profile;
 #[cfg(test)]
 pub(crate) mod testutil;
+pub mod watch;
 
 pub use accuracy::{q_error, AccuracyReport, GroupStats, NodeJoin, QuerySummary};
 pub use calibrate::{fit, samples, CalibFit, CalibSample};
 pub use diff::TraceDiff;
+pub use doctor::{Diagnosis, Finding, Severity};
 pub use flame::FlameTree;
 pub use gate::{gate, GateResult, Thresholds, Violation};
 pub use live::{fmt_nanos, smoke_snapshot, LiveReport};
 pub use profile::{LineageRow, Profile, StarProfile};
 pub use starqo_plan::CostCalibration;
+pub use watch::{smoke_sequence, sparkline, Watcher};

@@ -71,10 +71,18 @@ impl LiveReport {
             c("serve_errors")
         ));
         out.push_str(&format!(
-            "  execution       {} runs   {} rows\n",
+            "  execution       {} runs   {} rows   {} pipeline rows\n",
             c("serve_executions"),
-            c("serve_exec_rows")
+            c("serve_exec_rows"),
+            c("serve_pipeline_rows")
         ));
+        if c("serve_feedback_runs") > 0 {
+            out.push_str(&format!(
+                "  feedback        {} runs folded   {} suspects flagged\n",
+                c("serve_feedback_runs"),
+                c("serve_suspects_flagged")
+            ));
+        }
         let (sampled, unsampled) = (c("serve_trace_sampled"), c("serve_trace_unsampled"));
         if sampled + unsampled > 0 {
             out.push_str(&format!(
@@ -115,17 +123,70 @@ impl LiveReport {
                 "  {:<4} {:<18} {:>8} {:>6} {:>10} {:>10} {:>6}\n",
                 "#", "fingerprint", "count", "±err", "total", "mean", "epoch"
             ));
+            let mut saturated = 0usize;
             for (rank, e) in s.topk.iter().enumerate() {
                 let mean = e.nanos.checked_div(e.count).unwrap_or(0);
+                // err is the space-saving overcount bound: once it reaches
+                // half the count, the entry's rank is mostly recycling
+                // noise, not real traffic.
+                let sat = e.count > 0 && e.err >= e.count / 2;
+                saturated += usize::from(sat);
                 out.push_str(&format!(
-                    "  {:<4} {:<18} {:>8} {:>6} {:>10} {:>10} {:>6}\n",
+                    "  {:<4} {:<18} {:>8} {:>6} {:>10} {:>10} {:>6}{}\n",
                     rank + 1,
                     format!("{:#018x}", e.fp),
                     e.count,
                     e.err,
                     fmt_nanos(e.nanos),
                     fmt_nanos(mean),
-                    e.last_epoch
+                    e.last_epoch,
+                    if sat { "  !sat" } else { "" }
+                ));
+            }
+            if saturated > 0 {
+                out.push_str(&format!(
+                    "  warning: {saturated} entries have overcount bound >= count/2 \
+                     (tracker saturated; raise topk capacity)\n"
+                ));
+            }
+        }
+
+        out.push_str("\n-- plan quality --\n");
+        if s.qerror.is_empty() {
+            out.push_str("  (feedback plane empty)\n");
+        } else {
+            out.push_str(&format!(
+                "  {:<18} {:>6} {:>9} {:>9} {:>10} {:>17} {:>9} {:>6}\n",
+                "fingerprint", "runs", "geomeanQ", "maxQ", "est", "actual", "mean", "epoch"
+            ));
+            for e in &s.qerror {
+                let fmt_q =
+                    |q: Option<f64>| q.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
+                let actuals = if e.runs == 0 {
+                    "-".to_string()
+                } else if e.actual_min == e.actual_max {
+                    e.actual_min.to_string()
+                } else {
+                    format!("{}..{}", e.actual_min, e.actual_max)
+                };
+                out.push_str(&format!(
+                    "  {:<18} {:>6} {:>9} {:>9} {:>10} {:>17} {:>9} {:>6}{}\n",
+                    format!("{:#018x}", e.fp),
+                    e.runs,
+                    fmt_q(e.geomean_q()),
+                    fmt_q(e.max_q()),
+                    e.est_rows,
+                    actuals,
+                    e.mean_nanos().map(fmt_nanos).unwrap_or_else(|| "-".into()),
+                    e.last_epoch,
+                    if e.suspect { "  SUSPECT" } else { "" }
+                ));
+            }
+            let suspects = s.suspects().len();
+            if suspects > 0 {
+                out.push_str(&format!(
+                    "  {suspects} suspect plan(s): observed Q-error/latency crossed the \
+                     configured thresholds\n"
                 ));
             }
         }
@@ -155,7 +216,7 @@ pub fn fmt_nanos(nanos: u64) -> String {
 /// A deterministic synthetic snapshot for smoke-testing the dashboard
 /// pipeline (render + JSON + Prometheus) without a live service.
 pub fn smoke_snapshot() -> TelemetrySnapshot {
-    use starqo_trace::HotQuery;
+    use starqo_trace::{FeedbackPlane, HotQuery, SuspectConfig};
     let mut optimize = Histogram::new();
     let mut cache_hit = Histogram::new();
     let mut execute = Histogram::new();
@@ -194,6 +255,9 @@ pub fn smoke_snapshot() -> TelemetrySnapshot {
             ("serve_opt_nanos".into(), 8_600_000),
             ("serve_saved_nanos".into(), 420_000_000),
             ("serve_exec_nanos".into(), 9_000_000),
+            ("serve_pipeline_rows".into(), 2_400),
+            ("serve_feedback_runs".into(), 200),
+            ("serve_suspects_flagged".into(), 1),
         ],
         latency: vec![
             ("optimize".into(), optimize),
@@ -212,11 +276,29 @@ pub fn smoke_snapshot() -> TelemetrySnapshot {
             HotQuery {
                 fp: 0xB0B,
                 count: 80,
-                err: 0,
+                err: 45,
                 nanos: 250_000,
                 last_epoch: 1,
             },
         ],
+        qerror: {
+            // A drifted fingerprint (flags suspect) and an accurate one,
+            // folded through the real plane so the smoke snapshot stays
+            // honest about the sketch invariants.
+            let plane = FeedbackPlane::new(
+                1,
+                4,
+                SuspectConfig {
+                    min_runs: 4,
+                    ..SuspectConfig::default()
+                },
+            );
+            for i in 0..8u64 {
+                plane.record(0xA11CE, 20, 320, 40_000 + i * 1_000, 1);
+                plane.record(0xB0B, 64, 64, 45_000 + i * 1_000, 1);
+            }
+            plane.snapshot()
+        },
     }
 }
 
@@ -244,6 +326,20 @@ mod tests {
             .find(|l| l.trim_start().starts_with("end_to_end"))
             .expect("end_to_end row");
         assert!(!latency_line.contains('-'), "dash in {latency_line}");
+        // Satellite sections: feedback counters, the saturation warning on
+        // the 0xB0B entry (err 45 >= 80/2), and the plan-quality table.
+        assert!(text.contains("200 runs folded   1 suspects flagged"));
+        assert!(text.contains("!sat"), "{text}");
+        assert!(text.contains("overcount bound >= count/2"));
+        assert!(text.contains("-- plan quality --"));
+        assert!(text.contains("SUSPECT"));
+        assert!(text.contains("1 suspect plan(s)"));
+        // The drifted sketch: est 20 vs actual 320 is Q = 16.
+        let drifted = text
+            .lines()
+            .find(|l| l.contains("0x00000000000a11ce") && l.contains("SUSPECT"))
+            .expect("drifted plan row");
+        assert!(drifted.contains("16.00"), "{drifted}");
     }
 
     #[test]

@@ -156,6 +156,12 @@ pub struct ServeCountersSnapshot {
     pub plans_built: u64,
     /// Glue invocations inside cold optimizations.
     pub glue_refs: u64,
+    /// Rows crossing pipeline breakers during executions.
+    pub pipeline_rows: u64,
+    /// Per-run actuals folded into the feedback plane.
+    pub feedback_runs: u64,
+    /// Fingerprints newly flagged suspect by the feedback plane.
+    pub suspects_flagged: u64,
 }
 
 impl ServeCountersSnapshot {
@@ -192,6 +198,9 @@ impl ServeCountersSnapshot {
             ("opt_memo_hits", self.memo_hits),
             ("opt_plans_built", self.plans_built),
             ("opt_glue_refs", self.glue_refs),
+            ("serve_pipeline_rows", self.pipeline_rows),
+            ("serve_feedback_runs", self.feedback_runs),
+            ("serve_suspects_flagged", self.suspects_flagged),
         ]
     }
 }
@@ -299,6 +308,9 @@ impl Service {
             memo_hits: c(Metric::MemoHits),
             plans_built: c(Metric::PlansBuilt),
             glue_refs: c(Metric::GlueRefs),
+            pipeline_rows: c(Metric::PipelineRows),
+            feedback_runs: c(Metric::FeedbackRuns),
+            suspects_flagged: c(Metric::SuspectFlagged),
         }
     }
 
@@ -446,9 +458,31 @@ impl Service {
         let outcome = self.optimize_prepared(prepared, deadline)?;
         let mut ex = Executor::new(db, &prepared.canonical.query);
         ex.set_telemetry(Arc::clone(&self.telemetry));
+        let exec_started = Instant::now();
         let result = ex
             .run(&outcome.optimized.best)
             .map_err(|e| ServeError::Execute(e.to_string()))?;
+        // Fold this run's compact actuals into the feedback plane: the
+        // cached plan's estimated root cardinality against what actually
+        // came out. Counted even when tracing is suppressed; only a
+        // *detection* (the sketch's first threshold crossing) reaches the
+        // tracer, unsampled — suspect events are rare and load-bearing.
+        let fp = outcome.fingerprint.hash;
+        let est = outcome.optimized.best.props.card.round().max(0.0) as u64;
+        let nanos = exec_started.elapsed().as_nanos() as u64;
+        if let Some(v) =
+            self.telemetry
+                .record_feedback(fp, est, result.rows.len() as u64, nanos, outcome.epoch)
+        {
+            self.tracer.emit(|| TraceEvent::PlanSuspect {
+                fp: v.fp,
+                epoch: v.epoch,
+                runs: v.runs,
+                geomean_q: v.geomean_q,
+                max_q: v.max_q,
+                reason: v.reason.to_string(),
+            });
+        }
         Ok((result, outcome))
     }
 
@@ -664,6 +698,69 @@ mod tests {
         assert!(starqo_exec::rows_equal_multiset(&r1.rows, &ref1));
         assert!(starqo_exec::rows_equal_multiset(&r2.rows, &ref2));
         assert!(!starqo_exec::rows_equal_multiset(&r1.rows, &r2.rows));
+    }
+
+    #[test]
+    fn feedback_plane_flags_drifted_plan_and_emits_the_event() {
+        use starqo_trace::{MemorySink, SuspectConfig, TelemetryConfig};
+        // The catalog says EMP has 8 rows; the database actually holds
+        // 800. Stats never move, so the cached plan keeps serving with a
+        // massively wrong estimate — exactly the drift the feedback plane
+        // must surface.
+        let cat = catalog();
+        let mut b = DatabaseBuilder::new(Arc::clone(&cat));
+        for i in 0..4i64 {
+            b.insert("DEPT", vec![Value::Int(i), Value::str(format!("M{i}"))])
+                .unwrap();
+        }
+        for i in 0..800i64 {
+            b.insert("EMP", vec![Value::str(format!("E{i}")), Value::Int(i % 4)])
+                .unwrap();
+        }
+        let db = b.build().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let svc = Service::new(
+            Arc::clone(&cat),
+            ServiceConfig {
+                telemetry: TelemetryConfig {
+                    suspect: SuspectConfig {
+                        min_runs: 3,
+                        ..SuspectConfig::default()
+                    },
+                    ..TelemetryConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+        .with_tracer(Tracer::shared(sink.clone()));
+        let q = parse_query(&cat, "SELECT E.NAME FROM EMP E WHERE E.DNO = 1").unwrap();
+        for _ in 0..5 {
+            svc.execute(&db, &q).unwrap();
+        }
+        let snap = svc.counters();
+        assert_eq!(snap.feedback_runs, 5);
+        assert_eq!(snap.suspects_flagged, 1, "flagged exactly once");
+        assert!(snap.pipeline_rows >= 5 * 200, "root rows counted per run");
+        let suspects = svc.telemetry().suspects();
+        assert_eq!(suspects.len(), 1);
+        assert_eq!(suspects[0].runs, 5, "sketch keeps folding after the flag");
+        assert!(suspects[0].geomean_q().unwrap() > 4.0);
+        let tsnap = svc.telemetry_snapshot();
+        assert_eq!(tsnap.qerror.len(), 1);
+        assert_eq!(tsnap.suspects().len(), 1);
+        assert_eq!(tsnap.qerror[0].actual_min, 200);
+        // The detection reached the tracer as a typed event, once.
+        let suspect_events: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::PlanSuspect { .. }))
+            .collect();
+        assert_eq!(suspect_events.len(), 1);
+        if let TraceEvent::PlanSuspect { runs, reason, .. } = &suspect_events[0] {
+            assert_eq!(*runs, 3);
+            assert!(reason == "geomean_q" || reason == "max_q", "{reason}");
+        }
     }
 
     #[test]

@@ -172,6 +172,18 @@ pub enum TraceEvent {
     /// An entry was dropped because its catalog epoch was stale; `epoch`
     /// is the *current* epoch that invalidated it.
     CacheInvalidate { fp: u64, epoch: u64 },
+    /// The feedback plane flagged a cached plan as suspect: after `runs`
+    /// executed serves its observed Q-error or latency trend crossed the
+    /// configured threshold (`reason` = "geomean_q", "max_q", or
+    /// "mean_latency"). Detection only — the plan keeps serving.
+    PlanSuspect {
+        fp: u64,
+        epoch: u64,
+        runs: u64,
+        geomean_q: f64,
+        max_q: f64,
+        reason: String,
+    },
 }
 
 impl TraceEvent {
@@ -202,6 +214,7 @@ impl TraceEvent {
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::CacheInvalidate { .. } => "cache_invalidate",
+            TraceEvent::PlanSuspect { .. } => "plan_suspect",
         }
     }
 
@@ -375,6 +388,20 @@ impl TraceEvent {
             TraceEvent::CacheMiss { fp, epoch } => o.u64("fp", *fp).u64("epoch", *epoch),
             TraceEvent::CacheEvict { fp, reason } => o.u64("fp", *fp).str("reason", reason),
             TraceEvent::CacheInvalidate { fp, epoch } => o.u64("fp", *fp).u64("epoch", *epoch),
+            TraceEvent::PlanSuspect {
+                fp,
+                epoch,
+                runs,
+                geomean_q,
+                max_q,
+                reason,
+            } => o
+                .u64("fp", *fp)
+                .u64("epoch", *epoch)
+                .u64("runs", *runs)
+                .f64("geomean_q", *geomean_q)
+                .f64("max_q", *max_q)
+                .str("reason", reason),
         }
         .finish()
     }
@@ -526,6 +553,14 @@ impl TraceEvent {
             "cache_invalidate" => TraceEvent::CacheInvalidate {
                 fp: u64_of("fp")?,
                 epoch: u64_of("epoch")?,
+            },
+            "plan_suspect" => TraceEvent::PlanSuspect {
+                fp: u64_of("fp")?,
+                epoch: u64_of("epoch")?,
+                runs: u64_of("runs")?,
+                geomean_q: f64_of("geomean_q")?,
+                max_q: f64_of("max_q")?,
+                reason: str_of("reason")?,
             },
             _ => return None,
         })
@@ -739,6 +774,14 @@ mod tests {
             TraceEvent::CacheInvalidate {
                 fp: 0xDEAD_BEEF,
                 epoch: 4,
+            },
+            TraceEvent::PlanSuspect {
+                fp: 0xDEAD_BEEF,
+                epoch: 4,
+                runs: 16,
+                geomean_q: 6.5,
+                max_q: 40.0,
+                reason: "geomean_q".into(),
             },
         ]
     }

@@ -106,11 +106,30 @@ impl Histogram {
     /// aggregates a concurrent or serialized producer tracked on the side).
     /// The total count derives from the buckets; empty buckets yield the
     /// empty histogram regardless of the aggregate arguments.
+    ///
+    /// The aggregates are sanitized against the buckets: a concurrent
+    /// producer (e.g. a striped atomic histogram snapshotted mid-record)
+    /// may expose a bucket increment before the min/max updates land,
+    /// leaving `min` at its `u64::MAX` sentinel — or `min > max` — while
+    /// `count > 0`. Unsanitized, that poisons [`Self::quantile`], whose
+    /// `[min, max]` clamp requires `min <= max`. Both aggregates are
+    /// clamped into the range the non-empty buckets can hold; for
+    /// consistent inputs the clamp is the identity.
     pub fn from_raw(counts: [u64; BUCKETS], sum: u128, min: u64, max: u64) -> Histogram {
         let count: u64 = counts.iter().sum();
         if count == 0 {
             return Histogram::default();
         }
+        let lo = counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let hi = counts.iter().rposition(|&c| c > 0).unwrap_or(BUCKETS - 1);
+        let (bucket_lo, bucket_hi) = (Self::bucket_bounds(lo).0, Self::bucket_bounds(hi).1);
+        let min = min.clamp(bucket_lo, bucket_hi);
+        let max = max.clamp(bucket_lo, bucket_hi);
+        let (min, max) = if min <= max {
+            (min, max)
+        } else {
+            (bucket_lo, bucket_hi)
+        };
         Histogram {
             counts,
             count,
@@ -442,6 +461,32 @@ mod tests {
         let parsed =
             Histogram::from_json_value(&crate::read::parse_json(&small.to_json_full()).unwrap());
         assert_eq!(parsed, Some(small));
+    }
+
+    #[test]
+    fn from_raw_sanitizes_torn_aggregates() {
+        // A concurrent snapshot can surface a bucket increment before the
+        // min/max aggregate updates: min stuck at the u64::MAX sentinel
+        // with count > 0. Quantiles must stay well-defined regardless.
+        let mut counts = [0u64; BUCKETS];
+        counts[3] = 2; // values in [4, 7]
+        let torn = Histogram::from_raw(counts, 10, u64::MAX, 0);
+        assert_eq!(torn.count(), 2);
+        assert_eq!(torn.min(), Some(4));
+        assert_eq!(torn.max(), Some(7));
+        for q in [0.0, 0.5, 1.0] {
+            let v = torn.quantile(q).expect("non-empty");
+            assert!((4..=7).contains(&v), "q={q} -> {v}");
+        }
+        // min > max (both plausible-looking) also repairs from the buckets.
+        let crossed = Histogram::from_raw(counts, 10, 7, 4);
+        assert_eq!((crossed.min(), crossed.max()), (Some(4), Some(7)));
+        // Consistent aggregates pass through untouched.
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        let rebuilt = Histogram::from_raw(*h.bucket_counts(), h.sum(), 5, 6);
+        assert_eq!(rebuilt, h);
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub use metrics::{MetricsRegistry, MetricsSummary, Phase, PhaseTimer};
 pub use read::{parse_json, JsonError, JsonValue};
 pub use sink::{JsonLinesSink, MemorySink, NullSink, TraceSink};
 pub use telemetry::{
-    HotQuery, LatencyPath, Metric, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceSampler,
+    qlog_micro, FeedbackPlane, HotQuery, LatencyPath, Metric, QErrorSketch, SnapshotRing,
+    SuspectConfig, SuspectVerdict, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceSampler,
 };
 
 /// Global count of trace events ever constructed in this process. Only

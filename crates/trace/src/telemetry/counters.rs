@@ -58,10 +58,19 @@ pub enum Metric {
     SavedNanos,
     /// Wall nanos spent executing plans.
     ExecNanos,
+    /// Rows crossing pipeline breakers (temp materializations plus the
+    /// root pipeline) during execution — the executor's compact per-run
+    /// actuals, counted even when tracing is suppressed.
+    PipelineRows,
+    /// Per-run actuals folded into the feedback plane's Q-error sketches.
+    FeedbackRuns,
+    /// Fingerprints newly flagged suspect by the feedback plane (each
+    /// fingerprint is flagged at most once; the flag is sticky).
+    SuspectFlagged,
 }
 
 impl Metric {
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 23;
 
     pub const ALL: [Metric; Metric::COUNT] = [
         Metric::Requests,
@@ -84,6 +93,9 @@ impl Metric {
         Metric::OptNanos,
         Metric::SavedNanos,
         Metric::ExecNanos,
+        Metric::PipelineRows,
+        Metric::FeedbackRuns,
+        Metric::SuspectFlagged,
     ];
 
     /// The stable exported name (JSON keys, Prometheus metric names,
@@ -110,6 +122,9 @@ impl Metric {
             Metric::OptNanos => "serve_opt_nanos",
             Metric::SavedNanos => "serve_saved_nanos",
             Metric::ExecNanos => "serve_exec_nanos",
+            Metric::PipelineRows => "serve_pipeline_rows",
+            Metric::FeedbackRuns => "serve_feedback_runs",
+            Metric::SuspectFlagged => "serve_suspects_flagged",
         }
     }
 }

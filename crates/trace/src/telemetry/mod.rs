@@ -15,20 +15,30 @@
 //! - [`sample`]: head-based deterministic trace sampling
 //!   (`STARQO_TRACE_SAMPLE=1/N` over the fingerprint hash), so structured
 //!   tracing can stay attached in production at 1/N of its cost.
+//! - [`qerror`]: the feedback plane — bounded per-fingerprint Q-error
+//!   sketches folded from the executor's per-run actuals, with a sticky
+//!   suspect flag when a fingerprint's plan-quality trend crosses the
+//!   configured thresholds.
+//! - [`ring`]: a bounded time-series of snapshot deltas for trend views
+//!   (`starqo-obs watch`).
 //!
 //! The *full* flag gates the second and third tiers (histograms, top-K);
-//! counters never turn off. [`Telemetry::snapshot`] freezes the whole
-//! plane into a [`TelemetrySnapshot`] for JSON/Prometheus export and
-//! interval diffing.
+//! the *feedback* flag gates the Q-error plane; counters never turn off.
+//! [`Telemetry::snapshot`] freezes the whole plane into a
+//! [`TelemetrySnapshot`] for JSON/Prometheus export and interval diffing.
 
 pub mod atomic_hist;
 pub mod counters;
+pub mod qerror;
+pub mod ring;
 pub mod sample;
 pub mod snapshot;
 pub mod topk;
 
 pub use atomic_hist::AtomicHistogram;
 pub use counters::{CounterPlane, Metric};
+pub use qerror::{qlog_micro, FeedbackPlane, QErrorSketch, SuspectConfig, SuspectVerdict};
+pub use ring::SnapshotRing;
 pub use sample::TraceSampler;
 pub use snapshot::TelemetrySnapshot;
 pub use topk::{HotQuery, TopKTracker};
@@ -48,6 +58,14 @@ pub struct TelemetryConfig {
     pub stripes: usize,
     /// Head sampler applied to attached tracers.
     pub sample: TraceSampler,
+    /// Enable the per-fingerprint Q-error feedback plane.
+    pub feedback: bool,
+    /// Feedback-plane shard count (rounded up to a power of two).
+    pub feedback_shards: usize,
+    /// Sketch capacity per feedback shard.
+    pub feedback_capacity: usize,
+    /// Suspect-detection thresholds for the feedback plane.
+    pub suspect: SuspectConfig,
 }
 
 impl Default for TelemetryConfig {
@@ -58,6 +76,10 @@ impl Default for TelemetryConfig {
             topk_shards: 4,
             stripes: 0,
             sample: TraceSampler::all(),
+            feedback: true,
+            feedback_shards: 4,
+            feedback_capacity: 64,
+            suspect: SuspectConfig::default(),
         }
     }
 }
@@ -72,10 +94,11 @@ impl TelemetryConfig {
         }
     }
 
-    /// Counters only: histograms and top-K disabled.
+    /// Counters only: histograms, top-K, and feedback disabled.
     pub fn counters_only() -> TelemetryConfig {
         TelemetryConfig {
             full: false,
+            feedback: false,
             ..TelemetryConfig::default()
         }
     }
@@ -127,6 +150,7 @@ pub struct Telemetry {
     topk: TopKTracker,
     topk_k: usize,
     sampler: TraceSampler,
+    feedback: Option<FeedbackPlane>,
 }
 
 impl Default for Telemetry {
@@ -145,6 +169,13 @@ impl Telemetry {
             topk: TopKTracker::new(config.topk_shards, config.topk.max(1)),
             topk_k: config.topk.max(1),
             sampler: config.sample,
+            feedback: config.feedback.then(|| {
+                FeedbackPlane::new(
+                    config.feedback_shards,
+                    config.feedback_capacity.max(1),
+                    config.suspect,
+                )
+            }),
         }
     }
 
@@ -201,6 +232,41 @@ impl Telemetry {
         }
     }
 
+    /// Whether the Q-error feedback plane is live.
+    pub fn has_feedback(&self) -> bool {
+        self.feedback.is_some()
+    }
+
+    /// Fold one executed run's actuals into the feedback plane: bumps
+    /// [`Metric::FeedbackRuns`], and on a sketch's first threshold
+    /// crossing bumps [`Metric::SuspectFlagged`] and returns the verdict
+    /// so the caller can emit the detection trace event. No-op (`None`)
+    /// when feedback is disabled.
+    pub fn record_feedback(
+        &self,
+        fp: u64,
+        est_rows: u64,
+        actual_rows: u64,
+        nanos: u64,
+        epoch: u64,
+    ) -> Option<SuspectVerdict> {
+        let plane = self.feedback.as_ref()?;
+        self.add(Metric::FeedbackRuns, 1);
+        let verdict = plane.record(fp, est_rows, actual_rows, nanos, epoch);
+        if verdict.is_some() {
+            self.add(Metric::SuspectFlagged, 1);
+        }
+        verdict
+    }
+
+    /// The feedback plane's suspect registry (empty when feedback is off).
+    pub fn suspects(&self) -> Vec<QErrorSketch> {
+        self.feedback
+            .as_ref()
+            .map(FeedbackPlane::suspects)
+            .unwrap_or_default()
+    }
+
     /// Head-sampling decision for a request with an attached tracer:
     /// deterministic on the fingerprint, and counted either way so the
     /// sampled/suppressed split is visible in the counter plane.
@@ -233,6 +299,11 @@ impl Telemetry {
                 .map(|p| (p.name().to_string(), self.hists[*p as usize].snapshot()))
                 .collect(),
             topk: self.topk.snapshot(self.topk_k),
+            qerror: self
+                .feedback
+                .as_ref()
+                .map(FeedbackPlane::snapshot)
+                .unwrap_or_default(),
         }
     }
 }
@@ -245,13 +316,45 @@ mod tests {
     fn counters_stay_live_when_not_full() {
         let t = Telemetry::counters_only();
         assert!(!t.is_full());
+        assert!(!t.has_feedback());
         t.add(Metric::Requests, 3);
         t.observe(LatencyPath::EndToEnd, 500);
         t.record_request(42, 500, 1);
+        assert!(t.record_feedback(42, 10, 1_000, 500, 1).is_none());
         let snap = t.snapshot();
         assert_eq!(snap.counter("serve_requests"), Some(3));
+        assert_eq!(snap.counter("serve_feedback_runs"), Some(0));
         assert!(snap.hist("end_to_end").is_some_and(Histogram::is_empty));
         assert!(snap.topk.is_empty());
+        assert!(snap.qerror.is_empty());
+    }
+
+    #[test]
+    fn feedback_plane_counts_runs_and_flags_suspects() {
+        let t = Telemetry::new(TelemetryConfig {
+            suspect: SuspectConfig {
+                min_runs: 3,
+                ..SuspectConfig::default()
+            },
+            ..TelemetryConfig::default()
+        });
+        assert!(t.has_feedback());
+        // An accurate fingerprint never trips; a drifted one trips once.
+        for i in 0..5u64 {
+            assert!(t.record_feedback(1, 100, 100, 1_000, 0).is_none());
+            let drifted = t.record_feedback(2, 100, 1_600, 2_000, 0);
+            assert_eq!(drifted.is_some(), i == 2, "run {i}");
+        }
+        assert_eq!(t.get(Metric::FeedbackRuns), 10);
+        assert_eq!(t.get(Metric::SuspectFlagged), 1);
+        let suspects = t.suspects();
+        assert_eq!(suspects.len(), 1);
+        assert_eq!(suspects[0].fp, 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.qerror.len(), 2);
+        // Snapshot order: worst geomean first.
+        assert_eq!(snap.qerror[0].fp, 2);
+        assert_eq!(snap.suspects().len(), 1);
     }
     use crate::hist::Histogram;
 

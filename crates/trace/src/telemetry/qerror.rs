@@ -1,0 +1,474 @@
+//! The feedback plane: bounded-memory, per-fingerprint plan-quality
+//! sketches fed by the executor's compact per-run actuals.
+//!
+//! Each served-and-executed request folds one `(estimate, actual, nanos,
+//! epoch)` observation into its fingerprint's [`QErrorSketch`]: a streaming
+//! geometric-mean and max Q-error against the cached plan's cardinality
+//! estimate, a log₂ latency histogram, run counts, and a sticky *suspect*
+//! flag that trips once the sketch crosses the configured
+//! [`SuspectConfig`] thresholds. Detection only: flagging emits a counter
+//! and (at the caller's discretion) a trace event — acting on a suspect
+//! plan is the serving layer's business, not the plane's.
+//!
+//! ## Determinism under concurrency
+//!
+//! Every accumulator is chosen to be commutative and associative so a
+//! concurrent fold bit-matches a serial replay of the same observations:
+//!
+//! - per-run `log₂ Q` is quantized to integer micro-units
+//!   ([`qlog_micro`]) and *summed* — integer addition is order-free,
+//!   unlike floating-point;
+//! - max Q, min/max actual rows, and last-epoch are max/min folds;
+//! - the latency histogram is bucket-count addition;
+//! - the estimate is keyed by epoch (highest epoch wins), and for a fixed
+//!   `(fingerprint, epoch)` the cached plan's estimate is a constant.
+//!
+//! Memory is bounded like the top-K tracker: `shards × capacity` sketches,
+//! with the least-run sketch recycled when a shard overflows.
+
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+use crate::telemetry::sample::mix64;
+
+/// Fixed-point scale for quantized `log₂ Q`: one unit is a millionth of a
+/// doubling. `qlog = 2_000_000` ⇔ `Q = 4`.
+pub const QLOG_SCALE: u64 = 1_000_000;
+
+/// Quantized `log₂` of the Q-error between an estimate and an actual row
+/// count, in [`QLOG_SCALE`] micro-units. `Q = max(est/actual, actual/est)`
+/// with both sides clamped to ≥ 1 row (the standard zero-guard), so a
+/// perfect estimate yields 0 and every error is ≥ 0. Deterministic: a pure
+/// function of the two integers, safe to sum across threads.
+pub fn qlog_micro(est_rows: u64, actual_rows: u64) -> u64 {
+    let (hi, lo) = if est_rows >= actual_rows {
+        (est_rows.max(1), actual_rows.max(1))
+    } else {
+        (actual_rows.max(1), est_rows.max(1))
+    };
+    let q = hi as f64 / lo as f64;
+    (q.log2() * QLOG_SCALE as f64).round().max(0.0) as u64
+}
+
+/// A Q-error in linear terms from its quantized log form.
+pub fn qlog_to_q(qlog: u64) -> f64 {
+    (qlog as f64 / QLOG_SCALE as f64).exp2()
+}
+
+/// One fingerprint's streaming plan-quality sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorSketch {
+    /// Canonical query fingerprint hash.
+    pub fp: u64,
+    /// Executed runs folded in (recycling resets the sketch).
+    pub runs: u64,
+    /// Σ quantized `log₂ Q` over those runs ([`QLOG_SCALE`] micro-units);
+    /// `geomean Q = 2^(sum / runs / SCALE)`.
+    pub qlog_sum_micro: u64,
+    /// Max per-run quantized `log₂ Q`.
+    pub qlog_max_micro: u64,
+    /// The cached plan's estimated root cardinality at the highest epoch
+    /// seen (for a fixed epoch the estimate is a constant of the plan).
+    pub est_rows: u64,
+    /// Smallest actual root cardinality observed.
+    pub actual_min: u64,
+    /// Largest actual root cardinality observed.
+    pub actual_max: u64,
+    /// Log₂ execution-latency histogram over the folded runs.
+    pub nanos: Histogram,
+    /// Highest catalog epoch folded in.
+    pub last_epoch: u64,
+    /// Sticky drift flag: set once when the sketch first crosses the
+    /// suspect thresholds, never cleared while the sketch lives.
+    pub suspect: bool,
+}
+
+impl QErrorSketch {
+    fn new(fp: u64) -> QErrorSketch {
+        QErrorSketch {
+            fp,
+            runs: 0,
+            qlog_sum_micro: 0,
+            qlog_max_micro: 0,
+            est_rows: 0,
+            actual_min: u64::MAX,
+            actual_max: 0,
+            nanos: Histogram::new(),
+            last_epoch: 0,
+            suspect: false,
+        }
+    }
+
+    /// Streaming geometric-mean Q-error (`None` before any run).
+    pub fn geomean_q(&self) -> Option<f64> {
+        (self.runs > 0).then(|| qlog_to_q(self.qlog_sum_micro / self.runs))
+    }
+
+    /// Worst single-run Q-error (`None` before any run).
+    pub fn max_q(&self) -> Option<f64> {
+        (self.runs > 0).then(|| qlog_to_q(self.qlog_max_micro))
+    }
+
+    /// Mean execution latency in nanos (`None` before any run).
+    pub fn mean_nanos(&self) -> Option<u64> {
+        self.nanos.mean().map(|m| m.round().max(0.0) as u64)
+    }
+}
+
+/// Suspect-detection thresholds, in the sketch's own integer units so the
+/// config stays `Copy + Eq` and detection is exactly reproducible. A
+/// sketch becomes suspect when, at `min_runs` or more folded runs, its
+/// geomean or max quantized `log₂ Q` reaches the corresponding threshold,
+/// or its mean execution latency reaches `mean_latency_nanos`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspectConfig {
+    /// Runs a sketch must accumulate before it can be flagged.
+    pub min_runs: u64,
+    /// Geomean threshold in [`QLOG_SCALE`] micro-log₂ units
+    /// (2_000_000 ⇔ geomean Q ≥ 4).
+    pub geomean_qlog_micro: u64,
+    /// Max-single-run threshold in micro-log₂ units
+    /// (4_000_000 ⇔ any-run Q ≥ 16).
+    pub max_qlog_micro: u64,
+    /// Mean execution latency threshold (`u64::MAX` = disabled).
+    pub mean_latency_nanos: u64,
+}
+
+impl Default for SuspectConfig {
+    fn default() -> Self {
+        SuspectConfig {
+            min_runs: 8,
+            geomean_qlog_micro: 2 * QLOG_SCALE,
+            max_qlog_micro: 4 * QLOG_SCALE,
+            mean_latency_nanos: u64::MAX,
+        }
+    }
+}
+
+impl SuspectConfig {
+    /// Which threshold (if any) this sketch currently crosses.
+    fn crossed(&self, s: &QErrorSketch) -> Option<&'static str> {
+        if s.runs < self.min_runs.max(1) {
+            return None;
+        }
+        if s.qlog_sum_micro / s.runs >= self.geomean_qlog_micro {
+            return Some("geomean_q");
+        }
+        if s.qlog_max_micro >= self.max_qlog_micro {
+            return Some("max_q");
+        }
+        if self.mean_latency_nanos != u64::MAX
+            && s.mean_nanos().unwrap_or(0) >= self.mean_latency_nanos
+        {
+            return Some("mean_latency");
+        }
+        None
+    }
+}
+
+/// What a fold that newly flagged its fingerprint reports back, so the
+/// caller can bump counters and emit the detection trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuspectVerdict {
+    pub fp: u64,
+    pub epoch: u64,
+    pub runs: u64,
+    pub geomean_q: f64,
+    pub max_q: f64,
+    /// Which threshold tripped: `geomean_q`, `max_q`, or `mean_latency`.
+    pub reason: &'static str,
+}
+
+/// The sharded, bounded feedback plane. Sharding follows the top-K
+/// tracker: each fingerprint hashes to exactly one shard, each shard is a
+/// small mutex-guarded array, and memory stays fixed at `shards ×
+/// capacity` sketches however many fingerprints flow past. On overflow
+/// the least-run sketch is recycled for the newcomer (its history is the
+/// evicted fingerprint's, so the sketch restarts from zero).
+pub struct FeedbackPlane {
+    shards: Box<[Mutex<Vec<QErrorSketch>>]>,
+    mask: usize,
+    capacity: usize,
+    config: SuspectConfig,
+}
+
+impl std::fmt::Debug for FeedbackPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedbackPlane")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl FeedbackPlane {
+    /// A plane with `shards` shards (rounded up to a power of two), each
+    /// holding at most `capacity` sketches.
+    pub fn new(shards: usize, capacity: usize, config: SuspectConfig) -> FeedbackPlane {
+        let n = shards.max(1).next_power_of_two();
+        FeedbackPlane {
+            shards: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            mask: n - 1,
+            capacity: capacity.max(1),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> SuspectConfig {
+        self.config
+    }
+
+    /// Fold one executed run's actuals into its fingerprint's sketch.
+    /// Returns `Some` exactly when this fold flipped the sticky suspect
+    /// flag (at most once per resident sketch).
+    pub fn record(
+        &self,
+        fp: u64,
+        est_rows: u64,
+        actual_rows: u64,
+        nanos: u64,
+        epoch: u64,
+    ) -> Option<SuspectVerdict> {
+        let shard = &self.shards[(mix64(fp) as usize) & self.mask];
+        let mut entries = shard.lock().unwrap_or_else(|p| p.into_inner());
+        let slot = match entries.iter().position(|e| e.fp == fp) {
+            Some(i) => i,
+            None if entries.len() < self.capacity => {
+                entries.push(QErrorSketch::new(fp));
+                entries.len() - 1
+            }
+            None => {
+                // Recycle the least-informed sketch (fewest runs; ties by
+                // fingerprint for determinism). Unlike space-saving counts,
+                // Q-error sketches must not inherit a stranger's history.
+                let victim = entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| (e.runs, e.fp))
+                    .map(|(i, _)| i)?;
+                entries[victim] = QErrorSketch::new(fp);
+                victim
+            }
+        };
+        let s = &mut entries[slot];
+        s.runs += 1;
+        let qlog = qlog_micro(est_rows, actual_rows);
+        s.qlog_sum_micro += qlog;
+        s.qlog_max_micro = s.qlog_max_micro.max(qlog);
+        if epoch >= s.last_epoch {
+            // For a fixed (fp, epoch) the cached plan's estimate is a
+            // constant, so "highest epoch wins" is order-independent.
+            s.est_rows = est_rows;
+        }
+        s.actual_min = s.actual_min.min(actual_rows);
+        s.actual_max = s.actual_max.max(actual_rows);
+        s.nanos.record(nanos);
+        s.last_epoch = s.last_epoch.max(epoch);
+        if !s.suspect {
+            if let Some(reason) = self.config.crossed(s) {
+                s.suspect = true;
+                return Some(SuspectVerdict {
+                    fp,
+                    epoch: s.last_epoch,
+                    runs: s.runs,
+                    geomean_q: s.geomean_q().unwrap_or(1.0),
+                    max_q: s.max_q().unwrap_or(1.0),
+                    reason,
+                });
+            }
+        }
+        None
+    }
+
+    /// Every resident sketch, worst plan quality first (geomean `log₂ Q`
+    /// descending, ties by fingerprint ascending — an integer sort, so the
+    /// order is exactly reproducible).
+    pub fn snapshot(&self) -> Vec<QErrorSketch> {
+        let mut all: Vec<QErrorSketch> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).clone())
+            .collect();
+        all.sort_unstable_by(|a, b| {
+            let key = |e: &QErrorSketch| e.qlog_sum_micro.checked_div(e.runs).unwrap_or(0);
+            key(b).cmp(&key(a)).then(a.fp.cmp(&b.fp))
+        });
+        all
+    }
+
+    /// The suspect registry: resident sketches with the flag set,
+    /// fingerprint ascending.
+    pub fn suspects(&self) -> Vec<QErrorSketch> {
+        let mut out: Vec<QErrorSketch> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).clone())
+            .filter(|e| e.suspect)
+            .collect();
+        out.sort_unstable_by_key(|e| e.fp);
+        out
+    }
+
+    /// Resident sketches across all shards (≤ shards × capacity).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qlog_micro_is_symmetric_and_zero_guarded() {
+        assert_eq!(qlog_micro(100, 100), 0);
+        assert_eq!(qlog_micro(1, 1), 0);
+        // Q = 4 either way round: exactly two doublings.
+        assert_eq!(qlog_micro(400, 100), 2 * QLOG_SCALE);
+        assert_eq!(qlog_micro(100, 400), 2 * QLOG_SCALE);
+        // Zero rows clamp to one: est 8 vs actual 0 is Q = 8.
+        assert_eq!(qlog_micro(8, 0), 3 * QLOG_SCALE);
+        assert_eq!(qlog_micro(0, 0), 0);
+        // Round-trip through the linear form.
+        assert!((qlog_to_q(2 * QLOG_SCALE) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sketch_streams_geomean_and_max() {
+        let plane = FeedbackPlane::new(1, 8, SuspectConfig::default());
+        // Qs of 2, 8, 2: geomean = (2·8·2)^(1/3) = 32^(1/3) ≈ 3.1748.
+        for (est, actual) in [(100u64, 200u64), (100, 800), (200, 100)] {
+            plane.record(7, est, actual, 1_000, 1);
+        }
+        let snap = plane.snapshot();
+        assert_eq!(snap.len(), 1);
+        let s = &snap[0];
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.qlog_sum_micro, (1 + 3 + 1) * QLOG_SCALE);
+        assert_eq!(s.qlog_max_micro, 3 * QLOG_SCALE);
+        let g = s.geomean_q().unwrap();
+        assert!((g - 32f64.powf(1.0 / 3.0)).abs() < 0.01, "{g}");
+        assert_eq!(s.max_q(), Some(8.0));
+        assert_eq!((s.actual_min, s.actual_max), (100, 800));
+        assert_eq!(s.nanos.count(), 3);
+        assert!(!s.suspect);
+    }
+
+    #[test]
+    fn suspect_flag_trips_once_at_the_threshold() {
+        let config = SuspectConfig {
+            min_runs: 4,
+            geomean_qlog_micro: 2 * QLOG_SCALE, // geomean Q >= 4
+            ..SuspectConfig::default()
+        };
+        let plane = FeedbackPlane::new(2, 8, config);
+        // Three runs at Q = 8: under min_runs, never flagged.
+        for _ in 0..3 {
+            assert!(plane.record(9, 100, 800, 500, 2).is_none());
+        }
+        // Fourth run crosses: flagged exactly once, with the verdict.
+        let v = plane.record(9, 100, 800, 500, 2).expect("flagged");
+        assert_eq!((v.fp, v.runs, v.reason), (9, 4, "geomean_q"));
+        assert_eq!(v.epoch, 2);
+        assert!((v.geomean_q - 8.0).abs() < 1e-6);
+        // Further runs keep the flag but never re-report.
+        assert!(plane.record(9, 100, 800, 500, 2).is_none());
+        assert_eq!(plane.suspects().len(), 1);
+        assert!(plane.suspects()[0].suspect);
+        // An accurate fingerprint never flags.
+        for _ in 0..10 {
+            assert!(plane.record(11, 100, 100, 500, 2).is_none());
+        }
+        assert_eq!(plane.suspects().len(), 1);
+    }
+
+    #[test]
+    fn max_q_threshold_catches_single_bad_runs() {
+        let config = SuspectConfig {
+            min_runs: 2,
+            geomean_qlog_micro: u64::MAX,
+            max_qlog_micro: 4 * QLOG_SCALE, // any-run Q >= 16
+            mean_latency_nanos: u64::MAX,
+        };
+        let plane = FeedbackPlane::new(1, 4, config);
+        assert!(plane.record(5, 10, 10, 100, 0).is_none());
+        let v = plane.record(5, 10, 1_000, 100, 0).expect("flagged");
+        assert_eq!(v.reason, "max_q");
+        assert!((v.max_q - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn latency_threshold_flags_slow_plans() {
+        let config = SuspectConfig {
+            min_runs: 2,
+            geomean_qlog_micro: u64::MAX,
+            max_qlog_micro: u64::MAX,
+            mean_latency_nanos: 10_000,
+        };
+        let plane = FeedbackPlane::new(1, 4, config);
+        assert!(plane.record(5, 10, 10, 9_000, 0).is_none());
+        assert!(plane.record(5, 10, 10, 9_000, 0).is_none());
+        let v = plane.record(5, 10, 10, 50_000, 0).expect("flagged");
+        assert_eq!(v.reason, "mean_latency");
+    }
+
+    #[test]
+    fn memory_stays_bounded_and_recycling_resets_history() {
+        let plane = FeedbackPlane::new(1, 4, SuspectConfig::default());
+        for fp in 0..100u64 {
+            plane.record(fp, 10, 10, 100, 0);
+        }
+        assert!(plane.len() <= 4, "capacity must bound memory");
+        // A heavy fingerprint folded repeatedly survives recycling.
+        for _ in 0..50 {
+            plane.record(1_000, 10, 10, 100, 0);
+        }
+        for fp in 200..260u64 {
+            plane.record(fp, 10, 10, 100, 0);
+        }
+        let snap = plane.snapshot();
+        let heavy = snap.iter().find(|e| e.fp == 1_000).expect("survives");
+        assert_eq!(heavy.runs, 50);
+        // Recycled slots restart from run 1, no inherited Q history.
+        assert!(snap.iter().all(|e| e.qlog_sum_micro == 0));
+    }
+
+    #[test]
+    fn concurrent_fold_bit_matches_serial_replay() {
+        let plane = std::sync::Arc::new(FeedbackPlane::new(4, 16, SuspectConfig::default()));
+        let workload = |tid: u64| -> Vec<(u64, u64, u64, u64)> {
+            (0..400)
+                .map(|i| {
+                    let fp = 0xAB + (i + tid) % 5;
+                    let actual = 10 + ((i * 13 + tid * 7) % 90);
+                    let nanos = 1 + ((i * 37 + tid * 101) % 10_000);
+                    (fp, 20u64, actual, nanos)
+                })
+                .collect()
+        };
+        std::thread::scope(|scope| {
+            for tid in 0..8u64 {
+                let plane = plane.clone();
+                scope.spawn(move || {
+                    for (fp, est, actual, nanos) in workload(tid) {
+                        plane.record(fp, est, actual, nanos, 3);
+                    }
+                });
+            }
+        });
+        let serial = FeedbackPlane::new(4, 16, SuspectConfig::default());
+        for tid in 0..8u64 {
+            for (fp, est, actual, nanos) in workload(tid) {
+                serial.record(fp, est, actual, nanos, 3);
+            }
+        }
+        assert_eq!(plane.snapshot(), serial.snapshot());
+    }
+}

@@ -8,6 +8,7 @@
 use crate::hist::{Histogram, BUCKETS};
 use crate::json::JsonObj;
 use crate::read::{parse_json, JsonValue};
+use crate::telemetry::qerror::QErrorSketch;
 use crate::telemetry::topk::HotQuery;
 
 /// A consistent-enough copy of the whole telemetry plane: counters in
@@ -26,6 +27,10 @@ pub struct TelemetrySnapshot {
     pub latency: Vec<(String, Histogram)>,
     /// Hottest fingerprints by request count, descending.
     pub topk: Vec<HotQuery>,
+    /// The feedback plane's per-fingerprint plan-quality sketches, worst
+    /// geomean Q-error first (empty when feedback is off or nothing has
+    /// executed).
+    pub qerror: Vec<QErrorSketch>,
 }
 
 impl TelemetrySnapshot {
@@ -38,6 +43,16 @@ impl TelemetrySnapshot {
 
     pub fn hist(&self, path: &str) -> Option<&Histogram> {
         self.latency.iter().find(|(k, _)| k == path).map(|(_, v)| v)
+    }
+
+    /// One fingerprint's plan-quality sketch, if resident.
+    pub fn qerror_for(&self, fp: u64) -> Option<&QErrorSketch> {
+        self.qerror.iter().find(|e| e.fp == fp)
+    }
+
+    /// The suspect registry view: flagged sketches, in snapshot order.
+    pub fn suspects(&self) -> Vec<&QErrorSketch> {
+        self.qerror.iter().filter(|e| e.suspect).collect()
     }
 
     /// Warm serves over all serves that produced a plan.
@@ -87,12 +102,31 @@ impl TelemetrySnapshot {
                     .finish()
             })
             .collect();
+        let qerror: Vec<String> = self
+            .qerror
+            .iter()
+            .map(|e| {
+                JsonObj::new()
+                    .u64("fp", e.fp)
+                    .u64("runs", e.runs)
+                    .u64("qlog_sum_micro", e.qlog_sum_micro)
+                    .u64("qlog_max_micro", e.qlog_max_micro)
+                    .u64("est_rows", e.est_rows)
+                    .u64("actual_min", e.actual_min)
+                    .u64("actual_max", e.actual_max)
+                    .raw("nanos", &e.nanos.to_json_full())
+                    .u64("last_epoch", e.last_epoch)
+                    .bool("suspect", e.suspect)
+                    .finish()
+            })
+            .collect();
         JsonObj::new()
-            .u64("version", 1)
+            .u64("version", 2)
             .u64("uptime_nanos", self.uptime_nanos)
             .raw("counters", &counters.finish())
             .raw("latency", &latency.finish())
             .raw("topk", &format!("[{}]", topk.join(",")))
+            .raw("qerror", &format!("[{}]", qerror.join(",")))
             .finish()
     }
 
@@ -142,11 +176,37 @@ impl TelemetrySnapshot {
                 .ok_or("malformed topk entry")?,
             _ => return Err("snapshot missing topk".to_string()),
         };
+        // Version-1 documents predate the feedback plane: absent qerror
+        // parses as empty rather than failing.
+        let qerror = match v.get("qerror") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|e| {
+                    let f = |k: &str| e.get(k).and_then(JsonValue::as_u64);
+                    Some(QErrorSketch {
+                        fp: f("fp")?,
+                        runs: f("runs")?,
+                        qlog_sum_micro: f("qlog_sum_micro")?,
+                        qlog_max_micro: f("qlog_max_micro")?,
+                        est_rows: f("est_rows")?,
+                        actual_min: f("actual_min")?,
+                        actual_max: f("actual_max")?,
+                        nanos: e.get("nanos").and_then(Histogram::from_json_value)?,
+                        last_epoch: f("last_epoch")?,
+                        suspect: e.get("suspect").and_then(JsonValue::as_bool)?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed qerror entry")?,
+            None => Vec::new(),
+            _ => return Err("snapshot qerror is not an array".to_string()),
+        };
         Ok(TelemetrySnapshot {
             uptime_nanos,
             counters,
             latency,
             topk,
+            qerror,
         })
     }
 
@@ -184,6 +244,35 @@ impl TelemetrySnapshot {
                 h.count()
             ));
         }
+        // The same data as a standard Prometheus histogram: cumulative
+        // `le` buckets (log₂ bounds) ending in +Inf, plus _sum/_count.
+        out.push_str("# TYPE starqo_latency_hist_nanos histogram\n");
+        for (path, h) in &self.latency {
+            let counts = h.bucket_counts();
+            let mut cumulative = 0u64;
+            for (b, &n) in counts.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                out.push_str(&format!(
+                    "starqo_latency_hist_nanos_bucket{{path=\"{path}\",le=\"{}\"}} {cumulative}\n",
+                    Histogram::bucket_bounds(b).1
+                ));
+            }
+            out.push_str(&format!(
+                "starqo_latency_hist_nanos_bucket{{path=\"{path}\",le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "starqo_latency_hist_nanos_sum{{path=\"{path}\"}} {}\n",
+                u64::try_from(h.sum()).unwrap_or(u64::MAX)
+            ));
+            out.push_str(&format!(
+                "starqo_latency_hist_nanos_count{{path=\"{path}\"}} {}\n",
+                h.count()
+            ));
+        }
         out.push_str("# TYPE starqo_hot_query_requests gauge\n");
         out.push_str("# TYPE starqo_hot_query_nanos gauge\n");
         for (rank, e) in self.topk.iter().enumerate() {
@@ -193,6 +282,28 @@ impl TelemetrySnapshot {
                 e.count
             ));
             out.push_str(&format!("starqo_hot_query_nanos{{{labels}}} {}\n", e.nanos));
+        }
+        if !self.qerror.is_empty() {
+            out.push_str("# TYPE starqo_plan_qerror_geomean gauge\n");
+            out.push_str("# TYPE starqo_plan_qerror_max gauge\n");
+            out.push_str("# TYPE starqo_plan_qerror_runs gauge\n");
+            out.push_str("# TYPE starqo_plan_suspect gauge\n");
+            for e in &self.qerror {
+                let labels = format!("fp=\"{:#018x}\"", e.fp);
+                out.push_str(&format!(
+                    "starqo_plan_qerror_geomean{{{labels}}} {}\n",
+                    crate::json::num(e.geomean_q().unwrap_or(1.0))
+                ));
+                out.push_str(&format!(
+                    "starqo_plan_qerror_max{{{labels}}} {}\n",
+                    crate::json::num(e.max_q().unwrap_or(1.0))
+                ));
+                out.push_str(&format!("starqo_plan_qerror_runs{{{labels}}} {}\n", e.runs));
+                out.push_str(&format!(
+                    "starqo_plan_suspect{{{labels}}} {}\n",
+                    u64::from(e.suspect)
+                ));
+            }
         }
         out
     }
@@ -238,11 +349,37 @@ impl TelemetrySnapshot {
                 })
             })
             .collect();
+        let qerror: Vec<QErrorSketch> = self
+            .qerror
+            .iter()
+            .filter_map(|e| {
+                let base = prev.qerror_for(e.fp);
+                let (pr, ps) = base.map(|p| (p.runs, p.qlog_sum_micro)).unwrap_or((0, 0));
+                (e.runs > pr).then(|| QErrorSketch {
+                    fp: e.fp,
+                    runs: e.runs - pr,
+                    qlog_sum_micro: e.qlog_sum_micro.saturating_sub(ps),
+                    // Max/min folds and the epoch-keyed estimate are not
+                    // interval-decomposable; the later snapshot's values
+                    // are the correct bounds for the window.
+                    qlog_max_micro: e.qlog_max_micro,
+                    est_rows: e.est_rows,
+                    actual_min: e.actual_min,
+                    actual_max: e.actual_max,
+                    nanos: base
+                        .map(|p| hist_delta(&e.nanos, &p.nanos))
+                        .unwrap_or_else(|| e.nanos.clone()),
+                    last_epoch: e.last_epoch,
+                    suspect: e.suspect,
+                })
+            })
+            .collect();
         TelemetrySnapshot {
             uptime_nanos: self.uptime_nanos.saturating_sub(prev.uptime_nanos),
             counters,
             latency,
             topk,
+            qerror,
         }
     }
 }
@@ -306,7 +443,27 @@ mod tests {
                     last_epoch: 1,
                 },
             ],
+            qerror: vec![sample_sketch()],
         }
+    }
+
+    fn sample_sketch() -> QErrorSketch {
+        let plane = crate::telemetry::qerror::FeedbackPlane::new(
+            1,
+            4,
+            crate::telemetry::qerror::SuspectConfig {
+                min_runs: 2,
+                ..Default::default()
+            },
+        );
+        for (est, actual, nanos) in [
+            (100u64, 400u64, 3_000u64),
+            (100, 800, 4_000),
+            (100, 400, 3_500),
+        ] {
+            plane.record(0xDEAD_BEEF, est, actual, nanos, 2);
+        }
+        plane.snapshot().remove(0)
     }
 
     #[test]
@@ -331,7 +488,11 @@ mod tests {
         assert!(text.contains("starqo_serve_requests_total 100"));
         assert!(text.contains("starqo_latency_nanos{path=\"optimize\",quantile=\"0.99\"}"));
         assert!(text.contains("starqo_latency_nanos_count{path=\"end_to_end\"} 5"));
+        assert!(text.contains("starqo_latency_hist_nanos_bucket{path=\"optimize\",le=\"+Inf\"} 4"));
+        assert!(text.contains("starqo_latency_hist_nanos_count{path=\"optimize\"} 4"));
         assert!(text.contains("starqo_hot_query_requests{fp=\"0x00000000deadbeef\",rank=\"1\"} 60"));
+        assert!(text.contains("starqo_plan_qerror_runs{fp=\"0x00000000deadbeef\"} 3"));
+        assert!(text.contains("starqo_plan_suspect{fp=\"0x00000000deadbeef\"} 1"));
         // Every non-comment line is `name{labels} value` with a numeric value.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (_, value) = line.rsplit_once(' ').expect("name value");
@@ -381,6 +542,34 @@ mod tests {
         assert_eq!((hot.fp, hot.count, hot.nanos), (0xDEAD_BEEF, 35, 50_000));
         // fp 7 absent earlier: full count survives the delta.
         assert_eq!(d.topk[1].count, 40);
+    }
+
+    #[test]
+    fn version1_documents_parse_with_empty_qerror() {
+        // A pre-feedback-plane export: no qerror key at all.
+        let text = r#"{"version":1,"uptime_nanos":5,"counters":{"serve_requests":2},"latency":{},"topk":[]}"#;
+        let parsed = TelemetrySnapshot::from_json(text).expect("v1 parses");
+        assert!(parsed.qerror.is_empty());
+        assert_eq!(parsed.counter("serve_requests"), Some(2));
+    }
+
+    #[test]
+    fn delta_drops_unchanged_sketches_and_subtracts_run_counts() {
+        let later = sample_snapshot();
+        let mut earlier = sample_snapshot();
+        // Earlier saw only the first run of the sketch's three.
+        earlier.qerror[0].runs = 1;
+        earlier.qerror[0].qlog_sum_micro = 2_000_000;
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.qerror.len(), 1);
+        assert_eq!(d.qerror[0].runs, 2);
+        assert_eq!(
+            d.qerror[0].qlog_sum_micro,
+            later.qerror[0].qlog_sum_micro - 2_000_000
+        );
+        // Identical endpoints: the sketch vanishes from the interval.
+        let none = later.delta_since(&later);
+        assert!(none.qerror.is_empty());
     }
 
     #[test]

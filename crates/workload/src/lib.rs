@@ -23,4 +23,4 @@ pub mod synth;
 pub use paper::{dept_emp_catalog, dept_emp_database, dept_emp_query, PAPER_SQL};
 pub use queries::{query_shape, query_shape_param, QueryShape};
 pub use rng::Rng64;
-pub use synth::{synth_catalog, synth_database, SynthSpec};
+pub use synth::{synth_catalog, synth_database, synth_database_scaled, SynthSpec};

@@ -74,16 +74,30 @@ pub fn synth_catalog(seed: u64, spec: &SynthSpec) -> Arc<Catalog> {
 /// uniformly from `T(i+1)`'s ID domain so chain joins have predictable
 /// selectivity.
 pub fn synth_database(seed: u64, cat: Arc<Catalog>) -> Database {
+    synth_database_scaled(seed, cat, 1)
+}
+
+/// Like [`synth_database`], but loads `scale`× the catalog's stated
+/// cardinality into every table *without touching the catalog*: published
+/// statistics and the catalog epoch stay exactly as they were, so every
+/// estimate — and every cached plan built from one — is stale by
+/// construction. `FK` values are drawn from the *scaled* ID domain of the
+/// next table, so chain/star join outputs grow ~`scale`× while cycle and
+/// clique closures keep their (scale-invariant) tiny cardinalities. This
+/// is the drift-injection primitive of the E20 benchmark; `scale == 1` is
+/// bit-identical to [`synth_database`].
+pub fn synth_database_scaled(seed: u64, cat: Arc<Catalog>, scale: u64) -> Database {
+    let scale = scale.max(1);
     let mut rng = Rng64::new(seed.wrapping_add(0x9E3779B97F4A7C15));
     let tables: Vec<_> = cat.tables().to_vec();
     let n = tables.len();
     let mut b = DatabaseBuilder::new(cat);
     for (i, t) in tables.iter().enumerate() {
         let next_card = tables[(i + 1) % n].card.max(1);
-        for id in 0..t.card {
+        for id in 0..t.card * scale {
             let mut row = vec![
                 Value::Int(id as i64),
-                Value::Int(rng.below(next_card) as i64),
+                Value::Int(rng.below(next_card * scale) as i64),
             ];
             for c in 2..t.columns.len() {
                 let ndv = t.columns[c].distinct.unwrap_or(10).max(1);
@@ -131,6 +145,29 @@ mod tests {
         let db = synth_database(7, cat.clone());
         for t in cat.tables() {
             assert_eq!(db.actual_card(t.id), t.card);
+        }
+    }
+
+    #[test]
+    fn scaled_database_drifts_from_catalog_stats() {
+        let spec = SynthSpec {
+            tables: 3,
+            card_range: (10, 50),
+            index_prob: 1.0,
+            ..Default::default()
+        };
+        let cat = synth_catalog(7, &spec);
+        let db = synth_database_scaled(7, cat.clone(), 8);
+        for t in cat.tables() {
+            // The data is 8x the published statistic — the statistic itself
+            // (and so every estimate) is untouched.
+            assert_eq!(db.actual_card(t.id), t.card * 8);
+        }
+        for ix in cat.indexes() {
+            assert_eq!(
+                db.index(ix.id).unwrap().entries(),
+                cat.table(ix.table).card * 8
+            );
         }
     }
 

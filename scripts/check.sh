@@ -72,4 +72,23 @@ grep -q -- "-- hot queries --" target/bench/telemetry_live.txt
 ./target/debug/starqo-obs live --smoke | grep -q "live --smoke ok"
 echo "telemetry smoke passed."
 
+echo "== drift smoke (feedback plane; injected shift -> suspects -> doctor) =="
+cargo build -q --offline -p starqo-bench --bin drift
+# The experiment asserts detection (every drifting fingerprint flagged,
+# zero false suspects on the controls) and the sketch/counter consistency
+# checks internally (non-zero exit on violation); the greps double-check
+# the report, then the exported snapshot must drive watch and doctor.
+./target/debug/drift --smoke > target/bench/drift_smoke.txt
+grep -q "consistency: 0 failures" target/bench/drift_smoke.txt
+grep -q "0 false suspect(s)" target/bench/drift_smoke.txt
+./target/debug/starqo-obs live target/bench/drift_snapshot.json \
+    > target/bench/drift_live.txt
+grep -q "SUSPECT" target/bench/drift_live.txt
+./target/debug/starqo-obs doctor target/bench/drift_snapshot.json \
+    > target/bench/drift_doctor.txt
+grep -q "plan_drift" target/bench/drift_doctor.txt
+./target/debug/starqo-obs watch --smoke | grep -q "watch --smoke ok"
+./target/debug/starqo-obs doctor --smoke | grep -q "doctor --smoke ok"
+echo "drift smoke passed."
+
 echo "All checks passed."

@@ -4,9 +4,12 @@
 //! through both exporters (exactly through JSON, faithfully through the
 //! Prometheus text format).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use starqo_trace::{Histogram, LatencyPath, Metric, Telemetry, TelemetryConfig, TelemetrySnapshot};
+use starqo_trace::{
+    FeedbackPlane, Histogram, LatencyPath, Metric, Telemetry, TelemetryConfig, TelemetrySnapshot,
+};
 
 /// The workload one thread contributes: a deterministic function of its id,
 /// so the expected totals are computable without running anything.
@@ -18,6 +21,30 @@ fn thread_workload(tid: u64) -> Vec<(u64, u64)> {
             let fp = 0xF00D + (i + tid) % 7;
             let nanos = 1 + ((i * 37 + tid * 101) % 10_000);
             (fp, nanos)
+        })
+        .collect()
+}
+
+/// The feedback observations one thread folds: `(fp, est, actual, nanos)`.
+/// Every quantity that ends up in a sketch is an order-independent fold of
+/// this multiset (integer sums, maxes, a constant per-fp estimate), so the
+/// concurrent result must *bit-match* a serial replay. The suspect flag is
+/// kept order-independent too: four fingerprints only ever observe Q ≤ 3
+/// (no prefix can cross the geomean-4 threshold), while the fifth plants
+/// single runs of Q = 20 — past the any-run threshold of 16, which is a
+/// monotone max and trips in every interleaving.
+fn feedback_workload(tid: u64) -> Vec<(u64, u64, u64, u64)> {
+    (0..500)
+        .map(|i| {
+            let fp = 0xBEEF + (i + tid) % 5;
+            let est = 100 + (fp - 0xBEEF) * 10;
+            let factor = if fp == 0xBEEF + 4 && i < 50 {
+                20
+            } else {
+                1 + (i + tid) % 3
+            };
+            let nanos = 1 + ((i * 53 + tid * 11) % 8_000);
+            (fp, est, est * factor, nanos)
         })
         .collect()
 }
@@ -36,6 +63,9 @@ fn concurrent_hammering_matches_the_serial_total() {
                     t.add(Metric::ExecRows, nanos % 13);
                     t.observe(LatencyPath::EndToEnd, nanos);
                     t.record_request(fp, nanos, 3);
+                }
+                for (fp, est, actual, nanos) in feedback_workload(tid) {
+                    let _ = t.record_feedback(fp, est, actual, nanos, 3);
                 }
             });
         }
@@ -79,6 +109,111 @@ fn concurrent_hammering_matches_the_serial_total() {
         assert_eq!(entry.err, 0);
         assert_eq!(entry.last_epoch, 3);
     }
+
+    // The Q-error sketches must bit-match a serial replay of the same
+    // observation multiset: every folded field is order-independent by
+    // construction (see `feedback_workload`), so this is equality of whole
+    // structs — histogram buckets, suspect flags, and all.
+    let config = TelemetryConfig::default();
+    let oracle = FeedbackPlane::new(
+        config.feedback_shards,
+        config.feedback_capacity,
+        config.suspect,
+    );
+    for tid in 0..threads {
+        for (fp, est, actual, nanos) in feedback_workload(tid) {
+            let _ = oracle.record(fp, est, actual, nanos, 3);
+        }
+    }
+    assert_eq!(snap.qerror, oracle.snapshot());
+    assert_eq!(snap.counter("serve_feedback_runs"), Some(threads * 500));
+    // Exactly the planted spiky fingerprint is suspect.
+    let suspects = snap.suspects();
+    assert_eq!(suspects.len(), 1);
+    assert_eq!(suspects[0].fp, 0xBEEF + 4);
+    assert_eq!(snap.counter("serve_suspects_flagged"), Some(1));
+}
+
+/// Property test: whatever interleaving the writers produce, a pair of
+/// successive snapshots is *ordered* — every counter, histogram bucket,
+/// top-K count, and sketch run count in the later snapshot is at least the
+/// earlier one's — and `delta_since` is exactly the difference, never a
+/// wraparound. Monotonicity holds because every stripe, bucket, and
+/// shard-locked entry only ever grows, and a later snapshot reads each one
+/// after the earlier snapshot did.
+#[test]
+fn delta_since_never_underflows_under_concurrent_updates() {
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for tid in 0..4u64 {
+            let t = Arc::clone(&telemetry);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let fp = 0xFEED + (i + tid) % 9;
+                    let nanos = 1 + (i * 29 + tid * 7) % 50_000;
+                    t.add(Metric::Requests, 1);
+                    t.observe(LatencyPath::EndToEnd, nanos);
+                    t.record_request(fp, nanos, tid);
+                    let _ = t.record_feedback(fp, 50, 40 + i % 30, nanos, tid);
+                    i += 1;
+                }
+            });
+        }
+
+        let mut prev = telemetry.snapshot();
+        for _ in 0..200 {
+            let cur = telemetry.snapshot();
+            let delta = cur.delta_since(&prev);
+            for (name, v) in &delta.counters {
+                let c = cur.counter(name).unwrap_or(0);
+                let p = prev.counter(name).unwrap_or(0);
+                assert!(p <= c, "counter {name} went backwards: {p} -> {c}");
+                assert_eq!(*v, c - p, "counter {name} delta");
+            }
+            let empty = Histogram::new();
+            for (path, h) in &delta.latency {
+                let c = cur.hist(path).expect("histogram path");
+                let p = prev.hist(path).unwrap_or(&empty);
+                for (b, ((&d, &cb), &pb)) in h
+                    .bucket_counts()
+                    .iter()
+                    .zip(c.bucket_counts())
+                    .zip(p.bucket_counts())
+                    .enumerate()
+                {
+                    assert!(pb <= cb, "hist {path} bucket {b} went backwards");
+                    assert_eq!(d, cb - pb, "hist {path} bucket {b} delta");
+                }
+                assert!(h.count() <= c.count(), "hist {path} count overflow");
+            }
+            for e in &delta.topk {
+                let c = cur.topk.iter().find(|t| t.fp == e.fp).expect("cur entry");
+                let p = prev.topk.iter().find(|t| t.fp == e.fp);
+                let (p_count, p_nanos) = p.map(|p| (p.count, p.nanos)).unwrap_or((0, 0));
+                assert!(p_count <= c.count, "top-K {:#x} count went backwards", e.fp);
+                assert_eq!(e.count, c.count - p_count, "top-K {:#x} delta", e.fp);
+                assert!(e.nanos <= c.nanos && c.nanos - p_nanos == e.nanos);
+            }
+            for e in &delta.qerror {
+                let c = cur.qerror_for(e.fp).expect("cur sketch");
+                let p_runs = prev.qerror_for(e.fp).map(|p| p.runs).unwrap_or(0);
+                let p_sum = prev.qerror_for(e.fp).map(|p| p.qlog_sum_micro).unwrap_or(0);
+                assert!(p_runs <= c.runs, "sketch {:#x} runs went backwards", e.fp);
+                assert_eq!(e.runs, c.runs - p_runs, "sketch {:#x} runs delta", e.fp);
+                assert_eq!(
+                    e.qlog_sum_micro,
+                    c.qlog_sum_micro - p_sum,
+                    "sketch {:#x} qlog sum delta",
+                    e.fp
+                );
+            }
+            prev = cur;
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
 }
 
 #[test]
@@ -111,6 +246,9 @@ fn snapshot_survives_json_and_prometheus_exposition() {
         telemetry.observe(LatencyPath::CacheHit, nanos);
         telemetry.record_request(fp, nanos, 1);
     }
+    for (fp, est, actual, nanos) in feedback_workload(1) {
+        let _ = telemetry.record_feedback(fp, est, actual, nanos, 1);
+    }
     let snap = telemetry.snapshot();
 
     // JSON is the lossless format: an exact round-trip, bucket for bucket.
@@ -142,4 +280,58 @@ fn snapshot_survives_json_and_prometheus_exposition() {
             entry.count
         )));
     }
+
+    // Standard histogram exposition: the `_sum`/`_count` pair and the
+    // closing `+Inf` bucket must agree with the *JSON-round-tripped*
+    // snapshot, so the two exporters can never drift apart silently.
+    let hit = parsed.hist("cache_hit").expect("cache_hit histogram");
+    assert!(prom.contains("# TYPE starqo_latency_hist_nanos histogram"));
+    assert!(prom.contains(&format!(
+        "starqo_latency_hist_nanos_bucket{{path=\"cache_hit\",le=\"+Inf\"}} {}",
+        hit.count()
+    )));
+    assert!(prom.contains(&format!(
+        "starqo_latency_hist_nanos_sum{{path=\"cache_hit\"}} {}",
+        hit.sum()
+    )));
+    assert!(prom.contains(&format!(
+        "starqo_latency_hist_nanos_count{{path=\"cache_hit\"}} {}",
+        hit.count()
+    )));
+    // Cumulative `le` buckets: the last explicit bound carries the full
+    // count, and bounds appear in increasing order.
+    let mut last_cumulative = 0u64;
+    for line in prom
+        .lines()
+        .filter(|l| l.starts_with("starqo_latency_hist_nanos_bucket{path=\"cache_hit\",le=\""))
+    {
+        let v: u64 = line
+            .rsplit_once(' ')
+            .expect("value")
+            .1
+            .parse()
+            .expect("count");
+        assert!(v >= last_cumulative, "buckets must be cumulative: {line}");
+        last_cumulative = v;
+    }
+    assert_eq!(last_cumulative, hit.count());
+
+    // Plan-quality gauges agree with the parsed sketches (including the
+    // planted suspect from `feedback_workload`).
+    assert!(!parsed.qerror.is_empty());
+    for sketch in &parsed.qerror {
+        let labels = format!("fp=\"{:#018x}\"", sketch.fp);
+        assert!(prom.contains(&format!(
+            "starqo_plan_qerror_runs{{{labels}}} {}",
+            sketch.runs
+        )));
+        assert!(prom.contains(&format!(
+            "starqo_plan_suspect{{{labels}}} {}",
+            u64::from(sketch.suspect)
+        )));
+    }
+    assert!(prom.contains(&format!(
+        "starqo_plan_suspect{{fp=\"{:#018x}\"}} 1",
+        0xBEEFu64 + 4
+    )));
 }
