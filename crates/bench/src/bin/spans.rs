@@ -1,0 +1,18 @@
+//! Experiment binary: the span-tracing benchmark (E21) — the E17 workload
+//! replayed against spans-off, tail-sampled, and full-retention services,
+//! plus the injected-retention scenario (a drifted slow request that must
+//! survive the tail sampler with an oracle-matching tree). Writes
+//! `BENCH_spans.json` with the run's deterministic counters for the
+//! regression gate, and exports the retained trees (`spans.jsonl`,
+//! `spans_trace.json`) for `starqo-obs spans` / `timeline` and
+//! `chrome://tracing`.
+//!
+//! `--smoke` (alias `--quick`) runs the small fleet on 4 threads with a
+//! loose overhead ceiling; the experiment itself asserts the retention and
+//! oracle invariants, so a violated invariant exits non-zero.
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "--smoke");
+    starqo_bench::run_bin("spans", || vec![starqo_bench::spans::e21_spans(quick)]);
+}

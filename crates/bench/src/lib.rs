@@ -25,6 +25,7 @@
 //! | E17 | serving layer: plan-cache throughput + correctness | [`serving::e17_serving`] |
 //! | E19 | live telemetry plane: overhead + snapshot invariants | [`telemetry::e19_telemetry`] |
 //! | E20 | feedback plane: drift detection + overhead | [`drift::e20_drift`] |
+//! | E21 | span tracing: overhead + tail retention proof | [`spans::e21_spans`] |
 
 pub mod chaos;
 pub mod comparison;
@@ -35,6 +36,7 @@ pub mod extensibility;
 pub mod figures;
 pub mod observatory;
 pub mod serving;
+pub mod spans;
 pub mod strategies;
 pub mod telemetry;
 

@@ -23,7 +23,7 @@ use starqo_plan::{
     AccessSpec, CostModel, ExtArg, JoinFlavor, Lolepop, PlanRef, PropCtx, PropEngine,
 };
 use starqo_query::{PredSet, QCol, QSet, Query};
-use starqo_trace::{CostBreakdownEv, Histogram, TraceEvent, Tracer};
+use starqo_trace::{CostBreakdownEv, Histogram, SpanContext, SpanGuard, TraceEvent, Tracer};
 
 use crate::error::{panic_msg, CoreError, Result};
 use crate::faults::{self, FaultPlan};
@@ -123,6 +123,10 @@ pub struct Engine<'a> {
     pub provenance: HashMap<u64, String>,
     /// Structured event sink; `Tracer::off()` by default (zero overhead).
     pub tracer: Tracer,
+    /// Request-scoped span recorder; `SpanContext::off()` by default.
+    /// When live, every non-memoized STAR expansion and top-level Glue
+    /// invocation appends a span to the owning request's tree.
+    pub(crate) spans: SpanContext,
     /// Per-reference inclusive latency distribution (recorded only when a
     /// tracer is attached — timing a reference costs a clock read).
     pub star_nanos: Histogram,
@@ -157,7 +161,12 @@ pub struct Engine<'a> {
     ref_stack: Vec<u64>,
 }
 
-const MAX_DEPTH: u32 = 128;
+/// Default STAR-reference nesting limit (`max_star_depth` overrides). A
+/// safety valve against cyclic definitions: real rule sets nest a handful
+/// of levels, and the valve must trip with comfortable stack headroom on
+/// a 2 MiB thread — at 128 a debug build ran within a few percent of the
+/// guard page before the typed error fired.
+const MAX_DEPTH: u32 = 64;
 
 impl<'a> Engine<'a> {
     #[allow(clippy::too_many_arguments)]
@@ -184,6 +193,7 @@ impl<'a> Engine<'a> {
             stats: OptStats::default(),
             provenance: HashMap::new(),
             tracer: Tracer::off(),
+            spans: SpanContext::off(),
             star_nanos: Histogram::new(),
             plan_cost: Histogram::new(),
             glue_nanos: 0,
@@ -205,6 +215,11 @@ impl<'a> Engine<'a> {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.table.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attach a request's span recorder (per-STAR and Glue spans).
+    pub fn set_spans(&mut self, spans: SpanContext) {
+        self.spans = spans;
     }
 
     /// Nanoseconds spent in top-level Glue invocations so far.
@@ -302,7 +317,11 @@ impl<'a> Engine<'a> {
         self.check_deadline();
         let key = MemoKey { star: id, args };
         let traced = self.tracer.enabled();
-        let ref_id = if traced {
+        let spanned = self.spans.enabled();
+        // Reference ids advance whenever either consumer needs them: trace
+        // events and spans share the same id space, so a span's `meta`
+        // cross-references the `star_ref` events of the same request.
+        let ref_id = if traced || spanned {
             self.next_ref_id += 1;
             self.next_ref_id
         } else {
@@ -339,17 +358,26 @@ impl<'a> Engine<'a> {
             ));
         }
         self.depth += 1;
-        if traced {
+        if traced || spanned {
             self.ref_stack.push(ref_id);
         }
+        // The expansion's span: nested references nest naturally (one
+        // request is expanded by one thread), `meta` carries the ref id.
+        let star_span = if spanned {
+            self.spans
+                .enter_meta(format!("star:{}", self.rules.star(id).name), ref_id)
+        } else {
+            SpanGuard::noop()
+        };
         let start = traced.then(std::time::Instant::now);
         let result = self.eval_star_inner(id, &args);
-        if traced {
+        if traced || spanned {
             self.ref_stack.pop();
         }
         self.depth -= 1;
         let plans = result?;
         let plans = Arc::new(dedup(plans));
+        drop(star_span);
         if let Some(start) = start {
             let nanos = start.elapsed().as_nanos() as u64;
             self.star_nanos.record(nanos);

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use starqo_plan::{AccessSpec, Lolepop, PlanRef};
 use starqo_query::{PredSet, QSet};
-use starqo_trace::TraceEvent;
+use starqo_trace::{SpanGuard, TraceEvent};
 
 use crate::engine::{dedup, Engine, GlueKey};
 use crate::error::{CoreError, Result};
@@ -57,9 +57,17 @@ pub fn glue(
     // itself through AccessRoot's Glue expressions, and nested time is
     // already inside the outer measurement.
     engine.glue_depth += 1;
+    // Only the outermost invocation gets a span — nested Glue time is
+    // already inside it, mirroring the `glue_nanos` accounting below.
+    let glue_span = if engine.glue_depth == 1 && engine.spans.enabled() {
+        engine.spans.enter("glue")
+    } else {
+        SpanGuard::noop()
+    };
     let started = std::time::Instant::now();
     let veneers_before = engine.stats.glue_veneers;
     let result = glue_miss(engine, &stream, pushdown);
+    drop(glue_span);
     engine.glue_depth -= 1;
     if engine.glue_depth == 0 {
         engine.glue_nanos += started.elapsed().as_nanos() as u64;

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use starqo_catalog::Catalog;
 use starqo_plan::{CostModel, ExtPropFn, PlanRef, PropEngine};
 use starqo_query::Query;
-use starqo_trace::{Metric, MetricsRegistry, MetricsSummary, Phase, Telemetry, TraceEvent, Tracer};
+use starqo_trace::{
+    Metric, MetricsRegistry, MetricsSummary, Phase, SpanContext, Telemetry, TraceEvent, Tracer,
+};
 
 use crate::budget::Budget;
 use crate::compile::{compile_into, CompileEnv};
@@ -238,7 +240,23 @@ impl Optimizer {
         tracer: Tracer,
         telemetry: &Telemetry,
     ) -> Result<Optimized> {
-        let out = self.optimize_traced(query, config, tracer)?;
+        self.optimize_spanned(query, config, tracer, telemetry, &SpanContext::off())
+    }
+
+    /// [`Self::optimize_observed`] with a request's span recorder
+    /// attached: the engine records one span per non-memoized STAR
+    /// expansion (`star:<Name>`, `meta` = the `star_ref` id) and per
+    /// top-level Glue invocation, all nested under an `enumerate` span —
+    /// the cold path of the request's span tree.
+    pub fn optimize_spanned(
+        &self,
+        query: &Query,
+        config: &OptConfig,
+        tracer: Tracer,
+        telemetry: &Telemetry,
+        spans: &SpanContext,
+    ) -> Result<Optimized> {
+        let out = self.optimize_inner(query, config, tracer, spans)?;
         telemetry.add(Metric::StarRefs, out.stats.star_refs);
         telemetry.add(Metric::MemoHits, out.stats.memo_hits);
         telemetry.add(Metric::PlansBuilt, out.stats.plans_built);
@@ -255,6 +273,16 @@ impl Optimizer {
         config: &OptConfig,
         tracer: Tracer,
     ) -> Result<Optimized> {
+        self.optimize_inner(query, config, tracer, &SpanContext::off())
+    }
+
+    fn optimize_inner(
+        &self,
+        query: &Query,
+        config: &OptConfig,
+        tracer: Tracer,
+        spans: &SpanContext,
+    ) -> Result<Optimized> {
         let mut metrics = MetricsRegistry::new();
         let mut engine = Engine::new(
             &self.rules,
@@ -266,7 +294,9 @@ impl Optimizer {
             config,
         );
         engine.set_tracer(tracer.clone());
+        engine.set_spans(spans.clone());
         let span = tracer.span("optimize");
+        let enumerate_span = spans.enter("enumerate");
         let timer = metrics.start(Phase::Enumerate);
         // Last-resort containment: panics escaping the engine's per-
         // alternative quarantine (e.g. from driver-level Glue) surface as
@@ -281,6 +311,7 @@ impl Optimizer {
                 }),
             };
         metrics.finish(timer);
+        drop(enumerate_span);
         drop(span);
         let out = out?;
         // Emit the winning plan's lineage: one pre-order `best_node` per

@@ -16,7 +16,9 @@ use starqo_catalog::{Value, TID_COL};
 use starqo_plan::{AccessSpec, JoinFlavor, Lolepop, PlanNode, PlanRef};
 use starqo_query::{Classifier, CmpOp, PredSet, QCol, QId, Query, Scalar};
 use starqo_storage::{Database, Tid, Tuple, ROWS_PER_PAGE};
-use starqo_trace::{LatencyPath, Metric, NodeActuals, Telemetry, TraceEvent, Tracer};
+use starqo_trace::{
+    LatencyPath, Metric, NodeActuals, SpanContext, SpanGuard, Telemetry, TraceEvent, Tracer,
+};
 
 use crate::error::{ExecError, Result};
 use crate::result::{project_rows, QueryResult};
@@ -89,6 +91,9 @@ pub struct Executor<'a> {
     /// Live metrics plane; when attached, [`Self::run`] records
     /// executions, rows out, wall nanos, and the execute-latency histogram.
     telemetry: Option<Arc<Telemetry>>,
+    /// Request-scoped span recorder; when live, the root pipeline and
+    /// every STORE materialization (pipeline breakers) record spans.
+    spans: SpanContext,
 }
 
 impl<'a> Executor<'a> {
@@ -105,6 +110,7 @@ impl<'a> Executor<'a> {
             node_stats: HashMap::new(),
             fault_hook: None,
             telemetry: None,
+            spans: SpanContext::off(),
         }
     }
 
@@ -134,6 +140,12 @@ impl<'a> Executor<'a> {
         self.telemetry = Some(telemetry);
     }
 
+    /// Attach a request's span recorder (root pipeline + STORE
+    /// materialization spans).
+    pub fn set_spans(&mut self, spans: SpanContext) {
+        self.spans = spans;
+    }
+
     /// Actuals per plan-node fingerprint gathered so far.
     pub fn node_actuals(&self) -> &HashMap<u64, NodeActuals> {
         &self.node_stats
@@ -156,11 +168,22 @@ impl<'a> Executor<'a> {
     /// [`ExecError::Panicked`] — never a process abort.
     pub fn run(&mut self, plan: &PlanRef) -> Result<QueryResult> {
         let started = Instant::now();
+        // The root pipeline's span (`meta` = rows out); STORE subtrees
+        // record their own `pipeline:store` children as they materialize.
+        let mut pipeline_span = if self.spans.enabled() {
+            self.spans.enter(format!("pipeline:{}", plan.op.name()))
+        } else {
+            SpanGuard::noop()
+        };
         let out =
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner(plan))) {
                 Ok(r) => r,
                 Err(payload) => Err(ExecError::Panicked(panic_msg(payload))),
             };
+        if let Ok(result) = &out {
+            pipeline_span.set_meta(result.rows.len() as u64);
+        }
+        drop(pipeline_span);
         if let (Some(t), Ok(result)) = (&self.telemetry, &out) {
             let nanos = started.elapsed().as_nanos() as u64;
             t.add(Metric::Executions, 1);
@@ -333,7 +356,14 @@ impl<'a> Executor<'a> {
         if let Some(hit) = self.temp_cache.get(&key) {
             return Ok(hit.clone());
         }
+        let mut store_span = if self.spans.enabled() && matches!(node.op, Lolepop::Store) {
+            self.spans.enter("pipeline:store")
+        } else {
+            SpanGuard::noop()
+        };
         let rows = Arc::new(self.eval(node, bindings)?);
+        store_span.set_meta(rows.len() as u64);
+        drop(store_span);
         if !is_correlated(node, self.query) {
             // Count a temp materialization only for STORE nodes themselves
             // (not for the cached children they wrap).

@@ -30,7 +30,7 @@ use std::fmt::Write as _;
 use starqo_trace::json::JsonObj;
 use starqo_trace::{CostBreakdownEv, Histogram, TraceEvent};
 
-use crate::profile::fmt_nanos;
+use crate::fmt::fmt_nanos;
 
 /// Fixed-point factor used when recording Q-errors (which are ≥ 1.0 floats)
 /// into the integer log₂ [`Histogram`]: `record(round(q × 1000))`.

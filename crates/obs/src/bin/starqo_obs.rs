@@ -16,8 +16,13 @@
 //!                     [--interval-ms N] [--once] [--json]
 //! starqo-obs watch --smoke                          synthetic watch-loop check
 //! starqo-obs doctor   <snapshot.json>               one-shot health verdict
-//!                     [--enforce]
+//!                     [--enforce] [--json <out>]
 //! starqo-obs doctor --smoke                         synthetic doctor check
+//! starqo-obs spans    <spans.jsonl>                 retained-request table
+//!                     [--limit N] [--chrome <out.json>]
+//! starqo-obs spans --smoke                          synthetic spans check
+//! starqo-obs timeline <spans.jsonl> --request <id>  per-request waterfall
+//! starqo-obs timeline --smoke                       synthetic waterfall check
 //! ```
 //!
 //! `gate` is report-only by default (always exits 0, for observability in
@@ -28,10 +33,12 @@
 use std::process::ExitCode;
 
 use starqo_obs::{
-    calibrate, gate, smoke_sequence, smoke_snapshot, AccuracyReport, Diagnosis, FlameTree,
-    LiveReport, Profile, Thresholds, TraceDiff, Watcher,
+    calibrate, gate, smoke_sequence, smoke_snapshot, smoke_trees, AccuracyReport, Diagnosis,
+    FlameTree, LiveReport, Profile, SpanReport, Thresholds, TraceDiff, Watcher,
 };
-use starqo_trace::{load_jsonl, TelemetrySnapshot, TraceEvent};
+use starqo_trace::{
+    from_chrome_trace, load_jsonl, read_span_trees, to_chrome_trace, TelemetrySnapshot, TraceEvent,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +55,9 @@ fn main() -> ExitCode {
     let mut prom = false;
     let mut once = false;
     let mut interval_ms: u64 = 2_000;
+    let mut chrome_out: Option<&str> = None;
+    let mut request_id: Option<u64> = None;
+    let mut limit: usize = 20;
     let mut it = args.iter().map(String::as_str);
     while let Some(a) = it.next() {
         match a {
@@ -72,6 +82,18 @@ fn main() -> ExitCode {
             "--out" => match it.next() {
                 Some(p) => profile_out = Some(p),
                 None => return usage("--out needs a path"),
+            },
+            "--chrome" => match it.next() {
+                Some(p) => chrome_out = Some(p),
+                None => return usage("--chrome needs a path"),
+            },
+            "--request" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => request_id = Some(v),
+                None => return usage("--request needs a request id"),
+            },
+            "--limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => limit = v,
+                None => return usage("--limit needs a number"),
             },
             "--wall-pct" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => wall_pct = Some(v),
@@ -291,6 +313,13 @@ fn main() -> ExitCode {
                 eprintln!("starqo-obs doctor --smoke: expected findings missing");
                 return ExitCode::FAILURE;
             }
+            if let Some(p) = json_out {
+                if let Err(e) = std::fs::write(p, d.to_json() + "\n") {
+                    eprintln!("starqo-obs doctor --smoke: cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("json verdict written to {p}");
+            }
             println!("doctor --smoke ok");
             ExitCode::SUCCESS
         }
@@ -305,6 +334,13 @@ fn main() -> ExitCode {
             match run() {
                 Ok(d) => {
                     print!("{}", d.render());
+                    if let Some(p) = json_out {
+                        if let Err(e) = std::fs::write(p, d.to_json() + "\n") {
+                            eprintln!("starqo-obs doctor: cannot write {p}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("json verdict written to {p}");
+                    }
                     if enforce && d.crit_count() > 0 {
                         ExitCode::FAILURE
                     } else {
@@ -317,7 +353,101 @@ fn main() -> ExitCode {
                 }
             }
         }
+        ["spans"] if smoke => {
+            // Synthetic spans check: render the table and push the trees
+            // through the JSONL and Chrome exports and back.
+            let trees = smoke_trees();
+            let jsonl: String = trees.iter().map(|t| t.to_json() + "\n").collect();
+            let (back, skipped) = read_span_trees(&jsonl);
+            if skipped > 0 || back != trees {
+                eprintln!("starqo-obs spans --smoke: JSONL round-trip failed");
+                return ExitCode::FAILURE;
+            }
+            match from_chrome_trace(&to_chrome_trace(&trees)) {
+                Ok(back) if back == trees => {}
+                _ => {
+                    eprintln!("starqo-obs spans --smoke: Chrome round-trip failed");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(p) = chrome_out {
+                if let Err(e) = std::fs::write(p, to_chrome_trace(&trees) + "\n") {
+                    eprintln!("starqo-obs spans --smoke: cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("chrome trace written to {p}");
+            }
+            print!("{}", SpanReport::new(trees).render_table(limit));
+            println!("spans --smoke ok");
+            ExitCode::SUCCESS
+        }
+        ["spans", path] => with_spans(path, |trees| {
+            if let Some(p) = chrome_out {
+                if let Err(e) = std::fs::write(p, to_chrome_trace(&trees) + "\n") {
+                    eprintln!("starqo-obs spans: cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("chrome trace written to {p}");
+            }
+            print!("{}", SpanReport::new(trees).render_table(limit));
+            ExitCode::SUCCESS
+        }),
+        ["timeline"] if smoke => {
+            let report = SpanReport::new(smoke_trees());
+            let id = request_id
+                .or_else(|| report.trees().first().map(|t| t.request_id))
+                .unwrap_or(0);
+            match report.render_waterfall(id) {
+                Some(text) => {
+                    print!("{text}");
+                    println!("timeline --smoke ok");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("starqo-obs timeline --smoke: request {id} not retained");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ["timeline", path] => with_spans(path, |trees| {
+            let report = SpanReport::new(trees);
+            // Default to the slowest retained request (display order).
+            let id = request_id
+                .or_else(|| report.trees().first().map(|t| t.request_id))
+                .unwrap_or(0);
+            match report.render_waterfall(id) {
+                Some(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!(
+                        "starqo-obs timeline: request {id} not retained ({} tree(s) in {path})",
+                        report.trees().len()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }),
         _ => usage("expected a subcommand"),
+    }
+}
+
+/// Load a span-tree JSONL file and hand it to `f`; unparsable lines are
+/// skipped with a note on stderr.
+fn with_spans(path: &str, f: impl FnOnce(Vec<starqo_trace::SpanTree>) -> ExitCode) -> ExitCode {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let (trees, skipped) = read_span_trees(&text);
+            if skipped > 0 {
+                eprintln!("starqo-obs: skipped {skipped} unparsable line(s) in {path}");
+            }
+            f(trees)
+        }
+        Err(e) => {
+            eprintln!("starqo-obs: cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -343,7 +473,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("starqo-obs: {err}");
     }
     eprintln!(
-        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs accuracy <trace.jsonl> [--json <out.json>]\n  starqo-obs calibrate <trace.jsonl> [--out <profile.json>]\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce|--enforce-counters]\n  starqo-obs live <snapshot.json> [--since <prev.json>] [--prom]\n  starqo-obs live --smoke [--prom]\n  starqo-obs watch <snapshot.json> [--interval-ms N] [--once] [--json <out.json>]\n  starqo-obs watch --smoke\n  starqo-obs doctor <snapshot.json> [--enforce]\n  starqo-obs doctor --smoke"
+        "usage:\n  starqo-obs profile <trace.jsonl>\n  starqo-obs flame <trace.jsonl> [--folded]\n  starqo-obs diff <a.jsonl> <b.jsonl>\n  starqo-obs accuracy <trace.jsonl> [--json <out.json>]\n  starqo-obs calibrate <trace.jsonl> [--out <profile.json>]\n  starqo-obs gate <baseline.json> <fresh.json> [--wall-pct N] [--counter-pct N] [--enforce|--enforce-counters]\n  starqo-obs live <snapshot.json> [--since <prev.json>] [--prom]\n  starqo-obs live --smoke [--prom]\n  starqo-obs watch <snapshot.json> [--interval-ms N] [--once] [--json <out.json>]\n  starqo-obs watch --smoke\n  starqo-obs doctor <snapshot.json> [--enforce] [--json <out.json>]\n  starqo-obs doctor --smoke\n  starqo-obs spans <spans.jsonl> [--limit N] [--chrome <out.json>]\n  starqo-obs spans --smoke [--chrome <out.json>]\n  starqo-obs timeline <spans.jsonl> [--request <id>]\n  starqo-obs timeline --smoke"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

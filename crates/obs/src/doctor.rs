@@ -5,6 +5,7 @@
 //! an overall verdict. Detection and advice only: the doctor never
 //! mutates anything.
 
+use starqo_trace::json::JsonObj;
 use starqo_trace::TelemetrySnapshot;
 
 /// How much a finding should worry the operator.
@@ -171,6 +172,31 @@ impl Diagnosis {
             );
         }
 
+        // Span-store saturation: the tail sampler keeps retaining but the
+        // bounded store is recycling trees — slow outliers silently age out
+        // before anyone looks at them.
+        let span_drops = c("serve_spans_dropped");
+        if s.span_evicted > 0 {
+            push(
+                Severity::Warn,
+                "span_saturation",
+                format!(
+                    "{} retained span tree(s) evicted from a {}-slot store \
+                     (raise span_store or tighten the tail quantile)",
+                    s.span_evicted, s.span_capacity
+                ),
+            );
+        } else if c("serve_spans_kept") == 0 && span_drops > 0 {
+            push(
+                Severity::Info,
+                "span_saturation",
+                format!(
+                    "tail sampler dropped all {span_drops} request(s) — nothing slow, \
+                     errored, or suspect in this window"
+                ),
+            );
+        }
+
         // Feedback coverage: executions happening but nothing folding
         // means the feedback plane is disabled and drift is invisible.
         if c("serve_executions") > 0 && c("serve_feedback_runs") == 0 {
@@ -200,6 +226,29 @@ impl Diagnosis {
 
     fn count(&self, sev: Severity) -> usize {
         self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// The verdict as machine-readable JSON (parity with `watch --json`):
+    /// findings sorted most-severe-first, plus the aggregate verdict.
+    pub fn to_json(&self) -> String {
+        let mut ordered = self.findings.clone();
+        ordered.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        let findings: Vec<String> = ordered
+            .iter()
+            .map(|f| {
+                JsonObj::new()
+                    .str("severity", f.severity.tag())
+                    .str("check", f.check)
+                    .str("detail", &f.detail)
+                    .finish()
+            })
+            .collect();
+        JsonObj::new()
+            .bool("healthy", self.healthy())
+            .u64("crit", self.crit_count() as u64)
+            .u64("warn", self.warn_count() as u64)
+            .raw("findings", &format!("[{}]", findings.join(",")))
+            .finish()
     }
 
     pub fn render(&self) -> String {
@@ -283,6 +332,64 @@ mod tests {
         assert!(text.contains("[CRIT] admission: 7"));
         // Criticals sort above warnings and infos.
         assert!(text.find("[CRIT]").unwrap() < text.find("verdict").unwrap());
+    }
+
+    #[test]
+    fn span_store_eviction_warns_and_all_dropped_window_is_info() {
+        let mut s = smoke_snapshot();
+        s.qerror.clear();
+        s.topk.clear();
+        s.span_evicted = 9;
+        let d = Diagnosis::from_snapshot(&s);
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.check == "span_saturation")
+            .expect("span_saturation finding");
+        assert_eq!(f.severity, Severity::Warn);
+        assert!(f.detail.contains("9 retained span tree(s)"), "{}", f.detail);
+        // A window where the tail sampler kept nothing is context, not a
+        // fault: there was simply nothing worth retaining.
+        s.span_evicted = 0;
+        for (name, v) in s.counters.iter_mut() {
+            if name == "serve_spans_kept" {
+                *v = 0;
+            }
+        }
+        let d = Diagnosis::from_snapshot(&s);
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.check == "span_saturation")
+            .expect("span_saturation finding");
+        assert_eq!(f.severity, Severity::Info);
+    }
+
+    #[test]
+    fn json_verdict_parses_and_sorts_most_severe_first() {
+        use starqo_trace::{parse_json, JsonValue};
+        let mut s = smoke_snapshot();
+        for (name, v) in s.counters.iter_mut() {
+            if name == "serve_errors" {
+                *v = 2;
+            }
+        }
+        let d = Diagnosis::from_snapshot(&s);
+        let v = parse_json(&d.to_json()).expect("doctor json parses");
+        assert_eq!(v.get("healthy").and_then(|x| x.as_bool()), Some(false));
+        assert_eq!(v.get("crit").and_then(|x| x.as_u64()), Some(1));
+        let Some(JsonValue::Arr(findings)) = v.get("findings") else {
+            panic!("findings array");
+        };
+        assert!(!findings.is_empty());
+        assert_eq!(
+            findings[0].get("severity").and_then(|x| x.as_str()),
+            Some("CRIT")
+        );
+        assert_eq!(
+            findings[0].get("check").and_then(|x| x.as_str()),
+            Some("errors")
+        );
     }
 
     #[test]

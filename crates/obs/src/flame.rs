@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 
 use starqo_trace::TraceEvent;
 
-use crate::profile::fmt_nanos;
+use crate::fmt::fmt_nanos;
 
 /// One aggregated frame of the expansion tree.
 #[derive(Debug, Clone, Default)]
@@ -264,6 +264,6 @@ mod tests {
         let text = FlameTree::from_events(&trace_one_star()).render();
         assert!(text.contains("JoinRoot"), "{text}");
         assert!(text.contains("JMeth"), "{text}");
-        assert!(text.contains("2.0us"), "{text}");
+        assert!(text.contains("2.0µs"), "{text}");
     }
 }

@@ -1,0 +1,55 @@
+//! Shared terminal formatting helpers: every obs section renders durations
+//! and trend series the same way, so the helpers live here rather than in
+//! whichever report happened to need them first.
+
+/// Humanize a nano count: `999ns`, `12.3µs`, `4.56ms`, `7.89s`.
+pub fn fmt_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", n / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", n / 1e6)
+    } else {
+        format!("{:.2}s", n / 1e9)
+    }
+}
+
+/// A unicode sparkline over the series, scaled to its own max.
+pub fn sparkline(series: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().copied().max().unwrap_or(0);
+    series
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                BARS[0]
+            } else {
+                BARS[((v as u128 * (BARS.len() as u128 - 1)).div_ceil(max as u128)) as usize]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_nanos_picks_sane_units() {
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(12_300), "12.3µs");
+        assert_eq!(fmt_nanos(4_560_000), "4.56ms");
+        assert_eq!(fmt_nanos(7_890_000_000), "7.89s");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let line = sparkline(&[1, 4, 8]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+    }
+}

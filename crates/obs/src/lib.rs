@@ -37,9 +37,11 @@ pub mod calibrate;
 pub mod diff;
 pub mod doctor;
 pub mod flame;
+pub mod fmt;
 pub mod gate;
 pub mod live;
 pub mod profile;
+pub mod spans;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod watch;
@@ -49,8 +51,10 @@ pub use calibrate::{fit, samples, CalibFit, CalibSample};
 pub use diff::TraceDiff;
 pub use doctor::{Diagnosis, Finding, Severity};
 pub use flame::FlameTree;
+pub use fmt::{fmt_nanos, sparkline};
 pub use gate::{gate, GateResult, Thresholds, Violation};
-pub use live::{fmt_nanos, smoke_snapshot, LiveReport};
+pub use live::{smoke_snapshot, LiveReport};
 pub use profile::{LineageRow, Profile, StarProfile};
+pub use spans::{smoke_trees, SpanReport};
 pub use starqo_plan::CostCalibration;
-pub use watch::{smoke_sequence, sparkline, Watcher};
+pub use watch::{smoke_sequence, Watcher};

@@ -7,6 +7,8 @@
 
 use starqo_trace::{Histogram, TelemetrySnapshot};
 
+use crate::fmt::fmt_nanos;
+
 /// A renderable view over one snapshot (lifetime or interval).
 #[derive(Debug, Clone)]
 pub struct LiveReport {
@@ -89,6 +91,13 @@ impl LiveReport {
                 "  tracing         {sampled} sampled / {unsampled} suppressed\n"
             ));
         }
+        let (kept, dropped) = (c("serve_spans_kept"), c("serve_spans_dropped"));
+        if kept + dropped > 0 || s.span_capacity > 0 {
+            out.push_str(&format!(
+                "  spans           {kept} kept / {dropped} dropped   store {}/{} resident   {} evicted\n",
+                s.span_resident, s.span_capacity, s.span_evicted
+            ));
+        }
         out.push_str(&format!(
             "  optimizer work  {} star refs   {} memo hits   {} plans built   {} glue refs\n",
             c("opt_star_refs"),
@@ -113,6 +122,24 @@ impl LiveReport {
                 fmt_quantile(h, 0.999),
                 h.max().map(fmt_nanos).unwrap_or_else(|| "-".into())
             ));
+        }
+
+        if !s.phases.is_empty() {
+            out.push_str("\n-- phases --\n");
+            out.push_str(&format!(
+                "  {:<12} {:>9} {:>10} {:>10}\n",
+                "phase", "count", "total", "mean"
+            ));
+            for (name, nanos, count) in &s.phases {
+                let mean = nanos.checked_div(*count).unwrap_or(0);
+                out.push_str(&format!(
+                    "  {:<12} {:>9} {:>10} {:>10}\n",
+                    name,
+                    count,
+                    fmt_nanos(*nanos),
+                    fmt_nanos(mean)
+                ));
+            }
         }
 
         out.push_str("\n-- hot queries --\n");
@@ -199,20 +226,6 @@ fn fmt_quantile(h: &Histogram, q: f64) -> String {
     h.quantile(q).map(fmt_nanos).unwrap_or_else(|| "-".into())
 }
 
-/// Humanize a nano count: `999ns`, `12.3µs`, `4.56ms`, `7.89s`.
-pub fn fmt_nanos(nanos: u64) -> String {
-    let n = nanos as f64;
-    if nanos < 1_000 {
-        format!("{nanos}ns")
-    } else if nanos < 1_000_000 {
-        format!("{:.1}µs", n / 1e3)
-    } else if nanos < 1_000_000_000 {
-        format!("{:.2}ms", n / 1e6)
-    } else {
-        format!("{:.2}s", n / 1e9)
-    }
-}
-
 /// A deterministic synthetic snapshot for smoke-testing the dashboard
 /// pipeline (render + JSON + Prometheus) without a live service.
 pub fn smoke_snapshot() -> TelemetrySnapshot {
@@ -258,7 +271,20 @@ pub fn smoke_snapshot() -> TelemetrySnapshot {
             ("serve_pipeline_rows".into(), 2_400),
             ("serve_feedback_runs".into(), 200),
             ("serve_suspects_flagged".into(), 1),
+            ("serve_spans_kept".into(), 6),
+            ("serve_spans_dropped".into(), 194),
         ],
+        phases: vec![
+            ("prepare".into(), 400_000, 200),
+            ("cache_lookup".into(), 600_000, 196),
+            ("enumerate".into(), 7_200_000, 4),
+            ("glue".into(), 900_000, 4),
+            ("compile".into(), 300_000, 4),
+            ("execute".into(), 9_000_000, 200),
+        ],
+        span_resident: 6,
+        span_capacity: 64,
+        span_evicted: 0,
         latency: vec![
             ("optimize".into(), optimize),
             ("cache_hit".into(), cache_hit),
@@ -320,6 +346,11 @@ mod tests {
         }
         assert!(text.contains("-- hot queries --"));
         assert!(text.contains("0x00000000000a11ce"));
+        // Span retention + cold-path phase attribution sections.
+        assert!(text.contains("6 kept / 194 dropped"), "{text}");
+        assert!(text.contains("store 6/64 resident"), "{text}");
+        assert!(text.contains("-- phases --"), "{text}");
+        assert!(text.contains("cache_lookup"), "{text}");
         // Quantiles are real values, not placeholders, for non-empty paths.
         let latency_line = text
             .lines()
@@ -363,13 +394,5 @@ mod tests {
         let prom = snap.to_prometheus();
         assert!(prom.contains("starqo_serve_requests_total 200"));
         assert!(prom.contains("quantile=\"0.999\""));
-    }
-
-    #[test]
-    fn fmt_nanos_picks_sane_units() {
-        assert_eq!(fmt_nanos(999), "999ns");
-        assert_eq!(fmt_nanos(12_300), "12.3µs");
-        assert_eq!(fmt_nanos(4_560_000), "4.56ms");
-        assert_eq!(fmt_nanos(7_890_000_000), "7.89s");
     }
 }

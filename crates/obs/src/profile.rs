@@ -16,6 +16,8 @@ use std::fmt::Write as _;
 
 use starqo_trace::TraceEvent;
 
+use crate::fmt::fmt_nanos;
+
 /// Everything attributed to one STAR across a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StarProfile {
@@ -449,20 +451,6 @@ impl Profile {
             }
         }
         out
-    }
-}
-
-/// ns → human units.
-pub(crate) fn fmt_nanos(nanos: u64) -> String {
-    let n = nanos as f64;
-    if n >= 1e9 {
-        format!("{:.2}s", n / 1e9)
-    } else if n >= 1e6 {
-        format!("{:.1}ms", n / 1e6)
-    } else if n >= 1e3 {
-        format!("{:.1}us", n / 1e3)
-    } else {
-        format!("{nanos}ns")
     }
 }
 

@@ -7,6 +7,7 @@
 
 use starqo_trace::{SnapshotRing, TelemetrySnapshot};
 
+use crate::fmt::sparkline;
 use crate::live::LiveReport;
 
 /// Stateful watch loop driver: feed it the latest absolute snapshot every
@@ -111,31 +112,9 @@ impl LiveReport {
     fn interval_render(&self) -> String {
         // `LiveReport::since` against an empty baseline keeps the data but
         // flips the header to "interval".
-        let empty = TelemetrySnapshot {
-            uptime_nanos: 0,
-            counters: Vec::new(),
-            latency: Vec::new(),
-            topk: Vec::new(),
-            qerror: Vec::new(),
-        };
+        let empty = TelemetrySnapshot::default();
         LiveReport::since(self.snapshot(), &empty).render()
     }
-}
-
-/// A unicode sparkline over the series, scaled to its own max.
-pub fn sparkline(series: &[u64]) -> String {
-    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let max = series.iter().copied().max().unwrap_or(0);
-    series
-        .iter()
-        .map(|&v| {
-            if max == 0 {
-                BARS[0]
-            } else {
-                BARS[((v as u128 * (BARS.len() as u128 - 1)).div_ceil(max as u128)) as usize]
-            }
-        })
-        .collect()
 }
 
 /// A deterministic sequence of absolute snapshots for smoke-testing the
@@ -205,14 +184,5 @@ mod tests {
             w.ring().counter_series("serve_suspects_flagged"),
             vec![0, 1, 0]
         );
-    }
-
-    #[test]
-    fn sparkline_scales_to_max() {
-        assert_eq!(sparkline(&[]), "");
-        assert_eq!(sparkline(&[0, 0]), "▁▁");
-        let line = sparkline(&[1, 4, 8]);
-        assert_eq!(line.chars().count(), 3);
-        assert!(line.ends_with('█'));
     }
 }

@@ -9,7 +9,8 @@ use starqo_exec::{Executor, QueryResult};
 use starqo_query::{canonicalize, CanonicalQuery, Query, QueryFingerprint};
 use starqo_storage::Database;
 use starqo_trace::{
-    LatencyPath, Metric, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceEvent, Tracer,
+    LatencyPath, Metric, PhaseKind, SpanContext, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    TraceEvent, Tracer,
 };
 
 use crate::admission::OptGate;
@@ -265,9 +266,13 @@ impl Service {
     /// Canonicalize + fingerprint a query. Pure computation — callers may
     /// prepare once and optimize many times.
     pub fn prepare(&self, query: &Query) -> Prepared {
-        Prepared {
+        let started = Instant::now();
+        let prepared = Prepared {
             canonical: canonicalize(query),
-        }
+        };
+        self.telemetry
+            .record_phase(PhaseKind::Prepare, started.elapsed().as_nanos() as u64);
+        prepared
     }
 
     /// The live telemetry plane (share it with executors, exporters, or a
@@ -333,8 +338,17 @@ impl Service {
 
     /// Optimize a query end-to-end: prepare, then serve.
     pub fn optimize(&self, query: &Query) -> Result<ServeOutcome, ServeError> {
-        let prepared = self.prepare(query);
-        self.optimize_prepared(&prepared, None)
+        let ctx = self.telemetry.span_context();
+        let root = ctx.enter("request");
+        let prepared = self.prepare_spanned(query, &ctx);
+        let result = self.serve_prepared(&prepared, None, &ctx);
+        drop(root);
+        self.retire_spans(
+            &ctx,
+            prepared.canonical.fingerprint.hash,
+            result.as_ref().ok(),
+        );
+        result
     }
 
     /// Serve one prepared query, with an optional per-request deadline
@@ -347,6 +361,26 @@ impl Service {
         prepared: &Prepared,
         deadline: Option<Duration>,
     ) -> Result<ServeOutcome, ServeError> {
+        let ctx = self.telemetry.span_context();
+        let root = ctx.enter("request");
+        let result = self.serve_prepared(prepared, deadline, &ctx);
+        drop(root);
+        self.retire_spans(
+            &ctx,
+            prepared.canonical.fingerprint.hash,
+            result.as_ref().ok(),
+        );
+        result
+    }
+
+    /// [`Self::optimize_prepared`] with the caller's span context — the
+    /// wrappers own the request root span and the retire decision.
+    fn serve_prepared(
+        &self,
+        prepared: &Prepared,
+        deadline: Option<Duration>,
+        ctx: &SpanContext,
+    ) -> Result<ServeOutcome, ServeError> {
         let started = Instant::now();
         self.telemetry.add(Metric::Requests, 1);
         let (cat, epoch) = self.catalog.snapshot();
@@ -356,7 +390,7 @@ impl Service {
 
         if !self.config.cache_enabled {
             let (optimized, nanos) =
-                self.cold_optimize(prepared, &cat, epoch, deadline, &tracer)?;
+                self.cold_optimize(prepared, &cat, epoch, deadline, &tracer, ctx)?;
             self.telemetry.add(Metric::CacheMiss, 1);
             self.telemetry.add(Metric::OptNanos, nanos);
             self.telemetry.observe(LatencyPath::Optimize, nanos);
@@ -366,10 +400,16 @@ impl Service {
             return Ok(outcome);
         }
 
+        // The lookup span covers the whole cache interaction: a hit returns
+        // immediately, a leader's cold optimization nests its own `optimize`
+        // span inside, and a follower blocks here for the flight — in which
+        // case the span is renamed `flight_wait` to say what the time *was*.
+        let mut lookup_span = ctx.enter("cache_lookup");
+        let lookup_started = Instant::now();
         let (result, meta) = self
             .cache
             .serve(&fp_text, &self.config_sig, fp.hash, epoch, || {
-                match self.cold_optimize(prepared, &cat, epoch, deadline, &tracer) {
+                match self.cold_optimize(prepared, &cat, epoch, deadline, &tracer, ctx) {
                     Ok((optimized, nanos)) => {
                         let cacheable = !optimized.degraded;
                         Ok((optimized, nanos, cacheable))
@@ -380,6 +420,11 @@ impl Service {
                     Err(e) => Err(e.to_string()),
                 }
             });
+        let lookup_nanos = lookup_started.elapsed().as_nanos() as u64;
+        if meta.coalesced {
+            lookup_span.rename("flight_wait");
+        }
+        drop(lookup_span);
 
         if meta.invalidated {
             self.telemetry.add(Metric::CacheInvalidate, 1);
@@ -397,6 +442,14 @@ impl Service {
         match result {
             Ok((optimized, nanos)) => {
                 if meta.hit || meta.coalesced {
+                    self.telemetry.record_phase(
+                        if meta.coalesced {
+                            PhaseKind::FlightWait
+                        } else {
+                            PhaseKind::CacheLookup
+                        },
+                        lookup_nanos,
+                    );
                     self.telemetry.add(
                         if meta.hit {
                             Metric::CacheHit
@@ -414,6 +467,11 @@ impl Service {
                         saved_nanos: meta.saved_nanos,
                     });
                 } else {
+                    // A leader's lookup time is dominated by its own cold
+                    // optimization (attributed to its optimizer phases);
+                    // only the residue is cache bookkeeping.
+                    self.telemetry
+                        .record_phase(PhaseKind::CacheLookup, lookup_nanos.saturating_sub(nanos));
                     self.telemetry.add(Metric::CacheMiss, 1);
                     self.telemetry.add(Metric::OptNanos, nanos);
                     self.telemetry.observe(LatencyPath::Optimize, nanos);
@@ -444,8 +502,17 @@ impl Service {
         db: &Database,
         query: &Query,
     ) -> Result<(QueryResult, ServeOutcome), ServeError> {
-        let prepared = self.prepare(query);
-        self.execute_prepared(db, &prepared, None)
+        let ctx = self.telemetry.span_context();
+        let root = ctx.enter("request");
+        let prepared = self.prepare_spanned(query, &ctx);
+        let result = self.execute_with(db, &prepared, None, &ctx);
+        drop(root);
+        self.retire_spans(
+            &ctx,
+            prepared.canonical.fingerprint.hash,
+            result.as_ref().ok().map(|(_, o)| o),
+        );
+        result
     }
 
     /// [`Self::execute`] for an already-prepared query.
@@ -455,13 +522,41 @@ impl Service {
         prepared: &Prepared,
         deadline: Option<Duration>,
     ) -> Result<(QueryResult, ServeOutcome), ServeError> {
-        let outcome = self.optimize_prepared(prepared, deadline)?;
+        let ctx = self.telemetry.span_context();
+        let root = ctx.enter("request");
+        let result = self.execute_with(db, prepared, deadline, &ctx);
+        drop(root);
+        self.retire_spans(
+            &ctx,
+            prepared.canonical.fingerprint.hash,
+            result.as_ref().ok().map(|(_, o)| o),
+        );
+        result
+    }
+
+    /// [`Self::execute_prepared`] with the caller's span context: serve,
+    /// then run the winning plan under an `execute` span. Execution feedback
+    /// is folded in *before* the wrapper retires the span tree, so a run
+    /// that flags its own fingerprint is retained as suspect.
+    fn execute_with(
+        &self,
+        db: &Database,
+        prepared: &Prepared,
+        deadline: Option<Duration>,
+        ctx: &SpanContext,
+    ) -> Result<(QueryResult, ServeOutcome), ServeError> {
+        let outcome = self.serve_prepared(prepared, deadline, ctx)?;
         let mut ex = Executor::new(db, &prepared.canonical.query);
         ex.set_telemetry(Arc::clone(&self.telemetry));
+        ex.set_spans(ctx.clone());
+        let exec_span = ctx.enter("execute");
         let exec_started = Instant::now();
         let result = ex
             .run(&outcome.optimized.best)
             .map_err(|e| ServeError::Execute(e.to_string()))?;
+        drop(exec_span);
+        self.telemetry
+            .record_phase(PhaseKind::Execute, exec_started.elapsed().as_nanos() as u64);
         // Fold this run's compact actuals into the feedback plane: the
         // cached plan's estimated root cardinality against what actually
         // came out. Counted even when tracing is suppressed; only a
@@ -487,6 +582,38 @@ impl Service {
     }
 
     // ---- internals ---------------------------------------------------
+
+    /// [`Self::prepare`] under a `prepare` span (phase attribution lives in
+    /// `prepare` itself, so direct callers are counted too).
+    fn prepare_spanned(&self, query: &Query, ctx: &SpanContext) -> Prepared {
+        let _span = ctx.enter("prepare");
+        self.prepare(query)
+    }
+
+    /// Hand a finished request's spans to the tail sampler. Derives the
+    /// retention signals from how the request ended: errors and degraded
+    /// plans are always kept, the rest ride on latency and suspect state.
+    fn retire_spans(&self, ctx: &SpanContext, fp: u64, outcome: Option<&ServeOutcome>) {
+        if !ctx.enabled() {
+            return;
+        }
+        let (label, epoch, degraded) = match outcome {
+            Some(o) => (
+                if o.cache_hit {
+                    "hit"
+                } else if o.coalesced {
+                    "coalesced"
+                } else {
+                    "miss"
+                },
+                o.epoch,
+                o.optimized.degraded,
+            ),
+            None => ("error", 0, false),
+        };
+        self.telemetry
+            .retire_spans(ctx, fp, epoch, label, outcome.is_none(), degraded);
+    }
 
     /// The tracer one request's events flow through: the service tracer
     /// when the head sampler admits this fingerprint, the off tracer when
@@ -520,6 +647,7 @@ impl Service {
         epoch: u64,
         deadline: Option<Duration>,
         tracer: &Tracer,
+        ctx: &SpanContext,
     ) -> Result<(Arc<Optimized>, u64), ServeError> {
         let (_permit, _waited) = self.gate.acquire(self.config.max_queue_wait).map_err(|t| {
             self.telemetry.add(Metric::Rejected, 1);
@@ -539,19 +667,29 @@ impl Service {
                 None => d,
             });
         }
+        let opt_span = ctx.enter("optimize");
         let started = Instant::now();
         let optimized = optimizer
-            .optimize_observed(
+            .optimize_spanned(
                 &prepared.canonical.query,
                 &config,
                 tracer.clone(),
                 &self.telemetry,
+                ctx,
             )
             .map_err(|e| {
                 self.telemetry.add(Metric::Errors, 1);
                 ServeError::Optimize(e.to_string())
             })?;
         let nanos = started.elapsed().as_nanos() as u64;
+        drop(opt_span);
+        // Fold the optimizer's own phase clocks into the cold-path profile
+        // (names shared with the per-request MetricsRegistry).
+        for (name, phase_nanos) in optimized.metrics.phase_nanos() {
+            if let Some(kind) = PhaseKind::from_name(name) {
+                self.telemetry.record_phase(kind, *phase_nanos);
+            }
+        }
         if optimized.degraded {
             self.telemetry.add(Metric::Degraded, 1);
         }
@@ -915,6 +1053,69 @@ mod tests {
         assert_eq!(counters.trace_sampled, expect_sampled);
         assert_eq!(counters.trace_unsampled, expect_unsampled);
         assert_eq!(sink.events().is_empty(), !admitted);
+    }
+
+    #[test]
+    fn full_span_mode_retains_complete_request_trees() {
+        use starqo_trace::SpanMode;
+        let cat = catalog();
+        let db = database(&cat);
+        let svc = Service::new(
+            Arc::clone(&cat),
+            ServiceConfig {
+                telemetry: TelemetryConfig {
+                    spans: SpanMode::Full,
+                    ..TelemetryConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let q = parse_query(
+            &cat,
+            "SELECT E.NAME FROM EMP E, DEPT D WHERE D.DNO = E.DNO AND D.MGR = 'M1'",
+        )
+        .unwrap();
+        svc.execute(&db, &q).unwrap(); // cold: full optimize under the lookup
+        svc.execute(&db, &q).unwrap(); // warm: plan-cache hit
+        let trees = svc.telemetry().span_trees();
+        assert_eq!(trees.len(), 2);
+        let (cold, warm) = (&trees[0], &trees[1]);
+        assert_eq!(
+            (cold.retained.as_str(), cold.outcome.as_str()),
+            ("full", "miss")
+        );
+        let s = cold.structure();
+        assert!(
+            s.starts_with("request(prepare,cache_lookup(optimize(enumerate("),
+            "cold structure: {s}"
+        );
+        assert!(s.contains("star:"), "per-STAR expansion spans: {s}");
+        assert!(s.contains("glue"), "glue span: {s}");
+        assert!(s.contains("execute(pipeline:"), "executor pipelines: {s}");
+        assert_eq!(warm.outcome, "hit");
+        let s = warm.structure();
+        assert!(
+            s.starts_with("request(prepare,cache_lookup,execute(pipeline:"),
+            "warm structure: {s}"
+        );
+        assert!(!s.contains("optimize"), "hits skip optimization: {s}");
+        let snap = svc.telemetry_snapshot();
+        assert_eq!(snap.counter("serve_spans_kept"), Some(2));
+        assert_eq!(snap.counter("serve_spans_dropped"), Some(0));
+        assert!(snap.span_resident == 2 && snap.span_evicted == 0);
+        // Cold-path phases saw the request: prepare + enumerate + execute.
+        let phase = |name: &str| {
+            snap.phases
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, count)| *count)
+                .unwrap_or(0)
+        };
+        assert_eq!(phase("prepare"), 2);
+        assert_eq!(phase("enumerate"), 1);
+        assert_eq!(phase("execute"), 2);
+        assert_eq!(phase("cache_lookup") + phase("flight_wait"), 2);
     }
 
     #[test]

@@ -67,10 +67,14 @@ pub enum Metric {
     /// Fingerprints newly flagged suspect by the feedback plane (each
     /// fingerprint is flagged at most once; the flag is sticky).
     SuspectFlagged,
+    /// Span trees the tail sampler retained into the span store.
+    SpansKept,
+    /// Span trees recorded but dropped by the tail sampler.
+    SpansDropped,
 }
 
 impl Metric {
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 25;
 
     pub const ALL: [Metric; Metric::COUNT] = [
         Metric::Requests,
@@ -96,6 +100,8 @@ impl Metric {
         Metric::PipelineRows,
         Metric::FeedbackRuns,
         Metric::SuspectFlagged,
+        Metric::SpansKept,
+        Metric::SpansDropped,
     ];
 
     /// The stable exported name (JSON keys, Prometheus metric names,
@@ -125,6 +131,8 @@ impl Metric {
             Metric::PipelineRows => "serve_pipeline_rows",
             Metric::FeedbackRuns => "serve_feedback_runs",
             Metric::SuspectFlagged => "serve_suspects_flagged",
+            Metric::SpansKept => "serve_spans_kept",
+            Metric::SpansDropped => "serve_spans_dropped",
         }
     }
 }

@@ -29,24 +29,31 @@
 
 pub mod atomic_hist;
 pub mod counters;
+pub mod phases;
 pub mod qerror;
 pub mod ring;
 pub mod sample;
 pub mod snapshot;
+pub mod spans;
 pub mod topk;
 
 pub use atomic_hist::AtomicHistogram;
 pub use counters::{CounterPlane, Metric};
+pub use phases::{PhaseKind, PhasePlane, PhaseReading};
 pub use qerror::{qlog_micro, FeedbackPlane, QErrorSketch, SuspectConfig, SuspectVerdict};
 pub use ring::SnapshotRing;
 pub use sample::TraceSampler;
 pub use snapshot::TelemetrySnapshot;
+pub use spans::{
+    from_chrome_trace, read_span_trees, to_chrome_trace, SpanContext, SpanGuard, SpanMode,
+    SpanRecord, SpanStore, SpanTree, TailConfig, TailSampler,
+};
 pub use topk::{HotQuery, TopKTracker};
 
 use std::time::Instant;
 
 /// Sizing and gating knobs for a [`Telemetry`] plane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TelemetryConfig {
     /// Enable the histogram and top-K tiers (counters are always on).
     pub full: bool,
@@ -66,6 +73,16 @@ pub struct TelemetryConfig {
     pub feedback_capacity: usize,
     /// Suspect-detection thresholds for the feedback plane.
     pub suspect: SuspectConfig,
+    /// Request-scoped span tracing mode (off / tail-retained / full).
+    pub spans: SpanMode,
+    /// Retained span-tree capacity across the span store's shards.
+    pub span_store: usize,
+    /// Span-store shard count (rounded up to a power of two).
+    pub span_shards: usize,
+    /// Max recorded spans per request; overflow is counted, not grown.
+    pub span_cap: usize,
+    /// Tail-sampler thresholds (used when `spans` is [`SpanMode::Tail`]).
+    pub tail: TailConfig,
 }
 
 impl Default for TelemetryConfig {
@@ -80,6 +97,11 @@ impl Default for TelemetryConfig {
             feedback_shards: 4,
             feedback_capacity: 64,
             suspect: SuspectConfig::default(),
+            spans: SpanMode::Off,
+            span_store: 64,
+            span_shards: 4,
+            span_cap: 256,
+            tail: TailConfig::default(),
         }
     }
 }
@@ -151,6 +173,25 @@ pub struct Telemetry {
     topk_k: usize,
     sampler: TraceSampler,
     feedback: Option<FeedbackPlane>,
+    phases: PhasePlane,
+    spans: Option<SpanPlane>,
+}
+
+/// The span tier: a request-id allocator, the bounded store, and the
+/// tail sampler, present only when span tracing is on.
+#[derive(Debug)]
+struct SpanPlane {
+    mode: SpanMode,
+    span_cap: usize,
+    next_request: std::sync::atomic::AtomicU64,
+    store: SpanStore,
+    tail: TailSampler,
+    /// Live histogram of retired root-span totals — the tail sampler's
+    /// slow threshold comes from *this* distribution, not the serve-path
+    /// latency histograms, so the quantile is computed over exactly the
+    /// quantity each retention decision compares against (a root span
+    /// covers prepare + serve, which the end-to-end histogram does not).
+    totals: AtomicHistogram,
 }
 
 impl Default for Telemetry {
@@ -175,6 +216,15 @@ impl Telemetry {
                     config.feedback_capacity.max(1),
                     config.suspect,
                 )
+            }),
+            phases: PhasePlane::new(config.stripes),
+            spans: (config.spans != SpanMode::Off).then(|| SpanPlane {
+                mode: config.spans,
+                span_cap: config.span_cap.max(1),
+                next_request: std::sync::atomic::AtomicU64::new(1),
+                store: SpanStore::new(config.span_shards, config.span_store),
+                tail: TailSampler::new(config.tail),
+                totals: AtomicHistogram::new(config.stripes),
             }),
         }
     }
@@ -267,6 +317,132 @@ impl Telemetry {
             .unwrap_or_default()
     }
 
+    /// Whether one fingerprint is currently flagged suspect by the
+    /// feedback plane (false when feedback is off).
+    pub fn is_suspect(&self, fp: u64) -> bool {
+        self.feedback
+            .as_ref()
+            .is_some_and(|plane| plane.is_suspect(fp))
+    }
+
+    /// Attribute nanos to one cold-path phase occurrence. Always live,
+    /// two relaxed atomic ops.
+    #[inline]
+    pub fn record_phase(&self, phase: PhaseKind, nanos: u64) {
+        self.phases.add(phase, nanos);
+    }
+
+    /// Fold one phase across stripes: `(nanos, count)`.
+    pub fn phase(&self, phase: PhaseKind) -> (u64, u64) {
+        self.phases.get(phase)
+    }
+
+    /// The configured span tracing mode.
+    pub fn span_mode(&self) -> SpanMode {
+        self.spans.as_ref().map(|s| s.mode).unwrap_or(SpanMode::Off)
+    }
+
+    /// Whether span recording is on (tail or full).
+    pub fn has_spans(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// A recorder for one new request: live (with a plane-unique request
+    /// id) when span tracing is on, the no-op context otherwise.
+    pub fn span_context(&self) -> SpanContext {
+        match self.spans.as_ref() {
+            Some(plane) => {
+                let id = plane
+                    .next_request
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                SpanContext::start(id, plane.span_cap)
+            }
+            None => SpanContext::off(),
+        }
+    }
+
+    /// Finish one request's span recording: take the tail-retention
+    /// decision (keep everything under [`SpanMode::Full`]), store the
+    /// tree or drop it, and count either way. `total_nanos` is the
+    /// request's end-to-end latency; `suspect` is looked up live so a
+    /// fingerprint flagged *by this very request's execution* retains its
+    /// own tree. Returns the retention reason when the tree was kept.
+    pub fn retire_spans(
+        &self,
+        ctx: &SpanContext,
+        fp: u64,
+        epoch: u64,
+        outcome: &str,
+        errored: bool,
+        degraded: bool,
+    ) -> Option<&'static str> {
+        let plane = self.spans.as_ref()?;
+        if !ctx.enabled() {
+            return None;
+        }
+        let total_nanos = ctx.elapsed_nanos();
+        let suspect = self.is_suspect(fp);
+        let verdict = match plane.mode {
+            SpanMode::Full => Some("full"),
+            _ => plane
+                .tail
+                .decide(total_nanos, errored, degraded, suspect, |q| {
+                    let h = plane.totals.snapshot();
+                    h.quantile(q).map(|v| (v, h.count()))
+                }),
+        };
+        // Recorded *after* the decision: a threshold quantile is clamped
+        // into the histogram's [min, max], so folding the request in first
+        // would let the slowest request ever seen hide behind its own
+        // contribution to the max.
+        plane.totals.record(total_nanos);
+        let kept = match verdict {
+            Some(reason) => {
+                let tree = ctx.finish(fp, epoch, total_nanos, outcome, degraded, suspect, reason);
+                match tree {
+                    Some(tree) => {
+                        plane.store.record(tree);
+                        self.add(Metric::SpansKept, 1);
+                        Some(reason)
+                    }
+                    None => None,
+                }
+            }
+            None => {
+                self.add(Metric::SpansDropped, 1);
+                None
+            }
+        };
+        // The request is over either way — park its buffer for reuse by
+        // the next request on this thread.
+        ctx.recycle();
+        kept
+    }
+
+    /// Every retained span tree, request id ascending (empty when spans
+    /// are off).
+    pub fn span_trees(&self) -> Vec<SpanTree> {
+        self.spans
+            .as_ref()
+            .map(|p| p.store.trees())
+            .unwrap_or_default()
+    }
+
+    /// Span-store occupancy: `(resident, capacity, evicted)` — all zero
+    /// when spans are off.
+    pub fn span_store_stats(&self) -> (u64, u64, u64) {
+        self.spans
+            .as_ref()
+            .map(|p| {
+                (
+                    p.store.len() as u64,
+                    p.store.capacity() as u64,
+                    p.store.evicted(),
+                )
+            })
+            .unwrap_or((0, 0, 0))
+    }
+
     /// Head-sampling decision for a request with an attached tracer:
     /// deterministic on the fingerprint, and counted either way so the
     /// sampled/suppressed split is visible in the counter plane.
@@ -288,6 +464,7 @@ impl Telemetry {
     /// latency path, the current top-K (at most `topk` entries).
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let fold = self.fold();
+        let (span_resident, span_capacity, span_evicted) = self.span_store_stats();
         TelemetrySnapshot {
             uptime_nanos: self.uptime_nanos(),
             counters: Metric::ALL
@@ -304,6 +481,10 @@ impl Telemetry {
                 .as_ref()
                 .map(FeedbackPlane::snapshot)
                 .unwrap_or_default(),
+            phases: self.phases.fold(),
+            span_resident,
+            span_capacity,
+            span_evicted,
         }
     }
 }
@@ -396,6 +577,85 @@ mod tests {
         assert_eq!(t.get(Metric::TraceSampled), admitted);
         assert_eq!(t.get(Metric::TraceUnsampled), 1_000 - admitted);
         assert!(admitted > 0 && admitted < 100, "≈1/64 of 1000: {admitted}");
+    }
+
+    #[test]
+    fn span_plane_retains_by_mode_and_counts_both_ways() {
+        // Off: contexts are inert and the snapshot reports no store.
+        let off = Telemetry::default();
+        assert!(!off.has_spans());
+        assert!(!off.span_context().enabled());
+        assert_eq!(off.snapshot().span_capacity, 0);
+
+        // Full: everything is retained, request ids are plane-unique.
+        let full = Telemetry::new(TelemetryConfig {
+            spans: SpanMode::Full,
+            span_store: 8,
+            span_shards: 1,
+            ..TelemetryConfig::default()
+        });
+        for fp in 0..3u64 {
+            let ctx = full.span_context();
+            {
+                let _root = ctx.enter("request");
+                let _child = ctx.enter("optimize");
+            }
+            assert_eq!(
+                full.retire_spans(&ctx, fp, 1, "miss", false, false),
+                Some("full")
+            );
+        }
+        assert_eq!(full.get(Metric::SpansKept), 3);
+        let trees = full.span_trees();
+        assert_eq!(trees.len(), 3);
+        assert_eq!(trees[0].structure(), "request(optimize)");
+        let ids: Vec<u64> = trees.iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let snap = full.snapshot();
+        assert_eq!((snap.span_resident, snap.span_capacity), (3, 8));
+
+        // Tail: a boring fast request drops, a degraded one keeps, and a
+        // request whose own execution flagged the fingerprint keeps too.
+        let tail = Telemetry::new(TelemetryConfig {
+            spans: SpanMode::Tail,
+            suspect: SuspectConfig {
+                min_runs: 1,
+                ..SuspectConfig::default()
+            },
+            ..TelemetryConfig::default()
+        });
+        let ctx = tail.span_context();
+        let _ = ctx.enter("request");
+        assert_eq!(tail.retire_spans(&ctx, 9, 1, "hit", false, false), None);
+        assert_eq!(tail.get(Metric::SpansDropped), 1);
+        let ctx = tail.span_context();
+        let _ = ctx.enter("request");
+        assert_eq!(
+            tail.retire_spans(&ctx, 9, 1, "miss", false, true),
+            Some("degraded")
+        );
+        let ctx = tail.span_context();
+        let _ = ctx.enter("request");
+        tail.record_feedback(11, 10, 1_000, 500, 1);
+        assert!(tail.is_suspect(11));
+        assert_eq!(
+            tail.retire_spans(&ctx, 11, 1, "hit", false, false),
+            Some("suspect")
+        );
+        assert!(tail.span_trees().iter().any(|t| t.suspect && t.fp == 11));
+    }
+
+    #[test]
+    fn phase_plane_folds_into_snapshots() {
+        let t = Telemetry::default();
+        t.record_phase(PhaseKind::Prepare, 300);
+        t.record_phase(PhaseKind::Enumerate, 10_000);
+        t.record_phase(PhaseKind::Enumerate, 2_000);
+        assert_eq!(t.phase(PhaseKind::Enumerate), (12_000, 2));
+        let snap = t.snapshot();
+        assert_eq!(snap.phases.len(), PhaseKind::COUNT);
+        assert_eq!(snap.phases[PhaseKind::Prepare as usize].1, 300);
+        assert_eq!(snap.phases[PhaseKind::Enumerate as usize].2, 2);
     }
 
     #[test]

@@ -296,6 +296,18 @@ impl FeedbackPlane {
         all
     }
 
+    /// Whether one fingerprint's resident sketch is flagged suspect.
+    /// Cheap enough for the serve path: one shard lock, a small linear
+    /// probe, no cloning (the tail sampler calls this per retirement).
+    pub fn is_suspect(&self, fp: u64) -> bool {
+        let shard = &self.shards[(mix64(fp) as usize) & self.mask];
+        shard
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .any(|e| e.fp == fp && e.suspect)
+    }
+
     /// The suspect registry: resident sketches with the flag set,
     /// fingerprint ascending.
     pub fn suspects(&self) -> Vec<QErrorSketch> {

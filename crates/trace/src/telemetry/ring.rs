@@ -89,9 +89,7 @@ mod tests {
         TelemetrySnapshot {
             uptime_nanos: uptime,
             counters: vec![("serve_requests".into(), requests)],
-            latency: Vec::new(),
-            topk: Vec::new(),
-            qerror: Vec::new(),
+            ..TelemetrySnapshot::default()
         }
     }
 

@@ -8,6 +8,7 @@
 use crate::hist::{Histogram, BUCKETS};
 use crate::json::JsonObj;
 use crate::read::{parse_json, JsonValue};
+use crate::telemetry::phases::PhaseReading;
 use crate::telemetry::qerror::QErrorSketch;
 use crate::telemetry::topk::HotQuery;
 
@@ -16,7 +17,7 @@ use crate::telemetry::topk::HotQuery;
 /// hot-fingerprint top-K. "Consistent enough": each field is read
 /// atomically but the plane keeps serving while the snapshot is taken, so
 /// cross-field invariants may lag by in-flight requests.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetrySnapshot {
     /// Nanos since the telemetry plane was created (interval rates divide
     /// counter deltas by the delta of this).
@@ -31,6 +32,16 @@ pub struct TelemetrySnapshot {
     /// geomean Q-error first (empty when feedback is off or nothing has
     /// executed).
     pub qerror: Vec<QErrorSketch>,
+    /// Cold-path phase attribution: `(phase, nanos, count)` in
+    /// [`super::PhaseKind::ALL`] order (empty in pre-v3 documents).
+    pub phases: Vec<PhaseReading>,
+    /// Span trees currently resident in the span store (0 = spans off or
+    /// pre-v3 document).
+    pub span_resident: u64,
+    /// Span-store retention capacity (0 = spans off).
+    pub span_capacity: u64,
+    /// Retained trees recycled to make room, cumulatively.
+    pub span_evicted: u64,
 }
 
 impl TelemetrySnapshot {
@@ -120,13 +131,29 @@ impl TelemetrySnapshot {
                     .finish()
             })
             .collect();
+        let mut phases = JsonObj::new();
+        for (name, nanos, count) in &self.phases {
+            phases = phases.raw(
+                name,
+                &JsonObj::new()
+                    .u64("nanos", *nanos)
+                    .u64("count", *count)
+                    .finish(),
+            );
+        }
+        let span_store = JsonObj::new()
+            .u64("resident", self.span_resident)
+            .u64("capacity", self.span_capacity)
+            .u64("evicted", self.span_evicted);
         JsonObj::new()
-            .u64("version", 2)
+            .u64("version", 3)
             .u64("uptime_nanos", self.uptime_nanos)
             .raw("counters", &counters.finish())
             .raw("latency", &latency.finish())
             .raw("topk", &format!("[{}]", topk.join(",")))
             .raw("qerror", &format!("[{}]", qerror.join(",")))
+            .raw("phases", &phases.finish())
+            .raw("span_store", &span_store.finish())
             .finish()
     }
 
@@ -201,12 +228,37 @@ impl TelemetrySnapshot {
             None => Vec::new(),
             _ => return Err("snapshot qerror is not an array".to_string()),
         };
+        // Version-2 documents predate the phase plane and the span store:
+        // both parse as empty/zero rather than failing.
+        let phases = match v.get("phases") {
+            Some(obj) => obj
+                .fields()
+                .ok_or("snapshot phases is not an object")?
+                .iter()
+                .map(|(k, p)| {
+                    let f = |key: &str| p.get(key).and_then(JsonValue::as_u64);
+                    Some((k.clone(), f("nanos")?, f("count")?))
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed phase entry")?,
+            None => Vec::new(),
+        };
+        let span = |k: &str| {
+            v.get("span_store")
+                .and_then(|s| s.get(k))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0)
+        };
         Ok(TelemetrySnapshot {
             uptime_nanos,
             counters,
             latency,
             topk,
             qerror,
+            phases,
+            span_resident: span("resident"),
+            span_capacity: span("capacity"),
+            span_evicted: span("evicted"),
         })
     }
 
@@ -271,6 +323,31 @@ impl TelemetrySnapshot {
             out.push_str(&format!(
                 "starqo_latency_hist_nanos_count{{path=\"{path}\"}} {}\n",
                 h.count()
+            ));
+        }
+        if !self.phases.is_empty() {
+            out.push_str("# TYPE starqo_phase_nanos counter\n");
+            out.push_str("# TYPE starqo_phase_count counter\n");
+            for (name, nanos, count) in &self.phases {
+                out.push_str(&format!("starqo_phase_nanos{{phase=\"{name}\"}} {nanos}\n"));
+                out.push_str(&format!("starqo_phase_count{{phase=\"{name}\"}} {count}\n"));
+            }
+        }
+        if self.span_capacity > 0 {
+            out.push_str("# TYPE starqo_span_store_resident gauge\n");
+            out.push_str(&format!(
+                "starqo_span_store_resident {}\n",
+                self.span_resident
+            ));
+            out.push_str("# TYPE starqo_span_store_capacity gauge\n");
+            out.push_str(&format!(
+                "starqo_span_store_capacity {}\n",
+                self.span_capacity
+            ));
+            out.push_str("# TYPE starqo_span_store_evicted_total counter\n");
+            out.push_str(&format!(
+                "starqo_span_store_evicted_total {}\n",
+                self.span_evicted
             ));
         }
         out.push_str("# TYPE starqo_hot_query_requests gauge\n");
@@ -374,12 +451,37 @@ impl TelemetrySnapshot {
                 })
             })
             .collect();
+        // Phase nanos/counts are monotonic: subtract pairwise (a phase
+        // absent earlier — e.g. a v1/v2 baseline — deltas from zero).
+        let phases = self
+            .phases
+            .iter()
+            .map(|(name, nanos, count)| {
+                let (pn, pc) = prev
+                    .phases
+                    .iter()
+                    .find(|(k, _, _)| k == name)
+                    .map(|(_, n, c)| (*n, *c))
+                    .unwrap_or((0, 0));
+                (
+                    name.clone(),
+                    nanos.saturating_sub(pn),
+                    count.saturating_sub(pc),
+                )
+            })
+            .collect();
         TelemetrySnapshot {
             uptime_nanos: self.uptime_nanos.saturating_sub(prev.uptime_nanos),
             counters,
             latency,
             topk,
             qerror,
+            phases,
+            // Occupancy is a gauge (the later absolute is the interval's
+            // truth); evictions are monotonic.
+            span_resident: self.span_resident,
+            span_capacity: self.span_capacity,
+            span_evicted: self.span_evicted.saturating_sub(prev.span_evicted),
         }
     }
 }
@@ -427,6 +529,14 @@ mod tests {
                 ("serve_cache_miss".into(), 5),
             ],
             latency: vec![("optimize".into(), opt), ("end_to_end".into(), e2e)],
+            phases: vec![
+                ("prepare".into(), 40_000, 100),
+                ("enumerate".into(), 900_000, 5),
+                ("execute".into(), 700_000, 95),
+            ],
+            span_resident: 2,
+            span_capacity: 64,
+            span_evicted: 1,
             topk: vec![
                 HotQuery {
                     fp: 0xDEAD_BEEF,
@@ -493,6 +603,10 @@ mod tests {
         assert!(text.contains("starqo_hot_query_requests{fp=\"0x00000000deadbeef\",rank=\"1\"} 60"));
         assert!(text.contains("starqo_plan_qerror_runs{fp=\"0x00000000deadbeef\"} 3"));
         assert!(text.contains("starqo_plan_suspect{fp=\"0x00000000deadbeef\"} 1"));
+        assert!(text.contains("starqo_phase_nanos{phase=\"enumerate\"} 900000"));
+        assert!(text.contains("starqo_phase_count{phase=\"execute\"} 95"));
+        assert!(text.contains("starqo_span_store_resident 2"));
+        assert!(text.contains("starqo_span_store_evicted_total 1"));
         // Every non-comment line is `name{labels} value` with a numeric value.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (_, value) = line.rsplit_once(' ').expect("name value");
@@ -551,6 +665,43 @@ mod tests {
         let parsed = TelemetrySnapshot::from_json(text).expect("v1 parses");
         assert!(parsed.qerror.is_empty());
         assert_eq!(parsed.counter("serve_requests"), Some(2));
+        // Pre-v3 fields default to empty/zero too.
+        assert!(parsed.phases.is_empty());
+        assert_eq!(parsed.span_capacity, 0);
+    }
+
+    #[test]
+    fn version2_documents_parse_with_empty_phases() {
+        // A v2 export (feedback plane, no phase/span tiers): strip the
+        // v3 keys from a current document and it must still parse.
+        let full = sample_snapshot().to_json();
+        let phases_at = full.find(",\"phases\"").expect("phases key");
+        let v2 = format!("{}}}", &full[..phases_at]);
+        let parsed = TelemetrySnapshot::from_json(&v2).expect("v2 parses");
+        assert!(parsed.phases.is_empty());
+        assert_eq!(
+            (
+                parsed.span_resident,
+                parsed.span_capacity,
+                parsed.span_evicted
+            ),
+            (0, 0, 0)
+        );
+        assert_eq!(parsed.qerror, sample_snapshot().qerror);
+    }
+
+    #[test]
+    fn delta_subtracts_phases_and_keeps_span_gauges() {
+        let later = sample_snapshot();
+        let mut earlier = sample_snapshot();
+        earlier.phases = vec![("prepare".into(), 10_000, 30)];
+        earlier.span_evicted = 0;
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.phases[0], ("prepare".into(), 30_000, 70));
+        // Phases absent from the earlier snapshot delta from zero.
+        assert_eq!(d.phases[1], ("enumerate".into(), 900_000, 5));
+        assert_eq!(d.span_evicted, 1);
+        assert_eq!((d.span_resident, d.span_capacity), (2, 64));
     }
 
     #[test]

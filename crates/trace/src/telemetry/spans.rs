@@ -1,0 +1,1045 @@
+//! Request-scoped span trees with tail-based retention.
+//!
+//! Three cooperating pieces:
+//!
+//! - [`SpanContext`]: a per-request recorder threaded through
+//!   `Service::{prepare,optimize,execute}`, the optimizer (per-STAR
+//!   expansion, glue) and the executor (pipelines). [`SpanContext::enter`]
+//!   returns an RAII [`SpanGuard`]; the guard's drop appends one
+//!   [`SpanRecord`] to the request's buffer with nanosecond offsets from
+//!   the request's own monotonic clock. An off context (span tracing
+//!   disabled) reduces every call to an `Option` check.
+//! - [`TailSampler`]: the retention decision taken *at request
+//!   completion* — keep the full tree for requests that were slow
+//!   (latency above a configured quantile of the live end-to-end
+//!   histogram), errored, degraded, or touched a suspect fingerprint;
+//!   drop-and-count the rest. This complements the head sampler
+//!   (`STARQO_TRACE_SAMPLE`), which must decide *before* the request runs
+//!   and therefore cannot know it will be interesting.
+//! - [`SpanStore`]: a bounded, sharded store of retained [`SpanTree`]s,
+//!   recycled FIFO like the feedback plane's sketches — memory stays
+//!   fixed however many requests flow past, and evictions are counted so
+//!   the doctor can flag an undersized store.
+//!
+//! Trees serialize as one-line JSON (JSONL streams, tolerant reader) and
+//! export as Chrome `trace_event` JSON for `about://tracing`.
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::JsonObj;
+use crate::read::{parse_json, JsonValue};
+
+/// Span tracing mode for a telemetry plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpanMode {
+    /// No span recording at all (zero per-request cost).
+    #[default]
+    Off,
+    /// Record every request, retain only what the tail sampler keeps.
+    Tail,
+    /// Record and retain every request (tests, offline analysis).
+    Full,
+}
+
+impl SpanMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanMode::Off => "off",
+            SpanMode::Tail => "tail",
+            SpanMode::Full => "full",
+        }
+    }
+}
+
+/// Tail-sampler thresholds. The slow test compares a finished request's
+/// root-span nanos against `quantile` of the live histogram of retired
+/// root-span totals (the same quantity, so the comparison is
+/// apples-to-apples even when a request path skips prepare); the
+/// threshold is cached and refreshed every `refresh_every` decisions so
+/// the per-request cost is one relaxed load, not a 64-stripe fold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailConfig {
+    /// Quantile of the retired-totals histogram above which a request
+    /// counts as slow.
+    pub quantile: f64,
+    /// Histogram population below which the slow test abstains (a cold
+    /// plane has no meaningful quantiles).
+    pub min_samples: u64,
+    /// Recompute the cached threshold every N retention decisions.
+    pub refresh_every: u64,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        TailConfig {
+            quantile: 0.99,
+            min_samples: 128,
+            refresh_every: 256,
+        }
+    }
+}
+
+/// One closed span: offsets are nanos from the owning request's start.
+/// `parent` is the enclosing span's id (0 = the root has no parent; real
+/// ids start at 1). `meta` is span-specific payload — the engine's
+/// `star_ref` id for `star:*` spans, row counts for pipelines, 0 elsewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub id: u32,
+    pub parent: u32,
+    /// Static on the recording hot path (serve-layer phase names are
+    /// literals — no per-span allocation), owned when formatted (the
+    /// optimizer's `star:<name>` spans) or deserialized.
+    pub name: Cow<'static, str>,
+    pub start_nanos: u64,
+    pub end_nanos: u64,
+    pub meta: u64,
+}
+
+/// A finished request's retained span tree plus the request-level facts
+/// the tail sampler judged it by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    /// Plane-unique request id (also the Chrome export's `tid`).
+    pub request_id: u64,
+    /// The request's query fingerprint.
+    pub fp: u64,
+    /// Catalog epoch the request served against (0 on error paths).
+    pub epoch: u64,
+    /// End-to-end nanos for the whole request.
+    pub total_nanos: u64,
+    /// How the serve resolved: "hit", "coalesced", "miss", or "error".
+    pub outcome: String,
+    /// The plan was degraded by budget exhaustion.
+    pub degraded: bool,
+    /// The fingerprint was suspect when the request finished.
+    pub suspect: bool,
+    /// Why the tail sampler kept this tree ("slow", "error", "degraded",
+    /// "suspect", or "full" when the mode retains everything).
+    pub retained: String,
+    /// Spans in completion order (children close before parents).
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded because the per-request buffer cap was hit.
+    pub dropped: u32,
+}
+
+impl SpanTree {
+    /// Spans sorted for display: by start offset, ties by id (enter
+    /// order). Completion order interleaves children and parents; this
+    /// restores the waterfall order.
+    pub fn ordered(&self) -> Vec<&SpanRecord> {
+        let mut spans: Vec<&SpanRecord> = self.spans.iter().collect();
+        spans.sort_by_key(|s| (s.start_nanos, s.id));
+        spans
+    }
+
+    /// A canonical structural digest: span names nested by parent links,
+    /// children in enter order, timings excluded. Two runs of the same
+    /// request on the same plane produce byte-identical digests however
+    /// the clock jitters — the serial-oracle bit-match tests compare
+    /// these.
+    pub fn structure(&self) -> String {
+        let mut out = String::new();
+        let roots: Vec<&SpanRecord> = self.ordered().into_iter().collect();
+        for span in roots.iter().filter(|s| s.parent == 0) {
+            Self::write_structure(span, &roots, &mut out);
+        }
+        out
+    }
+
+    fn write_structure(span: &SpanRecord, all: &[&SpanRecord], out: &mut String) {
+        out.push_str(&span.name);
+        let children: Vec<&&SpanRecord> = all.iter().filter(|s| s.parent == span.id).collect();
+        if !children.is_empty() {
+            out.push('(');
+            for (i, child) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                Self::write_structure(child, all, out);
+            }
+            out.push(')');
+        }
+    }
+
+    /// Depth of a span under the parent links (root = 0). Malformed
+    /// parents (absent ids) count as roots.
+    pub fn depth_of(&self, span: &SpanRecord) -> usize {
+        let mut depth = 0;
+        let mut parent = span.parent;
+        while parent != 0 {
+            match self.spans.iter().find(|s| s.id == parent) {
+                Some(p) => {
+                    depth += 1;
+                    parent = p.parent;
+                }
+                None => break,
+            }
+            if depth > self.spans.len() {
+                break; // cycle guard: malformed input must not hang us
+            }
+        }
+        depth
+    }
+
+    /// One-line lossless JSON (a JSONL stream holds one tree per line).
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                JsonObj::new()
+                    .u64("id", u64::from(s.id))
+                    .u64("parent", u64::from(s.parent))
+                    .str("name", &s.name)
+                    .u64("start", s.start_nanos)
+                    .u64("end", s.end_nanos)
+                    .u64("meta", s.meta)
+                    .finish()
+            })
+            .collect();
+        JsonObj::new()
+            .u64("request_id", self.request_id)
+            .u64("fp", self.fp)
+            .u64("epoch", self.epoch)
+            .u64("total_nanos", self.total_nanos)
+            .str("outcome", &self.outcome)
+            .bool("degraded", self.degraded)
+            .bool("suspect", self.suspect)
+            .str("retained", &self.retained)
+            .u64("dropped", u64::from(self.dropped))
+            .raw("spans", &format!("[{}]", spans.join(",")))
+            .finish()
+    }
+
+    /// Parse the [`Self::to_json`] form back.
+    pub fn from_json(text: &str) -> Result<SpanTree, String> {
+        let v = parse_json(text).map_err(|e| format!("span tree JSON: {e}"))?;
+        Self::from_value(&v)
+    }
+
+    fn from_value(v: &JsonValue) -> Result<SpanTree, String> {
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("span tree missing {k}"))
+        };
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("span tree missing {k}"))
+        };
+        let b = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| format!("span tree missing {k}"))
+        };
+        let spans = match v.get("spans") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|e| {
+                    let f = |k: &str| e.get(k).and_then(JsonValue::as_u64);
+                    Some(SpanRecord {
+                        id: u32::try_from(f("id")?).ok()?,
+                        parent: u32::try_from(f("parent")?).ok()?,
+                        name: Cow::Owned(e.get("name").and_then(JsonValue::as_str)?.to_string()),
+                        start_nanos: f("start")?,
+                        end_nanos: f("end")?,
+                        meta: f("meta")?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed span entry")?,
+            _ => return Err("span tree missing spans".to_string()),
+        };
+        Ok(SpanTree {
+            request_id: u("request_id")?,
+            fp: u("fp")?,
+            epoch: u("epoch")?,
+            total_nanos: u("total_nanos")?,
+            outcome: s("outcome")?,
+            degraded: b("degraded")?,
+            suspect: b("suspect")?,
+            retained: s("retained")?,
+            spans,
+            dropped: u32::try_from(u("dropped")?).unwrap_or(u32::MAX),
+        })
+    }
+}
+
+/// Read a JSONL stream of span trees. Tolerant: blank lines are ignored,
+/// unparseable lines (a truncated tail, an interleaved partial write) are
+/// counted and skipped rather than failing the whole stream. Returns the
+/// parsed trees in stream order plus the skipped-line count.
+pub fn read_span_trees(text: &str) -> (Vec<SpanTree>, usize) {
+    let mut trees = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match SpanTree::from_json(line) {
+            Ok(tree) => trees.push(tree),
+            Err(_) => skipped += 1,
+        }
+    }
+    (trees, skipped)
+}
+
+/// Export trees as Chrome `trace_event` JSON (the object form with a
+/// `traceEvents` array), loadable in `about://tracing` / Perfetto. Each
+/// request becomes one `tid`; every span is a complete ("X") event with
+/// microsecond `ts`/`dur`, and a per-request metadata ("M") event carries
+/// the tree-level fields so [`from_chrome_trace`] round-trips exactly.
+pub fn to_chrome_trace(trees: &[SpanTree]) -> String {
+    let mut events = Vec::new();
+    for t in trees {
+        let meta_args = JsonObj::new()
+            .str("name", &format!("req {:#x} {}", t.fp, t.outcome))
+            .u64("request_id", t.request_id)
+            .u64("fp", t.fp)
+            .u64("epoch", t.epoch)
+            .u64("total_nanos", t.total_nanos)
+            .str("outcome", &t.outcome)
+            .bool("degraded", t.degraded)
+            .bool("suspect", t.suspect)
+            .str("retained", &t.retained)
+            .u64("dropped", u64::from(t.dropped))
+            .finish();
+        events.push(
+            JsonObj::new()
+                .str("name", "thread_name")
+                .str("ph", "M")
+                .u64("pid", 1)
+                .u64("tid", t.request_id)
+                .raw("args", &meta_args)
+                .finish(),
+        );
+        for s in &t.spans {
+            let args = JsonObj::new()
+                .u64("id", u64::from(s.id))
+                .u64("parent", u64::from(s.parent))
+                .u64("start_nanos", s.start_nanos)
+                .u64("end_nanos", s.end_nanos)
+                .u64("meta", s.meta)
+                .finish();
+            events.push(
+                JsonObj::new()
+                    .str("name", &s.name)
+                    .str("cat", "starqo")
+                    .str("ph", "X")
+                    .u64("pid", 1)
+                    .u64("tid", t.request_id)
+                    .u64("ts", s.start_nanos / 1_000)
+                    .u64("dur", (s.end_nanos.saturating_sub(s.start_nanos)) / 1_000)
+                    .raw("args", &args)
+                    .finish(),
+            );
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+/// Parse a [`to_chrome_trace`] export back into span trees (exact
+/// round-trip: the `args` carry full-precision nanos). Trees come back
+/// ordered by request id.
+pub fn from_chrome_trace(text: &str) -> Result<Vec<SpanTree>, String> {
+    let v = parse_json(text).map_err(|e| format!("chrome trace JSON: {e}"))?;
+    let events = match v.get("traceEvents") {
+        Some(JsonValue::Arr(items)) => items,
+        _ => return Err("chrome trace missing traceEvents".to_string()),
+    };
+    let mut trees: Vec<SpanTree> = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        let tid = e
+            .get("tid")
+            .and_then(JsonValue::as_u64)
+            .ok_or("event missing tid")?;
+        let args = e.get("args").ok_or("event missing args")?;
+        match ph {
+            "M" => {
+                let u = |k: &str| {
+                    args.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("metadata event missing {k}"))
+                };
+                let s = |k: &str| {
+                    args.get(k)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("metadata event missing {k}"))
+                };
+                trees.push(SpanTree {
+                    request_id: u("request_id")?,
+                    fp: u("fp")?,
+                    epoch: u("epoch")?,
+                    total_nanos: u("total_nanos")?,
+                    outcome: s("outcome")?,
+                    degraded: args
+                        .get("degraded")
+                        .and_then(JsonValue::as_bool)
+                        .ok_or("metadata event missing degraded")?,
+                    suspect: args
+                        .get("suspect")
+                        .and_then(JsonValue::as_bool)
+                        .ok_or("metadata event missing suspect")?,
+                    retained: s("retained")?,
+                    spans: Vec::new(),
+                    dropped: u32::try_from(u("dropped")?).unwrap_or(u32::MAX),
+                });
+            }
+            "X" => {
+                let tree = trees
+                    .iter_mut()
+                    .find(|t| t.request_id == tid)
+                    .ok_or("span event before its metadata event")?;
+                let u = |k: &str| {
+                    args.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("span event missing {k}"))
+                };
+                tree.spans.push(SpanRecord {
+                    id: u32::try_from(u("id")?).map_err(|_| "span id overflow")?,
+                    parent: u32::try_from(u("parent")?).map_err(|_| "span parent overflow")?,
+                    name: Cow::Owned(
+                        e.get("name")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("span event missing name")?
+                            .to_string(),
+                    ),
+                    start_nanos: u("start_nanos")?,
+                    end_nanos: u("end_nanos")?,
+                    meta: u("meta")?,
+                });
+            }
+            _ => {}
+        }
+    }
+    trees.sort_by_key(|t| t.request_id);
+    Ok(trees)
+}
+
+/// The mutable per-request state behind one [`SpanContext`]. One request
+/// is recorded by one thread at a time, so the mutex is uncontended — it
+/// exists so clones of the context (engine, executor) stay `Send`.
+#[derive(Debug)]
+struct SpanBuf {
+    request_id: u64,
+    started: Instant,
+    cap: usize,
+    records: Vec<SpanRecord>,
+    next_id: u32,
+    /// Open-span stack; the top is the parent for the next `enter`.
+    stack: Vec<u32>,
+    dropped: u32,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    buf: Mutex<SpanBuf>,
+}
+
+/// Per-thread recycled span buffers: a retired request's `SpanInner` (the
+/// `Arc`, the record vector, the open-span stack) is parked here and the
+/// next request on this thread reuses it, so steady-state span recording
+/// allocates nothing. Bounded; a buffer still shared with a live clone is
+/// simply not reused (`Arc` sole-ownership check).
+const SPAN_POOL_CAP: usize = 4;
+thread_local! {
+    static SPAN_POOL: std::cell::RefCell<Vec<Arc<SpanInner>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A cloneable handle to one request's span recorder, or a no-op when
+/// span tracing is off. Threaded from the service through the optimizer
+/// engine and the executor; every clone appends to the same buffer.
+#[derive(Debug, Clone, Default)]
+pub struct SpanContext {
+    inner: Option<Arc<SpanInner>>,
+}
+
+impl SpanContext {
+    /// The disabled context: every operation is a no-op.
+    pub fn off() -> SpanContext {
+        SpanContext { inner: None }
+    }
+
+    /// A live recorder for one request. `cap` bounds the per-request span
+    /// buffer; overflow is counted, not grown. Reuses a recycled buffer
+    /// from this thread's pool when one is free.
+    pub fn start(request_id: u64, cap: usize) -> SpanContext {
+        let recycled = SPAN_POOL.with(|p| p.borrow_mut().pop());
+        if let Some(mut arc) = recycled {
+            // Sole ownership proves no clone from the previous request can
+            // still record into this buffer.
+            if let Some(inner) = Arc::get_mut(&mut arc) {
+                let buf = inner.buf.get_mut().unwrap_or_else(|p| p.into_inner());
+                buf.request_id = request_id;
+                buf.started = Instant::now();
+                buf.cap = cap.max(1);
+                buf.records.clear();
+                buf.next_id = 0;
+                buf.stack.clear();
+                buf.dropped = 0;
+                return SpanContext { inner: Some(arc) };
+            }
+        }
+        SpanContext {
+            inner: Some(Arc::new(SpanInner {
+                buf: Mutex::new(SpanBuf {
+                    request_id,
+                    started: Instant::now(),
+                    cap: cap.max(1),
+                    // Sized for the common request shape (a handful of
+                    // serve-layer spans) so the hot path never reallocates.
+                    records: Vec::with_capacity(cap.clamp(1, 8)),
+                    next_id: 0,
+                    stack: Vec::with_capacity(4),
+                    dropped: 0,
+                }),
+            })),
+        }
+    }
+
+    /// Whether spans are being recorded (callers gate allocation-heavy
+    /// name formatting on this).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The request id, 0 when off.
+    pub fn request_id(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.lock().request_id)
+            .unwrap_or(0)
+    }
+
+    /// Nanos since the request started (its own monotonic clock).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| nanos_since(i.lock().started))
+            .unwrap_or(0)
+    }
+
+    /// Park this request's buffer in the thread's recycling pool so the
+    /// next request can reuse its allocations. Called once per request at
+    /// retirement; a no-op when off or the pool is full.
+    pub fn recycle(&self) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        SPAN_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SPAN_POOL_CAP {
+                pool.push(Arc::clone(inner));
+            }
+        });
+    }
+
+    /// Open a span under the current innermost open span. The returned
+    /// guard records on drop; spans therefore appear in completion order.
+    pub fn enter(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        self.enter_meta(name, 0)
+    }
+
+    /// [`Self::enter`] with an initial `meta` payload.
+    pub fn enter_meta(&self, name: impl Into<Cow<'static, str>>, meta: u64) -> SpanGuard {
+        let Some(inner) = self.inner.as_ref() else {
+            return SpanGuard::noop();
+        };
+        let (id, parent, start_nanos) = {
+            let mut buf = inner.lock();
+            buf.next_id += 1;
+            let id = buf.next_id;
+            let parent = buf.stack.last().copied().unwrap_or(0);
+            buf.stack.push(id);
+            (id, parent, nanos_since(buf.started))
+        };
+        SpanGuard {
+            inner: Some(Arc::clone(inner)),
+            id,
+            parent,
+            name: name.into(),
+            start_nanos,
+            meta,
+        }
+    }
+
+    /// Close out the request: drain the buffer into a [`SpanTree`].
+    /// Returns `None` when off or nothing was recorded. The context stays
+    /// usable but empty afterwards (finish is called exactly once, at the
+    /// outermost service entry point).
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        &self,
+        fp: u64,
+        epoch: u64,
+        total_nanos: u64,
+        outcome: &str,
+        degraded: bool,
+        suspect: bool,
+        retained: &str,
+    ) -> Option<SpanTree> {
+        let inner = self.inner.as_ref()?;
+        let mut buf = inner.lock();
+        if buf.records.is_empty() {
+            return None;
+        }
+        Some(SpanTree {
+            request_id: buf.request_id,
+            fp,
+            epoch,
+            total_nanos,
+            outcome: outcome.to_string(),
+            degraded,
+            suspect,
+            retained: retained.to_string(),
+            spans: std::mem::take(&mut buf.records),
+            dropped: std::mem::take(&mut buf.dropped),
+        })
+    }
+}
+
+/// RAII handle for one open span; records on drop. A guard from an off
+/// context does nothing.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<Arc<SpanInner>>,
+    id: u32,
+    parent: u32,
+    name: Cow<'static, str>,
+    start_nanos: u64,
+    meta: u64,
+}
+
+impl SpanGuard {
+    /// The do-nothing guard (off context, or a call site that spans
+    /// conditionally).
+    pub fn noop() -> SpanGuard {
+        SpanGuard {
+            inner: None,
+            id: 0,
+            parent: 0,
+            name: Cow::Borrowed(""),
+            start_nanos: 0,
+            meta: 0,
+        }
+    }
+
+    /// Rename the span before it closes (e.g. `cache_lookup` becomes
+    /// `flight_wait` once the serve reports it coalesced).
+    pub fn rename(&mut self, name: impl Into<Cow<'static, str>>) {
+        if self.inner.is_some() {
+            self.name = name.into();
+        }
+    }
+
+    /// Attach or replace the payload before the span closes.
+    pub fn set_meta(&mut self, meta: u64) {
+        self.meta = meta;
+    }
+}
+
+impl SpanInner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SpanBuf> {
+        self.buf.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Nanos elapsed since `started`, saturating.
+fn nanos_since(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let mut buf = inner.lock();
+        let end_nanos = nanos_since(buf.started);
+        // Unwind to this span: guards drop innermost-first on the happy
+        // path, but a panic-unwound scope may skip intermediates.
+        while let Some(top) = buf.stack.pop() {
+            if top == self.id {
+                break;
+            }
+        }
+        if buf.records.len() >= buf.cap {
+            buf.dropped += 1;
+            return;
+        }
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+            start_nanos: self.start_nanos,
+            end_nanos,
+            meta: self.meta,
+        };
+        buf.records.push(record);
+    }
+}
+
+/// Why the tail sampler kept a tree (`None` = drop).
+pub type TailVerdict = Option<&'static str>;
+
+/// The tail-based retention decision. Thread-safe; one instance per
+/// telemetry plane.
+#[derive(Debug)]
+pub struct TailSampler {
+    config: TailConfig,
+    /// Cached slow threshold in nanos (0 = not yet established).
+    threshold: AtomicU64,
+    decisions: AtomicU64,
+}
+
+impl TailSampler {
+    pub fn new(config: TailConfig) -> TailSampler {
+        TailSampler {
+            config,
+            threshold: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> TailConfig {
+        self.config
+    }
+
+    /// The current cached slow threshold in nanos (0 = none yet).
+    pub fn threshold_nanos(&self) -> u64 {
+        self.threshold.load(Ordering::Relaxed)
+    }
+
+    /// Decide retention for one finished request. `quantile_of` reads the
+    /// live retired-totals histogram — called only on refresh ticks, so
+    /// its cost is amortized over `refresh_every` requests.
+    pub fn decide(
+        &self,
+        total_nanos: u64,
+        errored: bool,
+        degraded: bool,
+        suspect: bool,
+        quantile_of: impl Fn(f64) -> Option<(u64, u64)>,
+    ) -> TailVerdict {
+        if errored {
+            return Some("error");
+        }
+        if degraded {
+            return Some("degraded");
+        }
+        if suspect {
+            return Some("suspect");
+        }
+        let n = self.decisions.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(self.config.refresh_every.max(1)) {
+            if let Some((value, count)) = quantile_of(self.config.quantile) {
+                if count >= self.config.min_samples {
+                    self.threshold.store(value.max(1), Ordering::Relaxed);
+                }
+            }
+        }
+        let threshold = self.threshold.load(Ordering::Relaxed);
+        (threshold > 0 && total_nanos > threshold).then_some("slow")
+    }
+}
+
+/// The bounded, sharded store of retained trees. FIFO per shard: when a
+/// shard is full the oldest resident tree is recycled for the newcomer
+/// and counted as evicted. Sharding by request id keeps concurrent
+/// retirements off each other's locks.
+pub struct SpanStore {
+    shards: Box<[Mutex<StoreShard>]>,
+    mask: usize,
+    shard_cap: usize,
+    evicted: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct StoreShard {
+    trees: VecDeque<SpanTree>,
+}
+
+impl std::fmt::Debug for SpanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanStore")
+            .field("shards", &self.shards.len())
+            .field("shard_cap", &self.shard_cap)
+            .finish()
+    }
+}
+
+impl SpanStore {
+    /// A store retaining at most ~`capacity` trees across `shards` shards
+    /// (both rounded up so every shard holds at least one tree).
+    pub fn new(shards: usize, capacity: usize) -> SpanStore {
+        let n = shards.max(1).next_power_of_two();
+        let shard_cap = capacity.max(1).div_ceil(n);
+        SpanStore {
+            shards: (0..n).map(|_| Mutex::new(StoreShard::default())).collect(),
+            mask: n - 1,
+            shard_cap,
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Retain one tree, recycling the shard's oldest if full.
+    pub fn record(&self, tree: SpanTree) {
+        let shard = &self.shards[(tree.request_id as usize) & self.mask];
+        let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        if guard.trees.len() >= self.shard_cap {
+            guard.trees.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        guard.trees.push_back(tree);
+    }
+
+    /// Every resident tree, request id ascending.
+    pub fn trees(&self) -> Vec<SpanTree> {
+        let mut all: Vec<SpanTree> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .trees
+                    .iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|t| t.request_id);
+        all
+    }
+
+    /// Resident tree count.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).trees.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total retention capacity (shards × per-shard cap).
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shard_cap
+    }
+
+    /// Trees recycled to make room since the store was created.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(names: &[(&str, u32)]) -> SpanTree {
+        // names: (name, parent) with ids assigned 1..; offsets synthetic.
+        SpanTree {
+            request_id: 7,
+            fp: 0xFEED,
+            epoch: 2,
+            total_nanos: 5_000,
+            outcome: "miss".to_string(),
+            degraded: false,
+            suspect: true,
+            retained: "suspect".to_string(),
+            spans: names
+                .iter()
+                .enumerate()
+                .map(|(i, (name, parent))| SpanRecord {
+                    id: u32::try_from(i).unwrap() + 1,
+                    parent: *parent,
+                    name: Cow::Owned((*name).to_string()),
+                    start_nanos: (i as u64) * 100,
+                    end_nanos: (i as u64) * 100 + 50,
+                    meta: i as u64,
+                })
+                .collect(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn guards_record_parent_links_and_offsets() {
+        let ctx = SpanContext::start(42, 64);
+        {
+            let _root = ctx.enter("request");
+            {
+                let mut g = ctx.enter("cache_lookup");
+                g.rename("flight_wait");
+                g.set_meta(9);
+            }
+            {
+                let _opt = ctx.enter("optimize");
+                let _star = ctx.enter_meta("star:JOIN", 3);
+            }
+        }
+        let tree = ctx
+            .finish(0xAB, 1, ctx.elapsed_nanos(), "miss", false, false, "full")
+            .expect("tree");
+        assert_eq!(tree.request_id, 42);
+        // Completion order: flight_wait, star, optimize, request.
+        let names: Vec<&str> = tree.spans.iter().map(|s| s.name.as_ref()).collect();
+        assert_eq!(
+            names,
+            vec!["flight_wait", "star:JOIN", "optimize", "request"]
+        );
+        assert_eq!(tree.structure(), "request(flight_wait,optimize(star:JOIN))");
+        let flight = &tree.spans[0];
+        assert_eq!((flight.meta, flight.parent), (9, 1));
+        let star = &tree.spans[1];
+        assert_eq!(star.meta, 3);
+        assert!(star.start_nanos <= star.end_nanos);
+        assert_eq!(tree.depth_of(star), 2);
+        // Finish drained the buffer: a second finish yields nothing.
+        assert!(ctx
+            .finish(0xAB, 1, 0, "miss", false, false, "full")
+            .is_none());
+    }
+
+    #[test]
+    fn off_context_is_inert() {
+        let ctx = SpanContext::off();
+        assert!(!ctx.enabled());
+        let mut g = ctx.enter("anything");
+        g.rename("still nothing");
+        drop(g);
+        assert!(ctx.finish(1, 1, 1, "hit", false, false, "full").is_none());
+        assert_eq!(ctx.request_id(), 0);
+        assert_eq!(ctx.elapsed_nanos(), 0);
+    }
+
+    #[test]
+    fn buffer_cap_drops_and_counts() {
+        let ctx = SpanContext::start(1, 2);
+        let _root = ctx.enter("request");
+        for i in 0..5 {
+            let _g = ctx.enter(format!("s{i}"));
+        }
+        drop(_root);
+        let tree = ctx
+            .finish(1, 1, 100, "hit", false, false, "full")
+            .expect("tree");
+        assert_eq!(tree.spans.len(), 2);
+        // 5 leaf spans + the root = 6 closes, 2 retained.
+        assert_eq!(tree.dropped, 4);
+    }
+
+    #[test]
+    fn json_roundtrips_and_jsonl_reader_tolerates_truncation() {
+        let t1 = tree_with(&[("request", 0), ("optimize", 1), ("star:JOIN", 2)]);
+        let mut t2 = t1.clone();
+        t2.request_id = 9;
+        t2.outcome = "hit".to_string();
+        assert_eq!(SpanTree::from_json(&t1.to_json()).expect("parse"), t1);
+        let full = format!("{}\n{}\n", t1.to_json(), t2.to_json());
+        let (trees, skipped) = read_span_trees(&full);
+        assert_eq!((trees.len(), skipped), (2, 0));
+        assert_eq!(trees[1], t2);
+        // Truncate the stream mid-way through the second line.
+        let cut = &full[..t1.to_json().len() + 1 + 20];
+        let (trees, skipped) = read_span_trees(cut);
+        assert_eq!((trees.len(), skipped), (1, 1));
+        assert_eq!(trees[0], t1);
+    }
+
+    #[test]
+    fn chrome_export_roundtrips_exactly() {
+        let t1 = tree_with(&[("request", 0), ("execute", 1), ("pipeline:scan", 2)]);
+        let mut t2 = tree_with(&[("request", 0)]);
+        t2.request_id = 11;
+        t2.degraded = true;
+        t2.retained = "degraded".to_string();
+        let text = to_chrome_trace(&[t1.clone(), t2.clone()]);
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"M\""));
+        assert!(text.contains("\"cat\":\"starqo\""));
+        let back = from_chrome_trace(&text).expect("parse");
+        assert_eq!(back, vec![t1, t2]);
+    }
+
+    #[test]
+    fn tail_sampler_keeps_interesting_requests_only() {
+        let sampler = TailSampler::new(TailConfig {
+            quantile: 0.99,
+            min_samples: 4,
+            refresh_every: 1,
+        });
+        let hist = |_q: f64| Some((1_000u64, 100u64));
+        assert_eq!(sampler.decide(10, true, false, false, hist), Some("error"));
+        assert_eq!(
+            sampler.decide(10, false, true, false, hist),
+            Some("degraded")
+        );
+        assert_eq!(
+            sampler.decide(10, false, false, true, hist),
+            Some("suspect")
+        );
+        // Fast request: dropped once the threshold is established.
+        assert_eq!(sampler.decide(500, false, false, false, hist), None);
+        assert_eq!(sampler.threshold_nanos(), 1_000);
+        assert_eq!(
+            sampler.decide(5_000, false, false, false, hist),
+            Some("slow")
+        );
+        // Under-populated histogram: the slow test abstains.
+        let cold = TailSampler::new(TailConfig {
+            min_samples: 1_000,
+            refresh_every: 1,
+            ..TailConfig::default()
+        });
+        assert_eq!(
+            cold.decide(u64::MAX, false, false, false, |_| Some((1, 10))),
+            None
+        );
+    }
+
+    #[test]
+    fn store_is_bounded_and_counts_evictions() {
+        let store = SpanStore::new(1, 2);
+        assert_eq!(store.capacity(), 2);
+        for i in 0..5u64 {
+            let mut t = tree_with(&[("request", 0)]);
+            t.request_id = i;
+            store.record(t);
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evicted(), 3);
+        let ids: Vec<u64> = store.trees().iter().map(|t| t.request_id).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn structure_digest_ignores_timing() {
+        let mut a = tree_with(&[("request", 0), ("optimize", 1), ("glue", 2)]);
+        let mut b = a.clone();
+        for s in b.spans.iter_mut() {
+            s.start_nanos *= 7;
+            s.end_nanos = s.start_nanos + 1;
+        }
+        // Completion order differs too: structure must not care.
+        b.spans.reverse();
+        a.spans.iter_mut().for_each(|s| s.meta = 0);
+        b.spans.iter_mut().for_each(|s| s.meta = 0);
+        assert_eq!(a.structure(), b.structure());
+        assert_eq!(a.structure(), "request(optimize(glue))");
+    }
+}

@@ -91,4 +91,26 @@ grep -q "plan_drift" target/bench/drift_doctor.txt
 ./target/debug/starqo-obs doctor --smoke | grep -q "doctor --smoke ok"
 echo "drift smoke passed."
 
+echo "== spans smoke (tail retention -> waterfall -> Chrome round-trip) =="
+cargo build -q --offline -p starqo-bench --bin spans
+# The experiment asserts the retention scenario (slow drifted request kept,
+# oracle structure bit-match) and every round-trip internally (non-zero
+# exit on violation); the greps double-check the report, then the exported
+# trees must drive the spans table and the timeline waterfall.
+./target/debug/spans --smoke > target/bench/spans_smoke.txt
+grep -q "oracle structure match=true" target/bench/spans_smoke.txt
+grep -q "consistency: 0 failures" target/bench/spans_smoke.txt
+./target/debug/starqo-obs spans target/bench/spans.jsonl \
+    > target/bench/spans_table.txt
+grep -q "request" target/bench/spans_table.txt
+./target/debug/starqo-obs timeline target/bench/spans.jsonl \
+    > target/bench/spans_timeline.txt
+grep -q "execute" target/bench/spans_timeline.txt
+./target/debug/starqo-obs spans --smoke | grep -q "spans --smoke ok"
+./target/debug/starqo-obs timeline --smoke | grep -q "timeline --smoke ok"
+./target/debug/starqo-obs doctor --smoke --json target/bench/doctor_smoke.json \
+    > /dev/null
+grep -q '"healthy"' target/bench/doctor_smoke.json
+echo "spans smoke passed."
+
 echo "All checks passed."
