@@ -1,0 +1,35 @@
+//! Experiment binary: the self-healing soak (E22) — the E20 drift workload
+//! against a heal-enabled service (suspect → re-opt → probation → swap),
+//! plus a chaos sweep injecting panics/errors/stalls into every re-opt
+//! pipeline stage. Writes `BENCH_heal.json` with the run's deterministic
+//! counters for the regression gate.
+//!
+//! With `STARQO_FAULTS` set to a `reopt:` spec (e.g. `reopt:verify:panic`),
+//! runs exactly one sweep under that fault plan instead of the full
+//! experiment, exiting non-zero on any escape, divergence, or unhealed
+//! fingerprint — the serve-path chaos-smoke contract enforced in CI.
+//!
+//! Usage: `[STARQO_FAULTS=reopt:...] heal [--smoke|--quick]`
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "--smoke");
+    let env_plan = match starqo_core::FaultPlan::from_env() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("STARQO_FAULTS: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(plan) = env_plan {
+        let report = starqo_bench::heal::run_under_plan(plan);
+        print!("{}", report.render());
+        let failed = !report.escapes.is_empty() || report.divergences > 0 || report.unhealed > 0;
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+    starqo_bench::run_bin("heal", || vec![starqo_bench::heal::e22_heal(quick)]);
+}

@@ -43,18 +43,18 @@ use crate::{bench_dir, row, Report};
 /// Large enough that a drifting fingerprint's very first post-shift run
 /// crosses the single-run Q threshold whatever its baseline estimation
 /// error (which phase A bounds), small enough to execute quickly.
-const SCALE: u64 = 32;
+pub(crate) const SCALE: u64 = 32;
 
 /// Parameter constants are drawn from `0..PARAM_DOMAIN`. The synthetic
 /// payload columns have at least `(card_min / 10).max(2) = 3` distinct
 /// values, so every draw selects rows and every run observes a real
 /// cardinality.
-const PARAM_DOMAIN: u64 = 3;
+pub(crate) const PARAM_DOMAIN: u64 = 3;
 
 /// Suspect thresholds for the run: flag on geomean Q ≥ 4 or any single run
 /// with Q ≥ 8, after 8 runs of history. Latency-based flagging is off —
 /// this experiment is about cardinality truth, not machine speed.
-fn suspect_config() -> SuspectConfig {
+pub(crate) fn suspect_config() -> SuspectConfig {
     SuspectConfig {
         min_runs: 8,
         geomean_qlog_micro: 2_000_000,
@@ -68,7 +68,7 @@ fn suspect_config() -> SuspectConfig {
 /// clique closures pick up an extra `1/scaled-domain` selectivity per
 /// closing edge, which cancels the growth — they are the negative
 /// controls.
-fn drifts(t: &Template) -> bool {
+pub(crate) fn drifts(t: &Template) -> bool {
     matches!(t.shape, QueryShape::Chain | QueryShape::Star)
 }
 

@@ -26,6 +26,7 @@
 //! | E19 | live telemetry plane: overhead + snapshot invariants | [`telemetry::e19_telemetry`] |
 //! | E20 | feedback plane: drift detection + overhead | [`drift::e20_drift`] |
 //! | E21 | span tracing: overhead + tail retention proof | [`spans::e21_spans`] |
+//! | E22 | self-healing: drift recovery + re-opt chaos soak | [`heal::e22_heal`] |
 
 pub mod chaos;
 pub mod comparison;
@@ -34,6 +35,7 @@ pub mod distributed;
 pub mod drift;
 pub mod extensibility;
 pub mod figures;
+pub mod heal;
 pub mod observatory;
 pub mod serving;
 pub mod spans;

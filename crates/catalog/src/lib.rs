@@ -14,6 +14,7 @@ pub mod catalog;
 pub mod error;
 pub mod ids;
 pub mod index;
+pub mod overlay;
 pub mod schema;
 pub mod shared;
 pub mod site;
@@ -23,6 +24,7 @@ pub use catalog::{Catalog, CatalogBuilder};
 pub use error::{CatalogError, Result};
 pub use ids::{ColId, IndexId, SiteId, TableId, TID_COL};
 pub use index::Index;
+pub use overlay::CatalogOverlay;
 pub use schema::{Column, StorageKind, Table};
 pub use shared::SharedCatalog;
 pub use site::Site;

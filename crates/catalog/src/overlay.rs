@@ -1,0 +1,125 @@
+//! Per-fingerprint catalog overlays: a base catalog snapshot plus a set
+//! of table-cardinality overrides, materialized copy-on-write.
+//!
+//! The adaptive serving loop refreshes what it *observed* (per-fingerprint
+//! actual row counts from the feedback plane) into what the optimizer
+//! *reads* (table cardinalities). An overlay scopes those corrections to
+//! one re-optimization: the shared catalog snapshot stays untouched — no
+//! epoch bump, no cache invalidation storm — and the overrides die with
+//! the re-planned candidate. Overrides accumulate in insertion order and
+//! materialize through the catalog's own copy-on-write mutators, so a
+//! materialized overlay is an ordinary [`Catalog`] the optimizer can own.
+
+use std::sync::Arc;
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+
+/// A base catalog plus pending table-cardinality overrides.
+#[derive(Debug, Clone)]
+pub struct CatalogOverlay {
+    base: Arc<Catalog>,
+    /// `(table name, cardinality)` in insertion order; the last override
+    /// for a table wins.
+    overrides: Vec<(String, u64)>,
+}
+
+impl CatalogOverlay {
+    /// An overlay over `base` with no overrides yet.
+    pub fn new(base: Arc<Catalog>) -> CatalogOverlay {
+        CatalogOverlay {
+            base,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The untouched base snapshot.
+    pub fn base(&self) -> &Arc<Catalog> {
+        &self.base
+    }
+
+    /// Queue a table-cardinality override (clamped to ≥ 1 row; a zero
+    /// cardinality would divide by zero in selectivity arithmetic and the
+    /// observation "no rows this run" is not "the table is empty").
+    pub fn set_table_card(&mut self, table: &str, card: u64) {
+        self.overrides.push((table.to_string(), card.max(1)));
+    }
+
+    /// Pending overrides, insertion order.
+    pub fn overrides(&self) -> &[(String, u64)] {
+        &self.overrides
+    }
+
+    /// Whether any override is queued.
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Materialize: one copy-on-write pass applying every override to the
+    /// base. With no overrides the base `Arc` is shared, not copied.
+    /// Fails if an override names a table the base does not have.
+    pub fn materialize(&self) -> Result<Arc<Catalog>> {
+        if self.overrides.is_empty() {
+            return Ok(Arc::clone(&self.base));
+        }
+        let mut cat: Option<Catalog> = None;
+        for (table, card) in &self.overrides {
+            let next = match cat.as_ref() {
+                Some(c) => c.with_table_card(table, *card)?,
+                None => self.base.with_table_card(table, *card)?,
+            };
+            cat = Some(next);
+        }
+        Ok(Arc::new(cat.unwrap_or_else(|| (*self.base).clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StorageKind;
+    use crate::value::DataType;
+
+    fn base() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::builder()
+                .table("DEPT", "x", StorageKind::Heap, 50)
+                .column("DNO", DataType::Int, Some(50))
+                .table("EMP", "x", StorageKind::Heap, 10_000)
+                .column("DNO", DataType::Int, Some(50))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn empty_overlay_shares_the_base() {
+        let b = base();
+        let overlay = CatalogOverlay::new(Arc::clone(&b));
+        assert!(overlay.is_empty());
+        let m = overlay.materialize().unwrap();
+        assert!(Arc::ptr_eq(&m, &b));
+    }
+
+    #[test]
+    fn overrides_apply_without_touching_the_base() {
+        let b = base();
+        let mut overlay = CatalogOverlay::new(Arc::clone(&b));
+        overlay.set_table_card("EMP", 320_000);
+        overlay.set_table_card("DEPT", 0); // clamps to 1
+        overlay.set_table_card("EMP", 160_000); // last wins
+        let m = overlay.materialize().unwrap();
+        assert_eq!(m.table_by_name("EMP").unwrap().card, 160_000);
+        assert_eq!(m.table_by_name("DEPT").unwrap().card, 1);
+        // The base snapshot is untouched.
+        assert_eq!(b.table_by_name("EMP").unwrap().card, 10_000);
+        assert_eq!(overlay.base().table_by_name("DEPT").unwrap().card, 50);
+    }
+
+    #[test]
+    fn unknown_table_fails_materialization() {
+        let mut overlay = CatalogOverlay::new(base());
+        overlay.set_table_card("NOPE", 7);
+        assert!(overlay.materialize().is_err());
+    }
+}

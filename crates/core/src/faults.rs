@@ -9,9 +9,11 @@
 //! ```text
 //! site:target:mode[@k] [; site:target:mode[@k] ...]
 //!
-//! site    native | prop | exec
+//! site    native | prop | exec | reopt
 //! target  a native function name ("join_preds"), a LOLEPOP name
-//!         ("JOIN" matches "JOIN(NL)" etc.), or "*" (any)
+//!         ("JOIN" matches "JOIN(NL)" etc.), a re-optimization stage
+//!         ("overlay", "optimize", "verify", "probation", "swap"), or
+//!         "*" (any)
 //! mode    panic | error | stallN   (N busy-loop iterations)
 //! k       fire on the k-th matching invocation (default 1)
 //! ```
@@ -42,7 +44,7 @@ pub enum FaultMode {
 /// One armed fault: where, what, and when.
 #[derive(Debug)]
 pub struct FaultSpec {
-    /// Injection site kind: `"native"`, `"prop"`, or `"exec"`.
+    /// Injection site kind: `"native"`, `"prop"`, `"exec"`, or `"reopt"`.
     pub site: String,
     /// Name to match (exact, prefix-up-to-`'('`, or `"*"`).
     pub target: String,
@@ -98,9 +100,9 @@ impl FaultPlan {
                 ));
             }
             let site = fields[0].trim();
-            if !matches!(site, "native" | "prop" | "exec") {
+            if !matches!(site, "native" | "prop" | "exec" | "reopt") {
                 return Err(format!(
-                    "fault spec '{part}': site must be native, prop, or exec"
+                    "fault spec '{part}': site must be native, prop, exec, or reopt"
                 ));
             }
             let target = fields[1].trim();
@@ -207,10 +209,13 @@ mod tests {
 
     #[test]
     fn parses_full_spec_list() {
-        let plan =
-            FaultPlan::parse("native:join_preds:panic; prop:JOIN:error@3 ; exec:SORT:stall500")
-                .unwrap();
-        assert_eq!(plan.specs.len(), 3);
+        let plan = FaultPlan::parse(
+            "native:join_preds:panic; prop:JOIN:error@3 ; exec:SORT:stall500; reopt:verify:error",
+        )
+        .unwrap();
+        assert_eq!(plan.specs.len(), 4);
+        assert_eq!(plan.specs[3].site, "reopt");
+        assert_eq!(plan.specs[3].mode, FaultMode::Error);
         assert_eq!(plan.specs[0].mode, FaultMode::Panic);
         assert_eq!(plan.specs[0].k, 1);
         assert_eq!(plan.specs[1].mode, FaultMode::Error);

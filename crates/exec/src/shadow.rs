@@ -1,0 +1,77 @@
+//! Shadow execution: run a plan off the serving path, with no telemetry
+//! plane attached, and return both the rows and the executor's simulated
+//! resource counters.
+//!
+//! The self-healing loop in `starqo-serve` uses this twice per candidate:
+//! once to *verify* (the candidate's rows must bit-match the incumbent's —
+//! the same multiset oracle experiment E13 uses) and then repeatedly to
+//! *measure* the probation A/B. Keeping telemetry off matters: shadow runs
+//! are the healer's private experiments and must not fold into the
+//! feedback plane, or they would perturb the very drift signal that
+//! triggered them.
+
+use starqo_plan::PlanRef;
+use starqo_query::Query;
+use starqo_storage::Database;
+
+use crate::error::Result;
+use crate::eval::{ExecStats, Executor};
+use crate::result::QueryResult;
+
+/// Execute `plan` for `query` against `db` in a fresh, unobserved
+/// executor. Returns the projected result and the run's resource counters.
+pub fn shadow_run(
+    db: &Database,
+    query: &Query,
+    plan: &PlanRef,
+) -> Result<(QueryResult, ExecStats)> {
+    let mut ex = Executor::new(db, query);
+    let rows = ex.run(plan)?;
+    let stats = *ex.stats();
+    Ok((rows, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use starqo_catalog::{Catalog, ColId, DataType, StorageKind, Value};
+    use starqo_plan::{AccessSpec, CostModel, Lolepop, PropCtx, PropEngine};
+    use starqo_query::{parse_query, PredSet, QCol, QId};
+    use starqo_storage::DatabaseBuilder;
+
+    #[test]
+    fn shadow_run_returns_rows_and_nonzero_work() {
+        let cat = Arc::new(
+            Catalog::builder()
+                .site("NY")
+                .table("T", "NY", StorageKind::Heap, 4)
+                .column("A", DataType::Int, Some(4))
+                .build()
+                .unwrap(),
+        );
+        let mut b = DatabaseBuilder::new(Arc::clone(&cat));
+        for i in 0..4i64 {
+            b.insert("T", vec![Value::Int(i)]).unwrap();
+        }
+        let db = b.build().unwrap();
+        let q = parse_query(&cat, "SELECT A FROM T").unwrap();
+        let model = CostModel::default();
+        let ctx = PropCtx::new(db.catalog(), &q, &model);
+        let plan = PropEngine::new()
+            .build(
+                Lolepop::Access {
+                    spec: AccessSpec::HeapTable(QId(0)),
+                    cols: [QCol::new(QId(0), ColId(0))].into_iter().collect(),
+                    preds: PredSet::default(),
+                },
+                vec![],
+                &ctx,
+            )
+            .unwrap();
+        let (rows, stats) = shadow_run(&db, &q, &plan).unwrap();
+        assert_eq!(rows.rows.len(), 4);
+        assert!(stats.pages_read > 0, "a heap scan reads pages");
+    }
+}

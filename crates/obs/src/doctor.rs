@@ -208,6 +208,68 @@ impl Diagnosis {
             );
         }
 
+        // Re-optimization storm: the healer keeps burning budget without
+        // landing candidates — every attempt either fails or loses the
+        // stability guard. Judged only with enough attempts to matter.
+        let attempts = c("serve_reopt_attempts");
+        let swaps = c("serve_plan_swap");
+        if attempts >= 5 && swaps * 4 < attempts {
+            push(
+                Severity::Warn,
+                "reopt_storm",
+                format!(
+                    "{attempts} re-optimization attempt(s) produced only {swaps} swap(s) \
+                     ({} pinned) — stale fault, bad overlay stats, or a retry cap too high",
+                    c("serve_plan_pinned")
+                ),
+            );
+        }
+
+        // Heal effectiveness: relates heal outcomes to the live suspect
+        // set. Retry-capped fingerprints are stuck until an epoch change;
+        // pins with zero swaps against live suspects mean healing runs but
+        // never lands.
+        let capped: Vec<u64> = s
+            .heal
+            .iter()
+            .filter(|h| h.retry_capped)
+            .map(|h| h.fp)
+            .collect();
+        let total_pins: u64 = s.heal.iter().map(|h| h.pins).sum();
+        let total_swaps: u64 = s.heal.iter().map(|h| h.swaps).sum();
+        if !capped.is_empty() {
+            let fps: Vec<String> = capped.iter().take(4).map(|fp| format!("{fp:#x}")).collect();
+            push(
+                Severity::Warn,
+                "heal_effectiveness",
+                format!(
+                    "{} fingerprint(s) hit the retry cap and stay pinned until the next \
+                     catalog epoch: {}",
+                    capped.len(),
+                    fps.join(", ")
+                ),
+            );
+        } else if total_swaps == 0 && total_pins > 0 && !s.suspects().is_empty() {
+            push(
+                Severity::Warn,
+                "heal_effectiveness",
+                format!(
+                    "healing attempted but nothing landed: {total_pins} pin(s) against \
+                     {} live suspect(s)",
+                    s.suspects().len()
+                ),
+            );
+        } else if total_swaps > 0 {
+            push(
+                Severity::Info,
+                "heal_effectiveness",
+                format!(
+                    "{total_swaps} healed candidate(s) swapped in, {total_pins} pinned \
+                     by the stability guard"
+                ),
+            );
+        }
+
         Diagnosis { findings }
     }
 
@@ -390,6 +452,76 @@ mod tests {
             findings[0].get("check").and_then(|x| x.as_str()),
             Some("errors")
         );
+    }
+
+    #[test]
+    fn reopt_storm_flags_a_thrashing_heal_loop() {
+        let mut s = smoke_snapshot();
+        for (name, v) in s.counters.iter_mut() {
+            if name == "serve_reopt_attempts" {
+                *v = 12;
+            }
+            if name == "serve_plan_swap" {
+                *v = 1;
+            }
+        }
+        let d = Diagnosis::from_snapshot(&s);
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.check == "reopt_storm")
+            .expect("reopt_storm finding");
+        assert_eq!(f.severity, Severity::Warn);
+        assert!(
+            f.detail.contains("12 re-optimization attempt(s)"),
+            "{}",
+            f.detail
+        );
+        // The smoke snapshot itself (3 attempts, 1 swap) is below the bar.
+        let d = Diagnosis::from_snapshot(&smoke_snapshot());
+        assert!(d.findings.iter().all(|f| f.check != "reopt_storm"));
+    }
+
+    #[test]
+    fn heal_effectiveness_grades_swaps_pins_and_the_retry_cap() {
+        // The smoke snapshot healed something: info, not a warning.
+        let d = Diagnosis::from_snapshot(&smoke_snapshot());
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.check == "heal_effectiveness")
+            .expect("heal_effectiveness finding");
+        assert_eq!(f.severity, Severity::Info);
+        assert!(f.detail.contains("1 healed candidate(s)"), "{}", f.detail);
+
+        // Pins without swaps against a live suspect: healing runs but
+        // never lands.
+        let mut s = smoke_snapshot();
+        s.heal[0].swaps = 0;
+        s.heal[0].pins = 3;
+        s.heal[0].last_reason = "regression".into();
+        let d = Diagnosis::from_snapshot(&s);
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.check == "heal_effectiveness")
+            .expect("heal_effectiveness finding");
+        assert_eq!(f.severity, Severity::Warn);
+        assert!(f.detail.contains("nothing landed"), "{}", f.detail);
+
+        // The retry cap dominates: the fingerprint is stuck until the next
+        // epoch, whatever else the tallies say.
+        let mut s = smoke_snapshot();
+        s.heal[0].retry_capped = true;
+        let d = Diagnosis::from_snapshot(&s);
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.check == "heal_effectiveness")
+            .expect("heal_effectiveness finding");
+        assert_eq!(f.severity, Severity::Warn);
+        assert!(f.detail.contains("retry cap"), "{}", f.detail);
+        assert!(f.detail.contains("0xa11ce"), "{}", f.detail);
     }
 
     #[test]

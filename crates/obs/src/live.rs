@@ -217,6 +217,56 @@ impl LiveReport {
                 ));
             }
         }
+
+        let reopt_total = c("serve_reopt_attempts")
+            + c("serve_reopt_backoff")
+            + c("serve_plan_swap")
+            + c("serve_plan_pinned");
+        if reopt_total > 0 || !s.heal.is_empty() {
+            out.push_str("\n-- serve heal --\n");
+            out.push_str(&format!(
+                "  reopt           {} attempts   {} failures   swap {} / pin {}\n",
+                c("serve_reopt_attempts"),
+                c("serve_reopt_failures"),
+                c("serve_plan_swap"),
+                c("serve_plan_pinned")
+            ));
+            out.push_str(&format!(
+                "  backoff         {} suppressed   {} retry-capped\n",
+                c("serve_reopt_backoff"),
+                c("serve_reopt_retry_capped")
+            ));
+            if !s.heal.is_empty() {
+                out.push_str(&format!(
+                    "  {:<18} {:>6} {:>8} {:>6} {:>6} {:>8} {:<14}\n",
+                    "fingerprint", "epoch", "attempts", "swaps", "pins", "backoff", "last"
+                ));
+                for h in &s.heal {
+                    let state = if h.retry_capped {
+                        "  CAPPED"
+                    } else if h.backoff_until_nanos > 0 {
+                        "  backing off"
+                    } else {
+                        ""
+                    };
+                    out.push_str(&format!(
+                        "  {:<18} {:>6} {:>8} {:>6} {:>6} {:>8} {:<14}{}\n",
+                        format!("{:#018x}", h.fp),
+                        h.epoch,
+                        h.attempts,
+                        h.swaps,
+                        h.pins,
+                        h.backoff_hits,
+                        if h.last_reason.is_empty() {
+                            "-"
+                        } else {
+                            &h.last_reason
+                        },
+                        state
+                    ));
+                }
+            }
+        }
         out
     }
 }
@@ -273,6 +323,12 @@ pub fn smoke_snapshot() -> TelemetrySnapshot {
             ("serve_suspects_flagged".into(), 1),
             ("serve_spans_kept".into(), 6),
             ("serve_spans_dropped".into(), 194),
+            ("serve_reopt_attempts".into(), 3),
+            ("serve_reopt_failures".into(), 1),
+            ("serve_reopt_backoff".into(), 2),
+            ("serve_reopt_retry_capped".into(), 0),
+            ("serve_plan_swap".into(), 1),
+            ("serve_plan_pinned".into(), 2),
         ],
         phases: vec![
             ("prepare".into(), 400_000, 200),
@@ -325,6 +381,17 @@ pub fn smoke_snapshot() -> TelemetrySnapshot {
             }
             plane.snapshot()
         },
+        heal: vec![starqo_trace::HealRecord {
+            fp: 0xA11CE,
+            epoch: 1,
+            attempts: 0,
+            swaps: 1,
+            pins: 2,
+            backoff_hits: 2,
+            retry_capped: false,
+            last_reason: "swapped".into(),
+            backoff_until_nanos: 0,
+        }],
     }
 }
 
@@ -371,6 +438,15 @@ mod tests {
             .find(|l| l.contains("0x00000000000a11ce") && l.contains("SUSPECT"))
             .expect("drifted plan row");
         assert!(drifted.contains("16.00"), "{drifted}");
+        // The self-healing section: counters plus the per-fingerprint table.
+        assert!(text.contains("-- serve heal --"), "{text}");
+        assert!(text.contains("3 attempts   1 failures   swap 1 / pin 2"));
+        assert!(text.contains("2 suppressed   0 retry-capped"));
+        let heal_row = text
+            .lines()
+            .find(|l| l.contains("0x00000000000a11ce") && l.contains("swapped"))
+            .expect("heal record row");
+        assert!(heal_row.contains("swapped"), "{heal_row}");
     }
 
     #[test]

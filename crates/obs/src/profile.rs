@@ -119,6 +119,34 @@ impl ServeCacheStats {
     }
 }
 
+/// Self-healing activity from a serving-layer trace: the `plan_reopt` /
+/// `plan_swap` / `plan_pinned` event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeHealStats {
+    /// `plan_reopt` events (re-optimization attempts started).
+    pub reopts: u64,
+    /// Candidates that passed the stability guard and replaced the
+    /// incumbent.
+    pub swaps: u64,
+    /// Attempts resolved by keeping the incumbent, keyed by typed reason.
+    pub pin_reasons: BTreeMap<String, u64>,
+    /// Probation work units, summed across swaps: how much the incumbents
+    /// cost against what the winning candidates cost.
+    pub incumbent_work: u64,
+    pub candidate_work: u64,
+}
+
+impl ServeHealStats {
+    pub fn pins(&self) -> u64 {
+        self.pin_reasons.values().sum()
+    }
+
+    /// Whether the trace carried any healing activity at all.
+    pub fn any(&self) -> bool {
+        self.reopts + self.swaps + self.pins() > 0
+    }
+}
+
 /// The whole-run profile: per-STAR rows plus the winning-plan lineage.
 #[derive(Debug, Clone, Default)]
 pub struct Profile {
@@ -134,6 +162,8 @@ pub struct Profile {
     /// Serving-layer plan-cache activity (empty unless the trace came from
     /// a `starqo-serve` service).
     pub serve: ServeCacheStats,
+    /// Self-healing activity (empty unless the service healed something).
+    pub heal: ServeHealStats,
 }
 
 impl Profile {
@@ -152,6 +182,7 @@ impl Profile {
         let mut quarantines = Vec::new();
         let mut degraded = Vec::new();
         let mut serve = ServeCacheStats::default();
+        let mut heal = ServeHealStats::default();
         // The query whose events are streaming past, when the trace carries
         // `query_start` markers (fleet runs do; single-query traces don't).
         let mut cur_query: Option<String> = None;
@@ -294,6 +325,19 @@ impl Profile {
                 TraceEvent::Counter { name, value } if name.starts_with("serve_") => {
                     serve.counters.insert(name.clone(), *value);
                 }
+                TraceEvent::PlanReopt { .. } => heal.reopts += 1,
+                TraceEvent::PlanSwap {
+                    incumbent_work,
+                    candidate_work,
+                    ..
+                } => {
+                    heal.swaps += 1;
+                    heal.incumbent_work += incumbent_work;
+                    heal.candidate_work += candidate_work;
+                }
+                TraceEvent::PlanPinned { reason, .. } => {
+                    *heal.pin_reasons.entry(reason.clone()).or_insert(0) += 1;
+                }
                 _ => {}
             }
         }
@@ -313,6 +357,7 @@ impl Profile {
             quarantines,
             degraded,
             serve,
+            heal,
         }
     }
 
@@ -433,6 +478,33 @@ impl Profile {
                     .map(|(k, v)| format!("{k}={v}"))
                     .collect();
                 let _ = writeln!(out, "  counters: {}", rendered.join("  "));
+            }
+        }
+
+        if self.heal.any() {
+            let _ = writeln!(out, "\nserve heal:");
+            let _ = writeln!(
+                out,
+                "  reopt attempts {}  swaps {}  pins {}",
+                self.heal.reopts,
+                self.heal.swaps,
+                self.heal.pins(),
+            );
+            if self.heal.swaps > 0 {
+                let _ = writeln!(
+                    out,
+                    "  probation work: incumbent {}  candidate {}",
+                    self.heal.incumbent_work, self.heal.candidate_work,
+                );
+            }
+            if !self.heal.pin_reasons.is_empty() {
+                let rendered: Vec<String> = self
+                    .heal
+                    .pin_reasons
+                    .iter()
+                    .map(|(r, n)| format!("{r}={n}"))
+                    .collect();
+                let _ = writeln!(out, "  pin reasons: {}", rendered.join("  "));
             }
         }
 
@@ -601,6 +673,63 @@ mod tests {
         let p = Profile::from_events(&trace_one_star());
         assert!(!p.serve.any());
         assert!(!p.render().contains("serve cache:"));
+        assert!(!p.heal.any());
+        assert!(!p.render().contains("serve heal:"));
+    }
+
+    #[test]
+    fn heal_events_aggregate_into_their_own_section() {
+        let events = vec![
+            TraceEvent::PlanReopt {
+                fp: 7,
+                epoch: 1,
+                attempt: 1,
+            },
+            TraceEvent::PlanPinned {
+                fp: 7,
+                epoch: 1,
+                reason: "reopt_error".into(),
+                attempt: 1,
+                backoff_nanos: 1_000,
+            },
+            TraceEvent::PlanReopt {
+                fp: 7,
+                epoch: 1,
+                attempt: 2,
+            },
+            TraceEvent::PlanSwap {
+                fp: 7,
+                epoch: 1,
+                incumbent_work: 900,
+                candidate_work: 300,
+            },
+            TraceEvent::PlanPinned {
+                fp: 9,
+                epoch: 1,
+                reason: "regression".into(),
+                attempt: 1,
+                backoff_nanos: 2_000,
+            },
+        ];
+        let p = Profile::from_events(&events);
+        assert!(p.heal.any());
+        assert_eq!(p.heal.reopts, 2);
+        assert_eq!(p.heal.swaps, 1);
+        assert_eq!(p.heal.pins(), 2);
+        assert_eq!(p.heal.pin_reasons.get("reopt_error"), Some(&1));
+        assert_eq!(p.heal.pin_reasons.get("regression"), Some(&1));
+        assert_eq!((p.heal.incumbent_work, p.heal.candidate_work), (900, 300));
+        let text = p.render();
+        assert!(text.contains("serve heal:"), "{text}");
+        assert!(text.contains("reopt attempts 2  swaps 1  pins 2"), "{text}");
+        assert!(
+            text.contains("probation work: incumbent 900  candidate 300"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pin reasons: regression=1  reopt_error=1"),
+            "{text}"
+        );
     }
 
     #[test]

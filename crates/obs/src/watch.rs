@@ -86,6 +86,36 @@ impl Watcher {
             sparkline(&flagged),
             flagged.last().copied().unwrap_or(0)
         ));
+        let reopts = self.ring.counter_series("serve_reopt_attempts");
+        let swaps = self.ring.counter_series("serve_plan_swap");
+        if reopts.iter().chain(swaps.iter()).any(|v| *v > 0) {
+            out.push_str(&format!(
+                "  reopt attempts  {}  (last {})\n",
+                sparkline(&reopts),
+                reopts.last().copied().unwrap_or(0)
+            ));
+            out.push_str(&format!(
+                "  plan swaps      {}  (last {})\n",
+                sparkline(&swaps),
+                swaps.last().copied().unwrap_or(0)
+            ));
+        }
+        if let Some(abs) = self.ring.last_absolute() {
+            let capped: Vec<String> = abs
+                .heal
+                .iter()
+                .filter(|h| h.retry_capped)
+                .take(4)
+                .map(|h| format!("{:#x}", h.fp))
+                .collect();
+            if !capped.is_empty() {
+                out.push_str(&format!(
+                    "  heal            {} retry-capped fingerprint(s): {}\n",
+                    capped.len(),
+                    capped.join(", ")
+                ));
+            }
+        }
         if let Some(abs) = self.ring.last_absolute() {
             let suspects = abs.suspects();
             if !suspects.is_empty() {
@@ -170,6 +200,33 @@ mod tests {
             frames[3]
         );
         assert_eq!(w.ring().len(), 3);
+        // Heal trend: the smoke sequence's reopt/swap counters grow, so
+        // both series render once two deltas exist.
+        assert!(frames[2].contains("reopt attempts"), "{}", frames[2]);
+        let swaps_line = frames[3]
+            .lines()
+            .find(|l| l.contains("plan swaps"))
+            .expect("plan swaps trend");
+        assert!(swaps_line.contains("(last 1)"), "{swaps_line}");
+    }
+
+    #[test]
+    fn retry_capped_fingerprints_surface_in_the_trend() {
+        let mut w = Watcher::new(4);
+        for mut s in smoke_sequence() {
+            s.heal[0].retry_capped = true;
+            w.tick(s);
+        }
+        let frame = w.tick({
+            let mut s = crate::live::smoke_snapshot();
+            s.uptime_nanos = 5_000_000_000;
+            s.heal[0].retry_capped = true;
+            s
+        });
+        assert!(
+            frame.contains("1 retry-capped fingerprint(s): 0xa11ce"),
+            "{frame}"
+        );
     }
 
     #[test]

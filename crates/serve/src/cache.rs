@@ -16,9 +16,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
 use starqo_core::Optimized;
+
+use crate::flight::{FlightMap, Role};
 
 /// Sizing knobs for the plan cache.
 #[derive(Debug, Clone)]
@@ -80,65 +82,15 @@ struct Shard {
     bytes: usize,
 }
 
-enum FlightState {
-    Pending,
-    Done(Result<(Arc<Optimized>, u64), String>),
-}
-
-struct Flight {
-    state: Mutex<FlightState>,
-    cv: Condvar,
-}
-
-/// Completes a flight on drop, so a leader that panics (or unwinds through
-/// an error path) can never strand its followers on the condvar.
-struct FlightGuard<'a> {
-    cache: &'a PlanCache,
-    key: FlightKey,
-    flight: Arc<Flight>,
-    completed: bool,
-}
-
-impl FlightGuard<'_> {
-    fn complete(&mut self, result: Result<(Arc<Optimized>, u64), String>) {
-        let mut st = self.flight.state.lock().unwrap_or_else(|p| p.into_inner());
-        *st = FlightState::Done(result);
-        drop(st);
-        self.flight.cv.notify_all();
-        self.completed = true;
-        self.cache
-            .flights
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .remove(&self.key);
-    }
-}
-
-impl Drop for FlightGuard<'_> {
-    fn drop(&mut self) {
-        if !self.completed {
-            let mut st = self.flight.state.lock().unwrap_or_else(|p| p.into_inner());
-            if matches!(*st, FlightState::Pending) {
-                *st = FlightState::Done(Err("optimization aborted".to_string()));
-            }
-            drop(st);
-            self.flight.cv.notify_all();
-            self.cache
-                .flights
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .remove(&self.key);
-        }
-    }
-}
-
-/// A sharded LRU of optimized plans with single-flight misses.
+/// A sharded LRU of optimized plans with single-flight misses. The
+/// leader/follower protocol itself lives in [`crate::flight`], shared with
+/// the self-healing re-optimizer.
 pub struct PlanCache {
     shards: Vec<RwLock<Shard>>,
     per_shard_cap: usize,
     per_shard_bytes: usize,
     clock: AtomicU64,
-    flights: Mutex<HashMap<FlightKey, Arc<Flight>>>,
+    flights: FlightMap<FlightKey, (Arc<Optimized>, u64)>,
 }
 
 impl PlanCache {
@@ -149,7 +101,7 @@ impl PlanCache {
             per_shard_cap: config.capacity.div_ceil(n).max(1),
             per_shard_bytes: config.max_bytes.div_ceil(n).max(1),
             clock: AtomicU64::new(1),
-            flights: Mutex::new(HashMap::new()),
+            flights: FlightMap::new(),
         }
     }
 
@@ -294,43 +246,14 @@ impl PlanCache {
         }
 
         let fkey = (Arc::clone(fp), Arc::clone(sig), epoch);
-        let (flight, leader) = {
-            let mut flights = self.flights.lock().unwrap_or_else(|p| p.into_inner());
-            match flights.get(&fkey) {
-                Some(f) => (Arc::clone(f), false),
-                None => {
-                    let f = Arc::new(Flight {
-                        state: Mutex::new(FlightState::Pending),
-                        cv: Condvar::new(),
-                    });
-                    flights.insert(fkey.clone(), Arc::clone(&f));
-                    (f, true)
-                }
+        let mut guard = match self.flights.lead_or_wait(fkey) {
+            Role::Leader(g) => g,
+            Role::Follower(Ok((v, nanos))) => {
+                meta.coalesced = true;
+                meta.saved_nanos = nanos;
+                return (Ok((v, 0)), meta);
             }
-        };
-
-        if !leader {
-            // Follower: block until the leader completes, then share.
-            let mut st = flight.state.lock().unwrap_or_else(|p| p.into_inner());
-            while matches!(*st, FlightState::Pending) {
-                st = flight.cv.wait(st).unwrap_or_else(|p| p.into_inner());
-            }
-            return match &*st {
-                FlightState::Done(Ok((v, nanos))) => {
-                    meta.coalesced = true;
-                    meta.saved_nanos = *nanos;
-                    (Ok((Arc::clone(v), 0)), meta)
-                }
-                FlightState::Done(Err(e)) => (Err(e.clone()), meta),
-                FlightState::Pending => unreachable!("guarded by the wait loop"),
-            };
-        }
-
-        let mut guard = FlightGuard {
-            cache: self,
-            key: fkey,
-            flight,
-            completed: false,
+            Role::Follower(Err(e)) => return (Err(e), meta),
         };
         match cold() {
             Ok((value, nanos, cacheable)) => {
@@ -344,6 +267,43 @@ impl PlanCache {
                 guard.complete(Err(e.clone()));
                 (Err(e), meta)
             }
+        }
+    }
+
+    /// Compare-and-swap for the self-healing loop: replace the resident
+    /// plan for `(fp, sig)` with `value` **only if** an entry is resident
+    /// and was optimized under exactly `epoch` — the epoch the healed
+    /// candidate was rebuilt against. A catalog-epoch bump that lands
+    /// mid-re-optimization makes the CAS fail, so a stale-epoch candidate
+    /// is never installed over a fresher plan (or resurrected after lazy
+    /// invalidation). Returns whether the swap happened.
+    pub fn swap_if_epoch(
+        &self,
+        fp: &Arc<str>,
+        sig: &Arc<str>,
+        fp_hash: u64,
+        epoch: u64,
+        value: Arc<Optimized>,
+        opt_nanos: u64,
+    ) -> bool {
+        let key: Key = (Arc::clone(fp), Arc::clone(sig));
+        let bytes = estimate_bytes(key.0.len(), &value);
+        let shard = self.shard_of(fp_hash);
+        let mut g = shard.write().unwrap_or_else(|p| p.into_inner());
+        match g.map.get_mut(&key) {
+            Some(e) if e.epoch == epoch => {
+                let old_bytes = e.bytes;
+                e.value = value;
+                e.opt_nanos = opt_nanos;
+                e.bytes = bytes;
+                e.last_used.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                g.bytes = g.bytes.saturating_sub(old_bytes) + bytes;
+                true
+            }
+            _ => false,
         }
     }
 }
@@ -483,6 +443,29 @@ mod tests {
         let v = optimized();
         let (r, _) = cache.serve(&fp, &sig, 1, 0, move || Ok((v, 1, true)));
         assert!(r.is_ok());
+    }
+
+    #[test]
+    fn swap_if_epoch_is_a_real_cas() {
+        let cache = PlanCache::new(&CacheConfig::default());
+        let (fp, sig) = (key("q"), key("cfg"));
+        let v = optimized();
+        let vi = Arc::clone(&v);
+        let _ = cache.serve(&fp, &sig, 3, 5, move || Ok((vi, 10, true)));
+
+        // Wrong epoch: the entry was cached under epoch 5.
+        assert!(!cache.swap_if_epoch(&fp, &sig, 3, 6, Arc::clone(&v), 20));
+        let (_, m) = cache.serve(&fp, &sig, 3, 5, || panic!("cached"));
+        assert_eq!(m.saved_nanos, 10, "failed CAS left the entry alone");
+
+        // Matching epoch: the swap lands and refreshes opt_nanos.
+        assert!(cache.swap_if_epoch(&fp, &sig, 3, 5, Arc::clone(&v), 20));
+        let (_, m) = cache.serve(&fp, &sig, 3, 5, || panic!("cached"));
+        assert_eq!(m.saved_nanos, 20, "swapped entry is what hits now");
+
+        // Absent key: nothing to swap into.
+        assert!(!cache.swap_if_epoch(&key("other"), &sig, 4, 5, v, 1));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

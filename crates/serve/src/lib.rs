@@ -23,7 +23,13 @@
 //!   bounded queueing (typed [`ServeError::Rejected`]) plus per-request
 //!   deadlines that *degrade* plans via the optimizer budget instead of
 //!   failing; degraded plans are shared with concurrent waiters but never
-//!   cached.
+//!   cached;
+//! * with healing enabled ([`HealConfig`]), a fingerprint flagged as a
+//!   cardinality *suspect* by the feedback plane is re-optimized in-line
+//!   under a dedicated budget, shadow-verified against the incumbent, and
+//!   swapped only if a probation A/B run shows it is not slower — every
+//!   failure pins the incumbent with a typed reason and arms exponential
+//!   backoff (see `docs/SERVING.md`, "Self-healing").
 //!
 //! See `docs/SERVING.md` for the architecture and tuning guide.
 
@@ -33,10 +39,13 @@
 
 pub mod admission;
 pub mod cache;
+mod flight;
+pub mod heal;
 pub mod service;
 
 pub use admission::{GateTimeout, OptGate, Permit};
 pub use cache::{CacheConfig, CacheMeta, PlanCache};
+pub use heal::HealConfig;
 pub use service::{
     Prepared, ServeCountersSnapshot, ServeError, ServeOutcome, Service, ServiceConfig,
 };

@@ -1,11 +1,12 @@
 //! The optimization service: prepare, optimize, execute — concurrently.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use starqo_catalog::{Catalog, SharedCatalog};
-use starqo_core::{OptConfig, Optimized, Optimizer};
-use starqo_exec::{Executor, QueryResult};
+use starqo_catalog::{Catalog, CatalogOverlay, SharedCatalog};
+use starqo_core::{faults, OptConfig, Optimized, Optimizer};
+use starqo_exec::{rows_equal_multiset, shadow_run, Executor, QueryResult};
 use starqo_query::{canonicalize, CanonicalQuery, Query, QueryFingerprint};
 use starqo_storage::Database;
 use starqo_trace::{
@@ -15,6 +16,7 @@ use starqo_trace::{
 
 use crate::admission::OptGate;
 use crate::cache::{CacheConfig, PlanCache};
+use crate::heal::{reason, within_margin, work_units, Admission, HealConfig, Healer};
 
 /// Sentinel prefix carried inside flight errors when the leader was turned
 /// away by admission control, so followers sharing the flight surface the
@@ -43,6 +45,10 @@ pub struct ServiceConfig {
     /// Live metrics plane sizing and gating. The default reads
     /// `STARQO_TRACE_SAMPLE` for the head sampler and keeps every tier on.
     pub telemetry: TelemetryConfig,
+    /// Self-healing re-optimization for fingerprints the feedback plane
+    /// flags as cardinality suspects. `None` (the default) keeps the loop
+    /// off: drift is still *detected*, nobody acts on it.
+    pub heal: Option<HealConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +61,7 @@ impl Default for ServiceConfig {
             max_queue_wait: None,
             default_deadline: None,
             telemetry: TelemetryConfig::from_env(),
+            heal: None,
         }
     }
 }
@@ -163,6 +170,19 @@ pub struct ServeCountersSnapshot {
     pub feedback_runs: u64,
     /// Fingerprints newly flagged suspect by the feedback plane.
     pub suspects_flagged: u64,
+    /// Suspect-triggered re-optimization attempts started.
+    pub reopt_attempts: u64,
+    /// Attempts that failed before the stability guard could rule
+    /// (contained panic, typed error, heal-budget degradation).
+    pub reopt_failures: u64,
+    /// Heal triggers suppressed by an armed backoff window (or the cap).
+    pub reopt_backoff: u64,
+    /// Fingerprints that hit the retry cap (counted at the capping pin).
+    pub reopt_retry_capped: u64,
+    /// Candidates that passed verification + probation and were installed.
+    pub plan_swaps: u64,
+    /// Attempts resolved by keeping the incumbent, with a typed reason.
+    pub plan_pinned: u64,
 }
 
 impl ServeCountersSnapshot {
@@ -202,6 +222,12 @@ impl ServeCountersSnapshot {
             ("serve_pipeline_rows", self.pipeline_rows),
             ("serve_feedback_runs", self.feedback_runs),
             ("serve_suspects_flagged", self.suspects_flagged),
+            ("serve_reopt_attempts", self.reopt_attempts),
+            ("serve_reopt_failures", self.reopt_failures),
+            ("serve_reopt_backoff", self.reopt_backoff),
+            ("serve_reopt_retry_capped", self.reopt_retry_capped),
+            ("serve_plan_swap", self.plan_swaps),
+            ("serve_plan_pinned", self.plan_pinned),
         ]
     }
 }
@@ -220,6 +246,8 @@ pub struct Service {
     optimizer: RwLock<(u64, Arc<Optimizer>)>,
     telemetry: Arc<Telemetry>,
     tracer: Tracer,
+    /// The self-healing schedule, present iff `config.heal` is set.
+    healer: Option<Healer>,
 }
 
 impl Service {
@@ -237,12 +265,14 @@ impl Service {
         let (cat, epoch) = catalog.snapshot();
         let optimizer = Optimizer::new(cat).map_err(|e| ServeError::Catalog(e.to_string()))?;
         let config_sig: Arc<str> = Arc::from(format!("{:?}", config.opt_config).as_str());
+        let healer = config.heal.clone().map(Healer::new);
         Ok(Service {
             cache: PlanCache::new(&config.cache),
             gate: OptGate::new(config.max_concurrent_opt),
             optimizer: RwLock::new((epoch, Arc::new(optimizer))),
             telemetry: Arc::new(Telemetry::new(config.telemetry)),
             tracer: Tracer::off(),
+            healer,
             config_sig,
             config,
             catalog,
@@ -285,7 +315,19 @@ impl Service {
     /// hot-query top-K. See [`TelemetrySnapshot`] for JSON / Prometheus
     /// rendering and interval diffing.
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
-        self.telemetry.snapshot()
+        let mut snap = self.telemetry.snapshot();
+        if let Some(h) = &self.healer {
+            snap.heal = h.records();
+        }
+        snap
+    }
+
+    /// Per-fingerprint heal schedules (empty when healing is off).
+    pub fn heal_records(&self) -> Vec<starqo_trace::HealRecord> {
+        self.healer
+            .as_ref()
+            .map(Healer::records)
+            .unwrap_or_default()
     }
 
     /// Current counters, folded from the striped plane.
@@ -316,6 +358,12 @@ impl Service {
             pipeline_rows: c(Metric::PipelineRows),
             feedback_runs: c(Metric::FeedbackRuns),
             suspects_flagged: c(Metric::SuspectFlagged),
+            reopt_attempts: c(Metric::ReoptAttempts),
+            reopt_failures: c(Metric::ReoptFailures),
+            reopt_backoff: c(Metric::ReoptBackoff),
+            reopt_retry_capped: c(Metric::ReoptRetryCapped),
+            plan_swaps: c(Metric::PlanSwap),
+            plan_pinned: c(Metric::PlanPinned),
         }
     }
 
@@ -578,6 +626,10 @@ impl Service {
                 reason: v.reason.to_string(),
             });
         }
+        // Self-healing: a (possibly long-)suspect fingerprint triggers one
+        // in-line re-optimization attempt, gated by single-flight election
+        // and the per-fingerprint backoff schedule.
+        self.maybe_heal(db, prepared, &outcome, ctx);
         Ok((result, outcome))
     }
 
@@ -748,6 +800,320 @@ impl Service {
         }
         ServeError::Optimize(msg)
     }
+
+    // ---- self-healing -------------------------------------------------
+
+    /// Act on a suspect fingerprint: elect one healer (single-flight,
+    /// non-blocking — losers keep serving the incumbent), consult the
+    /// backoff schedule, then run the re-optimization pipeline with every
+    /// failure mode contained. The request that triggered the heal pays
+    /// for it in-line; nothing here can fail the request.
+    fn maybe_heal(
+        &self,
+        db: &Database,
+        prepared: &Prepared,
+        outcome: &ServeOutcome,
+        ctx: &SpanContext,
+    ) {
+        let Some(healer) = &self.healer else { return };
+        // No cache entry means nothing to swap; a degraded incumbent is
+        // never cached either.
+        if !self.config.cache_enabled || outcome.optimized.degraded {
+            return;
+        }
+        let fp = outcome.fingerprint.hash;
+        if !self.telemetry.is_suspect(fp) {
+            return;
+        }
+        // Election before admission: a loser must not advance the schedule.
+        let Some(mut flight) = healer.try_lead(fp) else {
+            return;
+        };
+        // Re-check under the flight: a concurrent heal that just swapped
+        // refreshed the sketch *before* releasing its flight, so winning
+        // the election after a swap always observes the un-stuck flag —
+        // exactly one heal per suspect episode, even under contention.
+        if !self.telemetry.is_suspect(fp) {
+            flight.complete(Ok(()));
+            return;
+        }
+        let attempt = match healer.admit(fp, outcome.epoch, healer.now_nanos()) {
+            Admission::Proceed { attempt } => attempt,
+            Admission::Backoff | Admission::Capped => {
+                self.telemetry.add(Metric::ReoptBackoff, 1);
+                flight.complete(Ok(()));
+                return;
+            }
+        };
+        self.telemetry.add(Metric::ReoptAttempts, 1);
+        let epoch = outcome.epoch;
+        self.tracer
+            .emit(|| TraceEvent::PlanReopt { fp, epoch, attempt });
+        let span = ctx.enter("reopt");
+        let started = Instant::now();
+        let cfg = healer.config().clone();
+        // The whole pipeline is panic-contained: an injected (or real)
+        // panic anywhere inside resolves as a typed pin, never an escape.
+        let resolution = match catch_unwind(AssertUnwindSafe(|| {
+            self.heal_pipeline(db, prepared, outcome, &cfg)
+        })) {
+            Ok(r) => r,
+            Err(_) => HealResolution::Pinned {
+                why: reason::REOPT_PANIC,
+                failure: true,
+            },
+        };
+        self.telemetry
+            .record_phase(PhaseKind::Reopt, started.elapsed().as_nanos() as u64);
+        drop(span);
+        match resolution {
+            HealResolution::Swapped {
+                incumbent_work,
+                candidate_work,
+            } => {
+                healer.resolve_swap(fp, epoch);
+                self.telemetry.add(Metric::PlanSwap, 1);
+                self.tracer.emit(|| TraceEvent::PlanSwap {
+                    fp,
+                    epoch,
+                    incumbent_work,
+                    candidate_work,
+                });
+            }
+            HealResolution::Pinned { why, failure } => {
+                if failure {
+                    self.telemetry.add(Metric::ReoptFailures, 1);
+                }
+                let (backoff_nanos, capped) =
+                    healer.resolve_pin(fp, epoch, why, healer.now_nanos());
+                self.telemetry.add(Metric::PlanPinned, 1);
+                if capped {
+                    self.telemetry.add(Metric::ReoptRetryCapped, 1);
+                }
+                self.tracer.emit(|| TraceEvent::PlanPinned {
+                    fp,
+                    epoch,
+                    reason: why.to_string(),
+                    attempt,
+                    backoff_nanos,
+                });
+            }
+        }
+        flight.complete(Ok(()));
+    }
+
+    /// The pipeline: overlay → re-optimize → shadow-verify → probation →
+    /// swap CAS. Returns how the attempt resolved; every exit that keeps
+    /// the incumbent carries its typed reason. Chaos sites (`reopt:<stage>`
+    /// in `STARQO_FAULTS`) fire at each stage boundary.
+    fn heal_pipeline(
+        &self,
+        db: &Database,
+        prepared: &Prepared,
+        outcome: &ServeOutcome,
+        cfg: &HealConfig,
+    ) -> HealResolution {
+        let pin = |why: &'static str, failure: bool| HealResolution::Pinned { why, failure };
+        let fp = outcome.fingerprint.hash;
+        let plan_faults = self.config.opt_config.faults.clone();
+        // Injected `Error` surfaces as a typed failure; `Panic` unwinds to
+        // the caller's catch_unwind; `Stall` burns time and continues.
+        let fault = |stage: &'static str| -> bool {
+            match plan_faults.as_ref().and_then(|p| p.trigger("reopt", stage)) {
+                Some(mode) => faults::fire(mode, "reopt").is_some(),
+                None => false,
+            }
+        };
+
+        // -- overlay: observed cardinalities → a scoped catalog ---------
+        cfg.stage("overlay");
+        if fault("overlay") {
+            return pin(reason::REOPT_ERROR, true);
+        }
+        let (cat, epoch) = self.catalog.snapshot();
+        if epoch != outcome.epoch {
+            // The incumbent is already stale; the next cold miss replans
+            // under the new epoch anyway.
+            return pin(reason::EPOCH_MOVED, false);
+        }
+        let Some(sketch) = self.telemetry.feedback_sketch(fp) else {
+            // Recycled out of the feedback plane between trigger and here.
+            return pin(reason::REOPT_ERROR, true);
+        };
+        let query = &prepared.canonical.query;
+        // Spread the observed root-cardinality miss across the referenced
+        // tables: with k quantifiers, each base cardinality scales by
+        // (actual/est)^(1/k), so the re-optimizer's root estimate lands at
+        // the observed actual. The drift's *direction* comes from the
+        // lifetime extrema (whichever extremum sits farther from the
+        // estimate in log space — after a mid-run shift the lifetime range
+        // straddles the drift, so its geometric middle would chase half of
+        // it and re-flag forever); its *magnitude* comes from the windowed
+        // geometric-mean Q-error, because the window resets on every
+        // refresh and so holds exactly the runs the suspect verdict was
+        // formed on. For a one-sided miss that lands the corrected
+        // estimate on the geometric mean of the observed actuals — the
+        // minimizer of the geomean Q the suspect check re-evaluates —
+        // which keeps parameterized queries (one estimate, a spread of
+        // per-constant actuals) from re-flagging off the correction
+        // itself.
+        let est = sketch.est_rows.max(1) as f64;
+        let lo = sketch.actual_min.max(1) as f64;
+        let hi = sketch.actual_max.max(1) as f64;
+        let under = hi / est >= est / lo;
+        let actual = match sketch.geomean_q() {
+            Some(q) if q.is_finite() && q > 1.0 => {
+                if under {
+                    est * q
+                } else {
+                    est / q
+                }
+            }
+            _ => {
+                if under {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        };
+        let k = query.quantifiers.len().max(1);
+        let factor = (actual / est).powf(1.0 / k as f64);
+        let mut overlay = CatalogOverlay::new(Arc::clone(&cat));
+        if factor.is_finite() && (factor - 1.0).abs() > f64::EPSILON {
+            let mut seen = std::collections::BTreeSet::new();
+            for q in &query.quantifiers {
+                let table = cat.table(q.table);
+                if seen.insert(table.name.clone()) {
+                    let scaled = ((table.card.max(1) as f64) * factor).round().max(1.0) as u64;
+                    overlay.set_table_card(&table.name, scaled);
+                }
+            }
+        }
+        // When the factor rounds to 1 the estimate on record already
+        // matches observation; the candidate is then rebuilt from the
+        // *unscaled* catalog, whose root estimate must not clobber the
+        // sketch's (possibly previously healed) estimate at refresh time.
+        let corrected = !overlay.is_empty();
+        let sketch_est = sketch.est_rows;
+        let overlay_cat = match overlay.materialize() {
+            Ok(c) => c,
+            Err(_) => return pin(reason::REOPT_ERROR, true),
+        };
+
+        // -- re-optimize under the dedicated heal budget ----------------
+        cfg.stage("optimize");
+        if fault("optimize") {
+            return pin(reason::REOPT_ERROR, true);
+        }
+        let optimizer = match Optimizer::new(overlay_cat) {
+            Ok(o) => o,
+            Err(_) => return pin(reason::REOPT_ERROR, true),
+        };
+        let mut oc = self.config.opt_config.clone();
+        oc.budget = cfg.budget.clone();
+        let opt_started = Instant::now();
+        let optimized = match optimizer.optimize(query, &oc) {
+            Ok(o) => o,
+            Err(_) => return pin(reason::REOPT_ERROR, true),
+        };
+        let opt_nanos = opt_started.elapsed().as_nanos() as u64;
+        if optimized.degraded {
+            return pin(reason::BUDGET_DEGRADED, true);
+        }
+        let candidate = Arc::new(optimized);
+
+        // -- shadow-verify: the oracle bit-match ------------------------
+        cfg.stage("verify");
+        if fault("verify") {
+            return pin(reason::REOPT_ERROR, true);
+        }
+        let (inc_rows, inc_stats) = match shadow_run(db, query, &outcome.optimized.best) {
+            Ok(v) => v,
+            Err(_) => return pin(reason::REOPT_ERROR, true),
+        };
+        let (cand_rows, cand_stats) = match shadow_run(db, query, &candidate.best) {
+            Ok(v) => v,
+            Err(_) => return pin(reason::REOPT_ERROR, true),
+        };
+        if !rows_equal_multiset(&inc_rows.rows, &cand_rows.rows) {
+            return pin(reason::VERIFY_MISMATCH, false);
+        }
+
+        // -- probation A/B over deterministic work units ----------------
+        cfg.stage("probation");
+        if fault("probation") {
+            return pin(reason::REOPT_ERROR, true);
+        }
+        let mut incumbent_work = work_units(&inc_stats);
+        let mut candidate_work = work_units(&cand_stats);
+        for _ in 0..cfg.probation_runs {
+            let inc = shadow_run(db, query, &outcome.optimized.best);
+            let cand = shadow_run(db, query, &candidate.best);
+            match (inc, cand) {
+                (Ok((_, i)), Ok((_, c))) => {
+                    incumbent_work = incumbent_work.saturating_add(work_units(&i));
+                    candidate_work = candidate_work.saturating_add(work_units(&c));
+                }
+                _ => return pin(reason::REOPT_ERROR, true),
+            }
+        }
+        if !within_margin(incumbent_work, candidate_work, cfg.regression_margin) {
+            // The incumbent just beat a freshly optimized candidate in a
+            // paired A/B: its suspect verdict is refuted, not merely
+            // deferred. Refresh its feedback window (estimate unchanged)
+            // so it is re-judged on new observations instead of staying
+            // sticky-suspect and burning retries against a plan that
+            // cannot be improved under current statistics.
+            self.telemetry.refresh_feedback(fp, sketch_est, epoch);
+            return pin(reason::REGRESSION, false);
+        }
+
+        // -- swap CAS: only into the world the candidate was built for --
+        cfg.stage("reopt_done");
+        cfg.stage("swap");
+        if fault("swap") {
+            return pin(reason::REOPT_ERROR, true);
+        }
+        if self.catalog.epoch() != epoch {
+            return pin(reason::EPOCH_MOVED, false);
+        }
+        let fp_text: Arc<str> = Arc::from(outcome.fingerprint.text.as_str());
+        if !self.cache.swap_if_epoch(
+            &fp_text,
+            &self.config_sig,
+            fp,
+            epoch,
+            Arc::clone(&candidate),
+            opt_nanos,
+        ) {
+            return pin(reason::EPOCH_MOVED, false);
+        }
+        // Un-stick the suspect flag and restart the Q-error window against
+        // the healed plan's estimate — the whole point of the exercise.
+        let new_est = if corrected {
+            candidate.best.props.card.round().max(0.0) as u64
+        } else {
+            sketch_est
+        };
+        self.telemetry.refresh_feedback(fp, new_est, epoch);
+        HealResolution::Swapped {
+            incumbent_work,
+            candidate_work,
+        }
+    }
+}
+
+/// How one heal attempt resolved (internal to the driver).
+enum HealResolution {
+    Swapped {
+        incumbent_work: u64,
+        candidate_work: u64,
+    },
+    Pinned {
+        why: &'static str,
+        failure: bool,
+    },
 }
 
 #[cfg(test)]

@@ -184,6 +184,33 @@ pub enum TraceEvent {
         max_q: f64,
         reason: String,
     },
+    /// The self-healing loop started a suspect-triggered re-optimization
+    /// for this fingerprint (single-flight: one per fingerprint at a
+    /// time). `attempt` counts retries since the last successful swap or
+    /// epoch change (1-based).
+    PlanReopt { fp: u64, epoch: u64, attempt: u64 },
+    /// A re-optimized candidate passed the stability guard (shadow
+    /// verification + probation A/B) and replaced the incumbent cached
+    /// plan. Work units are the probation window's deterministic
+    /// execution-effort totals for each side.
+    PlanSwap {
+        fp: u64,
+        epoch: u64,
+        incumbent_work: u64,
+        candidate_work: u64,
+    },
+    /// A re-optimization resolved by keeping the incumbent plan. `reason`
+    /// is typed: "reopt_panic", "reopt_error", "budget_degraded",
+    /// "epoch_moved", "verify_mismatch", "regression", or "retry_capped".
+    /// `backoff_nanos` is the backoff armed before the next retry (0 when
+    /// capped or when no retry will happen).
+    PlanPinned {
+        fp: u64,
+        epoch: u64,
+        reason: String,
+        attempt: u64,
+        backoff_nanos: u64,
+    },
 }
 
 impl TraceEvent {
@@ -215,6 +242,9 @@ impl TraceEvent {
             TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::CacheInvalidate { .. } => "cache_invalidate",
             TraceEvent::PlanSuspect { .. } => "plan_suspect",
+            TraceEvent::PlanReopt { .. } => "plan_reopt",
+            TraceEvent::PlanSwap { .. } => "plan_swap",
+            TraceEvent::PlanPinned { .. } => "plan_pinned",
         }
     }
 
@@ -402,6 +432,32 @@ impl TraceEvent {
                 .f64("geomean_q", *geomean_q)
                 .f64("max_q", *max_q)
                 .str("reason", reason),
+            TraceEvent::PlanReopt { fp, epoch, attempt } => o
+                .u64("fp", *fp)
+                .u64("epoch", *epoch)
+                .u64("attempt", *attempt),
+            TraceEvent::PlanSwap {
+                fp,
+                epoch,
+                incumbent_work,
+                candidate_work,
+            } => o
+                .u64("fp", *fp)
+                .u64("epoch", *epoch)
+                .u64("incumbent_work", *incumbent_work)
+                .u64("candidate_work", *candidate_work),
+            TraceEvent::PlanPinned {
+                fp,
+                epoch,
+                reason,
+                attempt,
+                backoff_nanos,
+            } => o
+                .u64("fp", *fp)
+                .u64("epoch", *epoch)
+                .str("reason", reason)
+                .u64("attempt", *attempt)
+                .u64("backoff_nanos", *backoff_nanos),
         }
         .finish()
     }
@@ -561,6 +617,24 @@ impl TraceEvent {
                 geomean_q: f64_of("geomean_q")?,
                 max_q: f64_of("max_q")?,
                 reason: str_of("reason")?,
+            },
+            "plan_reopt" => TraceEvent::PlanReopt {
+                fp: u64_of("fp")?,
+                epoch: u64_of("epoch")?,
+                attempt: u64_of("attempt")?,
+            },
+            "plan_swap" => TraceEvent::PlanSwap {
+                fp: u64_of("fp")?,
+                epoch: u64_of("epoch")?,
+                incumbent_work: u64_of("incumbent_work")?,
+                candidate_work: u64_of("candidate_work")?,
+            },
+            "plan_pinned" => TraceEvent::PlanPinned {
+                fp: u64_of("fp")?,
+                epoch: u64_of("epoch")?,
+                reason: str_of("reason")?,
+                attempt: u64_of("attempt")?,
+                backoff_nanos: u64_of("backoff_nanos")?,
             },
             _ => return None,
         })
@@ -782,6 +856,24 @@ mod tests {
                 geomean_q: 6.5,
                 max_q: 40.0,
                 reason: "geomean_q".into(),
+            },
+            TraceEvent::PlanReopt {
+                fp: 0xDEAD_BEEF,
+                epoch: 4,
+                attempt: 1,
+            },
+            TraceEvent::PlanSwap {
+                fp: 0xDEAD_BEEF,
+                epoch: 4,
+                incumbent_work: 5_000,
+                candidate_work: 1_200,
+            },
+            TraceEvent::PlanPinned {
+                fp: 0xFEED_FACE,
+                epoch: 4,
+                reason: "verify_mismatch".into(),
+                attempt: 2,
+                backoff_nanos: 400_000_000,
             },
         ]
     }

@@ -33,10 +33,10 @@ pub use metrics::{MetricsRegistry, MetricsSummary, Phase, PhaseTimer};
 pub use read::{parse_json, JsonError, JsonValue};
 pub use sink::{JsonLinesSink, MemorySink, NullSink, TraceSink};
 pub use telemetry::{
-    from_chrome_trace, qlog_micro, read_span_trees, to_chrome_trace, FeedbackPlane, HotQuery,
-    LatencyPath, Metric, PhaseKind, PhasePlane, QErrorSketch, SnapshotRing, SpanContext, SpanGuard,
-    SpanMode, SpanRecord, SpanStore, SpanTree, SuspectConfig, SuspectVerdict, TailConfig,
-    TailSampler, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceSampler,
+    from_chrome_trace, qlog_micro, read_span_trees, to_chrome_trace, FeedbackPlane, HealRecord,
+    HotQuery, LatencyPath, Metric, PhaseKind, PhasePlane, QErrorSketch, SnapshotRing, SpanContext,
+    SpanGuard, SpanMode, SpanRecord, SpanStore, SpanTree, SuspectConfig, SuspectVerdict,
+    TailConfig, TailSampler, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceSampler,
 };
 
 /// Global count of trace events ever constructed in this process. Only

@@ -71,10 +71,26 @@ pub enum Metric {
     SpansKept,
     /// Span trees recorded but dropped by the tail sampler.
     SpansDropped,
+    /// Suspect-triggered re-optimizations started (single-flight leaders).
+    ReoptAttempts,
+    /// Re-optimizations that failed before the stability guard could rule
+    /// (panic contained, injected/typed error, budget degradation).
+    ReoptFailures,
+    /// Heal triggers suppressed because the fingerprint was in backoff.
+    ReoptBackoff,
+    /// Fingerprints whose heal retries hit the cap and were pinned until
+    /// the next epoch.
+    ReoptRetryCapped,
+    /// Candidates that passed the stability guard and replaced the
+    /// incumbent plan in the cache.
+    PlanSwap,
+    /// Re-optimizations resolved by keeping the incumbent (typed reason:
+    /// verify mismatch, regression, epoch move, failure).
+    PlanPinned,
 }
 
 impl Metric {
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 31;
 
     pub const ALL: [Metric; Metric::COUNT] = [
         Metric::Requests,
@@ -102,6 +118,12 @@ impl Metric {
         Metric::SuspectFlagged,
         Metric::SpansKept,
         Metric::SpansDropped,
+        Metric::ReoptAttempts,
+        Metric::ReoptFailures,
+        Metric::ReoptBackoff,
+        Metric::ReoptRetryCapped,
+        Metric::PlanSwap,
+        Metric::PlanPinned,
     ];
 
     /// The stable exported name (JSON keys, Prometheus metric names,
@@ -133,6 +155,12 @@ impl Metric {
             Metric::SuspectFlagged => "serve_suspects_flagged",
             Metric::SpansKept => "serve_spans_kept",
             Metric::SpansDropped => "serve_spans_dropped",
+            Metric::ReoptAttempts => "serve_reopt_attempts",
+            Metric::ReoptFailures => "serve_reopt_failures",
+            Metric::ReoptBackoff => "serve_reopt_backoff",
+            Metric::ReoptRetryCapped => "serve_reopt_retry_capped",
+            Metric::PlanSwap => "serve_plan_swap",
+            Metric::PlanPinned => "serve_plan_pinned",
         }
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod atomic_hist;
 pub mod counters;
+pub mod heal;
 pub mod phases;
 pub mod qerror;
 pub mod ring;
@@ -39,6 +40,7 @@ pub mod topk;
 
 pub use atomic_hist::AtomicHistogram;
 pub use counters::{CounterPlane, Metric};
+pub use heal::HealRecord;
 pub use phases::{PhaseKind, PhasePlane, PhaseReading};
 pub use qerror::{qlog_micro, FeedbackPlane, QErrorSketch, SuspectConfig, SuspectVerdict};
 pub use ring::SnapshotRing;
@@ -309,6 +311,22 @@ impl Telemetry {
         verdict
     }
 
+    /// A new plan was installed for `fp` (adaptive swap or explicit
+    /// re-plan): reset its sketch's Q window and suspect flag, keeping the
+    /// lifetime history. Returns whether a resident sketch was refreshed
+    /// (always false when feedback is off).
+    pub fn refresh_feedback(&self, fp: u64, est_rows: u64, epoch: u64) -> bool {
+        self.feedback
+            .as_ref()
+            .is_some_and(|plane| plane.refresh(fp, est_rows, epoch))
+    }
+
+    /// One fingerprint's resident Q-error sketch, cloned (`None` when
+    /// feedback is off or the fingerprint has no sketch).
+    pub fn feedback_sketch(&self, fp: u64) -> Option<QErrorSketch> {
+        self.feedback.as_ref()?.sketch(fp)
+    }
+
     /// The feedback plane's suspect registry (empty when feedback is off).
     pub fn suspects(&self) -> Vec<QErrorSketch> {
         self.feedback
@@ -485,6 +503,10 @@ impl Telemetry {
             span_resident,
             span_capacity,
             span_evicted,
+            // The heal state machine lives in the serving layer; a bare
+            // plane snapshot carries no records (the service stitches its
+            // own in before export).
+            heal: Vec::new(),
         }
     }
 }

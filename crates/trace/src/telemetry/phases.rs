@@ -32,10 +32,13 @@ pub enum PhaseKind {
     Compile,
     /// Plan execution.
     Execute,
+    /// Suspect-triggered re-optimization (overlay build, re-plan,
+    /// shadow verify, and probation — the whole heal pipeline).
+    Reopt,
 }
 
 impl PhaseKind {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     pub const ALL: [PhaseKind; PhaseKind::COUNT] = [
         PhaseKind::Prepare,
@@ -45,6 +48,7 @@ impl PhaseKind {
         PhaseKind::Glue,
         PhaseKind::Compile,
         PhaseKind::Execute,
+        PhaseKind::Reopt,
     ];
 
     /// Stable exported name (snapshot JSON keys, Prometheus `phase`
@@ -59,6 +63,7 @@ impl PhaseKind {
             PhaseKind::Glue => "glue",
             PhaseKind::Compile => "compile",
             PhaseKind::Execute => "execute",
+            PhaseKind::Reopt => "reopt",
         }
     }
 

@@ -4,11 +4,19 @@
 //! Each served-and-executed request folds one `(estimate, actual, nanos,
 //! epoch)` observation into its fingerprint's [`QErrorSketch`]: a streaming
 //! geometric-mean and max Q-error against the cached plan's cardinality
-//! estimate, a log₂ latency histogram, run counts, and a sticky *suspect*
-//! flag that trips once the sketch crosses the configured
-//! [`SuspectConfig`] thresholds. Detection only: flagging emits a counter
-//! and (at the caller's discretion) a trace event — acting on a suspect
-//! plan is the serving layer's business, not the plane's.
+//! estimate, a log₂ latency histogram, run counts, and a *suspect* flag
+//! that trips once the sketch crosses the configured [`SuspectConfig`]
+//! thresholds. The flag is sticky **per installed plan**: it clears only
+//! when a new plan or epoch is installed for the fingerprint (an
+//! epoch-keyed [`QErrorSketch::refresh_estimate`], triggered by a newer
+//! epoch arriving in `record` or by an explicit
+//! [`FeedbackPlane::refresh`] after an adaptive plan swap). A refresh
+//! resets the Q-error *window* (the accumulators the thresholds read) but
+//! preserves the lifetime run count, latency histogram, and observed
+//! actual-row extremes, so drift trends survive legitimate invalidations.
+//! Flagging emits a counter and (at the caller's discretion) a trace
+//! event — acting on a suspect plan is the serving layer's business, not
+//! the plane's.
 //!
 //! ## Determinism under concurrency
 //!
@@ -21,7 +29,12 @@
 //! - max Q, min/max actual rows, and last-epoch are max/min folds;
 //! - the latency histogram is bucket-count addition;
 //! - the estimate is keyed by epoch (highest epoch wins), and for a fixed
-//!   `(fingerprint, epoch)` the cached plan's estimate is a constant.
+//!   `(fingerprint, epoch)` the cached plan's estimate is a constant;
+//! - the Q-error window holds exactly the observations carrying the
+//!   highest epoch seen: a newer epoch resets the window before folding,
+//!   and stale-epoch stragglers fold into the lifetime totals but not the
+//!   window — so the final window is the same multiset whatever the
+//!   arrival order.
 //!
 //! Memory is bounded like the top-K tracker: `shards × capacity` sketches,
 //! with the least-run sketch recycled when a shard overflows.
@@ -60,26 +73,31 @@ pub fn qlog_to_q(qlog: u64) -> f64 {
 pub struct QErrorSketch {
     /// Canonical query fingerprint hash.
     pub fp: u64,
-    /// Executed runs folded in (recycling resets the sketch).
+    /// Executed runs folded in over the sketch's lifetime (recycling
+    /// resets the sketch; an epoch refresh does *not*).
     pub runs: u64,
-    /// Σ quantized `log₂ Q` over those runs ([`QLOG_SCALE`] micro-units);
-    /// `geomean Q = 2^(sum / runs / SCALE)`.
+    /// Runs folded into the current Q-error window — since the last
+    /// estimate refresh. Equal to `runs` while the plan never changes.
+    pub q_runs: u64,
+    /// Σ quantized `log₂ Q` over the window's runs ([`QLOG_SCALE`]
+    /// micro-units); `geomean Q = 2^(sum / q_runs / SCALE)`.
     pub qlog_sum_micro: u64,
-    /// Max per-run quantized `log₂ Q`.
+    /// Max per-run quantized `log₂ Q` in the current window.
     pub qlog_max_micro: u64,
     /// The cached plan's estimated root cardinality at the highest epoch
     /// seen (for a fixed epoch the estimate is a constant of the plan).
     pub est_rows: u64,
-    /// Smallest actual root cardinality observed.
+    /// Smallest actual root cardinality observed (lifetime).
     pub actual_min: u64,
-    /// Largest actual root cardinality observed.
+    /// Largest actual root cardinality observed (lifetime).
     pub actual_max: u64,
-    /// Log₂ execution-latency histogram over the folded runs.
+    /// Log₂ execution-latency histogram over the lifetime runs.
     pub nanos: Histogram,
     /// Highest catalog epoch folded in.
     pub last_epoch: u64,
-    /// Sticky drift flag: set once when the sketch first crosses the
-    /// suspect thresholds, never cleared while the sketch lives.
+    /// Drift flag: set once when the window crosses the suspect
+    /// thresholds; sticky until the next estimate refresh (new plan or
+    /// epoch installed) clears it along with the window.
     pub suspect: bool,
 }
 
@@ -88,6 +106,7 @@ impl QErrorSketch {
         QErrorSketch {
             fp,
             runs: 0,
+            q_runs: 0,
             qlog_sum_micro: 0,
             qlog_max_micro: 0,
             est_rows: 0,
@@ -99,14 +118,30 @@ impl QErrorSketch {
         }
     }
 
-    /// Streaming geometric-mean Q-error (`None` before any run).
-    pub fn geomean_q(&self) -> Option<f64> {
-        (self.runs > 0).then(|| qlog_to_q(self.qlog_sum_micro / self.runs))
+    /// A new plan (or epoch) was installed for this fingerprint: reset
+    /// the Q-error window and the suspect flag so the new plan is judged
+    /// on its own observations, but preserve the lifetime run count,
+    /// latency histogram, and actual-row extremes so drift trends survive
+    /// the refresh.
+    pub fn refresh_estimate(&mut self, est_rows: u64, epoch: u64) {
+        self.q_runs = 0;
+        self.qlog_sum_micro = 0;
+        self.qlog_max_micro = 0;
+        self.suspect = false;
+        self.est_rows = est_rows;
+        self.last_epoch = self.last_epoch.max(epoch);
     }
 
-    /// Worst single-run Q-error (`None` before any run).
+    /// Streaming geometric-mean Q-error over the current window (`None`
+    /// before any windowed run).
+    pub fn geomean_q(&self) -> Option<f64> {
+        (self.q_runs > 0).then(|| qlog_to_q(self.qlog_sum_micro / self.q_runs))
+    }
+
+    /// Worst single-run Q-error in the current window (`None` before any
+    /// windowed run).
     pub fn max_q(&self) -> Option<f64> {
-        (self.runs > 0).then(|| qlog_to_q(self.qlog_max_micro))
+        (self.q_runs > 0).then(|| qlog_to_q(self.qlog_max_micro))
     }
 
     /// Mean execution latency in nanos (`None` before any run).
@@ -146,12 +181,12 @@ impl Default for SuspectConfig {
 }
 
 impl SuspectConfig {
-    /// Which threshold (if any) this sketch currently crosses.
+    /// Which threshold (if any) this sketch's current window crosses.
     fn crossed(&self, s: &QErrorSketch) -> Option<&'static str> {
-        if s.runs < self.min_runs.max(1) {
+        if s.q_runs < self.min_runs.max(1) {
             return None;
         }
-        if s.qlog_sum_micro / s.runs >= self.geomean_qlog_micro {
+        if s.qlog_sum_micro / s.q_runs >= self.geomean_qlog_micro {
             return Some("geomean_q");
         }
         if s.qlog_max_micro >= self.max_qlog_micro {
@@ -252,25 +287,33 @@ impl FeedbackPlane {
         };
         let s = &mut entries[slot];
         s.runs += 1;
-        let qlog = qlog_micro(est_rows, actual_rows);
-        s.qlog_sum_micro += qlog;
-        s.qlog_max_micro = s.qlog_max_micro.max(qlog);
+        s.actual_min = s.actual_min.min(actual_rows);
+        s.actual_max = s.actual_max.max(actual_rows);
+        s.nanos.record(nanos);
+        if epoch > s.last_epoch && s.q_runs > 0 {
+            // A newer plan is installed: start a fresh Q window for it
+            // (keeping the lifetime history folded above).
+            s.refresh_estimate(est_rows, epoch);
+        }
         if epoch >= s.last_epoch {
             // For a fixed (fp, epoch) the cached plan's estimate is a
             // constant, so "highest epoch wins" is order-independent.
             s.est_rows = est_rows;
+            s.last_epoch = epoch;
+            s.q_runs += 1;
+            let qlog = qlog_micro(est_rows, actual_rows);
+            s.qlog_sum_micro += qlog;
+            s.qlog_max_micro = s.qlog_max_micro.max(qlog);
         }
-        s.actual_min = s.actual_min.min(actual_rows);
-        s.actual_max = s.actual_max.max(actual_rows);
-        s.nanos.record(nanos);
-        s.last_epoch = s.last_epoch.max(epoch);
+        // Stale-epoch stragglers (epoch < last_epoch) fold into the
+        // lifetime totals only — the window judges the current plan.
         if !s.suspect {
             if let Some(reason) = self.config.crossed(s) {
                 s.suspect = true;
                 return Some(SuspectVerdict {
                     fp,
                     epoch: s.last_epoch,
-                    runs: s.runs,
+                    runs: s.q_runs,
                     geomean_q: s.geomean_q().unwrap_or(1.0),
                     max_q: s.max_q().unwrap_or(1.0),
                     reason,
@@ -290,10 +333,39 @@ impl FeedbackPlane {
             .flat_map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).clone())
             .collect();
         all.sort_unstable_by(|a, b| {
-            let key = |e: &QErrorSketch| e.qlog_sum_micro.checked_div(e.runs).unwrap_or(0);
+            let key = |e: &QErrorSketch| e.qlog_sum_micro.checked_div(e.q_runs).unwrap_or(0);
             key(b).cmp(&key(a)).then(a.fp.cmp(&b.fp))
         });
         all
+    }
+
+    /// A new plan was installed for `fp` (adaptive swap or explicit
+    /// invalidation): reset its resident sketch's Q window and suspect
+    /// flag to judge the new plan's estimate on fresh observations, while
+    /// preserving the lifetime history. Returns whether a resident sketch
+    /// was refreshed (a non-resident fingerprint is a no-op — its next
+    /// `record` starts a fresh sketch anyway).
+    pub fn refresh(&self, fp: u64, est_rows: u64, epoch: u64) -> bool {
+        let shard = &self.shards[(mix64(fp) as usize) & self.mask];
+        let mut entries = shard.lock().unwrap_or_else(|p| p.into_inner());
+        match entries.iter_mut().find(|e| e.fp == fp) {
+            Some(s) => {
+                s.refresh_estimate(est_rows, epoch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One fingerprint's resident sketch, cloned (`None` when absent).
+    pub fn sketch(&self, fp: u64) -> Option<QErrorSketch> {
+        let shard = &self.shards[(mix64(fp) as usize) & self.mask];
+        shard
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .find(|e| e.fp == fp)
+            .cloned()
     }
 
     /// Whether one fingerprint's resident sketch is flagged suspect.
@@ -450,6 +522,60 @@ mod tests {
         assert_eq!(heavy.runs, 50);
         // Recycled slots restart from run 1, no inherited Q history.
         assert!(snap.iter().all(|e| e.qlog_sum_micro == 0));
+    }
+
+    #[test]
+    fn refresh_unsticks_suspect_and_preserves_lifetime_history() {
+        let config = SuspectConfig {
+            min_runs: 2,
+            geomean_qlog_micro: 2 * QLOG_SCALE,
+            ..SuspectConfig::default()
+        };
+        let plane = FeedbackPlane::new(1, 4, config);
+        plane.record(7, 100, 800, 1_000, 1);
+        let v = plane.record(7, 100, 800, 1_000, 1).expect("flagged");
+        assert_eq!(v.runs, 2);
+        assert!(plane.is_suspect(7));
+        // A plan swap refreshes the sketch: suspect clears, the Q window
+        // restarts, lifetime runs/latency/actual extremes survive.
+        assert!(plane.refresh(7, 800, 1));
+        assert!(!plane.is_suspect(7));
+        let s = &plane.snapshot()[0];
+        assert_eq!((s.runs, s.q_runs, s.qlog_sum_micro), (2, 0, 0));
+        assert_eq!(s.est_rows, 800);
+        assert_eq!((s.actual_min, s.actual_max), (800, 800));
+        assert_eq!(s.nanos.count(), 2);
+        // The refreshed estimate is accurate: no re-flag.
+        for _ in 0..6 {
+            assert!(plane.record(7, 800, 800, 1_000, 1).is_none());
+        }
+        assert!(!plane.is_suspect(7));
+        // A non-resident fingerprint is a no-op.
+        assert!(!plane.refresh(999, 10, 1));
+    }
+
+    #[test]
+    fn newer_epoch_restarts_the_window_in_record() {
+        let config = SuspectConfig {
+            min_runs: 2,
+            geomean_qlog_micro: 2 * QLOG_SCALE,
+            ..SuspectConfig::default()
+        };
+        let plane = FeedbackPlane::new(1, 4, config);
+        plane.record(7, 100, 800, 1_000, 1);
+        assert!(plane.record(7, 100, 800, 1_000, 1).is_some());
+        // Stats DDL bumped the epoch and a re-planned entry serves with a
+        // corrected estimate: the first new-epoch fold resets the window.
+        assert!(plane.record(7, 800, 800, 1_000, 2).is_none());
+        let s = &plane.snapshot()[0];
+        assert_eq!((s.runs, s.q_runs), (3, 1));
+        assert_eq!((s.qlog_sum_micro, s.last_epoch, s.est_rows), (0, 2, 800));
+        assert!(!s.suspect);
+        assert_eq!(s.nanos.count(), 3, "latency history survives the epoch");
+        // A stale-epoch straggler folds into lifetime totals only.
+        plane.record(7, 100, 800, 1_000, 1);
+        let s = &plane.snapshot()[0];
+        assert_eq!((s.runs, s.q_runs, s.qlog_sum_micro), (4, 1, 0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::hist::{Histogram, BUCKETS};
 use crate::json::JsonObj;
 use crate::read::{parse_json, JsonValue};
+use crate::telemetry::heal::HealRecord;
 use crate::telemetry::phases::PhaseReading;
 use crate::telemetry::qerror::QErrorSketch;
 use crate::telemetry::topk::HotQuery;
@@ -42,6 +43,11 @@ pub struct TelemetrySnapshot {
     pub span_capacity: u64,
     /// Retained trees recycled to make room, cumulatively.
     pub span_evicted: u64,
+    /// The serving layer's per-fingerprint heal records (suspect-triggered
+    /// re-optimization state), fingerprint ascending. Empty when healing
+    /// is off or the snapshot came from a bare telemetry plane (the
+    /// service stitches these in; absent in pre-v4 documents).
+    pub heal: Vec<HealRecord>,
 }
 
 impl TelemetrySnapshot {
@@ -64,6 +70,12 @@ impl TelemetrySnapshot {
     /// The suspect registry view: flagged sketches, in snapshot order.
     pub fn suspects(&self) -> Vec<&QErrorSketch> {
         self.qerror.iter().filter(|e| e.suspect).collect()
+    }
+
+    /// One fingerprint's heal record, if the serving layer attempted any
+    /// healing for it.
+    pub fn heal_for(&self, fp: u64) -> Option<&HealRecord> {
+        self.heal.iter().find(|h| h.fp == fp)
     }
 
     /// Warm serves over all serves that produced a plan.
@@ -120,6 +132,7 @@ impl TelemetrySnapshot {
                 JsonObj::new()
                     .u64("fp", e.fp)
                     .u64("runs", e.runs)
+                    .u64("q_runs", e.q_runs)
                     .u64("qlog_sum_micro", e.qlog_sum_micro)
                     .u64("qlog_max_micro", e.qlog_max_micro)
                     .u64("est_rows", e.est_rows)
@@ -145,8 +158,9 @@ impl TelemetrySnapshot {
             .u64("resident", self.span_resident)
             .u64("capacity", self.span_capacity)
             .u64("evicted", self.span_evicted);
+        let heal: Vec<String> = self.heal.iter().map(HealRecord::to_json).collect();
         JsonObj::new()
-            .u64("version", 3)
+            .u64("version", 4)
             .u64("uptime_nanos", self.uptime_nanos)
             .raw("counters", &counters.finish())
             .raw("latency", &latency.finish())
@@ -154,6 +168,7 @@ impl TelemetrySnapshot {
             .raw("qerror", &format!("[{}]", qerror.join(",")))
             .raw("phases", &phases.finish())
             .raw("span_store", &span_store.finish())
+            .raw("heal", &format!("[{}]", heal.join(",")))
             .finish()
     }
 
@@ -213,6 +228,9 @@ impl TelemetrySnapshot {
                     Some(QErrorSketch {
                         fp: f("fp")?,
                         runs: f("runs")?,
+                        // Pre-v4 documents predate the Q window: the whole
+                        // lifetime was the window.
+                        q_runs: f("q_runs").or_else(|| f("runs"))?,
                         qlog_sum_micro: f("qlog_sum_micro")?,
                         qlog_max_micro: f("qlog_max_micro")?,
                         est_rows: f("est_rows")?,
@@ -249,6 +267,17 @@ impl TelemetrySnapshot {
                 .and_then(JsonValue::as_u64)
                 .unwrap_or(0)
         };
+        // Version-3 documents predate the heal plane: absent parses as
+        // empty rather than failing.
+        let heal = match v.get("heal") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(HealRecord::from_json_value)
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed heal entry")?,
+            None => Vec::new(),
+            _ => return Err("snapshot heal is not an array".to_string()),
+        };
         Ok(TelemetrySnapshot {
             uptime_nanos,
             counters,
@@ -259,6 +288,7 @@ impl TelemetrySnapshot {
             span_resident: span("resident"),
             span_capacity: span("capacity"),
             span_evicted: span("evicted"),
+            heal,
         })
     }
 
@@ -382,6 +412,25 @@ impl TelemetrySnapshot {
                 ));
             }
         }
+        if !self.heal.is_empty() {
+            out.push_str("# TYPE starqo_heal_attempts gauge\n");
+            out.push_str("# TYPE starqo_heal_swaps gauge\n");
+            out.push_str("# TYPE starqo_heal_pins gauge\n");
+            out.push_str("# TYPE starqo_heal_retry_capped gauge\n");
+            for h in &self.heal {
+                let labels = format!("fp=\"{:#018x}\"", h.fp);
+                out.push_str(&format!(
+                    "starqo_heal_attempts{{{labels}}} {}\n",
+                    h.attempts
+                ));
+                out.push_str(&format!("starqo_heal_swaps{{{labels}}} {}\n", h.swaps));
+                out.push_str(&format!("starqo_heal_pins{{{labels}}} {}\n", h.pins));
+                out.push_str(&format!(
+                    "starqo_heal_retry_capped{{{labels}}} {}\n",
+                    u64::from(h.retry_capped)
+                ));
+            }
+        }
         out
     }
 
@@ -435,6 +484,7 @@ impl TelemetrySnapshot {
                 (e.runs > pr).then(|| QErrorSketch {
                     fp: e.fp,
                     runs: e.runs - pr,
+                    q_runs: e.q_runs.saturating_sub(base.map(|p| p.q_runs).unwrap_or(0)),
                     qlog_sum_micro: e.qlog_sum_micro.saturating_sub(ps),
                     // Max/min folds and the epoch-keyed estimate are not
                     // interval-decomposable; the later snapshot's values
@@ -482,6 +532,16 @@ impl TelemetrySnapshot {
             span_resident: self.span_resident,
             span_capacity: self.span_capacity,
             span_evicted: self.span_evicted.saturating_sub(prev.span_evicted),
+            // Heal tallies subtract; a fingerprint absent earlier deltas
+            // from zero.
+            heal: self
+                .heal
+                .iter()
+                .map(|h| match prev.heal_for(h.fp) {
+                    Some(p) => h.delta_since(p),
+                    None => h.clone(),
+                })
+                .collect(),
         }
     }
 }
@@ -554,6 +614,17 @@ mod tests {
                 },
             ],
             qerror: vec![sample_sketch()],
+            heal: vec![HealRecord {
+                fp: 0xDEAD_BEEF,
+                epoch: 2,
+                attempts: 2,
+                swaps: 1,
+                pins: 1,
+                backoff_hits: 3,
+                retry_capped: false,
+                last_reason: "swapped".into(),
+                backoff_until_nanos: 0,
+            }],
         }
     }
 
@@ -603,6 +674,8 @@ mod tests {
         assert!(text.contains("starqo_hot_query_requests{fp=\"0x00000000deadbeef\",rank=\"1\"} 60"));
         assert!(text.contains("starqo_plan_qerror_runs{fp=\"0x00000000deadbeef\"} 3"));
         assert!(text.contains("starqo_plan_suspect{fp=\"0x00000000deadbeef\"} 1"));
+        assert!(text.contains("starqo_heal_swaps{fp=\"0x00000000deadbeef\"} 1"));
+        assert!(text.contains("starqo_heal_retry_capped{fp=\"0x00000000deadbeef\"} 0"));
         assert!(text.contains("starqo_phase_nanos{phase=\"enumerate\"} 900000"));
         assert!(text.contains("starqo_phase_count{phase=\"execute\"} 95"));
         assert!(text.contains("starqo_span_store_resident 2"));
@@ -702,6 +775,36 @@ mod tests {
         assert_eq!(d.phases[1], ("enumerate".into(), 900_000, 5));
         assert_eq!(d.span_evicted, 1);
         assert_eq!((d.span_resident, d.span_capacity), (2, 64));
+    }
+
+    #[test]
+    fn version3_documents_parse_with_empty_heal() {
+        // A v3 export (no heal plane): strip the heal key from a current
+        // document and it must still parse, with q_runs defaulting to
+        // runs in pre-window sketches.
+        let full = sample_snapshot().to_json();
+        let heal_at = full.find(",\"heal\"").expect("heal key");
+        let v3 = format!("{}}}", &full[..heal_at]);
+        let v3 = v3.replace(",\"q_runs\":3", "");
+        let parsed = TelemetrySnapshot::from_json(&v3).expect("v3 parses");
+        assert!(parsed.heal.is_empty());
+        assert_eq!(parsed.qerror[0].q_runs, parsed.qerror[0].runs);
+    }
+
+    #[test]
+    fn delta_subtracts_heal_tallies() {
+        let later = sample_snapshot();
+        let mut earlier = sample_snapshot();
+        earlier.heal[0].swaps = 0;
+        earlier.heal[0].pins = 0;
+        earlier.heal[0].backoff_hits = 1;
+        let d = later.delta_since(&earlier);
+        let h = d.heal_for(0xDEAD_BEEF).expect("heal delta");
+        assert_eq!((h.swaps, h.pins, h.backoff_hits), (1, 1, 2));
+        // Absent earlier: the full record survives the delta.
+        earlier.heal.clear();
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.heal, later.heal);
     }
 
     #[test]

@@ -113,4 +113,21 @@ grep -q "execute" target/bench/spans_timeline.txt
 grep -q '"healthy"' target/bench/doctor_smoke.json
 echo "spans smoke passed."
 
+echo "== heal smoke (suspect -> re-opt -> swap; one chaos sweep) =="
+cargo build -q --offline -p starqo-bench --bin heal
+# The experiment asserts recovery (every drifting fingerprint swapped and
+# un-flagged, zero re-opts on the controls) and the full 15-sweep re-opt
+# chaos matrix (zero escapes/divergences, every sweep healed) internally
+# (non-zero exit on violation); the greps double-check the report. The
+# STARQO_FAULTS form is the CI serve-path chaos contract: one sweep under
+# a caller-chosen fault, non-zero exit on any escape, divergence, or
+# unhealed fingerprint.
+./target/debug/heal --smoke > target/bench/heal_smoke.txt
+grep -q "drifting fingerprints healed" target/bench/heal_smoke.txt
+grep -q "escapes: 0" target/bench/heal_smoke.txt
+STARQO_FAULTS='reopt:verify:panic' ./target/debug/heal --smoke \
+    > target/bench/heal_fault_smoke.txt
+grep -q "escapes: 0" target/bench/heal_fault_smoke.txt
+echo "heal smoke passed."
+
 echo "All checks passed."

@@ -145,7 +145,17 @@ fn concurrent_hammering_matches_the_serial_total() {
 fn delta_since_never_underflows_under_concurrent_updates() {
     let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
     let stop = Arc::new(AtomicBool::new(false));
+    // A failed assertion below unwinds through the scope closure *before*
+    // the join; without this guard the writer threads would spin forever
+    // on `stop` and the join would hang, burying the panic.
+    struct StopOnDrop(Arc<AtomicBool>);
+    impl Drop for StopOnDrop {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
     std::thread::scope(|scope| {
+        let _stop_guard = StopOnDrop(Arc::clone(&stop));
         for tid in 0..4u64 {
             let t = Arc::clone(&telemetry);
             let stop = Arc::clone(&stop);
@@ -203,9 +213,13 @@ fn delta_since_never_underflows_under_concurrent_updates() {
                 let p_sum = prev.qerror_for(e.fp).map(|p| p.qlog_sum_micro).unwrap_or(0);
                 assert!(p_runs <= c.runs, "sketch {:#x} runs went backwards", e.fp);
                 assert_eq!(e.runs, c.runs - p_runs, "sketch {:#x} runs delta", e.fp);
+                // The Q window (unlike the lifetime run count) legitimately
+                // shrinks when an epoch bump lands between the snapshots
+                // and refreshes the sketch, so mirror the delta's
+                // saturating semantics instead of subtracting raw.
                 assert_eq!(
                     e.qlog_sum_micro,
-                    c.qlog_sum_micro - p_sum,
+                    c.qlog_sum_micro.saturating_sub(p_sum),
                     "sketch {:#x} qlog sum delta",
                     e.fp
                 );
