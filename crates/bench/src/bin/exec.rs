@@ -1,0 +1,15 @@
+//! Experiment binary: the vectorized executor (E23) — serial interpreter
+//! vs morsel-driven batch execution on identical plans and data. Asserts
+//! bit-equality with the serial oracle, counter determinism across worker
+//! counts, and (in full mode) the 3× aggregate throughput floor. Writes
+//! `BENCH_exec.json` for the regression gate.
+//!
+//! Usage: `exec [--smoke|--quick]`  (quick skips the throughput floor —
+//! smoke runs are too short to measure speedups honestly).
+
+fn main() {
+    let quick = std::env::args()
+        .skip(1)
+        .any(|a| a == "--quick" || a == "--smoke");
+    starqo_bench::run_bin("exec", || vec![starqo_bench::vexec::e23_vexec(quick)]);
+}

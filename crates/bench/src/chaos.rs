@@ -2,9 +2,10 @@
 //! fleet.
 //!
 //! One sweep arms exactly one fault — a native condition function, a
-//! property (cost) evaluation, or an executor LOLEPOP made to panic, error,
-//! or stall on its k-th invocation — then optimizes *and executes* each
-//! fleet query under it. The robustness contract asserted here is the
+//! property (cost) evaluation, an executor LOLEPOP, or a vectorized-executor
+//! morsel/exchange stage made to panic, error, or stall on its k-th
+//! invocation — then optimizes *and executes* each fleet query under it
+//! (serially, and through `starqo-vexec` when the plan is supported). The robustness contract asserted here is the
 //! tentpole's: every query finishes with a valid (possibly degraded) plan
 //! or a typed error; a panic escaping to the runner is a contract
 //! violation, counted and reported.
@@ -157,7 +158,23 @@ fn run_one(plan: &Arc<FaultPlan>, fq: &FleetQuery) -> Result<(bool, usize), Stri
     ex.set_fault_hook(Arc::new(move |op: &str| {
         p.trigger("exec", op).and_then(|m| faults::fire(m, "exec"))
     }));
-    ex.run(&out.best).map_err(|e| format!("execute: {e}"))?;
+    let serial = ex.run(&out.best).map_err(|e| format!("execute: {e}"))?;
+    // Vectorized leg: the same plan through the morsel-driven executor,
+    // with `vexec` fault specs wired into its worker/exchange hook. A
+    // worker panic must come back as a typed error (containment), and a
+    // fault-free vexec run must bit-match the serial result — a divergence
+    // panics here, which the runner counts as a contract violation.
+    if starqo_vexec::supports(&out.best, &fq.query).is_ok() {
+        let mut vx = starqo_vexec::VexecExecutor::new(&fq.db, &fq.query);
+        vx.set_workers(4);
+        let p = plan.clone();
+        vx.set_fault_hook(Arc::new(move |site: &str| {
+            p.trigger("vexec", site)
+                .and_then(|m| faults::fire(m, "vexec"))
+        }));
+        let vec = vx.run(&out.best).map_err(|e| format!("vexec: {e}"))?;
+        assert_eq!(vec, serial, "vexec diverged from serial under chaos");
+    }
     Ok((out.degraded, out.quarantined.len()))
 }
 
@@ -218,6 +235,11 @@ pub fn run_chaos(seed: u64, quick: bool) -> ChaosReport {
     for op in OPERATORS {
         targets.push(("prop", (*op).to_string()));
         targets.push(("exec", (*op).to_string()));
+    }
+    // Vectorized-executor stages: morsel workers and the ordered exchange.
+    // `*` arms every vexec hook consultation at once.
+    for t in ["morsel", "exchange", "*"] {
+        targets.push(("vexec", t.to_string()));
     }
     // A short stall is enough to prove the k-th-invocation plumbing without
     // slowing the sweep; the `parse` path accepts arbitrary durations.

@@ -27,6 +27,7 @@
 //! | E20 | feedback plane: drift detection + overhead | [`drift::e20_drift`] |
 //! | E21 | span tracing: overhead + tail retention proof | [`spans::e21_spans`] |
 //! | E22 | self-healing: drift recovery + re-opt chaos soak | [`heal::e22_heal`] |
+//! | E23 | vectorized executor: oracle equivalence + speedup | [`vexec::e23_vexec`] |
 
 pub mod chaos;
 pub mod comparison;
@@ -41,6 +42,7 @@ pub mod serving;
 pub mod spans;
 pub mod strategies;
 pub mod telemetry;
+pub mod vexec;
 
 use std::fmt::Write as _;
 

@@ -9,11 +9,12 @@
 //! ```text
 //! site:target:mode[@k] [; site:target:mode[@k] ...]
 //!
-//! site    native | prop | exec | reopt
+//! site    native | prop | exec | vexec | reopt
 //! target  a native function name ("join_preds"), a LOLEPOP name
-//!         ("JOIN" matches "JOIN(NL)" etc.), a re-optimization stage
-//!         ("overlay", "optimize", "verify", "probation", "swap"), or
-//!         "*" (any)
+//!         ("JOIN" matches "JOIN(NL)" etc.), a vectorized-executor stage
+//!         ("morsel" matches "morsel(SCAN T0)", "exchange" likewise), a
+//!         re-optimization stage ("overlay", "optimize", "verify",
+//!         "probation", "swap"), or "*" (any)
 //! mode    panic | error | stallN   (N busy-loop iterations)
 //! k       fire on the k-th matching invocation (default 1)
 //! ```
@@ -44,7 +45,8 @@ pub enum FaultMode {
 /// One armed fault: where, what, and when.
 #[derive(Debug)]
 pub struct FaultSpec {
-    /// Injection site kind: `"native"`, `"prop"`, `"exec"`, or `"reopt"`.
+    /// Injection site kind: `"native"`, `"prop"`, `"exec"`, `"vexec"`, or
+    /// `"reopt"`.
     pub site: String,
     /// Name to match (exact, prefix-up-to-`'('`, or `"*"`).
     pub target: String,
@@ -100,9 +102,9 @@ impl FaultPlan {
                 ));
             }
             let site = fields[0].trim();
-            if !matches!(site, "native" | "prop" | "exec" | "reopt") {
+            if !matches!(site, "native" | "prop" | "exec" | "vexec" | "reopt") {
                 return Err(format!(
-                    "fault spec '{part}': site must be native, prop, exec, or reopt"
+                    "fault spec '{part}': site must be native, prop, exec, vexec, or reopt"
                 ));
             }
             let target = fields[1].trim();
@@ -221,6 +223,26 @@ mod tests {
         assert_eq!(plan.specs[1].mode, FaultMode::Error);
         assert_eq!(plan.specs[1].k, 3);
         assert_eq!(plan.specs[2].mode, FaultMode::Stall(500));
+    }
+
+    #[test]
+    fn vexec_site_targets_morsels_and_exchanges() {
+        let plan = FaultPlan::parse("vexec:morsel:panic; vexec:exchange:error@2").unwrap();
+        assert_eq!(plan.specs.len(), 2);
+        assert_eq!(plan.specs[0].site, "vexec");
+        // Prefix matching covers the parameterized stage names the
+        // vectorized executor reports.
+        assert_eq!(
+            plan.trigger("vexec", "morsel(SCAN T0)"),
+            Some(FaultMode::Panic)
+        );
+        assert_eq!(plan.trigger("vexec", "exchange(SCAN T0)"), None);
+        assert_eq!(
+            plan.trigger("vexec", "exchange(SCAN T0)"),
+            Some(FaultMode::Error)
+        );
+        // The vexec site never bleeds into serial-executor hooks.
+        assert_eq!(plan.trigger("exec", "morsel(SCAN T0)"), None);
     }
 
     #[test]

@@ -16,6 +16,9 @@ use starqo_catalog::{Value, TID_COL};
 use starqo_plan::{AccessSpec, JoinFlavor, Lolepop, PlanNode, PlanRef};
 use starqo_query::{Classifier, CmpOp, PredSet, QCol, QId, Query, Scalar};
 use starqo_storage::{Database, Tid, Tuple, ROWS_PER_PAGE};
+// Shared with the vectorized executor (`starqo-vexec`), which must agree
+// with this interpreter to the bit.
+use crate::support::{bound_prefix as support_bound_prefix, panic_msg, value_bytes};
 use starqo_trace::{
     LatencyPath, Metric, NodeActuals, SpanContext, SpanGuard, Telemetry, TraceEvent, Tracer,
 };
@@ -433,44 +436,15 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
-    /// Find the longest bound equality prefix of an index key: for each key
-    /// column in order, a predicate `key_col = expr` whose `expr` is
-    /// evaluable from constants and outer bindings alone.
+    /// Find the longest bound equality prefix of an index key (see
+    /// [`crate::support::bound_prefix`], shared with vexec).
     fn bound_prefix(
         &self,
         key: &[QCol],
         preds: PredSet,
         bindings: &Bindings,
     ) -> Result<Vec<Value>> {
-        let cl = Classifier::new(self.query);
-        let empty_schema: Vec<QCol> = Vec::new();
-        let empty_row = Tuple(Vec::new());
-        let mut values = Vec::new();
-        'keys: for kc in key {
-            for p in preds.iter() {
-                if cl.sargable_on(p, *kc) != Some(CmpOp::Eq) {
-                    continue;
-                }
-                // Locate the non-key side and try to evaluate it from
-                // bindings/constants.
-                if let starqo_query::PredExpr::Cmp(_, l, r) = &self.query.pred(p).expr {
-                    let other: &Scalar = if l.as_col() == Some(*kc) { r } else { l };
-                    let view = RowView {
-                        schema: &empty_schema,
-                        row: &empty_row,
-                        bindings,
-                    };
-                    if let Ok(v) = eval_scalar(other, &view) {
-                        if !v.is_null() {
-                            values.push(v);
-                            continue 'keys;
-                        }
-                    }
-                }
-            }
-            break;
-        }
-        Ok(values)
+        support_bound_prefix(self.query, key, preds, bindings)
     }
 
     fn scan_index(
@@ -866,26 +840,6 @@ fn input(node: &PlanNode, i: usize) -> Result<&PlanRef> {
             node.inputs.len()
         ))
     })
-}
-
-/// Best-effort rendering of a caught panic payload.
-fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Approximate wire size of a value, for SHIP accounting.
-fn value_bytes(v: &Value) -> u64 {
-    match v {
-        Value::Null | Value::Bool(_) => 1,
-        Value::Int(_) | Value::Double(_) => 8,
-        Value::Str(s) => s.len() as u64,
-    }
 }
 
 /// True if the subtree references quantifiers outside its own table set

@@ -24,11 +24,13 @@ pub mod result;
 pub mod scalar;
 pub mod schema;
 pub mod shadow;
+pub mod support;
 
 pub use error::{ExecError, Result};
-pub use eval::{ExecStats, Executor, ExtExecFn, FaultHook};
+pub use eval::{is_correlated, ExecStats, Executor, ExtExecFn, FaultHook};
 pub use reference::reference_eval;
 pub use result::{project_rows, rows_equal_multiset, QueryResult};
-pub use schema::{schema_of, StreamSchema};
+pub use scalar::Bindings;
+pub use schema::{cols_schema, position, schema_of, StreamSchema};
 pub use shadow::shadow_run;
 pub use starqo_trace::NodeActuals;

@@ -1,0 +1,73 @@
+//! Run-time helpers shared between the serial interpreter ([`crate::eval`])
+//! and the vectorized batch executor (`starqo-vexec`).
+//!
+//! vexec's correctness contract is "bit-match the serial oracle", so any
+//! semantics both runtimes need — index-prefix binding, SHIP byte
+//! accounting, panic rendering — live here exactly once.
+
+use starqo_catalog::Value;
+use starqo_query::{Classifier, CmpOp, PredSet, QCol, Query, Scalar};
+use starqo_storage::Tuple;
+
+use crate::error::Result;
+use crate::scalar::{eval_scalar, Bindings, RowView};
+
+/// Find the longest bound equality prefix of an index key: for each key
+/// column in order, a predicate `key_col = expr` whose `expr` is evaluable
+/// from constants and outer bindings alone.
+pub fn bound_prefix(
+    query: &Query,
+    key: &[QCol],
+    preds: PredSet,
+    bindings: &Bindings,
+) -> Result<Vec<Value>> {
+    let cl = Classifier::new(query);
+    let empty_schema: Vec<QCol> = Vec::new();
+    let empty_row = Tuple(Vec::new());
+    let mut values = Vec::new();
+    'keys: for kc in key {
+        for p in preds.iter() {
+            if cl.sargable_on(p, *kc) != Some(CmpOp::Eq) {
+                continue;
+            }
+            // Locate the non-key side and try to evaluate it from
+            // bindings/constants.
+            if let starqo_query::PredExpr::Cmp(_, l, r) = &query.pred(p).expr {
+                let other: &Scalar = if l.as_col() == Some(*kc) { r } else { l };
+                let view = RowView {
+                    schema: &empty_schema,
+                    row: &empty_row,
+                    bindings,
+                };
+                if let Ok(v) = eval_scalar(other, &view) {
+                    if !v.is_null() {
+                        values.push(v);
+                        continue 'keys;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    Ok(values)
+}
+
+/// Best-effort rendering of a caught panic payload.
+pub fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Approximate wire size of a value, for SHIP accounting.
+pub fn value_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Int(_) | Value::Double(_) => 8,
+        Value::Str(s) => s.len() as u64,
+    }
+}

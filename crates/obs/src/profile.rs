@@ -119,6 +119,29 @@ impl ServeCacheStats {
     }
 }
 
+/// Vectorized-executor activity from a serving-layer trace: the
+/// `exec_fallback` event stream plus any `vexec_*` counter snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeExecStats {
+    /// `exec_fallback` events: plans the vectorized executor declined,
+    /// keyed by the typed reason (the request ran serially).
+    pub fallback_reasons: BTreeMap<String, u64>,
+    /// Latest `vexec_*` counter snapshot (last-write-wins, like the serve
+    /// counters).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl ServeExecStats {
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_reasons.values().sum()
+    }
+
+    /// Whether the trace carried any vectorized-executor activity at all.
+    pub fn any(&self) -> bool {
+        self.fallbacks() > 0 || !self.counters.is_empty()
+    }
+}
+
 /// Self-healing activity from a serving-layer trace: the `plan_reopt` /
 /// `plan_swap` / `plan_pinned` event stream.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -164,6 +187,9 @@ pub struct Profile {
     pub serve: ServeCacheStats,
     /// Self-healing activity (empty unless the service healed something).
     pub heal: ServeHealStats,
+    /// Vectorized-executor activity (empty unless the service routed
+    /// requests through `starqo-vexec`).
+    pub exec: ServeExecStats,
 }
 
 impl Profile {
@@ -183,6 +209,7 @@ impl Profile {
         let mut degraded = Vec::new();
         let mut serve = ServeCacheStats::default();
         let mut heal = ServeHealStats::default();
+        let mut exec = ServeExecStats::default();
         // The query whose events are streaming past, when the trace carries
         // `query_start` markers (fleet runs do; single-query traces don't).
         let mut cur_query: Option<String> = None;
@@ -325,6 +352,12 @@ impl Profile {
                 TraceEvent::Counter { name, value } if name.starts_with("serve_") => {
                     serve.counters.insert(name.clone(), *value);
                 }
+                TraceEvent::Counter { name, value } if name.starts_with("vexec_") => {
+                    exec.counters.insert(name.clone(), *value);
+                }
+                TraceEvent::ExecFallback { reason, .. } => {
+                    *exec.fallback_reasons.entry(reason.clone()).or_insert(0) += 1;
+                }
                 TraceEvent::PlanReopt { .. } => heal.reopts += 1,
                 TraceEvent::PlanSwap {
                     incumbent_work,
@@ -358,6 +391,7 @@ impl Profile {
             degraded,
             serve,
             heal,
+            exec,
         }
     }
 
@@ -505,6 +539,33 @@ impl Profile {
                     .map(|(r, n)| format!("{r}={n}"))
                     .collect();
                 let _ = writeln!(out, "  pin reasons: {}", rendered.join("  "));
+            }
+        }
+
+        if self.exec.any() {
+            let _ = writeln!(out, "\nexecutor:");
+            if !self.exec.counters.is_empty() {
+                let rendered: Vec<String> = self
+                    .exec
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let _ = writeln!(out, "  counters: {}", rendered.join("  "));
+            }
+            if self.exec.fallbacks() > 0 {
+                let _ = writeln!(
+                    out,
+                    "  fallbacks {} (unsupported plans served serially)",
+                    self.exec.fallbacks(),
+                );
+                let rendered: Vec<String> = self
+                    .exec
+                    .fallback_reasons
+                    .iter()
+                    .map(|(r, n)| format!("{n}x {r}"))
+                    .collect();
+                let _ = writeln!(out, "  fallback reasons: {}", rendered.join("  "));
             }
         }
 
@@ -675,6 +736,84 @@ mod tests {
         assert!(!p.render().contains("serve cache:"));
         assert!(!p.heal.any());
         assert!(!p.render().contains("serve heal:"));
+        assert!(!p.exec.any());
+        assert!(!p.render().contains("executor:"));
+    }
+
+    #[test]
+    fn exec_fallbacks_and_vexec_counters_aggregate_into_their_own_section() {
+        let events = vec![
+            TraceEvent::ExecFallback {
+                fp: 7,
+                reason: "correlated inner".into(),
+            },
+            TraceEvent::ExecFallback {
+                fp: 9,
+                reason: "correlated inner".into(),
+            },
+            TraceEvent::ExecFallback {
+                fp: 11,
+                reason: "extension operator".into(),
+            },
+            // Two snapshots of the same counter: last one wins.
+            TraceEvent::Counter {
+                name: "vexec_rows".into(),
+                value: 100,
+            },
+            TraceEvent::Counter {
+                name: "vexec_rows".into(),
+                value: 250,
+            },
+            TraceEvent::Counter {
+                name: "vexec_batches".into(),
+                value: 12,
+            },
+            // Serve and engine counters stay in their own homes.
+            TraceEvent::Counter {
+                name: "serve_requests".into(),
+                value: 3,
+            },
+        ];
+        let p = Profile::from_events(&events);
+        assert!(p.exec.any());
+        assert_eq!(p.exec.fallbacks(), 3);
+        assert_eq!(p.exec.fallback_reasons.get("correlated inner"), Some(&2));
+        assert_eq!(p.exec.fallback_reasons.get("extension operator"), Some(&1));
+        assert_eq!(p.exec.counters.get("vexec_rows"), Some(&250));
+        assert_eq!(p.exec.counters.get("vexec_batches"), Some(&12));
+        assert_eq!(p.exec.counters.get("serve_requests"), None);
+        assert_eq!(p.serve.counters.get("serve_requests"), Some(&3));
+        let text = p.render();
+        assert!(text.contains("executor:"), "{text}");
+        assert!(
+            text.contains("counters: vexec_batches=12  vexec_rows=250"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fallbacks 3 (unsupported plans served serially)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fallback reasons: 2x correlated inner  1x extension operator"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn counters_alone_surface_the_executor_section() {
+        // A healthy vexec run has no fallback events, only counters; the
+        // section must still appear.
+        let events = vec![TraceEvent::Counter {
+            name: "vexec_morsels".into(),
+            value: 40,
+        }];
+        let p = Profile::from_events(&events);
+        assert!(p.exec.any());
+        assert_eq!(p.exec.fallbacks(), 0);
+        let text = p.render();
+        assert!(text.contains("executor:"), "{text}");
+        assert!(text.contains("vexec_morsels=40"), "{text}");
+        assert!(!text.contains("fallback reasons"), "{text}");
     }
 
     #[test]

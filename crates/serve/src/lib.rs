@@ -47,5 +47,6 @@ pub use admission::{GateTimeout, OptGate, Permit};
 pub use cache::{CacheConfig, CacheMeta, PlanCache};
 pub use heal::HealConfig;
 pub use service::{
-    Prepared, ServeCountersSnapshot, ServeError, ServeOutcome, Service, ServiceConfig,
+    ExecutorChoice, Prepared, ServeCountersSnapshot, ServeError, ServeOutcome, Service,
+    ServiceConfig,
 };

@@ -74,6 +74,14 @@ impl StoredTable {
         (self.rows.len() as u64).div_ceil(ROWS_PER_PAGE).max(1)
     }
 
+    /// Borrow a contiguous row range (batch scans iterate this instead of
+    /// per-row `fetch`). The range is clamped to the table length; row `i`
+    /// of the slice is TID `range.start + i`.
+    pub fn rows_range(&self, range: std::ops::Range<usize>) -> &[Tuple] {
+        let n = self.rows.len();
+        &self.rows[range.start.min(n)..range.end.min(n)]
+    }
+
     /// Scan all rows with their TIDs.
     pub fn scan(&self) -> impl Iterator<Item = (Tid, &Tuple)> {
         self.rows

@@ -87,10 +87,23 @@ pub enum Metric {
     /// Re-optimizations resolved by keeping the incumbent (typed reason:
     /// verify mismatch, regression, epoch move, failure).
     PlanPinned,
+    /// Columnar batches completed by the vectorized executor.
+    VexecBatches,
+    /// Morsels enqueued to the vectorized executor's worker pool. Paired
+    /// with [`Metric::VexecMorsels`]: `queued - completed` is the live
+    /// worker-pool queue depth (both counters are monotonic).
+    VexecQueued,
+    /// Morsels completed by the vectorized executor's worker pool.
+    VexecMorsels,
+    /// Rows leaving vectorized pipeline chains at exchanges.
+    VexecRows,
+    /// Requests routed to the serial executor because the plan shape is
+    /// unsupported by the vectorized executor.
+    VexecFallbacks,
 }
 
 impl Metric {
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 36;
 
     pub const ALL: [Metric; Metric::COUNT] = [
         Metric::Requests,
@@ -124,6 +137,11 @@ impl Metric {
         Metric::ReoptRetryCapped,
         Metric::PlanSwap,
         Metric::PlanPinned,
+        Metric::VexecBatches,
+        Metric::VexecQueued,
+        Metric::VexecMorsels,
+        Metric::VexecRows,
+        Metric::VexecFallbacks,
     ];
 
     /// The stable exported name (JSON keys, Prometheus metric names,
@@ -161,6 +179,11 @@ impl Metric {
             Metric::ReoptRetryCapped => "serve_reopt_retry_capped",
             Metric::PlanSwap => "serve_plan_swap",
             Metric::PlanPinned => "serve_plan_pinned",
+            Metric::VexecBatches => "vexec_batches",
+            Metric::VexecQueued => "vexec_morsels_queued",
+            Metric::VexecMorsels => "vexec_morsels",
+            Metric::VexecRows => "vexec_rows",
+            Metric::VexecFallbacks => "vexec_fallbacks",
         }
     }
 }

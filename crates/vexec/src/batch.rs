@@ -1,0 +1,139 @@
+//! Columnar batches and selection vectors — the unit of data flow between
+//! vectorized operators.
+//!
+//! A [`Batch`] holds up to [`BATCH_ROWS`] rows in column-major order.
+//! Filters never move data: they refine the *selection vector* (the ordered
+//! set of live row indices), and downstream operators iterate only the live
+//! rows. Data moves once — when a gather materializes survivors (at an
+//! operator that changes the stream schema, or at the final exchange).
+
+use starqo_catalog::Value;
+use starqo_storage::Tuple;
+
+/// Target rows per batch (the classic vectorized sweet spot: big enough to
+/// amortize per-batch dispatch, small enough to stay cache-resident).
+pub const BATCH_ROWS: usize = 1024;
+
+/// One columnar batch: `cols` all have length `rows`; `sel`, when present,
+/// lists the live row indices in ascending order.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub cols: Vec<Vec<Value>>,
+    pub rows: usize,
+    pub sel: Option<Vec<u32>>,
+}
+
+impl Batch {
+    /// An empty batch with `ncols` columns.
+    pub fn new(ncols: usize) -> Batch {
+        Batch {
+            cols: (0..ncols).map(|_| Vec::new()).collect(),
+            rows: 0,
+            sel: None,
+        }
+    }
+
+    /// An empty batch whose columns have room for `cap` rows.
+    pub fn with_capacity(ncols: usize, cap: usize) -> Batch {
+        Batch {
+            cols: (0..ncols).map(|_| Vec::with_capacity(cap)).collect(),
+            rows: 0,
+            sel: None,
+        }
+    }
+
+    /// Number of live (selected) rows.
+    pub fn live(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows,
+        }
+    }
+
+    /// Iterate live row indices in order.
+    pub fn live_rows(&self) -> SelIter<'_> {
+        match &self.sel {
+            Some(s) => SelIter::Sparse(s.iter()),
+            None => SelIter::Dense(0..self.rows),
+        }
+    }
+
+    /// Append one row's values (builder-side; caller keeps columns aligned).
+    #[inline]
+    pub fn push_value(&mut self, col: usize, v: Value) {
+        self.cols[col].push(v);
+    }
+
+    /// Mark one appended row complete.
+    #[inline]
+    pub fn commit_row(&mut self) {
+        self.rows += 1;
+    }
+
+    /// Gather the live rows into row-major tuples, appending to `out`.
+    pub fn gather_into(&self, out: &mut Vec<Tuple>) {
+        out.reserve(self.live());
+        for i in self.live_rows() {
+            out.push(Tuple(self.cols.iter().map(|c| c[i].clone()).collect()));
+        }
+    }
+}
+
+/// Iterator over a batch's live row indices: dense (no selection) or sparse
+/// (driven by the selection vector).
+pub enum SelIter<'a> {
+    Dense(std::ops::Range<usize>),
+    Sparse(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for SelIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelIter::Dense(r) => r.next(),
+            SelIter::Sparse(it) => it.next().map(|i| *i as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_vector_drives_live_iteration() {
+        let mut b = Batch::new(1);
+        for v in 0..5 {
+            b.push_value(0, Value::Int(v));
+            b.commit_row();
+        }
+        assert_eq!(b.live(), 5);
+        assert_eq!(b.live_rows().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        b.sel = Some(vec![1, 4]);
+        assert_eq!(b.live(), 2);
+        let mut out = Vec::new();
+        b.gather_into(&mut out);
+        assert_eq!(
+            out,
+            vec![Tuple(vec![Value::Int(1)]), Tuple(vec![Value::Int(4)])]
+        );
+    }
+
+    #[test]
+    fn empty_batch_gathers_nothing() {
+        let b = Batch::new(3);
+        assert_eq!(b.live(), 0);
+        let mut out = Vec::new();
+        b.gather_into(&mut out);
+        assert!(out.is_empty());
+        let mut b = Batch::new(1);
+        b.push_value(0, Value::Int(7));
+        b.commit_row();
+        b.sel = Some(Vec::new()); // everything filtered out
+        assert_eq!(b.live(), 0);
+        b.gather_into(&mut out);
+        assert!(out.is_empty());
+    }
+}

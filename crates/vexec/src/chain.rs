@@ -1,0 +1,544 @@
+//! Fused operator chains: one chain = one pipeline fragment.
+//!
+//! A chain is a *source* (heap/b-tree rows, index entries, or a materialized
+//! row vector), an *emit* step that maps source rows into the stream schema
+//! (applying the access predicates BEFORE gathering — rejected rows are
+//! never cloned), and a sequence of fused operators (FILTER, GET, SHIP,
+//! hash-probe, nested-loop cross) applied batch-at-a-time.
+//!
+//! Chains are `Sync`: the morsel driver shares one chain across workers,
+//! each claiming disjoint source ranges. All mutable run state (stats, SHIP
+//! byte tallies) lives in [`ChainStats`] atomics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use starqo_catalog::Value;
+use starqo_exec::{ExecError, Result, StreamSchema};
+use starqo_storage::{Tid, Tuple, ROWS_PER_PAGE};
+
+use crate::batch::{Batch, BATCH_ROWS};
+use crate::expr::{BatchRow, CExpr, PredProg, VRow};
+
+/// Where a chain's rows come from.
+pub(crate) enum ChainSource<'a> {
+    /// A stored base table; morsels are TID ranges.
+    Table(&'a starqo_storage::StoredTable),
+    /// Materialized index entries (key values + TID), already in key order.
+    Entries(Arc<Vec<(Vec<Value>, Tid)>>),
+    /// A materialized row vector (temp accesses, pipeline breakers).
+    Rows(Arc<Vec<Tuple>>),
+}
+
+impl ChainSource<'_> {
+    pub fn len(&self) -> usize {
+        match self {
+            ChainSource::Table(t) => t.len(),
+            ChainSource::Entries(e) => e.len(),
+            ChainSource::Rows(r) => r.len(),
+        }
+    }
+}
+
+/// How one output slot of a scan emit is produced from the source.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SrcSlot {
+    /// Base-table column position (for entries: key position).
+    Base(usize),
+    /// The TID pseudo-column.
+    Tid,
+}
+
+/// The emit step: source row → stream-schema row, with the access
+/// predicates evaluated on a *borrowed* view first (selection before
+/// gather — survivors are cloned exactly once).
+pub(crate) enum Emit {
+    /// Base-table scan (`ChainSource::Table`).
+    Scan {
+        slots: Vec<SrcSlot>,
+        preds: PredProg,
+    },
+    /// Index entries (`ChainSource::Entries`): `Base(i)` reads key slot `i`.
+    Index {
+        slots: Vec<SrcSlot>,
+        preds: PredProg,
+    },
+    /// Materialized rows (`ChainSource::Rows`): slots are positions in the
+    /// source row.
+    Rows { map: Vec<usize>, preds: PredProg },
+}
+
+impl Emit {
+    /// True when the emit neither filters nor permutes — rows pass through
+    /// unchanged (lets the driver skip batching entirely for bare breakers).
+    pub fn is_passthrough(&self, source_width: usize) -> bool {
+        match self {
+            Emit::Rows { map, preds } => {
+                preds.is_empty()
+                    && map.len() == source_width
+                    && map.iter().enumerate().all(|(i, m)| i == *m)
+            }
+            _ => false,
+        }
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            Emit::Scan { slots, .. } | Emit::Index { slots, .. } => slots.len(),
+            Emit::Rows { map, .. } => map.len(),
+        }
+    }
+
+    /// Emit one batch from `source[range]`. The returned batch is compact
+    /// (no selection vector): predicates ran before the gather.
+    pub fn emit_range(
+        &self,
+        source: &ChainSource<'_>,
+        range: std::ops::Range<usize>,
+    ) -> Result<Batch> {
+        let mut out = Batch::with_capacity(self.width(), range.len());
+        match (self, source) {
+            (Emit::Scan { slots, preds }, ChainSource::Table(table)) => {
+                // Slice iteration: one bounds check per morsel, not per row.
+                let start = range.start;
+                for (off, base) in table.rows_range(range).iter().enumerate() {
+                    let tid_value = Tid((start + off) as u64).to_value();
+                    let row = ScanRow {
+                        slots,
+                        base,
+                        tid: &tid_value,
+                    };
+                    if preds.eval_row(&row)? {
+                        for (s, slot) in slots.iter().enumerate() {
+                            out.push_value(s, row.slot_value(*slot).clone());
+                        }
+                        out.commit_row();
+                    }
+                }
+            }
+            (Emit::Index { slots, preds }, ChainSource::Entries(entries)) => {
+                for (key, tid) in &entries[range] {
+                    let tid_value = tid.to_value();
+                    let row = IndexRow {
+                        slots,
+                        key,
+                        tid: &tid_value,
+                    };
+                    if preds.eval_row(&row)? {
+                        for (s, slot) in slots.iter().enumerate() {
+                            out.push_value(s, row.slot_value(*slot).clone());
+                        }
+                        out.commit_row();
+                    }
+                }
+            }
+            (Emit::Rows { map, preds }, ChainSource::Rows(rows)) => {
+                for r in &rows[range] {
+                    let row = MappedRow { map, row: r };
+                    if preds.eval_row(&row)? {
+                        for (s, pos) in map.iter().enumerate() {
+                            out.push_value(s, r.get(*pos).clone());
+                        }
+                        out.commit_row();
+                    }
+                }
+            }
+            _ => {
+                return Err(ExecError::BadPlan(
+                    "vexec chain emit does not match its source".into(),
+                ))
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Borrowed view of a base-table row during scan emit.
+struct ScanRow<'a> {
+    slots: &'a [SrcSlot],
+    base: &'a Tuple,
+    tid: &'a Value,
+}
+
+impl ScanRow<'_> {
+    #[inline]
+    fn slot_value(&self, s: SrcSlot) -> &Value {
+        match s {
+            SrcSlot::Base(i) => self.base.get(i),
+            SrcSlot::Tid => self.tid,
+        }
+    }
+}
+
+impl VRow for ScanRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        self.slot_value(self.slots[slot])
+    }
+}
+
+/// Borrowed view of an index entry during emit.
+struct IndexRow<'a> {
+    slots: &'a [SrcSlot],
+    key: &'a [Value],
+    tid: &'a Value,
+}
+
+impl IndexRow<'_> {
+    #[inline]
+    fn slot_value(&self, s: SrcSlot) -> &Value {
+        match s {
+            SrcSlot::Base(i) => &self.key[i],
+            SrcSlot::Tid => self.tid,
+        }
+    }
+}
+
+impl VRow for IndexRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        self.slot_value(self.slots[slot])
+    }
+}
+
+/// Borrowed view of a materialized row through a projection map.
+struct MappedRow<'a> {
+    map: &'a [usize],
+    row: &'a Tuple,
+}
+
+impl VRow for MappedRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        self.row.get(self.map[slot])
+    }
+}
+
+/// How one output slot of a GET is produced.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GetSlot {
+    /// Copy from the input stream.
+    In(usize),
+    /// Fetch from the base tuple by column position.
+    Base(usize),
+}
+
+/// Fused TID dereference: fetch the base tuple for each live input row,
+/// evaluate the GET predicates on a borrowed (input, base) view, and gather
+/// survivors into the output schema.
+pub(crate) struct GetOp<'a> {
+    pub table: &'a starqo_storage::StoredTable,
+    pub tid_slot: usize,
+    pub out_slots: Vec<GetSlot>,
+    pub preds: PredProg,
+}
+
+/// Borrowed candidate row of a GET before gathering.
+struct GetRow<'a> {
+    out_slots: &'a [GetSlot],
+    cols: &'a [Vec<Value>],
+    row: usize,
+    base: &'a Tuple,
+}
+
+impl VRow for GetRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        match self.out_slots[slot] {
+            GetSlot::In(i) => &self.cols[i][self.row],
+            GetSlot::Base(i) => self.base.get(i),
+        }
+    }
+}
+
+impl GetOp<'_> {
+    fn apply(&self, input: &Batch, stats: &ChainStats) -> Result<Batch> {
+        let mut out = Batch::with_capacity(self.out_slots.len(), input.live());
+        // Buffer locality within the morsel: consecutive same-page fetches
+        // cost one read (serial counts this per GET invocation; per-morsel
+        // resets can only over-count, never under-count).
+        let mut last_page = u64::MAX;
+        let mut fetched = 0u64;
+        let mut pages = 0u64;
+        for i in input.live_rows() {
+            let tid = Tid::from_value(&input.cols[self.tid_slot][i])
+                .ok_or_else(|| ExecError::BadPlan("non-TID value in TID column".into()))?;
+            let base = self.table.fetch(tid)?;
+            fetched += 1;
+            let page = tid.page(ROWS_PER_PAGE);
+            if page != last_page {
+                pages += 1;
+                last_page = page;
+            }
+            let row = GetRow {
+                out_slots: &self.out_slots,
+                cols: &input.cols,
+                row: i,
+                base,
+            };
+            if self.preds.eval_row(&row)? {
+                for s in 0..self.out_slots.len() {
+                    out.push_value(s, row.slot(s).clone());
+                }
+                out.commit_row();
+            }
+        }
+        stats.tuples_fetched.fetch_add(fetched, Ordering::Relaxed);
+        stats.pages_read.fetch_add(pages, Ordering::Relaxed);
+        Ok(out)
+    }
+}
+
+/// How one output slot of a join combine is produced.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CombineSlot {
+    Outer(usize),
+    Inner(usize),
+    Null,
+}
+
+/// Borrowed candidate row of a join: outer side from batch columns, inner
+/// side from a materialized tuple.
+struct JoinRow<'a> {
+    combine: &'a [CombineSlot],
+    cols: &'a [Vec<Value>],
+    row: usize,
+    inner: &'a Tuple,
+}
+
+const NULL_VALUE: Value = Value::Null;
+
+impl VRow for JoinRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        match self.combine[slot] {
+            CombineSlot::Outer(i) => &self.cols[i][self.row],
+            CombineSlot::Inner(i) => self.inner.get(i),
+            CombineSlot::Null => &NULL_VALUE,
+        }
+    }
+}
+
+/// Fused hash-join probe. The build table maps inner key values to inner
+/// row indices (built once, in inner row order — output order matches the
+/// serial engine's outer-major, build-order-minor iteration).
+pub(crate) struct ProbeOp {
+    pub keys: Vec<CExpr>,
+    pub table: HashMap<Vec<Value>, Vec<u32>>,
+    pub inner: Arc<Vec<Tuple>>,
+    pub combine: Vec<CombineSlot>,
+    /// join ∪ residual predicates, re-applied on the combined row exactly
+    /// like the serial engine (hash equality admits cross-type matches the
+    /// predicates then confirm).
+    pub preds: PredProg,
+}
+
+impl ProbeOp {
+    fn apply(&self, input: &Batch, out: &mut Vec<Batch>) -> Result<()> {
+        let mut cur = Batch::with_capacity(self.combine.len(), BATCH_ROWS.min(input.live()));
+        let mut key = Vec::with_capacity(self.keys.len());
+        'orow: for i in input.live_rows() {
+            key.clear();
+            let row = BatchRow {
+                cols: &input.cols,
+                row: i,
+            };
+            for k in &self.keys {
+                let v = k.eval_owned(&row)?;
+                if v.is_null() {
+                    continue 'orow; // NULL keys never match
+                }
+                key.push(v);
+            }
+            if let Some(matches) = self.table.get(&key) {
+                for m in matches {
+                    let cand = JoinRow {
+                        combine: &self.combine,
+                        cols: &input.cols,
+                        row: i,
+                        inner: &self.inner[*m as usize],
+                    };
+                    if self.preds.eval_row(&cand)? {
+                        for s in 0..self.combine.len() {
+                            cur.push_value(s, cand.slot(s).clone());
+                        }
+                        cur.commit_row();
+                        if cur.rows >= BATCH_ROWS {
+                            out.push(std::mem::replace(
+                                &mut cur,
+                                Batch::with_capacity(self.combine.len(), BATCH_ROWS),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if cur.rows > 0 {
+            out.push(cur);
+        }
+        Ok(())
+    }
+}
+
+/// Fused nested-loop cross: every live outer row against every inner row,
+/// with the full predicate set on the combined candidate. Only legal for
+/// uncorrelated inners — the driver evaluates the inner subtree exactly
+/// once (the serial engine re-evaluates it per outer row).
+pub(crate) struct CrossOp {
+    pub inner: Arc<Vec<Tuple>>,
+    pub combine: Vec<CombineSlot>,
+    pub preds: PredProg,
+}
+
+impl CrossOp {
+    fn apply(&self, input: &Batch, out: &mut Vec<Batch>) -> Result<()> {
+        let mut cur = Batch::with_capacity(self.combine.len(), BATCH_ROWS.min(input.live()));
+        for i in input.live_rows() {
+            for inner in self.inner.iter() {
+                let cand = JoinRow {
+                    combine: &self.combine,
+                    cols: &input.cols,
+                    row: i,
+                    inner,
+                };
+                if self.preds.eval_row(&cand)? {
+                    for s in 0..self.combine.len() {
+                        cur.push_value(s, cand.slot(s).clone());
+                    }
+                    cur.commit_row();
+                    if cur.rows >= BATCH_ROWS {
+                        out.push(std::mem::replace(
+                            &mut cur,
+                            Batch::with_capacity(self.combine.len(), BATCH_ROWS),
+                        ));
+                    }
+                }
+            }
+        }
+        if cur.rows > 0 {
+            out.push(cur);
+        }
+        Ok(())
+    }
+}
+
+/// SHIP accounting: tallies wire bytes for the live rows; the driver
+/// converts bytes to messages once per ship operator after the run (same
+/// `(bytes / 4096).max(1)` convention as the serial engine).
+pub(crate) struct ShipOp {
+    /// Index into [`ChainStats::ship_bytes`].
+    pub idx: usize,
+}
+
+impl ShipOp {
+    fn account(&self, input: &Batch, stats: &ChainStats) {
+        let mut bytes = 0u64;
+        for i in input.live_rows() {
+            for c in &input.cols {
+                bytes += starqo_exec::support::value_bytes(&c[i]);
+            }
+        }
+        stats.ship_bytes[self.idx].fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// One fused operator in a chain.
+pub(crate) enum Op<'a> {
+    Filter(PredProg),
+    Get(GetOp<'a>),
+    Ship(ShipOp),
+    Probe(ProbeOp),
+    Cross(CrossOp),
+}
+
+/// Shared mutable run state for one chain execution (workers update it
+/// concurrently; everything is a relaxed monotonic tally).
+#[derive(Default)]
+pub(crate) struct ChainStats {
+    pub batches: AtomicU64,
+    pub tuples_fetched: AtomicU64,
+    pub pages_read: AtomicU64,
+    pub ship_bytes: Vec<AtomicU64>,
+}
+
+/// One compiled pipeline fragment.
+pub(crate) struct Chain<'a> {
+    pub source: ChainSource<'a>,
+    pub emit: Emit,
+    pub ops: Vec<Op<'a>>,
+    pub schema: StreamSchema,
+    /// Display name of the chain's root operator (fault-site labels).
+    pub name: String,
+    /// Number of SHIP ops fused into this chain.
+    pub ships: usize,
+}
+
+impl Chain<'_> {
+    /// True when running the chain would just hand back its source rows.
+    pub fn is_identity(&self) -> bool {
+        self.ops.is_empty()
+            && match &self.source {
+                ChainSource::Rows(r) => self
+                    .emit
+                    .is_passthrough(r.first().map(|t| t.arity()).unwrap_or(self.schema.len())),
+                _ => false,
+            }
+    }
+
+    /// Run the ops over one emitted batch, appending finished batches to
+    /// `out`. Expanding ops (probe/cross) recurse over the remaining ops for
+    /// each produced batch.
+    pub fn run_ops(
+        &self,
+        ops: &[Op<'_>],
+        mut batch: Batch,
+        out: &mut Vec<Batch>,
+        stats: &ChainStats,
+    ) -> Result<()> {
+        for (k, op) in ops.iter().enumerate() {
+            match op {
+                Op::Filter(p) => p.filter(&mut batch)?,
+                Op::Ship(s) => s.account(&batch, stats),
+                Op::Get(g) => batch = g.apply(&batch, stats)?,
+                Op::Probe(p) => {
+                    let mut produced = Vec::new();
+                    p.apply(&batch, &mut produced)?;
+                    for nb in produced {
+                        self.run_ops(&ops[k + 1..], nb, out, stats)?;
+                    }
+                    return Ok(());
+                }
+                Op::Cross(c) => {
+                    let mut produced = Vec::new();
+                    c.apply(&batch, &mut produced)?;
+                    for nb in produced {
+                        self.run_ops(&ops[k + 1..], nb, out, stats)?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        out.push(batch);
+        Ok(())
+    }
+
+    /// Process one morsel (a source range): emit batch-sized sub-ranges and
+    /// push the resulting batches onto `out`.
+    pub fn run_morsel(
+        &self,
+        range: std::ops::Range<usize>,
+        stats: &ChainStats,
+    ) -> Result<Vec<Batch>> {
+        let mut out = Vec::new();
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + BATCH_ROWS).min(range.end);
+            let batch = self.emit.emit_range(&self.source, start..end)?;
+            self.run_ops(&self.ops, batch, &mut out, stats)?;
+            start = end;
+        }
+        Ok(out)
+    }
+}

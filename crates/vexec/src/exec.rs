@@ -1,0 +1,925 @@
+//! The vectorized executor: compiles LOLEPOP plans into fused chains and
+//! drives them morsel-at-a-time across a worker pool.
+//!
+//! ## Oracle contract
+//!
+//! Every run must produce a `QueryResult` byte-identical to the serial
+//! interpreter's (`starqo_exec::Executor`) for any plan [`supports`]
+//! accepts — including row ORDER, which the serial engine fixes by source
+//! order. The driver guarantees this by assembling worker output in morsel
+//! index order at each exchange, regardless of completion order.
+//!
+//! ## Where the speed comes from
+//!
+//! - predicates are compiled once per pipeline (no per-row schema binary
+//!   search, no bindings maps, no `Vec`-per-tuple candidate allocation);
+//! - selection before gather: access/GET/join predicates run on *borrowed*
+//!   views and only survivors are ever cloned;
+//! - uncorrelated nested-loop inners are evaluated exactly once (the serial
+//!   engine re-evaluates the inner subtree per outer row);
+//! - morsels run on as many workers as the host offers.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use starqo_catalog::{Value, TID_COL};
+use starqo_exec::support::{bound_prefix, panic_msg};
+use starqo_exec::{
+    cols_schema, is_correlated, position, project_rows, schema_of, Bindings, ExecError, FaultHook,
+    QueryResult, Result, StreamSchema,
+};
+use starqo_plan::{AccessSpec, JoinFlavor, Lolepop, PlanNode, PlanRef};
+use starqo_query::{CmpOp, PredSet, QCol, Query, Scalar};
+use starqo_storage::{Database, Tid, Tuple, ROWS_PER_PAGE};
+use starqo_trace::{LatencyPath, Metric, SpanContext, SpanGuard, Telemetry};
+
+use crate::batch::Batch;
+use crate::chain::{
+    Chain, ChainSource, ChainStats, CombineSlot, CrossOp, Emit, GetOp, GetSlot, Op, ProbeOp,
+    ShipOp, SrcSlot,
+};
+use crate::expr::{CExpr, PredProg, VRow};
+
+/// Rows per morsel: the work-stealing granule. A multiple of the batch size
+/// so batch boundaries never straddle morsels.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Run counters (superset of the serial engine's [`starqo_exec::ExecStats`]
+/// resource model, plus the vectorized-runtime tallies). All values are
+/// deterministic for a given plan and database — independent of worker
+/// count and completion order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VexecStats {
+    /// Columnar batches that reached the end of a chain.
+    pub batches: u64,
+    /// Morsels enqueued across all chains.
+    pub morsels_queued: u64,
+    /// Morsels completed.
+    pub morsels: u64,
+    /// Rows leaving chains at exchanges.
+    pub rows: u64,
+    /// Widest worker pool used by any chain this run.
+    pub max_workers: u64,
+    /// Rows produced by the root operator.
+    pub rows_out: u64,
+    /// Rows crossing pipeline breakers (root output + STORE
+    /// materializations) — same definition as the serial engine.
+    pub pipeline_rows: u64,
+    pub pages_read: u64,
+    pub tuples_fetched: u64,
+    pub msgs: u64,
+    pub bytes_shipped: u64,
+    pub temps_built: u64,
+    pub indexes_built: u64,
+    pub probes: u64,
+}
+
+/// Can the vectorized executor run this plan? Returns the reason it cannot.
+///
+/// Two shapes are rejected: extension operators (their routines are
+/// registered against the serial executor's row-at-a-time calling
+/// convention) and nested-loop joins with *correlated* inners (sideways
+/// information passing re-evaluates the inner per outer row — the one
+/// pattern that is inherently row-driven).
+pub fn supports(plan: &PlanRef, query: &Query) -> std::result::Result<(), String> {
+    let mut reason: Option<String> = None;
+    plan.visit(&mut |n| {
+        if reason.is_some() {
+            return;
+        }
+        match &n.op {
+            Lolepop::Ext { name, .. } => {
+                reason = Some(format!("extension operator {name}"));
+            }
+            Lolepop::Join {
+                flavor: JoinFlavor::NL,
+                ..
+            } => {
+                if let Some(inner) = n.inputs.get(1) {
+                    if is_correlated(inner, query) {
+                        reason = Some(
+                            "correlated nested-loop inner (sideways information passing)"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+    match reason {
+        Some(r) => Err(r),
+        None => Ok(()),
+    }
+}
+
+/// A built dynamic index: key values → row numbers of the materialized
+/// temp, in insertion order.
+type DynIndex = std::collections::BTreeMap<Vec<Value>, Vec<usize>>;
+
+/// The vectorized plan executor for one database.
+pub struct VexecExecutor<'a> {
+    db: &'a Database,
+    query: &'a Query,
+    workers: usize,
+    stats: VexecStats,
+    /// Materialization cache for correlation-free STORE/SORT subtrees
+    /// (same node-identity keying as the serial engine).
+    temp_cache: HashMap<usize, Arc<Vec<Tuple>>>,
+    /// Dynamic index cache, keyed by (store node, key columns).
+    index_cache: HashMap<(usize, Vec<QCol>), Arc<DynIndex>>,
+    /// Fault hook for the `vexec` site; consulted per morsel
+    /// (`morsel(<op>)`) and per exchange (`exchange(<op>)`).
+    fault_hook: Option<FaultHook>,
+    telemetry: Option<Arc<Telemetry>>,
+    spans: SpanContext,
+}
+
+impl<'a> VexecExecutor<'a> {
+    pub fn new(db: &'a Database, query: &'a Query) -> Self {
+        VexecExecutor {
+            db,
+            query,
+            workers: 1,
+            stats: VexecStats::default(),
+            temp_cache: HashMap::new(),
+            index_cache: HashMap::new(),
+            fault_hook: None,
+            telemetry: None,
+            spans: SpanContext::off(),
+        }
+    }
+
+    /// Set the worker-pool width (clamped to at least 1).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Arm a fault-injection hook for the `vexec` site. Worker panics are
+    /// contained per morsel and surface as [`ExecError::Panicked`]; the pool
+    /// drains and joins cleanly either way.
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Attach the live telemetry plane: per-run execution counters plus the
+    /// vexec batch/morsel/row tallies and the worker-queue gauge pair.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Attach a request's span recorder (root pipeline + STORE spans, same
+    /// names as the serial engine so trace consumers see one vocabulary).
+    pub fn set_spans(&mut self, spans: SpanContext) {
+        self.spans = spans;
+    }
+
+    pub fn stats(&self) -> &VexecStats {
+        &self.stats
+    }
+
+    /// Execute a plan and project onto the query's select list. Mirrors
+    /// `starqo_exec::Executor::run` bit for bit, including panic containment
+    /// and telemetry accounting.
+    pub fn run(&mut self, plan: &PlanRef) -> Result<QueryResult> {
+        let started = Instant::now();
+        let mut pipeline_span = if self.spans.enabled() {
+            self.spans.enter(format!("pipeline:{}", plan.op.name()))
+        } else {
+            SpanGuard::noop()
+        };
+        let out = match catch_unwind(AssertUnwindSafe(|| self.run_inner(plan))) {
+            Ok(r) => r,
+            Err(payload) => Err(ExecError::Panicked(panic_msg(payload))),
+        };
+        if let Ok(result) = &out {
+            pipeline_span.set_meta(result.rows.len() as u64);
+        }
+        drop(pipeline_span);
+        if let (Some(t), Ok(result)) = (&self.telemetry, &out) {
+            let nanos = started.elapsed().as_nanos() as u64;
+            t.add(Metric::Executions, 1);
+            t.add(Metric::ExecRows, result.rows.len() as u64);
+            t.add(Metric::ExecNanos, nanos);
+            t.add(Metric::PipelineRows, self.stats.pipeline_rows);
+            t.observe(LatencyPath::Execute, nanos);
+        }
+        out
+    }
+
+    fn run_inner(&mut self, plan: &PlanRef) -> Result<QueryResult> {
+        let rows = self.eval(plan)?;
+        self.stats.rows_out = rows.len() as u64;
+        self.stats.pipeline_rows += rows.len() as u64;
+        let schema = schema_of(plan);
+        if self.query.select.is_empty() {
+            return Ok(QueryResult { schema, rows });
+        }
+        let want = self.query.select.clone();
+        let projected = project_rows(&schema, &rows, &want)?;
+        Ok(QueryResult {
+            schema: want,
+            rows: projected,
+        })
+    }
+
+    /// Evaluate one node to materialized rows. Streaming operators compile
+    /// into a fused chain; breakers (SORT/STORE/joins/UNION) materialize
+    /// here with the same structure as the serial engine.
+    fn eval(&mut self, node: &PlanNode) -> Result<Vec<Tuple>> {
+        match &node.op {
+            Lolepop::Access { .. }
+            | Lolepop::Get { .. }
+            | Lolepop::Filter { .. }
+            | Lolepop::Ship { .. } => {
+                let chain = self.compile_chain(node)?;
+                self.run_chain(chain)
+            }
+            Lolepop::Sort { key } => {
+                let child = input(node, 0)?;
+                let rows = self.eval_cached(child)?;
+                let schema = schema_of(child);
+                let mut rows = rows.as_ref().clone();
+                let idx: Vec<usize> = key
+                    .iter()
+                    .map(|c| {
+                        position(&schema, *c).ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
+                    })
+                    .collect::<Result<_>>()?;
+                rows.sort_by(|a, b| {
+                    idx.iter()
+                        .map(|i| a.get(*i).cmp(b.get(*i)))
+                        .find(|o| *o != std::cmp::Ordering::Equal)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                Ok(rows)
+            }
+            Lolepop::Store | Lolepop::BuildIndex { .. } => {
+                Ok(self.eval_cached(input(node, 0)?)?.as_ref().clone())
+            }
+            Lolepop::Join {
+                flavor,
+                join_preds,
+                residual,
+            } => self.join(node, *flavor, *join_preds, *residual),
+            Lolepop::Union => {
+                let mut rows = self.eval(input(node, 0)?)?;
+                rows.extend(self.eval(input(node, 1)?)?);
+                Ok(rows)
+            }
+            Lolepop::Ext { name, .. } => Err(ExecError::BadPlan(format!(
+                "vexec does not support extension operator {name}; use the serial executor"
+            ))),
+        }
+    }
+
+    /// Evaluate with node-identity caching when the subtree is
+    /// correlation-free — identical policy and accounting to the serial
+    /// engine's `eval_cached`.
+    fn eval_cached(&mut self, node: &PlanRef) -> Result<Arc<Vec<Tuple>>> {
+        let key = Arc::as_ptr(node) as usize;
+        if let Some(hit) = self.temp_cache.get(&key) {
+            return Ok(hit.clone());
+        }
+        let mut store_span = if self.spans.enabled() && matches!(node.op, Lolepop::Store) {
+            self.spans.enter("pipeline:store")
+        } else {
+            SpanGuard::noop()
+        };
+        let rows = Arc::new(self.eval(node)?);
+        store_span.set_meta(rows.len() as u64);
+        drop(store_span);
+        if !is_correlated(node, self.query) {
+            if matches!(node.op, Lolepop::Store) {
+                self.stats.temps_built += 1;
+                self.stats.pipeline_rows += rows.len() as u64;
+            }
+            self.temp_cache.insert(key, rows.clone());
+        }
+        Ok(rows)
+    }
+
+    /// Compile a streaming subtree into one fused chain. Non-streaming
+    /// children are materialized (via [`Self::eval`]) and become row
+    /// sources.
+    fn compile_chain(&mut self, node: &PlanNode) -> Result<Chain<'a>> {
+        let db: &'a Database = self.db;
+        match &node.op {
+            Lolepop::Access { spec, cols, preds } => {
+                let schema = cols_schema(cols);
+                match spec {
+                    AccessSpec::HeapTable(q) | AccessSpec::BTreeTable(q) => {
+                        let table_id = self.query.quantifier(*q).table;
+                        let stored = db.table(table_id)?;
+                        // Full-scan page accounting, charged up front like
+                        // the serial engine.
+                        self.stats.pages_read += stored.pages();
+                        let slots = scan_slots(&schema);
+                        let prog = PredProg::compile(self.query, *preds, &schema);
+                        Ok(Chain {
+                            source: ChainSource::Table(stored),
+                            emit: Emit::Scan { slots, preds: prog },
+                            ops: Vec::new(),
+                            schema,
+                            name: node.op.name(),
+                            ships: 0,
+                        })
+                    }
+                    AccessSpec::Index { index, q } => {
+                        let def = db.catalog().index(*index).clone();
+                        let data = db.index(*index)?;
+                        let key_qcols: Vec<QCol> =
+                            def.cols.iter().map(|c| QCol::new(*q, *c)).collect();
+                        let bindings = Bindings::new();
+                        let prefix = bound_prefix(self.query, &key_qcols, *preds, &bindings)?;
+                        let mut entries: Vec<(Vec<Value>, Tid)> = Vec::new();
+                        if prefix.is_empty() {
+                            self.stats.pages_read += data.pages();
+                            for (key, tid) in data.scan() {
+                                entries.push((key.clone(), tid));
+                            }
+                        } else {
+                            self.stats.probes += 1;
+                            for (key, tid) in data.probe_prefix(&prefix) {
+                                entries.push((key.clone(), tid));
+                            }
+                            self.stats.pages_read +=
+                                (entries.len() as u64).div_ceil(ROWS_PER_PAGE) + 1;
+                        }
+                        // Slot map: TID pseudo-column or position within the
+                        // index key (same `unwrap_or(0)` fallback as serial).
+                        let slots: Vec<SrcSlot> = schema
+                            .iter()
+                            .map(|c| {
+                                if c.col.is_tid() {
+                                    SrcSlot::Tid
+                                } else {
+                                    SrcSlot::Base(
+                                        def.cols.iter().position(|k| *k == c.col).unwrap_or(0),
+                                    )
+                                }
+                            })
+                            .collect();
+                        let prog = PredProg::compile(self.query, *preds, &schema);
+                        Ok(Chain {
+                            source: ChainSource::Entries(Arc::new(entries)),
+                            emit: Emit::Index { slots, preds: prog },
+                            ops: Vec::new(),
+                            schema,
+                            name: node.op.name(),
+                            ships: 0,
+                        })
+                    }
+                    AccessSpec::TempHeap => {
+                        let inp = input(node, 0)?;
+                        let in_schema = schema_of(inp);
+                        let rows = self.eval_cached(inp)?;
+                        self.stats.pages_read += (rows.len() as u64).div_ceil(ROWS_PER_PAGE).max(1);
+                        let map = projection_map(&in_schema, &schema)?;
+                        let prog = PredProg::compile(self.query, *preds, &schema);
+                        Ok(Chain {
+                            source: ChainSource::Rows(rows),
+                            emit: Emit::Rows { map, preds: prog },
+                            ops: Vec::new(),
+                            schema,
+                            name: node.op.name(),
+                            ships: 0,
+                        })
+                    }
+                    AccessSpec::TempIndex { key } => {
+                        let inp = input(node, 0)?;
+                        let in_schema = schema_of(inp);
+                        let rows = self.eval_cached(inp)?;
+                        let hits = self.temp_index_hits(inp, key, &in_schema, &rows, *preds)?;
+                        let map = projection_map(&in_schema, &schema)?;
+                        let prog = PredProg::compile(self.query, *preds, &schema);
+                        Ok(Chain {
+                            source: ChainSource::Rows(Arc::new(hits)),
+                            emit: Emit::Rows { map, preds: prog },
+                            ops: Vec::new(),
+                            schema,
+                            name: node.op.name(),
+                            ships: 0,
+                        })
+                    }
+                }
+            }
+            Lolepop::Filter { preds } => {
+                let mut chain = self.compile_chain(input(node, 0)?)?;
+                let prog = PredProg::compile(self.query, *preds, &chain.schema);
+                chain.ops.push(Op::Filter(prog));
+                chain.name = node.op.name();
+                Ok(chain)
+            }
+            Lolepop::Ship { .. } => {
+                let mut chain = self.compile_chain(input(node, 0)?)?;
+                chain.ops.push(Op::Ship(ShipOp { idx: chain.ships }));
+                chain.ships += 1;
+                chain.name = node.op.name();
+                Ok(chain)
+            }
+            Lolepop::Get { q, cols: _, preds } => {
+                let mut chain = self.compile_chain(input(node, 0)?)?;
+                let in_schema = chain.schema.clone();
+                let out_schema = schema_of(node);
+                let tid_col = QCol::new(*q, TID_COL);
+                let tid_slot = position(&in_schema, tid_col)
+                    .ok_or_else(|| ExecError::BadPlan("GET input lacks TID column".into()))?;
+                let table_id = self.query.quantifier(*q).table;
+                let stored = db.table(table_id)?;
+                let out_slots: Vec<GetSlot> = out_schema
+                    .iter()
+                    .map(|c| {
+                        if let Some(i) = position(&in_schema, *c) {
+                            GetSlot::In(i)
+                        } else {
+                            GetSlot::Base(c.col.0 as usize)
+                        }
+                    })
+                    .collect();
+                let prog = PredProg::compile(self.query, *preds, &out_schema);
+                chain.ops.push(Op::Get(GetOp {
+                    table: stored,
+                    tid_slot,
+                    out_slots,
+                    preds: prog,
+                }));
+                chain.schema = out_schema;
+                chain.name = node.op.name();
+                Ok(chain)
+            }
+            // Anything else is a pipeline breaker: materialize it and wrap
+            // the rows as an identity source.
+            _ => {
+                let schema = schema_of(node);
+                let rows = self.eval(node)?;
+                let map: Vec<usize> = (0..schema.len()).collect();
+                Ok(Chain {
+                    source: ChainSource::Rows(Arc::new(rows)),
+                    emit: Emit::Rows {
+                        map,
+                        preds: PredProg::default(),
+                    },
+                    ops: Vec::new(),
+                    schema,
+                    name: node.op.name(),
+                    ships: 0,
+                })
+            }
+        }
+    }
+
+    /// Probe (or build, then probe) the dynamic index over a cached temp —
+    /// serial `access_temp_index` semantics, shared cache keying included.
+    fn temp_index_hits(
+        &mut self,
+        inp: &PlanRef,
+        key: &[QCol],
+        in_schema: &StreamSchema,
+        rows: &Arc<Vec<Tuple>>,
+        preds: PredSet,
+    ) -> Result<Vec<Tuple>> {
+        let cache_key = (Arc::as_ptr(inp) as usize, key.to_vec());
+        let index = match self.index_cache.get(&cache_key) {
+            Some(ix) => ix.clone(),
+            None => {
+                let mut map: std::collections::BTreeMap<Vec<Value>, Vec<usize>> =
+                    std::collections::BTreeMap::new();
+                let kpos: Vec<usize> = key
+                    .iter()
+                    .map(|c| {
+                        position(in_schema, *c)
+                            .ok_or_else(|| ExecError::UnboundColumn(c.to_string()))
+                    })
+                    .collect::<Result<_>>()?;
+                for (i, r) in rows.iter().enumerate() {
+                    let k: Vec<Value> = kpos.iter().map(|p| r.get(*p).clone()).collect();
+                    map.entry(k).or_default().push(i);
+                }
+                self.stats.indexes_built += 1;
+                let ix = Arc::new(map);
+                self.index_cache.insert(cache_key, ix.clone());
+                ix
+            }
+        };
+        let bindings = Bindings::new();
+        let prefix = bound_prefix(self.query, key, preds, &bindings)?;
+        self.stats.probes += 1;
+        let mut hits: Vec<Tuple> = Vec::new();
+        if prefix.is_empty() {
+            hits.extend(rows.iter().cloned());
+        } else {
+            use std::ops::Bound;
+            for (k, idxs) in
+                index.range::<[Value], _>((Bound::Included(prefix.as_slice()), Bound::Unbounded))
+            {
+                if k.len() < prefix.len() || k[..prefix.len()] != prefix[..] {
+                    break;
+                }
+                for i in idxs {
+                    hits.push(rows[*i].clone());
+                }
+            }
+        }
+        self.stats.pages_read += (hits.len() as u64).div_ceil(ROWS_PER_PAGE) + 1;
+        Ok(hits)
+    }
+
+    fn join(
+        &mut self,
+        node: &PlanNode,
+        flavor: JoinFlavor,
+        join_preds: PredSet,
+        residual: PredSet,
+    ) -> Result<Vec<Tuple>> {
+        let (outer_node, inner_node) = (input(node, 0)?, input(node, 1)?);
+        let o_schema = schema_of(outer_node);
+        let i_schema = schema_of(inner_node);
+        let out_schema = schema_of(node);
+        let all_preds = join_preds.union(residual);
+        let combine = combine_slots(&out_schema, &o_schema, &i_schema);
+
+        match flavor {
+            JoinFlavor::NL => {
+                if is_correlated(inner_node, self.query) {
+                    return Err(ExecError::BadPlan(
+                        "vexec cannot run correlated nested-loop inners; use the serial executor"
+                            .into(),
+                    ));
+                }
+                // Outer first: an empty outer must not evaluate the inner at
+                // all (the serial engine never reaches it).
+                let outer_rows = self.eval(outer_node)?;
+                if outer_rows.is_empty() {
+                    return Ok(Vec::new());
+                }
+                // Uncorrelated: evaluate the inner subtree ONCE.
+                let inner_rows = Arc::new(self.eval(inner_node)?);
+                let prog = PredProg::compile(self.query, all_preds, &out_schema);
+                let chain = Chain {
+                    source: ChainSource::Rows(Arc::new(outer_rows)),
+                    emit: Emit::Rows {
+                        map: (0..o_schema.len()).collect(),
+                        preds: PredProg::default(),
+                    },
+                    ops: vec![Op::Cross(CrossOp {
+                        inner: inner_rows,
+                        combine,
+                        preds: prog,
+                    })],
+                    schema: out_schema,
+                    name: node.op.name(),
+                    ships: 0,
+                };
+                self.run_chain(chain)
+            }
+            JoinFlavor::HA => {
+                // Split each hashable predicate into (outer expr, inner
+                // expr) exactly like the serial engine.
+                let mut pairs: Vec<(Scalar, Scalar)> = Vec::new();
+                for p in join_preds.iter() {
+                    if let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) = &self.query.pred(p).expr {
+                        if l.quantifiers().is_subset_of(outer_node.props.tables) {
+                            pairs.push((l.clone(), r.clone()));
+                        } else {
+                            pairs.push((r.clone(), l.clone()));
+                        }
+                    }
+                }
+                // Inner side first (build), preserving the serial engine's
+                // evaluation (and error) order.
+                let inner_rows = Arc::new(self.eval(inner_node)?);
+                let inner_keys: Vec<CExpr> = pairs
+                    .iter()
+                    .map(|(_, ie)| CExpr::compile(ie, &i_schema))
+                    .collect();
+                let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+                'row: for (i, r) in inner_rows.iter().enumerate() {
+                    let row = TupleRow(r);
+                    let mut key = Vec::with_capacity(inner_keys.len());
+                    for ke in &inner_keys {
+                        let v = ke.eval_owned(&row)?;
+                        if v.is_null() {
+                            continue 'row; // NULL keys never match
+                        }
+                        key.push(v);
+                    }
+                    table.entry(key).or_default().push(i as u32);
+                }
+                let mut chain = self.compile_chain(outer_node)?;
+                let outer_keys: Vec<CExpr> = pairs
+                    .iter()
+                    .map(|(oe, _)| CExpr::compile(oe, &chain.schema))
+                    .collect();
+                let prog = PredProg::compile(self.query, all_preds, &out_schema);
+                chain.ops.push(Op::Probe(ProbeOp {
+                    keys: outer_keys,
+                    table,
+                    inner: inner_rows,
+                    combine,
+                    preds: prog,
+                }));
+                chain.schema = out_schema;
+                chain.name = node.op.name();
+                self.run_chain(chain)
+            }
+            JoinFlavor::MG => {
+                // Merge keys are paired per predicate, identically to the
+                // serial engine (including its validation errors).
+                let mut op_pos: Vec<usize> = Vec::new();
+                let mut ip_pos: Vec<usize> = Vec::new();
+                for p in join_preds.iter() {
+                    let starqo_query::PredExpr::Cmp(CmpOp::Eq, l, r) = &self.query.pred(p).expr
+                    else {
+                        return Err(ExecError::BadPlan(
+                            "merge join predicate is not a column equality".into(),
+                        ));
+                    };
+                    let (lc, rc) = match (l.as_col(), r.as_col()) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => {
+                            return Err(ExecError::BadPlan(
+                                "merge join predicate side is not a bare column".into(),
+                            ))
+                        }
+                    };
+                    let (oc, ic) = if outer_node.props.tables.contains(lc.q) {
+                        (lc, rc)
+                    } else {
+                        (rc, lc)
+                    };
+                    op_pos.push(
+                        position(&o_schema, oc)
+                            .ok_or_else(|| ExecError::UnboundColumn(oc.to_string()))?,
+                    );
+                    ip_pos.push(
+                        position(&i_schema, ic)
+                            .ok_or_else(|| ExecError::UnboundColumn(ic.to_string()))?,
+                    );
+                }
+                let outer_rows = self.eval(outer_node)?;
+                let inner_rows = self.eval(inner_node)?;
+                let prog = PredProg::compile(self.query, all_preds, &out_schema);
+                let keyed = |r: &Tuple, pos: &[usize]| -> Vec<Value> {
+                    pos.iter().map(|p| r.get(*p).clone()).collect()
+                };
+                let mut out = Vec::new();
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < outer_rows.len() && b < inner_rows.len() {
+                    let ka = keyed(&outer_rows[a], &op_pos);
+                    let kb = keyed(&inner_rows[b], &ip_pos);
+                    match ka.cmp(&kb) {
+                        std::cmp::Ordering::Less => a += 1,
+                        std::cmp::Ordering::Greater => b += 1,
+                        std::cmp::Ordering::Equal => {
+                            let mut a_end = a + 1;
+                            while a_end < outer_rows.len()
+                                && keyed(&outer_rows[a_end], &op_pos) == ka
+                            {
+                                a_end += 1;
+                            }
+                            let mut b_end = b + 1;
+                            while b_end < inner_rows.len()
+                                && keyed(&inner_rows[b_end], &ip_pos) == kb
+                            {
+                                b_end += 1;
+                            }
+                            // Candidate rows are evaluated on a borrowed
+                            // two-sided view; survivors materialize once.
+                            for o in &outer_rows[a..a_end] {
+                                for i in &inner_rows[b..b_end] {
+                                    let cand = PairRow {
+                                        combine: &combine,
+                                        outer: o,
+                                        inner: i,
+                                    };
+                                    if prog.eval_row(&cand)? {
+                                        out.push(Tuple(
+                                            (0..combine.len())
+                                                .map(|s| cand.slot(s).clone())
+                                                .collect(),
+                                        ));
+                                    }
+                                }
+                            }
+                            a = a_end;
+                            b = b_end;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Drive one chain: split the source into morsels, fan them across the
+    /// worker pool, and exchange-merge the batches in morsel order.
+    fn run_chain(&mut self, chain: Chain<'_>) -> Result<Vec<Tuple>> {
+        if chain.is_identity() {
+            if let ChainSource::Rows(rows) = chain.source {
+                let out = Arc::try_unwrap(rows).unwrap_or_else(|r| r.as_ref().clone());
+                return Ok(out);
+            }
+        }
+        let n = chain.source.len();
+        let morsels: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(MORSEL_ROWS)
+            .map(|s| s..(s + MORSEL_ROWS).min(n))
+            .collect();
+        let m = morsels.len();
+        if m == 0 {
+            return Ok(Vec::new());
+        }
+        self.stats.morsels_queued += m as u64;
+        if let Some(t) = &self.telemetry {
+            t.add(Metric::VexecQueued, m as u64);
+        }
+        let stats = ChainStats {
+            ship_bytes: (0..chain.ships).map(|_| Default::default()).collect(),
+            ..Default::default()
+        };
+        let workers = self.workers.min(m);
+        self.stats.max_workers = self.stats.max_workers.max(workers as u64);
+
+        let next = AtomicUsize::new(0);
+        let poison = AtomicBool::new(false);
+        let first_err: Mutex<Option<ExecError>> = Mutex::new(None);
+        let results: Mutex<Vec<Option<Vec<Batch>>>> = Mutex::new((0..m).map(|_| None).collect());
+        let done = AtomicUsize::new(0);
+
+        let worker = || {
+            while !poison.load(Ordering::Acquire) {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= m {
+                    break;
+                }
+                let range = morsels[i].clone();
+                // Contain everything a morsel can do — including fault-hook
+                // panics — so a worker never unwinds across the pool.
+                let r = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Batch>> {
+                    if let Some(hook) = &self.fault_hook {
+                        if let Some(msg) = hook(&format!("morsel({})", chain.name)) {
+                            return Err(ExecError::Injected(msg));
+                        }
+                    }
+                    chain.run_morsel(range, &stats)
+                }));
+                match r {
+                    Ok(Ok(batches)) => {
+                        if let Ok(mut slots) = results.lock() {
+                            slots[i] = Some(batches);
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = &self.telemetry {
+                            t.add(Metric::VexecMorsels, 1);
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        let mut err = first_err.lock().unwrap_or_else(|p| p.into_inner());
+                        if err.is_none() {
+                            *err = Some(e);
+                        }
+                        poison.store(true, Ordering::Release);
+                    }
+                    Err(payload) => {
+                        let msg = panic_msg(payload);
+                        let mut err = first_err.lock().unwrap_or_else(|p| p.into_inner());
+                        if err.is_none() {
+                            *err = Some(ExecError::Panicked(msg));
+                        }
+                        poison.store(true, Ordering::Release);
+                    }
+                }
+            }
+        };
+
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(worker);
+                }
+            });
+        }
+
+        self.stats.morsels += done.load(Ordering::Relaxed) as u64;
+        if let Some(e) = first_err.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            return Err(e);
+        }
+        // Exchange: deterministic merge in morsel order.
+        if let Some(hook) = &self.fault_hook {
+            if let Some(msg) = hook(&format!("exchange({})", chain.name)) {
+                return Err(ExecError::Injected(msg));
+            }
+        }
+        let slots = std::mem::take(&mut *results.lock().unwrap_or_else(|p| p.into_inner()));
+        let mut out: Vec<Tuple> = Vec::new();
+        for slot in slots {
+            let batches = slot.ok_or_else(|| {
+                ExecError::BadPlan("vexec exchange missing a morsel result".into())
+            })?;
+            for b in &batches {
+                b.gather_into(&mut out);
+            }
+        }
+        self.stats.rows += out.len() as u64;
+        self.stats.batches += stats.batches.load(Ordering::Relaxed);
+        self.stats.tuples_fetched += stats.tuples_fetched.load(Ordering::Relaxed);
+        self.stats.pages_read += stats.pages_read.load(Ordering::Relaxed);
+        for b in &stats.ship_bytes {
+            let bytes = b.load(Ordering::Relaxed);
+            self.stats.bytes_shipped += bytes;
+            self.stats.msgs += (bytes / 4096).max(1);
+        }
+        if let Some(t) = &self.telemetry {
+            t.add(Metric::VexecBatches, stats.batches.load(Ordering::Relaxed));
+            t.add(Metric::VexecRows, out.len() as u64);
+        }
+        Ok(out)
+    }
+}
+
+/// Row view over a bare tuple whose layout IS the schema order.
+struct TupleRow<'a>(&'a Tuple);
+
+impl VRow for TupleRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        self.0.get(slot)
+    }
+}
+
+/// Two-sided candidate row for merge joins (both sides materialized).
+struct PairRow<'a> {
+    combine: &'a [CombineSlot],
+    outer: &'a Tuple,
+    inner: &'a Tuple,
+}
+
+const NULL_VALUE: Value = Value::Null;
+
+impl VRow for PairRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        match self.combine[slot] {
+            CombineSlot::Outer(i) => self.outer.get(i),
+            CombineSlot::Inner(i) => self.inner.get(i),
+            CombineSlot::Null => &NULL_VALUE,
+        }
+    }
+}
+
+/// Slot plan for a scan emit: base column position or the TID pseudo-column.
+fn scan_slots(schema: &[QCol]) -> Vec<SrcSlot> {
+    schema
+        .iter()
+        .map(|c| {
+            if c.col.is_tid() {
+                SrcSlot::Tid
+            } else {
+                SrcSlot::Base(c.col.0 as usize)
+            }
+        })
+        .collect()
+}
+
+/// Positions of `schema`'s columns within `in_schema` (errors exactly like
+/// serial projection on a missing column).
+fn projection_map(in_schema: &[QCol], schema: &[QCol]) -> Result<Vec<usize>> {
+    schema
+        .iter()
+        .map(|c| position(in_schema, *c).ok_or_else(|| ExecError::UnboundColumn(c.to_string())))
+        .collect()
+}
+
+/// Combine plan for a join output row.
+fn combine_slots(out_schema: &[QCol], o_schema: &[QCol], i_schema: &[QCol]) -> Vec<CombineSlot> {
+    out_schema
+        .iter()
+        .map(|c| {
+            if let Some(p) = position(o_schema, *c) {
+                CombineSlot::Outer(p)
+            } else if let Some(p) = position(i_schema, *c) {
+                CombineSlot::Inner(p)
+            } else {
+                CombineSlot::Null
+            }
+        })
+        .collect()
+}
+
+/// Checked input access with the serial engine's exact error text.
+fn input(node: &PlanNode, i: usize) -> Result<&PlanRef> {
+    node.inputs.get(i).ok_or_else(|| {
+        ExecError::BadPlan(format!(
+            "{} requires input #{} but the node has {}",
+            node.op.name(),
+            i + 1,
+            node.inputs.len()
+        ))
+    })
+}

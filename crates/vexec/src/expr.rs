@@ -1,0 +1,350 @@
+//! Pre-compiled scalar and predicate programs.
+//!
+//! The serial interpreter resolves every column reference per row via
+//! `RowView` (binary search over the schema, then a bindings map). vexec
+//! compiles each expression ONCE against the stream schema it will run on:
+//! column references become slot indices, unresolvable references become
+//! [`CExpr::Unbound`] nodes that error only if actually evaluated — which
+//! preserves the serial engine's OR-arm short-circuit semantics (an unbound
+//! arm after a true arm is never touched).
+//!
+//! Evaluation semantics are copied from `starqo_exec::scalar` verbatim:
+//! wrapping integer add/sub/mul, division (and any non-int pair) widening to
+//! doubles, NULL poisoning arithmetic, and NULL failing every comparison.
+
+use starqo_catalog::Value;
+use starqo_exec::{ExecError, Result};
+use starqo_query::{ArithOp, CmpOp, PredExpr, PredSet, QCol, Query, Scalar};
+
+use crate::batch::Batch;
+
+/// Access to one logical row during vectorized evaluation. Implementations
+/// borrow the value — no per-row tuple is materialized for candidates that
+/// end up filtered out.
+pub(crate) trait VRow {
+    fn slot(&self, slot: usize) -> &Value;
+}
+
+/// A row inside a columnar batch.
+pub(crate) struct BatchRow<'a> {
+    pub cols: &'a [Vec<Value>],
+    pub row: usize,
+}
+
+impl VRow for BatchRow<'_> {
+    #[inline]
+    fn slot(&self, slot: usize) -> &Value {
+        &self.cols[slot][self.row]
+    }
+}
+
+/// Borrowed or computed value (avoids cloning for bare-column operands).
+pub(crate) enum CowVal<'a> {
+    Ref(&'a Value),
+    Own(Value),
+}
+
+impl CowVal<'_> {
+    #[inline]
+    pub fn get(&self) -> &Value {
+        match self {
+            CowVal::Ref(v) => v,
+            CowVal::Own(v) => v,
+        }
+    }
+}
+
+/// A scalar expression compiled against a fixed stream schema.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    /// Resolved column: slot index in the stream schema.
+    Col(usize),
+    /// Column absent from the schema; errors if (and only if) evaluated.
+    Unbound(QCol),
+    Const(Value),
+    Arith(ArithOp, Box<CExpr>, Box<CExpr>),
+}
+
+impl CExpr {
+    pub fn compile(s: &Scalar, schema: &[QCol]) -> CExpr {
+        match s {
+            Scalar::Col(c) => match schema.binary_search(c) {
+                Ok(i) => CExpr::Col(i),
+                Err(_) => CExpr::Unbound(*c),
+            },
+            Scalar::Const(v) => CExpr::Const(v.clone()),
+            Scalar::Arith(op, l, r) => CExpr::Arith(
+                *op,
+                Box::new(CExpr::compile(l, schema)),
+                Box::new(CExpr::compile(r, schema)),
+            ),
+        }
+    }
+
+    /// Evaluate to an owned value (used for join keys).
+    pub fn eval_owned<R: VRow>(&self, row: &R) -> Result<Value> {
+        match self {
+            CExpr::Col(i) => Ok(row.slot(*i).clone()),
+            CExpr::Unbound(c) => Err(ExecError::UnboundColumn(c.to_string())),
+            CExpr::Const(v) => Ok(v.clone()),
+            CExpr::Arith(op, l, r) => {
+                let lv = l.eval_owned(row)?;
+                let rv = r.eval_owned(row)?;
+                match (&lv, &rv, op) {
+                    (Value::Int(a), Value::Int(b), ArithOp::Add) => {
+                        Ok(Value::Int(a.wrapping_add(*b)))
+                    }
+                    (Value::Int(a), Value::Int(b), ArithOp::Sub) => {
+                        Ok(Value::Int(a.wrapping_sub(*b)))
+                    }
+                    (Value::Int(a), Value::Int(b), ArithOp::Mul) => {
+                        Ok(Value::Int(a.wrapping_mul(*b)))
+                    }
+                    _ => match (lv.as_f64(), rv.as_f64()) {
+                        (Some(a), Some(b)) => Ok(Value::Double(op.apply(a, b))),
+                        _ => Ok(Value::Null),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Evaluate, borrowing when the expression is a bare column or constant.
+    #[inline]
+    pub fn eval_ref<'a, R: VRow>(&'a self, row: &'a R) -> Result<CowVal<'a>> {
+        match self {
+            CExpr::Col(i) => Ok(CowVal::Ref(row.slot(*i))),
+            CExpr::Const(v) => Ok(CowVal::Ref(v)),
+            CExpr::Unbound(c) => Err(ExecError::UnboundColumn(c.to_string())),
+            CExpr::Arith(..) => Ok(CowVal::Own(self.eval_owned(row)?)),
+        }
+    }
+}
+
+/// A predicate expression compiled against a fixed stream schema.
+#[derive(Debug, Clone)]
+pub(crate) enum CPred {
+    Cmp(CmpOp, CExpr, CExpr),
+    /// Bare column vs non-NULL constant — the dominant scan-predicate
+    /// shape, compiled to a direct slot compare (no `CowVal` wrapping, no
+    /// per-side dispatch). Constant-on-the-left compiles here too, with the
+    /// operator flipped.
+    ColConst(CmpOp, usize, Value),
+    Or(Vec<CPred>),
+}
+
+impl CPred {
+    pub fn compile(e: &PredExpr, schema: &[QCol]) -> CPred {
+        match e {
+            PredExpr::Cmp(op, l, r) => {
+                let cl = CExpr::compile(l, schema);
+                let cr = CExpr::compile(r, schema);
+                match (cl, cr) {
+                    (CExpr::Col(i), CExpr::Const(v)) if !v.is_null() => CPred::ColConst(*op, i, v),
+                    (CExpr::Const(v), CExpr::Col(i)) if !v.is_null() => {
+                        CPred::ColConst(op.flipped(), i, v)
+                    }
+                    (cl, cr) => CPred::Cmp(*op, cl, cr),
+                }
+            }
+            PredExpr::Or(arms) => {
+                CPred::Or(arms.iter().map(|a| CPred::compile(a, schema)).collect())
+            }
+        }
+    }
+
+    /// NULL comparisons are false; OR short-circuits left to right.
+    #[inline]
+    pub fn eval<R: VRow>(&self, row: &R) -> Result<bool> {
+        match self {
+            CPred::ColConst(op, slot, v) => {
+                let lv = row.slot(*slot);
+                if lv.is_null() {
+                    return Ok(false); // NULL fails every comparison
+                }
+                Ok(op.eval(lv.cmp(v)))
+            }
+            CPred::Cmp(op, l, r) => {
+                let lv = l.eval_ref(row)?;
+                let rv = r.eval_ref(row)?;
+                let (lv, rv) = (lv.get(), rv.get());
+                if lv.is_null() || rv.is_null() {
+                    return Ok(false);
+                }
+                Ok(op.eval(lv.cmp(rv)))
+            }
+            CPred::Or(arms) => {
+                for a in arms {
+                    if a.eval(row)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// A conjunction of compiled predicates, in `PredSet` bit order — the same
+/// order the serial interpreter applies them, so the survivor set (and which
+/// expressions ever get evaluated) is identical.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PredProg {
+    preds: Vec<CPred>,
+}
+
+impl PredProg {
+    pub fn compile(query: &Query, preds: PredSet, schema: &[QCol]) -> PredProg {
+        PredProg {
+            preds: preds
+                .iter()
+                .map(|p| CPred::compile(&query.pred(p).expr, schema))
+                .collect(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Row-at-a-time conjunction (used on candidate rows before they are
+    /// gathered into a batch).
+    #[inline]
+    pub fn eval_row<R: VRow>(&self, row: &R) -> Result<bool> {
+        for p in &self.preds {
+            if !p.eval(row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Vectorized filter: refine the batch's selection vector in place,
+    /// predicate-at-a-time over the shrinking survivor set. Later predicates
+    /// see only earlier survivors — exactly the rows the serial engine's
+    /// per-row short circuit would have evaluated them on.
+    pub fn filter(&self, batch: &mut Batch) -> Result<()> {
+        if self.preds.is_empty() {
+            return Ok(());
+        }
+        let mut current: Vec<u32> = match batch.sel.take() {
+            Some(s) => s,
+            None => (0..batch.rows as u32).collect(),
+        };
+        for p in &self.preds {
+            if current.is_empty() {
+                break;
+            }
+            let mut next = Vec::with_capacity(current.len());
+            for &i in &current {
+                let row = BatchRow {
+                    cols: &batch.cols,
+                    row: i as usize,
+                };
+                if p.eval(&row)? {
+                    next.push(i);
+                }
+            }
+            current = next;
+        }
+        batch.sel = Some(current);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starqo_catalog::ColId;
+    use starqo_query::QId;
+
+    fn schema() -> Vec<QCol> {
+        vec![QCol::new(QId(0), ColId(0)), QCol::new(QId(0), ColId(1))]
+    }
+
+    struct OneRow(Vec<Value>);
+    impl VRow for OneRow {
+        fn slot(&self, slot: usize) -> &Value {
+            &self.0[slot]
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_serial_semantics() {
+        let s = schema();
+        let row = OneRow(vec![Value::Int(7), Value::Int(2)]);
+        let add = CExpr::compile(
+            &Scalar::Arith(
+                ArithOp::Add,
+                Box::new(Scalar::col(QId(0), ColId(0))),
+                Box::new(Scalar::col(QId(0), ColId(1))),
+            ),
+            &s,
+        );
+        assert_eq!(add.eval_owned(&row).unwrap(), Value::Int(9));
+        let div = CExpr::compile(
+            &Scalar::Arith(
+                ArithOp::Div,
+                Box::new(Scalar::col(QId(0), ColId(0))),
+                Box::new(Scalar::col(QId(0), ColId(1))),
+            ),
+            &s,
+        );
+        assert_eq!(div.eval_owned(&row).unwrap(), Value::Double(3.5));
+        // NULL poisons arithmetic, and NULL fails comparisons.
+        let null_row = OneRow(vec![Value::Null, Value::Int(2)]);
+        assert_eq!(add.eval_owned(&null_row).unwrap(), Value::Null);
+        let eq_self = CPred::Cmp(
+            CmpOp::Eq,
+            CExpr::compile(&Scalar::col(QId(0), ColId(0)), &s),
+            CExpr::compile(&Scalar::col(QId(0), ColId(0)), &s),
+        );
+        assert!(!eq_self.eval(&null_row).unwrap());
+    }
+
+    #[test]
+    fn or_short_circuit_skips_unbound_arms() {
+        let s = schema();
+        let row = OneRow(vec![Value::Int(1), Value::Int(2)]);
+        let or = CPred::compile(
+            &PredExpr::Or(vec![
+                PredExpr::Cmp(
+                    CmpOp::Eq,
+                    Scalar::col(QId(0), ColId(0)),
+                    Scalar::Const(Value::Int(1)),
+                ),
+                // Unbound: must never be reached when the first arm is true.
+                PredExpr::Cmp(
+                    CmpOp::Eq,
+                    Scalar::col(QId(5), ColId(0)),
+                    Scalar::Const(Value::Int(1)),
+                ),
+            ]),
+            &s,
+        );
+        assert!(or.eval(&row).unwrap());
+        let row2 = OneRow(vec![Value::Int(9), Value::Int(2)]);
+        assert!(or.eval(&row2).is_err()); // first arm false → second arm errors
+    }
+
+    #[test]
+    fn filter_refines_selection_in_place() {
+        let s = schema();
+        let mut b = Batch::new(2);
+        for v in 0..6 {
+            b.push_value(0, Value::Int(v));
+            b.push_value(1, Value::Int(v % 2));
+            b.commit_row();
+        }
+        b.sel = Some(vec![0, 2, 3, 4, 5]); // row 1 pre-filtered
+        let prog = PredProg {
+            preds: vec![CPred::Cmp(
+                CmpOp::Eq,
+                CExpr::compile(&Scalar::col(QId(0), ColId(1)), &s),
+                CExpr::Const(Value::Int(1)),
+            )],
+        };
+        prog.filter(&mut b).unwrap();
+        assert_eq!(b.sel, Some(vec![3, 5]));
+    }
+}

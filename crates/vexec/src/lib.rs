@@ -1,0 +1,39 @@
+//! # starqo-vexec
+//!
+//! A vectorized batch executor for LOLEPOP plans, with morsel-driven
+//! parallelism.
+//!
+//! The serial interpreter in `starqo-exec` is the semantic *oracle*: it
+//! materializes each operator row-at-a-time, resolving every column through
+//! a schema binary search and re-evaluating nested-loop inners per outer
+//! tuple. This crate compiles the same plans into *pipelines* of fused
+//! batch operators:
+//!
+//! - tuples flow as columnar [`batch::Batch`]es of up to
+//!   [`batch::BATCH_ROWS`] rows with selection vectors — filters refine the
+//!   selection, data moves only when survivors are gathered;
+//! - scalar and predicate expressions are compiled once per pipeline
+//!   against its stream schema ([`expr`]) instead of resolved per row;
+//! - heap/B-tree scans, index entry streams, and temp re-accesses are split
+//!   into [`exec::MORSEL_ROWS`]-row *morsels* claimed by a worker pool;
+//!   exchanges reassemble worker output in morsel order, so results are
+//!   deterministic regardless of scheduling;
+//! - pipeline breakers (SORT, STORE/BUILD_INDEX, join builds, UNION) reuse
+//!   the serial engine's structure — including its temp/index caches — so
+//!   resource accounting and row order match.
+//!
+//! ## The oracle guarantee
+//!
+//! For every plan [`supports`] accepts, [`VexecExecutor::run`] returns a
+//! `QueryResult` **identical** to `starqo_exec::Executor::run` — same rows,
+//! same order, same schema — at any worker count, with or without injected
+//! faults (faults surface as the same typed errors). The equivalence
+//! harness in `tests/tests/vexec.rs` and experiment E23 enforce this.
+
+pub mod batch;
+pub mod chain;
+pub mod exec;
+pub mod expr;
+
+pub use batch::{Batch, BATCH_ROWS};
+pub use exec::{supports, VexecExecutor, VexecStats, MORSEL_ROWS};

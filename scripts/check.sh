@@ -130,4 +130,13 @@ STARQO_FAULTS='reopt:verify:panic' ./target/debug/heal --smoke \
 grep -q "escapes: 0" target/bench/heal_fault_smoke.txt
 echo "heal smoke passed."
 
+echo "== vexec smoke (serial-oracle bit-equality across worker counts) =="
+cargo build -q --offline -p starqo-bench --bin exec
+# The experiment asserts result equality and counter determinism
+# internally (non-zero exit on any divergence); smoke mode skips the
+# throughput floor — short runs can't measure speedups honestly.
+./target/debug/exec --smoke > target/bench/exec_smoke.txt
+grep -q "divergences: 0" target/bench/exec_smoke.txt
+echo "vexec smoke passed."
+
 echo "All checks passed."

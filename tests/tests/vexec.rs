@@ -1,0 +1,300 @@
+//! Oracle-equivalence harness for the vectorized executor.
+//!
+//! `starqo-vexec` advertises one non-negotiable invariant: for every plan
+//! it supports, its output is **identical** to the serial `starqo-exec`
+//! interpreter — same rows, same order, same schema — at any worker count.
+//! These tests enforce that over a randomized fleet (every optimizer
+//! alternative, every shape, degraded plans included) plus targeted edge
+//! cases: empty batches, empty/partial selection vectors, morsel
+//! boundaries landing mid-duplicate-key-run in a hash join, and injected
+//! faults under multi-threaded morsel scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use starqo_core::{Budget, OptConfig, Optimizer};
+use starqo_exec::{ExecError, Executor, QueryResult};
+use starqo_plan::PlanRef;
+use starqo_query::Query;
+use starqo_storage::Database;
+use starqo_vexec::{supports, VexecExecutor, VexecStats, MORSEL_ROWS};
+use starqo_workload::{
+    query_shape, query_shape_param, synth_catalog, synth_database, QueryShape, Rng64, SynthSpec,
+};
+
+const SHAPES: [QueryShape; 4] = [
+    QueryShape::Chain,
+    QueryShape::Star,
+    QueryShape::Cycle,
+    QueryShape::Clique,
+];
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn rand_config(rng: &mut Rng64) -> OptConfig {
+    let mut c = OptConfig {
+        composite_inners: rng.flip(),
+        cartesian: rng.flip(),
+        glue_keep_all: true,
+        ..Default::default()
+    };
+    if rng.flip() {
+        c = c.enable("hashjoin");
+    }
+    if rng.flip() {
+        c = c.enable("force_projection");
+    }
+    if rng.flip() {
+        c = c.enable("dynamic_index");
+    }
+    c
+}
+
+/// Run `plan` serially and through vexec at every worker count; assert the
+/// results are bit-identical (order included) and that the vexec batch
+/// counters do not depend on the worker count. Returns the serial result.
+fn assert_equivalent(db: &Database, query: &Query, plan: &PlanRef, ctx: &str) -> QueryResult {
+    let want = Executor::new(db, query)
+        .run(plan)
+        .unwrap_or_else(|e| panic!("{ctx}: serial executor failed: {e}"));
+    let mut stats_at: Option<VexecStats> = None;
+    for &w in &WORKER_COUNTS {
+        let mut vx = VexecExecutor::new(db, query);
+        vx.set_workers(w);
+        let got = vx
+            .run(plan)
+            .unwrap_or_else(|e| panic!("{ctx}: vexec({w} workers) failed: {e}"));
+        assert_eq!(
+            got,
+            want,
+            "{ctx}: vexec({w} workers) diverged from serial on {:?}",
+            plan.op_names()
+        );
+        let mut s = *vx.stats();
+        // Worker-count bookkeeping may legitimately differ; everything
+        // else (batches, morsels, rows, I/O accounting) must not.
+        s.max_workers = 0;
+        match &stats_at {
+            None => stats_at = Some(s),
+            Some(prev) => assert_eq!(
+                &s, prev,
+                "{ctx}: vexec stats depend on worker count ({w} workers)"
+            ),
+        }
+    }
+    want
+}
+
+/// Every supported optimizer alternative — across shapes, sites, storage
+/// kinds, and feature toggles — matches the serial oracle exactly at
+/// 1, 2, and 8 workers.
+#[test]
+fn vexec_matches_serial_on_random_fleet() {
+    let mut supported = 0usize;
+    let mut total = 0usize;
+    for seed in 0..24u64 {
+        let mut rng = Rng64::new(seed.wrapping_mul(0x5851F42D4C957F2D));
+        let shape = SHAPES[rng.index(SHAPES.len())];
+        let local_pred = rng.flip();
+        let config = rand_config(&mut rng);
+        let sites = 1 + rng.index(2);
+        let spec = SynthSpec {
+            tables: 3,
+            card_range: (10, 80),
+            index_prob: 0.5,
+            btree_prob: 0.3,
+            sites,
+            ..Default::default()
+        };
+        let cat = synth_catalog(seed, &spec);
+        let db = synth_database(seed, cat.clone());
+        let query = query_shape(&cat, shape, 3, local_pred);
+        let opt = Optimizer::new(cat).unwrap();
+        let out = opt.optimize(&query, &config).unwrap();
+        for plan in out
+            .root_alternatives
+            .iter()
+            .chain(std::iter::once(&out.best))
+        {
+            total += 1;
+            if supports(plan, &query).is_err() {
+                continue;
+            }
+            supported += 1;
+            assert_equivalent(&db, &query, plan, &format!("seed {seed}"));
+        }
+    }
+    // Correlated NL inners (sideways information passing) fall back to the
+    // serial engine and dominate this fleet; everything else should run
+    // vectorized. Measured support is ~35% of all alternatives; if this
+    // floor regresses, `supports` got too conservative.
+    assert!(
+        supported * 4 >= total && supported >= 100,
+        "vexec supports only {supported}/{total} fleet plans"
+    );
+}
+
+/// Budget-degraded plans (memo cap forces greedy glue) are still executed
+/// bit-identically.
+#[test]
+fn vexec_matches_serial_on_degraded_plans() {
+    let mut checked = 0usize;
+    for seed in 0..8u64 {
+        let spec = SynthSpec {
+            tables: 4,
+            card_range: (20, 200),
+            index_prob: 0.5,
+            ..Default::default()
+        };
+        let cat = synth_catalog(seed, &spec);
+        let db = synth_database(seed, cat.clone());
+        let query = query_shape(&cat, SHAPES[seed as usize % SHAPES.len()], 4, true);
+        let opt = Optimizer::new(cat).unwrap();
+        let config = OptConfig {
+            budget: Budget::default().with_memo_cap(2),
+            ..OptConfig::full()
+        };
+        let out = opt.optimize(&query, &config).unwrap();
+        assert!(out.degraded, "seed {seed}: memo cap 2 should degrade");
+        if supports(&out.best, &query).is_ok() {
+            checked += 1;
+            assert_equivalent(&db, &query, &out.best, &format!("degraded seed {seed}"));
+        }
+    }
+    assert!(checked > 0, "no degraded plan was vexec-supported");
+}
+
+/// Selection-vector edges: a local predicate that matches nothing (empty
+/// batches all the way through), one that matches a strict subset, and the
+/// no-predicate full-selection case all agree with the oracle.
+#[test]
+fn vexec_handles_empty_and_partial_selections() {
+    let spec = SynthSpec {
+        tables: 2,
+        card_range: (300, 600),
+        index_prob: 1.0,
+        btree_prob: 0.0,
+        ..Default::default()
+    };
+    let cat = synth_catalog(7, &spec);
+    let db = synth_database(7, cat.clone());
+    let opt = Optimizer::new(cat.clone()).unwrap();
+    // P0 is drawn from 0..ndv, so -1 never matches, 0 matches a subset,
+    // and None drops the local predicate entirely.
+    for (param, expect_empty) in [(Some(-1), true), (Some(0), false), (None, false)] {
+        let query = query_shape_param(&cat, QueryShape::Chain, 2, param);
+        let out = opt
+            .optimize(&query, &OptConfig::full().enable("hashjoin"))
+            .unwrap();
+        for plan in out
+            .root_alternatives
+            .iter()
+            .chain(std::iter::once(&out.best))
+        {
+            if supports(plan, &query).is_err() {
+                continue;
+            }
+            let want = assert_equivalent(&db, &query, plan, &format!("param {param:?}"));
+            if expect_empty {
+                assert!(want.rows.is_empty(), "param -1 should select nothing");
+            }
+        }
+    }
+}
+
+/// Tables bigger than one morsel, joined on a low-cardinality key: morsel
+/// boundaries land in the middle of duplicate-key runs on both sides of a
+/// hash join, and the exchange must still reassemble the serial row order.
+#[test]
+fn vexec_survives_morsel_boundaries_mid_duplicate_run() {
+    let spec = SynthSpec {
+        tables: 2,
+        // > MORSEL_ROWS per table so every scan splits into several morsels.
+        card_range: (9_000, 9_500),
+        index_prob: 0.0,
+        btree_prob: 0.0,
+        payload_cols: 1,
+        ..Default::default()
+    };
+    let cat = synth_catalog(3, &spec);
+    let db = synth_database(3, cat.clone());
+    let query = query_shape(&cat, QueryShape::Chain, 2, false);
+    let opt = Optimizer::new(cat).unwrap();
+    let out = opt
+        .optimize(&query, &OptConfig::full().enable("hashjoin"))
+        .unwrap();
+    let mut saw_hash_join = false;
+    let mut saw_multi_morsel = false;
+    for plan in out
+        .root_alternatives
+        .iter()
+        .chain(std::iter::once(&out.best))
+    {
+        if supports(plan, &query).is_err() {
+            continue;
+        }
+        saw_hash_join |= plan.op_names().iter().any(|n| n.contains("JOIN(HA)"));
+        assert_equivalent(&db, &query, plan, "dup-run");
+        let mut vx = VexecExecutor::new(&db, &query);
+        vx.set_workers(8);
+        vx.run(plan).unwrap();
+        saw_multi_morsel |= vx.stats().morsels > 1 && vx.stats().rows > MORSEL_ROWS as u64;
+    }
+    assert!(saw_hash_join, "fleet produced no hash-join alternative");
+    assert!(saw_multi_morsel, "tables never split into multiple morsels");
+}
+
+/// A panic inside a morsel worker is contained: the pool drains, the run
+/// returns `ExecError::Panicked`, and nothing deadlocks — even at 8
+/// workers with every morsel panicking.
+#[test]
+fn vexec_contains_worker_panics() {
+    let spec = SynthSpec {
+        tables: 2,
+        card_range: (9_000, 9_200),
+        index_prob: 0.0,
+        btree_prob: 0.0,
+        ..Default::default()
+    };
+    let cat = synth_catalog(11, &spec);
+    let db = synth_database(11, cat.clone());
+    let query = query_shape(&cat, QueryShape::Chain, 2, false);
+    let opt = Optimizer::new(cat).unwrap();
+    let out = opt.optimize(&query, &OptConfig::full()).unwrap();
+    let plan = out.best.clone();
+    assert!(supports(&plan, &query).is_ok(), "best plan unsupported");
+
+    // Panic in morsel workers.
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = hits.clone();
+    let mut vx = VexecExecutor::new(&db, &query);
+    vx.set_workers(8);
+    vx.set_fault_hook(Arc::new(move |site: &str| {
+        if site.starts_with("morsel(") {
+            h.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: worker panic at {site}");
+        }
+        None
+    }));
+    match vx.run(&plan) {
+        Err(ExecError::Panicked(msg)) => assert!(msg.contains("chaos"), "wrong panic: {msg}"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    assert!(hits.load(Ordering::Relaxed) > 0, "hook never fired");
+
+    // Typed injected error at the exchange point.
+    let mut vx = VexecExecutor::new(&db, &query);
+    vx.set_workers(8);
+    vx.set_fault_hook(Arc::new(|site: &str| {
+        site.starts_with("exchange(")
+            .then(|| format!("chaos: exchange fault at {site}"))
+    }));
+    match vx.run(&plan) {
+        Err(ExecError::Injected(msg)) => assert!(msg.contains("exchange"), "wrong site: {msg}"),
+        other => panic!("expected Injected, got {other:?}"),
+    }
+
+    // A clean executor on the same plan still matches the oracle — the
+    // fault runs above poisoned nothing shared.
+    assert_equivalent(&db, &query, &plan, "post-chaos");
+}
